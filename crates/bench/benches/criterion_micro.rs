@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks for the pipeline's components, plus
+//! ablations for the design choices DESIGN.md calls out (forest size,
+//! bcf density, substitution probability).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use yali_embed::EmbeddingKind;
+use yali_ml::{ForestConfig, RandomForest};
+
+const PROGRAM: &str = r#"
+    int helper(int x) { return x * 3 + 1; }
+    int work(int n) {
+        int s = 0;
+        int a[40];
+        for (int i = 0; i < 40; i++) { a[i] = helper(i) % 17; }
+        for (int i = 0; i < 40; i++) {
+            for (int j = i + 1; j < 40; j++) {
+                if (a[j] < a[i]) { int t = a[i]; a[i] = a[j]; a[j] = t; }
+            }
+        }
+        for (int i = 0; i < n && i < 40; i++) { s += a[i]; }
+        return s;
+    }
+    void main() { print_int(work(read_int())); }
+"#;
+
+fn bench_frontend(c: &mut Criterion) {
+    c.bench_function("minic_parse_check", |b| {
+        b.iter(|| {
+            let p = yali_minic::parse(std::hint::black_box(PROGRAM)).unwrap();
+            yali_minic::check(&p).unwrap();
+            p
+        })
+    });
+    let p = yali_minic::parse(PROGRAM).unwrap();
+    c.bench_function("minic_lower", |b| b.iter(|| yali_minic::lower(std::hint::black_box(&p))));
+}
+
+fn bench_opt(c: &mut Criterion) {
+    let m = yali_minic::compile(PROGRAM).unwrap();
+    let mut group = c.benchmark_group("optimize");
+    for level in yali_opt::OptLevel::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &lvl| {
+            b.iter(|| yali_opt::optimized(std::hint::black_box(&m), lvl))
+        });
+    }
+    group.finish();
+}
+
+fn bench_obf(c: &mut Criterion) {
+    let m = yali_minic::compile(PROGRAM).unwrap();
+    let mut group = c.benchmark_group("obfuscate");
+    for pass in yali_obf::IrObf::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(pass), &pass, |b, &p| {
+            b.iter(|| {
+                let mut copy = m.clone();
+                let mut rng = ChaCha8Rng::seed_from_u64(7);
+                p.apply(&mut copy, &mut rng);
+                copy
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_embeddings(c: &mut Criterion) {
+    let m = yali_minic::compile(PROGRAM).unwrap();
+    let mut group = c.benchmark_group("embed");
+    for kind in EmbeddingKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &k| {
+            b.iter(|| k.embed(std::hint::black_box(&m)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: forest size vs fit cost (accuracy saturates long before the
+/// cost does, which is why the harness defaults to 40 trees).
+fn bench_forest_ablation(c: &mut Criterion) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for cls in 0..4usize {
+        for k in 0..30usize {
+            let j = (k as f64 * 0.37).fract();
+            x.push(vec![cls as f64 * 3.0 + j, (cls % 2) as f64 - j]);
+            y.push(cls);
+        }
+    }
+    let mut group = c.benchmark_group("rf_trees_ablation");
+    for n_trees in [5usize, 20, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_trees), &n_trees, |b, &n| {
+            b.iter(|| {
+                RandomForest::fit(
+                    &x,
+                    &y,
+                    4,
+                    &ForestConfig {
+                        n_trees: n,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    use yali_ir::interp::{run, ExecConfig, Val};
+    let m = yali_minic::compile(PROGRAM).unwrap();
+    let m3 = yali_opt::optimized(&m, yali_opt::OptLevel::O3);
+    c.bench_function("interp_O0", |b| {
+        b.iter(|| run(&m, "main", &[], &[Val::Int(30)], &ExecConfig::default()).unwrap())
+    });
+    c.bench_function("interp_O3", |b| {
+        b.iter(|| run(&m3, "main", &[], &[Val::Int(30)], &ExecConfig::default()).unwrap())
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_frontend, bench_opt, bench_obf, bench_embeddings, bench_forest_ablation, bench_interp
+);
+criterion_main!(micro);

@@ -1,0 +1,56 @@
+//! Figure 5: comparison of the nine program embeddings in Game 0, using
+//! Zhang et al.'s networks (dgcnn on graphs, cnn on arrays).
+//!
+//! Paper reference: cfg_compact best at 85.36%; cdfg_compact / ir2vec /
+//! milepost / histogram statistically tied at 81–82%.
+
+use yali_bench::{banner, mean, pct, print_table, stddev, Scale};
+use yali_core::{play, ClassifierSpec, Corpus, GameConfig};
+use yali_embed::EmbeddingKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 5", "program embeddings in Game0 (dgcnn/cnn)", &scale);
+    let paper: &[(&str, f64)] = &[
+        ("cfg", 0.74),
+        ("cfg_compact", 0.8536),
+        ("cdfg", 0.73),
+        ("cdfg_compact", 0.815),
+        ("cdfg_plus", 0.66),
+        ("programl", 0.80),
+        ("ir2vec", 0.815),
+        ("milepost", 0.815),
+        ("histogram", 0.815),
+    ];
+    let mut rows = Vec::new();
+    for kind in EmbeddingKind::ALL {
+        let mut accs = Vec::new();
+        for round in 0..scale.rounds {
+            let corpus = Corpus::poj(scale.embed_classes, scale.per_class, 100 + round as u64);
+            let mut spec = ClassifierSpec::zhang_net(kind);
+            // Keep the graph network affordable at small scale.
+            spec.dgcnn.epochs = 12;
+            spec.dgcnn.k = 10;
+            spec.train.epochs = 25;
+            let cfg = GameConfig::game0(spec, 500 + round as u64);
+            accs.push(play(&corpus, &cfg).accuracy);
+        }
+        let p = paper
+            .iter()
+            .find(|(n, _)| *n == kind.name())
+            .map(|(_, v)| pct(*v))
+            .unwrap_or_default();
+        rows.push(vec![
+            kind.name().to_string(),
+            pct(mean(&accs)),
+            format!("±{:.1}", stddev(&accs) * 100.0),
+            p,
+        ]);
+        eprintln!("  {} done: {}", kind.name(), pct(mean(&accs)));
+    }
+    print_table(
+        "Figure 5 — embeddings in Game0",
+        &["embedding", "accuracy", "std", "paper≈"],
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Figure 7: the six models in Game 0 on the histogram embedding —
+//! accuracy (paper: rf best at 80.0%, cnn/mlp within 1%) and model memory
+//! (paper: mlp/knn/svm/lr < 0.5 GB, cnn 2.0 GB, rf 2.2 GB).
+
+use yali_bench::{banner, mean, pct, print_table, stddev, Scale};
+use yali_core::{play, ClassifierSpec, Corpus, GameConfig};
+use yali_ml::ModelKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 7", "models in Game0 (histogram embedding)", &scale);
+    let paper: &[(&str, f64)] = &[
+        ("rf", 0.800),
+        ("svm", 0.72),
+        ("knn", 0.74),
+        ("lr", 0.71),
+        ("mlp", 0.79),
+        ("cnn", 0.79),
+    ];
+    let mut rows = Vec::new();
+    for model in ModelKind::ALL {
+        let mut accs = Vec::new();
+        let mut mem = 0usize;
+        for round in 0..scale.rounds {
+            let corpus = Corpus::poj(scale.classes, scale.per_class, 40 + round as u64);
+            let cfg = GameConfig::game0(ClassifierSpec::histogram(model), 900 + round as u64);
+            let r = play(&corpus, &cfg);
+            accs.push(r.accuracy);
+            mem = r.model_bytes;
+        }
+        let p = paper
+            .iter()
+            .find(|(n, _)| *n == model.name())
+            .map(|(_, v)| pct(*v))
+            .unwrap_or_default();
+        rows.push(vec![
+            model.name().to_string(),
+            pct(mean(&accs)),
+            format!("±{:.1}", stddev(&accs) * 100.0),
+            format!("{} KiB", mem / 1024),
+            p,
+        ]);
+        eprintln!("  {} done: {}", model.name(), pct(mean(&accs)));
+    }
+    print_table(
+        "Figure 7 — models in Game0",
+        &["model", "accuracy", "std", "model memory", "paper acc≈"],
+        &rows,
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 8: Game 1 — every evader against every model (histogram
+//! embedding), classifier unaware of the transformation.
+//!
+//! Paper: optimizations and ollvm are the strongest evaders; fla and sub
+//! barely move a histogram+rf classifier; drlsg has no effect at all
+//! (SSA conversion reverts it).
+
+use yali_bench::{banner, run_evader_model_grid, Scale};
+use yali_core::Game;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 8", "Game1: evaders × models (histogram)", &scale);
+    run_evader_model_grid(Game::Game1, &scale);
+}

@@ -1,0 +1,12 @@
+//! Figure 9: Game 2 — the classifier trains on programs transformed with
+//! the *same* obfuscator the evader uses. Paper: knowing the obfuscation
+//! restores nearly Game-0 accuracy for every transformation.
+
+use yali_bench::{banner, run_evader_model_grid, Scale};
+use yali_core::Game;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 9", "Game2: shared transformation (histogram)", &scale);
+    run_evader_model_grid(Game::Game2, &scale);
+}

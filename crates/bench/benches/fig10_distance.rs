@@ -1,0 +1,47 @@
+//! Figure 10: Euclidean distance between the opcode histograms of original
+//! and transformed programs — the paper's explanation for which evaders
+//! work (larger distance = stronger evasion; O3 and ollvm lead).
+
+use yali_bench::{banner, mean, print_table, stddev, Scale};
+use yali_core::{Corpus, Transformer};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 10", "histogram distance original vs transformed", &scale);
+    let corpus = Corpus::poj(scale.classes.min(8), scale.per_class, 1234);
+    let mut rows = Vec::new();
+    let mut summary: Vec<(String, f64)> = Vec::new();
+    for t in Transformer::EVADERS {
+        if t == Transformer::None {
+            continue;
+        }
+        let mut dists = Vec::new();
+        for (i, s) in corpus.samples.iter().enumerate() {
+            let base = yali_embed::histogram(&yali_minic::lower(&s.program));
+            let trans = yali_embed::histogram(&t.apply(&s.program, 42 ^ i as u64));
+            dists.push(yali_embed::euclidean(&base, &trans));
+        }
+        summary.push((t.name().to_string(), mean(&dists)));
+        rows.push(vec![
+            t.name().to_string(),
+            format!("{:.2}", mean(&dists)),
+            format!("±{:.2}", stddev(&dists)),
+        ]);
+        eprintln!("  {} done", t.name());
+    }
+    print_table(
+        "Figure 10 — embedding distances",
+        &["transformer", "mean distance", "std"],
+        &rows,
+    );
+    summary.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "strongest movers: {} (paper: O3 and ollvm lead; drlsg/fla/sub trail)",
+        summary
+            .iter()
+            .take(3)
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 11: Game 3 — the evader obfuscates, the classifier normalizes
+//! every challenge with `-O3` after training on optimized code.
+//!
+//! Paper: optimization reverts Zhang-style source obfuscation entirely,
+//! but bcf survives (opaque predicates do not fold) and fla interacts
+//! badly with optimization (the instruction mix changes further).
+
+use yali_bench::{banner, run_evader_model_grid, Scale};
+use yali_core::Game;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 11", "Game3: evaders vs -O3 normalization (histogram)", &scale);
+    run_evader_model_grid(Game::Game3, &scale);
+}

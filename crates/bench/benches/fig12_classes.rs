@@ -1,0 +1,43 @@
+//! Figure 12: Game-0 accuracy and F1 of the histogram classifiers as the
+//! number of classes grows (paper: 4, 8, 16, 32, 64 — accuracy decays
+//! slowly; rf still ~80% at 64 classes; accuracy == F1 on balanced sets).
+
+use yali_bench::{banner, mean, pct, print_table, Scale};
+use yali_core::{play, ClassifierSpec, Corpus, GameConfig};
+use yali_ml::ModelKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 12", "accuracy and F1 vs number of classes", &scale);
+    let class_counts: Vec<usize> = [4usize, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&c| c <= scale.classes.max(16))
+        .collect();
+    let mut rows = Vec::new();
+    for &m in &[ModelKind::Rf, ModelKind::Knn, ModelKind::Lr] {
+        for &c in &class_counts {
+            let mut accs = Vec::new();
+            let mut f1s = Vec::new();
+            for round in 0..scale.rounds {
+                let corpus = Corpus::poj(c, scale.per_class, 77 + round as u64);
+                let cfg = GameConfig::game0(ClassifierSpec::histogram(m), round as u64);
+                let r = play(&corpus, &cfg);
+                accs.push(r.accuracy);
+                f1s.push(r.f1);
+            }
+            rows.push(vec![
+                m.name().to_string(),
+                c.to_string(),
+                pct(mean(&accs)),
+                pct(mean(&f1s)),
+                pct(1.0 / c as f64),
+            ]);
+        }
+        eprintln!("  {} done", m.name());
+    }
+    print_table(
+        "Figure 12 — classes sweep",
+        &["model", "classes", "accuracy", "macro F1", "chance"],
+        &rows,
+    );
+}

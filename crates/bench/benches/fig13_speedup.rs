@@ -1,0 +1,58 @@
+//! Figure 13: running times of optimized (`-O3`) and obfuscated (ollvm)
+//! code relative to `-O0`, on the 16 Benchmarks Game programs.
+//!
+//! Paper: ollvm slows every program (geomean 8.33×, worst ~30×); -O3
+//! speeds all of them up (geomean 2.32×, best ~7×). "Time" here is the
+//! interpreter's deterministic instruction-cost model.
+
+use rand::SeedableRng;
+use yali_bench::{print_table, Scale};
+use yali_dataset::BENCHMARKS;
+use yali_ir::interp::{run, ExecConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("=== Figure 13: benchmark running times (cost model) ===");
+    let _ = scale;
+    let cfg = ExecConfig {
+        fuel: 200_000_000,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut slowdowns = Vec::new();
+    for b in BENCHMARKS {
+        let p = yali_minic::parse(b.source).expect("benchmark parses");
+        let m0 = yali_minic::lower(&p);
+        let base = run(&m0, "main", &[], &[], &cfg).expect("O0 runs");
+        let m3 = yali_opt::optimized(&m0, yali_opt::OptLevel::O3);
+        let fast = run(&m3, "main", &[], &[], &cfg).expect("O3 runs");
+        let mut mo = m0.clone();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        yali_obf::ollvm(&mut mo, &mut rng);
+        let slow = run(&mo, "main", &[], &[], &cfg).expect("ollvm runs");
+        assert_eq!(base.output, fast.output, "{}: O3 changed behaviour", b.name);
+        assert_eq!(base.output, slow.output, "{}: ollvm changed behaviour", b.name);
+        let speedup = base.cost as f64 / fast.cost as f64;
+        let slowdown = slow.cost as f64 / base.cost as f64;
+        speedups.push(speedup);
+        slowdowns.push(slowdown);
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{:.2}x faster", speedup),
+            format!("{:.2}x slower", slowdown),
+        ]);
+        eprintln!("  {} done", b.name);
+    }
+    print_table(
+        "Figure 13 — relative running times vs -O0",
+        &["benchmark", "clang -O3", "ollvm"],
+        &rows,
+    );
+    let geo = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
+    println!(
+        "geomean: O3 {:.2}x faster (paper 2.32x), ollvm {:.2}x slower (paper 8.33x)",
+        geo(&speedups),
+        geo(&slowdowns)
+    );
+}

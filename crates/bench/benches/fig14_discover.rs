@@ -1,0 +1,33 @@
+//! Figure 14: detecting the obfuscator (RQ7). Ten transformer classes;
+//! paper: ~25% hit rate on datasets 1, 2 and 4 (chance is 10%), and a
+//! spuriously high rate on dataset 3, where each transformer has its own
+//! programming problem.
+
+use yali_bench::{banner, mean, pct, print_table, Scale};
+use yali_core::{discover_transformer, DiscoverDataset};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 14", "identify the transformer (10 classes)", &scale);
+    let paper = [0.25, 0.25, 0.95, 0.25];
+    let mut rows = Vec::new();
+    for (d, p) in DiscoverDataset::ALL.into_iter().zip(paper) {
+        let mut accs = Vec::new();
+        for round in 0..scale.rounds {
+            let r = discover_transformer(d, scale.discover_per_class, 0.8, 10 + round as u64);
+            accs.push(r.accuracy);
+        }
+        rows.push(vec![
+            d.name().to_string(),
+            pct(mean(&accs)),
+            pct(p),
+            pct(0.10),
+        ]);
+        eprintln!("  {} done", d.name());
+    }
+    print_table(
+        "Figure 14 — obfuscator discovery",
+        &["dataset", "accuracy", "paper≈", "chance"],
+        &rows,
+    );
+}

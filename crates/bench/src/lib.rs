@@ -1,0 +1,115 @@
+//! # yali-bench
+//!
+//! The experiment harness: shared table-printing and averaging helpers
+//! used by the per-figure bench targets (`benches/figNN_*.rs`), each of
+//! which regenerates one table or figure of the paper. Run them with
+//! `cargo bench -p yali-bench --bench fig07_models` (set
+//! `YALI_SCALE=paper` to approach the paper's workload sizes).
+
+#![warn(missing_docs)]
+
+pub use yali_core::Scale;
+
+/// Prints a Markdown-ish table with aligned columns.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        println!("{s}");
+    };
+    line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&sep);
+    for row in rows {
+        line(row);
+    }
+    println!();
+}
+
+/// Formats an accuracy as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Prints the standard experiment banner with the active scale.
+pub fn banner(figure: &str, what: &str, scale: &Scale) {
+    println!("=== {figure}: {what} ===");
+    println!(
+        "scale: {} classes × {} samples, {} rounds (YALI_SCALE=small|medium|paper)",
+        scale.classes, scale.per_class, scale.rounds
+    );
+}
+
+
+/// Runs the Figure 8/9/11 grid: every evader against every model on the
+/// histogram embedding, in the given game, and prints the table.
+pub fn run_evader_model_grid(game: yali_core::Game, scale: &Scale) {
+    use yali_core::{play, ClassifierSpec, Corpus, GameConfig, Transformer};
+    use yali_ml::ModelKind;
+    let header: Vec<String> = std::iter::once("evader".to_string())
+        .chain(ModelKind::ALL.iter().map(|m| m.name().to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for evader in Transformer::EVADERS {
+        let mut cells = vec![evader.name().to_string()];
+        for model in ModelKind::ALL {
+            let mut accs = Vec::new();
+            for round in 0..scale.rounds {
+                let corpus = Corpus::poj(scale.classes, scale.per_class, 60 + round as u64);
+                let cfg = GameConfig::game0(ClassifierSpec::histogram(model), round as u64)
+                    .with_game(game, evader);
+                accs.push(play(&corpus, &cfg).accuracy);
+            }
+            cells.push(pct(mean(&accs)));
+        }
+        eprintln!("  evader {} done", evader.name());
+        rows.push(cells);
+    }
+    print_table(&format!("{game} — evaders × models"), &header_refs, &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.805), "80.5%");
+    }
+}

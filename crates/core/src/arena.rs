@@ -1,0 +1,280 @@
+//! The classification arena: corpora, classifier specifications, and the
+//! embedding/training plumbing shared by all four games.
+
+use crate::transformer::Transformer;
+use yali_embed::{Embedding, EmbeddingKind};
+use yali_minic::Program;
+use yali_ml::{Dgcnn, DgcnnConfig, GraphSample, ModelKind, TrainConfig, VectorClassifier};
+
+/// One labelled solution: a source program plus its problem class.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The problem class (`0..n_classes`).
+    pub class: usize,
+    /// The solution, kept at source level so source evaders can run.
+    pub program: Program,
+}
+
+/// A labelled corpus of solutions.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The samples.
+    pub samples: Vec<Sample>,
+    /// Number of problem classes.
+    pub n_classes: usize,
+}
+
+impl Corpus {
+    /// Builds a perfectly balanced POJ-104-style corpus: `per_class`
+    /// author solutions for each of `n_classes` problems (the paper's
+    /// 104 × 500; scale down for quick runs).
+    ///
+    /// Problem classes are chosen deterministically from `seed` when
+    /// `n_classes < 104` (the paper samples 32 random classes for RQ1).
+    pub fn poj(n_classes: usize, per_class: usize, seed: u64) -> Corpus {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut class_ids: Vec<usize> = (0..yali_dataset::NUM_PROBLEMS).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE);
+        class_ids.shuffle(&mut rng);
+        class_ids.truncate(n_classes);
+        let mut samples = Vec::with_capacity(n_classes * per_class);
+        for (label, &pid) in class_ids.iter().enumerate() {
+            for author in 0..per_class {
+                samples.push(Sample {
+                    class: label,
+                    program: yali_dataset::solution(pid, seed ^ (author as u64) << 8),
+                });
+            }
+        }
+        Corpus {
+            samples,
+            n_classes,
+        }
+    }
+
+    /// A stratified train/test split (the paper's 375/125 per class is
+    /// `train_fraction = 0.75`; games 0–3 use 0.8).
+    pub fn split(&self, train_fraction: f64, seed: u64) -> (Vec<&Sample>, Vec<&Sample>) {
+        let refs: Vec<&Sample> = self.samples.iter().collect();
+        let labels: Vec<usize> = self.samples.iter().map(|s| s.class).collect();
+        let (tr, _, te, _) = yali_ml::train_test_split(&refs, &labels, train_fraction, seed);
+        (tr, te)
+    }
+}
+
+/// Which stochastic model a classifier uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelChoice {
+    /// One of the six array-input models.
+    Vector(ModelKind),
+    /// Zhang et al.'s graph network (graph embeddings only).
+    Dgcnn,
+}
+
+impl ModelChoice {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelChoice::Vector(m) => m.name(),
+            ModelChoice::Dgcnn => "dgcnn",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A classifier design point: embedding × model (Figure 3's grid).
+#[derive(Debug, Clone)]
+pub struct ClassifierSpec {
+    /// The program embedding.
+    pub embedding: EmbeddingKind,
+    /// The model.
+    pub model: ModelChoice,
+    /// Training knobs (epochs, trees, seeds).
+    pub train: TrainConfig,
+    /// DGCNN knobs, used when `model` is [`ModelChoice::Dgcnn`].
+    pub dgcnn: DgcnnConfig,
+}
+
+impl ClassifierSpec {
+    /// A histogram + given model classifier with default training knobs.
+    pub fn histogram(model: ModelKind) -> ClassifierSpec {
+        ClassifierSpec {
+            embedding: EmbeddingKind::Histogram,
+            model: ModelChoice::Vector(model),
+            train: TrainConfig::default(),
+            dgcnn: DgcnnConfig::default(),
+        }
+    }
+
+    /// The graph/array-appropriate network for an embedding: dgcnn on
+    /// graphs, cnn on arrays — the paper's RQ1 setup.
+    pub fn zhang_net(embedding: EmbeddingKind) -> ClassifierSpec {
+        let model = if embedding.is_graph() {
+            ModelChoice::Dgcnn
+        } else {
+            ModelChoice::Vector(ModelKind::Cnn)
+        };
+        ClassifierSpec {
+            embedding,
+            model,
+            train: TrainConfig::default(),
+            dgcnn: DgcnnConfig::default(),
+        }
+    }
+}
+
+/// A trained classifier, ready to be challenged.
+pub enum TrainedClassifier {
+    /// Array-model classifier.
+    Vector(VectorClassifier, EmbeddingKind),
+    /// Graph-model classifier.
+    Graph(Box<Dgcnn>, EmbeddingKind),
+}
+
+fn graph_sample(m: &yali_ir::Module, kind: EmbeddingKind) -> GraphSample {
+    match kind.embed(m) {
+        Embedding::Graph(g) => GraphSample {
+            feats: g.feats,
+            edges: g.edges.iter().map(|&(s, d, _)| (s, d)).collect(),
+        },
+        Embedding::Vector(_) => unreachable!("graph embedding expected"),
+    }
+}
+
+fn vector_sample(m: &yali_ir::Module, kind: EmbeddingKind) -> Vec<f64> {
+    match kind.embed(m) {
+        Embedding::Vector(v) => v,
+        Embedding::Graph(_) => unreachable!("vector embedding expected"),
+    }
+}
+
+impl TrainedClassifier {
+    /// Trains `spec` on the given (already transformed) training modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a vector model is paired with a graph embedding (the
+    /// paper's Figure 3: only dgcnn accepts graphs) or the set is empty.
+    pub fn fit(
+        spec: &ClassifierSpec,
+        modules: &[yali_ir::Module],
+        labels: &[usize],
+        n_classes: usize,
+    ) -> TrainedClassifier {
+        match spec.model {
+            ModelChoice::Dgcnn => {
+                assert!(
+                    spec.embedding.is_graph(),
+                    "dgcnn requires a graph embedding"
+                );
+                let graphs: Vec<GraphSample> = modules
+                    .iter()
+                    .map(|m| graph_sample(m, spec.embedding))
+                    .collect();
+                let model = Dgcnn::fit(&graphs, labels, n_classes, &spec.dgcnn);
+                TrainedClassifier::Graph(Box::new(model), spec.embedding)
+            }
+            ModelChoice::Vector(kind) => {
+                assert!(
+                    !spec.embedding.is_graph(),
+                    "{kind} cannot consume graph embeddings"
+                );
+                let x: Vec<Vec<f64>> = modules
+                    .iter()
+                    .map(|m| vector_sample(m, spec.embedding))
+                    .collect();
+                let model = VectorClassifier::fit(kind, &x, labels, n_classes, &spec.train);
+                TrainedClassifier::Vector(model, spec.embedding)
+            }
+        }
+    }
+
+    /// Classifies one challenge module.
+    pub fn classify(&mut self, m: &yali_ir::Module) -> usize {
+        match self {
+            TrainedClassifier::Vector(model, kind) => model.predict(&vector_sample(m, *kind)),
+            TrainedClassifier::Graph(model, kind) => model.predict(&graph_sample(m, *kind)),
+        }
+    }
+
+    /// Approximate model memory (Figure 7's second panel).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            TrainedClassifier::Vector(model, _) => model.memory_bytes(),
+            TrainedClassifier::Graph(model, _) => model.memory_bytes(),
+        }
+    }
+}
+
+/// Materializes transformed IR modules for a set of samples.
+pub fn transform_all(samples: &[&Sample], t: Transformer, seed: u64) -> Vec<yali_ir::Module> {
+    samples
+        .iter()
+        .enumerate()
+        .map(|(i, s)| t.apply(&s.program, seed ^ ((i as u64) << 16)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_balanced_and_deterministic() {
+        let c = Corpus::poj(4, 6, 9);
+        assert_eq!(c.samples.len(), 24);
+        for class in 0..4 {
+            assert_eq!(c.samples.iter().filter(|s| s.class == class).count(), 6);
+        }
+        let c2 = Corpus::poj(4, 6, 9);
+        assert_eq!(
+            yali_minic::print(&c.samples[0].program),
+            yali_minic::print(&c2.samples[0].program)
+        );
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let c = Corpus::poj(3, 10, 1);
+        let (tr, te) = c.split(0.8, 7);
+        assert_eq!(tr.len(), 24);
+        assert_eq!(te.len(), 6);
+    }
+
+    #[test]
+    fn histogram_rf_classifier_learns_a_small_corpus() {
+        let c = Corpus::poj(3, 10, 2);
+        let (tr, te) = c.split(0.8, 3);
+        let train_modules = transform_all(&tr, Transformer::None, 0);
+        let labels: Vec<usize> = tr.iter().map(|s| s.class).collect();
+        let spec = ClassifierSpec::histogram(ModelKind::Rf);
+        let mut clf = TrainedClassifier::fit(&spec, &train_modules, &labels, 3);
+        let test_modules = transform_all(&te, Transformer::None, 1);
+        let pred: Vec<usize> = test_modules.iter().map(|m| clf.classify(m)).collect();
+        let truth: Vec<usize> = te.iter().map(|s| s.class).collect();
+        let acc = yali_ml::accuracy(&pred, &truth);
+        assert!(acc > 0.5, "accuracy {acc} too low for 3 separable classes");
+    }
+
+    #[test]
+    #[should_panic(expected = "graph embedding")]
+    fn vector_model_rejects_graph_embedding() {
+        let c = Corpus::poj(2, 3, 0);
+        let (tr, _) = c.split(0.8, 0);
+        let ms = transform_all(&tr, Transformer::None, 0);
+        let labels: Vec<usize> = tr.iter().map(|s| s.class).collect();
+        let spec = ClassifierSpec {
+            embedding: EmbeddingKind::Cfg,
+            model: ModelChoice::Vector(ModelKind::Rf),
+            train: TrainConfig::default(),
+            dgcnn: DgcnnConfig::default(),
+        };
+        let _ = TrainedClassifier::fit(&spec, &ms, &labels, 2);
+    }
+}

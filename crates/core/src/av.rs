@@ -1,0 +1,145 @@
+//! A signature-based anti-virus scanner, standing in for the VirusTotal
+//! aggregate of Figure 16 (see DESIGN.md's substitution table).
+//!
+//! The scanner extracts opcode n-gram signatures from known malware
+//! samples, drops any n-gram that also appears in a benign corpus, and
+//! flags a program when enough distinctive signatures match. Like the
+//! commercial engines in the paper's Figure 16, it is excellent on the
+//! exact binaries it was built from and degrades as transformations
+//! reshuffle the instruction stream.
+
+use std::collections::HashSet;
+use yali_ir::Module;
+
+/// Signature width (opcodes per n-gram).
+const NGRAM: usize = 4;
+
+/// A fitted signature scanner.
+#[derive(Debug, Clone)]
+pub struct SignatureScanner {
+    signatures: HashSet<[u8; NGRAM]>,
+    /// Fraction of a sample's n-grams that must match to flag "malware".
+    pub detect_threshold: f64,
+    /// Stricter fraction for the family ("is mirai") verdict.
+    pub family_threshold: f64,
+}
+
+fn ngrams(m: &Module) -> Vec<[u8; NGRAM]> {
+    let mut out = Vec::new();
+    for f in m.definitions() {
+        let ops: Vec<u8> = f
+            .iter_insts()
+            .map(|(_, i)| f.inst(i).op.index() as u8)
+            .collect();
+        for w in ops.windows(NGRAM) {
+            out.push([w[0], w[1], w[2], w[3]]);
+        }
+    }
+    out
+}
+
+impl SignatureScanner {
+    /// Builds a signature database from known malware, removing n-grams
+    /// that also occur in the benign corpus.
+    pub fn build(malware: &[Module], benign: &[Module]) -> SignatureScanner {
+        let benign_grams: HashSet<[u8; NGRAM]> =
+            benign.iter().flat_map(ngrams).collect();
+        let mut signatures = HashSet::new();
+        for m in malware {
+            for g in ngrams(m) {
+                if !benign_grams.contains(&g) {
+                    signatures.insert(g);
+                }
+            }
+        }
+        SignatureScanner {
+            signatures,
+            detect_threshold: 0.15,
+            family_threshold: 0.20,
+        }
+    }
+
+    /// The fraction of the sample's n-grams that hit the database.
+    pub fn match_ratio(&self, m: &Module) -> f64 {
+        let grams = ngrams(m);
+        if grams.is_empty() {
+            return 0.0;
+        }
+        let hits = grams.iter().filter(|g| self.signatures.contains(*g)).count();
+        hits as f64 / grams.len() as f64
+    }
+
+    /// The "is malware" verdict.
+    pub fn is_malware(&self, m: &Module) -> bool {
+        self.match_ratio(m) >= self.detect_threshold
+    }
+
+    /// The stricter "is this family" verdict.
+    pub fn is_family(&self, m: &Module) -> bool {
+        self.match_ratio(m) >= self.family_threshold
+    }
+
+    /// Number of stored signatures.
+    pub fn num_signatures(&self) -> usize {
+        self.signatures.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modules(f: fn(u64) -> yali_minic::Program, seeds: std::ops::Range<u64>) -> Vec<Module> {
+        seeds.map(|s| yali_minic::lower(&f(s))).collect()
+    }
+
+    #[test]
+    fn detects_known_family_members_and_passes_benign() {
+        let mal = modules(yali_dataset::mirai_variant, 0..10);
+        let ben = modules(yali_dataset::benign_program, 0..10);
+        let scanner = SignatureScanner::build(&mal, &ben);
+        assert!(scanner.num_signatures() > 0);
+        // Unseen family members still match (shared structure).
+        let fresh_mal = modules(yali_dataset::mirai_variant, 50..58);
+        let fresh_ben = modules(yali_dataset::benign_program, 50..58);
+        let mal_hits = fresh_mal.iter().filter(|m| scanner.is_malware(m)).count();
+        let ben_hits = fresh_ben.iter().filter(|m| scanner.is_malware(m)).count();
+        assert!(mal_hits >= 6, "only {mal_hits}/8 malware flagged");
+        assert!(ben_hits <= 2, "{ben_hits}/8 benign false positives");
+    }
+
+    #[test]
+    fn family_verdict_is_stricter() {
+        let mal = modules(yali_dataset::mirai_variant, 0..10);
+        let ben = modules(yali_dataset::benign_program, 0..10);
+        let scanner = SignatureScanner::build(&mal, &ben);
+        let fresh = modules(yali_dataset::mirai_variant, 80..90);
+        let malware_rate = fresh.iter().filter(|m| scanner.is_malware(m)).count();
+        let family_rate = fresh.iter().filter(|m| scanner.is_family(m)).count();
+        assert!(family_rate <= malware_rate);
+    }
+
+    #[test]
+    fn optimization_degrades_detection() {
+        // Figure 16's pattern: the AV is strongest on untransformed code.
+        let mal = modules(yali_dataset::mirai_variant, 0..12);
+        let ben = modules(yali_dataset::benign_program, 0..12);
+        let scanner = SignatureScanner::build(&mal, &ben);
+        let fresh: Vec<Module> = modules(yali_dataset::mirai_variant, 40..52);
+        let plain: f64 = fresh
+            .iter()
+            .map(|m| scanner.match_ratio(m))
+            .sum::<f64>();
+        let optimized: f64 = fresh
+            .iter()
+            .map(|m| {
+                let o = yali_opt::optimized(m, yali_opt::OptLevel::O3);
+                scanner.match_ratio(&o)
+            })
+            .sum::<f64>();
+        assert!(
+            optimized < plain,
+            "optimization should reduce signature matches ({optimized} !< {plain})"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Experiment scaling: the paper's full runs take ~19 days; the default
+//! scale here finishes in minutes while preserving the comparisons'
+//! shapes. Set `YALI_SCALE=paper` (or `medium`) to grow the workloads.
+
+/// Workload sizes for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Problem classes for the Game-0..3 experiments (paper: 104).
+    pub classes: usize,
+    /// Problem classes for the embedding comparison (paper: 32).
+    pub embed_classes: usize,
+    /// Solutions per class (paper: 500).
+    pub per_class: usize,
+    /// Measurement rounds per box plot (paper: 10).
+    pub rounds: usize,
+    /// Malware seed-suite size per side (paper: 36).
+    pub malware_train: usize,
+    /// Malware challenge size per side (paper: 12).
+    pub malware_test: usize,
+    /// Programs per transformer in RQ7 (paper: 500).
+    pub discover_per_class: usize,
+}
+
+impl Scale {
+    /// The fast default (CI-sized).
+    pub const SMALL: Scale = Scale {
+        classes: 8,
+        embed_classes: 5,
+        per_class: 12,
+        rounds: 2,
+        malware_train: 10,
+        malware_test: 5,
+        discover_per_class: 15,
+    };
+
+    /// A middle setting for overnight runs.
+    pub const MEDIUM: Scale = Scale {
+        classes: 32,
+        embed_classes: 16,
+        per_class: 40,
+        rounds: 5,
+        malware_train: 24,
+        malware_test: 10,
+        discover_per_class: 80,
+    };
+
+    /// The paper's sizes.
+    pub const PAPER: Scale = Scale {
+        classes: 104,
+        embed_classes: 32,
+        per_class: 500,
+        rounds: 10,
+        malware_train: 36,
+        malware_test: 12,
+        discover_per_class: 500,
+    };
+
+    /// Reads `YALI_SCALE` (`small` default, `medium`, `paper`).
+    pub fn from_env() -> Scale {
+        match std::env::var("YALI_SCALE").as_deref() {
+            Ok("paper") => Scale::PAPER,
+            Ok("medium") => Scale::MEDIUM,
+            _ => Scale::SMALL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_small() {
+        // The test environment does not set YALI_SCALE.
+        if std::env::var("YALI_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::SMALL);
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_the_paper() {
+        assert_eq!(Scale::PAPER.classes, 104);
+        assert_eq!(Scale::PAPER.per_class, 500);
+        assert_eq!(Scale::PAPER.embed_classes, 32);
+        assert_eq!(Scale::PAPER.rounds, 10);
+    }
+}

@@ -1,0 +1,138 @@
+//! The 16 benchmark programs of RQ6 (Figure 13), modelled on "The
+//! Computer Language Benchmarks Game" suite the paper runs: small kernels
+//! whose running time (here: the interpreter's deterministic cost model)
+//! responds strongly to optimization and obfuscation.
+
+
+/// A benchmark: a name and a MiniC source whose `main` takes no input.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// The Benchmarks-Game-style name.
+    pub name: &'static str,
+    /// Program source.
+    pub source: &'static str,
+}
+
+/// The 16 benchmark programs.
+pub const BENCHMARKS: [Benchmark; 16] = [
+    Benchmark {
+        name: "ary3",
+        source: "void main() { int n = 300; int x[300]; int y[300]; for (int i = 0; i < n; i++) { x[i] = i + 1; y[i] = 0; } for (int k = 0; k < 40; k++) { for (int i = n - 1; i >= 0; i--) { y[i] = y[i] + x[i]; } } print_int(y[0] + y[n - 1]); }",
+    },
+    Benchmark {
+        name: "fibo",
+        source: "int fib(int n) { if (n < 2) { return 1; } return fib(n - 1) + fib(n - 2); } void main() { print_int(fib(17)); }",
+    },
+    Benchmark {
+        name: "nsieve",
+        source: "void main() { int n = 2000; int flags[2000]; int count = 0; for (int i = 0; i < n; i++) { flags[i] = 1; } for (int i = 2; i < n; i++) { if (flags[i] == 1) { count++; for (int k = i + i; k < n; k += i) { flags[k] = 0; } } } print_int(count); }",
+    },
+    Benchmark {
+        name: "matrix",
+        source: "void main() { int n = 18; int a[324]; int b[324]; int c[324]; for (int i = 0; i < n * n; i++) { a[i] = i % 7; b[i] = i % 5; c[i] = 0; } for (int r = 0; r < 6; r++) { for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { int s = 0; for (int k = 0; k < n; k++) { s += a[i * n + k] * b[k * n + j]; } c[i * n + j] = s; } } } print_int(c[n * n - 1]); }",
+    },
+    Benchmark {
+        name: "random",
+        source: "void main() { int seed = 42; int last = 0; for (int i = 0; i < 30000; i++) { seed = (seed * 3877 + 29573) % 139968; last = seed; } print_int(last); }",
+    },
+    Benchmark {
+        name: "heapsort",
+        source: "void main() { int n = 250; int a[250]; int seed = 7; for (int i = 0; i < n; i++) { seed = (seed * 137 + 19) % 10007; a[i] = seed; } for (int i = 1; i < n; i++) { int key = a[i]; int j = i - 1; while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j--; } a[j + 1] = key; } print_int(a[0] + a[n - 1] + a[n / 2]); }",
+    },
+    Benchmark {
+        name: "nestedloop",
+        source: "void main() { int x = 0; int n = 14; for (int a = 0; a < n; a++) { for (int b = 0; b < n; b++) { for (int c = 0; c < n; c++) { for (int d = 0; d < n; d++) { x++; } } } } print_int(x); }",
+    },
+    Benchmark {
+        name: "ackermann",
+        source: "int ack(int m, int n) { if (m == 0) { return n + 1; } if (n == 0) { return ack(m - 1, 1); } return ack(m - 1, ack(m, n - 1)); } void main() { print_int(ack(2, 6)); }",
+    },
+    Benchmark {
+        name: "hash",
+        source: "void main() { int size = 512; int table[512]; int hits = 0; for (int i = 0; i < size; i++) { table[i] = -1; } for (int i = 0; i < 4000; i++) { int key = (i * 2654435761) % 104729; int slot = key % size; if (slot < 0) { slot += size; } if (table[slot] == key) { hits++; } else { table[slot] = key; } } print_int(hits); }",
+    },
+    Benchmark {
+        name: "lists",
+        source: "void main() { int n = 400; int list[400]; int len = 0; for (int i = 0; i < n; i++) { list[len] = i * 3 % 101; len++; } int moved = 0; for (int i = 0; i < len; i++) { if (list[i] % 2 == 0) { moved++; } } int rev[400]; for (int i = 0; i < len; i++) { rev[i] = list[len - 1 - i]; } int same = 0; for (int i = 0; i < len; i++) { if (rev[i] == list[i]) { same++; } } for (int r = 0; r < 20; r++) { for (int i = 0; i < len; i++) { rev[i] = rev[i] + list[i]; } } print_int(moved + same + rev[0]); }",
+    },
+    Benchmark {
+        name: "moments",
+        source: "void main() { int n = 500; float sum = 0.0; float data[500]; for (int i = 0; i < n; i++) { data[i] = (float)(i % 97) * 0.5; sum = sum + data[i]; } float mean = sum / (float)n; float dev = 0.0; float var = 0.0; for (int i = 0; i < n; i++) { dev = data[i] - mean; var = var + dev * dev; } print_float(var / (float)(n - 1)); }",
+    },
+    Benchmark {
+        name: "nbody",
+        source: "void main() { float px[5]; float py[5]; float vx[5]; float vy[5]; for (int i = 0; i < 5; i++) { px[i] = (float)i * 1.5; py[i] = (float)i * 0.5 - 1.0; vx[i] = 0.01; vy[i] = -0.01; } for (int step = 0; step < 120; step++) { for (int i = 0; i < 5; i++) { for (int j = 0; j < 5; j++) { if (i != j) { float dx = px[j] - px[i]; float dy = py[j] - py[i]; float d2 = dx * dx + dy * dy + 0.1; vx[i] = vx[i] + dx / d2 * 0.001; vy[i] = vy[i] + dy / d2 * 0.001; } } } for (int i = 0; i < 5; i++) { px[i] = px[i] + vx[i]; py[i] = py[i] + vy[i]; } } print_float(px[0] + py[4]); }",
+    },
+    Benchmark {
+        name: "spectralnorm",
+        source: "float a(int i, int j) { return 1.0 / (float)((i + j) * (i + j + 1) / 2 + i + 1); } void main() { int n = 24; float u[24]; float v[24]; for (int i = 0; i < n; i++) { u[i] = 1.0; } for (int it = 0; it < 6; it++) { for (int i = 0; i < n; i++) { float s = 0.0; for (int j = 0; j < n; j++) { s = s + a(i, j) * u[j]; } v[i] = s; } for (int i = 0; i < n; i++) { float s = 0.0; for (int j = 0; j < n; j++) { s = s + a(j, i) * v[j]; } u[i] = s; } } float num = 0.0; float den = 0.0; for (int i = 0; i < n; i++) { num = num + u[i] * v[i]; den = den + v[i] * v[i]; } print_float(num / den); }",
+    },
+    Benchmark {
+        name: "mandelbrot",
+        source: "void main() { int inside = 0; for (int yi = 0; yi < 40; yi++) { for (int xi = 0; xi < 40; xi++) { float cx = (float)xi / 20.0 - 1.5; float cy = (float)yi / 20.0 - 1.0; float zx = 0.0; float zy = 0.0; int it = 0; while (it < 30 && zx * zx + zy * zy < 4.0) { float t = zx * zx - zy * zy + cx; zy = 2.0 * zx * zy + cy; zx = t; it++; } if (it == 30) { inside++; } } } print_int(inside); }",
+    },
+    Benchmark {
+        name: "strcat",
+        source: "void main() { int cap = 900; int buf[900]; int len = 0; for (int r = 0; r < 150; r++) { int word[6]; for (int i = 0; i < 6; i++) { word[i] = 97 + (r + i) % 26; } for (int i = 0; i < 6 && len < cap; i++) { buf[len] = word[i]; len++; } } int check = 0; for (int i = 0; i < len; i++) { check = (check * 31 + buf[i]) % 1000003; } print_int(check); }",
+    },
+    Benchmark {
+        name: "binarytrees",
+        source: "int build(int depth) { if (depth == 0) { return 1; } return 1 + build(depth - 1) + build(depth - 1); } void main() { int total = 0; for (int d = 1; d <= 12; d++) { total += build(d); } print_int(total); }",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yali_ir::interp::{run, ExecConfig};
+
+    #[test]
+    fn sixteen_benchmarks() {
+        assert_eq!(BENCHMARKS.len(), 16);
+        let names: std::collections::HashSet<&str> =
+            BENCHMARKS.iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn all_benchmarks_compile_and_run() {
+        for b in BENCHMARKS {
+            let p = yali_minic::parse(b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            yali_minic::check(&p).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let m = yali_minic::lower(&p);
+            yali_ir::verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let cfg = ExecConfig {
+                fuel: 20_000_000,
+                ..Default::default()
+            };
+            let out = run(&m, "main", &[], &[], &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert_eq!(out.output.len(), 1, "{} should print once", b.name);
+            assert!(out.cost > 1000, "{} is too trivial: {}", b.name, out.cost);
+        }
+    }
+
+    #[test]
+    fn o3_speeds_up_and_ollvm_slows_down() {
+        // The shape of Figure 13 on a single representative benchmark.
+        use rand::SeedableRng;
+        let b = &BENCHMARKS[0]; // ary3
+        let p = yali_minic::parse(b.source).unwrap();
+        let m0 = yali_minic::lower(&p);
+        let cfg = ExecConfig {
+            fuel: 50_000_000,
+            ..Default::default()
+        };
+        let base = run(&m0, "main", &[], &[], &cfg).unwrap();
+        let m3 = yali_opt::optimized(&m0, yali_opt::OptLevel::O3);
+        let fast = run(&m3, "main", &[], &[], &cfg).unwrap();
+        let mut mo = m0.clone();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        yali_obf::ollvm(&mut mo, &mut rng);
+        let slow = run(&mo, "main", &[], &[], &cfg).unwrap();
+        assert_eq!(base.output, fast.output);
+        assert_eq!(base.output, slow.output);
+        assert!(fast.cost < base.cost, "O3 {} !< O0 {}", fast.cost, base.cost);
+        assert!(slow.cost > base.cost, "ollvm {} !> O0 {}", slow.cost, base.cost);
+    }
+}

@@ -1,0 +1,231 @@
+//! Problems 26–51: array processing (search, scan, sort, and aggregate
+//! tasks). Inputs arrive as a length followed by the elements.
+
+use crate::spec::{InputSpec, ProblemSpec};
+
+const ARR: InputSpec = InputSpec::IntArray {
+    max_len: 25,
+    lo: -50,
+    hi: 50,
+};
+
+const ARR_POS: InputSpec = InputSpec::IntArray {
+    max_len: 25,
+    lo: 0,
+    hi: 99,
+};
+
+/// The array problem specifications.
+pub fn specs() -> Vec<ProblemSpec> {
+    vec![
+        ProblemSpec {
+            name: "array_sum",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int s = 0; for (int i = 0; i < n; i++) { s += a[i]; } print_int(s); }",
+                "void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { s += read_int(); } print_int(s); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "array_max",
+            variants: &[
+                "void main() { int n = read_int(); int m = read_int(); for (int i = 1; i < n; i++) { int v = read_int(); if (v > m) { m = v; } } print_int(m); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int m = a[0]; for (int i = 1; i < n; i++) { if (a[i] > m) { m = a[i]; } } print_int(m); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "array_min",
+            variants: &[
+                "void main() { int n = read_int(); int m = read_int(); for (int i = 1; i < n; i++) { int v = read_int(); if (v < m) { m = v; } } print_int(m); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int m = a[0]; int i = 1; while (i < n) { if (a[i] < m) { m = a[i]; } i++; } print_int(m); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "array_mean_floor",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { s += read_int(); } print_int(s / n); }",
+                "void main() { int n = read_int(); int a[30]; int s = 0; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { s = s + a[i]; } print_int(s / n); }",
+            ],
+            inputs: ARR_POS,
+        },
+        ProblemSpec {
+            name: "count_even",
+            variants: &[
+                "void main() { int n = read_int(); int c = 0; for (int i = 0; i < n; i++) { int v = read_int(); if (v % 2 == 0) { c++; } } print_int(c); }",
+                "void main() { int n = read_int(); int c = 0; int i = 0; while (i < n) { c += 1 - read_int() % 2; i++; } print_int(c); }",
+            ],
+            inputs: ARR_POS,
+        },
+        ProblemSpec {
+            name: "count_positive",
+            variants: &[
+                "void main() { int n = read_int(); int c = 0; for (int i = 0; i < n; i++) { if (read_int() > 0) { c++; } } print_int(c); }",
+                "void main() { int n = read_int(); int c = 0; for (int i = 0; i < n; i++) { int v = read_int(); if (v >= 1) { c = c + 1; } } print_int(c); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "linear_search",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int target = a[0]; int pos = -1; for (int i = 1; i < n; i++) { if (a[i] == target) { pos = i; break; } } print_int(pos); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int t = a[0]; int i = 1; while (i < n && a[i] != t) { i++; } if (i < n) { print_int(i); } else { print_int(-1); } }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 25, lo: 0, hi: 9 },
+        },
+        ProblemSpec {
+            name: "reverse_print_sum",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int s = 0; for (int i = n - 1; i >= 0; i--) { s = s * 2 + a[i]; } print_int(s); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[n - 1 - i] = read_int(); } int s = 0; for (int i = 0; i < n; i++) { s = s * 2 + a[i]; } print_int(s); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 20, lo: 0, hi: 9 },
+        },
+        ProblemSpec {
+            name: "second_max",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int m1 = -1000000; int m2 = -1000000; for (int i = 0; i < n; i++) { if (a[i] > m1) { m2 = m1; m1 = a[i]; } else { if (a[i] > m2) { m2 = a[i]; } } } print_int(m2); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { for (int j = i + 1; j < n; j++) { if (a[j] > a[i]) { int t = a[i]; a[i] = a[j]; a[j] = t; } } } if (n > 1) { print_int(a[1]); } else { print_int(-1000000); } }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "bubble_sort_output",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { for (int j = 0; j + 1 < n - i; j++) { if (a[j] > a[j + 1]) { int t = a[j]; a[j] = a[j + 1]; a[j + 1] = t; } } } for (int i = 0; i < n; i++) { print_int(a[i]); } }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 1; i < n; i++) { int key = a[i]; int j = i - 1; while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j--; } a[j + 1] = key; } for (int i = 0; i < n; i++) { print_int(a[i]); } }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { int mi = i; for (int j = i + 1; j < n; j++) { if (a[j] < a[mi]) { mi = j; } } int t = a[i]; a[i] = a[mi]; a[mi] = t; } for (int i = 0; i < n; i++) { print_int(a[i]); } }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "binary_search_sorted",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = i * 3; } int t = read_int(); int lo = 0; int hi = n - 1; int pos = -1; while (lo <= hi) { int mid = (lo + hi) / 2; if (a[mid] == t) { pos = mid; break; } if (a[mid] < t) { lo = mid + 1; } else { hi = mid - 1; } } print_int(pos); }",
+                "void main() { int n = read_int(); int t = read_int(); if (t % 3 == 0 && t >= 0 && t / 3 < n) { print_int(t / 3); } else { print_int(-1); } }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 0, hi: 28 },
+        },
+        ProblemSpec {
+            name: "distinct_count",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int c = 0; for (int i = 0; i < n; i++) { int fresh = 1; for (int j = 0; j < i; j++) { if (a[j] == a[i]) { fresh = 0; break; } } c += fresh; } print_int(c); }",
+                "void main() { int n = read_int(); int seen[10]; for (int i = 0; i < 10; i++) { seen[i] = 0; } for (int i = 0; i < n; i++) { seen[read_int()] = 1; } int c = 0; for (int i = 0; i < 10; i++) { c += seen[i]; } print_int(c); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 25, lo: 0, hi: 9 },
+        },
+        ProblemSpec {
+            name: "pair_sum_count",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int c = 0; for (int i = 0; i < n; i++) { for (int j = i + 1; j < n; j++) { if (a[i] + a[j] == 10) { c++; } } } print_int(c); }",
+                "void main() { int n = read_int(); int a[30]; int i = 0; while (i < n) { a[i] = read_int(); i++; } int c = 0; i = 0; while (i < n) { int j = i + 1; while (j < n) { if (10 - a[i] == a[j]) { c = c + 1; } j++; } i++; } print_int(c); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 20, lo: 0, hi: 10 },
+        },
+        ProblemSpec {
+            name: "max_subarray",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int best = a[0]; int cur = a[0]; for (int i = 1; i < n; i++) { if (cur < 0) { cur = 0; } cur += a[i]; if (cur > best) { best = cur; } } print_int(best); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int best = a[0]; for (int i = 0; i < n; i++) { int s = 0; for (int j = i; j < n; j++) { s += a[j]; if (s > best) { best = s; } } } print_int(best); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "prefix_sum_query",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int p[31]; p[0] = 0; for (int i = 0; i < n; i++) { p[i + 1] = p[i] + a[i]; } print_int(p[n] - p[n / 2]); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int s = 0; for (int i = n / 2; i < n; i++) { s += a[i]; } print_int(s); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "dot_product",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; int b[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { b[i] = read_int(); } int s = 0; for (int i = 0; i < n; i++) { s += a[i] * b[i]; } print_int(s); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int s = 0; for (int i = 0; i < n; i++) { s += a[i] * read_int(); } print_int(s); }",
+            ],
+            inputs: InputSpec::TwoIntArrays { max_len: 20, lo: -9, hi: 9 },
+        },
+        ProblemSpec {
+            name: "merge_sorted_median",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; int b[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { b[i] = read_int(); } int m[60]; int i = 0; int j = 0; int k = 0; for (int x = 0; x < n; x++) { for (int y = x + 1; y < n; y++) { if (a[y] < a[x]) { int t = a[x]; a[x] = a[y]; a[y] = t; } if (b[y] < b[x]) { int t = b[x]; b[x] = b[y]; b[y] = t; } } } while (i < n && j < n) { if (a[i] <= b[j]) { m[k] = a[i]; i++; } else { m[k] = b[j]; j++; } k++; } while (i < n) { m[k] = a[i]; i++; k++; } while (j < n) { m[k] = b[j]; j++; k++; } print_int(m[n]); }",
+                "void main() { int n = read_int(); int all[60]; for (int i = 0; i < 2 * n; i++) { all[i] = read_int(); } for (int i = 0; i < 2 * n; i++) { for (int j = i + 1; j < 2 * n; j++) { if (all[j] < all[i]) { int t = all[i]; all[i] = all[j]; all[j] = t; } } } print_int(all[n]); }",
+            ],
+            inputs: InputSpec::TwoIntArrays { max_len: 15, lo: -20, hi: 20 },
+        },
+        ProblemSpec {
+            name: "equilibrium_index",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; int total = 0; for (int i = 0; i < n; i++) { a[i] = read_int(); total += a[i]; } int left = 0; for (int i = 0; i < n; i++) { if (left == total - left - a[i]) { print_int(i); return; } left += a[i]; } print_int(-1); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { int l = 0; int r = 0; for (int j = 0; j < i; j++) { l += a[j]; } for (int j = i + 1; j < n; j++) { r += a[j]; } if (l == r) { print_int(i); return; } } print_int(-1); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "leaders_count",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int c = 0; int m = -1000000; for (int i = n - 1; i >= 0; i--) { if (a[i] > m) { c++; m = a[i]; } } print_int(c); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int c = 0; for (int i = 0; i < n; i++) { int lead = 1; for (int j = i + 1; j < n; j++) { if (a[j] >= a[i]) { lead = 0; break; } } c += lead; } print_int(c); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "majority_element",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int best = a[0]; int bc = 0; for (int i = 0; i < n; i++) { int c = 0; for (int j = 0; j < n; j++) { if (a[j] == a[i]) { c++; } } if (c > bc || c == bc && a[i] < best) { bc = c; best = a[i]; } } print_int(best); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int cnt[6]; for (int i = 0; i < 6; i++) { cnt[i] = 0; } for (int i = 0; i < n; i++) { cnt[a[i]] = cnt[a[i]] + 1; } int best = 0; for (int v = 5; v >= 0; v--) { if (cnt[v] >= cnt[best]) { best = v; } } print_int(best); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 25, lo: 0, hi: 5 },
+        },
+        ProblemSpec {
+            name: "rotate_sum_weighted",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int k = a[0] % n; if (k < 0) { k += n; } int s = 0; for (int i = 0; i < n; i++) { s += a[(i + k) % n] * i; } print_int(s); }",
+                "void main() { int n = read_int(); int a[30]; int b[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int k = a[0] % n; if (k < 0) { k = k + n; } for (int i = 0; i < n; i++) { b[i] = a[(i + k) % n]; } int s = 0; for (int i = 0; i < n; i++) { s += b[i] * i; } print_int(s); }",
+            ],
+            inputs: ARR_POS,
+        },
+        ProblemSpec {
+            name: "count_inversions",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int c = 0; for (int i = 0; i < n; i++) { for (int j = i + 1; j < n; j++) { if (a[i] > a[j]) { c++; } } } print_int(c); }",
+                "void main() { int n = read_int(); int a[30]; int i = 0; while (i < n) { a[i] = read_int(); i++; } int c = 0; i = 1; while (i < n) { int j = 0; while (j < i) { if (a[j] > a[i]) { c = c + 1; } j++; } i++; } print_int(c); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "is_sorted",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int ok = 1; for (int i = 1; i < n; i++) { if (a[i] < a[i - 1]) { ok = 0; break; } } print_int(ok); }",
+                "void main() { int n = read_int(); int prev = read_int(); int ok = 1; for (int i = 1; i < n; i++) { int v = read_int(); if (v < prev) { ok = 0; } prev = v; } print_int(ok); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 10, lo: 0, hi: 5 },
+        },
+        ProblemSpec {
+            name: "frequency_of_max",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int m = a[0]; for (int i = 1; i < n; i++) { if (a[i] > m) { m = a[i]; } } int c = 0; for (int i = 0; i < n; i++) { if (a[i] == m) { c++; } } print_int(c); }",
+                "void main() { int n = read_int(); int m = -1000000; int c = 0; for (int i = 0; i < n; i++) { int v = read_int(); if (v > m) { m = v; c = 1; } else { if (v == m) { c++; } } } print_int(c); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "alternating_sum",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { int v = read_int(); if (i % 2 == 0) { s += v; } else { s -= v; } } print_int(s); }",
+                "void main() { int n = read_int(); int s = 0; int sign = 1; for (int i = 0; i < n; i++) { s += sign * read_int(); sign = -sign; } print_int(s); }",
+            ],
+            inputs: ARR,
+        },
+        ProblemSpec {
+            name: "range_clamp_sum",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { int v = read_int(); if (v < 0) { v = 0; } if (v > 20) { v = 20; } s += v; } print_int(s); }",
+                "int clamp(int v) { if (v < 0) { return 0; } if (v > 20) { return 20; } return v; } void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { s += clamp(read_int()); } print_int(s); }",
+            ],
+            inputs: ARR,
+        },
+    ]
+}

@@ -1,0 +1,217 @@
+//! Problems 52–77: dynamic programming and matrix tasks.
+
+use crate::spec::{InputSpec, ProblemSpec};
+
+/// The DP and matrix problem specifications.
+pub fn specs() -> Vec<ProblemSpec> {
+    vec![
+        ProblemSpec {
+            name: "climb_stairs",
+            variants: &[
+                "void main() { int n = read_int(); int a = 1; int b = 1; for (int i = 0; i < n; i++) { int t = a + b; a = b; b = t; } print_int(a); }",
+                "void main() { int n = read_int(); int dp[60]; dp[0] = 1; dp[1] = 1; for (int i = 2; i <= n; i++) { dp[i] = dp[i - 1] + dp[i - 2]; } print_int(dp[n]); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 1, hi: 40 },
+        },
+        ProblemSpec {
+            name: "coin_change_ways",
+            variants: &[
+                "void main() { int amount = read_int(); int coins[3]; coins[0] = 1; coins[1] = 3; coins[2] = 5; int dp[200]; for (int i = 0; i <= amount; i++) { dp[i] = 0; } dp[0] = 1; for (int c = 0; c < 3; c++) { for (int v = coins[c]; v <= amount; v++) { dp[v] += dp[v - coins[c]]; } } print_int(dp[amount]); }",
+                "int ways(int amount, int maxc) { if (amount == 0) { return 1; } if (amount < 0 || maxc == 0) { return 0; } int c = 1; if (maxc == 2) { c = 3; } if (maxc == 3) { c = 5; } return ways(amount - c, maxc) + ways(amount, maxc - 1); } void main() { print_int(ways(read_int(), 3)); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 60 },
+        },
+        ProblemSpec {
+            name: "min_coins",
+            variants: &[
+                "void main() { int amount = read_int(); int dp[200]; dp[0] = 0; for (int v = 1; v <= amount; v++) { dp[v] = 1000000; if (v >= 1 && dp[v - 1] + 1 < dp[v]) { dp[v] = dp[v - 1] + 1; } if (v >= 4 && dp[v - 4] + 1 < dp[v]) { dp[v] = dp[v - 4] + 1; } if (v >= 7 && dp[v - 7] + 1 < dp[v]) { dp[v] = dp[v - 7] + 1; } } print_int(dp[amount]); }",
+                "void main() { int amount = read_int(); int dp[200]; dp[0] = 0; int v = 1; while (v <= amount) { int best = dp[v - 1] + 1; if (v >= 4) { int c = dp[v - 4] + 1; if (c < best) { best = c; } } if (v >= 7) { int c = dp[v - 7] + 1; if (c < best) { best = c; } } dp[v] = best; v++; } print_int(dp[amount]); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 150 },
+        },
+        ProblemSpec {
+            name: "lcs_length",
+            variants: &[
+                "void main() { int n = read_int(); int a[20]; int b[20]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { b[i] = read_int(); } int dp[441]; for (int i = 0; i <= n; i++) { for (int j = 0; j <= n; j++) { dp[i * (n + 1) + j] = 0; } } for (int i = 1; i <= n; i++) { for (int j = 1; j <= n; j++) { if (a[i - 1] == b[j - 1]) { dp[i * (n + 1) + j] = dp[(i - 1) * (n + 1) + j - 1] + 1; } else { int u = dp[(i - 1) * (n + 1) + j]; int l = dp[i * (n + 1) + j - 1]; if (u > l) { dp[i * (n + 1) + j] = u; } else { dp[i * (n + 1) + j] = l; } } } } print_int(dp[n * (n + 1) + n]); }",
+                "int lcs(int a[], int b[], int i, int j) { if (i < 0 || j < 0) { return 0; } if (a[i] == b[j]) { return lcs(a, b, i - 1, j - 1) + 1; } int x = lcs(a, b, i - 1, j); int y = lcs(a, b, i, j - 1); if (x > y) { return x; } return y; } void main() { int n = read_int(); int a[20]; int b[20]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { b[i] = read_int(); } print_int(lcs(a, b, n - 1, n - 1)); }",
+            ],
+            inputs: InputSpec::TwoIntArrays { max_len: 7, lo: 0, hi: 3 },
+        },
+        ProblemSpec {
+            name: "lis_length",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int dp[30]; int best = 0; for (int i = 0; i < n; i++) { dp[i] = 1; for (int j = 0; j < i; j++) { if (a[j] < a[i] && dp[j] + 1 > dp[i]) { dp[i] = dp[j] + 1; } } if (dp[i] > best) { best = dp[i]; } } print_int(best); }",
+                "int ending_at(int a[], int i) { int best = 1; for (int j = 0; j < i; j++) { if (a[j] < a[i]) { int c = ending_at(a, j) + 1; if (c > best) { best = c; } } } return best; } void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int best = 0; for (int i = 0; i < n; i++) { int c = ending_at(a, i); if (c > best) { best = c; } } print_int(best); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 12, lo: 0, hi: 30 },
+        },
+        ProblemSpec {
+            name: "edit_distance",
+            variants: &[
+                "void main() { int n = read_int(); int a[15]; int b[15]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { b[i] = read_int(); } int dp[256]; int w = n + 1; for (int i = 0; i <= n; i++) { dp[i * w] = i; dp[i] = i; } for (int i = 1; i <= n; i++) { for (int j = 1; j <= n; j++) { int cost = 1; if (a[i - 1] == b[j - 1]) { cost = 0; } int best = dp[(i - 1) * w + j - 1] + cost; int del = dp[(i - 1) * w + j] + 1; int ins = dp[i * w + j - 1] + 1; if (del < best) { best = del; } if (ins < best) { best = ins; } dp[i * w + j] = best; } } print_int(dp[n * w + n]); }",
+                "int min3(int a, int b, int c) { int m = a; if (b < m) { m = b; } if (c < m) { m = c; } return m; } int ed(int a[], int b[], int i, int j) { if (i == 0) { return j; } if (j == 0) { return i; } int cost = 1; if (a[i - 1] == b[j - 1]) { cost = 0; } return min3(ed(a, b, i - 1, j - 1) + cost, ed(a, b, i - 1, j) + 1, ed(a, b, i, j - 1) + 1); } void main() { int n = read_int(); int a[15]; int b[15]; for (int i = 0; i < n; i++) { a[i] = read_int(); } for (int i = 0; i < n; i++) { b[i] = read_int(); } print_int(ed(a, b, n, n)); }",
+            ],
+            inputs: InputSpec::TwoIntArrays { max_len: 5, lo: 0, hi: 3 },
+        },
+        ProblemSpec {
+            name: "subset_sum",
+            variants: &[
+                "void main() { int n = read_int(); int a[20]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int target = 15; int dp[200]; for (int i = 0; i <= target; i++) { dp[i] = 0; } dp[0] = 1; for (int i = 0; i < n; i++) { for (int v = target; v >= a[i]; v--) { if (dp[v - a[i]] == 1) { dp[v] = 1; } } } print_int(dp[target]); }",
+                "int can(int a[], int n, int i, int rem) { if (rem == 0) { return 1; } if (i >= n || rem < 0) { return 0; } if (can(a, n, i + 1, rem - a[i]) == 1) { return 1; } return can(a, n, i + 1, rem); } void main() { int n = read_int(); int a[20]; for (int i = 0; i < n; i++) { a[i] = read_int(); } print_int(can(a, n, 0, 15)); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 12, lo: 1, hi: 9 },
+        },
+        ProblemSpec {
+            name: "knapsack_01",
+            variants: &[
+                "void main() { int n = read_int(); int w[15]; int v[15]; for (int i = 0; i < n; i++) { w[i] = read_int(); } for (int i = 0; i < n; i++) { v[i] = read_int(); } int cap = 20; int dp[21]; for (int c = 0; c <= cap; c++) { dp[c] = 0; } for (int i = 0; i < n; i++) { for (int c = cap; c >= w[i]; c--) { int cand = dp[c - w[i]] + v[i]; if (cand > dp[c]) { dp[c] = cand; } } } print_int(dp[cap]); }",
+                "int best(int w[], int v[], int n, int i, int cap) { if (i >= n) { return 0; } int skip = best(w, v, n, i + 1, cap); if (w[i] > cap) { return skip; } int take = best(w, v, n, i + 1, cap - w[i]) + v[i]; if (take > skip) { return take; } return skip; } void main() { int n = read_int(); int w[15]; int v[15]; for (int i = 0; i < n; i++) { w[i] = read_int(); } for (int i = 0; i < n; i++) { v[i] = read_int(); } print_int(best(w, v, n, 0, 20)); }",
+            ],
+            inputs: InputSpec::TwoIntArrays { max_len: 10, lo: 1, hi: 12 },
+        },
+        ProblemSpec {
+            name: "rod_cutting",
+            variants: &[
+                "void main() { int n = read_int(); int price[11]; for (int i = 1; i <= 10; i++) { price[i] = i * 2 + i % 3; } int dp[60]; dp[0] = 0; for (int len = 1; len <= n; len++) { int b = 0; for (int cut = 1; cut <= 10 && cut <= len; cut++) { int cand = price[cut] + dp[len - cut]; if (cand > b) { b = cand; } } dp[len] = b; } print_int(dp[n]); }",
+                "int price(int i) { return i * 2 + i % 3; } int rod(int n) { if (n == 0) { return 0; } int b = 0; for (int cut = 1; cut <= 10 && cut <= n; cut++) { int cand = price(cut) + rod(n - cut); if (cand > b) { b = cand; } } return b; } void main() { print_int(rod(read_int())); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 14 },
+        },
+        ProblemSpec {
+            name: "grid_paths",
+            variants: &[
+                "void main() { int n = read_int(); int m = read_int(); int dp[150]; for (int j = 0; j < m; j++) { dp[j] = 1; } for (int i = 1; i < n; i++) { for (int j = 1; j < m; j++) { dp[j] += dp[j - 1]; } } print_int(dp[m - 1]); }",
+                "int paths(int i, int j) { if (i == 0 || j == 0) { return 1; } return paths(i - 1, j) + paths(i, j - 1); } void main() { int n = read_int(); int m = read_int(); print_int(paths(n - 1, m - 1)); }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 1, hi: 9 },
+        },
+        ProblemSpec {
+            name: "triangle_max_path",
+            variants: &[
+                "void main() { int rows = read_int(); int t[80]; int k = 0; for (int i = 0; i < rows; i++) { for (int j = 0; j <= i; j++) { t[k] = (k * 7 + 3) % 10; k++; } } int dp[80]; int base = rows * (rows - 1) / 2; for (int j = 0; j < rows; j++) { dp[j] = t[base + j]; } for (int i = rows - 2; i >= 0; i--) { int b2 = i * (i + 1) / 2; for (int j = 0; j <= i; j++) { int l = dp[j]; int r = dp[j + 1]; if (l > r) { dp[j] = t[b2 + j] + l; } else { dp[j] = t[b2 + j] + r; } } } print_int(dp[0]); }",
+                "int cell(int k) { return (k * 7 + 3) % 10; } int best(int rows, int i, int j) { int k = i * (i + 1) / 2 + j; if (i == rows - 1) { return cell(k); } int l = best(rows, i + 1, j); int r = best(rows, i + 1, j + 1); if (l > r) { return cell(k) + l; } return cell(k) + r; } void main() { int rows = read_int(); print_int(best(rows, 0, 0)); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 1, hi: 11 },
+        },
+        ProblemSpec {
+            name: "matrix_trace",
+            variants: &[
+                "void main() { int n = read_int(); int m[36]; for (int i = 0; i < n * n; i++) { m[i] = read_int(); } int s = 0; for (int i = 0; i < n; i++) { s += m[i * n + i]; } print_int(s); }",
+                "void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { int v = read_int(); if (i == j) { s += v; } } } print_int(s); }",
+            ],
+            inputs: InputSpec::IntMatrix { max_n: 6, lo: -9, hi: 9 },
+        },
+        ProblemSpec {
+            name: "matrix_transpose_diff",
+            variants: &[
+                "void main() { int n = read_int(); int m[36]; for (int i = 0; i < n * n; i++) { m[i] = read_int(); } int d = 0; for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { int x = m[i * n + j] - m[j * n + i]; if (x < 0) { x = -x; } d += x; } } print_int(d); }",
+                "int iabs(int x) { if (x < 0) { return -x; } return x; } void main() { int n = read_int(); int m[36]; for (int i = 0; i < n * n; i++) { m[i] = read_int(); } int d = 0; int i = 0; while (i < n) { int j = 0; while (j < n) { d += iabs(m[i * n + j] - m[j * n + i]); j++; } i++; } print_int(d); }",
+            ],
+            inputs: InputSpec::IntMatrix { max_n: 6, lo: 0, hi: 9 },
+        },
+        ProblemSpec {
+            name: "matrix_symmetric",
+            variants: &[
+                "void main() { int n = read_int(); int m[36]; for (int i = 0; i < n * n; i++) { m[i] = read_int(); } int sym = 1; for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { if (m[i * n + j] != m[j * n + i]) { sym = 0; } } } print_int(sym); }",
+                "void main() { int n = read_int(); int m[36]; for (int i = 0; i < n * n; i++) { m[i] = read_int(); } for (int i = 0; i < n; i++) { for (int j = i + 1; j < n; j++) { if (m[i * n + j] != m[j * n + i]) { print_int(0); return; } } } print_int(1); }",
+            ],
+            inputs: InputSpec::IntMatrix { max_n: 4, lo: 0, hi: 2 },
+        },
+        ProblemSpec {
+            name: "matrix_row_max_sum",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { int m = read_int(); for (int j = 1; j < n; j++) { int v = read_int(); if (v > m) { m = v; } } s += m; } print_int(s); }",
+                "void main() { int n = read_int(); int a[36]; for (int i = 0; i < n * n; i++) { a[i] = read_int(); } int s = 0; for (int i = 0; i < n; i++) { int m = a[i * n]; for (int j = 1; j < n; j++) { if (a[i * n + j] > m) { m = a[i * n + j]; } } s += m; } print_int(s); }",
+            ],
+            inputs: InputSpec::IntMatrix { max_n: 6, lo: -20, hi: 20 },
+        },
+        ProblemSpec {
+            name: "matrix_mult_corner",
+            variants: &[
+                "void main() { int n = read_int(); int a[36]; for (int i = 0; i < n * n; i++) { a[i] = read_int(); } int c = 0; for (int k = 0; k < n; k++) { c += a[k] * a[k * n]; } print_int(c); }",
+                "void main() { int n = read_int(); int a[36]; int i = 0; while (i < n * n) { a[i] = read_int(); i++; } int c = 0; int k = n - 1; while (k >= 0) { c = c + a[0 * n + k] * a[k * n + 0]; k--; } print_int(c); }",
+            ],
+            inputs: InputSpec::IntMatrix { max_n: 6, lo: -9, hi: 9 },
+        },
+        ProblemSpec {
+            name: "matrix_border_sum",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { int v = read_int(); if (i == 0 || i == n - 1 || j == 0 || j == n - 1) { s += v; } } } print_int(s); }",
+                "void main() { int n = read_int(); int a[36]; for (int i = 0; i < n * n; i++) { a[i] = read_int(); } int s = 0; for (int i = 0; i < n * n; i++) { int r = i / n; int c = i % n; if (r * c == 0 || r == n - 1 || c == n - 1) { s += a[i]; } } print_int(s); }",
+            ],
+            inputs: InputSpec::IntMatrix { max_n: 6, lo: -9, hi: 9 },
+        },
+        ProblemSpec {
+            name: "magic_square_check",
+            variants: &[
+                "void main() { int n = read_int(); int a[36]; for (int i = 0; i < n * n; i++) { a[i] = read_int(); } int target = 0; for (int j = 0; j < n; j++) { target += a[j]; } int ok = 1; for (int i = 0; i < n; i++) { int s = 0; for (int j = 0; j < n; j++) { s += a[i * n + j]; } if (s != target) { ok = 0; } } for (int j = 0; j < n; j++) { int s = 0; for (int i = 0; i < n; i++) { s += a[i * n + j]; } if (s != target) { ok = 0; } } print_int(ok); }",
+                "int rowsum(int a[], int n, int i) { int s = 0; for (int j = 0; j < n; j++) { s += a[i * n + j]; } return s; } int colsum(int a[], int n, int j) { int s = 0; for (int i = 0; i < n; i++) { s += a[i * n + j]; } return s; } void main() { int n = read_int(); int a[36]; for (int i = 0; i < n * n; i++) { a[i] = read_int(); } int t = rowsum(a, n, 0); for (int i = 0; i < n; i++) { if (rowsum(a, n, i) != t || colsum(a, n, i) != t) { print_int(0); return; } } print_int(1); }",
+            ],
+            inputs: InputSpec::IntMatrix { max_n: 3, lo: 0, hi: 3 },
+        },
+        ProblemSpec {
+            name: "pascal_row_sum",
+            variants: &[
+                "void main() { int n = read_int(); int row[40]; row[0] = 1; for (int i = 1; i <= n; i++) { for (int j = i; j >= 1; j--) { if (j == i) { row[j] = 1; } else { row[j] = row[j] + row[j - 1]; } } } int s = 0; for (int j = 0; j <= n; j++) { s += row[j] * row[j]; } print_int(s); }",
+                "int c(int n, int k) { if (k == 0 || k == n) { return 1; } return c(n - 1, k - 1) + c(n - 1, k); } void main() { int n = read_int(); int s = 0; for (int k = 0; k <= n; k++) { int v = c(n, k); s += v * v; } print_int(s); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 11 },
+        },
+        ProblemSpec {
+            name: "catalan",
+            variants: &[
+                "void main() { int n = read_int(); int dp[20]; dp[0] = 1; for (int i = 1; i <= n; i++) { dp[i] = 0; for (int j = 0; j < i; j++) { dp[i] += dp[j] * dp[i - 1 - j]; } } print_int(dp[n]); }",
+                "int cat(int n) { if (n == 0) { return 1; } int s = 0; for (int j = 0; j < n; j++) { s += cat(j) * cat(n - 1 - j); } return s; } void main() { print_int(cat(read_int())); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 9 },
+        },
+        ProblemSpec {
+            name: "hanoi_moves",
+            variants: &[
+                "void main() { int n = read_int(); int moves = 1; for (int i = 0; i < n; i++) { moves *= 2; } print_int(moves - 1); }",
+                "int hanoi(int n) { if (n == 0) { return 0; } return 2 * hanoi(n - 1) + 1; } void main() { print_int(hanoi(read_int())); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 25 },
+        },
+        ProblemSpec {
+            name: "josephus",
+            variants: &[
+                "void main() { int n = read_int(); int k = read_int(); int r = 0; for (int i = 2; i <= n; i++) { r = (r + k) % i; } print_int(r + 1); }",
+                "int jos(int n, int k) { if (n == 1) { return 0; } return (jos(n - 1, k) + k) % n; } void main() { int n = read_int(); int k = read_int(); print_int(jos(n, k) + 1); }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 1, hi: 30 },
+        },
+        ProblemSpec {
+            name: "partition_count",
+            variants: &[
+                "void main() { int n = read_int(); int dp[40]; dp[0] = 1; for (int i = 1; i <= n; i++) { dp[i] = 0; } for (int part = 1; part <= n; part++) { for (int v = part; v <= n; v++) { dp[v] += dp[v - part]; } } print_int(dp[n]); }",
+                "int p(int n, int maxp) { if (n == 0) { return 1; } if (maxp == 0) { return 0; } if (maxp > n) { return p(n, n); } return p(n - maxp, maxp) + p(n, maxp - 1); } void main() { int n = read_int(); print_int(p(n, n)); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 25 },
+        },
+        ProblemSpec {
+            name: "longest_plateau",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int best = 1; int cur = 1; for (int i = 1; i < n; i++) { if (a[i] == a[i - 1]) { cur++; } else { cur = 1; } if (cur > best) { best = cur; } } print_int(best); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int best = 1; for (int i = 0; i < n; i++) { int len = 1; int j = i + 1; while (j < n && a[j] == a[i]) { len++; j++; } if (len > best) { best = len; } } print_int(best); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 25, lo: 0, hi: 2 },
+        },
+        ProblemSpec {
+            name: "max_gap",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int g = 0; for (int i = 1; i < n; i++) { int d = a[i] - a[i - 1]; if (d < 0) { d = -d; } if (d > g) { g = d; } } print_int(g); }",
+                "int iabs(int x) { if (x >= 0) { return x; } return -x; } void main() { int n = read_int(); int prev = read_int(); int g = 0; for (int i = 1; i < n; i++) { int v = read_int(); int d = iabs(v - prev); if (d > g) { g = d; } prev = v; } print_int(g); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 25, lo: -50, hi: 50 },
+        },
+        ProblemSpec {
+            name: "stock_profit",
+            variants: &[
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int minp = a[0]; int best = 0; for (int i = 1; i < n; i++) { if (a[i] - minp > best) { best = a[i] - minp; } if (a[i] < minp) { minp = a[i]; } } print_int(best); }",
+                "void main() { int n = read_int(); int a[30]; for (int i = 0; i < n; i++) { a[i] = read_int(); } int best = 0; for (int i = 0; i < n; i++) { for (int j = i + 1; j < n; j++) { if (a[j] - a[i] > best) { best = a[j] - a[i]; } } } print_int(best); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 25, lo: 1, hi: 99 },
+        },
+    ]
+}

@@ -1,0 +1,221 @@
+//! Problems 0–25: arithmetic and number theory, in the spirit of the easy
+//! tier of an online judge (the POJ-104 classes are of this kind).
+//!
+//! Every problem provides at least two hand-written solution variants; all
+//! variants of a problem implement the same reference oracle.
+
+use crate::spec::{InputSpec, ProblemSpec};
+
+/// The math problem specifications.
+pub fn specs() -> Vec<ProblemSpec> {
+    vec![
+        ProblemSpec {
+            name: "sum_a_b",
+            variants: &[
+                "void main() { int a = read_int(); int b = read_int(); print_int(a + b); }",
+                "int add(int x, int y) { return x + y; } void main() { int a = read_int(); int b = read_int(); print_int(add(a, b)); }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: -1000, hi: 1000 },
+        },
+        ProblemSpec {
+            name: "gcd",
+            variants: &[
+                "void main() { int a = read_int(); int b = read_int(); while (b != 0) { int t = a % b; a = b; b = t; } print_int(a); }",
+                "int gcd(int a, int b) { if (b == 0) { return a; } return gcd(b, a % b); } void main() { print_int(gcd(read_int(), read_int())); }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 1, hi: 5000 },
+        },
+        ProblemSpec {
+            name: "lcm",
+            variants: &[
+                "void main() { int a = read_int(); int b = read_int(); int x = a; int y = b; while (y != 0) { int t = x % y; x = y; y = t; } print_int(a / x * b); }",
+                "int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; } return a; } void main() { int a = read_int(); int b = read_int(); print_int(a / gcd(a, b) * b); }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 1, hi: 300 },
+        },
+        ProblemSpec {
+            name: "factorial",
+            variants: &[
+                "void main() { int n = read_int(); int f = 1; for (int i = 2; i <= n; i++) { f = f * i; } print_int(f); }",
+                "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); } void main() { print_int(fact(read_int())); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 18 },
+        },
+        ProblemSpec {
+            name: "fibonacci",
+            variants: &[
+                "void main() { int n = read_int(); int a = 0; int b = 1; for (int i = 0; i < n; i++) { int t = a + b; a = b; b = t; } print_int(a); }",
+                "void main() { int n = read_int(); if (n == 0) { print_int(0); return; } int p = 0; int c = 1; int i = 1; while (i < n) { int t = p + c; p = c; c = t; i++; } print_int(c); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 40 },
+        },
+        ProblemSpec {
+            name: "power",
+            variants: &[
+                "void main() { int b = read_int(); int e = read_int(); int r = 1; for (int i = 0; i < e; i++) { r = r * b; } print_int(r); }",
+                "void main() { int b = read_int(); int e = read_int(); int r = 1; int base = b; while (e > 0) { if (e % 2 == 1) { r = r * base; } base = base * base; e = e / 2; } print_int(r); }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 0, hi: 9 },
+        },
+        ProblemSpec {
+            name: "is_prime",
+            variants: &[
+                "void main() { int n = read_int(); if (n < 2) { print_int(0); return; } for (int i = 2; i * i <= n; i++) { if (n % i == 0) { print_int(0); return; } } print_int(1); }",
+                "void main() { int n = read_int(); int prime = 1; if (n < 2) { prime = 0; } int i = 2; while (i * i <= n) { if (n % i == 0) { prime = 0; break; } i++; } print_int(prime); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 10000 },
+        },
+        ProblemSpec {
+            name: "sum_digits",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; while (n > 0) { s += n % 10; n = n / 10; } print_int(s); }",
+                "int digits(int n) { if (n == 0) { return 0; } return n % 10 + digits(n / 10); } void main() { print_int(digits(read_int())); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 1000000 },
+        },
+        ProblemSpec {
+            name: "reverse_number",
+            variants: &[
+                "void main() { int n = read_int(); int r = 0; while (n > 0) { r = r * 10 + n % 10; n = n / 10; } print_int(r); }",
+                "void main() { int n = read_int(); int r = 0; for (; n > 0; n /= 10) { r = r * 10 + n % 10; } print_int(r); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 999999 },
+        },
+        ProblemSpec {
+            name: "palindrome_number",
+            variants: &[
+                "void main() { int n = read_int(); int m = n; int r = 0; while (m > 0) { r = r * 10 + m % 10; m = m / 10; } if (r == n) { print_int(1); } else { print_int(0); } }",
+                "int rev(int n) { int r = 0; while (n > 0) { r = r * 10 + n % 10; n /= 10; } return r; } void main() { int n = read_int(); print_int(rev(n) == n); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 99999 },
+        },
+        ProblemSpec {
+            name: "collatz_steps",
+            variants: &[
+                "void main() { int n = read_int(); int steps = 0; while (n != 1) { if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; } steps++; } print_int(steps); }",
+                "void main() { int n = read_int(); int c = 0; while (n > 1) { if (n % 2 == 1) { n = 3 * n + 1; } else { n = n / 2; } c = c + 1; } print_int(c); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 1, hi: 500 },
+        },
+        ProblemSpec {
+            name: "count_divisors",
+            variants: &[
+                "void main() { int n = read_int(); int c = 0; for (int i = 1; i <= n; i++) { if (n % i == 0) { c++; } } print_int(c); }",
+                "void main() { int n = read_int(); int c = 0; int i = 1; while (i * i <= n) { if (n % i == 0) { c += 2; if (i * i == n) { c--; } } i++; } print_int(c); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 1, hi: 3000 },
+        },
+        ProblemSpec {
+            name: "sum_divisors",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 1; i <= n; i++) { if (n % i == 0) { s += i; } } print_int(s); }",
+                "void main() { int n = read_int(); int s = 0; int i = 1; do { if (n % i == 0) { s = s + i; } i++; } while (i <= n); print_int(s); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 1, hi: 2000 },
+        },
+        ProblemSpec {
+            name: "perfect_number",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 1; i < n; i++) { if (n % i == 0) { s += i; } } print_int(s == n); }",
+                "void main() { int n = read_int(); int s = 0; int i = 1; while (i < n) { if (n % i == 0) { s = s + i; } i = i + 1; } if (s == n) { print_int(1); } else { print_int(0); } }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 1, hi: 2000 },
+        },
+        ProblemSpec {
+            name: "binomial",
+            variants: &[
+                "void main() { int n = read_int(); int k = read_int(); if (k > n) { print_int(0); return; } int r = 1; for (int i = 1; i <= k; i++) { r = r * (n - k + i) / i; } print_int(r); }",
+                "int c(int n, int k) { if (k > n) { return 0; } if (k == 0 || k == n) { return 1; } return c(n - 1, k - 1) + c(n - 1, k); } void main() { int n = read_int(); int k = read_int(); print_int(c(n, k)); }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 0, hi: 12 },
+        },
+        ProblemSpec {
+            name: "digital_root",
+            variants: &[
+                "void main() { int n = read_int(); while (n >= 10) { int s = 0; int m = n; while (m > 0) { s += m % 10; m /= 10; } n = s; } print_int(n); }",
+                "void main() { int n = read_int(); if (n == 0) { print_int(0); return; } int r = n % 9; if (r == 0) { print_int(9); } else { print_int(r); } }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 1000000 },
+        },
+        ProblemSpec {
+            name: "isqrt",
+            variants: &[
+                "void main() { int n = read_int(); int r = 0; while ((r + 1) * (r + 1) <= n) { r++; } print_int(r); }",
+                "void main() { int n = read_int(); int lo = 0; int hi = n + 1; while (hi - lo > 1) { int mid = (lo + hi) / 2; if (mid * mid <= n) { lo = mid; } else { hi = mid; } } print_int(lo); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 100000 },
+        },
+        ProblemSpec {
+            name: "totient",
+            variants: &[
+                "int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; } return a; } void main() { int n = read_int(); int c = 0; for (int i = 1; i <= n; i++) { if (gcd(i, n) == 1) { c++; } } print_int(c); }",
+                "void main() { int n = read_int(); int result = n; int m = n; for (int p = 2; p * p <= m; p++) { if (m % p == 0) { while (m % p == 0) { m /= p; } result = result - result / p; } } if (m > 1) { result = result - result / m; } print_int(result); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 1, hi: 500 },
+        },
+        ProblemSpec {
+            name: "modpow",
+            variants: &[
+                "void main() { int b = read_int(); int e = read_int(); int m = read_int(); int r = 1; b = b % m; while (e > 0) { if (e % 2 == 1) { r = r * b % m; } b = b * b % m; e /= 2; } print_int(r); }",
+                "void main() { int b = read_int(); int e = read_int(); int m = read_int(); int r = 1; for (int i = 0; i < e; i++) { r = r * b % m; } print_int(r); }",
+            ],
+            inputs: InputSpec::Ints { count: 3, lo: 1, hi: 40 },
+        },
+        ProblemSpec {
+            name: "sum_to_n",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 1; i <= n; i++) { s += i; } print_int(s); }",
+                "void main() { int n = read_int(); print_int(n * (n + 1) / 2); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 10000 },
+        },
+        ProblemSpec {
+            name: "sum_of_squares",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 1; i <= n; i++) { s += i * i; } print_int(s); }",
+                "void main() { int n = read_int(); print_int(n * (n + 1) * (2 * n + 1) / 6); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 1000 },
+        },
+        ProblemSpec {
+            name: "count_primes_below",
+            variants: &[
+                "void main() { int n = read_int(); int c = 0; for (int k = 2; k < n; k++) { int p = 1; for (int i = 2; i * i <= k; i++) { if (k % i == 0) { p = 0; break; } } c += p; } print_int(c); }",
+                "void main() { int n = read_int(); if (n <= 2) { print_int(0); return; } int sieve[1000]; for (int i = 0; i < n; i++) { sieve[i] = 1; } int c = 0; for (int i = 2; i < n; i++) { if (sieve[i] == 1) { c++; for (int j = i + i; j < n; j += i) { sieve[j] = 0; } } } print_int(c); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 900 },
+        },
+        ProblemSpec {
+            name: "nth_prime",
+            variants: &[
+                "void main() { int n = read_int(); int found = 0; int k = 1; while (found < n) { k++; int p = 1; for (int i = 2; i * i <= k; i++) { if (k % i == 0) { p = 0; break; } } found += p; } print_int(k); }",
+                "int isp(int k) { if (k < 2) { return 0; } for (int i = 2; i * i <= k; i++) { if (k % i == 0) { return 0; } } return 1; } void main() { int n = read_int(); int k = 1; int c = 0; while (c < n) { k++; c += isp(k); } print_int(k); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 1, hi: 60 },
+        },
+        ProblemSpec {
+            name: "max_of_three",
+            variants: &[
+                "void main() { int a = read_int(); int b = read_int(); int c = read_int(); int m = a; if (b > m) { m = b; } if (c > m) { m = c; } print_int(m); }",
+                "int max2(int x, int y) { if (x > y) { return x; } return y; } void main() { int a = read_int(); int b = read_int(); int c = read_int(); print_int(max2(max2(a, b), c)); }",
+            ],
+            inputs: InputSpec::Ints { count: 3, lo: -1000, hi: 1000 },
+        },
+        ProblemSpec {
+            name: "tribonacci",
+            variants: &[
+                "void main() { int n = read_int(); int a = 0; int b = 1; int c = 1; for (int i = 0; i < n; i++) { int t = a + b + c; a = b; b = c; c = t; } print_int(a); }",
+                "void main() { int n = read_int(); int v[60]; v[0] = 0; v[1] = 1; v[2] = 1; for (int i = 3; i < n + 3; i++) { v[i] = v[i - 1] + v[i - 2] + v[i - 3]; } print_int(v[n]); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 30 },
+        },
+        ProblemSpec {
+            name: "leap_years_between",
+            variants: &[
+                "void main() { int a = read_int(); int b = read_int(); int c = 0; for (int y = a; y <= b; y++) { if (y % 4 == 0 && y % 100 != 0 || y % 400 == 0) { c++; } } print_int(c); }",
+                "int leap(int y) { if (y % 400 == 0) { return 1; } if (y % 100 == 0) { return 0; } if (y % 4 == 0) { return 1; } return 0; } void main() { int a = read_int(); int b = read_int(); int c = 0; int y = a; while (y <= b) { c += leap(y); y++; } print_int(c); }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 1900, hi: 2100 },
+        },
+    ]
+}

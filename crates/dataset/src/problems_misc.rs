@@ -1,0 +1,224 @@
+//! Problems 78–103: bit manipulation, character/string processing (strings
+//! travel as arrays of character codes), and floating-point tasks.
+
+use crate::spec::{InputSpec, ProblemSpec};
+
+const CHARS: InputSpec = InputSpec::IntArray {
+    max_len: 20,
+    lo: 97,
+    hi: 122,
+};
+
+/// The miscellaneous problem specifications.
+pub fn specs() -> Vec<ProblemSpec> {
+    vec![
+        ProblemSpec {
+            name: "popcount",
+            variants: &[
+                "void main() { int n = read_int(); int c = 0; while (n > 0) { c += n & 1; n = n >> 1; } print_int(c); }",
+                "void main() { int n = read_int(); int c = 0; while (n != 0) { n = n & (n - 1); c++; } print_int(c); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 1000000 },
+        },
+        ProblemSpec {
+            name: "parity",
+            variants: &[
+                "void main() { int n = read_int(); int p = 0; while (n > 0) { p = p ^ (n & 1); n >>= 1; } print_int(p); }",
+                "void main() { int n = read_int(); int c = 0; while (n > 0) { c += n & 1; n = n / 2; } print_int(c % 2); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 1000000 },
+        },
+        ProblemSpec {
+            name: "is_power_of_two",
+            variants: &[
+                "void main() { int n = read_int(); if (n > 0 && (n & (n - 1)) == 0) { print_int(1); } else { print_int(0); } }",
+                "void main() { int n = read_int(); if (n <= 0) { print_int(0); return; } while (n % 2 == 0) { n /= 2; } print_int(n == 1); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 5000 },
+        },
+        ProblemSpec {
+            name: "hamming_distance",
+            variants: &[
+                "void main() { int a = read_int(); int b = read_int(); int x = a ^ b; int c = 0; while (x > 0) { c += x & 1; x >>= 1; } print_int(c); }",
+                "void main() { int a = read_int(); int b = read_int(); int c = 0; for (int i = 0; i < 30; i++) { if ((a >> i & 1) != (b >> i & 1)) { c++; } } print_int(c); }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 0, hi: 1000000 },
+        },
+        ProblemSpec {
+            name: "binary_digits",
+            variants: &[
+                "void main() { int n = read_int(); int d = 0; while (n > 0) { d++; n >>= 1; } print_int(d); }",
+                "void main() { int n = read_int(); int d = 0; int p = 1; while (p <= n) { p *= 2; d++; } print_int(d); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 1, hi: 1000000 },
+        },
+        ProblemSpec {
+            name: "swap_bits_value",
+            variants: &[
+                "void main() { int n = read_int(); int lo = n & 15; int hi = n >> 4 & 15; print_int(lo * 16 + hi); }",
+                "void main() { int n = read_int(); print_int((n & 15) * 16 + (n / 16 & 15)); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 255 },
+        },
+        ProblemSpec {
+            name: "xor_checksum",
+            variants: &[
+                "void main() { int n = read_int(); int x = 0; for (int i = 0; i < n; i++) { x ^= read_int(); } print_int(x); }",
+                "void main() { int n = read_int(); int x = 0; int i = 0; while (i < n) { int v = read_int(); x = x ^ v; i = i + 1; } print_int(x); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 25, lo: 0, hi: 255 },
+        },
+        ProblemSpec {
+            name: "gray_code",
+            variants: &[
+                "void main() { int n = read_int(); print_int(n ^ (n >> 1)); }",
+                "void main() { int n = read_int(); int g = n; g = g ^ (n / 2); print_int(g); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 100000 },
+        },
+        ProblemSpec {
+            name: "string_palindrome",
+            variants: &[
+                "void main() { int n = read_int(); int s[30]; for (int i = 0; i < n; i++) { s[i] = read_int(); } int ok = 1; for (int i = 0; i < n / 2; i++) { if (s[i] != s[n - 1 - i]) { ok = 0; } } print_int(ok); }",
+                "void main() { int n = read_int(); int s[30]; for (int i = 0; i < n; i++) { s[i] = read_int(); } int i = 0; int j = n - 1; while (i < j) { if (s[i] != s[j]) { print_int(0); return; } i++; j--; } print_int(1); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 15, lo: 97, hi: 99 },
+        },
+        ProblemSpec {
+            name: "count_vowels",
+            variants: &[
+                "void main() { int n = read_int(); int c = 0; for (int i = 0; i < n; i++) { int ch = read_int(); if (ch == 97 || ch == 101 || ch == 105 || ch == 111 || ch == 117) { c++; } } print_int(c); }",
+                "int vowel(int ch) { if (ch == 97) { return 1; } if (ch == 101) { return 1; } if (ch == 105) { return 1; } if (ch == 111) { return 1; } if (ch == 117) { return 1; } return 0; } void main() { int n = read_int(); int c = 0; for (int i = 0; i < n; i++) { c += vowel(read_int()); } print_int(c); }",
+            ],
+            inputs: CHARS,
+        },
+        ProblemSpec {
+            name: "caesar_checksum",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { int ch = read_int(); int e = (ch - 97 + 3) % 26 + 97; s += e * (i + 1); } print_int(s); }",
+                "int enc(int ch) { return (ch - 94) % 26 + 97; } void main() { int n = read_int(); int s = 0; for (int i = 0; i < n; i++) { s += enc(read_int()) * (i + 1); } print_int(s); }",
+            ],
+            inputs: CHARS,
+        },
+        ProblemSpec {
+            name: "run_length_longest",
+            variants: &[
+                "void main() { int n = read_int(); int s[30]; for (int i = 0; i < n; i++) { s[i] = read_int(); } int best = 1; int cur = 1; for (int i = 1; i < n; i++) { if (s[i] == s[i - 1]) { cur++; } else { cur = 1; } if (cur > best) { best = cur; } } print_int(best); }",
+                "void main() { int n = read_int(); int prev = read_int(); int best = 1; int cur = 1; for (int i = 1; i < n; i++) { int v = read_int(); if (v == prev) { cur++; if (cur > best) { best = cur; } } else { cur = 1; } prev = v; } print_int(best); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 25, lo: 97, hi: 99 },
+        },
+        ProblemSpec {
+            name: "char_mode",
+            variants: &[
+                "void main() { int n = read_int(); int freq[26]; for (int i = 0; i < 26; i++) { freq[i] = 0; } for (int i = 0; i < n; i++) { int ch = read_int(); freq[ch - 97]++; } int best = 0; for (int i = 1; i < 26; i++) { if (freq[i] > freq[best]) { best = i; } } print_int(best + 97); }",
+                "void main() { int n = read_int(); int s[30]; for (int i = 0; i < n; i++) { s[i] = read_int(); } int bc = 0; int bv = 200; for (int i = 0; i < n; i++) { int c = 0; for (int j = 0; j < n; j++) { if (s[j] == s[i]) { c++; } } if (c > bc || c == bc && s[i] < bv) { bc = c; bv = s[i]; } } print_int(bv); }",
+            ],
+            inputs: CHARS,
+        },
+        ProblemSpec {
+            name: "anagram_check",
+            variants: &[
+                "void main() { int n = read_int(); int fa[26]; int fb[26]; for (int i = 0; i < 26; i++) { fa[i] = 0; fb[i] = 0; } for (int i = 0; i < n; i++) { int ch = read_int(); fa[ch - 97]++; } for (int i = 0; i < n; i++) { int ch = read_int(); fb[ch - 97]++; } for (int i = 0; i < 26; i++) { if (fa[i] != fb[i]) { print_int(0); return; } } print_int(1); }",
+                "void main() { int n = read_int(); int d[26]; for (int i = 0; i < 26; i++) { d[i] = 0; } for (int i = 0; i < n; i++) { int ch = read_int(); d[ch - 97]++; } for (int i = 0; i < n; i++) { int ch = read_int(); d[ch - 97]--; } int ok = 1; for (int i = 0; i < 26; i++) { if (d[i] != 0) { ok = 0; } } print_int(ok); }",
+            ],
+            inputs: InputSpec::TwoIntArrays { max_len: 15, lo: 97, hi: 101 },
+        },
+        ProblemSpec {
+            name: "char_distinct_pairs",
+            variants: &[
+                "void main() { int n = read_int(); int s[30]; for (int i = 0; i < n; i++) { s[i] = read_int(); } int c = 0; for (int i = 0; i < n; i++) { for (int j = i + 1; j < n; j++) { if (s[i] != s[j]) { c++; } } } print_int(c); }",
+                "void main() { int n = read_int(); int freq[26]; for (int i = 0; i < 26; i++) { freq[i] = 0; } for (int i = 0; i < n; i++) { int ch = read_int(); freq[ch - 97]++; } int same = 0; for (int i = 0; i < 26; i++) { same += freq[i] * (freq[i] - 1) / 2; } print_int(n * (n - 1) / 2 - same); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 20, lo: 97, hi: 100 },
+        },
+        ProblemSpec {
+            name: "first_unique_char",
+            variants: &[
+                "void main() { int n = read_int(); int s[30]; for (int i = 0; i < n; i++) { s[i] = read_int(); } for (int i = 0; i < n; i++) { int unique = 1; for (int j = 0; j < n; j++) { if (j != i && s[j] == s[i]) { unique = 0; break; } } if (unique == 1) { print_int(s[i]); return; } } print_int(-1); }",
+                "void main() { int n = read_int(); int s[30]; int freq[26]; for (int i = 0; i < 26; i++) { freq[i] = 0; } for (int i = 0; i < n; i++) { s[i] = read_int(); freq[s[i] - 97]++; } for (int i = 0; i < n; i++) { if (freq[s[i] - 97] == 1) { print_int(s[i]); return; } } print_int(-1); }",
+            ],
+            inputs: InputSpec::IntArray { max_len: 18, lo: 97, hi: 100 },
+        },
+        ProblemSpec {
+            name: "float_mean",
+            variants: &[
+                "void main() { int n = read_int(); float s = 0.0; for (int i = 0; i < n; i++) { s = s + read_float(); } print_float(s / (float)n); }",
+                "void main() { int n = read_int(); float s = 0.0; int i = 0; while (i < n) { s = s + read_float(); i++; } print_float(s / (float)n); }",
+            ],
+            inputs: InputSpec::FloatArray { max_len: 15, lo: -10.0, hi: 10.0 },
+        },
+        ProblemSpec {
+            name: "float_max",
+            variants: &[
+                "void main() { int n = read_int(); float m = read_float(); for (int i = 1; i < n; i++) { float v = read_float(); if (v > m) { m = v; } } print_float(m); }",
+                "void main() { int n = read_int(); float a[20]; for (int i = 0; i < n; i++) { a[i] = read_float(); } float m = a[0]; int i = 1; while (i < n) { if (a[i] > m) { m = a[i]; } i++; } print_float(m); }",
+            ],
+            inputs: InputSpec::FloatArray { max_len: 15, lo: -100.0, hi: 100.0 },
+        },
+        ProblemSpec {
+            name: "dist2d",
+            variants: &[
+                "void main() { float x1 = read_float(); float y1 = read_float(); float x2 = read_float(); float y2 = read_float(); float dx = x1 - x2; float dy = y1 - y2; print_float(dx * dx + dy * dy); }",
+                "float sq(float v) { return v * v; } void main() { float x1 = read_float(); float y1 = read_float(); float x2 = read_float(); float y2 = read_float(); print_float(sq(x1 - x2) + sq(y1 - y2)); }",
+            ],
+            inputs: InputSpec::Floats { count: 4, lo: -50.0, hi: 50.0 },
+        },
+        ProblemSpec {
+            name: "polynomial_eval",
+            variants: &[
+                "void main() { float x = read_float(); print_float(((2.0 * x + 3.0) * x - 1.0) * x + 5.0); }",
+                "void main() { float x = read_float(); float r = 2.0; r = r * x + 3.0; r = r * x - 1.0; r = r * x + 5.0; print_float(r); }",
+            ],
+            inputs: InputSpec::Floats { count: 1, lo: -5.0, hi: 5.0 },
+        },
+        ProblemSpec {
+            name: "celsius_to_fahrenheit_sum",
+            variants: &[
+                "void main() { int n = read_int(); float s = 0.0; for (int i = 0; i < n; i++) { float c = read_float(); s = s + (c * 9.0 / 5.0 + 32.0); } print_float(s); }",
+                "float conv(float c) { return c * 9.0 / 5.0 + 32.0; } void main() { int n = read_int(); float s = 0.0; for (int i = 0; i < n; i++) { s = s + conv(read_float()); } print_float(s); }",
+            ],
+            inputs: InputSpec::FloatArray { max_len: 12, lo: -40.0, hi: 40.0 },
+        },
+        ProblemSpec {
+            name: "compound_interest",
+            variants: &[
+                "void main() { float p = read_float(); int years = read_int(); float r = 1.05; for (int i = 0; i < years; i++) { p = p * r; } print_float(p); }",
+                "void main() { float p = read_float(); int years = read_int(); int i = 0; while (i < years) { p = p * 1.05; i++; } print_float(p); }",
+            ],
+            inputs: InputSpec::Floats { count: 2, lo: 1.0, hi: 20.0 },
+        },
+        ProblemSpec {
+            name: "newton_sqrt_steps",
+            variants: &[
+                "void main() { float x = read_float(); float g = x; for (int i = 0; i < 20; i++) { g = (g + x / g) / 2.0; } print_float(g * g); }",
+                "void main() { float x = read_float(); float g = x; int i = 0; while (i < 20) { g = (g + x / g) * 0.5; i++; } print_float(g * g); }",
+            ],
+            inputs: InputSpec::Floats { count: 1, lo: 1.0, hi: 1000.0 },
+        },
+        ProblemSpec {
+            name: "weighted_average",
+            variants: &[
+                "void main() { int n = read_int(); float vs = 0.0; float ws = 0.0; for (int i = 0; i < n; i++) { float v = read_float(); float w = (float)(i + 1); vs = vs + v * w; ws = ws + w; } print_float(vs / ws); }",
+                "void main() { int n = read_int(); float vs = 0.0; float ws = 0.0; int i = 0; while (i < n) { vs = vs + read_float() * (float)(i + 1); ws = ws + (float)(i + 1); i++; } print_float(vs / ws); }",
+            ],
+            inputs: InputSpec::FloatArray { max_len: 12, lo: 0.0, hi: 10.0 },
+        },
+        ProblemSpec {
+            name: "clock_angle",
+            variants: &[
+                "void main() { int h = read_int(); int m = read_int(); int ha = h % 12 * 30 + m / 2; int ma = m * 6; int d = ha - ma; if (d < 0) { d = -d; } if (d > 180) { d = 360 - d; } print_int(d); }",
+                "int iabs(int x) { if (x < 0) { return -x; } return x; } void main() { int h = read_int(); int m = read_int(); int d = iabs((h % 12) * 30 + m / 2 - m * 6); if (d > 180) { print_int(360 - d); } else { print_int(d); } }",
+            ],
+            inputs: InputSpec::Ints { count: 2, lo: 0, hi: 59 },
+        },
+        ProblemSpec {
+            name: "fizzbuzz_score",
+            variants: &[
+                "void main() { int n = read_int(); int s = 0; for (int i = 1; i <= n; i++) { if (i % 15 == 0) { s += 4; } else { if (i % 3 == 0) { s += 1; } else { if (i % 5 == 0) { s += 2; } } } } print_int(s); }",
+                "int score(int i) { if (i % 15 == 0) { return 4; } if (i % 3 == 0) { return 1; } if (i % 5 == 0) { return 2; } return 0; } void main() { int n = read_int(); int s = 0; for (int i = 1; i <= n; i++) { s += score(i); } print_int(s); }",
+            ],
+            inputs: InputSpec::Ints { count: 1, lo: 0, hi: 500 },
+        },
+    ]
+}

@@ -1,0 +1,457 @@
+//! Graph-based program embeddings: `cfg`, `cfg_compact`, `cdfg`,
+//! `cdfg_compact`, `cdfg_plus`, and `programl`.
+//!
+//! All six kinds produce a [`ProgramGraph`] with a uniform node-feature
+//! dimensionality ([`NODE_DIM`]), so the DGCNN model in `yali-ml` consumes
+//! any of them interchangeably. Following Brauckmann et al. and Cummins
+//! et al., the kinds differ in node granularity (instructions vs. basic
+//! blocks vs. instructions+values) and in which relations appear as edges
+//! (control, data, calls, memory).
+
+use std::collections::HashMap;
+use yali_ir::{Module, Op, Value};
+
+/// Node feature dimensionality shared by all graph embeddings:
+/// 63 opcode slots (one-hot for instruction nodes, a histogram for block
+/// nodes) plus 7 auxiliary dimensions.
+pub const NODE_DIM: usize = Op::COUNT + 7;
+
+const AUX_IS_BLOCK: usize = Op::COUNT;
+const AUX_IS_VALUE: usize = Op::COUNT + 1;
+const AUX_IS_FLOAT: usize = Op::COUNT + 2;
+const AUX_IS_PTR: usize = Op::COUNT + 3;
+const AUX_IS_CONST: usize = Op::COUNT + 4;
+const AUX_DEGREE: usize = Op::COUNT + 5;
+const AUX_BIAS: usize = Op::COUNT + 6;
+
+/// The relation an edge encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Control flow.
+    Control,
+    /// Data flow (def → use).
+    Data,
+    /// Call relation.
+    Call,
+    /// May-alias memory relation (store → load on the same base pointer).
+    Memory,
+}
+
+/// A graph-shaped program embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramGraph {
+    /// Per-node feature vectors, each of length [`NODE_DIM`].
+    pub feats: Vec<Vec<f64>>,
+    /// Directed edges `(src, dst, kind)`.
+    pub edges: Vec<(usize, usize, EdgeKind)>,
+}
+
+impl ProgramGraph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.feats.len()
+    }
+
+    /// Finalizes the graph: fills the degree feature and the bias.
+    fn finish(mut self) -> ProgramGraph {
+        let mut deg = vec![0usize; self.feats.len()];
+        for &(s, d, _) in &self.edges {
+            deg[s] += 1;
+            deg[d] += 1;
+        }
+        for (f, d) in self.feats.iter_mut().zip(deg) {
+            f[AUX_DEGREE] = d as f64 / 8.0;
+            f[AUX_BIAS] = 1.0;
+        }
+        self
+    }
+}
+
+fn inst_feat(op: Op) -> Vec<f64> {
+    let mut f = vec![0.0; NODE_DIM];
+    f[op.index()] = 1.0;
+    f
+}
+
+/// Which graph flavour to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// Instruction-level control-flow graph (Brauckmann et al.).
+    Cfg,
+    /// Basic-block-level CFG with per-block opcode histograms (Faustino).
+    CfgCompact,
+    /// Instruction-level control+data flow graph.
+    Cdfg,
+    /// Block-level control+data flow graph.
+    CdfgCompact,
+    /// CDFG plus call and memory edges.
+    CdfgPlus,
+    /// ProGraML-style full graph: instructions plus value nodes.
+    Programl,
+}
+
+/// Builds the requested graph embedding of the module.
+///
+/// # Examples
+///
+/// ```
+/// use yali_embed::{graph, GraphKind};
+/// let m = yali_minic::compile("int f(int a) { return a + 1; }")?;
+/// let g = graph(&m, GraphKind::Cfg);
+/// assert!(g.num_nodes() > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn graph(m: &Module, kind: GraphKind) -> ProgramGraph {
+    match kind {
+        GraphKind::Cfg => inst_graph(m, false, false, false),
+        GraphKind::Cdfg => inst_graph(m, true, false, false),
+        GraphKind::CdfgPlus => inst_graph(m, true, true, true),
+        GraphKind::CfgCompact => block_graph(m, false),
+        GraphKind::CdfgCompact => block_graph(m, true),
+        GraphKind::Programl => programl_graph(m),
+    }
+}
+
+/// Instruction-level graphs (cfg / cdfg / cdfg_plus).
+fn inst_graph(m: &Module, data: bool, calls: bool, memory: bool) -> ProgramGraph {
+    let mut feats = Vec::new();
+    let mut edges = Vec::new();
+    // (function name, inst) -> node index; plus function entry nodes.
+    let mut node_of: HashMap<(usize, yali_ir::InstId), usize> = HashMap::new();
+    let mut entry_node: HashMap<&str, usize> = HashMap::new();
+    let funcs: Vec<_> = m
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_declaration())
+        .collect();
+    for &(fi, f) in &funcs {
+        for (_, i) in f.iter_insts() {
+            let idx = feats.len();
+            feats.push(inst_feat(f.inst(i).op));
+            node_of.insert((fi, i), idx);
+        }
+        if let Some(&first) = f.block(f.entry()).insts.first() {
+            entry_node.insert(f.name.as_str(), node_of[&(fi, first)]);
+        }
+    }
+    for &(fi, f) in &funcs {
+        for &b in f.block_order() {
+            let insts = &f.block(b).insts;
+            for w in insts.windows(2) {
+                edges.push((node_of[&(fi, w[0])], node_of[&(fi, w[1])], EdgeKind::Control));
+            }
+            if let Some(t) = f.terminator(b) {
+                for s in f.successors(b) {
+                    if let Some(&first) = f.block(s).insts.first() {
+                        edges.push((
+                            node_of[&(fi, t)],
+                            node_of[&(fi, first)],
+                            EdgeKind::Control,
+                        ));
+                    }
+                }
+            }
+        }
+        if data {
+            for (_, i) in f.iter_insts() {
+                for a in &f.inst(i).args {
+                    if let Value::Inst(d) = a {
+                        if let Some(&dn) = node_of.get(&(fi, *d)) {
+                            edges.push((dn, node_of[&(fi, i)], EdgeKind::Data));
+                        }
+                    }
+                }
+            }
+        }
+        if calls {
+            for (_, i) in f.iter_insts() {
+                let inst = f.inst(i);
+                if inst.op == Op::Call {
+                    if let Some(&target) = inst.callee.as_deref().and_then(|c| entry_node.get(c))
+                    {
+                        edges.push((node_of[&(fi, i)], target, EdgeKind::Call));
+                    }
+                }
+            }
+        }
+        if memory {
+            // Group memory ops by their base pointer operand; connect each
+            // store to every load of the same base.
+            let mut by_base: HashMap<String, (Vec<usize>, Vec<usize>)> = HashMap::new();
+            for (_, i) in f.iter_insts() {
+                let inst = f.inst(i);
+                match inst.op {
+                    Op::Load => {
+                        let key = format!("{:?}", inst.args[0]);
+                        by_base.entry(key).or_default().1.push(node_of[&(fi, i)]);
+                    }
+                    Op::Store => {
+                        let key = format!("{:?}", inst.args[1]);
+                        by_base.entry(key).or_default().0.push(node_of[&(fi, i)]);
+                    }
+                    _ => {}
+                }
+            }
+            for (_, (stores, loads)) in by_base {
+                for &s in &stores {
+                    for &l in &loads {
+                        edges.push((s, l, EdgeKind::Memory));
+                    }
+                }
+            }
+        }
+    }
+    ProgramGraph { feats, edges }.finish()
+}
+
+/// Block-level graphs (cfg_compact / cdfg_compact): nodes are basic blocks
+/// carrying opcode histograms.
+fn block_graph(m: &Module, data: bool) -> ProgramGraph {
+    let mut feats = Vec::new();
+    let mut edges = Vec::new();
+    let funcs: Vec<_> = m
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_declaration())
+        .collect();
+    let mut node_of: HashMap<(usize, yali_ir::BlockId), usize> = HashMap::new();
+    for &(fi, f) in &funcs {
+        for &b in f.block_order() {
+            let mut feat = vec![0.0; NODE_DIM];
+            for &i in &f.block(b).insts {
+                feat[f.inst(i).op.index()] += 1.0;
+            }
+            feat[AUX_IS_BLOCK] = 1.0;
+            node_of.insert((fi, b), feats.len());
+            feats.push(feat);
+        }
+    }
+    for &(fi, f) in &funcs {
+        // Placement map for data edges.
+        let mut place: HashMap<yali_ir::InstId, yali_ir::BlockId> = HashMap::new();
+        for (b, i) in f.iter_insts() {
+            place.insert(i, b);
+        }
+        for &b in f.block_order() {
+            for s in f.successors(b) {
+                edges.push((node_of[&(fi, b)], node_of[&(fi, s)], EdgeKind::Control));
+            }
+            if data {
+                let mut seen: std::collections::HashSet<yali_ir::BlockId> =
+                    std::collections::HashSet::new();
+                for &i in &f.block(b).insts {
+                    for a in &f.inst(i).args {
+                        if let Value::Inst(d) = a {
+                            if let Some(&db) = place.get(d) {
+                                if db != b && seen.insert(db) {
+                                    edges.push((
+                                        node_of[&(fi, db)],
+                                        node_of[&(fi, b)],
+                                        EdgeKind::Data,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ProgramGraph { feats, edges }.finish()
+}
+
+/// ProGraML-style graph: instruction nodes, value nodes for every produced
+/// value and parameter, data edges through the value nodes, control and
+/// call edges between instructions.
+fn programl_graph(m: &Module) -> ProgramGraph {
+    let mut g = inst_graph(m, false, true, false);
+    let funcs: Vec<_> = m
+        .functions
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_declaration())
+        .collect();
+    // Rebuild the instruction-node numbering used by inst_graph.
+    let mut node_of: HashMap<(usize, yali_ir::InstId), usize> = HashMap::new();
+    let mut next = 0usize;
+    for &(fi, f) in &funcs {
+        for (_, i) in f.iter_insts() {
+            node_of.insert((fi, i), next);
+            next += 1;
+        }
+    }
+    for &(fi, f) in &funcs {
+        // Value node per non-void instruction result.
+        let mut value_node: HashMap<yali_ir::InstId, usize> = HashMap::new();
+        for (_, i) in f.iter_insts() {
+            let ty = &f.inst(i).ty;
+            if ty.is_void() {
+                continue;
+            }
+            let mut feat = vec![0.0; NODE_DIM];
+            feat[AUX_IS_VALUE] = 1.0;
+            if ty.is_float() {
+                feat[AUX_IS_FLOAT] = 1.0;
+            }
+            if ty.is_ptr() {
+                feat[AUX_IS_PTR] = 1.0;
+            }
+            let vn = g.feats.len();
+            g.feats.push(feat);
+            value_node.insert(i, vn);
+            g.edges.push((node_of[&(fi, i)], vn, EdgeKind::Data));
+        }
+        // Parameter value nodes.
+        let mut param_node: HashMap<u32, usize> = HashMap::new();
+        for (pi, ty) in f.params.iter().enumerate() {
+            let mut feat = vec![0.0; NODE_DIM];
+            feat[AUX_IS_VALUE] = 1.0;
+            if ty.is_float() {
+                feat[AUX_IS_FLOAT] = 1.0;
+            }
+            if ty.is_ptr() {
+                feat[AUX_IS_PTR] = 1.0;
+            }
+            param_node.insert(pi as u32, g.feats.len());
+            g.feats.push(feat);
+        }
+        // Constant nodes (one per distinct constant in the function).
+        let mut const_node: HashMap<String, usize> = HashMap::new();
+        for (_, i) in f.iter_insts() {
+            for a in &f.inst(i).args {
+                let user = node_of[&(fi, i)];
+                match a {
+                    Value::Inst(d) => {
+                        if let Some(&vn) = value_node.get(d) {
+                            g.edges.push((vn, user, EdgeKind::Data));
+                        }
+                    }
+                    Value::Param(p) => {
+                        g.edges.push((param_node[p], user, EdgeKind::Data));
+                    }
+                    c @ (Value::ConstInt(..) | Value::ConstFloat(_)) => {
+                        let key = format!("{c:?}");
+                        let vn = *const_node.entry(key).or_insert_with(|| {
+                            let mut feat = vec![0.0; NODE_DIM];
+                            feat[AUX_IS_VALUE] = 1.0;
+                            feat[AUX_IS_CONST] = 1.0;
+                            if matches!(c, Value::ConstFloat(_)) {
+                                feat[AUX_IS_FLOAT] = 1.0;
+                            }
+                            g.feats.push(feat);
+                            g.feats.len() - 1
+                        });
+                        g.edges.push((vn, user, EdgeKind::Data));
+                    }
+                    Value::Undef(_) => {}
+                }
+            }
+        }
+    }
+    let graph = ProgramGraph {
+        feats: g.feats,
+        edges: g.edges,
+    };
+    graph.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(src: &str) -> Module {
+        yali_minic::compile(src).expect("compile")
+    }
+
+    const SRC: &str = r#"
+        int helper(int x) { return x * 2; }
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += helper(i); }
+            return s;
+        }
+    "#;
+
+    #[test]
+    fn all_kinds_build_and_have_uniform_features() {
+        let m = module(SRC);
+        for kind in [
+            GraphKind::Cfg,
+            GraphKind::CfgCompact,
+            GraphKind::Cdfg,
+            GraphKind::CdfgCompact,
+            GraphKind::CdfgPlus,
+            GraphKind::Programl,
+        ] {
+            let g = graph(&m, kind);
+            assert!(g.num_nodes() > 0, "{kind:?} empty");
+            assert!(!g.edges.is_empty(), "{kind:?} has no edges");
+            for f in &g.feats {
+                assert_eq!(f.len(), NODE_DIM, "{kind:?} feature dim");
+            }
+            for &(s, d, _) in &g.edges {
+                assert!(s < g.num_nodes() && d < g.num_nodes(), "{kind:?} edge oob");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_graphs_are_smaller() {
+        let m = module(SRC);
+        let full = graph(&m, GraphKind::Cfg);
+        let compact = graph(&m, GraphKind::CfgCompact);
+        assert!(compact.num_nodes() < full.num_nodes());
+    }
+
+    #[test]
+    fn cdfg_has_strictly_more_edges_than_cfg() {
+        let m = module(SRC);
+        let cfg = graph(&m, GraphKind::Cfg);
+        let cdfg = graph(&m, GraphKind::Cdfg);
+        assert!(cdfg.edges.len() > cfg.edges.len());
+        assert!(cdfg.edges.iter().any(|&(_, _, k)| k == EdgeKind::Data));
+        assert!(cfg.edges.iter().all(|&(_, _, k)| k == EdgeKind::Control));
+    }
+
+    #[test]
+    fn cdfg_plus_links_calls_and_memory() {
+        let m = module(SRC);
+        let g = graph(&m, GraphKind::CdfgPlus);
+        assert!(g.edges.iter().any(|&(_, _, k)| k == EdgeKind::Call));
+        assert!(g.edges.iter().any(|&(_, _, k)| k == EdgeKind::Memory));
+    }
+
+    #[test]
+    fn programl_adds_value_nodes() {
+        let m = module(SRC);
+        let inst_only = graph(&m, GraphKind::Cfg);
+        let programl = graph(&m, GraphKind::Programl);
+        assert!(programl.num_nodes() > inst_only.num_nodes());
+        // Value nodes are marked in the aux features.
+        let n_values = programl
+            .feats
+            .iter()
+            .filter(|f| f[Op::COUNT + 1] > 0.0)
+            .count();
+        assert!(n_values > 0);
+    }
+
+    #[test]
+    fn block_histograms_sum_to_block_sizes() {
+        let m = module("int f(int a) { return a + 1; }");
+        let g = graph(&m, GraphKind::CfgCompact);
+        let f = m.function("f").unwrap();
+        let total: f64 = g.feats.iter().map(|x| x[..Op::COUNT].iter().sum::<f64>()).sum();
+        assert_eq!(total, f.num_insts() as f64);
+    }
+
+    #[test]
+    fn degree_feature_is_populated() {
+        let m = module(SRC);
+        let g = graph(&m, GraphKind::Cdfg);
+        assert!(g.feats.iter().any(|f| f[Op::COUNT + 5] > 0.0));
+        assert!(g.feats.iter().all(|f| f[Op::COUNT + 6] == 1.0));
+    }
+}

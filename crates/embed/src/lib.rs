@@ -1,0 +1,180 @@
+//! # yali-embed
+//!
+//! The nine program embeddings evaluated by "A Game-Based Framework to
+//! Compare Program Classifiers and Evaders" (CGO 2023), computed over
+//! [`yali_ir`] modules:
+//!
+//! | name | form | source |
+//! |------|------|--------|
+//! | `histogram` | 63-dim opcode counts | Silva et al. |
+//! | `milepost` | 56 static features | Namolaru et al. |
+//! | `ir2vec` | 64-dim flow-aware seeds | VenkataKeerthy et al. |
+//! | `cfg` / `cdfg` / `cdfg_plus` | instruction graphs | Brauckmann et al. |
+//! | `cfg_compact` / `cdfg_compact` | basic-block graphs | Faustino |
+//! | `programl` | instruction+value graph | Cummins et al. |
+//!
+//! Array embeddings feed every model in `yali-ml`; graph embeddings feed
+//! the DGCNN. [`EmbeddingKind`] enumerates all nine uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use yali_embed::{EmbeddingKind, Embedding};
+//! let m = yali_minic::compile("int f(int a) { return a * a; }")?;
+//! for kind in EmbeddingKind::ALL {
+//!     match kind.embed(&m) {
+//!         Embedding::Vector(v) => assert_eq!(v.len(), kind.vector_dim().unwrap()),
+//!         Embedding::Graph(g) => assert!(g.num_nodes() > 0),
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod vector;
+
+pub use graph::{graph, EdgeKind, GraphKind, ProgramGraph, NODE_DIM};
+pub use vector::{euclidean, histogram, ir2vec, milepost, HISTOGRAM_DIM, IR2VEC_DIM, MILEPOST_DIM};
+
+use yali_ir::Module;
+
+/// A computed program embedding: either a flat vector or an attributed
+/// graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Embedding {
+    /// Array form (histogram, milepost, ir2vec).
+    Vector(Vec<f64>),
+    /// Graph form (cfg, cdfg, …, programl).
+    Graph(ProgramGraph),
+}
+
+/// One of the paper's nine embedding functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmbeddingKind {
+    /// 63-dim opcode histogram.
+    Histogram,
+    /// 56 MILEPOST-style static features.
+    Milepost,
+    /// 64-dim ir2vec-style embedding.
+    Ir2Vec,
+    /// Instruction-level CFG.
+    Cfg,
+    /// Block-level CFG.
+    CfgCompact,
+    /// Instruction-level control+data flow graph.
+    Cdfg,
+    /// Block-level control+data flow graph.
+    CdfgCompact,
+    /// CDFG with call and memory edges.
+    CdfgPlus,
+    /// ProGraML-style graph.
+    Programl,
+}
+
+impl EmbeddingKind {
+    /// All nine embeddings, in the paper's Figure 5 order.
+    pub const ALL: [EmbeddingKind; 9] = [
+        EmbeddingKind::Cfg,
+        EmbeddingKind::CfgCompact,
+        EmbeddingKind::Cdfg,
+        EmbeddingKind::CdfgCompact,
+        EmbeddingKind::CdfgPlus,
+        EmbeddingKind::Programl,
+        EmbeddingKind::Ir2Vec,
+        EmbeddingKind::Milepost,
+        EmbeddingKind::Histogram,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EmbeddingKind::Histogram => "histogram",
+            EmbeddingKind::Milepost => "milepost",
+            EmbeddingKind::Ir2Vec => "ir2vec",
+            EmbeddingKind::Cfg => "cfg",
+            EmbeddingKind::CfgCompact => "cfg_compact",
+            EmbeddingKind::Cdfg => "cdfg",
+            EmbeddingKind::CdfgCompact => "cdfg_compact",
+            EmbeddingKind::CdfgPlus => "cdfg_plus",
+            EmbeddingKind::Programl => "programl",
+        }
+    }
+
+    /// True for the graph-shaped embeddings (DGCNN-only).
+    pub fn is_graph(self) -> bool {
+        matches!(
+            self,
+            EmbeddingKind::Cfg
+                | EmbeddingKind::CfgCompact
+                | EmbeddingKind::Cdfg
+                | EmbeddingKind::CdfgCompact
+                | EmbeddingKind::CdfgPlus
+                | EmbeddingKind::Programl
+        )
+    }
+
+    /// Output dimensionality for vector embeddings (`None` for graphs).
+    pub fn vector_dim(self) -> Option<usize> {
+        match self {
+            EmbeddingKind::Histogram => Some(HISTOGRAM_DIM),
+            EmbeddingKind::Milepost => Some(MILEPOST_DIM),
+            EmbeddingKind::Ir2Vec => Some(IR2VEC_DIM),
+            _ => None,
+        }
+    }
+
+    /// Computes this embedding of the module.
+    pub fn embed(self, m: &Module) -> Embedding {
+        match self {
+            EmbeddingKind::Histogram => Embedding::Vector(histogram(m)),
+            EmbeddingKind::Milepost => Embedding::Vector(milepost(m)),
+            EmbeddingKind::Ir2Vec => Embedding::Vector(ir2vec(m)),
+            EmbeddingKind::Cfg => Embedding::Graph(graph(m, GraphKind::Cfg)),
+            EmbeddingKind::CfgCompact => Embedding::Graph(graph(m, GraphKind::CfgCompact)),
+            EmbeddingKind::Cdfg => Embedding::Graph(graph(m, GraphKind::Cdfg)),
+            EmbeddingKind::CdfgCompact => Embedding::Graph(graph(m, GraphKind::CdfgCompact)),
+            EmbeddingKind::CdfgPlus => Embedding::Graph(graph(m, GraphKind::CdfgPlus)),
+            EmbeddingKind::Programl => Embedding::Graph(graph(m, GraphKind::Programl)),
+        }
+    }
+}
+
+impl std::fmt::Display for EmbeddingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_embeddings() {
+        assert_eq!(EmbeddingKind::ALL.len(), 9);
+        let names: std::collections::HashSet<&str> =
+            EmbeddingKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn graph_vector_split_matches_paper() {
+        let graphs = EmbeddingKind::ALL.iter().filter(|k| k.is_graph()).count();
+        assert_eq!(graphs, 6);
+        for k in EmbeddingKind::ALL {
+            assert_eq!(k.is_graph(), k.vector_dim().is_none());
+        }
+    }
+
+    #[test]
+    fn embed_dispatch_works() {
+        let m = yali_minic::compile("int f() { return 1; }").unwrap();
+        assert!(matches!(
+            EmbeddingKind::Histogram.embed(&m),
+            Embedding::Vector(_)
+        ));
+        assert!(matches!(EmbeddingKind::Cfg.embed(&m), Embedding::Graph(_)));
+    }
+}

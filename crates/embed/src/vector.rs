@@ -1,0 +1,368 @@
+//! Array-valued program embeddings: `histogram`, `milepost`, and `ir2vec`.
+
+use yali_ir::{Module, Op, Value};
+
+/// The dimensionality of the opcode histogram (one slot per opcode).
+pub const HISTOGRAM_DIM: usize = Op::COUNT;
+
+/// The dimensionality of the MILEPOST-style static feature vector.
+pub const MILEPOST_DIM: usize = 56;
+
+/// The dimensionality of the ir2vec-style embedding.
+pub const IR2VEC_DIM: usize = 64;
+
+/// The opcode histogram: "a vector of 63 positions counting instruction
+/// opcodes" (paper, Section 4.1). The workhorse embedding of the study.
+///
+/// # Examples
+///
+/// ```
+/// let m = yali_minic::compile("int f(int a, int b) { return a + b; }")?;
+/// let h = yali_embed::histogram(&m);
+/// assert_eq!(h.len(), yali_embed::HISTOGRAM_DIM);
+/// assert!(h[yali_ir::Op::Add.index()] >= 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn histogram(m: &Module) -> Vec<f64> {
+    let mut h = vec![0.0; HISTOGRAM_DIM];
+    for f in m.definitions() {
+        for (_, i) in f.iter_insts() {
+            h[f.inst(i).op.index()] += 1.0;
+        }
+    }
+    h
+}
+
+/// MILEPOST-style static features (Namolaru et al.): counts of structural
+/// CFG and instruction properties. 56 dimensions.
+pub fn milepost(m: &Module) -> Vec<f64> {
+    let mut ft = vec![0.0; MILEPOST_DIM];
+    let mut add = |k: usize, v: f64| ft[k] += v;
+    let mut n_funcs = 0.0;
+    let mut n_blocks = 0.0;
+    let mut n_insts = 0.0;
+    for f in m.definitions() {
+        n_funcs += 1.0;
+        let preds = f.predecessors();
+        for &b in f.block_order() {
+            n_blocks += 1.0;
+            let succs = f.successors(b);
+            let np = preds.get(&b).map(Vec::len).unwrap_or(0);
+            match succs.len() {
+                0 => add(0, 1.0),
+                1 => add(1, 1.0),
+                2 => add(2, 1.0),
+                _ => add(3, 1.0),
+            }
+            match np {
+                0 => add(4, 1.0),
+                1 => add(5, 1.0),
+                2 => add(6, 1.0),
+                _ => add(7, 1.0),
+            }
+            if succs.len() == 1 && np == 1 {
+                add(8, 1.0); // linear blocks
+            }
+            if succs.len() > 1 && np > 1 {
+                add(9, 1.0); // merge+branch blocks
+            }
+            let sz = f.block(b).insts.len() as f64;
+            add(10, sz); // total placed instructions (per-block sum)
+            if sz <= 3.0 {
+                add(11, 1.0);
+            } else if sz <= 10.0 {
+                add(12, 1.0);
+            } else {
+                add(13, 1.0);
+            }
+            for s in &succs {
+                if preds.get(s).map(Vec::len).unwrap_or(0) > 1 && succs.len() > 1 {
+                    add(14, 1.0); // critical edges
+                }
+            }
+            add(15, succs.len() as f64); // CFG edges
+        }
+        for (_, i) in f.iter_insts() {
+            n_insts += 1.0;
+            let inst = f.inst(i);
+            let op = inst.op;
+            match op {
+                Op::Phi => add(16, 1.0),
+                Op::Call => add(17, 1.0),
+                Op::Load => add(18, 1.0),
+                Op::Store => add(19, 1.0),
+                Op::Alloca => add(20, 1.0),
+                Op::Gep => add(21, 1.0),
+                Op::ICmp => add(22, 1.0),
+                Op::FCmp => add(23, 1.0),
+                Op::Select => add(24, 1.0),
+                Op::Switch => add(25, 1.0),
+                Op::CondBr => add(26, 1.0),
+                Op::Br => add(27, 1.0),
+                Op::Ret => add(28, 1.0),
+                Op::Unreachable => add(29, 1.0),
+                _ => {}
+            }
+            if op.is_int_binop() {
+                add(30, 1.0);
+            }
+            if op.is_float_binop() {
+                add(31, 1.0);
+            }
+            if op.is_cast() {
+                add(32, 1.0);
+            }
+            if matches!(op, Op::SDiv | Op::UDiv | Op::SRem | Op::URem | Op::FDiv) {
+                add(33, 1.0);
+            }
+            if matches!(op, Op::Mul | Op::FMul) {
+                add(34, 1.0);
+            }
+            if matches!(op, Op::Shl | Op::LShr | Op::AShr) {
+                add(35, 1.0);
+            }
+            if matches!(op, Op::And | Op::Or | Op::Xor) {
+                add(36, 1.0);
+            }
+            for a in &inst.args {
+                match a {
+                    Value::ConstInt(_, 0) => add(37, 1.0),
+                    Value::ConstInt(_, 1) => add(38, 1.0),
+                    Value::ConstInt(..) => add(39, 1.0),
+                    Value::ConstFloat(_) => add(40, 1.0),
+                    Value::Param(_) => add(41, 1.0),
+                    Value::Inst(_) => add(42, 1.0),
+                    Value::Undef(_) => add(43, 1.0),
+                }
+            }
+            add(44, inst.args.len() as f64);
+            if inst.ty.is_ptr() {
+                add(45, 1.0);
+            }
+            if inst.ty.is_float() {
+                add(46, 1.0);
+            }
+            if inst.ty == yali_ir::Type::I1 {
+                add(47, 1.0);
+            }
+        }
+        add(48, f.params.len() as f64);
+        if f.ret.is_void() {
+            add(49, 1.0);
+        }
+        // Back edges (loops): successor with smaller or equal layout index.
+        let index: std::collections::HashMap<_, _> = f
+            .block_order()
+            .iter()
+            .enumerate()
+            .map(|(k, &b)| (b, k))
+            .collect();
+        for &b in f.block_order() {
+            for s in f.successors(b) {
+                if index[&s] <= index[&b] {
+                    add(50, 1.0);
+                }
+            }
+        }
+    }
+    ft[51] = n_funcs;
+    ft[52] = n_blocks;
+    ft[53] = n_insts;
+    ft[54] = if n_blocks > 0.0 { n_insts / n_blocks } else { 0.0 };
+    ft[55] = if n_funcs > 0.0 { n_blocks / n_funcs } else { 0.0 };
+    ft
+}
+
+/// Deterministic pseudo-random unit-ish vector for an entity (seeded
+/// embedding lookup, as ir2vec's seed vocabulary provides).
+fn seed_vec(tag: u64, dim: usize) -> Vec<f64> {
+    let mut state = tag.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+    let mut v = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        // splitmix64
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        // Map to [-1, 1).
+        v.push((z as f64 / u64::MAX as f64) * 2.0 - 1.0);
+    }
+    v
+}
+
+/// An ir2vec-style flow-aware embedding (VenkataKeerthy et al.).
+///
+/// Every (opcode, result type, operand kind) entity owns a fixed seed
+/// vector; an instruction's vector combines them with the published
+/// weights (opcode 1.0, type 0.5, operands 0.2), and a reverse-post-order
+/// flow pass mixes 0.2 of each operand-defining instruction's vector into
+/// its users. The program embedding is the sum over instructions.
+pub fn ir2vec(m: &Module) -> Vec<f64> {
+    const WO: f64 = 1.0;
+    const WT: f64 = 0.5;
+    const WA: f64 = 0.2;
+    const WFLOW: f64 = 0.2;
+    let mut total = vec![0.0; IR2VEC_DIM];
+    for f in m.definitions() {
+        // Instruction base vectors.
+        let ids: Vec<yali_ir::InstId> = f.iter_insts().map(|(_, i)| i).collect();
+        let mut vecs: std::collections::HashMap<yali_ir::InstId, Vec<f64>> =
+            std::collections::HashMap::new();
+        for &i in &ids {
+            let inst = f.inst(i);
+            let mut v = vec![0.0; IR2VEC_DIM];
+            let opv = seed_vec(1000 + inst.op.index() as u64, IR2VEC_DIM);
+            let tyv = seed_vec(2000 + type_tag(&inst.ty), IR2VEC_DIM);
+            for k in 0..IR2VEC_DIM {
+                v[k] += WO * opv[k] + WT * tyv[k];
+            }
+            for a in &inst.args {
+                let av = seed_vec(3000 + operand_tag(a), IR2VEC_DIM);
+                for k in 0..IR2VEC_DIM {
+                    v[k] += WA * av[k] / inst.args.len().max(1) as f64;
+                }
+            }
+            vecs.insert(i, v);
+        }
+        // One flow pass in RPO: users absorb a fraction of their operands'
+        // instruction vectors.
+        for &b in &yali_ir::cfg::reverse_post_order(f) {
+            for &i in &f.block(b).insts.clone() {
+                let inst = f.inst(i).clone();
+                let mut acc = vec![0.0; IR2VEC_DIM];
+                let mut found = 0usize;
+                for a in &inst.args {
+                    if let Value::Inst(d) = a {
+                        if let Some(dv) = vecs.get(d) {
+                            for k in 0..IR2VEC_DIM {
+                                acc[k] += dv[k];
+                            }
+                            found += 1;
+                        }
+                    }
+                }
+                if found > 0 {
+                    let v = vecs.get_mut(&i).unwrap();
+                    for k in 0..IR2VEC_DIM {
+                        v[k] += WFLOW * acc[k] / found as f64;
+                    }
+                }
+            }
+        }
+        // Sum in stable instruction order so the embedding is bitwise
+        // deterministic (HashMap order would perturb float summation).
+        for i in &ids {
+            let v = &vecs[i];
+            for k in 0..IR2VEC_DIM {
+                total[k] += v[k];
+            }
+        }
+    }
+    total
+}
+
+fn type_tag(t: &yali_ir::Type) -> u64 {
+    match t {
+        yali_ir::Type::Void => 0,
+        yali_ir::Type::I1 => 1,
+        yali_ir::Type::I8 => 2,
+        yali_ir::Type::I32 => 3,
+        yali_ir::Type::I64 => 4,
+        yali_ir::Type::F64 => 5,
+        yali_ir::Type::Ptr(inner) => 6 + type_tag(inner),
+    }
+}
+
+fn operand_tag(v: &Value) -> u64 {
+    match v {
+        Value::Inst(_) => 0,
+        Value::Param(_) => 1,
+        Value::ConstInt(..) => 2,
+        Value::ConstFloat(_) => 3,
+        Value::Undef(_) => 4,
+    }
+}
+
+/// Euclidean distance between two equal-length vectors (used by the paper's
+/// Figure 10 analysis).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(src: &str) -> Module {
+        yali_minic::compile(src).expect("compile")
+    }
+
+    #[test]
+    fn histogram_counts_opcodes() {
+        let m = module("int f(int a) { return a * a + 1; }");
+        let h = histogram(&m);
+        assert_eq!(h.iter().sum::<f64>(), m.num_insts() as f64);
+        assert!(h[Op::Mul.index()] >= 1.0);
+        assert!(h[Op::Ret.index()] >= 1.0);
+    }
+
+    #[test]
+    fn histogram_dimension_is_63() {
+        assert_eq!(HISTOGRAM_DIM, 63);
+    }
+
+    #[test]
+    fn milepost_has_structure_features() {
+        let straight = milepost(&module("int f(int a) { return a; }"));
+        let loopy = milepost(&module(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+        ));
+        assert_eq!(straight.len(), MILEPOST_DIM);
+        // back-edge feature fires only for the loop
+        assert_eq!(straight[50], 0.0);
+        assert!(loopy[50] >= 1.0);
+        assert!(loopy[52] > straight[52]); // more blocks
+    }
+
+    #[test]
+    fn ir2vec_is_deterministic_and_flow_sensitive() {
+        let m1 = module("int f(int a, int b) { return a + b * 2; }");
+        let v1 = ir2vec(&m1);
+        let v2 = ir2vec(&m1);
+        assert_eq!(v1, v2);
+        assert_eq!(v1.len(), IR2VEC_DIM);
+        // A different dataflow arrangement of the same opcodes embeds
+        // differently.
+        let m2 = module("int f(int a, int b) { return (a + b) * 2; }");
+        assert!(euclidean(&v1, &ir2vec(&m2)) > 1e-9);
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn different_programs_have_different_histograms() {
+        let a = histogram(&module("int f(int x) { return x + 1; }"));
+        let b = histogram(&module("float f(float x) { return x * 2.0; }"));
+        assert!(euclidean(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn seed_vectors_differ_by_tag() {
+        assert_ne!(seed_vec(1, 8), seed_vec(2, 8));
+        assert_eq!(seed_vec(7, 8), seed_vec(7, 8));
+    }
+}

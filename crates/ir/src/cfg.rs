@@ -1,0 +1,174 @@
+//! Control-flow-graph analyses: reachability and block orderings.
+
+use crate::module::Function;
+use crate::value::BlockId;
+use std::collections::HashSet;
+
+/// The set of blocks reachable from the entry.
+pub fn reachable(f: &Function) -> HashSet<BlockId> {
+    let mut seen = HashSet::new();
+    if f.is_declaration() {
+        return seen;
+    }
+    let mut stack = vec![f.entry()];
+    while let Some(b) = stack.pop() {
+        if seen.insert(b) {
+            stack.extend(f.successors(b));
+        }
+    }
+    seen
+}
+
+/// Blocks in reverse post-order of a depth-first search from the entry.
+///
+/// Reverse post-order visits every block before its successors, except along
+/// back edges, making it the canonical iteration order for forward data-flow
+/// analyses.
+pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
+    let mut post = Vec::new();
+    let mut seen = HashSet::new();
+    if f.is_declaration() {
+        return post;
+    }
+    // Iterative DFS with an explicit "exit" marker to produce post-order.
+    let mut stack: Vec<(BlockId, bool)> = vec![(f.entry(), false)];
+    while let Some((b, exiting)) = stack.pop() {
+        if exiting {
+            post.push(b);
+            continue;
+        }
+        if !seen.insert(b) {
+            continue;
+        }
+        stack.push((b, true));
+        // Push successors in reverse so the first successor is visited first.
+        let succs = f.successors(b);
+        for s in succs.into_iter().rev() {
+            if !seen.contains(&s) {
+                stack.push((s, false));
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Removes unreachable blocks from the layout, drops phi incomings from
+/// removed predecessors, and compacts the function. Returns `true` if
+/// anything changed.
+pub fn prune_unreachable(f: &mut Function) -> bool {
+    if f.is_declaration() {
+        return false;
+    }
+    let live = reachable(f);
+    if live.len() == f.num_blocks() {
+        return false;
+    }
+    let order: Vec<BlockId> = f
+        .block_order()
+        .iter()
+        .copied()
+        .filter(|b| live.contains(b))
+        .collect();
+    // Drop phi incomings that name dead predecessors.
+    for &b in &order {
+        let ids = f.phis(b);
+        for id in ids {
+            let inst = f.inst(id).clone();
+            let keep: Vec<usize> = (0..inst.blocks.len())
+                .filter(|&i| live.contains(&inst.blocks[i]))
+                .collect();
+            if keep.len() != inst.blocks.len() {
+                let inst = f.inst_mut(id);
+                inst.args = keep.iter().map(|&i| inst.args[i].clone()).collect();
+                inst.blocks = keep.iter().map(|&i| inst.blocks[i]).collect();
+            }
+        }
+    }
+    f.set_block_order(order);
+    f.compact();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("d", vec![Type::I1], Type::I32);
+        let e = b.add_block();
+        let l = b.add_block();
+        let r = b.add_block();
+        let j = b.add_block();
+        b.switch_to(e);
+        b.condbr(Value::Param(0), l, r);
+        b.switch_to(l);
+        b.br(j);
+        b.switch_to(r);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(Some(Value::const_int(Type::I32, 0)));
+        b.finish()
+    }
+
+    #[test]
+    fn rpo_visits_entry_first_and_join_last() {
+        let f = diamond();
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo[3], BlockId(3));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_pruned() {
+        let mut f = diamond();
+        let dead = f.add_block();
+        {
+            let mut inst = crate::module::Inst::new(crate::Op::Br, Type::Void, vec![]);
+            inst.blocks = vec![BlockId(3)];
+            f.push_inst(dead, inst);
+        }
+        assert_eq!(f.num_blocks(), 5);
+        assert!(prune_unreachable(&mut f));
+        assert_eq!(f.num_blocks(), 4);
+        assert!(!prune_unreachable(&mut f));
+    }
+
+    #[test]
+    fn pruning_cleans_phis() {
+        // entry -> join, plus a dead block also feeding the join's phi.
+        let mut b = FunctionBuilder::new("p", vec![], Type::I32);
+        let e = b.add_block();
+        let dead = b.add_block();
+        let j = b.add_block();
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(dead);
+        b.br(j);
+        b.switch_to(j);
+        let phi = b.phi(
+            Type::I32,
+            vec![
+                (Value::const_int(Type::I32, 1), e),
+                (Value::const_int(Type::I32, 2), dead),
+            ],
+        );
+        b.ret(Some(phi));
+        let mut f = b.finish();
+        assert!(prune_unreachable(&mut f));
+        let j_new = f.block_order()[1];
+        let phis = f.phis(j_new);
+        assert_eq!(f.inst(phis[0]).args.len(), 1);
+    }
+
+    #[test]
+    fn reachable_of_declaration_is_empty() {
+        let f = Function::new("ext", vec![], Type::Void);
+        assert!(reachable(&f).is_empty());
+        assert!(reverse_post_order(&f).is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! Dominator tree and dominance frontiers, via the Cooper–Harvey–Kennedy
+//! iterative algorithm ("A Simple, Fast Dominance Algorithm").
+
+use crate::cfg::reverse_post_order;
+use crate::module::Function;
+use crate::value::BlockId;
+use std::collections::HashMap;
+
+/// The dominator tree of a function, plus dominance frontiers.
+///
+/// Only reachable blocks appear; query methods return sensible defaults for
+/// unreachable blocks (they dominate nothing and have empty frontiers).
+///
+/// # Examples
+///
+/// ```
+/// use yali_ir::{FunctionBuilder, Type, Value, DomTree};
+/// let mut b = FunctionBuilder::new("f", vec![Type::I1], Type::Void);
+/// let e = b.add_block();
+/// let t = b.add_block();
+/// b.switch_to(e);
+/// b.condbr(Value::Param(0), t, t);
+/// b.switch_to(t);
+/// b.ret(None);
+/// let f = b.finish();
+/// let dt = DomTree::build(&f);
+/// assert!(dt.dominates(e, t));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    rpo: Vec<BlockId>,
+    rpo_index: HashMap<BlockId, usize>,
+    idom: HashMap<BlockId, BlockId>,
+    children: HashMap<BlockId, Vec<BlockId>>,
+    frontier: HashMap<BlockId, Vec<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes dominators and frontiers for `f`.
+    pub fn build(f: &Function) -> DomTree {
+        let rpo = reverse_post_order(f);
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        if rpo.is_empty() {
+            return DomTree {
+                rpo,
+                rpo_index,
+                idom,
+                children: HashMap::new(),
+                frontier: HashMap::new(),
+            };
+        }
+        let entry = rpo[0];
+        idom.insert(entry, entry);
+        let preds = f.predecessors();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds.get(&b).map(Vec::as_slice).unwrap_or(&[]) {
+                    if !idom.contains_key(&p) {
+                        continue; // unprocessed or unreachable predecessor
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Dominator tree children.
+        let mut children: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for (&b, &d) in &idom {
+            if b != d {
+                children.entry(d).or_default().push(b);
+            }
+        }
+        for c in children.values_mut() {
+            c.sort();
+        }
+        // Dominance frontiers.
+        let mut frontier: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &b in &rpo {
+            let ps = preds.get(&b).map(Vec::as_slice).unwrap_or(&[]);
+            if ps.len() < 2 {
+                continue;
+            }
+            for &p in ps {
+                if !idom.contains_key(&p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom[&b] {
+                    let fr = frontier.entry(runner).or_default();
+                    if !fr.contains(&b) {
+                        fr.push(b);
+                    }
+                    runner = idom[&runner];
+                }
+            }
+        }
+        DomTree {
+            rpo,
+            rpo_index,
+            idom,
+            children,
+            frontier,
+        }
+    }
+
+    /// Blocks in reverse post-order.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// The immediate dominator of `b` (the entry's idom is itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(&b).copied()
+    }
+
+    /// Children of `b` in the dominator tree.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        self.children.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The dominance frontier of `b`.
+    pub fn frontier(&self, b: BlockId) -> &[BlockId] {
+        self.frontier.get(&b).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.rpo_index.contains_key(&b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom.get(&cur) {
+                Some(&d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// entry -> {l, r} -> join -> exit, the classic diamond.
+    fn diamond() -> (Function, [BlockId; 4]) {
+        let mut b = FunctionBuilder::new("d", vec![Type::I1], Type::Void);
+        let e = b.add_block();
+        let l = b.add_block();
+        let r = b.add_block();
+        let j = b.add_block();
+        b.switch_to(e);
+        b.condbr(Value::Param(0), l, r);
+        b.switch_to(l);
+        b.br(j);
+        b.switch_to(r);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        (b.finish(), [e, l, r, j])
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (f, [e, l, r, j]) = diamond();
+        let dt = DomTree::build(&f);
+        assert_eq!(dt.idom(l), Some(e));
+        assert_eq!(dt.idom(r), Some(e));
+        assert_eq!(dt.idom(j), Some(e));
+        assert!(dt.dominates(e, j));
+        assert!(!dt.dominates(l, j));
+        assert!(dt.dominates(j, j));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let (f, [e, l, r, j]) = diamond();
+        let dt = DomTree::build(&f);
+        assert_eq!(dt.frontier(l), &[j]);
+        assert_eq!(dt.frontier(r), &[j]);
+        assert!(dt.frontier(e).is_empty());
+        assert!(dt.frontier(j).is_empty());
+    }
+
+    #[test]
+    fn loop_frontier_includes_header() {
+        // entry -> header <-> body, header -> exit.
+        let mut b = FunctionBuilder::new("l", vec![Type::I1], Type::Void);
+        let e = b.add_block();
+        let h = b.add_block();
+        let body = b.add_block();
+        let x = b.add_block();
+        b.switch_to(e);
+        b.br(h);
+        b.switch_to(h);
+        b.condbr(Value::Param(0), body, x);
+        b.switch_to(body);
+        b.br(h);
+        b.switch_to(x);
+        b.ret(None);
+        let f = b.finish();
+        let dt = DomTree::build(&f);
+        assert_eq!(dt.idom(body), Some(h));
+        assert_eq!(dt.frontier(body), &[h]);
+        assert_eq!(dt.frontier(h), &[h]);
+    }
+
+    #[test]
+    fn children_partition_the_tree() {
+        let (f, [e, l, r, j]) = diamond();
+        let dt = DomTree::build(&f);
+        let mut kids = dt.children(e).to_vec();
+        kids.sort();
+        assert_eq!(kids, vec![l, r, j]);
+    }
+}

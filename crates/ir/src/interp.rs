@@ -1,0 +1,736 @@
+//! A reference interpreter for the IR.
+//!
+//! The interpreter serves two roles in the reproduction:
+//!
+//! 1. **Semantic ground truth.** Property tests run programs before and
+//!    after every optimization and obfuscation pass and require identical
+//!    observable behaviour (return value and output stream).
+//! 2. **The RQ6 performance model.** Each executed instruction contributes
+//!    its [`crate::Op::cost`] to a deterministic cost counter, standing in for
+//!    wall-clock time when comparing `-O3` and O-LLVM code (Figure 13).
+//!
+//! Programs perform I/O through the runtime functions `read_int`,
+//! `read_float`, `print_int`, `print_char` and `print_float`, which the
+//! interpreter implements natively.
+
+use crate::module::{Function, Module};
+use crate::opcode::{Cmp, Op};
+use crate::types::Type;
+use crate::value::{BlockId, InstId, Value};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// A dynamic value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Val {
+    /// An integer of any width (stored sign-extended).
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A pointer: an index into the interpreter's flat memory.
+    Ptr(usize),
+    /// An undefined value.
+    Undef,
+}
+
+impl Val {
+    fn as_int(self) -> Result<i64, ExecError> {
+        match self {
+            Val::Int(v) => Ok(v),
+            Val::Undef => Err(ExecError::UndefUsed),
+            other => Err(ExecError::TypeError(format!("expected int, got {other:?}"))),
+        }
+    }
+
+    fn as_float(self) -> Result<f64, ExecError> {
+        match self {
+            Val::Float(v) => Ok(v),
+            Val::Undef => Err(ExecError::UndefUsed),
+            other => Err(ExecError::TypeError(format!("expected float, got {other:?}"))),
+        }
+    }
+
+    fn as_ptr(self) -> Result<usize, ExecError> {
+        match self {
+            Val::Ptr(v) => Ok(v),
+            Val::Undef => Err(ExecError::UndefUsed),
+            other => Err(ExecError::TypeError(format!("expected ptr, got {other:?}"))),
+        }
+    }
+}
+
+/// A runtime failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The step budget was exhausted (likely an infinite loop).
+    OutOfFuel,
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// A load or store outside allocated memory.
+    BadMemory(usize),
+    /// A call to a function that does not exist.
+    MissingFunction(String),
+    /// The input stream ran dry during `read_int`/`read_float`.
+    InputExhausted,
+    /// An arithmetic or control operation consumed `undef`.
+    UndefUsed,
+    /// Call depth exceeded the recursion limit.
+    StackOverflow,
+    /// A dynamic type confusion (indicates an IR bug; the verifier should
+    /// have rejected the module).
+    TypeError(String),
+    /// An opcode the interpreter does not implement (the exotic tail of the
+    /// opcode set, which the front end never emits).
+    Unsupported(Op),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "out of fuel"),
+            ExecError::DivByZero => write!(f, "division by zero"),
+            ExecError::BadMemory(a) => write!(f, "invalid memory access at {a}"),
+            ExecError::MissingFunction(n) => write!(f, "call to missing function @{n}"),
+            ExecError::InputExhausted => write!(f, "input stream exhausted"),
+            ExecError::UndefUsed => write!(f, "undef value consumed"),
+            ExecError::StackOverflow => write!(f, "call stack overflow"),
+            ExecError::TypeError(m) => write!(f, "dynamic type error: {m}"),
+            ExecError::Unsupported(op) => write!(f, "unsupported opcode {op}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// The observable result of a program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// The value returned by the entry function, if any.
+    pub ret: Option<Val>,
+    /// Values printed through the runtime, in order.
+    pub output: Vec<Val>,
+    /// Accumulated abstract cost (the RQ6 "running time").
+    pub cost: u64,
+    /// Number of instructions executed.
+    pub steps: u64,
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Maximum instructions to execute before [`ExecError::OutOfFuel`].
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            fuel: 2_000_000,
+            max_depth: 256,
+        }
+    }
+}
+
+struct Machine<'m> {
+    module: &'m Module,
+    mem: Vec<Val>,
+    inputs: VecDeque<Val>,
+    output: Vec<Val>,
+    fuel: u64,
+    cost: u64,
+    steps: u64,
+    max_depth: usize,
+}
+
+/// Runs `func` from `module` with the given arguments and input stream.
+///
+/// # Errors
+///
+/// Propagates any [`ExecError`] raised during execution (including running
+/// out of the configured fuel).
+///
+/// # Examples
+///
+/// ```
+/// use yali_ir::{parse_module, interp::{run, Val, ExecConfig}};
+/// let m = parse_module("module \"m\"\n\ndefine i64 @twice(i64 %p0) {\nb0:\n  %v0 = add i64 %p0, %p0\n  ret %v0\n}\n")?;
+/// let out = run(&m, "twice", &[Val::Int(21)], &[], &ExecConfig::default())?;
+/// assert_eq!(out.ret, Some(Val::Int(42)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(
+    module: &Module,
+    func: &str,
+    args: &[Val],
+    inputs: &[Val],
+    config: &ExecConfig,
+) -> Result<Outcome, ExecError> {
+    let f = module
+        .function(func)
+        .ok_or_else(|| ExecError::MissingFunction(func.to_string()))?;
+    let mut machine = Machine {
+        module,
+        mem: Vec::new(),
+        inputs: inputs.iter().copied().collect(),
+        output: Vec::new(),
+        fuel: config.fuel,
+        cost: 0,
+        steps: 0,
+        max_depth: config.max_depth,
+    };
+    let ret = machine.call(f, args.to_vec(), 0)?;
+    Ok(Outcome {
+        ret,
+        output: machine.output,
+        cost: machine.cost,
+        steps: machine.steps,
+    })
+}
+
+impl<'m> Machine<'m> {
+    fn call(
+        &mut self,
+        f: &'m Function,
+        args: Vec<Val>,
+        depth: usize,
+    ) -> Result<Option<Val>, ExecError> {
+        if depth > self.max_depth {
+            return Err(ExecError::StackOverflow);
+        }
+        if f.is_declaration() {
+            return self.runtime_call(&f.name, &args);
+        }
+        // Register file for this frame: one slot per arena instruction.
+        let mut regs: Vec<Val> = vec![Val::Undef; f.iter_insts().count().max(1)];
+        // Map InstId -> dense frame slot (arena may have garbage).
+        let mut slot = std::collections::HashMap::new();
+        for (n, (_, i)) in f.iter_insts().enumerate() {
+            slot.insert(i, n);
+        }
+        let eval = |regs: &[Val], slot: &std::collections::HashMap<InstId, usize>, v: &Value| -> Val {
+            match v {
+                Value::Inst(id) => regs[slot[id]],
+                Value::Param(i) => args[*i as usize],
+                Value::ConstInt(_, v) => Val::Int(*v),
+                Value::ConstFloat(v) => Val::Float(*v),
+                Value::Undef(_) => Val::Undef,
+            }
+        };
+        let mut block = f.entry();
+        let mut prev: Option<BlockId> = None;
+        'blocks: loop {
+            // Evaluate phis in parallel with respect to the previous block.
+            let insts = f.block(block).insts.clone();
+            let mut phi_vals: Vec<(InstId, Val)> = Vec::new();
+            for &i in &insts {
+                let inst = f.inst(i);
+                if inst.op != Op::Phi {
+                    break;
+                }
+                let from = prev.expect("phi in entry block");
+                let idx = inst
+                    .blocks
+                    .iter()
+                    .position(|&b| b == from)
+                    .expect("phi missing incoming edge");
+                phi_vals.push((i, eval(&regs, &slot, &inst.args[idx])));
+            }
+            for (i, v) in phi_vals {
+                self.tick(Op::Phi)?;
+                regs[slot[&i]] = v;
+            }
+            for &i in insts.iter().skip_while(|&&i| f.inst(i).op == Op::Phi) {
+                let inst = f.inst(i);
+                self.tick(inst.op)?;
+                match inst.op {
+                    Op::Phi => unreachable!("phi after skip"),
+                    Op::Ret => {
+                        return Ok(if inst.args.is_empty() {
+                            None
+                        } else {
+                            Some(eval(&regs, &slot, &inst.args[0]))
+                        });
+                    }
+                    Op::Br => {
+                        prev = Some(block);
+                        block = inst.blocks[0];
+                        continue 'blocks;
+                    }
+                    Op::CondBr => {
+                        let c = eval(&regs, &slot, &inst.args[0]).as_int()?;
+                        prev = Some(block);
+                        block = if c != 0 { inst.blocks[0] } else { inst.blocks[1] };
+                        continue 'blocks;
+                    }
+                    Op::Switch => {
+                        let s = eval(&regs, &slot, &inst.args[0]).as_int()?;
+                        let mut target = inst.blocks[0];
+                        for (c, &b) in inst.args[1..].iter().zip(&inst.blocks[1..]) {
+                            if c.as_const_int() == Some(s) {
+                                target = b;
+                                break;
+                            }
+                        }
+                        prev = Some(block);
+                        block = target;
+                        continue 'blocks;
+                    }
+                    Op::Unreachable => {
+                        return Err(ExecError::TypeError("reached unreachable".into()))
+                    }
+                    Op::Alloca => {
+                        let n = eval(&regs, &slot, &inst.args[0]).as_int()?;
+                        if !(0..=1 << 24).contains(&n) {
+                            return Err(ExecError::BadMemory(n as usize));
+                        }
+                        let base = self.mem.len();
+                        self.mem.resize(base + n as usize, Val::Undef);
+                        regs[slot[&i]] = Val::Ptr(base);
+                    }
+                    Op::Load => {
+                        let p = eval(&regs, &slot, &inst.args[0]).as_ptr()?;
+                        let v = *self.mem.get(p).ok_or(ExecError::BadMemory(p))?;
+                        regs[slot[&i]] = v;
+                    }
+                    Op::Store => {
+                        let v = eval(&regs, &slot, &inst.args[0]);
+                        let p = eval(&regs, &slot, &inst.args[1]).as_ptr()?;
+                        *self.mem.get_mut(p).ok_or(ExecError::BadMemory(p))? = v;
+                    }
+                    Op::Gep => {
+                        let p = eval(&regs, &slot, &inst.args[0]).as_ptr()?;
+                        let idx = eval(&regs, &slot, &inst.args[1]).as_int()?;
+                        let addr = p as i64 + idx;
+                        if addr < 0 {
+                            return Err(ExecError::BadMemory(0));
+                        }
+                        regs[slot[&i]] = Val::Ptr(addr as usize);
+                    }
+                    Op::Call => {
+                        let callee_name = inst.callee.as_deref().unwrap_or("");
+                        let callee = self
+                            .module
+                            .function(callee_name)
+                            .ok_or_else(|| ExecError::MissingFunction(callee_name.into()))?;
+                        let actuals: Vec<Val> =
+                            inst.args.iter().map(|a| eval(&regs, &slot, a)).collect();
+                        let r = self.call(callee, actuals, depth + 1)?;
+                        if let Some(v) = r {
+                            regs[slot[&i]] = v;
+                        }
+                    }
+                    Op::ICmp => {
+                        let a = eval(&regs, &slot, &inst.args[0]);
+                        let b = eval(&regs, &slot, &inst.args[1]);
+                        let ty = f.value_type(&inst.args[0]);
+                        regs[slot[&i]] = Val::Int(i64::from(icmp(
+                            inst.pred.unwrap(),
+                            a,
+                            b,
+                            &ty,
+                        )?));
+                    }
+                    Op::FCmp => {
+                        let a = eval(&regs, &slot, &inst.args[0]).as_float()?;
+                        let b = eval(&regs, &slot, &inst.args[1]).as_float()?;
+                        regs[slot[&i]] = Val::Int(i64::from(fcmp(inst.pred.unwrap(), a, b)));
+                    }
+                    Op::Select => {
+                        let c = eval(&regs, &slot, &inst.args[0]).as_int()?;
+                        regs[slot[&i]] = if c != 0 {
+                            eval(&regs, &slot, &inst.args[1])
+                        } else {
+                            eval(&regs, &slot, &inst.args[2])
+                        };
+                    }
+                    Op::FNeg => {
+                        let v = eval(&regs, &slot, &inst.args[0]).as_float()?;
+                        regs[slot[&i]] = Val::Float(-v);
+                    }
+                    op if op.is_int_binop() => {
+                        let a = eval(&regs, &slot, &inst.args[0]).as_int()?;
+                        let b = eval(&regs, &slot, &inst.args[1]).as_int()?;
+                        regs[slot[&i]] = Val::Int(int_binop(op, a, b, &inst.ty)?);
+                    }
+                    op if op.is_float_binop() => {
+                        let a = eval(&regs, &slot, &inst.args[0]).as_float()?;
+                        let b = eval(&regs, &slot, &inst.args[1]).as_float()?;
+                        regs[slot[&i]] = Val::Float(float_binop(op, a, b));
+                    }
+                    op if op.is_cast() => {
+                        let v = eval(&regs, &slot, &inst.args[0]);
+                        regs[slot[&i]] = cast(op, v, &f.value_type(&inst.args[0]), &inst.ty)?;
+                    }
+                    op => return Err(ExecError::Unsupported(op)),
+                }
+            }
+            // Fall off the end of a block without terminator: verifier
+            // rejects this, but guard anyway.
+            return Err(ExecError::TypeError(format!(
+                "block {block} fell through without terminator"
+            )));
+        }
+    }
+
+    fn tick(&mut self, op: Op) -> Result<(), ExecError> {
+        if self.fuel == 0 {
+            return Err(ExecError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        self.steps += 1;
+        self.cost += op.cost();
+        Ok(())
+    }
+
+    fn runtime_call(&mut self, name: &str, args: &[Val]) -> Result<Option<Val>, ExecError> {
+        match name {
+            "print_int" | "print_char" => {
+                self.output.push(args[0]);
+                Ok(None)
+            }
+            "print_float" => {
+                self.output.push(args[0]);
+                Ok(None)
+            }
+            "read_int" => match self.inputs.pop_front() {
+                Some(Val::Int(v)) => Ok(Some(Val::Int(v))),
+                Some(Val::Float(v)) => Ok(Some(Val::Int(v as i64))),
+                Some(_) => Err(ExecError::TypeError("read_int on non-int input".into())),
+                None => Err(ExecError::InputExhausted),
+            },
+            "read_float" => match self.inputs.pop_front() {
+                Some(Val::Float(v)) => Ok(Some(Val::Float(v))),
+                Some(Val::Int(v)) => Ok(Some(Val::Float(v as f64))),
+                Some(_) => Err(ExecError::TypeError("read_float on non-float input".into())),
+                None => Err(ExecError::InputExhausted),
+            },
+            other => Err(ExecError::MissingFunction(other.to_string())),
+        }
+    }
+}
+
+fn unsigned(v: i64, ty: &Type) -> u64 {
+    match ty.int_bits() {
+        Some(64) | None => v as u64,
+        Some(b) => (v as u64) & ((1u64 << b) - 1),
+    }
+}
+
+fn icmp(pred: Cmp, a: Val, b: Val, ty: &Type) -> Result<bool, ExecError> {
+    // Pointer comparisons compare addresses.
+    let (ai, bi) = match (a, b) {
+        (Val::Ptr(x), Val::Ptr(y)) => (x as i64, y as i64),
+        _ => (a.as_int()?, b.as_int()?),
+    };
+    let (au, bu) = (unsigned(ai, ty), unsigned(bi, ty));
+    Ok(match pred {
+        Cmp::Eq => ai == bi,
+        Cmp::Ne => ai != bi,
+        Cmp::Slt => ai < bi,
+        Cmp::Sle => ai <= bi,
+        Cmp::Sgt => ai > bi,
+        Cmp::Sge => ai >= bi,
+        Cmp::Ult => au < bu,
+        Cmp::Ule => au <= bu,
+        Cmp::Ugt => au > bu,
+        Cmp::Uge => au >= bu,
+        other => {
+            return Err(ExecError::TypeError(format!(
+                "float predicate {other} in icmp"
+            )))
+        }
+    })
+}
+
+fn fcmp(pred: Cmp, a: f64, b: f64) -> bool {
+    match pred {
+        Cmp::Oeq => a == b,
+        Cmp::One => a != b && !a.is_nan() && !b.is_nan(),
+        Cmp::Olt => a < b,
+        Cmp::Ole => a <= b,
+        Cmp::Ogt => a > b,
+        Cmp::Oge => a >= b,
+        // Integer predicates on floats never verify; treat as ordered.
+        Cmp::Eq => a == b,
+        Cmp::Ne => a != b,
+        _ => false,
+    }
+}
+
+fn int_binop(op: Op, a: i64, b: i64, ty: &Type) -> Result<i64, ExecError> {
+    let bits = ty.int_bits().unwrap_or(64);
+    let shift_mask = (bits - 1) as i64;
+    let raw = match op {
+        Op::Add => a.wrapping_add(b),
+        Op::Sub => a.wrapping_sub(b),
+        Op::Mul => a.wrapping_mul(b),
+        Op::SDiv => {
+            if b == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        Op::UDiv => {
+            if b == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            (unsigned(a, ty) / unsigned(b, ty)) as i64
+        }
+        Op::SRem => {
+            if b == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        Op::URem => {
+            if b == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            (unsigned(a, ty) % unsigned(b, ty)) as i64
+        }
+        Op::Shl => a.wrapping_shl((b & shift_mask) as u32),
+        Op::LShr => (unsigned(a, ty) >> (b & shift_mask) as u32) as i64,
+        Op::AShr => a >> (b & shift_mask) as u32,
+        Op::And => a & b,
+        Op::Or => a | b,
+        Op::Xor => a ^ b,
+        other => return Err(ExecError::Unsupported(other)),
+    };
+    Ok(ty.wrap(raw))
+}
+
+fn float_binop(op: Op, a: f64, b: f64) -> f64 {
+    match op {
+        Op::FAdd => a + b,
+        Op::FSub => a - b,
+        Op::FMul => a * b,
+        Op::FDiv => a / b,
+        Op::FRem => a % b,
+        _ => unreachable!("non-float binop"),
+    }
+}
+
+fn cast(op: Op, v: Val, from: &Type, to: &Type) -> Result<Val, ExecError> {
+    Ok(match op {
+        Op::Trunc => Val::Int(to.wrap(v.as_int()?)),
+        Op::ZExt => Val::Int(unsigned(v.as_int()?, from) as i64),
+        Op::SExt => Val::Int(v.as_int()?),
+        Op::FpToSi | Op::FpToUi => {
+            let f = v.as_float()?;
+            let i = if f.is_nan() { 0 } else { f as i64 };
+            Val::Int(to.wrap(i))
+        }
+        Op::SiToFp => Val::Float(v.as_int()? as f64),
+        Op::UiToFp => Val::Float(unsigned(v.as_int()?, from) as f64),
+        Op::PtrToInt => Val::Int(v.as_ptr()? as i64),
+        Op::IntToPtr => {
+            let i = v.as_int()?;
+            if i < 0 {
+                return Err(ExecError::BadMemory(0));
+            }
+            Val::Ptr(i as usize)
+        }
+        Op::BitCast => v,
+        Op::FpTrunc | Op::FpExt => Val::Float(v.as_float()?),
+        other => return Err(ExecError::Unsupported(other)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn run_src(src: &str, func: &str, args: &[Val], inputs: &[Val]) -> Result<Outcome, ExecError> {
+        let m = parse_module(src).expect("parse");
+        crate::verify::verify_module(&m).expect("verify");
+        run(&m, func, args, inputs, &ExecConfig::default())
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let out = run_src(
+            "module \"m\"\n\ndefine i64 @f(i64 %p0) {\nb0:\n  %v0 = mul i64 %p0, i64 3\n  %v1 = add i64 %v0, i64 4\n  ret %v1\n}\n",
+            "f",
+            &[Val::Int(5)],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.ret, Some(Val::Int(19)));
+        assert_eq!(out.steps, 3);
+    }
+
+    #[test]
+    fn loop_sums_one_to_n() {
+        let src = r#"module "m"
+
+define i64 @sum(i64 %p0) {
+b0:
+  br b1
+b1:
+  %v1 = phi i64 [i64 0, b0], [%v4, b2]
+  %v2 = phi i64 [i64 1, b0], [%v5, b2]
+  %v3 = icmp sle %v2, %p0
+  condbr %v3, b2, b3
+b2:
+  %v4 = add i64 %v1, %v2
+  %v5 = add i64 %v2, i64 1
+  br b1
+b3:
+  ret %v1
+}
+"#;
+        let out = run_src(src, "sum", &[Val::Int(10)], &[]).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(55)));
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let src = r#"module "m"
+
+define i32 @mem() {
+b0:
+  %v0 = alloca i32, i64 4
+  %v1 = gep %v0, i64 3
+  store i32 7, %v1
+  %v3 = load i32, %v1
+  ret %v3
+}
+"#;
+        let out = run_src(src, "mem", &[], &[]).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(7)));
+    }
+
+    #[test]
+    fn recursion_and_calls() {
+        let src = r#"module "m"
+
+define i64 @fact(i64 %p0) {
+b0:
+  %v0 = icmp sle %p0, i64 1
+  condbr %v0, b1, b2
+b1:
+  ret i64 1
+b2:
+  %v1 = sub i64 %p0, i64 1
+  %v2 = call i64 @fact(%v1)
+  %v3 = mul i64 %p0, %v2
+  ret %v3
+}
+"#;
+        let out = run_src(src, "fact", &[Val::Int(10)], &[]).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(3628800)));
+    }
+
+    #[test]
+    fn io_runtime() {
+        let src = r#"module "m"
+
+declare i64 @read_int()
+declare void @print_int(i64)
+
+define void @main() {
+b0:
+  %v0 = call i64 @read_int()
+  %v1 = add i64 %v0, i64 1
+  call void @print_int(%v1)
+  ret
+}
+"#;
+        let out = run_src(src, "main", &[], &[Val::Int(41)]).unwrap();
+        assert_eq!(out.output, vec![Val::Int(42)]);
+    }
+
+    #[test]
+    fn division_by_zero_is_trapped() {
+        let src = "module \"m\"\n\ndefine i64 @f(i64 %p0) {\nb0:\n  %v0 = sdiv i64 i64 10, %p0\n  ret %v0\n}\n";
+        assert_eq!(
+            run_src(src, "f", &[Val::Int(0)], &[]),
+            Err(ExecError::DivByZero)
+        );
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let src = "module \"m\"\n\ndefine void @f() {\nb0:\n  br b0\n}\n";
+        let m = parse_module(src).unwrap();
+        let cfg = ExecConfig {
+            fuel: 1000,
+            ..Default::default()
+        };
+        assert_eq!(run(&m, "f", &[], &[], &cfg), Err(ExecError::OutOfFuel));
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let src = r#"module "m"
+
+define i64 @classify(i64 %p0) {
+b0:
+  switch %p0, default b1, [i64 1 -> b2], [i64 2 -> b3]
+b1:
+  ret i64 0
+b2:
+  ret i64 10
+b3:
+  ret i64 20
+}
+"#;
+        assert_eq!(run_src(src, "classify", &[Val::Int(1)], &[]).unwrap().ret, Some(Val::Int(10)));
+        assert_eq!(run_src(src, "classify", &[Val::Int(2)], &[]).unwrap().ret, Some(Val::Int(20)));
+        assert_eq!(run_src(src, "classify", &[Val::Int(9)], &[]).unwrap().ret, Some(Val::Int(0)));
+    }
+
+    #[test]
+    fn float_arithmetic_and_casts() {
+        let src = r#"module "m"
+
+define i64 @f(f64 %p0) {
+b0:
+  %v0 = fmul f64 %p0, f64 2.5
+  %v1 = fptosi %v0 to i64
+  ret %v1
+}
+"#;
+        let out = run_src(src, "f", &[Val::Float(4.0)], &[]).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(10)));
+    }
+
+    #[test]
+    fn narrow_arithmetic_wraps() {
+        let src = "module \"m\"\n\ndefine i8 @f(i8 %p0) {\nb0:\n  %v0 = add i8 %p0, i8 100\n  ret %v0\n}\n";
+        let out = run_src(src, "f", &[Val::Int(100)], &[]).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(-56))); // 200 wraps in i8
+    }
+
+    #[test]
+    fn unsigned_comparison_differs_from_signed() {
+        let src = "module \"m\"\n\ndefine i1 @f(i64 %p0) {\nb0:\n  %v0 = icmp ult %p0, i64 10\n  ret %v0\n}\n";
+        // -1 as unsigned is huge, so ult 10 is false.
+        let out = run_src(src, "f", &[Val::Int(-1)], &[]).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(0)));
+    }
+
+    #[test]
+    fn cost_model_charges_divisions_more() {
+        let add_src = "module \"m\"\n\ndefine i64 @f(i64 %p0) {\nb0:\n  %v0 = add i64 %p0, i64 3\n  ret %v0\n}\n";
+        let div_src = "module \"m\"\n\ndefine i64 @f(i64 %p0) {\nb0:\n  %v0 = sdiv i64 %p0, i64 3\n  ret %v0\n}\n";
+        let a = run_src(add_src, "f", &[Val::Int(30)], &[]).unwrap();
+        let d = run_src(div_src, "f", &[Val::Int(30)], &[]).unwrap();
+        assert_eq!(a.steps, d.steps);
+        assert!(d.cost > a.cost);
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let src = "module \"m\"\n\ndefine void @f() {\nb0:\n  call void @f()\n  ret\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(
+            run(&m, "f", &[], &[], &ExecConfig::default()),
+            Err(ExecError::StackOverflow)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! # yali-ir
+//!
+//! A miniature, LLVM-flavoured intermediate representation: the substrate on
+//! which the whole *yali* reproduction of "A Game-Based Framework to Compare
+//! Program Classifiers and Evaders" (CGO 2023) operates.
+//!
+//! The crate provides:
+//!
+//! - the IR object model ([`Module`], [`Function`], [`Block`], [`Inst`],
+//!   [`Value`]) with a 63-opcode instruction set mirroring LLVM's taxonomy
+//!   ([`Op`]);
+//! - a builder API ([`FunctionBuilder`]);
+//! - textual printing ([`print_module`]) and parsing ([`parse_module`]);
+//! - CFG analyses ([`mod@cfg`], [`DomTree`]);
+//! - a verifier ([`verify_module`]) enforcing SSA well-formedness;
+//! - a reference interpreter ([`interp`]) with a deterministic cost model.
+//!
+//! # Example
+//!
+//! ```
+//! use yali_ir::{FunctionBuilder, Module, Type, Value, Op, verify_module};
+//! use yali_ir::interp::{run, Val, ExecConfig};
+//!
+//! let mut b = FunctionBuilder::new("double", vec![Type::I64], Type::I64);
+//! let entry = b.add_block();
+//! b.switch_to(entry);
+//! let two = Value::const_int(Type::I64, 2);
+//! let product = b.binop(Op::Mul, Value::Param(0), two);
+//! b.ret(Some(product));
+//!
+//! let mut module = Module::new("example");
+//! module.add_function(b.finish());
+//! verify_module(&module)?;
+//!
+//! let out = run(&module, "double", &[Val::Int(21)], &[], &ExecConfig::default())?;
+//! assert_eq!(out.ret, Some(Val::Int(42)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod interp;
+pub mod module;
+pub mod opcode;
+pub mod parse;
+pub mod print;
+pub mod types;
+pub mod value;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use dom::DomTree;
+pub use module::{Block, Function, Inst, Module};
+pub use opcode::{Cmp, Op};
+pub use parse::{parse_module, ParseError};
+pub use print::{print_function, print_module};
+pub use types::Type;
+pub use value::{BlockId, InstId, Value};
+pub use verify::{verify_module, VerifyError};

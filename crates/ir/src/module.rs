@@ -1,0 +1,487 @@
+//! The IR object model: modules, functions, basic blocks, and instructions.
+//!
+//! Instructions live in a per-function arena and are referenced by
+//! [`InstId`]; basic blocks hold an ordered list of instruction ids and are
+//! themselves referenced by [`BlockId`]. Removing an instruction from a block
+//! leaves it in the arena as garbage — the verifier only inspects
+//! instructions reachable through blocks, and passes that churn many
+//! instructions can call [`Function::compact`] to drop garbage.
+//!
+//! # Operand conventions
+//!
+//! | opcode | `args` | `blocks` |
+//! |--------|--------|----------|
+//! | `ret` | `[]` or `[value]` | — |
+//! | `br` | — | `[target]` |
+//! | `condbr` | `[cond]` | `[then, else]` |
+//! | `switch` | `[scrutinee, case0, case1, …]` | `[default, target0, target1, …]` |
+//! | `alloca` | `[count]` | — (`ty` is the resulting pointer type) |
+//! | `load` | `[ptr]` | — |
+//! | `store` | `[value, ptr]` | — |
+//! | `gep` | `[ptr, index]` | — (element-wise pointer arithmetic) |
+//! | `phi` | incoming values | incoming blocks (parallel arrays) |
+//! | `call` | actuals | — (`callee` holds the function name) |
+//! | `select` | `[cond, if_true, if_false]` | — |
+//! | `icmp`/`fcmp` | `[lhs, rhs]` | — (`pred` holds the predicate) |
+//! | casts / `fneg` | `[value]` | — |
+//! | binary ops | `[lhs, rhs]` | — |
+
+use crate::opcode::{Cmp, Op};
+use crate::types::Type;
+use crate::value::{BlockId, InstId, Value};
+use std::collections::HashMap;
+
+/// A single IR instruction.
+///
+/// See the [module documentation](self) for the operand conventions of each
+/// opcode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The opcode.
+    pub op: Op,
+    /// The result type ([`Type::Void`] when the instruction produces nothing).
+    pub ty: Type,
+    /// Value operands.
+    pub args: Vec<Value>,
+    /// Block operands: successor targets for terminators, incoming blocks
+    /// for phis.
+    pub blocks: Vec<BlockId>,
+    /// Comparison predicate, for `icmp` and `fcmp`.
+    pub pred: Option<Cmp>,
+    /// Callee name, for `call`.
+    pub callee: Option<String>,
+}
+
+impl Inst {
+    /// Builds an instruction with value operands only.
+    pub fn new(op: Op, ty: Type, args: Vec<Value>) -> Inst {
+        Inst {
+            op,
+            ty,
+            args,
+            blocks: Vec::new(),
+            pred: None,
+            callee: None,
+        }
+    }
+
+    /// True if the instruction terminates a block.
+    pub fn is_terminator(&self) -> bool {
+        self.op.is_terminator()
+    }
+}
+
+/// A basic block: a straight-line sequence of instructions ending in a
+/// terminator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// The instructions of the block, in execution order. The terminator,
+    /// when present, is the last element.
+    pub insts: Vec<InstId>,
+}
+
+/// A function: parameters, a return type, and a CFG of basic blocks.
+///
+/// A function with no blocks is a *declaration* (an external function such
+/// as the runtime's `print_int`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// The function name (no `@` sigil).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// The return type.
+    pub ret: Type,
+    insts: Vec<Inst>,
+    blocks: Vec<Block>,
+    order: Vec<BlockId>,
+}
+
+impl Function {
+    /// Creates an empty function definition (add an entry block before use)
+    /// or, if left without blocks, a declaration.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Type) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            insts: Vec::new(),
+            blocks: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// True if this function has no body.
+    pub fn is_declaration(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function is a declaration.
+    pub fn entry(&self) -> BlockId {
+        self.order[0]
+    }
+
+    /// Appends a fresh, empty basic block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::default());
+        self.order.push(id);
+        id
+    }
+
+    /// Adds `inst` to the arena without placing it in any block.
+    pub fn new_inst(&mut self, inst: Inst) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(inst);
+        id
+    }
+
+    /// Adds `inst` to the arena and appends it to block `b`.
+    pub fn push_inst(&mut self, b: BlockId, inst: Inst) -> InstId {
+        let id = self.new_inst(inst);
+        self.blocks[b.index()].insts.push(id);
+        id
+    }
+
+    /// Inserts an arena instruction at position `pos` of block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is past the end of the block.
+    pub fn insert_inst(&mut self, b: BlockId, pos: usize, id: InstId) {
+        self.blocks[b.index()].insts.insert(pos, id);
+    }
+
+    /// Removes instruction `id` from block `b` (it stays in the arena).
+    pub fn remove_from_block(&mut self, b: BlockId, id: InstId) {
+        self.blocks[b.index()].insts.retain(|&i| i != id);
+    }
+
+    /// Immutable access to an instruction.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to an instruction.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// Immutable access to a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// The blocks in layout order (entry first).
+    pub fn block_order(&self) -> &[BlockId] {
+        &self.order
+    }
+
+    /// Reorders the layout. `order` must be a permutation of a subset of the
+    /// existing block ids that still starts with an entry block; unlisted
+    /// blocks become unreachable garbage.
+    pub fn set_block_order(&mut self, order: Vec<BlockId>) {
+        self.order = order;
+    }
+
+    /// Number of blocks currently in the layout.
+    pub fn num_blocks(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Total instructions currently placed in blocks.
+    pub fn num_insts(&self) -> usize {
+        self.order
+            .iter()
+            .map(|b| self.blocks[b.index()].insts.len())
+            .sum()
+    }
+
+    /// Iterates over `(block, inst)` pairs in layout order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
+        self.order.iter().flat_map(move |&b| {
+            self.blocks[b.index()]
+                .insts
+                .iter()
+                .map(move |&i| (b, i))
+        })
+    }
+
+    /// The terminator of block `b`, if the block ends in one.
+    pub fn terminator(&self, b: BlockId) -> Option<InstId> {
+        let last = *self.blocks[b.index()].insts.last()?;
+        self.insts[last.index()].is_terminator().then_some(last)
+    }
+
+    /// The control-flow successors of block `b`.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        match self.terminator(b) {
+            Some(t) => self.insts[t.index()].blocks.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A map from block to its predecessors, for all blocks in layout order.
+    ///
+    /// A block appears at most once per predecessor even when multiple CFG
+    /// edges connect the pair (e.g. a `condbr` with identical targets, or a
+    /// `switch` with several cases sharing a block) — phis are keyed by
+    /// predecessor block, so one incoming entry covers all parallel edges.
+    pub fn predecessors(&self) -> HashMap<BlockId, Vec<BlockId>> {
+        let mut preds: HashMap<BlockId, Vec<BlockId>> =
+            self.order.iter().map(|&b| (b, Vec::new())).collect();
+        for &b in &self.order {
+            let mut succs = self.successors(b);
+            succs.sort();
+            succs.dedup();
+            for s in succs {
+                preds.entry(s).or_default().push(b);
+            }
+        }
+        preds
+    }
+
+    /// The static type of a value in the context of this function.
+    pub fn value_type(&self, v: &Value) -> Type {
+        match v {
+            Value::Inst(id) => self.insts[id.index()].ty.clone(),
+            Value::Param(i) => self.params[*i as usize].clone(),
+            Value::ConstInt(ty, _) => ty.clone(),
+            Value::ConstFloat(_) => Type::F64,
+            Value::Undef(ty) => ty.clone(),
+        }
+    }
+
+    /// Replaces every use of instruction `from` (as a [`Value::Inst`]
+    /// operand) with `to`, across the whole function.
+    pub fn replace_all_uses(&mut self, from: InstId, to: &Value) {
+        for inst in &mut self.insts {
+            for arg in &mut inst.args {
+                if arg.as_inst() == Some(from) {
+                    *arg = to.clone();
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the arenas, dropping instructions not placed in any ordered
+    /// block and blocks not in the layout. Ids are renumbered densely.
+    pub fn compact(&mut self) {
+        let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+        let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+        for (new_b, &old_b) in self.order.iter().enumerate() {
+            block_map.insert(old_b, BlockId(new_b as u32));
+        }
+        let mut new_insts: Vec<Inst> = Vec::with_capacity(self.num_insts());
+        let mut new_blocks: Vec<Block> = Vec::with_capacity(self.order.len());
+        for &old_b in &self.order {
+            let mut nb = Block::default();
+            for &old_i in &self.blocks[old_b.index()].insts {
+                let new_i = InstId(new_insts.len() as u32);
+                inst_map.insert(old_i, new_i);
+                new_insts.push(self.insts[old_i.index()].clone());
+                nb.insts.push(new_i);
+            }
+            new_blocks.push(nb);
+        }
+        for inst in &mut new_insts {
+            for arg in &mut inst.args {
+                if let Value::Inst(id) = arg {
+                    *id = *inst_map
+                        .get(id)
+                        .unwrap_or_else(|| panic!("compact: dangling use of {id:?}"));
+                }
+            }
+            for b in &mut inst.blocks {
+                *b = *block_map
+                    .get(b)
+                    .unwrap_or_else(|| panic!("compact: dangling block ref {b:?}"));
+            }
+        }
+        self.insts = new_insts;
+        self.blocks = new_blocks;
+        self.order = (0..self.blocks.len() as u32).map(BlockId).collect();
+    }
+
+    /// Retargets every phi in block `b` that lists `from` as an incoming
+    /// block so it lists `to` instead.
+    pub fn retarget_phis(&mut self, b: BlockId, from: BlockId, to: BlockId) {
+        let ids: Vec<InstId> = self.blocks[b.index()].insts.clone();
+        for id in ids {
+            let inst = &mut self.insts[id.index()];
+            if inst.op != Op::Phi {
+                break;
+            }
+            for blk in &mut inst.blocks {
+                if *blk == from {
+                    *blk = to;
+                }
+            }
+        }
+    }
+
+    /// The phi instructions at the head of block `b`.
+    pub fn phis(&self, b: BlockId) -> Vec<InstId> {
+        self.blocks[b.index()]
+            .insts
+            .iter()
+            .copied()
+            .take_while(|&i| self.insts[i.index()].op == Op::Phi)
+            .collect()
+    }
+}
+
+/// A translation unit: a named collection of functions.
+///
+/// # Examples
+///
+/// ```
+/// use yali_ir::{Module, Function, Type};
+/// let mut m = Module::new("demo");
+/// m.add_function(Function::new("main", vec![], Type::I32));
+/// assert!(m.function("main").is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// The module name.
+    pub name: String,
+    /// Functions, definitions and declarations alike.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Adds a function, returning its index.
+    pub fn add_function(&mut self, f: Function) -> usize {
+        self.functions.push(f);
+        self.functions.len() - 1
+    }
+
+    /// Looks a function up by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Iterates over function definitions (skipping declarations).
+    pub fn definitions(&self) -> impl Iterator<Item = &Function> {
+        self.functions.iter().filter(|f| !f.is_declaration())
+    }
+
+    /// Total instruction count across all definitions.
+    pub fn num_insts(&self) -> usize {
+        self.definitions().map(Function::num_insts).sum()
+    }
+
+    /// Ensures a declaration for the named runtime function exists.
+    pub fn declare(&mut self, name: &str, params: Vec<Type>, ret: Type) {
+        if self.function(name).is_none() {
+            self.functions.push(Function::new(name, params, ret));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_block_fn() -> Function {
+        let mut f = Function::new("f", vec![Type::I32], Type::I32);
+        let e = f.add_block();
+        let x = f.add_block();
+        let add = f.push_inst(
+            e,
+            Inst::new(
+                Op::Add,
+                Type::I32,
+                vec![Value::Param(0), Value::const_int(Type::I32, 1)],
+            ),
+        );
+        let mut br = Inst::new(Op::Br, Type::Void, vec![]);
+        br.blocks = vec![x];
+        f.push_inst(e, br);
+        f.push_inst(x, Inst::new(Op::Ret, Type::Void, vec![Value::Inst(add)]));
+        f
+    }
+
+    #[test]
+    fn successors_follow_terminators() {
+        let f = two_block_fn();
+        let e = f.entry();
+        assert_eq!(f.successors(e), vec![BlockId(1)]);
+        assert_eq!(f.successors(BlockId(1)), vec![]);
+    }
+
+    #[test]
+    fn predecessors_invert_successors() {
+        let f = two_block_fn();
+        let preds = f.predecessors();
+        assert_eq!(preds[&BlockId(1)], vec![BlockId(0)]);
+        assert!(preds[&BlockId(0)].is_empty());
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_operands() {
+        let mut f = two_block_fn();
+        let add = InstId(0);
+        f.replace_all_uses(add, &Value::const_int(Type::I32, 9));
+        let ret = f.block(BlockId(1)).insts[0];
+        assert_eq!(f.inst(ret).args[0], Value::const_int(Type::I32, 9));
+    }
+
+    #[test]
+    fn compact_drops_garbage() {
+        let mut f = two_block_fn();
+        // An instruction never placed in a block is garbage.
+        f.new_inst(Inst::new(Op::Mul, Type::I32, vec![Value::Param(0), Value::Param(0)]));
+        let before = f.num_insts();
+        f.compact();
+        assert_eq!(f.num_insts(), before);
+        assert_eq!(f.block_order(), &[BlockId(0), BlockId(1)]);
+    }
+
+    #[test]
+    fn value_type_covers_all_variants() {
+        let f = two_block_fn();
+        assert_eq!(f.value_type(&Value::Param(0)), Type::I32);
+        assert_eq!(f.value_type(&Value::Inst(InstId(0))), Type::I32);
+        assert_eq!(f.value_type(&Value::ConstFloat(1.0)), Type::F64);
+        assert_eq!(f.value_type(&Value::Undef(Type::I8)), Type::I8);
+    }
+
+    #[test]
+    fn module_lookup_and_declare() {
+        let mut m = Module::new("m");
+        m.declare("print_int", vec![Type::I64], Type::Void);
+        m.declare("print_int", vec![Type::I64], Type::Void);
+        assert_eq!(m.functions.len(), 1);
+        assert!(m.function("print_int").unwrap().is_declaration());
+        assert_eq!(m.definitions().count(), 0);
+    }
+
+    #[test]
+    fn declarations_have_no_entry() {
+        let f = Function::new("ext", vec![], Type::Void);
+        assert!(f.is_declaration());
+    }
+}

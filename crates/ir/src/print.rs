@@ -1,0 +1,327 @@
+//! Textual rendering of IR modules.
+//!
+//! The concrete syntax is LLVM-flavoured:
+//!
+//! ```text
+//! module "demo"
+//!
+//! declare void @print_int(i64)
+//!
+//! define i64 @abs(i64 %p0) {
+//! b0:
+//!   %v0 = icmp slt %p0, i64 0
+//!   condbr %v0, b1, b2
+//! b1:
+//!   %v1 = sub i64 0, %p0
+//!   br b2
+//! b2:
+//!   %v2 = phi i64 [%p0, b0], [%v1, b1]
+//!   ret %v2
+//! }
+//! ```
+//!
+//! Instruction results are named `%vN` and blocks `bN`, densely numbered in
+//! layout order, so a parse/print round trip is the identity on the printed
+//! text (see [`crate::parse`]).
+
+use crate::module::{Function, Inst, Module};
+use crate::opcode::Op;
+use crate::types::Type;
+use crate::value::{BlockId, InstId, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Formats a float constant so that parsing recovers the exact bits.
+pub(crate) fn fmt_float(v: f64) -> String {
+    if v.is_nan() {
+        "nan".to_string()
+    } else if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        let s = format!("{v:?}");
+        s
+    }
+}
+
+struct Namer {
+    inst_names: HashMap<InstId, usize>,
+    block_names: HashMap<BlockId, usize>,
+}
+
+impl Namer {
+    // An explicit counter mirrors the printed-name contract (%vN).
+    #[allow(clippy::explicit_counter_loop)]
+    fn new(f: &Function) -> Namer {
+        let mut inst_names = HashMap::new();
+        let mut block_names = HashMap::new();
+        for (bi, &b) in f.block_order().iter().enumerate() {
+            block_names.insert(b, bi);
+        }
+        let mut n = 0;
+        for (_, i) in f.iter_insts() {
+            inst_names.insert(i, n);
+            n += 1;
+        }
+        Namer {
+            inst_names,
+            block_names,
+        }
+    }
+
+    fn value(&self, v: &Value) -> String {
+        match v {
+            Value::Inst(id) => match self.inst_names.get(id) {
+                Some(n) => format!("%v{n}"),
+                None => format!("%dangling{}", id.0),
+            },
+            Value::Param(i) => format!("%p{i}"),
+            Value::ConstInt(ty, v) => format!("{ty} {v}"),
+            Value::ConstFloat(v) => format!("f64 {}", fmt_float(*v)),
+            Value::Undef(ty) => format!("undef {ty}"),
+        }
+    }
+
+    fn block(&self, b: BlockId) -> String {
+        match self.block_names.get(&b) {
+            Some(n) => format!("b{n}"),
+            None => format!("bdangling{}", b.0),
+        }
+    }
+}
+
+fn write_inst(
+    out: &mut String,
+    _f: &Function,
+    namer: &Namer,
+    id: InstId,
+    inst: &Inst,
+) -> fmt::Result {
+    use fmt::Write;
+    out.push_str("  ");
+    if !inst.ty.is_void() {
+        write!(out, "%v{} = ", namer.inst_names[&id])?;
+    }
+    match inst.op {
+        Op::Ret => {
+            if inst.args.is_empty() {
+                out.push_str("ret");
+            } else {
+                write!(out, "ret {}", namer.value(&inst.args[0]))?;
+            }
+        }
+        Op::Br => write!(out, "br {}", namer.block(inst.blocks[0]))?,
+        Op::CondBr => write!(
+            out,
+            "condbr {}, {}, {}",
+            namer.value(&inst.args[0]),
+            namer.block(inst.blocks[0]),
+            namer.block(inst.blocks[1])
+        )?,
+        Op::Switch => {
+            write!(
+                out,
+                "switch {}, default {}",
+                namer.value(&inst.args[0]),
+                namer.block(inst.blocks[0])
+            )?;
+            for (v, b) in inst.args[1..].iter().zip(inst.blocks[1..].iter()) {
+                write!(out, ", [{} -> {}]", namer.value(v), namer.block(*b))?;
+            }
+        }
+        Op::Unreachable => out.push_str("unreachable"),
+        Op::Alloca => {
+            let elem = inst.ty.pointee().cloned().unwrap_or(Type::Void);
+            write!(out, "alloca {}, {}", elem, namer.value(&inst.args[0]))?;
+        }
+        Op::Load => write!(out, "load {}, {}", inst.ty, namer.value(&inst.args[0]))?,
+        Op::Store => write!(
+            out,
+            "store {}, {}",
+            namer.value(&inst.args[0]),
+            namer.value(&inst.args[1])
+        )?,
+        Op::Gep => write!(
+            out,
+            "gep {}, {}",
+            namer.value(&inst.args[0]),
+            namer.value(&inst.args[1])
+        )?,
+        Op::Phi => {
+            write!(out, "phi {}", inst.ty)?;
+            for (i, (v, b)) in inst.args.iter().zip(inst.blocks.iter()).enumerate() {
+                let sep = if i == 0 { " " } else { ", " };
+                write!(out, "{sep}[{}, {}]", namer.value(v), namer.block(*b))?;
+            }
+        }
+        Op::Call => {
+            write!(
+                out,
+                "call {} @{}(",
+                inst.ty,
+                inst.callee.as_deref().unwrap_or("?")
+            )?;
+            for (i, a) in inst.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&namer.value(a));
+            }
+            out.push(')');
+        }
+        Op::ICmp | Op::FCmp => write!(
+            out,
+            "{} {} {}, {}",
+            inst.op,
+            inst.pred.expect("cmp without predicate"),
+            namer.value(&inst.args[0]),
+            namer.value(&inst.args[1])
+        )?,
+        Op::Select => write!(
+            out,
+            "select {}, {}, {}",
+            namer.value(&inst.args[0]),
+            namer.value(&inst.args[1]),
+            namer.value(&inst.args[2])
+        )?,
+        op if op.is_cast() => write!(
+            out,
+            "{} {} to {}",
+            op,
+            namer.value(&inst.args[0]),
+            inst.ty
+        )?,
+        Op::FNeg => write!(out, "fneg {}", namer.value(&inst.args[0]))?,
+        op if op.is_int_binop() || op.is_float_binop() => write!(
+            out,
+            "{} {} {}, {}",
+            op,
+            inst.ty,
+            namer.value(&inst.args[0]),
+            namer.value(&inst.args[1])
+        )?,
+        op => {
+            // Exotic opcodes print generically.
+            write!(out, "{op}")?;
+            for (i, a) in inst.args.iter().enumerate() {
+                let sep = if i == 0 { " " } else { ", " };
+                write!(out, "{sep}{}", namer.value(a))?;
+            }
+        }
+    }
+    out.push('\n');
+    Ok(())
+}
+
+/// Renders a function definition or declaration.
+pub fn print_function(f: &Function) -> String {
+    use fmt::Write;
+    let mut out = String::new();
+    if f.is_declaration() {
+        let _ = write!(out, "declare {} @{}(", f.ret, f.name);
+        for (i, p) in f.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{p}");
+        }
+        out.push_str(")\n");
+        return out;
+    }
+    let _ = write!(out, "define {} @{}(", f.ret, f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{p} %p{i}");
+    }
+    out.push_str(") {\n");
+    let namer = Namer::new(f);
+    for &b in f.block_order() {
+        let _ = writeln!(out, "{}:", namer.block(b));
+        for &i in &f.block(b).insts {
+            let _ = write_inst(&mut out, f, &namer, i, f.inst(i));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = format!("module \"{}\"\n", m.name);
+    for f in &m.functions {
+        out.push('\n');
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print_module(self))
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print_function(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::opcode::Cmp;
+
+    #[test]
+    fn prints_a_simple_function() {
+        let mut b = FunctionBuilder::new("inc", vec![Type::I32], Type::I32);
+        let e = b.add_block();
+        b.switch_to(e);
+        let s = b.binop(Op::Add, Value::Param(0), Value::const_int(Type::I32, 1));
+        b.ret(Some(s));
+        let text = print_function(&b.finish());
+        assert!(text.contains("define i32 @inc(i32 %p0)"));
+        assert!(text.contains("%v0 = add i32 %p0, i32 1"));
+        assert!(text.contains("ret %v0"));
+    }
+
+    #[test]
+    fn prints_declarations() {
+        let f = Function::new("print_int", vec![Type::I64], Type::Void);
+        assert_eq!(print_function(&f), "declare void @print_int(i64)\n");
+    }
+
+    #[test]
+    fn prints_phi_and_cmp() {
+        let mut b = FunctionBuilder::new("m", vec![Type::I64, Type::I64], Type::I64);
+        let e = b.add_block();
+        let t = b.add_block();
+        let j = b.add_block();
+        b.switch_to(e);
+        let c = b.icmp(Cmp::Sgt, Value::Param(0), Value::Param(1));
+        b.condbr(c, t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::I64, vec![(Value::Param(1), e), (Value::Param(0), t)]);
+        b.ret(Some(p));
+        let text = print_function(&b.finish());
+        assert!(text.contains("icmp sgt %p0, %p1"));
+        assert!(text.contains("phi i64 [%p1, b0], [%p0, b1]"));
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for v in [0.0, -0.0, 1.5, 1e300, 1e-300, std::f64::consts::PI] {
+            let s = fmt_float(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "for {s}");
+        }
+        assert_eq!(fmt_float(f64::NAN), "nan");
+        assert_eq!(fmt_float(f64::INFINITY), "inf");
+    }
+}

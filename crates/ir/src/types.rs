@@ -1,0 +1,157 @@
+//! The type system of the IR.
+//!
+//! The IR is typed, with a deliberately small lattice mirroring the subset of
+//! LLVM types that C-like front ends produce for scalar code: `void`, integer
+//! types of four widths, a double-precision float, and pointers.
+
+use std::fmt;
+
+/// A first-class IR type.
+///
+/// Pointers are typed (`ptr<i32>`), like classic (pre-opaque-pointer) LLVM.
+/// Aggregates are not first-class: arrays exist only as allocated storage and
+/// are accessed through [`Type::Ptr`] values produced by `alloca`/`gep`.
+///
+/// # Examples
+///
+/// ```
+/// use yali_ir::Type;
+/// let p = Type::ptr(Type::I32);
+/// assert_eq!(p.pointee(), Some(&Type::I32));
+/// assert!(Type::I32.is_int());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Default)]
+pub enum Type {
+    /// The absence of a value; the result type of instructions that produce
+    /// nothing (e.g. `store`, `br`) and of functions that return nothing.
+    #[default]
+    Void,
+    /// A one-bit boolean, the result of comparisons.
+    I1,
+    /// An 8-bit integer (characters).
+    I8,
+    /// A 32-bit integer.
+    I32,
+    /// A 64-bit integer.
+    I64,
+    /// A 64-bit IEEE-754 float.
+    F64,
+    /// A pointer to values of the element type.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Builds a pointer type to `elem`.
+    pub fn ptr(elem: Type) -> Type {
+        Type::Ptr(Box::new(elem))
+    }
+
+    /// Returns the pointee type if `self` is a pointer.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True for the integer types `i1`, `i8`, `i32` and `i64`.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::I1 | Type::I8 | Type::I32 | Type::I64)
+    }
+
+    /// True for `f64`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F64)
+    }
+
+    /// True for pointer types.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// True for `void`.
+    pub fn is_void(&self) -> bool {
+        matches!(self, Type::Void)
+    }
+
+    /// Bit width of integer types; `None` otherwise.
+    pub fn int_bits(&self) -> Option<u32> {
+        match self {
+            Type::I1 => Some(1),
+            Type::I8 => Some(8),
+            Type::I32 => Some(32),
+            Type::I64 => Some(64),
+            _ => None,
+        }
+    }
+
+    /// Wraps `v` to the value range of this integer type (two's complement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not an integer type.
+    pub fn wrap(&self, v: i64) -> i64 {
+        match self {
+            Type::I1 => v & 1,
+            Type::I8 => v as i8 as i64,
+            Type::I32 => v as i32 as i64,
+            Type::I64 => v,
+            _ => panic!("wrap on non-integer type {self}"),
+        }
+    }
+}
+
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::I1 => write!(f, "i1"),
+            Type::I8 => write!(f, "i8"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::F64 => write!(f, "f64"),
+            Type::Ptr(t) => write!(f, "ptr<{t}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_names() {
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::ptr(Type::F64).to_string(), "ptr<f64>");
+        assert_eq!(Type::ptr(Type::ptr(Type::I8)).to_string(), "ptr<ptr<i8>>");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Type::I1.is_int());
+        assert!(!Type::F64.is_int());
+        assert!(Type::F64.is_float());
+        assert!(Type::ptr(Type::I32).is_ptr());
+        assert!(Type::Void.is_void());
+        assert_eq!(Type::ptr(Type::I32).pointee(), Some(&Type::I32));
+        assert_eq!(Type::I32.pointee(), None);
+    }
+
+    #[test]
+    fn wrap_respects_width() {
+        assert_eq!(Type::I8.wrap(300), 44);
+        assert_eq!(Type::I8.wrap(-129), 127);
+        assert_eq!(Type::I1.wrap(3), 1);
+        assert_eq!(Type::I32.wrap(1 << 40), 0);
+        assert_eq!(Type::I64.wrap(i64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn int_bits() {
+        assert_eq!(Type::I1.int_bits(), Some(1));
+        assert_eq!(Type::I64.int_bits(), Some(64));
+        assert_eq!(Type::F64.int_bits(), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! SSA values: instruction results, parameters, and constants.
+
+use crate::types::Type;
+use std::fmt;
+
+/// Identifies an instruction inside a [`crate::Function`]'s arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+/// Identifies a basic block inside a [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl InstId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%v{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// An SSA value: an operand of an instruction.
+///
+/// # Examples
+///
+/// ```
+/// use yali_ir::{Type, Value};
+/// let c = Value::const_int(Type::I32, 42);
+/// assert_eq!(c.as_const_int(), Some(42));
+/// assert!(c.is_const());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The result of the instruction with the given id.
+    Inst(InstId),
+    /// The `n`-th parameter of the enclosing function.
+    Param(u32),
+    /// An integer constant of the given type.
+    ConstInt(Type, i64),
+    /// A floating-point constant.
+    ConstFloat(f64),
+    /// An undefined value of the given type.
+    Undef(Type),
+}
+
+impl Value {
+    /// Builds an integer constant, wrapping `v` to the width of `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not an integer type.
+    pub fn const_int(ty: Type, v: i64) -> Value {
+        let w = ty.wrap(v);
+        Value::ConstInt(ty, w)
+    }
+
+    /// The canonical `i1` truth values.
+    pub fn const_bool(b: bool) -> Value {
+        Value::ConstInt(Type::I1, i64::from(b))
+    }
+
+    /// Returns the integer payload if this is an integer constant.
+    pub fn as_const_int(&self) -> Option<i64> {
+        match self {
+            Value::ConstInt(_, v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload if this is a float constant.
+    pub fn as_const_float(&self) -> Option<f64> {
+        match self {
+            Value::ConstFloat(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the instruction id if this value is an instruction result.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// True for constants (including `undef`).
+    pub fn is_const(&self) -> bool {
+        matches!(
+            self,
+            Value::ConstInt(..) | Value::ConstFloat(_) | Value::Undef(_)
+        )
+    }
+
+    /// True if this is the integer constant `v` (of any width).
+    pub fn is_int(&self, v: i64) -> bool {
+        self.as_const_int() == Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_int_wraps_to_width() {
+        assert_eq!(Value::const_int(Type::I8, 300).as_const_int(), Some(44));
+        assert_eq!(Value::const_int(Type::I1, 5).as_const_int(), Some(1));
+    }
+
+    #[test]
+    fn bool_constants() {
+        assert_eq!(Value::const_bool(true), Value::ConstInt(Type::I1, 1));
+        assert_eq!(Value::const_bool(false), Value::ConstInt(Type::I1, 0));
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Value::const_int(Type::I32, 1).is_const());
+        assert!(Value::Undef(Type::I32).is_const());
+        assert!(!Value::Param(0).is_const());
+        assert!(!Value::Inst(InstId(3)).is_const());
+        assert_eq!(Value::Inst(InstId(3)).as_inst(), Some(InstId(3)));
+        assert!(Value::const_int(Type::I64, 7).is_int(7));
+        assert!(!Value::ConstFloat(7.0).is_int(7));
+    }
+}

@@ -1,0 +1,520 @@
+//! The IR verifier: structural and SSA well-formedness checks.
+//!
+//! Every pass in `yali-opt` and `yali-obf` is required to keep modules
+//! verifier-clean; the test suites enforce this invariant on randomly
+//! generated programs.
+
+use crate::dom::DomTree;
+use crate::module::{Function, Module};
+use crate::opcode::Op;
+use crate::types::Type;
+use crate::value::{BlockId, InstId, Value};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// A verifier diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function containing the fault.
+    pub function: String,
+    /// Description of the violated invariant.
+    pub msg: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification of @{} failed: {}", self.function, self.msg)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns the first violated invariant found. Checked invariants:
+///
+/// - every block is non-empty and ends in exactly one terminator;
+/// - phis appear only at block heads and their incoming blocks are exactly
+///   the block's predecessors;
+/// - branch targets are blocks in the layout;
+/// - operands are well-typed for their opcode;
+/// - calls name functions that exist, with matching arity and types;
+/// - every use of an instruction result is dominated by its definition.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    let sigs: HashMap<&str, (&[Type], &Type)> = m
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), (f.params.as_slice(), &f.ret)))
+        .collect();
+    for f in m.definitions() {
+        verify_function(f, &sigs)?;
+    }
+    Ok(())
+}
+
+fn err(f: &Function, msg: impl Into<String>) -> VerifyError {
+    VerifyError {
+        function: f.name.clone(),
+        msg: msg.into(),
+    }
+}
+
+/// Verifies one function definition against the module's signatures.
+pub fn verify_function(
+    f: &Function,
+    sigs: &HashMap<&str, (&[Type], &Type)>,
+) -> Result<(), VerifyError> {
+    if f.is_declaration() {
+        return Ok(());
+    }
+    let layout: HashSet<BlockId> = f.block_order().iter().copied().collect();
+    // Map from placed instruction to its block, and intra-block position.
+    let mut placement: HashMap<InstId, (BlockId, usize)> = HashMap::new();
+    for &b in f.block_order() {
+        for (pos, &i) in f.block(b).insts.iter().enumerate() {
+            if placement.insert(i, (b, pos)).is_some() {
+                return Err(err(f, format!("instruction {i} placed twice")));
+            }
+        }
+    }
+    let preds = f.predecessors();
+    for &b in f.block_order() {
+        let insts = &f.block(b).insts;
+        if insts.is_empty() {
+            return Err(err(f, format!("block {b} is empty")));
+        }
+        let last = *insts.last().unwrap();
+        if !f.inst(last).is_terminator() {
+            return Err(err(f, format!("block {b} does not end in a terminator")));
+        }
+        let mut seen_non_phi = false;
+        for (pos, &i) in insts.iter().enumerate() {
+            let inst = f.inst(i);
+            if inst.is_terminator() && pos + 1 != insts.len() {
+                return Err(err(f, format!("terminator {i} in the middle of {b}")));
+            }
+            if inst.op == Op::Phi {
+                if seen_non_phi {
+                    return Err(err(f, format!("phi {i} after non-phi in {b}")));
+                }
+            } else {
+                seen_non_phi = true;
+            }
+            for t in &inst.blocks {
+                if !layout.contains(t) {
+                    return Err(err(f, format!("{i} references block {t} not in layout")));
+                }
+            }
+            check_types(f, i, sigs)?;
+            if inst.op == Op::Phi {
+                let mut incoming: Vec<BlockId> = inst.blocks.clone();
+                incoming.sort();
+                incoming.dedup();
+                if incoming.len() != inst.blocks.len() {
+                    return Err(err(f, format!("phi {i} has duplicate incoming blocks")));
+                }
+                let mut expect: Vec<BlockId> =
+                    preds.get(&b).cloned().unwrap_or_default();
+                expect.sort();
+                expect.dedup();
+                if incoming != expect {
+                    return Err(err(
+                        f,
+                        format!(
+                            "phi {i} incoming blocks {incoming:?} do not match predecessors {expect:?} of {b}"
+                        ),
+                    ));
+                }
+                if inst.args.len() != inst.blocks.len() {
+                    return Err(err(f, format!("phi {i} arity mismatch")));
+                }
+            }
+        }
+    }
+    // SSA dominance.
+    let dt = DomTree::build(f);
+    for &b in f.block_order() {
+        if !dt.rpo().contains(&b) {
+            continue; // unreachable code is exempt from dominance checks
+        }
+        for (pos, &i) in f.block(b).insts.iter().enumerate() {
+            let inst = f.inst(i);
+            if inst.op == Op::Phi {
+                for (v, &ib) in inst.args.iter().zip(inst.blocks.iter()) {
+                    if let Value::Inst(d) = v {
+                        let Some(&(db, dpos)) = placement.get(d) else {
+                            return Err(err(f, format!("phi {i} uses unplaced {d}")));
+                        };
+                        let ok = if db == ib {
+                            true // defined in the incoming block itself
+                        } else {
+                            dt.dominates(db, ib)
+                        };
+                        if !ok && dt.rpo().contains(&ib) {
+                            return Err(err(
+                                f,
+                                format!("phi {i}: def {d} (b{}/{dpos}) does not dominate incoming edge from {ib}", db.0),
+                            ));
+                        }
+                    }
+                }
+                continue;
+            }
+            for v in &inst.args {
+                if let Value::Inst(d) = v {
+                    let Some(&(db, dpos)) = placement.get(d) else {
+                        return Err(err(f, format!("{i} uses unplaced {d}")));
+                    };
+                    let ok = if db == b { dpos < pos } else { dt.dominates(db, b) };
+                    if !ok {
+                        return Err(err(
+                            f,
+                            format!("{i} in {b} uses {d} defined in {db} which does not dominate it"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_types(
+    f: &Function,
+    i: InstId,
+    sigs: &HashMap<&str, (&[Type], &Type)>,
+) -> Result<(), VerifyError> {
+    let inst = f.inst(i);
+    let ty = |v: &Value| f.value_type(v);
+    let want = |cond: bool, msg: String| -> Result<(), VerifyError> {
+        if cond {
+            Ok(())
+        } else {
+            Err(err(f, msg))
+        }
+    };
+    match inst.op {
+        Op::Ret => {
+            if f.ret.is_void() {
+                want(inst.args.is_empty(), format!("{i}: ret with value in void function"))?;
+            } else {
+                want(inst.args.len() == 1, format!("{i}: ret missing value"))?;
+                want(
+                    ty(&inst.args[0]) == f.ret,
+                    format!("{i}: ret type {} != {}", ty(&inst.args[0]), f.ret),
+                )?;
+            }
+        }
+        Op::Br => want(inst.blocks.len() == 1, format!("{i}: br needs 1 target"))?,
+        Op::CondBr => {
+            want(inst.args.len() == 1 && inst.blocks.len() == 2, format!("{i}: bad condbr shape"))?;
+            want(ty(&inst.args[0]) == Type::I1, format!("{i}: condbr condition not i1"))?;
+        }
+        Op::Switch => {
+            want(
+                !inst.args.is_empty() && inst.args.len() == inst.blocks.len(),
+                format!("{i}: bad switch shape"),
+            )?;
+            let sty = ty(&inst.args[0]);
+            want(sty.is_int(), format!("{i}: switch scrutinee not integer"))?;
+            for c in &inst.args[1..] {
+                want(c.is_const(), format!("{i}: switch case not constant"))?;
+                want(ty(c) == sty, format!("{i}: switch case type mismatch"))?;
+            }
+        }
+        Op::Alloca => {
+            want(inst.ty.is_ptr(), format!("{i}: alloca must yield pointer"))?;
+            want(inst.args.len() == 1 && ty(&inst.args[0]).is_int(), format!("{i}: bad alloca count"))?;
+        }
+        Op::Load => {
+            want(inst.args.len() == 1, format!("{i}: bad load shape"))?;
+            let pty = ty(&inst.args[0]);
+            want(
+                pty.pointee() == Some(&inst.ty),
+                format!("{i}: load {} from {}", inst.ty, pty),
+            )?;
+        }
+        Op::Store => {
+            want(inst.args.len() == 2, format!("{i}: bad store shape"))?;
+            let vty = ty(&inst.args[0]);
+            let pty = ty(&inst.args[1]);
+            want(
+                pty.pointee() == Some(&vty),
+                format!("{i}: store {vty} into {pty}"),
+            )?;
+        }
+        Op::Gep => {
+            want(inst.args.len() == 2, format!("{i}: bad gep shape"))?;
+            want(ty(&inst.args[0]).is_ptr(), format!("{i}: gep base not pointer"))?;
+            want(ty(&inst.args[1]).is_int(), format!("{i}: gep index not integer"))?;
+            want(inst.ty == ty(&inst.args[0]), format!("{i}: gep changes pointer type"))?;
+        }
+        Op::Phi => {
+            for v in &inst.args {
+                want(
+                    ty(v) == inst.ty,
+                    format!("{i}: phi operand type {} != {}", ty(v), inst.ty),
+                )?;
+            }
+        }
+        Op::Call => {
+            let callee = inst
+                .callee
+                .as_deref()
+                .ok_or_else(|| err(f, format!("{i}: call without callee")))?;
+            let (params, ret) = sigs
+                .get(callee)
+                .ok_or_else(|| err(f, format!("{i}: call to unknown @{callee}")))?;
+            want(
+                inst.args.len() == params.len(),
+                format!("{i}: call @{callee} arity {} != {}", inst.args.len(), params.len()),
+            )?;
+            for (a, p) in inst.args.iter().zip(params.iter()) {
+                want(ty(a) == *p, format!("{i}: call @{callee} arg {} != {p}", ty(a)))?;
+            }
+            want(inst.ty == **ret, format!("{i}: call @{callee} result type mismatch"))?;
+        }
+        Op::ICmp => {
+            want(inst.pred.map(|p| p.is_int()).unwrap_or(false), format!("{i}: icmp needs int predicate"))?;
+            want(inst.args.len() == 2, format!("{i}: bad icmp shape"))?;
+            let (a, b) = (ty(&inst.args[0]), ty(&inst.args[1]));
+            want(a == b && (a.is_int() || a.is_ptr()), format!("{i}: icmp {a} vs {b}"))?;
+            want(inst.ty == Type::I1, format!("{i}: icmp result not i1"))?;
+        }
+        Op::FCmp => {
+            want(inst.pred.map(|p| !p.is_int()).unwrap_or(false), format!("{i}: fcmp needs float predicate"))?;
+            want(inst.args.len() == 2, format!("{i}: bad fcmp shape"))?;
+            want(
+                ty(&inst.args[0]) == Type::F64 && ty(&inst.args[1]) == Type::F64,
+                format!("{i}: fcmp on non-floats"),
+            )?;
+        }
+        Op::Select => {
+            want(inst.args.len() == 3, format!("{i}: bad select shape"))?;
+            want(ty(&inst.args[0]) == Type::I1, format!("{i}: select condition not i1"))?;
+            want(
+                ty(&inst.args[1]) == inst.ty && ty(&inst.args[2]) == inst.ty,
+                format!("{i}: select arm types differ from result"),
+            )?;
+        }
+        Op::FNeg => {
+            want(
+                inst.args.len() == 1 && ty(&inst.args[0]) == Type::F64 && inst.ty == Type::F64,
+                format!("{i}: bad fneg"),
+            )?;
+        }
+        op if op.is_int_binop() => {
+            want(inst.args.len() == 2, format!("{i}: bad binop shape"))?;
+            let (a, b) = (ty(&inst.args[0]), ty(&inst.args[1]));
+            want(
+                a == b && a == inst.ty && a.is_int(),
+                format!("{i}: {op} on {a}, {b} -> {}", inst.ty),
+            )?;
+        }
+        op if op.is_float_binop() => {
+            want(inst.args.len() == 2, format!("{i}: bad binop shape"))?;
+            want(
+                ty(&inst.args[0]) == Type::F64 && ty(&inst.args[1]) == Type::F64 && inst.ty == Type::F64,
+                format!("{i}: {op} on non-floats"),
+            )?;
+        }
+        op if op.is_cast() => {
+            want(inst.args.len() == 1, format!("{i}: bad cast shape"))?;
+            let from = ty(&inst.args[0]);
+            let to = &inst.ty;
+            let ok = match op {
+                Op::Trunc => {
+                    from.is_int() && to.is_int() && from.int_bits() > to.int_bits()
+                }
+                Op::ZExt | Op::SExt => {
+                    from.is_int() && to.is_int() && from.int_bits() < to.int_bits()
+                }
+                Op::FpToUi | Op::FpToSi => from.is_float() && to.is_int(),
+                Op::UiToFp | Op::SiToFp => from.is_int() && to.is_float(),
+                Op::PtrToInt => from.is_ptr() && to.is_int(),
+                Op::IntToPtr => from.is_int() && to.is_ptr(),
+                Op::BitCast => from.is_ptr() && to.is_ptr(),
+                _ => true, // fptrunc/fpext/addrspacecast: unused by the front end
+            };
+            want(ok, format!("{i}: invalid {op} from {from} to {to}"))?;
+        }
+        Op::Unreachable => {}
+        op => {
+            // Exotic opcodes are structurally unconstrained.
+            let _ = op;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::module::Inst;
+    use crate::opcode::Cmp;
+
+    fn verify_one(f: Function) -> Result<(), VerifyError> {
+        let mut m = Module::new("t");
+        m.add_function(f);
+        verify_module(&m)
+    }
+
+    #[test]
+    fn accepts_well_formed_function() {
+        let mut b = FunctionBuilder::new("ok", vec![Type::I64], Type::I64);
+        let e = b.add_block();
+        b.switch_to(e);
+        let s = b.binop(Op::Add, Value::Param(0), Value::const_int(Type::I64, 1));
+        b.ret(Some(s));
+        assert!(verify_one(b.finish()).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut f = Function::new("bad", vec![], Type::Void);
+        let e = f.add_block();
+        f.push_inst(
+            e,
+            Inst::new(Op::Add, Type::I32, vec![
+                Value::const_int(Type::I32, 1),
+                Value::const_int(Type::I32, 2),
+            ]),
+        );
+        let e = verify_one(f).unwrap_err();
+        assert!(e.msg.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_binop() {
+        let mut f = Function::new("bad", vec![Type::I32], Type::I32);
+        let e = f.add_block();
+        let add = f.push_inst(
+            e,
+            Inst::new(Op::Add, Type::I32, vec![
+                Value::Param(0),
+                Value::const_int(Type::I64, 2),
+            ]),
+        );
+        f.push_inst(e, Inst::new(Op::Ret, Type::Void, vec![Value::Inst(add)]));
+        assert!(verify_one(f).is_err());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = Function::new("bad", vec![], Type::I32);
+        let e = f.add_block();
+        // ret uses %v1 which is defined after it... actually place use of an
+        // instruction that appears later in the same block.
+        let later = f.new_inst(Inst::new(Op::Add, Type::I32, vec![
+            Value::const_int(Type::I32, 1),
+            Value::const_int(Type::I32, 2),
+        ]));
+        f.push_inst(e, Inst::new(Op::Ret, Type::Void, vec![Value::Inst(later)]));
+        f.block_mut(e).insts.insert(0, later); // now: [add, ret] — fine
+        assert!(verify_one(f.clone()).is_ok());
+        // Swap so the use precedes the def.
+        f.block_mut(e).insts.swap(0, 1);
+        let err = verify_one(f).unwrap_err();
+        assert!(err.msg.contains("terminator") || err.msg.contains("dominate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_phi_with_wrong_predecessors() {
+        let mut b = FunctionBuilder::new("bad", vec![Type::I1], Type::I32);
+        let e = b.add_block();
+        let t = b.add_block();
+        let j = b.add_block();
+        b.switch_to(e);
+        b.condbr(Value::Param(0), t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        // Phi listing only one of the two predecessors.
+        let p = b.phi(Type::I32, vec![(Value::const_int(Type::I32, 1), e)]);
+        b.ret(Some(p));
+        let err = verify_one(b.finish()).unwrap_err();
+        assert!(err.msg.contains("predecessors"), "{err}");
+    }
+
+    #[test]
+    fn rejects_call_to_unknown_function() {
+        let mut b = FunctionBuilder::new("bad", vec![], Type::Void);
+        let e = b.add_block();
+        b.switch_to(e);
+        b.call("ghost", Type::Void, vec![]);
+        b.ret(None);
+        let err = verify_one(b.finish()).unwrap_err();
+        assert!(err.msg.contains("unknown"), "{err}");
+    }
+
+    #[test]
+    fn accepts_calls_with_matching_signature() {
+        let mut m = Module::new("t");
+        m.declare("print_int", vec![Type::I64], Type::Void);
+        let mut b = FunctionBuilder::new("main", vec![], Type::Void);
+        let e = b.add_block();
+        b.switch_to(e);
+        b.call("print_int", Type::Void, vec![Value::const_int(Type::I64, 42)]);
+        b.ret(None);
+        m.add_function(b.finish());
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_condbr_on_non_bool() {
+        let mut b = FunctionBuilder::new("bad", vec![Type::I32], Type::Void);
+        let e = b.add_block();
+        let t = b.add_block();
+        b.switch_to(e);
+        b.condbr(Value::Param(0), t, t);
+        b.switch_to(t);
+        b.ret(None);
+        let err = verify_one(b.finish()).unwrap_err();
+        assert!(err.msg.contains("i1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_invalid_cast_direction() {
+        let mut b = FunctionBuilder::new("bad", vec![Type::I64], Type::Void);
+        let e = b.add_block();
+        b.switch_to(e);
+        b.cast(Op::ZExt, Value::Param(0), Type::I32); // narrowing zext
+        b.ret(None);
+        let err = verify_one(b.finish()).unwrap_err();
+        assert!(err.msg.contains("zext"), "{err}");
+    }
+
+    #[test]
+    fn dominance_across_diamond_is_checked() {
+        let mut b = FunctionBuilder::new("bad", vec![Type::I1], Type::I32);
+        let e = b.add_block();
+        let l = b.add_block();
+        let r = b.add_block();
+        let j = b.add_block();
+        b.switch_to(e);
+        b.condbr(Value::Param(0), l, r);
+        b.switch_to(l);
+        let v = b.binop(Op::Add, Value::const_int(Type::I32, 1), Value::const_int(Type::I32, 2));
+        b.br(j);
+        b.switch_to(r);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(Some(v)); // v does not dominate j
+        let err = verify_one(b.finish()).unwrap_err();
+        assert!(err.msg.contains("dominate"), "{err}");
+    }
+
+    #[test]
+    fn icmp_cross_width_rejected() {
+        let mut b = FunctionBuilder::new("bad", vec![Type::I32, Type::I64], Type::Void);
+        let e = b.add_block();
+        b.switch_to(e);
+        b.icmp(Cmp::Eq, Value::Param(0), Value::Param(1));
+        b.ret(None);
+        assert!(verify_one(b.finish()).is_err());
+    }
+}

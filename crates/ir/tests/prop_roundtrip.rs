@@ -1,0 +1,109 @@
+//! Property tests: printer/parser round trips and interpreter agreement on
+//! randomly generated straight-line functions.
+
+use proptest::prelude::*;
+use yali_ir::interp::{run, ExecConfig, Val};
+use yali_ir::{parse_module, print_module, FunctionBuilder, Module, Op, Type, Value};
+
+/// A tiny recipe for one instruction of a random straight-line function.
+#[derive(Debug, Clone)]
+enum Step {
+    Bin(u8, i64),
+    CmpThenExt(u8),
+    SelectConst(i64, i64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..13, -100i64..100).prop_map(|(o, c)| Step::Bin(o, c)),
+        (0u8..6).prop_map(Step::CmpThenExt),
+        (-50i64..50, -50i64..50).prop_map(|(a, b)| Step::SelectConst(a, b)),
+    ]
+}
+
+fn build(steps: &[Step]) -> Module {
+    let mut b = FunctionBuilder::new("f", vec![Type::I64], Type::I64);
+    let entry = b.add_block();
+    b.switch_to(entry);
+    let mut cur = Value::Param(0);
+    for s in steps {
+        cur = match s {
+            Step::Bin(o, c) => {
+                let op = [
+                    Op::Add,
+                    Op::Sub,
+                    Op::Mul,
+                    Op::And,
+                    Op::Or,
+                    Op::Xor,
+                    Op::Shl,
+                    Op::LShr,
+                    Op::AShr,
+                    Op::SDiv,
+                    Op::SRem,
+                    Op::UDiv,
+                    Op::URem,
+                ][*o as usize % 13];
+                // Keep divisors nonzero.
+                let c = if matches!(op, Op::SDiv | Op::SRem | Op::UDiv | Op::URem) && *c == 0 {
+                    7
+                } else {
+                    *c
+                };
+                b.binop(op, cur, Value::const_int(Type::I64, c))
+            }
+            Step::CmpThenExt(p) => {
+                let pred = [
+                    yali_ir::Cmp::Eq,
+                    yali_ir::Cmp::Ne,
+                    yali_ir::Cmp::Slt,
+                    yali_ir::Cmp::Sle,
+                    yali_ir::Cmp::Ult,
+                    yali_ir::Cmp::Uge,
+                ][*p as usize % 6];
+                let c = b.icmp(pred, cur, Value::const_int(Type::I64, 3));
+                b.cast(Op::ZExt, c, Type::I64)
+            }
+            Step::SelectConst(x, y) => {
+                let c = b.icmp(yali_ir::Cmp::Sgt, cur, Value::const_int(Type::I64, 0));
+                b.select(
+                    c,
+                    Value::const_int(Type::I64, *x),
+                    Value::const_int(Type::I64, *y),
+                )
+            }
+        };
+    }
+    b.ret(Some(cur));
+    let mut m = Module::new("prop");
+    m.add_function(b.finish());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_print_identity(steps in prop::collection::vec(step_strategy(), 1..20)) {
+        let m = build(&steps);
+        yali_ir::verify_module(&m).expect("generated module verifies");
+        let once = print_module(&m);
+        let parsed = parse_module(&once).expect("printed module parses");
+        prop_assert_eq!(once, print_module(&parsed));
+    }
+
+    #[test]
+    fn parsing_preserves_behaviour(steps in prop::collection::vec(step_strategy(), 1..20), arg in -1000i64..1000) {
+        let m = build(&steps);
+        let parsed = parse_module(&print_module(&m)).expect("parses");
+        let a = run(&m, "f", &[Val::Int(arg)], &[], &ExecConfig::default());
+        let b = run(&parsed, "f", &[Val::Int(arg)], &[], &ExecConfig::default());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn verifier_accepts_all_generated_modules(steps in prop::collection::vec(step_strategy(), 0..30)) {
+        let m = build(&steps);
+        prop_assert!(yali_ir::verify_module(&m).is_ok());
+    }
+}

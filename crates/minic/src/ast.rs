@@ -1,0 +1,455 @@
+//! The MiniC abstract syntax tree.
+//!
+//! MiniC is a small C-like language, rich enough to express the kinds of
+//! programs found in programming-judge datasets (loops, arrays, recursion,
+//! floats, switch statements) while remaining easy to transform. The AST is
+//! deliberately plain data — `Clone`/`PartialEq` everywhere — because the
+//! source-level obfuscators of `yali-obf` and the author-variation engine of
+//! `yali-dataset` rewrite it structurally.
+
+use std::fmt;
+
+/// A MiniC type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// 64-bit float (`float`).
+    Float,
+    /// No value (`void`), only as a return type.
+    Void,
+    /// Pointer to int (`int[]` parameters).
+    IntArray,
+    /// Pointer to float (`float[]` parameters).
+    FloatArray,
+}
+
+impl Ty {
+    /// True for the scalar numeric types.
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Ty::Int | Ty::Float)
+    }
+
+    /// True for array (pointer) types.
+    pub fn is_array(self) -> bool {
+        matches!(self, Ty::IntArray | Ty::FloatArray)
+    }
+
+    /// The element type of an array type.
+    pub fn elem(self) -> Option<Ty> {
+        match self {
+            Ty::IntArray => Some(Ty::Int),
+            Ty::FloatArray => Some(Ty::Float),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => write!(f, "int"),
+            Ty::Float => write!(f, "float"),
+            Ty::Void => write!(f, "void"),
+            Ty::IntArray => write!(f, "int[]"),
+            Ty::FloatArray => write!(f, "float[]"),
+        }
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise not `~x`.
+    BitNot,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl BinOp {
+    /// True for the comparison operators (result is int 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// True for the short-circuit logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// True for operators defined only on integers.
+    pub fn is_int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::Rem
+                | BinOp::BitAnd
+                | BinOp::BitOr
+                | BinOp::BitXor
+                | BinOp::Shl
+                | BinOp::Shr
+                | BinOp::And
+                | BinOp::Or
+        )
+    }
+
+    /// The C spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Variable reference.
+    Var(String),
+    /// Array element `a[i]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call (user functions or the runtime builtins).
+    Call(String, Vec<Expr>),
+    /// Explicit cast `(int)x` / `(float)x`.
+    Cast(Ty, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array element.
+    Index(String, Expr),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Scalar declaration `int x = e;` (the initializer is optional).
+    DeclScalar(String, Ty, Option<Expr>),
+    /// Array declaration `int a[n];`.
+    DeclArray(String, Ty, Expr),
+    /// Assignment `lv = e;`.
+    Assign(LValue, Expr),
+    /// `if (c) { … } else { … }`.
+    If(Expr, Block, Option<Block>),
+    /// `while (c) { … }`.
+    While(Expr, Block),
+    /// `do { … } while (c);`.
+    DoWhile(Block, Expr),
+    /// `for (init; cond; step) { … }`. Init and step are restricted to
+    /// declarations/assignments, as in idiomatic judge submissions.
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Box<Stmt>>, Block),
+    /// `switch (e) { case k: …; default: … }`. Cases do not fall through.
+    Switch(Expr, Vec<(i64, Block)>, Option<Block>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// An expression evaluated for effect (calls).
+    ExprStmt(Expr),
+    /// A braced sub-block (its own scope).
+    Block(Block),
+}
+
+/// A sequence of statements in one scope.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// The statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    /// Builds a block from statements.
+    pub fn new(stmts: Vec<Stmt>) -> Block {
+        Block { stmts }
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Ty,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Ty,
+    /// The body.
+    pub body: Block,
+}
+
+/// A whole MiniC program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// The functions; execution starts at `main`.
+    pub funcs: Vec<FuncDecl>,
+}
+
+impl Program {
+    /// Looks a function up by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+/// The runtime builtins every MiniC program may call.
+///
+/// Returns `(name, param_types, return_type)` triples.
+pub fn builtins() -> &'static [(&'static str, &'static [Ty], Ty)] {
+    &[
+        ("read_int", &[], Ty::Int),
+        ("read_float", &[], Ty::Float),
+        ("print_int", &[Ty::Int], Ty::Void),
+        ("print_float", &[Ty::Float], Ty::Void),
+    ]
+}
+
+/// Applies `f` to every statement in the block tree, depth-first, children
+/// before parents.
+pub fn visit_stmts_mut(block: &mut Block, f: &mut impl FnMut(&mut Stmt)) {
+    for stmt in &mut block.stmts {
+        match stmt {
+            Stmt::If(_, t, e) => {
+                visit_stmts_mut(t, f);
+                if let Some(e) = e {
+                    visit_stmts_mut(e, f);
+                }
+            }
+            Stmt::While(_, b) | Stmt::DoWhile(b, _) => visit_stmts_mut(b, f),
+            Stmt::For(_, _, _, b) => visit_stmts_mut(b, f),
+            Stmt::Switch(_, cases, default) => {
+                for (_, b) in cases {
+                    visit_stmts_mut(b, f);
+                }
+                if let Some(d) = default {
+                    visit_stmts_mut(d, f);
+                }
+            }
+            Stmt::Block(b) => visit_stmts_mut(b, f),
+            _ => {}
+        }
+        f(stmt);
+    }
+}
+
+/// Applies `f` to every expression in a statement, children before parents.
+pub fn visit_exprs_in_stmt_mut(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    fn walk(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+        match e {
+            Expr::Index(_, i) => walk(i, f),
+            Expr::Unary(_, a) => walk(a, f),
+            Expr::Binary(_, a, b) => {
+                walk(a, f);
+                walk(b, f);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    walk(a, f);
+                }
+            }
+            Expr::Cast(_, a) => walk(a, f),
+            _ => {}
+        }
+        f(e);
+    }
+    match stmt {
+        Stmt::DeclScalar(_, _, Some(e)) => walk(e, f),
+        Stmt::DeclArray(_, _, e) => walk(e, f),
+        Stmt::Assign(lv, e) => {
+            if let LValue::Index(_, i) = lv {
+                walk(i, f);
+            }
+            walk(e, f);
+        }
+        Stmt::If(c, _, _) | Stmt::While(c, _) | Stmt::DoWhile(_, c) | Stmt::Switch(c, _, _) => {
+            walk(c, f)
+        }
+        Stmt::For(init, cond, step, _) => {
+            if let Some(i) = init {
+                visit_exprs_in_stmt_mut(i, f);
+            }
+            if let Some(c) = cond {
+                walk(c, f);
+            }
+            if let Some(s) = step {
+                visit_exprs_in_stmt_mut(s, f);
+            }
+        }
+        Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => walk(e, f),
+        _ => {}
+    }
+}
+
+/// Counts statements in a block tree (a crude program-size metric).
+pub fn count_stmts(block: &Block) -> usize {
+    let mut n = 0;
+    let mut b = block.clone();
+    visit_stmts_mut(&mut b, &mut |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Block {
+        Block::new(vec![
+            Stmt::DeclScalar("x".into(), Ty::Int, Some(Expr::Int(1))),
+            Stmt::While(
+                Expr::bin(BinOp::Lt, Expr::var("x"), Expr::Int(10)),
+                Block::new(vec![Stmt::Assign(
+                    LValue::Var("x".into()),
+                    Expr::bin(BinOp::Add, Expr::var("x"), Expr::Int(1)),
+                )]),
+            ),
+            Stmt::Return(Some(Expr::var("x"))),
+        ])
+    }
+
+    #[test]
+    fn visit_stmts_reaches_nested_statements() {
+        let mut b = sample_block();
+        let mut n = 0;
+        visit_stmts_mut(&mut b, &mut |_| n += 1);
+        assert_eq!(n, 4); // decl, while, assign, return
+    }
+
+    #[test]
+    fn count_stmts_matches_visit() {
+        assert_eq!(count_stmts(&sample_block()), 4);
+    }
+
+    #[test]
+    fn visit_exprs_children_first() {
+        let mut s = Stmt::Assign(
+            LValue::Var("x".into()),
+            Expr::bin(BinOp::Add, Expr::Int(1), Expr::Int(2)),
+        );
+        let mut seen = Vec::new();
+        visit_exprs_in_stmt_mut(&mut s, &mut |e| {
+            seen.push(format!("{e:?}"));
+        });
+        assert_eq!(seen.len(), 3);
+        assert!(seen[0].contains("Int(1)"));
+        assert!(seen[2].contains("Binary"));
+    }
+
+    #[test]
+    fn ty_classification() {
+        assert!(Ty::Int.is_scalar());
+        assert!(Ty::IntArray.is_array());
+        assert_eq!(Ty::FloatArray.elem(), Some(Ty::Float));
+        assert!(!Ty::Void.is_scalar());
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(BinOp::Rem.is_int_only());
+        assert!(!BinOp::Add.is_int_only());
+        assert_eq!(BinOp::Shl.symbol(), "<<");
+    }
+
+    #[test]
+    fn builtins_are_known() {
+        let names: Vec<&str> = builtins().iter().map(|(n, _, _)| *n).collect();
+        assert!(names.contains(&"read_int"));
+        assert!(names.contains(&"print_float"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # yali-minic
+//!
+//! *MiniC* — a small C-like language playing the role of the C/C++ front end
+//! in the yali reproduction of "A Game-Based Framework to Compare Program
+//! Classifiers and Evaders" (CGO 2023).
+//!
+//! The crate provides the full front-end pipeline:
+//!
+//! - [`parse`] — lexer + recursive-descent parser producing an [`ast`];
+//! - [`check`] — scoping and type checking ([`sema`]);
+//! - [`print()`](fn@print) — a pretty-printer whose output re-parses to an equal AST;
+//! - [`lower()`](lower()) — `clang -O0`-style lowering to [`yali_ir`] (all locals in
+//!   `alloca`'d slots, ready for `mem2reg`).
+//!
+//! The AST is plain mutable data: the source-level obfuscators in `yali-obf`
+//! and the author-variation machinery in `yali-dataset` rewrite it directly.
+//!
+//! # Example
+//!
+//! ```
+//! use yali_ir::interp::{run, Val, ExecConfig};
+//!
+//! let src = r#"
+//!     int gcd(int a, int b) {
+//!         while (b != 0) { int t = a % b; a = b; b = t; }
+//!         return a;
+//!     }
+//! "#;
+//! let program = yali_minic::parse(src)?;
+//! yali_minic::check(&program)?;
+//! let module = yali_minic::lower(&program);
+//! let out = run(&module, "gcd", &[Val::Int(48), Val::Int(18)], &[], &ExecConfig::default())?;
+//! assert_eq!(out.ret, Some(Val::Int(6)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+pub mod sema;
+
+pub use ast::{BinOp, Block, Expr, FuncDecl, LValue, Param, Program, Stmt, Ty, UnOp};
+pub use lower::lower;
+pub use parser::{parse, SyntaxError};
+pub use printer::print;
+pub use sema::{check, SemaError};
+
+/// Parses, checks, and lowers a source file in one call.
+///
+/// # Errors
+///
+/// Returns the syntax or semantic error as a boxed error.
+///
+/// # Examples
+///
+/// ```
+/// let m = yali_minic::compile("int one() { return 1; }")?;
+/// assert!(m.function("one").is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(src: &str) -> Result<yali_ir::Module, Box<dyn std::error::Error>> {
+    let p = parse(src)?;
+    check(&p)?;
+    Ok(lower(&p))
+}

@@ -1,0 +1,760 @@
+//! Lowering from the MiniC AST to `yali-ir`, in the style of `clang -O0`.
+//!
+//! Like clang at `-O0`, every local variable (including parameters) lives in
+//! an `alloca`'d stack slot: reads load, writes store, and no SSA values flow
+//! across statements. This is important for the reproduction: the paper's
+//! observation that "the SSA conversion that LLVM uses reverts all the
+//! effects of [the drlsg source obfuscator]" only manifests when the
+//! baseline code is memory-based and `mem2reg` (in `yali-opt`) performs the
+//! promotion.
+//!
+//! Scalar `alloca`s are hoisted to the entry block (as clang does), so loops
+//! do not grow the interpreter's memory.
+
+use crate::ast::*;
+use crate::sema::{self, FuncSig, Scopes};
+use std::collections::HashMap;
+use yali_ir::{BlockId, Cmp, FunctionBuilder, Inst, Module, Op, Type, Value};
+
+/// How a MiniC variable is stored.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// A stack slot (pointer value) holding a scalar of the given type.
+    Stack(Value, Ty),
+    /// A directly usable value (array parameters: already pointers).
+    Direct(Value),
+}
+
+fn ir_scalar(ty: Ty) -> Type {
+    match ty {
+        Ty::Int => Type::I64,
+        Ty::Float => Type::F64,
+        Ty::Void => Type::Void,
+        Ty::IntArray => Type::ptr(Type::I64),
+        Ty::FloatArray => Type::ptr(Type::F64),
+    }
+}
+
+struct Lowerer<'a> {
+    b: FunctionBuilder,
+    sigs: &'a HashMap<String, FuncSig>,
+    scopes: Vec<HashMap<String, Slot>>,
+    ty_scopes: Scopes,
+    entry: BlockId,
+    /// Number of allocas already hoisted into the entry block.
+    entry_allocas: usize,
+    break_stack: Vec<BlockId>,
+    continue_stack: Vec<BlockId>,
+    ret: Ty,
+}
+
+impl<'a> Lowerer<'a> {
+    fn lookup(&self, name: &str) -> &Slot {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|s| s.get(name))
+            .unwrap_or_else(|| panic!("sema missed undeclared variable {name}"))
+    }
+
+    fn declare(&mut self, name: &str, slot: Slot, ty: Ty) {
+        self.scopes
+            .last_mut()
+            .expect("no scope")
+            .insert(name.to_string(), slot);
+        self.ty_scopes.declare(name, ty);
+    }
+
+    /// Allocates a hoisted scalar stack slot in the entry block.
+    fn entry_alloca(&mut self, elem: Type) -> Value {
+        let inst = Inst::new(
+            Op::Alloca,
+            Type::ptr(elem),
+            vec![Value::const_int(Type::I64, 1)],
+        );
+        let id = self.b.func_mut().new_inst(inst);
+        let pos = self.entry_allocas;
+        self.b.func_mut().insert_inst(self.entry, pos, id);
+        self.entry_allocas += 1;
+        Value::Inst(id)
+    }
+
+    fn expr_ty(&self, e: &Expr) -> Ty {
+        sema::expr_ty(e, &self.ty_scopes, self.sigs).expect("sema accepted ill-typed expression")
+    }
+
+    /// Inserts an int→float promotion when needed.
+    fn promote(&mut self, v: Value, from: Ty, to: Ty) -> Value {
+        match (from, to) {
+            (Ty::Int, Ty::Float) => self.b.cast(Op::SiToFp, v, Type::F64),
+            (Ty::Float, Ty::Int) => self.b.cast(Op::FpToSi, v, Type::I64),
+            _ => v,
+        }
+    }
+
+    /// Lowers an expression to an `i1` truth value (condition position).
+    fn lower_cond(&mut self, e: &Expr) -> Value {
+        match e {
+            Expr::Binary(op, a, b) if op.is_comparison() => {
+                let at = self.expr_ty(a);
+                let bt = self.expr_ty(b);
+                let common = if at == Ty::Float || bt == Ty::Float {
+                    Ty::Float
+                } else {
+                    Ty::Int
+                };
+                let va = self.lower_expr(a);
+                let va = self.promote(va, at, common);
+                let vb = self.lower_expr(b);
+                let vb = self.promote(vb, bt, common);
+                if common == Ty::Float {
+                    let pred = match op {
+                        BinOp::Lt => Cmp::Olt,
+                        BinOp::Le => Cmp::Ole,
+                        BinOp::Gt => Cmp::Ogt,
+                        BinOp::Ge => Cmp::Oge,
+                        BinOp::Eq => Cmp::Oeq,
+                        _ => Cmp::One,
+                    };
+                    self.b.fcmp(pred, va, vb)
+                } else {
+                    let pred = match op {
+                        BinOp::Lt => Cmp::Slt,
+                        BinOp::Le => Cmp::Sle,
+                        BinOp::Gt => Cmp::Sgt,
+                        BinOp::Ge => Cmp::Sge,
+                        BinOp::Eq => Cmp::Eq,
+                        _ => Cmp::Ne,
+                    };
+                    self.b.icmp(pred, va, vb)
+                }
+            }
+            Expr::Binary(BinOp::And, a, b) => {
+                // a && b: evaluate b only if a is true.
+                let va = self.lower_cond(a);
+                let lhs_block = self.b.current();
+                let rhs_block = self.b.add_block();
+                let join = self.b.add_block();
+                self.b.condbr(va, rhs_block, join);
+                self.b.switch_to(rhs_block);
+                let vb = self.lower_cond(b);
+                let rhs_end = self.b.current();
+                self.b.br(join);
+                self.b.switch_to(join);
+                self.b.phi(
+                    Type::I1,
+                    vec![(Value::const_bool(false), lhs_block), (vb, rhs_end)],
+                )
+            }
+            Expr::Binary(BinOp::Or, a, b) => {
+                let va = self.lower_cond(a);
+                let lhs_block = self.b.current();
+                let rhs_block = self.b.add_block();
+                let join = self.b.add_block();
+                self.b.condbr(va, join, rhs_block);
+                self.b.switch_to(rhs_block);
+                let vb = self.lower_cond(b);
+                let rhs_end = self.b.current();
+                self.b.br(join);
+                self.b.switch_to(join);
+                self.b.phi(
+                    Type::I1,
+                    vec![(Value::const_bool(true), lhs_block), (vb, rhs_end)],
+                )
+            }
+            Expr::Unary(UnOp::Not, a) => {
+                let v = self.lower_cond(a);
+                self.b.binop(Op::Xor, v, Value::const_bool(true))
+            }
+            other => {
+                let t = self.expr_ty(other);
+                let v = self.lower_expr(other);
+                if t == Ty::Float {
+                    self.b.fcmp(Cmp::One, v, Value::ConstFloat(0.0))
+                } else {
+                    self.b.icmp(Cmp::Ne, v, Value::const_int(Type::I64, 0))
+                }
+            }
+        }
+    }
+
+    /// Lowers an expression to its value (int as `i64`, float as `f64`,
+    /// arrays as pointers).
+    fn lower_expr(&mut self, e: &Expr) -> Value {
+        match e {
+            Expr::Int(v) => Value::const_int(Type::I64, *v),
+            Expr::Float(v) => Value::ConstFloat(*v),
+            Expr::Var(n) => match self.lookup(n).clone() {
+                // Local arrays: the alloca *is* the array base pointer.
+                Slot::Stack(ptr, ty) if ty.is_array() => ptr,
+                Slot::Stack(ptr, _) => self.b.load(ptr),
+                Slot::Direct(v) => v,
+            },
+            Expr::Index(n, i) => {
+                let ptr = self.element_ptr(n, i);
+                self.b.load(ptr)
+            }
+            Expr::Unary(op, a) => {
+                let at = self.expr_ty(a);
+                match op {
+                    UnOp::Neg => {
+                        let v = self.lower_expr(a);
+                        if at == Ty::Float {
+                            self.b.emit(Inst::new(Op::FNeg, Type::F64, vec![v]))
+                        } else {
+                            let zero = Value::const_int(Type::I64, 0);
+                            self.b.binop(Op::Sub, zero, v)
+                        }
+                    }
+                    UnOp::Not => {
+                        let c = self.lower_cond(a);
+                        let inv = self.b.binop(Op::Xor, c, Value::const_bool(true));
+                        self.b.cast(Op::ZExt, inv, Type::I64)
+                    }
+                    UnOp::BitNot => {
+                        let v = self.lower_expr(a);
+                        self.b.binop(Op::Xor, v, Value::const_int(Type::I64, -1))
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                if op.is_comparison() || op.is_logical() {
+                    let c = self.lower_cond(e);
+                    return self.b.cast(Op::ZExt, c, Type::I64);
+                }
+                let at = self.expr_ty(a);
+                let bt = self.expr_ty(b);
+                let common = if at == Ty::Float || bt == Ty::Float {
+                    Ty::Float
+                } else {
+                    Ty::Int
+                };
+                let va = self.lower_expr(a);
+                let va = self.promote(va, at, common);
+                let vb = self.lower_expr(b);
+                let vb = self.promote(vb, bt, common);
+                let irop = match (op, common) {
+                    (BinOp::Add, Ty::Float) => Op::FAdd,
+                    (BinOp::Sub, Ty::Float) => Op::FSub,
+                    (BinOp::Mul, Ty::Float) => Op::FMul,
+                    (BinOp::Div, Ty::Float) => Op::FDiv,
+                    (BinOp::Add, _) => Op::Add,
+                    (BinOp::Sub, _) => Op::Sub,
+                    (BinOp::Mul, _) => Op::Mul,
+                    (BinOp::Div, _) => Op::SDiv,
+                    (BinOp::Rem, _) => Op::SRem,
+                    (BinOp::BitAnd, _) => Op::And,
+                    (BinOp::BitOr, _) => Op::Or,
+                    (BinOp::BitXor, _) => Op::Xor,
+                    (BinOp::Shl, _) => Op::Shl,
+                    (BinOp::Shr, _) => Op::AShr,
+                    (op, _) => unreachable!("unhandled operator {op:?}"),
+                };
+                self.b.binop(irop, va, vb)
+            }
+            Expr::Call(n, args) => {
+                let sig = self.sigs.get(n).expect("sema missed unknown callee").clone();
+                let mut vals = Vec::with_capacity(args.len());
+                for (a, &pt) in args.iter().zip(&sig.params) {
+                    let at = self.expr_ty(a);
+                    let v = self.lower_expr(a);
+                    vals.push(self.promote(v, at, pt));
+                }
+                self.b.call(n, ir_scalar(sig.ret), vals)
+            }
+            Expr::Cast(ty, a) => {
+                let at = self.expr_ty(a);
+                let v = self.lower_expr(a);
+                self.promote(v, at, *ty)
+            }
+        }
+    }
+
+    /// Computes the address of `name[idx]`.
+    fn element_ptr(&mut self, name: &str, idx: &Expr) -> Value {
+        let base = match self.lookup(name).clone() {
+            Slot::Direct(v) => v,
+            Slot::Stack(ptr, _) => ptr, // local arrays: the alloca is the base
+        };
+        let iv = self.lower_expr(idx);
+        self.b.gep(base, iv)
+    }
+
+    fn lower_block(&mut self, block: &Block) {
+        self.scopes.push(HashMap::new());
+        self.ty_scopes.push();
+        for s in &block.stmts {
+            if self.b.is_terminated() {
+                break; // dead code after return/break/continue
+            }
+            self.lower_stmt(s);
+        }
+        self.ty_scopes.pop();
+        self.scopes.pop();
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::DeclScalar(n, ty, init) => {
+                let ptr = self.entry_alloca(ir_scalar(*ty));
+                if let Some(e) = init {
+                    let et = self.expr_ty(e);
+                    let v = self.lower_expr(e);
+                    let v = self.promote(v, et, *ty);
+                    self.b.store(v, ptr.clone());
+                }
+                self.declare(n, Slot::Stack(ptr, *ty), *ty);
+            }
+            Stmt::DeclArray(n, ty, size) => {
+                let sv = self.lower_expr(size);
+                let ptr = self.b.alloca(ir_scalar(*ty), sv);
+                let at = if *ty == Ty::Int {
+                    Ty::IntArray
+                } else {
+                    Ty::FloatArray
+                };
+                self.declare(n, Slot::Stack(ptr, at), at);
+            }
+            Stmt::Assign(lv, e) => {
+                let (ptr, lt) = match lv {
+                    LValue::Var(n) => match self.lookup(n).clone() {
+                        Slot::Stack(p, t) => (p, t),
+                        Slot::Direct(_) => panic!("sema missed assignment to array"),
+                    },
+                    LValue::Index(n, i) => {
+                        let elem = self
+                            .ty_scopes
+                            .lookup(n)
+                            .and_then(Ty::elem)
+                            .expect("sema missed bad index");
+                        (self.element_ptr(n, i), elem)
+                    }
+                };
+                let et = self.expr_ty(e);
+                let v = self.lower_expr(e);
+                let v = self.promote(v, et, lt);
+                self.b.store(v, ptr);
+            }
+            Stmt::If(c, t, e) => {
+                let cond = self.lower_cond(c);
+                let then_b = self.b.add_block();
+                let join = self.b.add_block();
+                let else_b = if e.is_some() { self.b.add_block() } else { join };
+                self.b.condbr(cond, then_b, else_b);
+                self.b.switch_to(then_b);
+                self.lower_block(t);
+                if !self.b.is_terminated() {
+                    self.b.br(join);
+                }
+                if let Some(e) = e {
+                    self.b.switch_to(else_b);
+                    self.lower_block(e);
+                    if !self.b.is_terminated() {
+                        self.b.br(join);
+                    }
+                }
+                self.b.switch_to(join);
+            }
+            Stmt::While(c, body) => {
+                let header = self.b.add_block();
+                let body_b = self.b.add_block();
+                let exit = self.b.add_block();
+                self.b.br(header);
+                self.b.switch_to(header);
+                let cond = self.lower_cond(c);
+                self.b.condbr(cond, body_b, exit);
+                self.b.switch_to(body_b);
+                self.break_stack.push(exit);
+                self.continue_stack.push(header);
+                self.lower_block(body);
+                self.continue_stack.pop();
+                self.break_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(header);
+                }
+                self.b.switch_to(exit);
+            }
+            Stmt::DoWhile(body, c) => {
+                let body_b = self.b.add_block();
+                let latch = self.b.add_block();
+                let exit = self.b.add_block();
+                self.b.br(body_b);
+                self.b.switch_to(body_b);
+                self.break_stack.push(exit);
+                self.continue_stack.push(latch);
+                self.lower_block(body);
+                self.continue_stack.pop();
+                self.break_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(latch);
+                }
+                self.b.switch_to(latch);
+                let cond = self.lower_cond(c);
+                self.b.condbr(cond, body_b, exit);
+                self.b.switch_to(exit);
+            }
+            Stmt::For(init, cond, step, body) => {
+                self.scopes.push(HashMap::new());
+                self.ty_scopes.push();
+                if let Some(i) = init {
+                    self.lower_stmt(i);
+                }
+                let header = self.b.add_block();
+                let body_b = self.b.add_block();
+                let latch = self.b.add_block();
+                let exit = self.b.add_block();
+                self.b.br(header);
+                self.b.switch_to(header);
+                match cond {
+                    Some(c) => {
+                        let cv = self.lower_cond(c);
+                        self.b.condbr(cv, body_b, exit);
+                    }
+                    None => self.b.br(body_b),
+                }
+                self.b.switch_to(body_b);
+                self.break_stack.push(exit);
+                self.continue_stack.push(latch);
+                self.lower_block(body);
+                self.continue_stack.pop();
+                self.break_stack.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(latch);
+                }
+                self.b.switch_to(latch);
+                if let Some(st) = step {
+                    self.lower_stmt(st);
+                }
+                self.b.br(header);
+                self.b.switch_to(exit);
+                self.ty_scopes.pop();
+                self.scopes.pop();
+            }
+            Stmt::Switch(e, cases, default) => {
+                let sv = self.lower_expr(e);
+                let exit = self.b.add_block();
+                let default_b = if default.is_some() {
+                    self.b.add_block()
+                } else {
+                    exit
+                };
+                let case_blocks: Vec<BlockId> =
+                    cases.iter().map(|_| self.b.add_block()).collect();
+                let case_pairs: Vec<(Value, BlockId)> = cases
+                    .iter()
+                    .zip(&case_blocks)
+                    .map(|((v, _), &b)| (Value::const_int(Type::I64, *v), b))
+                    .collect();
+                self.b.switch(sv, default_b, case_pairs);
+                self.break_stack.push(exit);
+                for ((_, body), &cb) in cases.iter().zip(&case_blocks) {
+                    self.b.switch_to(cb);
+                    self.lower_block(body);
+                    if !self.b.is_terminated() {
+                        self.b.br(exit);
+                    }
+                }
+                if let Some(d) = default {
+                    self.b.switch_to(default_b);
+                    self.lower_block(d);
+                    if !self.b.is_terminated() {
+                        self.b.br(exit);
+                    }
+                }
+                self.break_stack.pop();
+                self.b.switch_to(exit);
+            }
+            Stmt::Break => {
+                let target = *self.break_stack.last().expect("sema missed stray break");
+                self.b.br(target);
+            }
+            Stmt::Continue => {
+                let target = *self
+                    .continue_stack
+                    .last()
+                    .expect("sema missed stray continue");
+                self.b.br(target);
+            }
+            Stmt::Return(v) => {
+                let val = v.as_ref().map(|e| {
+                    let et = self.expr_ty(e);
+                    let v = self.lower_expr(e);
+                    self.promote(v, et, self.ret)
+                });
+                self.b.ret(val);
+            }
+            Stmt::ExprStmt(e) => {
+                self.lower_expr(e);
+            }
+            Stmt::Block(b) => self.lower_block(b),
+        }
+    }
+}
+
+/// Lowers a checked program to an IR module.
+///
+/// # Panics
+///
+/// Panics if the program does not type-check — run [`sema::check`] first.
+///
+/// # Examples
+///
+/// ```
+/// use yali_ir::interp::{run, Val, ExecConfig};
+/// let p = yali_minic::parse("int sq(int x) { return x * x; }")?;
+/// yali_minic::check(&p)?;
+/// let m = yali_minic::lower(&p);
+/// let out = run(&m, "sq", &[Val::Int(7)], &[], &ExecConfig::default())?;
+/// assert_eq!(out.ret, Some(Val::Int(49)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lower(p: &Program) -> Module {
+    let sigs = sema::signatures(p);
+    let mut module = Module::new("minic");
+    for (name, params, ret) in builtins() {
+        module.declare(name, params.iter().map(|t| ir_scalar(*t)).collect(), ir_scalar(*ret));
+    }
+    for f in &p.funcs {
+        let params: Vec<Type> = f.params.iter().map(|p| ir_scalar(p.ty)).collect();
+        let mut b = FunctionBuilder::new(&f.name, params, ir_scalar(f.ret));
+        let entry = b.add_block();
+        b.switch_to(entry);
+        let mut lo = Lowerer {
+            b,
+            sigs: &sigs,
+            scopes: vec![HashMap::new()],
+            ty_scopes: Scopes::new(),
+            entry,
+            entry_allocas: 0,
+            break_stack: Vec::new(),
+            continue_stack: Vec::new(),
+            ret: f.ret,
+        };
+        lo.ty_scopes.push();
+        // Parameters: scalars get stack slots (clang -O0 style); arrays are
+        // used directly as pointers.
+        for (i, param) in f.params.iter().enumerate() {
+            if param.ty.is_scalar() {
+                let ptr = lo.entry_alloca(ir_scalar(param.ty));
+                lo.b.store(Value::Param(i as u32), ptr.clone());
+                lo.declare(&param.name, Slot::Stack(ptr, param.ty), param.ty);
+            } else {
+                lo.declare(&param.name, Slot::Direct(Value::Param(i as u32)), param.ty);
+            }
+        }
+        lo.lower_block(&f.body);
+        // Implicit return when control can fall off the end.
+        if !lo.b.is_terminated() {
+            match f.ret {
+                Ty::Void => lo.b.ret(None),
+                Ty::Float => lo.b.ret(Some(Value::ConstFloat(0.0))),
+                _ => lo.b.ret(Some(Value::const_int(Type::I64, 0))),
+            }
+        }
+        lo.ty_scopes.pop();
+        let mut func = lo.b.finish();
+        yali_ir::cfg::prune_unreachable(&mut func);
+        func.compact();
+        module.add_function(func);
+    }
+    module
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::check;
+    use yali_ir::interp::{run, ExecConfig, Outcome, Val};
+    use yali_ir::verify_module;
+
+    fn compile(src: &str) -> Module {
+        let p = parse(src).expect("parse");
+        check(&p).expect("sema");
+        let m = lower(&p);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", yali_ir::print_module(&m)));
+        m
+    }
+
+    fn exec(src: &str, func: &str, args: &[Val], inputs: &[Val]) -> Outcome {
+        let m = compile(src);
+        run(&m, func, args, inputs, &ExecConfig::default()).expect("run")
+    }
+
+    #[test]
+    fn lowers_gcd() {
+        let src = "int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; } return a; }";
+        let out = exec(src, "gcd", &[Val::Int(48), Val::Int(36)], &[]);
+        assert_eq!(out.ret, Some(Val::Int(12)));
+    }
+
+    #[test]
+    fn parameters_live_in_stack_slots() {
+        // clang -O0 style: each scalar parameter has an alloca + store.
+        let m = compile("int id(int x) { return x; }");
+        let f = m.function("id").unwrap();
+        let ops: Vec<Op> = f.iter_insts().map(|(_, i)| f.inst(i).op).collect();
+        assert!(ops.contains(&Op::Alloca));
+        assert!(ops.contains(&Op::Store));
+        assert!(ops.contains(&Op::Load));
+    }
+
+    #[test]
+    fn for_loop_with_break_continue() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) {
+                    if (i == 7) { continue; }
+                    if (i > 12) { break; }
+                    s += i;
+                }
+                return s;
+            }
+        "#;
+        // sum 0..=12 minus 7 = 78 - 7 = 71
+        assert_eq!(exec(src, "f", &[Val::Int(100)], &[]).ret, Some(Val::Int(71)));
+    }
+
+    #[test]
+    fn short_circuit_does_not_evaluate_rhs() {
+        let src = r#"
+            int f(int n) {
+                int hits = 0;
+                if (n > 0 && 10 / n > 2) { hits = 1; }
+                return hits;
+            }
+        "#;
+        // n = 0 would divide by zero if && were strict.
+        assert_eq!(exec(src, "f", &[Val::Int(0)], &[]).ret, Some(Val::Int(0)));
+        assert_eq!(exec(src, "f", &[Val::Int(3)], &[]).ret, Some(Val::Int(1)));
+    }
+
+    #[test]
+    fn arrays_and_helper_functions() {
+        let src = r#"
+            int sum(int a[], int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) { s += a[i]; }
+                return s;
+            }
+            int f() {
+                int v[5];
+                for (int i = 0; i < 5; i++) { v[i] = i * i; }
+                return sum(v, 5);
+            }
+        "#;
+        assert_eq!(exec(src, "f", &[], &[]).ret, Some(Val::Int(30)));
+    }
+
+    #[test]
+    fn float_promotion_and_casts() {
+        let src = "float f(int a, float b) { return a + b / 2; }";
+        let out = exec(src, "f", &[Val::Int(3), Val::Float(5.0)], &[]);
+        assert_eq!(out.ret, Some(Val::Float(5.5)));
+        let src2 = "int g(float x) { return (int)(x * 2.0); }";
+        assert_eq!(
+            exec(src2, "g", &[Val::Float(3.25)], &[]).ret,
+            Some(Val::Int(6))
+        );
+    }
+
+    #[test]
+    fn switch_statement() {
+        let src = r#"
+            int f(int x) {
+                int r = 0;
+                switch (x) {
+                    case 1: r = 10; break;
+                    case 2: r = 20; break;
+                    default: r = -1;
+                }
+                return r;
+            }
+        "#;
+        assert_eq!(exec(src, "f", &[Val::Int(1)], &[]).ret, Some(Val::Int(10)));
+        assert_eq!(exec(src, "f", &[Val::Int(2)], &[]).ret, Some(Val::Int(20)));
+        assert_eq!(exec(src, "f", &[Val::Int(3)], &[]).ret, Some(Val::Int(-1)));
+    }
+
+    #[test]
+    fn do_while_executes_at_least_once() {
+        let src = "int f(int n) { int c = 0; do { c++; } while (n > 100); return c; }";
+        assert_eq!(exec(src, "f", &[Val::Int(0)], &[]).ret, Some(Val::Int(1)));
+    }
+
+    #[test]
+    fn recursion() {
+        let src = "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }";
+        assert_eq!(exec(src, "fib", &[Val::Int(15)], &[]).ret, Some(Val::Int(610)));
+    }
+
+    #[test]
+    fn io_program() {
+        let src = r#"
+            void main() {
+                int n = read_int();
+                int s = 0;
+                for (int i = 1; i <= n; i++) { s += i; }
+                print_int(s);
+            }
+        "#;
+        let out = exec(src, "main", &[], &[Val::Int(10)]);
+        assert_eq!(out.output, vec![Val::Int(55)]);
+    }
+
+    #[test]
+    fn dead_code_after_return_is_dropped() {
+        let src = "int f() { return 1; print_int(9); return 2; }";
+        let out = exec(src, "f", &[], &[]);
+        assert_eq!(out.ret, Some(Val::Int(1)));
+        assert!(out.output.is_empty());
+    }
+
+    #[test]
+    fn missing_return_yields_default() {
+        let src = "int f(int x) { if (x > 0) { return 1; } }";
+        assert_eq!(exec(src, "f", &[Val::Int(-5)], &[]).ret, Some(Val::Int(0)));
+    }
+
+    #[test]
+    fn logical_value_materializes_as_int() {
+        let src = "int f(int a, int b) { int r = a < b; return r + (a == b); }";
+        assert_eq!(
+            exec(src, "f", &[Val::Int(1), Val::Int(2)], &[]).ret,
+            Some(Val::Int(1))
+        );
+        assert_eq!(
+            exec(src, "f", &[Val::Int(2), Val::Int(2)], &[]).ret,
+            Some(Val::Int(1))
+        );
+    }
+
+    #[test]
+    fn not_operator() {
+        let src = "int f(int x) { return !x + !!x; }";
+        assert_eq!(exec(src, "f", &[Val::Int(0)], &[]).ret, Some(Val::Int(1)));
+        assert_eq!(exec(src, "f", &[Val::Int(7)], &[]).ret, Some(Val::Int(1)));
+    }
+
+    #[test]
+    fn scalar_allocas_are_hoisted_to_entry() {
+        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { int t = i * 2; s += t; } return s; }";
+        let m = compile(src);
+        let f = m.function("f").unwrap();
+        let entry = f.entry();
+        let entry_allocas = f
+            .block(entry)
+            .insts
+            .iter()
+            .filter(|&&i| f.inst(i).op == Op::Alloca)
+            .count();
+        let total_allocas = f
+            .iter_insts()
+            .filter(|&(_, i)| f.inst(i).op == Op::Alloca)
+            .count();
+        assert_eq!(entry_allocas, total_allocas);
+        assert_eq!(total_allocas, 4); // n, s, i, t
+        assert_eq!(exec(src, "f", &[Val::Int(5)], &[]).ret, Some(Val::Int(20)));
+    }
+}

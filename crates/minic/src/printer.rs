@@ -1,0 +1,324 @@
+//! Pretty-printer: renders a MiniC AST back to compilable source text.
+//!
+//! `parse(print(p))` reconstructs an equal AST, a property the test suite
+//! checks on every generated program (the source obfuscators rely on being
+//! able to round-trip their rewritten ASTs).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Precedence of an operator, mirroring the parser's table.
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::BitOr => 3,
+        BinOp::BitXor => 4,
+        BinOp::BitAnd => 5,
+        BinOp::Eq | BinOp::Ne => 6,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+        BinOp::Shl | BinOp::Shr => 8,
+        BinOp::Add | BinOp::Sub => 9,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+    }
+}
+
+fn print_expr(e: &Expr, parent_prec: u8, out: &mut String) {
+    match e {
+        Expr::Int(v) => {
+            if *v < 0 {
+                // Negative literals print parenthesized so unary minus does
+                // not fuse with a preceding operator.
+                let _ = write!(out, "({v})");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::Float(v) => {
+            let mut s = format!("{v:?}");
+            if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("nan") {
+                s.push_str(".0");
+            }
+            if *v < 0.0 {
+                let _ = write!(out, "({s})");
+            } else {
+                out.push_str(&s);
+            }
+        }
+        Expr::Var(n) => out.push_str(n),
+        Expr::Index(n, i) => {
+            let _ = write!(out, "{n}[");
+            print_expr(i, 0, out);
+            out.push(']');
+        }
+        Expr::Unary(op, a) => {
+            out.push_str(match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            });
+            // Unary binds tighter than any binary operator.
+            let needs = matches!(**a, Expr::Binary(..));
+            if needs {
+                out.push('(');
+            }
+            print_expr(a, 11, out);
+            if needs {
+                out.push(')');
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let p = prec(*op);
+            if p < parent_prec {
+                out.push('(');
+            }
+            print_expr(a, p, out);
+            let _ = write!(out, " {} ", op.symbol());
+            print_expr(b, p + 1, out);
+            if p < parent_prec {
+                out.push(')');
+            }
+        }
+        Expr::Call(n, args) => {
+            let _ = write!(out, "{n}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_expr(a, 0, out);
+            }
+            out.push(')');
+        }
+        Expr::Cast(ty, a) => {
+            let _ = write!(out, "({ty})");
+            let needs = matches!(**a, Expr::Binary(..));
+            if needs {
+                out.push('(');
+            }
+            print_expr(a, 11, out);
+            if needs {
+                out.push(')');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    indent(out, depth);
+    match s {
+        Stmt::DeclScalar(n, ty, init) => {
+            let _ = write!(out, "{ty} {n}");
+            if let Some(e) = init {
+                out.push_str(" = ");
+                print_expr(e, 0, out);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::DeclArray(n, ty, size) => {
+            let _ = write!(out, "{ty} {n}[");
+            print_expr(size, 0, out);
+            out.push_str("];\n");
+        }
+        Stmt::Assign(lv, e) => {
+            match lv {
+                LValue::Var(n) => out.push_str(n),
+                LValue::Index(n, i) => {
+                    let _ = write!(out, "{n}[");
+                    print_expr(i, 0, out);
+                    out.push(']');
+                }
+            }
+            out.push_str(" = ");
+            print_expr(e, 0, out);
+            out.push_str(";\n");
+        }
+        Stmt::If(c, t, e) => {
+            out.push_str("if (");
+            print_expr(c, 0, out);
+            out.push_str(") {\n");
+            print_block(t, depth + 1, out);
+            indent(out, depth);
+            out.push('}');
+            if let Some(e) = e {
+                out.push_str(" else {\n");
+                print_block(e, depth + 1, out);
+                indent(out, depth);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::While(c, b) => {
+            out.push_str("while (");
+            print_expr(c, 0, out);
+            out.push_str(") {\n");
+            print_block(b, depth + 1, out);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::DoWhile(b, c) => {
+            out.push_str("do {\n");
+            print_block(b, depth + 1, out);
+            indent(out, depth);
+            out.push_str("} while (");
+            print_expr(c, 0, out);
+            out.push_str(");\n");
+        }
+        Stmt::For(init, cond, step, b) => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                let mut tmp = String::new();
+                print_stmt(i, 0, &mut tmp);
+                out.push_str(tmp.trim_end_matches('\n').trim_end_matches(';'));
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                print_expr(c, 0, out);
+            }
+            out.push_str("; ");
+            if let Some(s) = step {
+                let mut tmp = String::new();
+                print_stmt(s, 0, &mut tmp);
+                out.push_str(tmp.trim_end_matches('\n').trim_end_matches(';'));
+            }
+            out.push_str(") {\n");
+            print_block(b, depth + 1, out);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Switch(e, cases, default) => {
+            out.push_str("switch (");
+            print_expr(e, 0, out);
+            out.push_str(") {\n");
+            for (v, b) in cases {
+                indent(out, depth + 1);
+                let _ = writeln!(out, "case {v}:");
+                print_block(b, depth + 2, out);
+                indent(out, depth + 2);
+                out.push_str("break;\n");
+            }
+            if let Some(d) = default {
+                indent(out, depth + 1);
+                out.push_str("default:\n");
+                print_block(d, depth + 2, out);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::Return(Some(e)) => {
+            out.push_str("return ");
+            print_expr(e, 0, out);
+            out.push_str(";\n");
+        }
+        Stmt::ExprStmt(e) => {
+            print_expr(e, 0, out);
+            out.push_str(";\n");
+        }
+        Stmt::Block(b) => {
+            out.push_str("{\n");
+            print_block(b, depth + 1, out);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn print_block(b: &Block, depth: usize, out: &mut String) {
+    for s in &b.stmts {
+        print_stmt(s, depth, out);
+    }
+}
+
+/// Renders a program to MiniC source text.
+///
+/// # Examples
+///
+/// ```
+/// let p = yali_minic::parse("int f(int x) { return x + 1; }")?;
+/// let src = yali_minic::print(&p);
+/// assert!(src.contains("return x + 1;"));
+/// # Ok::<(), yali_minic::SyntaxError>(())
+/// ```
+pub fn print(p: &Program) -> String {
+    let mut out = String::new();
+    for f in &p.funcs {
+        let _ = write!(out, "{} {}(", f.ret, f.name);
+        for (i, param) in f.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match param.ty {
+                Ty::IntArray => {
+                    let _ = write!(out, "int {}[]", param.name);
+                }
+                Ty::FloatArray => {
+                    let _ = write!(out, "float {}[]", param.name);
+                }
+                ty => {
+                    let _ = write!(out, "{ty} {}", param.name);
+                }
+            }
+        }
+        out.push_str(") {\n");
+        print_block(&f.body, 1, &mut out);
+        out.push_str("}\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let p1 = parse(src).expect("first parse");
+        let text = print(&p1);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(p1, p2, "round trip mismatch:\n{text}");
+    }
+
+    #[test]
+    fn round_trips_arithmetic_precedence() {
+        round_trip("int f(int x) { return (x + 1) * (x - 2) / 3 % 4; }");
+        round_trip("int g(int x) { return x << 2 | x >> 1 & 3 ^ x; }");
+        round_trip("int h(int x) { return -x + !x - ~x; }");
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        round_trip(
+            "void f(int n) { for (int i = 0; i < n; i++) { if (i % 2 == 0) { print_int(i); } else { continue; } } }",
+        );
+        round_trip("void g(int n) { do { n--; } while (n > 0); }");
+        round_trip(
+            "void h(int x) { switch (x) { case 1: print_int(1); break; case -2: print_int(2); break; default: print_int(0); } }",
+        );
+    }
+
+    #[test]
+    fn round_trips_arrays_and_floats() {
+        round_trip("float avg(float a[], int n) { float s = 0.0; for (int i = 0; i < n; i++) { s += a[i]; } return s / (float)n; }");
+        round_trip("void f() { int v[100]; v[3] = 1; print_int(v[3]); }");
+    }
+
+    #[test]
+    fn round_trips_negative_literals() {
+        round_trip("int f() { return 3 - -4; }");
+        round_trip("float g() { return 0.0 - 2.5; }");
+    }
+
+    #[test]
+    fn nested_logic_round_trips() {
+        round_trip("int f(int a, int b) { return a > 0 && b > 0 || a < 0 && b < 0; }");
+        round_trip("int g(int a) { return !(a > 1 || a < -1); }");
+    }
+}

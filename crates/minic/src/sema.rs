@@ -1,0 +1,571 @@
+//! Semantic analysis: scoping and type checking for MiniC.
+//!
+//! The rules mirror the C subset the dataset programs inhabit:
+//!
+//! - arithmetic between `int` and `float` promotes to `float`;
+//! - `%`, shifts, bitwise and the logical operators are integer-only;
+//! - comparisons and logical operators yield `int` (0/1);
+//! - conditions accept any scalar (non-zero is true);
+//! - array values are second-class: they can be indexed and passed to
+//!   functions, nothing else;
+//! - assignments and calls insert implicit `int` → `float` promotion but
+//!   never the lossy reverse direction.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A semantic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// The enclosing function.
+    pub func: String,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in {}: {}", self.func, self.msg)
+    }
+}
+
+impl Error for SemaError {}
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncSig {
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+}
+
+/// Collects the signatures of all functions plus the runtime builtins.
+pub fn signatures(p: &Program) -> HashMap<String, FuncSig> {
+    let mut sigs: HashMap<String, FuncSig> = builtins()
+        .iter()
+        .map(|(n, ps, r)| {
+            (
+                n.to_string(),
+                FuncSig {
+                    params: ps.to_vec(),
+                    ret: *r,
+                },
+            )
+        })
+        .collect();
+    for f in &p.funcs {
+        sigs.insert(
+            f.name.clone(),
+            FuncSig {
+                params: f.params.iter().map(|p| p.ty).collect(),
+                ret: f.ret,
+            },
+        );
+    }
+    sigs
+}
+
+/// A lexical scope stack mapping variable names to types.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    stack: Vec<HashMap<String, Ty>>,
+}
+
+impl Scopes {
+    /// Creates an empty scope stack.
+    pub fn new() -> Scopes {
+        Scopes::default()
+    }
+
+    /// Enters a scope.
+    pub fn push(&mut self) {
+        self.stack.push(HashMap::new());
+    }
+
+    /// Leaves the innermost scope.
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    /// Declares `name` in the innermost scope; `false` if already declared
+    /// there.
+    pub fn declare(&mut self, name: &str, ty: Ty) -> bool {
+        self.stack
+            .last_mut()
+            .expect("no scope")
+            .insert(name.to_string(), ty)
+            .is_none()
+    }
+
+    /// Finds the innermost declaration of `name`.
+    pub fn lookup(&self, name: &str) -> Option<Ty> {
+        self.stack.iter().rev().find_map(|s| s.get(name).copied())
+    }
+}
+
+/// Infers the type of an expression.
+///
+/// # Errors
+///
+/// Returns a [`SemaError`] (with an empty function name — callers fill it
+/// in) when the expression is ill-typed.
+pub fn expr_ty(
+    e: &Expr,
+    scopes: &Scopes,
+    sigs: &HashMap<String, FuncSig>,
+) -> Result<Ty, SemaError> {
+    let err = |msg: String| SemaError {
+        func: String::new(),
+        msg,
+    };
+    match e {
+        Expr::Int(_) => Ok(Ty::Int),
+        Expr::Float(_) => Ok(Ty::Float),
+        Expr::Var(n) => scopes
+            .lookup(n)
+            .ok_or_else(|| err(format!("use of undeclared variable {n}"))),
+        Expr::Index(n, i) => {
+            let at = scopes
+                .lookup(n)
+                .ok_or_else(|| err(format!("use of undeclared array {n}")))?;
+            let elem = at
+                .elem()
+                .ok_or_else(|| err(format!("indexing non-array {n}: {at}")))?;
+            let it = expr_ty(i, scopes, sigs)?;
+            if it != Ty::Int {
+                return Err(err(format!("array index must be int, got {it}")));
+            }
+            Ok(elem)
+        }
+        Expr::Unary(op, a) => {
+            let at = expr_ty(a, scopes, sigs)?;
+            match op {
+                UnOp::Neg => {
+                    if at.is_scalar() {
+                        Ok(at)
+                    } else {
+                        Err(err(format!("negation of {at}")))
+                    }
+                }
+                UnOp::Not => {
+                    if at.is_scalar() {
+                        Ok(Ty::Int)
+                    } else {
+                        Err(err(format!("logical not of {at}")))
+                    }
+                }
+                UnOp::BitNot => {
+                    if at == Ty::Int {
+                        Ok(Ty::Int)
+                    } else {
+                        Err(err(format!("bitwise not of {at}")))
+                    }
+                }
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let at = expr_ty(a, scopes, sigs)?;
+            let bt = expr_ty(b, scopes, sigs)?;
+            if !at.is_scalar() || !bt.is_scalar() {
+                return Err(err(format!("operator {} on {at}, {bt}", op.symbol())));
+            }
+            if op.is_int_only() {
+                if at != Ty::Int || bt != Ty::Int {
+                    return Err(err(format!(
+                        "operator {} requires int operands, got {at}, {bt}",
+                        op.symbol()
+                    )));
+                }
+                return Ok(Ty::Int);
+            }
+            if op.is_comparison() {
+                return Ok(Ty::Int);
+            }
+            // Arithmetic: promote to float if either side is float.
+            if at == Ty::Float || bt == Ty::Float {
+                Ok(Ty::Float)
+            } else {
+                Ok(Ty::Int)
+            }
+        }
+        Expr::Call(n, args) => {
+            let sig = sigs
+                .get(n)
+                .ok_or_else(|| err(format!("call to unknown function {n}")))?;
+            if args.len() != sig.params.len() {
+                return Err(err(format!(
+                    "{n} expects {} arguments, got {}",
+                    sig.params.len(),
+                    args.len()
+                )));
+            }
+            for (a, &pt) in args.iter().zip(&sig.params) {
+                let at = expr_ty(a, scopes, sigs)?;
+                let ok = at == pt || (at == Ty::Int && pt == Ty::Float);
+                if !ok {
+                    return Err(err(format!("argument of type {at} where {pt} expected")));
+                }
+            }
+            Ok(sig.ret)
+        }
+        Expr::Cast(ty, a) => {
+            let at = expr_ty(a, scopes, sigs)?;
+            if !at.is_scalar() || !ty.is_scalar() {
+                return Err(err(format!("cast from {at} to {ty}")));
+            }
+            Ok(*ty)
+        }
+    }
+}
+
+struct Checker<'a> {
+    sigs: &'a HashMap<String, FuncSig>,
+    func: String,
+    ret: Ty,
+    loop_depth: usize,
+    switch_depth: usize,
+}
+
+impl Checker<'_> {
+    fn err(&self, msg: impl Into<String>) -> SemaError {
+        SemaError {
+            func: self.func.clone(),
+            msg: msg.into(),
+        }
+    }
+
+    fn ty(&self, e: &Expr, scopes: &Scopes) -> Result<Ty, SemaError> {
+        expr_ty(e, scopes, self.sigs).map_err(|mut e| {
+            e.func = self.func.clone();
+            e
+        })
+    }
+
+    fn check_cond(&self, e: &Expr, scopes: &Scopes) -> Result<(), SemaError> {
+        let t = self.ty(e, scopes)?;
+        if t.is_scalar() {
+            Ok(())
+        } else {
+            Err(self.err(format!("condition of type {t}")))
+        }
+    }
+
+    fn check_block(&mut self, b: &Block, scopes: &mut Scopes) -> Result<(), SemaError> {
+        scopes.push();
+        for s in &b.stmts {
+            self.check_stmt(s, scopes)?;
+        }
+        scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &Stmt, scopes: &mut Scopes) -> Result<(), SemaError> {
+        match s {
+            Stmt::DeclScalar(n, ty, init) => {
+                if !ty.is_scalar() {
+                    return Err(self.err(format!("declaration of {n} with type {ty}")));
+                }
+                if let Some(e) = init {
+                    let et = self.ty(e, scopes)?;
+                    let ok = et == *ty || (et == Ty::Int && *ty == Ty::Float);
+                    if !ok {
+                        return Err(self.err(format!("initializing {ty} {n} with {et}")));
+                    }
+                }
+                if !scopes.declare(n, *ty) {
+                    return Err(self.err(format!("redeclaration of {n}")));
+                }
+            }
+            Stmt::DeclArray(n, ty, size) => {
+                if !ty.is_scalar() {
+                    return Err(self.err(format!("array of {ty}")));
+                }
+                if self.ty(size, scopes)? != Ty::Int {
+                    return Err(self.err(format!("array size of {n} is not int")));
+                }
+                let at = if *ty == Ty::Int {
+                    Ty::IntArray
+                } else {
+                    Ty::FloatArray
+                };
+                if !scopes.declare(n, at) {
+                    return Err(self.err(format!("redeclaration of {n}")));
+                }
+            }
+            Stmt::Assign(lv, e) => {
+                let lt = match lv {
+                    LValue::Var(n) => scopes
+                        .lookup(n)
+                        .ok_or_else(|| self.err(format!("assignment to undeclared {n}")))?,
+                    LValue::Index(n, i) => {
+                        let at = scopes
+                            .lookup(n)
+                            .ok_or_else(|| self.err(format!("assignment to undeclared {n}")))?;
+                        if self.ty(i, scopes)? != Ty::Int {
+                            return Err(self.err("array index must be int"));
+                        }
+                        at.elem()
+                            .ok_or_else(|| self.err(format!("indexing non-array {n}")))?
+                    }
+                };
+                if !lt.is_scalar() {
+                    return Err(self.err("assignment to array"));
+                }
+                let et = self.ty(e, scopes)?;
+                let ok = et == lt || (et == Ty::Int && lt == Ty::Float);
+                if !ok {
+                    return Err(self.err(format!("assigning {et} to {lt} location")));
+                }
+            }
+            Stmt::If(c, t, e) => {
+                self.check_cond(c, scopes)?;
+                self.check_block(t, scopes)?;
+                if let Some(e) = e {
+                    self.check_block(e, scopes)?;
+                }
+            }
+            Stmt::While(c, b) => {
+                self.check_cond(c, scopes)?;
+                self.loop_depth += 1;
+                self.check_block(b, scopes)?;
+                self.loop_depth -= 1;
+            }
+            Stmt::DoWhile(b, c) => {
+                self.loop_depth += 1;
+                self.check_block(b, scopes)?;
+                self.loop_depth -= 1;
+                self.check_cond(c, scopes)?;
+            }
+            Stmt::For(init, cond, step, b) => {
+                scopes.push();
+                if let Some(i) = init {
+                    self.check_stmt(i, scopes)?;
+                }
+                if let Some(c) = cond {
+                    self.check_cond(c, scopes)?;
+                }
+                if let Some(st) = step {
+                    self.check_stmt(st, scopes)?;
+                }
+                self.loop_depth += 1;
+                self.check_block(b, scopes)?;
+                self.loop_depth -= 1;
+                scopes.pop();
+            }
+            Stmt::Switch(e, cases, default) => {
+                if self.ty(e, scopes)? != Ty::Int {
+                    return Err(self.err("switch scrutinee must be int"));
+                }
+                let mut seen = std::collections::HashSet::new();
+                self.switch_depth += 1;
+                for (v, b) in cases {
+                    if !seen.insert(*v) {
+                        self.switch_depth -= 1;
+                        return Err(self.err(format!("duplicate case {v}")));
+                    }
+                    self.check_block(b, scopes)?;
+                }
+                if let Some(d) = default {
+                    self.check_block(d, scopes)?;
+                }
+                self.switch_depth -= 1;
+            }
+            Stmt::Break => {
+                if self.loop_depth == 0 && self.switch_depth == 0 {
+                    return Err(self.err("break outside loop or switch"));
+                }
+            }
+            Stmt::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(self.err("continue outside loop"));
+                }
+            }
+            Stmt::Return(v) => match (v, self.ret) {
+                (None, Ty::Void) => {}
+                (None, r) => return Err(self.err(format!("return without value in {r} function"))),
+                (Some(_), Ty::Void) => {
+                    return Err(self.err("return with value in void function"))
+                }
+                (Some(e), r) => {
+                    let et = self.ty(e, scopes)?;
+                    let ok = et == r || (et == Ty::Int && r == Ty::Float);
+                    if !ok {
+                        return Err(self.err(format!("returning {et} from {r} function")));
+                    }
+                }
+            },
+            Stmt::ExprStmt(e) => {
+                self.ty(e, scopes)?;
+            }
+            Stmt::Block(b) => self.check_block(b, scopes)?,
+        }
+        Ok(())
+    }
+}
+
+/// Type-checks a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`SemaError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// let p = yali_minic::parse("int f(int x) { return x + 1; }")?;
+/// yali_minic::check(&p)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check(p: &Program) -> Result<(), SemaError> {
+    let sigs = signatures(p);
+    let mut names = std::collections::HashSet::new();
+    for f in &p.funcs {
+        if !names.insert(&f.name) {
+            return Err(SemaError {
+                func: f.name.clone(),
+                msg: "duplicate function definition".into(),
+            });
+        }
+        if builtins().iter().any(|(n, _, _)| *n == f.name) {
+            return Err(SemaError {
+                func: f.name.clone(),
+                msg: "redefines a runtime builtin".into(),
+            });
+        }
+        let mut checker = Checker {
+            sigs: &sigs,
+            func: f.name.clone(),
+            ret: f.ret,
+            loop_depth: 0,
+            switch_depth: 0,
+        };
+        let mut scopes = Scopes::new();
+        scopes.push();
+        let mut pnames = std::collections::HashSet::new();
+        for param in &f.params {
+            if !pnames.insert(&param.name) {
+                return Err(checker.err(format!("duplicate parameter {}", param.name)));
+            }
+            scopes.declare(&param.name, param.ty);
+        }
+        checker.check_block(&f.body, &mut scopes)?;
+        scopes.pop();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), SemaError> {
+        check(&parse(src).expect("parse"))
+    }
+
+    #[test]
+    fn accepts_valid_programs() {
+        check_src("int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; } return a; }").unwrap();
+        check_src("float avg(float a[], int n) { float s = 0.0; for (int i = 0; i < n; i++) { s += a[i]; } return s / (float)n; }").unwrap();
+        check_src("void main() { print_int(read_int() + 1); }").unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = check_src("int f() { return x; }").unwrap_err();
+        assert!(e.msg.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_redeclaration_in_same_scope() {
+        let e = check_src("int f() { int x = 1; int x = 2; return x; }").unwrap_err();
+        assert!(e.msg.contains("redeclaration"), "{e}");
+    }
+
+    #[test]
+    fn allows_shadowing_in_inner_scope() {
+        check_src("int f() { int x = 1; { int x = 2; print_int(x); } return x; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_modulo_on_floats() {
+        let e = check_src("float f(float x) { return x % 2.0; }").unwrap_err();
+        assert!(e.msg.contains("%"), "{e}");
+    }
+
+    #[test]
+    fn promotes_int_to_float() {
+        check_src("float f(int x) { return x + 1.5; }").unwrap();
+        check_src("float g(int x) { float y = x; return y; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_float_to_int_without_cast() {
+        let e = check_src("int f(float x) { return x; }").unwrap_err();
+        assert!(e.msg.contains("returning"), "{e}");
+        check_src("int g(float x) { return (int)x; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = check_src("void f() { break; }").unwrap_err();
+        assert!(e.msg.contains("break"), "{e}");
+    }
+
+    #[test]
+    fn allows_break_inside_switch() {
+        check_src("void f(int x) { switch (x) { case 1: if (x > 0) { break; } print_int(1); } }")
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_continue_outside_loop() {
+        let e = check_src("void f(int x) { switch (x) { case 1: continue; } }").unwrap_err();
+        assert!(e.msg.contains("continue"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let e = check_src("int f(int x) { return f(x, 1); }").unwrap_err();
+        assert!(e.msg.contains("arguments"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_callee() {
+        let e = check_src("void f() { ghost(); }").unwrap_err();
+        assert!(e.msg.contains("unknown"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_case() {
+        let e =
+            check_src("void f(int x) { switch (x) { case 1: print_int(1); case 1: print_int(2); } }")
+                .unwrap_err();
+        assert!(e.msg.contains("duplicate case"), "{e}");
+    }
+
+    #[test]
+    fn rejects_array_misuse() {
+        let e = check_src("int f(int a[]) { return a; }").unwrap_err();
+        assert!(e.msg.contains("returning"), "{e}");
+        let e2 = check_src("int f(int x) { return x[0]; }").unwrap_err();
+        assert!(e2.msg.contains("non-array"), "{e2}");
+    }
+
+    #[test]
+    fn rejects_redefined_builtin() {
+        let e = check_src("int read_int() { return 0; }").unwrap_err();
+        assert!(e.msg.contains("builtin"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_functions_and_params() {
+        let e = check_src("int f() { return 1; } int f() { return 2; }").unwrap_err();
+        assert!(e.msg.contains("duplicate function"), "{e}");
+        let e2 = check_src("int g(int a, int a) { return a; }").unwrap_err();
+        assert!(e2.msg.contains("duplicate parameter"), "{e2}");
+    }
+}

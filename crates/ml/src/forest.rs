@@ -1,0 +1,136 @@
+//! Random forest (`rf`): bagged CART trees with per-split feature
+//! subsampling — the model the paper finds hardest to beat.
+
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growing configuration (feature subsampling defaults to √d
+    /// when `max_features` is `None`).
+    pub tree: TreeConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 50,
+            tree: TreeConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Fits a forest on `(x, y)` with labels in `0..n_classes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, config: &ForestConfig) -> RandomForest {
+        assert!(!x.is_empty(), "empty training set");
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let d = x[0].len();
+        let mut tree_cfg = config.tree.clone();
+        if tree_cfg.max_features.is_none() {
+            tree_cfg.max_features = Some((d as f64).sqrt().ceil() as usize);
+        }
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for _ in 0..config.n_trees {
+            // Bootstrap sample.
+            let (bx, by): (Vec<Vec<f64>>, Vec<usize>) = (0..x.len())
+                .map(|_| {
+                    let k = rng.gen_range(0..x.len());
+                    (x[k].clone(), y[k])
+                })
+                .unzip();
+            trees.push(DecisionTree::fit(&bx, &by, n_classes, &tree_cfg, &mut rng));
+        }
+        RandomForest { trees, n_classes }
+    }
+
+    /// Majority-vote prediction.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict(x)] += 1;
+        }
+        crate::linalg::argmax(&votes.iter().map(|&v| v as f64).collect::<Vec<_>>())
+    }
+
+    /// Total node count across trees (a memory proxy).
+    pub fn num_nodes(&self) -> usize {
+        self.trees.iter().map(DecisionTree::num_nodes).sum()
+    }
+
+    /// Approximate resident size in bytes (for the paper's Figure 7 memory
+    /// comparison): ~40 bytes per tree node.
+    pub fn memory_bytes(&self) -> usize {
+        self.num_nodes() * 40
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, n_classes: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Deterministic well-separated clusters with mild jitter.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..n_classes {
+            for k in 0..n_per {
+                let jitter = (k as f64 * 0.618).fract() - 0.5;
+                x.push(vec![c as f64 * 5.0 + jitter, (c % 3) as f64 * 4.0 - jitter]);
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separable_blobs_are_learned() {
+        let (x, y) = blobs(20, 5);
+        let f = RandomForest::fit(&x, &y, 5, &ForestConfig::default());
+        let pred: Vec<usize> = x.iter().map(|xi| f.predict(xi)).collect();
+        assert!(crate::metrics::accuracy(&pred, &y) > 0.98);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(10, 3);
+        let cfg = ForestConfig {
+            n_trees: 7,
+            seed: 42,
+            ..Default::default()
+        };
+        let f1 = RandomForest::fit(&x, &y, 3, &cfg);
+        let f2 = RandomForest::fit(&x, &y, 3, &cfg);
+        let p1: Vec<usize> = x.iter().map(|v| f1.predict(v)).collect();
+        let p2: Vec<usize> = x.iter().map(|v| f2.predict(v)).collect();
+        assert_eq!(p1, p2);
+        assert_eq!(f1.num_nodes(), f2.num_nodes());
+    }
+
+    #[test]
+    fn more_trees_grow_memory() {
+        let (x, y) = blobs(10, 3);
+        let small = RandomForest::fit(&x, &y, 3, &ForestConfig { n_trees: 2, ..Default::default() });
+        let big = RandomForest::fit(&x, &y, 3, &ForestConfig { n_trees: 20, ..Default::default() });
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+}

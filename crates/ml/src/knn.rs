@@ -1,0 +1,90 @@
+//! k-nearest-neighbours (`knn`): the only model in the study with no
+//! stochastic training at all.
+
+use crate::linalg::dist2;
+
+/// A fitted (memorized) kNN classifier.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Knn {
+    /// Memorizes the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or the training set is empty.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, k: usize) -> Knn {
+        assert!(k > 0, "k must be positive");
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len());
+        Knn {
+            k,
+            x: x.to_vec(),
+            y: y.to_vec(),
+            n_classes,
+        }
+    }
+
+    /// Majority vote among the k nearest training points (L2 distance).
+    pub fn predict(&self, q: &[f64]) -> usize {
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (dist2(xi, q), yi))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut votes = vec![0usize; self.n_classes];
+        for (_, yi) in dists.iter().take(self.k) {
+            votes[*yi] += 1;
+        }
+        crate::linalg::argmax(&votes.iter().map(|&v| v as f64).collect::<Vec<_>>())
+    }
+
+    /// Approximate resident bytes (the stored training matrix).
+    pub fn memory_bytes(&self) -> usize {
+        self.x.iter().map(|r| r.len() * 8).sum::<usize>() + self.y.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_nn_memorizes() {
+        let x = vec![vec![0.0], vec![10.0], vec![20.0]];
+        let y = vec![0, 1, 2];
+        let knn = Knn::fit(&x, &y, 3, 1);
+        assert_eq!(knn.predict(&[1.0]), 0);
+        assert_eq!(knn.predict(&[11.0]), 1);
+        assert_eq!(knn.predict(&[19.0]), 2);
+    }
+
+    #[test]
+    fn k3_votes() {
+        let x = vec![vec![0.0], vec![0.2], vec![0.4], vec![5.0]];
+        let y = vec![0, 0, 1, 1];
+        let knn = Knn::fit(&x, &y, 2, 3);
+        // Neighbours of 0.1: {0.0:0, 0.2:0, 0.4:1} → class 0.
+        assert_eq!(knn.predict(&[0.1]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        Knn::fit(&[vec![1.0]], &[0], 1, 0);
+    }
+
+    #[test]
+    fn memory_scales_with_data() {
+        let small = Knn::fit(&[vec![1.0; 4]], &[0], 1, 1);
+        let big = Knn::fit(&vec![vec![1.0; 4]; 100], &vec![0; 100], 1, 1);
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+}

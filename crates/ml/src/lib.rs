@@ -1,0 +1,326 @@
+//! # yali-ml
+//!
+//! From-scratch stochastic classification models for the yali reproduction
+//! of "A Game-Based Framework to Compare Program Classifiers and Evaders"
+//! (CGO 2023) — the paper's Figure 3 model column:
+//!
+//! | model | implementation |
+//! |-------|----------------|
+//! | `rf` | [`forest::RandomForest`] — bagged CART trees |
+//! | `svm` | [`linear::LinearModel`] with hinge loss (one-vs-rest) |
+//! | `knn` | [`knn::Knn`] |
+//! | `lr` | [`linear::LinearModel`] with softmax loss |
+//! | `mlp` | [`mlp::Mlp`] — one hidden layer of 100 ReLU units |
+//! | `cnn` | [`cnn::Cnn`] — Zhang et al.'s array-input network |
+//! | `dgcnn` | [`dgcnn::Dgcnn`] — graph convolutions + SortPooling |
+//!
+//! [`ModelKind`] + [`VectorClassifier`] give the six array-input models a
+//! single train/predict interface; the DGCNN has its own graph API.
+//!
+//! # Example
+//!
+//! ```
+//! use yali_ml::{ModelKind, VectorClassifier, TrainConfig};
+//! let x = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+//! let y = vec![0, 0, 1, 1];
+//! let mut clf = VectorClassifier::fit(ModelKind::Rf, &x, &y, 2, &TrainConfig::default());
+//! assert_eq!(clf.predict(&[0.05]), 0);
+//! assert_eq!(clf.predict(&[4.9]), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cnn;
+pub mod dgcnn;
+pub mod forest;
+pub mod knn;
+pub mod linalg;
+pub mod linear;
+pub mod metrics;
+pub mod mlp;
+pub mod nn;
+pub mod tree;
+
+pub use cnn::{Cnn, CnnConfig};
+pub use dgcnn::{Dgcnn, DgcnnConfig, GraphSample};
+pub use forest::{ForestConfig, RandomForest};
+pub use knn::Knn;
+pub use linear::{LinearConfig, LinearLoss, LinearModel};
+pub use metrics::{accuracy, confusion, macro_f1};
+pub use mlp::{Mlp, MlpConfig};
+
+/// One of the six array-input models (Figure 3's model column minus the
+/// graph-only dgcnn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Random forest.
+    Rf,
+    /// Linear support-vector machine (one-vs-rest hinge).
+    Svm,
+    /// k-nearest neighbours.
+    Knn,
+    /// Multinomial logistic regression.
+    Lr,
+    /// Multi-layer perceptron (100 hidden ReLU units).
+    Mlp,
+    /// Zhang et al.'s CNN for array inputs.
+    Cnn,
+}
+
+impl ModelKind {
+    /// All six models, in the paper's usual display order.
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Rf,
+        ModelKind::Svm,
+        ModelKind::Knn,
+        ModelKind::Lr,
+        ModelKind::Mlp,
+        ModelKind::Cnn,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Rf => "rf",
+            ModelKind::Svm => "svm",
+            ModelKind::Knn => "knn",
+            ModelKind::Lr => "lr",
+            ModelKind::Mlp => "mlp",
+            ModelKind::Cnn => "cnn",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scale/seed knobs shared by every model's trainer.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Epoch count for the gradient-trained models.
+    pub epochs: usize,
+    /// Trees in the forest.
+    pub n_trees: usize,
+    /// Neighbours for knn.
+    pub k: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            seed: 0,
+            epochs: 40,
+            n_trees: 40,
+            k: 5,
+        }
+    }
+}
+
+/// A trained array-input classifier of any [`ModelKind`].
+pub enum VectorClassifier {
+    /// Random forest.
+    Rf(RandomForest),
+    /// Linear model (svm or lr).
+    Linear(LinearModel),
+    /// k-nearest neighbours.
+    Knn(Knn),
+    /// Multi-layer perceptron.
+    Mlp(Mlp),
+    /// Convolutional network.
+    Cnn(Cnn),
+}
+
+impl VectorClassifier {
+    /// Trains the chosen model on `(x, y)` with labels in `0..n_classes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set.
+    pub fn fit(
+        kind: ModelKind,
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        config: &TrainConfig,
+    ) -> VectorClassifier {
+        match kind {
+            ModelKind::Rf => VectorClassifier::Rf(RandomForest::fit(
+                x,
+                y,
+                n_classes,
+                &ForestConfig {
+                    n_trees: config.n_trees,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )),
+            ModelKind::Svm => VectorClassifier::Linear(LinearModel::fit(
+                x,
+                y,
+                n_classes,
+                LinearLoss::Hinge,
+                &LinearConfig {
+                    epochs: config.epochs,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )),
+            ModelKind::Lr => VectorClassifier::Linear(LinearModel::fit(
+                x,
+                y,
+                n_classes,
+                LinearLoss::Softmax,
+                &LinearConfig {
+                    epochs: config.epochs,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )),
+            ModelKind::Knn => VectorClassifier::Knn(Knn::fit(x, y, n_classes, config.k)),
+            ModelKind::Mlp => VectorClassifier::Mlp(Mlp::fit(
+                x,
+                y,
+                n_classes,
+                &MlpConfig {
+                    epochs: config.epochs,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )),
+            ModelKind::Cnn => VectorClassifier::Cnn(Cnn::fit(
+                x,
+                y,
+                n_classes,
+                &CnnConfig {
+                    epochs: config.epochs,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )),
+        }
+    }
+
+    /// Predicts the class of one sample.
+    pub fn predict(&mut self, x: &[f64]) -> usize {
+        match self {
+            VectorClassifier::Rf(m) => m.predict(x),
+            VectorClassifier::Linear(m) => m.predict(x),
+            VectorClassifier::Knn(m) => m.predict(x),
+            VectorClassifier::Mlp(m) => m.predict(x),
+            VectorClassifier::Cnn(m) => m.predict(x),
+        }
+    }
+
+    /// Predicts a whole test set.
+    pub fn predict_all(&mut self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Approximate resident bytes of the fitted model (Figure 7's memory
+    /// comparison).
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            VectorClassifier::Rf(m) => m.memory_bytes(),
+            VectorClassifier::Linear(m) => m.memory_bytes(),
+            VectorClassifier::Knn(m) => m.memory_bytes(),
+            VectorClassifier::Mlp(m) => m.memory_bytes(),
+            VectorClassifier::Cnn(m) => m.memory_bytes(),
+        }
+    }
+}
+
+/// Splits `(x, y)` into train/test by taking every sample whose index mod
+/// `denom` is below `num` for training — a deterministic, class-stratified
+/// 80/20-style split when samples are grouped by class.
+pub fn train_test_split<T: Clone>(
+    x: &[T],
+    y: &[usize],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<T>, Vec<usize>, Vec<T>, Vec<usize>) {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    // Stratify per class.
+    let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, &yi) in y.iter().enumerate() {
+        by_class.entry(yi).or_default().push(i);
+    }
+    let (mut xtr, mut ytr, mut xte, mut yte) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for (_, mut idx) in by_class {
+        idx.shuffle(&mut rng);
+        let cut = ((idx.len() as f64) * train_fraction).round() as usize;
+        for (pos, &i) in idx.iter().enumerate() {
+            if pos < cut {
+                xtr.push(x[i].clone());
+                ytr.push(y[i]);
+            } else {
+                xte.push(x[i].clone());
+                yte.push(y[i]);
+            }
+        }
+    }
+    (xtr, ytr, xte, yte)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, classes: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..classes {
+            for k in 0..n_per {
+                let j = (k as f64 * 0.77).fract() - 0.5;
+                x.push(vec![c as f64 * 6.0 + j, (c * c) as f64 + j]);
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn all_six_models_learn_blobs() {
+        let (x, y) = blobs(24, 3);
+        for kind in ModelKind::ALL {
+            let mut clf = VectorClassifier::fit(kind, &x, &y, 3, &TrainConfig::default());
+            let pred = clf.predict_all(&x);
+            let acc = accuracy(&pred, &y);
+            assert!(acc > 0.9, "{kind} accuracy {acc}");
+            assert!(clf.memory_bytes() > 0, "{kind} memory");
+        }
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let (x, y) = blobs(10, 4);
+        let (xtr, ytr, xte, yte) = train_test_split(&x, &y, 0.8, 1);
+        assert_eq!(xtr.len(), 32);
+        assert_eq!(xte.len(), 8);
+        for c in 0..4 {
+            assert_eq!(ytr.iter().filter(|&&v| v == c).count(), 8);
+            assert_eq!(yte.iter().filter(|&&v| v == c).count(), 2);
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let (x, y) = blobs(10, 2);
+        let a = train_test_split(&x, &y, 0.8, 7);
+        let b = train_test_split(&x, &y, 0.8, 7);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.3, b.3);
+    }
+
+    #[test]
+    fn model_names() {
+        let names: Vec<&str> = ModelKind::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["rf", "svm", "knn", "lr", "mlp", "cnn"]);
+    }
+}

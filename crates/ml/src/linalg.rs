@@ -1,0 +1,268 @@
+//! A minimal dense linear-algebra kernel: row-major matrices and the
+//! handful of operations the neural models need.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major data (`rows * cols` entries).
+    pub data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * other`.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.get(r, i);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(r, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * other^T`.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            for j in 0..other.rows {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.get(r, k) * other.get(j, k);
+                }
+                out.data[r * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance.
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Softmax in place (numerically stabilized).
+pub fn softmax_inplace(v: &mut [f64]) {
+    let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The Adam optimizer state for one parameter tensor.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `n` parameters.
+    pub fn new(n: usize, lr: f64) -> Adam {
+        Adam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            lr,
+        }
+    }
+
+    /// Applies one update step of gradients `g` to parameters `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes disagree with construction.
+    pub fn step(&mut self, p: &mut [f64], g: &[f64]) {
+        assert_eq!(p.len(), self.m.len());
+        assert_eq!(g.len(), self.m.len());
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t as i32);
+        let bc2 = 1.0 - B2.powi(self.t as i32);
+        for i in 0..p.len() {
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g[i];
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g[i] * g[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            p[i] -= self.lr * mhat / (vhat.sqrt() + EPS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64); // [[0,1,2],[3,4,5]]
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64); // [[0,1],[2,3],[4,5]]
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![10.0, 13.0, 28.0, 40.0]);
+    }
+
+    #[test]
+    fn transpose_products_agree_with_explicit_transpose() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + 2 * c) as f64);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f64 + 1.0);
+        let a_t = Matrix::from_fn(2, 3, |r, c| a.get(c, r));
+        assert_eq!(a.t_matmul(&b), a_t.matmul(&b));
+
+        let c = Matrix::from_fn(5, 2, |r, col| (r * 2 + col) as f64);
+        let c_t = Matrix::from_fn(2, 5, |r, col| c.get(col, r));
+        assert_eq!(a.matmul_t(&c), a.matmul(&c_t));
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut v);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut v = vec![1000.0, 1001.0];
+        softmax_inplace(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        // minimize (p - 3)^2
+        let mut p = vec![0.0];
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * (p[0] - 3.0)];
+            opt.step(&mut p, &g);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-3, "p = {}", p[0]);
+    }
+
+    #[test]
+    fn dot_and_dist() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

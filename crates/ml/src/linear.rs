@@ -1,0 +1,264 @@
+//! Linear models: multinomial logistic regression (`lr`) and a one-vs-rest
+//! linear SVM (`svm`), both trained with mini-batch Adam on standardized
+//! features.
+
+use crate::linalg::{argmax, dot, softmax_inplace, Adam};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Feature standardization parameters (mean/std per column), shared by the
+/// gradient-trained models — raw opcode counts span orders of magnitude.
+#[derive(Debug, Clone)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits per-column mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty set.
+    pub fn fit(x: &[Vec<f64>]) -> Scaler {
+        assert!(!x.is_empty());
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; d];
+        for row in x {
+            for k in 0..d {
+                std[k] += (row[k] - mean[k]).powi(2) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt();
+            if *s < 1e-9 {
+                *s = 1.0;
+            }
+        }
+        Scaler { mean, std }
+    }
+
+    /// Standardizes one row.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+}
+
+/// Shared training hyperparameters for the linear models.
+#[derive(Debug, Clone)]
+pub struct LinearConfig {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        LinearConfig {
+            epochs: 60,
+            batch: 32,
+            lr: 0.05,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Which loss the linear model trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearLoss {
+    /// Multinomial cross-entropy (logistic regression).
+    Softmax,
+    /// One-vs-rest hinge loss (linear SVM).
+    Hinge,
+}
+
+/// A fitted linear classifier: weights `W (classes × features)` + bias.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    w: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    scaler: Scaler,
+    loss: LinearLoss,
+}
+
+impl LinearModel {
+    /// Trains a linear classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        loss: LinearLoss,
+        config: &LinearConfig,
+    ) -> LinearModel {
+        assert!(!x.is_empty(), "empty training set");
+        let scaler = Scaler::fit(x);
+        let xs: Vec<Vec<f64>> = x.iter().map(|r| scaler.transform(r)).collect();
+        let d = xs[0].len();
+        let mut w = vec![vec![0.0; d]; n_classes];
+        let mut b = vec![0.0; n_classes];
+        let mut opt_w: Vec<Adam> = (0..n_classes).map(|_| Adam::new(d, config.lr)).collect();
+        let mut opt_b = Adam::new(n_classes, config.lr);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch) {
+                let mut gw = vec![vec![0.0; d]; n_classes];
+                let mut gb = vec![0.0; n_classes];
+                for &i in chunk {
+                    let xi = &xs[i];
+                    let yi = y[i];
+                    match loss {
+                        LinearLoss::Softmax => {
+                            let mut scores: Vec<f64> =
+                                (0..n_classes).map(|c| dot(&w[c], xi) + b[c]).collect();
+                            softmax_inplace(&mut scores);
+                            for c in 0..n_classes {
+                                let err = scores[c] - if c == yi { 1.0 } else { 0.0 };
+                                for k in 0..d {
+                                    gw[c][k] += err * xi[k];
+                                }
+                                gb[c] += err;
+                            }
+                        }
+                        LinearLoss::Hinge => {
+                            for c in 0..n_classes {
+                                let t = if c == yi { 1.0 } else { -1.0 };
+                                let margin = t * (dot(&w[c], xi) + b[c]);
+                                if margin < 1.0 {
+                                    for k in 0..d {
+                                        gw[c][k] -= t * xi[k];
+                                    }
+                                    gb[c] -= t;
+                                }
+                            }
+                        }
+                    }
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                for c in 0..n_classes {
+                    for k in 0..d {
+                        gw[c][k] = gw[c][k] * scale + config.l2 * w[c][k];
+                    }
+                    gb[c] *= scale;
+                    opt_w[c].step(&mut w[c], &gw[c]);
+                }
+                opt_b.step(&mut b, &gb);
+            }
+        }
+        LinearModel { w, b, scaler, loss }
+    }
+
+    /// Predicts the highest-scoring class.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let xs = self.scaler.transform(x);
+        let scores: Vec<f64> = self
+            .w
+            .iter()
+            .zip(&self.b)
+            .map(|(wc, bc)| dot(wc, &xs) + bc)
+            .collect();
+        argmax(&scores)
+    }
+
+    /// Which loss this model was trained with.
+    pub fn loss(&self) -> LinearLoss {
+        self.loss
+    }
+
+    /// Approximate resident bytes (weights + biases + scaler).
+    pub fn memory_bytes(&self) -> usize {
+        self.w.iter().map(|r| r.len() * 8).sum::<usize>() + self.b.len() * 8 + self.scaler.mean.len() * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3 {
+            for k in 0..30 {
+                let j = (k as f64 * 0.37).fract() - 0.5;
+                x.push(vec![c as f64 * 4.0 + j, -(c as f64) * 3.0 + j * 0.5]);
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn logistic_regression_separates_blobs() {
+        let (x, y) = blobs();
+        let m = LinearModel::fit(&x, &y, 3, LinearLoss::Softmax, &LinearConfig::default());
+        let pred: Vec<usize> = x.iter().map(|v| m.predict(v)).collect();
+        assert!(crate::metrics::accuracy(&pred, &y) > 0.97);
+    }
+
+    #[test]
+    fn svm_separates_blobs() {
+        let (x, y) = blobs();
+        let m = LinearModel::fit(&x, &y, 3, LinearLoss::Hinge, &LinearConfig::default());
+        let pred: Vec<usize> = x.iter().map(|v| m.predict(v)).collect();
+        assert!(crate::metrics::accuracy(&pred, &y) > 0.97);
+        assert_eq!(m.loss(), LinearLoss::Hinge);
+    }
+
+    #[test]
+    fn scaler_standardizes() {
+        let x = vec![vec![0.0, 100.0], vec![2.0, 300.0]];
+        let s = Scaler::fit(&x);
+        let t0 = s.transform(&x[0]);
+        let t1 = s.transform(&x[1]);
+        assert!((t0[0] + t1[0]).abs() < 1e-9);
+        assert!((t0[1] + t1[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_features_do_not_explode() {
+        let x = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let y = vec![0, 1, 1];
+        let m = LinearModel::fit(&x, &y, 2, LinearLoss::Softmax, &LinearConfig::default());
+        assert!(m.predict(&[5.0, 1.0]) < 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = blobs();
+        let cfg = LinearConfig {
+            seed: 9,
+            epochs: 10,
+            ..Default::default()
+        };
+        let m1 = LinearModel::fit(&x, &y, 3, LinearLoss::Softmax, &cfg);
+        let m2 = LinearModel::fit(&x, &y, 3, LinearLoss::Softmax, &cfg);
+        let p1: Vec<usize> = x.iter().map(|v| m1.predict(v)).collect();
+        let p2: Vec<usize> = x.iter().map(|v| m2.predict(v)).collect();
+        assert_eq!(p1, p2);
+    }
+}

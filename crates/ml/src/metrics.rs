@@ -1,0 +1,86 @@
+//! Evaluation metrics: accuracy, per-class precision/recall, and F1.
+
+/// The fraction of predictions equal to the label.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty(), "empty evaluation set");
+    let hits = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// A confusion matrix with `n_classes × n_classes` counts
+/// (`[truth][prediction]`).
+pub fn confusion(pred: &[usize], truth: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Macro-averaged F1 score: the unweighted mean of per-class F1 values.
+/// On a perfectly balanced dataset it carries the same information as
+/// accuracy, which is why the paper reports accuracy almost everywhere
+/// (Section 4, "Evaluation Metric").
+#[allow(clippy::needless_range_loop)] // index form mirrors the formula
+pub fn macro_f1(pred: &[usize], truth: &[usize], n_classes: usize) -> f64 {
+    let m = confusion(pred, truth, n_classes);
+    let mut f1_sum = 0.0;
+    for c in 0..n_classes {
+        let tp = m[c][c] as f64;
+        let fp: f64 = (0..n_classes).filter(|&t| t != c).map(|t| m[t][c] as f64).sum();
+        let fn_: f64 = (0..n_classes).filter(|&p| p != c).map(|p| m[c][p] as f64).sum();
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        f1_sum += f1;
+    }
+    f1_sum / n_classes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[0, 1, 2, 0], &[0, 1, 1, 0]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn confusion_places_counts() {
+        let m = confusion(&[0, 1, 1], &[0, 0, 1], 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn f1_equals_accuracy_on_balanced_perfect_and_symmetric_errors() {
+        // Perfect prediction on a balanced set.
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        assert!((macro_f1(&truth, &truth, 3) - 1.0).abs() < 1e-12);
+        // Balanced symmetric confusion: accuracy == macro F1.
+        let pred = vec![0, 1, 1, 2, 2, 0];
+        let acc = accuracy(&pred, &truth);
+        let f1 = macro_f1(&pred, &truth, 3);
+        assert!((acc - f1).abs() < 1e-12, "acc {acc} vs f1 {f1}");
+    }
+
+    #[test]
+    fn f1_is_zero_when_nothing_is_right() {
+        let truth = vec![0, 1];
+        let pred = vec![1, 0];
+        assert_eq!(macro_f1(&pred, &truth, 2), 0.0);
+    }
+}

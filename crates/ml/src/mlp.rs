@@ -1,0 +1,108 @@
+//! The `mlp` model: SciKit's default-ish multi-layer perceptron — one
+//! hidden layer of 100 ReLU units (paper, Section 3.2).
+
+use crate::linear::Scaler;
+use crate::nn::{Dense, Net, Relu};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Hidden width (the paper's mlp uses 100).
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 100,
+            epochs: 60,
+            batch: 32,
+            lr: 0.005,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted MLP.
+pub struct Mlp {
+    net: Net,
+    scaler: Scaler,
+}
+
+impl Mlp {
+    /// Trains the MLP.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set.
+    pub fn fit(x: &[Vec<f64>], y: &[usize], n_classes: usize, config: &MlpConfig) -> Mlp {
+        assert!(!x.is_empty(), "empty training set");
+        let scaler = Scaler::fit(x);
+        let xs: Vec<Vec<f64>> = x.iter().map(|r| scaler.transform(r)).collect();
+        let d = xs[0].len();
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut net = Net {
+            layers: vec![
+                Box::new(Dense::new(d, config.hidden, config.lr, &mut rng)),
+                Box::new(Relu::default()),
+                Box::new(Dense::new(config.hidden, n_classes, config.lr, &mut rng)),
+            ],
+            n_classes,
+        };
+        net.fit(&xs, y, config.epochs, config.batch, config.seed ^ 0x5f5f);
+        Mlp { net, scaler }
+    }
+
+    /// Predicts one sample.
+    pub fn predict(&mut self, x: &[f64]) -> usize {
+        self.net.predict(&self.scaler.transform(x))
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.net.num_params() * 8 * 3 // weights + Adam moments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_nonlinear_labels() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..120 {
+            let a = (k as f64 * 0.21).sin() * 3.0;
+            let b = (k as f64 * 0.13).cos() * 3.0;
+            x.push(vec![a, b]);
+            y.push(usize::from(a * b > 0.0));
+        }
+        let cfg = MlpConfig {
+            epochs: 150,
+            ..Default::default()
+        };
+        let mut m = Mlp::fit(&x, &y, 2, &cfg);
+        let pred: Vec<usize> = x.iter().map(|v| m.predict(v)).collect();
+        assert!(crate::metrics::accuracy(&pred, &y) > 0.9);
+    }
+
+    #[test]
+    fn memory_tracks_width() {
+        let x = vec![vec![1.0, 2.0]; 8];
+        let y = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let small = Mlp::fit(&x, &y, 2, &MlpConfig { hidden: 10, epochs: 1, ..Default::default() });
+        let big = Mlp::fit(&x, &y, 2, &MlpConfig { hidden: 200, epochs: 1, ..Default::default() });
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+}

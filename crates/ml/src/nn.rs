@@ -1,0 +1,586 @@
+//! Neural-network building blocks with manual backpropagation: dense,
+//! ReLU, dropout, 1-D convolution, and 1-D max pooling, plus a small
+//! sequential trainer with a softmax cross-entropy head.
+//!
+//! The `mlp`, `cnn`, and `dgcnn` models are all assembled from these
+//! layers.
+
+use crate::linalg::{argmax, softmax_inplace, Adam};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A differentiable layer processing flat `f64` vectors.
+pub trait Layer {
+    /// Forward pass; `train` enables stochastic behaviour (dropout).
+    fn forward(&mut self, x: &[f64], train: bool) -> Vec<f64>;
+    /// Backward pass: receives ∂L/∂output, accumulates parameter gradients,
+    /// returns ∂L/∂input.
+    fn backward(&mut self, grad: &[f64]) -> Vec<f64>;
+    /// Applies and clears accumulated gradients (scaled by `1/batch`).
+    fn step(&mut self, batch: usize);
+    /// Number of trainable parameters.
+    fn num_params(&self) -> usize;
+}
+
+/// Fully connected layer.
+pub struct Dense {
+    w: Vec<f64>, // out × in, row-major
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    opt_w: Adam,
+    opt_b: Adam,
+    n_in: usize,
+    n_out: usize,
+    last_x: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-ish initialization.
+    pub fn new(n_in: usize, n_out: usize, lr: f64, rng: &mut impl Rng) -> Dense {
+        let scale = (2.0 / (n_in + n_out) as f64).sqrt();
+        Dense {
+            w: (0..n_in * n_out)
+                .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+                .collect(),
+            b: vec![0.0; n_out],
+            gw: vec![0.0; n_in * n_out],
+            gb: vec![0.0; n_out],
+            opt_w: Adam::new(n_in * n_out, lr),
+            opt_b: Adam::new(n_out, lr),
+            n_in,
+            n_out,
+            last_x: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dense {
+    #[allow(clippy::needless_range_loop)] // row indexing mirrors Wx+b
+    fn forward(&mut self, x: &[f64], _train: bool) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.n_in);
+        self.last_x = x.to_vec();
+        let mut out = self.b.clone();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            out[o] += row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        }
+        out
+    }
+
+    #[allow(clippy::needless_range_loop)] // row indexing mirrors the math
+    fn backward(&mut self, grad: &[f64]) -> Vec<f64> {
+        let mut gx = vec![0.0; self.n_in];
+        for o in 0..self.n_out {
+            let g = grad[o];
+            self.gb[o] += g;
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let grow = &mut self.gw[o * self.n_in..(o + 1) * self.n_in];
+            for i in 0..self.n_in {
+                grow[i] += g * self.last_x[i];
+                gx[i] += g * row[i];
+            }
+        }
+        gx
+    }
+
+    fn step(&mut self, batch: usize) {
+        let s = 1.0 / batch.max(1) as f64;
+        for g in &mut self.gw {
+            *g *= s;
+        }
+        for g in &mut self.gb {
+            *g *= s;
+        }
+        self.opt_w.step(&mut self.w, &self.gw);
+        self.opt_b.step(&mut self.b, &self.gb);
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &[f64], _train: bool) -> Vec<f64> {
+        self.mask = x.iter().map(|&v| v > 0.0).collect();
+        x.iter().map(|&v| v.max(0.0)).collect()
+    }
+
+    fn backward(&mut self, grad: &[f64]) -> Vec<f64> {
+        grad.iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect()
+    }
+
+    fn step(&mut self, _batch: usize) {}
+
+    fn num_params(&self) -> usize {
+        0
+    }
+}
+
+/// Inverted dropout.
+pub struct Dropout {
+    p: f64,
+    rng: ChaCha8Rng,
+    mask: Vec<f64>,
+}
+
+impl Dropout {
+    /// Drops activations with probability `p` during training.
+    pub fn new(p: f64, seed: u64) -> Dropout {
+        Dropout {
+            p,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mask: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &[f64], train: bool) -> Vec<f64> {
+        if !train || self.p <= 0.0 {
+            self.mask = vec![1.0; x.len()];
+            return x.to_vec();
+        }
+        let keep = 1.0 - self.p;
+        self.mask = x
+            .iter()
+            .map(|_| {
+                if self.rng.gen::<f64>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        x.iter().zip(&self.mask).map(|(v, m)| v * m).collect()
+    }
+
+    fn backward(&mut self, grad: &[f64]) -> Vec<f64> {
+        grad.iter().zip(&self.mask).map(|(g, m)| g * m).collect()
+    }
+
+    fn step(&mut self, _batch: usize) {}
+
+    fn num_params(&self) -> usize {
+        0
+    }
+}
+
+/// 1-D convolution over `(channels, length)` data stored channel-major.
+pub struct Conv1d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    in_len: usize,
+    out_len: usize,
+    w: Vec<f64>, // out_ch × in_ch × kernel
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    opt_w: Adam,
+    opt_b: Adam,
+    last_x: Vec<f64>,
+}
+
+impl Conv1d {
+    /// Creates a convolution for inputs of `in_ch` channels and length
+    /// `in_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the kernel does not fit the input.
+    pub fn new(
+        in_ch: usize,
+        in_len: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        lr: f64,
+        rng: &mut impl Rng,
+    ) -> Conv1d {
+        assert!(kernel <= in_len, "kernel {kernel} exceeds input {in_len}");
+        let out_len = (in_len - kernel) / stride + 1;
+        let n = out_ch * in_ch * kernel;
+        let scale = (2.0 / (in_ch * kernel + out_ch) as f64).sqrt();
+        Conv1d {
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+            in_len,
+            out_len,
+            w: (0..n).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect(),
+            b: vec![0.0; out_ch],
+            gw: vec![0.0; n],
+            gb: vec![0.0; out_ch],
+            opt_w: Adam::new(n, lr),
+            opt_b: Adam::new(out_ch, lr),
+            last_x: Vec::new(),
+        }
+    }
+
+    /// Output size (`out_ch * out_len`).
+    pub fn output_size(&self) -> usize {
+        self.out_ch * self.out_len
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, c: usize, k: usize) -> usize {
+        (o * self.in_ch + c) * self.kernel + k
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &[f64], _train: bool) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_ch * self.in_len);
+        self.last_x = x.to_vec();
+        let mut out = vec![0.0; self.out_ch * self.out_len];
+        for o in 0..self.out_ch {
+            for p in 0..self.out_len {
+                let mut acc = self.b[o];
+                let base = p * self.stride;
+                for c in 0..self.in_ch {
+                    let xrow = &x[c * self.in_len..(c + 1) * self.in_len];
+                    for k in 0..self.kernel {
+                        acc += self.w[self.widx(o, c, k)] * xrow[base + k];
+                    }
+                }
+                out[o * self.out_len + p] = acc;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &[f64]) -> Vec<f64> {
+        let mut gx = vec![0.0; self.in_ch * self.in_len];
+        for o in 0..self.out_ch {
+            for p in 0..self.out_len {
+                let g = grad[o * self.out_len + p];
+                if g == 0.0 {
+                    continue;
+                }
+                self.gb[o] += g;
+                let base = p * self.stride;
+                for c in 0..self.in_ch {
+                    for k in 0..self.kernel {
+                        let xi = c * self.in_len + base + k;
+                        let wi = self.widx(o, c, k);
+                        self.gw[wi] += g * self.last_x[xi];
+                        gx[xi] += g * self.w[wi];
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn step(&mut self, batch: usize) {
+        let s = 1.0 / batch.max(1) as f64;
+        for g in &mut self.gw {
+            *g *= s;
+        }
+        for g in &mut self.gb {
+            *g *= s;
+        }
+        self.opt_w.step(&mut self.w, &self.gw);
+        self.opt_b.step(&mut self.b, &self.gb);
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// 1-D max pooling over `(channels, length)` channel-major data.
+pub struct MaxPool1d {
+    ch: usize,
+    in_len: usize,
+    size: usize,
+    out_len: usize,
+    arg: Vec<usize>,
+}
+
+impl MaxPool1d {
+    /// Pools windows of `size` (stride = size). The final window is
+    /// truncated when `size` does not divide `in_len`, so the output is
+    /// never empty.
+    pub fn new(ch: usize, in_len: usize, size: usize) -> MaxPool1d {
+        MaxPool1d {
+            ch,
+            in_len,
+            size,
+            out_len: in_len.div_ceil(size).max(1),
+            arg: Vec::new(),
+        }
+    }
+
+    /// Output size (`ch * out_len`).
+    pub fn output_size(&self) -> usize {
+        self.ch * self.out_len
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, x: &[f64], _train: bool) -> Vec<f64> {
+        let mut out = vec![0.0; self.ch * self.out_len];
+        self.arg = vec![0; self.ch * self.out_len];
+        for c in 0..self.ch {
+            for p in 0..self.out_len {
+                let start = p * self.size;
+                let end = ((p + 1) * self.size).min(self.in_len);
+                let base = c * self.in_len + start;
+                let mut best = base;
+                for k in 1..end.saturating_sub(start) {
+                    if x[base + k] > x[best] {
+                        best = base + k;
+                    }
+                }
+                out[c * self.out_len + p] = x[best];
+                self.arg[c * self.out_len + p] = best;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &[f64]) -> Vec<f64> {
+        let mut gx = vec![0.0; self.ch * self.in_len];
+        for (i, &a) in self.arg.iter().enumerate() {
+            gx[a] += grad[i];
+        }
+        gx
+    }
+
+    fn step(&mut self, _batch: usize) {}
+
+    fn num_params(&self) -> usize {
+        0
+    }
+}
+
+/// A sequential network trained with softmax cross-entropy.
+pub struct Net {
+    /// The layer stack; the final layer must output `n_classes` logits.
+    pub layers: Vec<Box<dyn Layer>>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Net {
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, x: &[f64], train: bool) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    /// Backward pass from a loss gradient on the logits; returns the
+    /// gradient at the input.
+    pub fn backward(&mut self, grad: &[f64]) -> Vec<f64> {
+        let mut cur = grad.to_vec();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur);
+        }
+        cur
+    }
+
+    /// Applies accumulated gradients.
+    pub fn step(&mut self, batch: usize) {
+        for l in &mut self.layers {
+            l.step(batch);
+        }
+    }
+
+    /// Computes the cross-entropy gradient at the logits; returns
+    /// `(loss, grad)`.
+    pub fn ce_grad(logits: &[f64], y: usize) -> (f64, Vec<f64>) {
+        let mut probs = logits.to_vec();
+        softmax_inplace(&mut probs);
+        let loss = -(probs[y].max(1e-12)).ln();
+        let mut grad = probs;
+        grad[y] -= 1.0;
+        (loss, grad)
+    }
+
+    /// Trains on `(x, y)` and returns the final epoch's mean loss.
+    pub fn fit(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        epochs: usize,
+        batch: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut last = f64::INFINITY;
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for chunk in order.chunks(batch) {
+                for &i in chunk {
+                    let logits = self.forward(&x[i], true);
+                    let (loss, grad) = Net::ce_grad(&logits, y[i]);
+                    total += loss;
+                    self.backward(&grad);
+                }
+                self.step(chunk.len());
+            }
+            last = total / x.len() as f64;
+        }
+        last
+    }
+
+    /// Predicts the class of one sample.
+    pub fn predict(&mut self, x: &[f64]) -> usize {
+        argmax(&self.forward(x, false))
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Class 0 inside radius 1, class 1 outside — not linearly separable.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..80 {
+            let a = k as f64 * 0.6;
+            let r = if k % 2 == 0 { 0.5 } else { 2.0 };
+            x.push(vec![r * a.cos(), r * a.sin()]);
+            y.push(k % 2);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn mlp_learns_a_ring() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut net = Net {
+            layers: vec![
+                Box::new(Dense::new(2, 32, 0.01, &mut rng)),
+                Box::new(Relu::default()),
+                Box::new(Dense::new(32, 2, 0.01, &mut rng)),
+            ],
+            n_classes: 2,
+        };
+        let (x, y) = ring_data();
+        net.fit(&x, &y, 120, 16, 1);
+        let pred: Vec<usize> = x.iter().map(|v| net.predict(v)).collect();
+        assert!(crate::metrics::accuracy(&pred, &y) > 0.95);
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut net = Net {
+            layers: vec![
+                Box::new(Dense::new(2, 16, 0.01, &mut rng)),
+                Box::new(Relu::default()),
+                Box::new(Dense::new(16, 2, 0.01, &mut rng)),
+            ],
+            n_classes: 2,
+        };
+        let (x, y) = ring_data();
+        let early = net.fit(&x, &y, 3, 16, 1);
+        let late = net.fit(&x, &y, 100, 16, 1);
+        assert!(late < early, "{late} !< {early}");
+    }
+
+    #[test]
+    fn conv_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut conv = Conv1d::new(2, 10, 4, 3, 1, 0.01, &mut rng);
+        assert_eq!(conv.output_size(), 4 * 8);
+        let x = vec![0.5; 20];
+        let out = conv.forward(&x, false);
+        assert_eq!(out.len(), 32);
+        let gx = conv.backward(&vec![1.0; 32]);
+        assert_eq!(gx.len(), 20);
+    }
+
+    #[test]
+    fn conv_net_trains_on_patterns() {
+        // Class by whether the spike is in the first or second half.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for k in 0..60 {
+            let mut v = vec![0.0; 16];
+            let pos = if k % 2 == 0 { k % 6 } else { 8 + k % 6 };
+            v[pos] = 1.0;
+            x.push(v);
+            y.push(k % 2);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let conv = Conv1d::new(1, 16, 4, 5, 1, 0.01, &mut rng);
+        let c_out = conv.output_size();
+        let pool = MaxPool1d::new(4, 12, 2);
+        let p_out = pool.output_size();
+        let mut net = Net {
+            layers: vec![
+                Box::new(conv),
+                Box::new(Relu::default()),
+                Box::new(pool),
+                Box::new(Dense::new(p_out, 2, 0.01, &mut rng)),
+            ],
+            n_classes: 2,
+        };
+        assert_eq!(c_out, 4 * 12);
+        net.fit(&x, &y, 60, 8, 1);
+        let pred: Vec<usize> = x.iter().map(|v| net.predict(v)).collect();
+        assert!(crate::metrics::accuracy(&pred, &y) > 0.9);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut pool = MaxPool1d::new(1, 4, 2);
+        let out = pool.forward(&[1.0, 5.0, 2.0, 0.5], false);
+        assert_eq!(out, vec![5.0, 2.0]);
+        let gx = pool.backward(&[1.0, 1.0]);
+        assert_eq!(gx, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_is_identity_at_eval() {
+        let mut d = Dropout::new(0.5, 0);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let net = Net {
+            layers: vec![
+                Box::new(Dense::new(10, 5, 0.01, &mut rng)),
+                Box::new(Relu::default()),
+                Box::new(Dense::new(5, 3, 0.01, &mut rng)),
+            ],
+            n_classes: 3,
+        };
+        assert_eq!(net.num_params(), 10 * 5 + 5 + 5 * 3 + 3);
+    }
+}

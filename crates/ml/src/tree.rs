@@ -1,0 +1,255 @@
+//! CART decision trees (Gini impurity), the base learner of the random
+//! forest.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A fitted decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    /// Number of classes seen at fit time.
+    pub n_classes: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Tree-growing hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Features examined per split (`None` = all; forests pass √d).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 32,
+            min_samples_split: 2,
+            max_features: None,
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Fits a tree on `(x, y)` with labels in `0..n_classes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or rows have inconsistent lengths.
+    pub fn fit<R: Rng>(
+        x: &[Vec<f64>],
+        y: &[usize],
+        n_classes: usize,
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> DecisionTree {
+        assert!(!x.is_empty(), "empty training set");
+        assert_eq!(x.len(), y.len());
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes,
+        };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        tree.grow(x, y, &idx, config, 0, rng);
+        tree
+    }
+
+    fn grow<R: Rng>(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        idx: &[usize],
+        config: &TreeConfig,
+        depth: usize,
+        rng: &mut R,
+    ) -> usize {
+        let mut counts = vec![0usize; self.n_classes];
+        for &i in idx {
+            counts[y[i]] += 1;
+        }
+        let majority = crate::linalg::argmax(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>());
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= config.max_depth || idx.len() < config.min_samples_split {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+        let n_features = x[0].len();
+        let mut feats: Vec<usize> = (0..n_features).collect();
+        feats.shuffle(rng);
+        let take = config.max_features.unwrap_or(n_features).min(n_features);
+        let mut best: Option<(f64, usize, f64)> = None; // (gini, feature, threshold)
+        for &feat in feats.iter().take(take.max(1)) {
+            let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][feat]).collect();
+            vals.sort_by(f64::total_cmp);
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds: midpoints; subsample when many.
+            let step = (vals.len() / 16).max(1);
+            for w in vals.windows(2).step_by(step) {
+                let thr = (w[0] + w[1]) / 2.0;
+                let g = self.split_gini(x, y, idx, feat, thr);
+                if best.map(|(bg, _, _)| g < bg).unwrap_or(true) {
+                    best = Some((g, feat, thr));
+                }
+            }
+        }
+        let Some((_, feature, threshold)) = best else {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        if li.is_empty() || ri.is_empty() {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+        // Reserve this node's slot before growing children.
+        let me = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: majority });
+        let left = self.grow(x, y, &li, config, depth + 1, rng);
+        let right = self.grow(x, y, &ri, config, depth + 1, rng);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    fn split_gini(&self, x: &[Vec<f64>], y: &[usize], idx: &[usize], feat: usize, thr: f64) -> f64 {
+        let mut lc = vec![0usize; self.n_classes];
+        let mut rc = vec![0usize; self.n_classes];
+        for &i in idx {
+            if x[i][feat] <= thr {
+                lc[y[i]] += 1;
+            } else {
+                rc[y[i]] += 1;
+            }
+        }
+        let gini = |c: &[usize]| -> f64 {
+            let n: usize = c.iter().sum();
+            if n == 0 {
+                return 0.0;
+            }
+            let nf = n as f64;
+            1.0 - c.iter().map(|&k| (k as f64 / nf).powi(2)).sum::<f64>()
+        };
+        let (ln, rn) = (lc.iter().sum::<usize>() as f64, rc.iter().sum::<usize>() as f64);
+        let total = ln + rn;
+        (ln / total) * gini(&lc) + (rn / total) * gini(&rc)
+    }
+
+    /// Predicts the class of one sample.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        // The root is the first node grown (index 0 when the tree has any
+        // node; `grow` reserves the root slot first).
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (a size/memory proxy).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..10 {
+                    x.push(vec![a as f64, b as f64]);
+                    y.push((a ^ b) as usize);
+                }
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let t = DecisionTree::fit(&x, &y, 2, &TreeConfig::default(), &mut rng);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(t.predict(xi), yi);
+        }
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (x, y) = xor_data();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let t = DecisionTree::fit(&x, &y, 2, &cfg, &mut rng);
+        assert_eq!(t.num_nodes(), 1); // a single leaf
+    }
+
+    #[test]
+    fn single_class_is_a_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let t = DecisionTree::fit(&x, &y, 3, &TreeConfig::default(), &mut rng);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn multiclass_separable() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..4 {
+            for k in 0..8 {
+                x.push(vec![c as f64 * 10.0 + (k % 3) as f64]);
+                y.push(c);
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = DecisionTree::fit(&x, &y, 4, &TreeConfig::default(), &mut rng);
+        for (xi, &yi) in x.iter().zip(&y) {
+            assert_eq!(t.predict(xi), yi);
+        }
+    }
+}

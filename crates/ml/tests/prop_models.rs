@@ -1,0 +1,85 @@
+//! Property tests on model invariants: probability normalization,
+//! prediction ranges, metric bounds, and split consistency.
+
+use proptest::prelude::*;
+use yali_ml::linalg::{argmax, softmax_inplace};
+use yali_ml::{accuracy, macro_f1, train_test_split, ForestConfig, RandomForest};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_is_a_distribution(v in prop::collection::vec(-50.0f64..50.0, 1..20)) {
+        let mut s = v.clone();
+        softmax_inplace(&mut s);
+        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Softmax preserves the argmax.
+        prop_assert_eq!(argmax(&v), argmax(&s));
+    }
+
+    #[test]
+    fn accuracy_is_bounded_and_f1_vanishes_with_it(
+        extra in prop::collection::vec(0usize..4, 0..36),
+        shift in 0usize..4,
+    ) {
+        // Ensure every class occurs, so perfect macro F1 is exactly 1.
+        let mut labels = vec![0usize, 1, 2, 3];
+        labels.extend(extra);
+        let pred: Vec<usize> = labels.iter().map(|&y| (y + shift) % 4).collect();
+        let acc = accuracy(&pred, &labels);
+        let f1 = macro_f1(&pred, &labels, 4);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((0.0..=1.0).contains(&f1));
+        if shift == 0 {
+            prop_assert_eq!(acc, 1.0);
+            prop_assert!((f1 - 1.0).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(f1, 0.0); // a pure permutation never matches
+        }
+    }
+
+    #[test]
+    fn forest_predictions_stay_in_label_range(
+        n_classes in 2usize..5,
+        queries in prop::collection::vec(-100.0f64..100.0, 1..12),
+    ) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..n_classes {
+            for k in 0..6 {
+                x.push(vec![c as f64 * 10.0 + k as f64 * 0.1]);
+                y.push(c);
+            }
+        }
+        let f = RandomForest::fit(&x, &y, n_classes, &ForestConfig { n_trees: 5, ..Default::default() });
+        for q in queries {
+            prop_assert!(f.predict(&[q]) < n_classes);
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly(
+        per_class in 2usize..10,
+        frac in 0.25f64..0.9,
+    ) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3usize {
+            for k in 0..per_class {
+                x.push(c * 100 + k);
+                y.push(c);
+            }
+        }
+        let (xtr, ytr, xte, yte) = train_test_split(&x, &y, frac, 5);
+        prop_assert_eq!(xtr.len() + xte.len(), x.len());
+        prop_assert_eq!(ytr.len(), xtr.len());
+        prop_assert_eq!(yte.len(), xte.len());
+        // No element appears twice.
+        let mut all: Vec<usize> = xtr.iter().chain(xte.iter()).copied().collect();
+        all.sort_unstable();
+        let mut orig = x.clone();
+        orig.sort_unstable();
+        prop_assert_eq!(all, orig);
+    }
+}

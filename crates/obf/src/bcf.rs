@@ -1,0 +1,241 @@
+//! Bogus control flow (`ollvm -bcf`).
+//!
+//! Selected basic blocks are guarded by an *opaque predicate*: a condition
+//! that always evaluates true at run time but that static analysis cannot
+//! fold. The false edge leads to a bogus block of junk arithmetic. The
+//! classic O-LLVM predicate `y < 10 || x * (x + 1) % 2 == 0` is used, with
+//! `x` and `y` read from a two-element stack slot that `mem2reg` cannot
+//! promote — which is exactly why the paper finds bcf "cannot be easily
+//! optimized" (Section 4.4).
+
+use rand::Rng;
+use yali_ir::{BlockId, Cmp, Function, Inst, InstId, Module, Op, Type, Value};
+
+/// Applies bogus control flow to each function. Each block is guarded with
+/// probability `prob`. Returns the number of bogus branches inserted.
+pub fn run_module<R: Rng>(m: &mut Module, rng: &mut R, prob: f64) -> usize {
+    m.functions
+        .iter_mut()
+        .filter(|f| !f.is_declaration())
+        .map(|f| run(f, rng, prob))
+        .sum()
+}
+
+/// Applies bogus control flow to one function.
+pub fn run<R: Rng>(f: &mut Function, rng: &mut R, prob: f64) -> usize {
+    if f.is_declaration() {
+        return 0;
+    }
+    let entry = f.entry();
+    // The opaque slot: two i64 cells, seeded with small values. A
+    // two-element alloca is not promotable, keeping the predicate opaque.
+    let slot = f.new_inst(Inst::new(
+        Op::Alloca,
+        Type::ptr(Type::I64),
+        vec![Value::const_int(Type::I64, 2)],
+    ));
+    let store_x = f.new_inst(Inst::new(
+        Op::Store,
+        Type::Void,
+        vec![
+            Value::const_int(Type::I64, rng.gen_range(1..50)),
+            Value::Inst(slot),
+        ],
+    ));
+    let idx1 = f.new_inst(Inst::new(
+        Op::Gep,
+        Type::ptr(Type::I64),
+        vec![Value::Inst(slot), Value::const_int(Type::I64, 1)],
+    ));
+    let store_y = f.new_inst(Inst::new(
+        Op::Store,
+        Type::Void,
+        vec![Value::const_int(Type::I64, rng.gen_range(0..10)), Value::Inst(idx1)],
+    ));
+    f.insert_inst(entry, 0, slot);
+    f.insert_inst(entry, 1, store_x);
+    f.insert_inst(entry, 2, idx1);
+    f.insert_inst(entry, 3, store_y);
+
+    let mut n = 0;
+    let targets: Vec<BlockId> = f.block_order().to_vec();
+    for b in targets {
+        if !rng.gen_bool(prob) {
+            continue;
+        }
+        // Split b: phis (plus, for the entry, the opaque setup) stay in b;
+        // the body and terminator move to `cont`.
+        let head_len = {
+            let insts = &f.block(b).insts;
+            let mut k = 0;
+            while k < insts.len() && f.inst(insts[k]).op == Op::Phi {
+                k += 1;
+            }
+            if b == entry {
+                k = k.max(4); // keep the opaque setup in the entry head
+            }
+            k
+        };
+        if f.block(b).insts.len() <= head_len {
+            continue;
+        }
+        let tail: Vec<InstId> = f.block(b).insts[head_len..].to_vec();
+        f.block_mut(b).insts.truncate(head_len);
+        let cont = f.add_block();
+        f.block_mut(cont).insts = tail;
+        for s in f.successors(cont) {
+            f.retarget_phis(s, b, cont);
+        }
+        // The bogus block: junk arithmetic over the opaque slot, looping
+        // back to cont.
+        let bogus = f.add_block();
+        {
+            let x = f.new_inst(Inst::new(Op::Load, Type::I64, vec![Value::Inst(slot)]));
+            let j1 = f.new_inst(Inst::new(
+                Op::Mul,
+                Type::I64,
+                vec![Value::Inst(x), Value::const_int(Type::I64, rng.gen_range(2..9))],
+            ));
+            let j2 = f.new_inst(Inst::new(
+                Op::Add,
+                Type::I64,
+                vec![Value::Inst(j1), Value::const_int(Type::I64, rng.gen_range(1..100))],
+            ));
+            let st = f.new_inst(Inst::new(
+                Op::Store,
+                Type::Void,
+                vec![Value::Inst(j2), Value::Inst(slot)],
+            ));
+            let mut br = Inst::new(Op::Br, Type::Void, vec![]);
+            br.blocks = vec![cont];
+            let br = f.new_inst(br);
+            for id in [x, j1, j2, st, br] {
+                f.block_mut(bogus).insts.push(id);
+            }
+        }
+        // The opaque predicate at the end of b:
+        //   x = load slot; t = x * (x + 1); even = t % 2 == 0  (always true)
+        let x = f.new_inst(Inst::new(Op::Load, Type::I64, vec![Value::Inst(slot)]));
+        let xp1 = f.new_inst(Inst::new(
+            Op::Add,
+            Type::I64,
+            vec![Value::Inst(x), Value::const_int(Type::I64, 1)],
+        ));
+        let t = f.new_inst(Inst::new(
+            Op::Mul,
+            Type::I64,
+            vec![Value::Inst(x), Value::Inst(xp1)],
+        ));
+        let rem = f.new_inst(Inst::new(
+            Op::SRem,
+            Type::I64,
+            vec![Value::Inst(t), Value::const_int(Type::I64, 2)],
+        ));
+        let mut even = Inst::new(
+            Op::ICmp,
+            Type::I1,
+            vec![Value::Inst(rem), Value::const_int(Type::I64, 0)],
+        );
+        even.pred = Some(Cmp::Eq);
+        let even = f.new_inst(even);
+        let mut condbr = Inst::new(Op::CondBr, Type::Void, vec![Value::Inst(even)]);
+        condbr.blocks = vec![cont, bogus];
+        let condbr = f.new_inst(condbr);
+        for id in [x, xp1, t, rem, even, condbr] {
+            f.block_mut(b).insts.push(id);
+        }
+        n += 1;
+    }
+    if n == 0 {
+        // No block selected: remove the opaque setup again.
+        f.remove_from_block(entry, store_y);
+        f.remove_from_block(entry, idx1);
+        f.remove_from_block(entry, store_x);
+        f.remove_from_block(entry, slot);
+    }
+    f.compact();
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use yali_ir::interp::{run as exec, ExecConfig, Val};
+    use yali_ir::verify_module;
+
+    fn bcfd(src: &str, seed: u64) -> (Module, Module) {
+        let m0 = yali_minic::compile(src).expect("compile");
+        let mut m1 = m0.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        run_module(&mut m1, &mut rng, 0.8);
+        verify_module(&m1).unwrap_or_else(|e| panic!("{e}\n{}", yali_ir::print_module(&m1)));
+        (m0, m1)
+    }
+
+    const SRC: &str = r#"
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) { s += i; } else { s -= 1; }
+            }
+            return s;
+        }
+    "#;
+
+    #[test]
+    fn adds_blocks_and_preserves_semantics() {
+        let (m0, m1) = bcfd(SRC, 5);
+        assert!(
+            m1.function("f").unwrap().num_blocks() > m0.function("f").unwrap().num_blocks()
+        );
+        for n in [0i64, 1, 10, 33] {
+            let a = exec(&m0, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            let b = exec(&m1, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            assert_eq!(a.ret, b.ret, "f({n})");
+        }
+    }
+
+    #[test]
+    fn bogus_blocks_never_execute_junk_into_results() {
+        // The bogus path would corrupt the opaque slot if taken; identical
+        // outputs across many inputs demonstrate it stays dead.
+        let (m0, m1) = bcfd(SRC, 11);
+        for n in 0..20i64 {
+            let a = exec(&m0, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            let b = exec(&m1, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            assert_eq!(a.ret, b.ret);
+        }
+    }
+
+    #[test]
+    fn resists_o3_normalization() {
+        // The paper's RQ4 finding: bcf survives optimization because the
+        // opaque predicate cannot be folded.
+        let (_, mut m1) = bcfd(SRC, 23);
+        let blocks_before = m1.function("f").unwrap().num_blocks();
+        yali_opt::optimize(&mut m1, yali_opt::OptLevel::O3);
+        verify_module(&m1).unwrap();
+        let blocks_after = m1.function("f").unwrap().num_blocks();
+        let m0 = yali_minic::compile(SRC).unwrap();
+        let m0_opt = yali_opt::optimized(&m0, yali_opt::OptLevel::O3);
+        assert!(
+            blocks_after > m0_opt.function("f").unwrap().num_blocks(),
+            "bcf was optimized away ({blocks_before} -> {blocks_after})"
+        );
+        let out = exec(&m1, "f", &[Val::Int(12)], &[], &ExecConfig::default()).unwrap();
+        let ref_out = exec(&m0, "f", &[Val::Int(12)], &[], &ExecConfig::default()).unwrap();
+        assert_eq!(out.ret, ref_out.ret);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_semantically() {
+        let m0 = yali_minic::compile(SRC).unwrap();
+        let mut m1 = m0.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(run_module(&mut m1, &mut rng, 0.0), 0);
+        // The opaque slot is removed again when nothing was selected.
+        assert_eq!(m1.num_insts(), m0.num_insts());
+    }
+}

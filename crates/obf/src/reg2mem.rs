@@ -1,0 +1,243 @@
+//! Register demotion (`reg2mem`): the inverse of `mem2reg`.
+//!
+//! Every SSA value that flows across basic-block boundaries — including all
+//! phis — is demoted to a stack slot in the entry block. The result is a
+//! module where data only crosses blocks through memory, which is the
+//! precondition for control-flow flattening (O-LLVM performs the same
+//! demotion before `-fla` for the same reason: flattening destroys the
+//! dominance relationships SSA values rely on).
+
+use std::collections::HashMap;
+use yali_ir::{BlockId, Function, Inst, InstId, Module, Op, Type, Value};
+
+/// Demotes cross-block values in every definition. Returns the number of
+/// slots introduced.
+pub fn run_module(m: &mut Module) -> usize {
+    m.functions
+        .iter_mut()
+        .filter(|f| !f.is_declaration())
+        .map(run)
+        .sum()
+}
+
+/// Demotes cross-block values and phis in one function.
+pub fn run(f: &mut Function) -> usize {
+    let entry = f.entry();
+    let mut slots = 0;
+
+    // --- Phase 1: demote phis. ---
+    loop {
+        // Find one phi (mutation invalidates positions, so take them one at
+        // a time).
+        let mut found = None;
+        'outer: for &b in f.block_order() {
+            for &i in &f.block(b).insts {
+                if f.inst(i).op == Op::Phi {
+                    found = Some((b, i));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((b, phi)) = found else { break };
+        let inst = f.inst(phi).clone();
+        let slot = new_entry_slot(f, entry, inst.ty.clone());
+        // Store each incoming value at the end of its predecessor.
+        for (v, &pred) in inst.args.iter().zip(&inst.blocks) {
+            let store = f.new_inst(Inst::new(
+                Op::Store,
+                Type::Void,
+                vec![v.clone(), Value::Inst(slot)],
+            ));
+            let at = f.block(pred).insts.len().saturating_sub(1);
+            f.insert_inst(pred, at, store);
+        }
+        // Replace the phi with a load at its own position.
+        let pos = f
+            .block(b)
+            .insts
+            .iter()
+            .position(|&x| x == phi)
+            .expect("phi in its block");
+        let load = f.new_inst(Inst::new(Op::Load, inst.ty, vec![Value::Inst(slot)]));
+        f.remove_from_block(b, phi);
+        f.insert_inst(b, pos, load);
+        f.replace_all_uses(phi, &Value::Inst(load));
+        slots += 1;
+    }
+
+    // --- Phase 2: demote non-phi values used outside their block. ---
+    let mut place: HashMap<InstId, BlockId> = HashMap::new();
+    for (b, i) in f.iter_insts() {
+        place.insert(i, b);
+    }
+    let mut cross: Vec<InstId> = Vec::new();
+    for (b, i) in f.iter_insts() {
+        for a in &f.inst(i).args {
+            if let Value::Inst(d) = a {
+                if place.get(d) == Some(&b) {
+                    continue;
+                }
+                // Entry-block allocas stay: the flattened entry dominates
+                // everything, so loads and stores through them stay legal.
+                if f.inst(*d).op == Op::Alloca && place.get(d) == Some(&entry) {
+                    continue;
+                }
+                if !cross.contains(d) {
+                    cross.push(*d);
+                }
+            }
+        }
+    }
+    for d in cross {
+        let def_block = place[&d];
+        let ty = f.inst(d).ty.clone();
+        if ty.is_void() {
+            continue;
+        }
+        let slot = new_entry_slot(f, entry, ty.clone());
+        // Store right after the definition.
+        let def_pos = f
+            .block(def_block)
+            .insts
+            .iter()
+            .position(|&x| x == d)
+            .expect("def in its block");
+        let store = f.new_inst(Inst::new(
+            Op::Store,
+            Type::Void,
+            vec![Value::Inst(d), Value::Inst(slot)],
+        ));
+        f.insert_inst(def_block, def_pos + 1, store);
+        // Replace remote uses with loads placed just before the user.
+        let users: Vec<(BlockId, InstId)> = f
+            .iter_insts()
+            .filter(|&(ub, u)| {
+                ub != def_block
+                    && f.inst(u)
+                        .args
+                        .iter()
+                        .any(|a| a.as_inst() == Some(d))
+            })
+            .collect();
+        for (ub, u) in users {
+            if u == store {
+                continue;
+            }
+            let pos = f
+                .block(ub)
+                .insts
+                .iter()
+                .position(|&x| x == u)
+                .expect("user in its block");
+            let load = f.new_inst(Inst::new(Op::Load, ty.clone(), vec![Value::Inst(slot)]));
+            f.insert_inst(ub, pos, load);
+            let user = f.inst_mut(u);
+            for a in &mut user.args {
+                if a.as_inst() == Some(d) {
+                    *a = Value::Inst(load);
+                }
+            }
+        }
+        slots += 1;
+    }
+    f.compact();
+    slots
+}
+
+fn new_entry_slot(f: &mut Function, entry: BlockId, ty: Type) -> InstId {
+    let alloca = f.new_inst(Inst::new(
+        Op::Alloca,
+        Type::ptr(ty),
+        vec![Value::const_int(Type::I64, 1)],
+    ));
+    f.insert_inst(entry, 0, alloca);
+    alloca
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yali_ir::interp::{run as exec, ExecConfig, Val};
+    use yali_ir::verify_module;
+
+    fn demoted(src: &str) -> (Module, Module) {
+        let mut m = yali_minic::compile(src).expect("compile");
+        yali_opt::optimize(&mut m, yali_opt::OptLevel::O1); // get SSA + phis
+        let before = m.clone();
+        run_module(&mut m);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", yali_ir::print_module(&m)));
+        (before, m)
+    }
+
+    #[test]
+    fn phis_disappear() {
+        let (before, after) = demoted(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }",
+        );
+        let count = |m: &Module, op: Op| -> usize {
+            m.definitions()
+                .flat_map(|f| f.iter_insts().map(move |(_, i)| f.inst(i).op))
+                .filter(|&o| o == op)
+                .count()
+        };
+        assert!(count(&before, Op::Phi) > 0, "precondition: SSA has phis");
+        assert_eq!(count(&after, Op::Phi), 0);
+        assert!(count(&after, Op::Alloca) > 0);
+    }
+
+    #[test]
+    fn semantics_survive_demotion() {
+        let src = r#"
+            int f(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) {
+                    if (i % 2 == 0) { s += i * 3; } else { s -= i; }
+                }
+                return s;
+            }
+        "#;
+        let (before, after) = demoted(src);
+        for n in [0i64, 1, 9, 30] {
+            let a = exec(&before, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            let b = exec(&after, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            assert_eq!(a.ret, b.ret, "f({n})");
+        }
+    }
+
+    #[test]
+    fn no_cross_block_ssa_values_remain() {
+        let (_, after) = demoted(
+            "int f(int a, int b) { int r = a * b; if (r > 10) { r = r - a; } return r + b; }",
+        );
+        for func in after.definitions() {
+            let mut place = std::collections::HashMap::new();
+            for (b, i) in func.iter_insts() {
+                place.insert(i, b);
+            }
+            for (b, i) in func.iter_insts() {
+                for a in &func.inst(i).args {
+                    if let Value::Inst(d) = a {
+                        let db = place[d];
+                        let is_entry_alloca =
+                            func.inst(*d).op == Op::Alloca && db == func.entry();
+                        assert!(
+                            db == b || is_entry_alloca,
+                            "cross-block value {d} in @{}\n{func}",
+                            func.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mem2reg_round_trips() {
+        let src = "int f(int n) { int s = 1; while (n > 1) { s = s * n; n = n - 1; } return s; }";
+        let (_, mut demoted_m) = demoted(src);
+        yali_opt::mem2reg::run_module(&mut demoted_m);
+        verify_module(&demoted_m).unwrap();
+        let out = exec(&demoted_m, "f", &[Val::Int(6)], &[], &ExecConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(720)));
+    }
+}

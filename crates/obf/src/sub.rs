@@ -1,0 +1,192 @@
+//! Instruction substitution (`ollvm -sub`).
+//!
+//! Replaces integer arithmetic and logic instructions with longer,
+//! semantically equivalent sequences, following O-LLVM's catalogue
+//! (Junod et al.):
+//!
+//! - `a + b` → `a - (0 - b)`  or  `(a ^ b) + ((a & b) << 1)`
+//! - `a - b` → `a + (0 - b)`
+//! - `a ^ b` → `(a | b) & ~(a & b)`
+//! - `a | b` → `(a & b) | (a ^ b)`
+//! - `a & b` → `~(~a | ~b)`
+
+use rand::Rng;
+use yali_ir::{Function, Inst, InstId, Module, Op, Type, Value};
+
+/// Runs instruction substitution with the given RNG. Every eligible
+/// instruction is rewritten with probability `prob`. Returns the number of
+/// substitutions.
+pub fn run_module<R: Rng>(m: &mut Module, rng: &mut R, prob: f64) -> usize {
+    m.functions
+        .iter_mut()
+        .filter(|f| !f.is_declaration())
+        .map(|f| run(f, rng, prob))
+        .sum()
+}
+
+/// Runs instruction substitution on one function.
+pub fn run<R: Rng>(f: &mut Function, rng: &mut R, prob: f64) -> usize {
+    let mut n = 0;
+    let placed: Vec<(yali_ir::BlockId, InstId)> = f.iter_insts().collect();
+    for (b, i) in placed {
+        let inst = f.inst(i).clone();
+        if !matches!(inst.op, Op::Add | Op::Sub | Op::Xor | Op::Or | Op::And) {
+            continue;
+        }
+        if !inst.ty.is_int() || inst.ty == Type::I1 {
+            continue;
+        }
+        if rng.gen::<f64>() > prob {
+            continue;
+        }
+        let pos = f
+            .block(b)
+            .insts
+            .iter()
+            .position(|&x| x == i)
+            .expect("inst in its block");
+        let ty = inst.ty.clone();
+        let (a, c) = (inst.args[0].clone(), inst.args[1].clone());
+        let zero = Value::const_int(ty.clone(), 0);
+        let minus1 = Value::const_int(ty.clone(), -1);
+        // Helper to append a fresh instruction before `i` (order matters).
+        let mut fresh = Vec::new();
+        let mut emit = |f: &mut Function, op: Op, args: Vec<Value>| -> Value {
+            let id = f.new_inst(Inst::new(op, ty.clone(), args));
+            fresh.push(id);
+            Value::Inst(id)
+        };
+        let replacement = match inst.op {
+            Op::Add if rng.gen_bool(0.5) => {
+                // a - (0 - b)
+                let neg = emit(f, Op::Sub, vec![zero, c.clone()]);
+                Inst::new(Op::Sub, ty.clone(), vec![a, neg])
+            }
+            Op::Add => {
+                // (a ^ b) + ((a & b) << 1)
+                let x = emit(f, Op::Xor, vec![a.clone(), c.clone()]);
+                let and = emit(f, Op::And, vec![a, c]);
+                let shl = emit(
+                    f,
+                    Op::Shl,
+                    vec![and, Value::const_int(ty.clone(), 1)],
+                );
+                Inst::new(Op::Add, ty.clone(), vec![x, shl])
+            }
+            Op::Sub => {
+                // a + (0 - b)
+                let neg = emit(f, Op::Sub, vec![zero, c]);
+                Inst::new(Op::Add, ty.clone(), vec![a, neg])
+            }
+            Op::Xor => {
+                // (a | b) & ~(a & b)
+                let or = emit(f, Op::Or, vec![a.clone(), c.clone()]);
+                let and = emit(f, Op::And, vec![a, c]);
+                let not = emit(f, Op::Xor, vec![and, minus1]);
+                Inst::new(Op::And, ty.clone(), vec![or, not])
+            }
+            Op::Or => {
+                // (a & b) | (a ^ b)
+                let and = emit(f, Op::And, vec![a.clone(), c.clone()]);
+                let x = emit(f, Op::Xor, vec![a, c]);
+                Inst::new(Op::Or, ty.clone(), vec![and, x])
+            }
+            Op::And => {
+                // ~(~a | ~b)
+                let na = emit(f, Op::Xor, vec![a, minus1.clone()]);
+                let nb = emit(f, Op::Xor, vec![c, minus1.clone()]);
+                let or = emit(f, Op::Or, vec![na, nb]);
+                Inst::new(Op::Xor, ty.clone(), vec![or, minus1])
+            }
+            _ => unreachable!(),
+        };
+        for (k, id) in fresh.iter().enumerate() {
+            f.insert_inst(b, pos + k, *id);
+        }
+        *f.inst_mut(i) = replacement;
+        n += 1;
+    }
+    if n > 0 {
+        f.compact();
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use yali_ir::interp::{run as exec, ExecConfig, Val};
+    use yali_ir::verify_module;
+
+    fn subbed(src: &str, seed: u64) -> (Module, Module) {
+        let m0 = yali_minic::compile(src).expect("compile");
+        let mut m1 = m0.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = run_module(&mut m1, &mut rng, 1.0);
+        assert!(n > 0, "nothing substituted");
+        verify_module(&m1).unwrap_or_else(|e| panic!("{e}\n{}", yali_ir::print_module(&m1)));
+        (m0, m1)
+    }
+
+    #[test]
+    fn substitution_grows_code_and_preserves_semantics() {
+        let src = "int f(int a, int b) { return (a + b) - (a & b) + (a | b) - (a ^ b); }";
+        let (m0, m1) = subbed(src, 42);
+        assert!(m1.num_insts() > m0.num_insts());
+        for (a, b) in [(0i64, 0i64), (13, 7), (-5, 200), (i64::MAX, 1)] {
+            let args = [Val::Int(a), Val::Int(b)];
+            let r0 = exec(&m0, "f", &args, &[], &ExecConfig::default()).unwrap();
+            let r1 = exec(&m1, "f", &args, &[], &ExecConfig::default()).unwrap();
+            assert_eq!(r0.ret, r1.ret, "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn substitution_changes_the_histogram() {
+        let src = "int f(int a, int b) { return a + b; }";
+        let (m0, m1) = subbed(src, 7);
+        assert_ne!(yali_embed::histogram(&m0), yali_embed::histogram(&m1));
+    }
+
+    #[test]
+    fn probability_zero_is_identity() {
+        let mut m = yali_minic::compile("int f(int a) { return a + 1; }").unwrap();
+        let before = m.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(run_module(&mut m, &mut rng, 0.0), 0);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let src = "int f(int a, int b) { return a + b + (a & b); }";
+        let (_, m1) = subbed(src, 99);
+        let (_, m2) = subbed(src, 99);
+        assert_eq!(
+            yali_ir::print_module(&m1),
+            yali_ir::print_module(&m2)
+        );
+    }
+
+    #[test]
+    fn o1_reverts_simple_substitutions() {
+        // The normalization story (paper, Example 2.5): optimizing the
+        // substituted code shrinks it back.
+        let src = "int f(int a, int b) { return a + b; }";
+        let (_, mut m1) = subbed(src, 3);
+        let grown = m1.num_insts();
+        yali_opt::optimize(&mut m1, yali_opt::OptLevel::O1);
+        assert!(m1.num_insts() < grown, "{}", yali_ir::print_module(&m1));
+        let out = exec(
+            &m1,
+            "f",
+            &[Val::Int(40), Val::Int(2)],
+            &[],
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.ret, Some(Val::Int(42)));
+    }
+}

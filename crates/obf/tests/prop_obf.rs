@@ -1,0 +1,67 @@
+//! Property tests: every obfuscation pass preserves the behaviour of
+//! randomly generated MiniC programs (Definition 2.4's evader contract).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use yali_ir::interp::{run, ExecConfig, Val};
+
+fn program(a: i64, b: i64, bound: u8, use_switch: bool) -> String {
+    let tail = if use_switch {
+        "switch (acc % 3) { case 0: acc = acc + 5; break; case 1: acc = acc * 2; break; default: acc = acc - 7; }"
+    } else {
+        "if (acc % 2 == 0) { acc = acc / 2; } else { acc = acc + 3; }"
+    };
+    format!(
+        "int f(int x) {{ int acc = x; for (int i = 0; i < {bound}; i++) {{ acc = acc * {a} + {b}; {tail} }} return acc; }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ir_passes_preserve_behaviour(
+        a in 1i64..6,
+        b in -9i64..9,
+        bound in 1u8..10,
+        use_switch in any::<bool>(),
+        x in -100i64..100,
+        seed in 0u64..1000,
+    ) {
+        let src = program(a, b, bound, use_switch);
+        let m0 = yali_minic::compile(&src).expect("compiles");
+        let args = [Val::Int(x)];
+        let reference = run(&m0, "f", &args, &[], &ExecConfig::default()).expect("runs").ret;
+        for pass in yali_obf::IrObf::ALL {
+            let mut m = m0.clone();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            pass.apply(&mut m, &mut rng);
+            yali_ir::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{pass} produced invalid IR: {e}"));
+            let got = run(&m, "f", &args, &[], &ExecConfig::default()).expect("runs").ret;
+            prop_assert_eq!(got, reference, "{} diverged on {} (x={})", pass, src, x);
+        }
+    }
+
+    #[test]
+    fn obfuscation_plus_o3_preserves_behaviour(
+        a in 1i64..5,
+        bound in 1u8..8,
+        x in -50i64..50,
+        seed in 0u64..100,
+    ) {
+        // The Game-3 composition: obfuscate, then the classifier optimizes.
+        let src = program(a, 1, bound, true);
+        let m0 = yali_minic::compile(&src).expect("compiles");
+        let args = [Val::Int(x)];
+        let reference = run(&m0, "f", &args, &[], &ExecConfig::default()).expect("runs").ret;
+        let mut m = m0.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        yali_obf::ollvm(&mut m, &mut rng);
+        yali_opt::optimize(&mut m, yali_opt::OptLevel::O3);
+        yali_ir::verify_module(&m).expect("verifies");
+        let got = run(&m, "f", &args, &[], &ExecConfig::default()).expect("runs").ret;
+        prop_assert_eq!(got, reference);
+    }
+}

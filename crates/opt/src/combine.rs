@@ -1,0 +1,650 @@
+//! Instruction combining: constant folding, algebraic identities, and
+//! canonicalization peepholes (LLVM's `instcombine`, miniaturized).
+//!
+//! Besides classic folds, this pass contains the inverse patterns of
+//! O-LLVM's *instruction substitution* obfuscation, which is what lets a
+//! `-O1`-style pipeline "partially undo the transformations carried out by
+//! the evader" (paper, Example 2.5):
+//!
+//! - `a - (0 - b)`   → `a + b`
+//! - `a + (0 - b)`   → `a - b`
+//! - `(a ^ b) + 2*(a & b)` → `a + b` (the classic O-LLVM add substitution)
+//! - `~(~a & ~b)`    → `a | b` (De Morgan)
+//! - `(a & b) | (a ^ b)` → `a | b`
+
+use std::collections::HashMap;
+use yali_ir::{Cmp, Function, InstId, Module, Op, Type, Value};
+
+
+/// Runs instcombine over every definition to fixpoint. Returns the number of
+/// rewrites.
+pub fn run_module(m: &mut Module) -> usize {
+    m.functions
+        .iter_mut()
+        .filter(|f| !f.is_declaration())
+        .map(run)
+        .sum()
+}
+
+/// Runs instcombine on one function to fixpoint.
+pub fn run(f: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let n = one_round(f);
+        total += n;
+        if n == 0 {
+            break;
+        }
+    }
+    total
+}
+
+fn one_round(f: &mut Function) -> usize {
+    let mut n = 0;
+    let placed: Vec<(yali_ir::BlockId, InstId)> = f.iter_insts().collect();
+    // def map for looking through operands. The snapshot goes stale as the
+    // round removes instructions, so anything built from it is validated
+    // against `removed` before being committed — a skipped opportunity is
+    // picked up by the next fixpoint round with fresh state.
+    let defs: HashMap<InstId, yali_ir::Inst> = placed
+        .iter()
+        .map(|&(_, i)| (i, f.inst(i).clone()))
+        .collect();
+    let mut removed: std::collections::HashSet<InstId> = std::collections::HashSet::new();
+    let uses_removed = |v: &Value, removed: &std::collections::HashSet<InstId>| match v {
+        Value::Inst(id) => removed.contains(id),
+        _ => false,
+    };
+    for (b, i) in placed {
+        if removed.contains(&i) {
+            continue;
+        }
+        let inst = f.inst(i).clone();
+        if let Some(v) = simplify_inst(&inst, &defs) {
+            if uses_removed(&v, &removed) {
+                continue;
+            }
+            // Everything simplify_inst handles is pure, so the original
+            // instruction can be dropped on the spot (leaving it would make
+            // every later round re-count it and never reach a fixpoint).
+            f.replace_all_uses(i, &v);
+            f.remove_from_block(b, i);
+            removed.insert(i);
+            n += 1;
+            continue;
+        }
+        if let Some(new_inst) = rewrite_inst(&inst, &defs) {
+            if new_inst.args.iter().any(|a| uses_removed(a, &removed)) {
+                continue;
+            }
+            *f.inst_mut(i) = new_inst;
+            n += 1;
+        }
+    }
+    if n > 0 {
+        f.compact();
+    }
+    n
+}
+
+fn cint(ty: &Type, v: i64) -> Value {
+    Value::const_int(ty.clone(), v)
+}
+
+/// Looks through an operand to its defining instruction, if any.
+fn def_of<'a>(v: &Value, defs: &'a HashMap<InstId, yali_ir::Inst>) -> Option<&'a yali_ir::Inst> {
+    v.as_inst().and_then(|id| defs.get(&id))
+}
+
+/// Returns a value the instruction is equivalent to, if one exists.
+fn simplify_inst(inst: &yali_ir::Inst, defs: &HashMap<InstId, yali_ir::Inst>) -> Option<Value> {
+    let ty = &inst.ty;
+    match inst.op {
+        op if op.is_int_binop() => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            // Constant folding.
+            if let (Some(x), Some(y)) = (a.as_const_int(), b.as_const_int()) {
+                return fold_int(op, x, y, ty).map(|v| cint(ty, v));
+            }
+            match op {
+                Op::Add => {
+                    if b.is_int(0) {
+                        return Some(a.clone());
+                    }
+                    if a.is_int(0) {
+                        return Some(b.clone());
+                    }
+                    // (a ^ b) + 2*(a & b) == a + b  (O-LLVM add substitution)
+                    if let (Some(x), Some(s)) = (def_of(a, defs), def_of(b, defs)) {
+                        if x.op == Op::Xor && s.op == Op::Shl && s.args[1].is_int(1) {
+                            if let Some(and) = def_of(&s.args[0], defs) {
+                                if and.op == Op::And && same_pair(&x.args, &and.args) {
+                                    return None; // handled by rewrite_inst (needs new inst)
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Sub => {
+                    if b.is_int(0) {
+                        return Some(a.clone());
+                    }
+                    if a == b {
+                        return Some(cint(ty, 0));
+                    }
+                }
+                Op::Mul => {
+                    if b.is_int(1) {
+                        return Some(a.clone());
+                    }
+                    if a.is_int(1) {
+                        return Some(b.clone());
+                    }
+                    if a.is_int(0) || b.is_int(0) {
+                        return Some(cint(ty, 0));
+                    }
+                }
+                Op::SDiv | Op::UDiv
+                    if b.is_int(1) => {
+                        return Some(a.clone());
+                    }
+                Op::SRem | Op::URem
+                    if b.is_int(1) => {
+                        return Some(cint(ty, 0));
+                    }
+                Op::And => {
+                    if a == b {
+                        return Some(a.clone());
+                    }
+                    if a.is_int(0) || b.is_int(0) {
+                        return Some(cint(ty, 0));
+                    }
+                    if b.is_int(-1) || b.as_const_int() == Some(ty.wrap(-1)) {
+                        return Some(a.clone());
+                    }
+                }
+                Op::Or => {
+                    if a == b {
+                        return Some(a.clone());
+                    }
+                    if b.is_int(0) {
+                        return Some(a.clone());
+                    }
+                    if a.is_int(0) {
+                        return Some(b.clone());
+                    }
+                }
+                Op::Xor => {
+                    if a == b {
+                        return Some(cint(ty, 0));
+                    }
+                    if b.is_int(0) {
+                        return Some(a.clone());
+                    }
+                    if a.is_int(0) {
+                        return Some(b.clone());
+                    }
+                    // Double negation: (a ^ -1) ^ -1 == a.
+                    if b.as_const_int() == Some(ty.wrap(-1)) {
+                        if let Some(inner) = def_of(a, defs) {
+                            if inner.op == Op::Xor
+                                && inner.args[1].as_const_int() == Some(ty.wrap(-1))
+                            {
+                                return Some(inner.args[0].clone());
+                            }
+                        }
+                    }
+                }
+                Op::Shl | Op::LShr | Op::AShr
+                    if b.is_int(0) => {
+                        return Some(a.clone());
+                    }
+                _ => {}
+            }
+            None
+        }
+        op if op.is_float_binop() => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            if let (Some(x), Some(y)) = (a.as_const_float(), b.as_const_float()) {
+                let v = match op {
+                    Op::FAdd => x + y,
+                    Op::FSub => x - y,
+                    Op::FMul => x * y,
+                    Op::FDiv => x / y,
+                    Op::FRem => x % y,
+                    _ => unreachable!(),
+                };
+                return Some(Value::ConstFloat(v));
+            }
+            // Float identities are *not* applied blindly (x + 0.0 is not x
+            // for -0.0), mirroring LLVM's strict default.
+            None
+        }
+        Op::ICmp => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            let pred = inst.pred?;
+            if let (Some(x), Some(y)) = (a.as_const_int(), b.as_const_int()) {
+                let r = eval_icmp(pred, x, y);
+                return Some(Value::const_bool(r));
+            }
+            if a == b {
+                let r = matches!(pred, Cmp::Eq | Cmp::Sle | Cmp::Sge | Cmp::Ule | Cmp::Uge);
+                return Some(Value::const_bool(r));
+            }
+            None
+        }
+        Op::Select => {
+            let c = &inst.args[0];
+            if let Some(v) = c.as_const_int() {
+                return Some(if v != 0 {
+                    inst.args[1].clone()
+                } else {
+                    inst.args[2].clone()
+                });
+            }
+            if inst.args[1] == inst.args[2] {
+                return Some(inst.args[1].clone());
+            }
+            None
+        }
+        Op::ZExt | Op::SExt => {
+            let a = &inst.args[0];
+            if let Some(v) = a.as_const_int() {
+                let from = match a {
+                    Value::ConstInt(t, _) => t.clone(),
+                    _ => return None,
+                };
+                let out = if inst.op == Op::ZExt {
+                    let bits = from.int_bits()?;
+                    if bits == 64 {
+                        v
+                    } else {
+                        (v as u64 & ((1u64 << bits) - 1)) as i64
+                    }
+                } else {
+                    v
+                };
+                return Some(cint(&inst.ty, out));
+            }
+            None
+        }
+        Op::Trunc => {
+            let a = &inst.args[0];
+            a.as_const_int().map(|v| cint(&inst.ty, v))
+        }
+        Op::SiToFp => inst.args[0]
+            .as_const_int()
+            .map(|v| Value::ConstFloat(v as f64)),
+        Op::FpToSi => inst.args[0]
+            .as_const_float()
+            .filter(|f| f.is_finite())
+            .map(|f| cint(&inst.ty, f as i64)),
+        Op::FNeg => inst.args[0].as_const_float().map(|v| Value::ConstFloat(-v)),
+        // Phis are left to simplify-cfg (single-incoming collapse) and GVN;
+        // rewriting them here would need the phi's own id for the
+        // self-reference check.
+        _ => None,
+    }
+}
+
+fn same_pair(a: &[Value], b: &[Value]) -> bool {
+    (a[0] == b[0] && a[1] == b[1]) || (a[0] == b[1] && a[1] == b[0])
+}
+
+/// Returns a replacement instruction (same result type) for rewrites that
+/// cannot be expressed as a pure value.
+fn rewrite_inst(
+    inst: &yali_ir::Inst,
+    defs: &HashMap<InstId, yali_ir::Inst>,
+) -> Option<yali_ir::Inst> {
+    let ty = inst.ty.clone();
+    match inst.op {
+        Op::Sub => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            // a - (0 - b) → a + b  (O-LLVM sub pattern).
+            if let Some(neg) = def_of(b, defs) {
+                if neg.op == Op::Sub && neg.args[0].is_int(0) {
+                    return Some(yali_ir::Inst::new(
+                        Op::Add,
+                        ty,
+                        vec![a.clone(), neg.args[1].clone()],
+                    ));
+                }
+            }
+            // (0 - b) canonical stays; constant rhs: a - c → a + (-c).
+            if let Some(c) = b.as_const_int() {
+                if c != i64::MIN && !b.is_int(0) {
+                    return Some(yali_ir::Inst::new(
+                        Op::Add,
+                        ty.clone(),
+                        vec![a.clone(), cint(&ty, -c)],
+                    ));
+                }
+            }
+            None
+        }
+        Op::Add => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            // a + (0 - b) → a - b.
+            if let Some(neg) = def_of(b, defs) {
+                if neg.op == Op::Sub && neg.args[0].is_int(0) {
+                    return Some(yali_ir::Inst::new(
+                        Op::Sub,
+                        ty,
+                        vec![a.clone(), neg.args[1].clone()],
+                    ));
+                }
+            }
+            if let Some(neg) = def_of(a, defs) {
+                if neg.op == Op::Sub && neg.args[0].is_int(0) {
+                    return Some(yali_ir::Inst::new(
+                        Op::Sub,
+                        ty,
+                        vec![b.clone(), neg.args[1].clone()],
+                    ));
+                }
+            }
+            // (a ^ b) + ((a & b) << 1) → a + b.
+            for (x, y) in [(a, b), (b, a)] {
+                if let (Some(xor), Some(shl)) = (def_of(x, defs), def_of(y, defs)) {
+                    if xor.op == Op::Xor && shl.op == Op::Shl && shl.args[1].is_int(1) {
+                        if let Some(and) = def_of(&shl.args[0], defs) {
+                            if and.op == Op::And && same_pair(&xor.args, &and.args) {
+                                return Some(yali_ir::Inst::new(
+                                    Op::Add,
+                                    ty,
+                                    vec![xor.args[0].clone(), xor.args[1].clone()],
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            // Canonicalize constants to the right.
+            if a.is_const() && !b.is_const() {
+                return Some(yali_ir::Inst::new(Op::Add, ty, vec![b.clone(), a.clone()]));
+            }
+            None
+        }
+        Op::Mul => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            if a.is_const() && !b.is_const() {
+                return Some(yali_ir::Inst::new(Op::Mul, ty, vec![b.clone(), a.clone()]));
+            }
+            // Strength reduction: x * 2^k → x << k.
+            if let Some(c) = b.as_const_int() {
+                if c > 1 && (c & (c - 1)) == 0 {
+                    let k = c.trailing_zeros() as i64;
+                    return Some(yali_ir::Inst::new(
+                        Op::Shl,
+                        ty.clone(),
+                        vec![a.clone(), cint(&ty, k)],
+                    ));
+                }
+            }
+            None
+        }
+        Op::Or => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            // (a & b) | (a ^ b) → simplifies to a | b.
+            for (x, y) in [(a, b), (b, a)] {
+                if let (Some(and), Some(xor)) = (def_of(x, defs), def_of(y, defs)) {
+                    if and.op == Op::And && xor.op == Op::Xor && same_pair(&and.args, &xor.args) {
+                        return Some(yali_ir::Inst::new(
+                            Op::Or,
+                            ty,
+                            vec![and.args[0].clone(), and.args[1].clone()],
+                        ));
+                    }
+                }
+            }
+            // De Morgan: ~a & ~b form arrives as xor -1; ~( ~a & ~b ) → a|b
+            None
+        }
+        Op::Xor => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            // De Morgan inverse: (~a & ~b) ^ -1 → a | b.
+            if b.as_const_int() == Some(ty.wrap(-1)) {
+                if let Some(and) = def_of(a, defs) {
+                    if and.op == Op::And {
+                        let nots: Vec<Option<Value>> = and
+                            .args
+                            .iter()
+                            .map(|v| {
+                                def_of(v, defs).and_then(|d| {
+                                    (d.op == Op::Xor
+                                        && d.args[1].as_const_int() == Some(ty.wrap(-1)))
+                                    .then(|| d.args[0].clone())
+                                })
+                            })
+                            .collect();
+                        if let (Some(x), Some(y)) = (nots[0].clone(), nots[1].clone()) {
+                            return Some(yali_ir::Inst::new(Op::Or, ty, vec![x, y]));
+                        }
+                    }
+                }
+            }
+            if a.is_const() && !b.is_const() {
+                return Some(yali_ir::Inst::new(Op::Xor, ty, vec![b.clone(), a.clone()]));
+            }
+            None
+        }
+        Op::And => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            if a.is_const() && !b.is_const() {
+                return Some(yali_ir::Inst::new(Op::And, ty, vec![b.clone(), a.clone()]));
+            }
+            None
+        }
+        Op::ICmp => {
+            let (a, b) = (&inst.args[0], &inst.args[1]);
+            // Canonicalize constant to the right by swapping the predicate.
+            if a.is_const() && !b.is_const() {
+                let mut ni = inst.clone();
+                ni.args = vec![b.clone(), a.clone()];
+                ni.pred = Some(inst.pred?.swap());
+                return Some(ni);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn fold_int(op: Op, x: i64, y: i64, ty: &Type) -> Option<i64> {
+    let v = match op {
+        Op::Add => x.wrapping_add(y),
+        Op::Sub => x.wrapping_sub(y),
+        Op::Mul => x.wrapping_mul(y),
+        Op::SDiv => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_div(y)
+        }
+        Op::SRem => {
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_rem(y)
+        }
+        Op::UDiv => {
+            if y == 0 {
+                return None;
+            }
+            ((x as u64) / (y as u64)) as i64
+        }
+        Op::URem => {
+            if y == 0 {
+                return None;
+            }
+            ((x as u64) % (y as u64)) as i64
+        }
+        Op::And => x & y,
+        Op::Or => x | y,
+        Op::Xor => x ^ y,
+        Op::Shl => {
+            let bits = ty.int_bits().unwrap_or(64) as i64;
+            x.wrapping_shl((y & (bits - 1)) as u32)
+        }
+        Op::LShr => {
+            let bits = ty.int_bits().unwrap_or(64) as i64;
+            ((x as u64) >> ((y & (bits - 1)) as u32)) as i64
+        }
+        Op::AShr => {
+            let bits = ty.int_bits().unwrap_or(64) as i64;
+            x >> ((y & (bits - 1)) as u32)
+        }
+        _ => return None,
+    };
+    Some(ty.wrap(v))
+}
+
+fn eval_icmp(pred: Cmp, x: i64, y: i64) -> bool {
+    match pred {
+        Cmp::Eq => x == y,
+        Cmp::Ne => x != y,
+        Cmp::Slt => x < y,
+        Cmp::Sle => x <= y,
+        Cmp::Sgt => x > y,
+        Cmp::Sge => x >= y,
+        Cmp::Ult => (x as u64) < (y as u64),
+        Cmp::Ule => (x as u64) <= (y as u64),
+        Cmp::Ugt => (x as u64) > (y as u64),
+        Cmp::Uge => (x as u64) >= (y as u64),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yali_ir::interp::{run as exec, ExecConfig, Val};
+    use yali_ir::verify_module;
+
+    fn opt(src: &str) -> Module {
+        let mut m = yali_minic::compile(src).expect("compile");
+        crate::mem2reg::run_module(&mut m);
+        run_module(&mut m);
+        crate::dce::run_module(&mut m);
+        crate::simplify::run_module(&mut m);
+        crate::dce::run_module(&mut m);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", yali_ir::print_module(&m)));
+        m
+    }
+
+    fn ret_of(m: &Module, f: &str, args: &[Val]) -> Val {
+        exec(m, f, args, &[], &ExecConfig::default())
+            .unwrap()
+            .ret
+            .unwrap()
+    }
+
+    #[test]
+    fn folds_constant_expressions_to_nothing() {
+        let m = opt("int f() { return (3 + 4) * (10 - 8); }");
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_insts(), 1, "{}", yali_ir::print_function(f));
+        assert_eq!(ret_of(&m, "f", &[]), Val::Int(14));
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let m = opt("int f(int x) { return (x + 0) * 1 + (x - x) + (x ^ x); }");
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_insts(), 1, "{}", yali_ir::print_function(f));
+        assert_eq!(ret_of(&m, "f", &[Val::Int(9)]), Val::Int(9));
+    }
+
+    #[test]
+    fn reverses_ollvm_sub_pattern() {
+        // a - (0 - b) is the O-LLVM substitution for a + b.
+        let m = opt("int f(int a, int b) { return a - (0 - b); }");
+        let f = m.function("f").unwrap();
+        let has_add = f.iter_insts().any(|(_, i)| f.inst(i).op == Op::Add);
+        let subs = f
+            .iter_insts()
+            .filter(|&(_, i)| f.inst(i).op == Op::Sub)
+            .count();
+        assert!(has_add && subs == 0, "{}", yali_ir::print_function(f));
+        assert_eq!(
+            ret_of(&m, "f", &[Val::Int(30), Val::Int(12)]),
+            Val::Int(42)
+        );
+    }
+
+    #[test]
+    fn reverses_xor_and_shl_add_pattern() {
+        let m = opt("int f(int a, int b) { return (a ^ b) + ((a & b) * 2); }");
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_insts(), 2, "{}", yali_ir::print_function(f)); // add + ret
+        assert_eq!(ret_of(&m, "f", &[Val::Int(30), Val::Int(12)]), Val::Int(42));
+    }
+
+    #[test]
+    fn strength_reduces_power_of_two_multiply() {
+        let m = opt("int f(int x) { return x * 8; }");
+        let f = m.function("f").unwrap();
+        assert!(f.iter_insts().any(|(_, i)| f.inst(i).op == Op::Shl));
+        assert_eq!(ret_of(&m, "f", &[Val::Int(5)]), Val::Int(40));
+    }
+
+    #[test]
+    fn icmp_on_equal_operands_folds() {
+        let m = opt("int f(int x) { if (x == x) { return 1; } return 0; }");
+        assert_eq!(ret_of(&m, "f", &[Val::Int(7)]), Val::Int(1));
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_blocks(), 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let m = opt("int f() { return 1 / 0; }");
+        let f = m.function("f").unwrap();
+        assert!(f.iter_insts().any(|(_, i)| f.inst(i).op == Op::SDiv));
+    }
+
+    #[test]
+    fn float_constants_fold() {
+        let m = opt("float f() { return 1.5 * 4.0; }");
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_insts(), 1);
+        assert_eq!(ret_of(&m, "f", &[]), Val::Float(6.0));
+    }
+
+    #[test]
+    fn double_bitwise_not_cancels() {
+        let m = opt("int f(int x) { return ~(~x); }");
+        let f = m.function("f").unwrap();
+        assert_eq!(f.num_insts(), 1);
+        assert_eq!(ret_of(&m, "f", &[Val::Int(-3)]), Val::Int(-3));
+    }
+
+    #[test]
+    fn de_morgan_reverses() {
+        let m = opt("int f(int a, int b) { return ~(~a & ~b); }");
+        let f = m.function("f").unwrap();
+        assert!(
+            f.iter_insts().any(|(_, i)| f.inst(i).op == Op::Or),
+            "{}",
+            yali_ir::print_function(f)
+        );
+        assert_eq!(ret_of(&m, "f", &[Val::Int(12), Val::Int(10)]), Val::Int(14));
+        assert_eq!(f.num_insts(), 2);
+    }
+
+    #[test]
+    fn semantics_hold_on_random_arithmetic() {
+        let src = "int f(int a, int b) { return (a * 4 + b * 2 - a) % 97 + (a & b | 5) - (a ^ 3); }";
+        let m0 = yali_minic::compile(src).unwrap();
+        let m1 = opt(src);
+        for (a, b) in [(0i64, 0i64), (13, -7), (1 << 40, 3), (-99, 99)] {
+            let args = [Val::Int(a), Val::Int(b)];
+            assert_eq!(
+                ret_of(&m0, "f", &args),
+                ret_of(&m1, "f", &args),
+                "mismatch at ({a},{b})"
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Dead-code elimination.
+//!
+//! Iteratively removes instructions whose results are unused and that have
+//! no side effects. An `alloca` is removable when no load, store, or other
+//! user references it (stores *into* a dead alloca die with it).
+
+use std::collections::{HashMap, HashSet};
+use yali_ir::{Function, InstId, Module, Op, Value};
+
+/// Runs DCE on every definition. Returns the number of removed instructions.
+pub fn run_module(m: &mut Module) -> usize {
+    m.functions
+        .iter_mut()
+        .filter(|f| !f.is_declaration())
+        .map(run)
+        .sum()
+}
+
+/// Runs DCE on one function until no more instructions die.
+pub fn run(f: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let n = one_round(f);
+        removed += n;
+        if n == 0 {
+            break;
+        }
+    }
+    if removed > 0 {
+        f.compact();
+    }
+    removed
+}
+
+fn one_round(f: &mut Function) -> usize {
+    // Use counts over placed instructions.
+    let mut uses: HashMap<InstId, usize> = HashMap::new();
+    // Stores keyed by the alloca they write into (for dead-slot elimination).
+    let mut store_into: HashMap<InstId, Vec<InstId>> = HashMap::new();
+    for (_, i) in f.iter_insts() {
+        let inst = f.inst(i);
+        for a in &inst.args {
+            if let Value::Inst(d) = a {
+                *uses.entry(*d).or_insert(0) += 1;
+            }
+        }
+        if inst.op == Op::Store {
+            if let Value::Inst(p) = &inst.args[1] {
+                store_into.entry(*p).or_default().push(i);
+            }
+        }
+    }
+    let mut dead: HashSet<InstId> = HashSet::new();
+    for (_, i) in f.iter_insts() {
+        let inst = f.inst(i);
+        let used = uses.get(&i).copied().unwrap_or(0) > 0;
+        if !used && !inst.op.has_side_effects() {
+            dead.insert(i);
+        }
+        // An alloca whose only users are stores feeds nothing: remove the
+        // alloca and those stores together.
+        if inst.op == Op::Alloca {
+            let stores = store_into.get(&i).map(Vec::len).unwrap_or(0);
+            if uses.get(&i).copied().unwrap_or(0) == stores {
+                dead.insert(i);
+                if let Some(ss) = store_into.get(&i) {
+                    dead.extend(ss.iter().copied());
+                }
+            }
+        }
+    }
+    if dead.is_empty() {
+        return 0;
+    }
+    let placed: Vec<_> = f.iter_insts().collect();
+    let mut n = 0;
+    for (b, i) in placed {
+        if dead.contains(&i) {
+            f.remove_from_block(b, i);
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yali_ir::verify_module;
+
+    fn compile(src: &str) -> Module {
+        yali_minic::compile(src).expect("compile")
+    }
+
+    #[test]
+    fn removes_unused_arithmetic() {
+        let mut m = compile("int f(int x) { int dead = x * 99 + 7; return x; }");
+        crate::mem2reg::run_module(&mut m);
+        let before = m.num_insts();
+        let removed = run_module(&mut m);
+        assert!(removed >= 2, "expected the dead expression to die");
+        assert!(m.num_insts() < before);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn preserves_calls_and_stores() {
+        let mut m = compile("void f() { print_int(1); int a[3]; a[0] = 1; print_int(a[0]); }");
+        run_module(&mut m);
+        verify_module(&m).unwrap();
+        let f = m.function("f").unwrap();
+        let calls = f
+            .iter_insts()
+            .filter(|&(_, i)| f.inst(i).op == Op::Call)
+            .count();
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn dead_slot_and_its_stores_die_together() {
+        // Without mem2reg, `unused` is an alloca with only stores.
+        let mut m = compile("int f(int x) { int unused = 5; unused = x; return x; }");
+        let removed = run_module(&mut m);
+        assert!(removed >= 3, "alloca + 2 stores, got {removed}");
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn fixpoint_chains_of_dead_code() {
+        let mut m = compile("int f(int x) { int a = x + 1; int b = a * 2; int c = b - 3; return x; }");
+        crate::mem2reg::run_module(&mut m);
+        run_module(&mut m);
+        let f = m.function("f").unwrap();
+        // Only the ret should remain.
+        assert_eq!(f.num_insts(), 1);
+    }
+
+    #[test]
+    fn reports_zero_on_clean_code() {
+        let mut m = compile("int f(int x) { return x + 1; }");
+        crate::mem2reg::run_module(&mut m);
+        run_module(&mut m);
+        assert_eq!(run_module(&mut m), 0);
+    }
+}

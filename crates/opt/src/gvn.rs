@@ -1,0 +1,202 @@
+//! Global value numbering: dominator-scoped common-subexpression
+//! elimination over pure instructions.
+//!
+//! Walks the dominator tree keeping a scoped table of expression keys; a
+//! pure instruction whose key was already computed in a dominating position
+//! is replaced by the earlier value. Memory operations, calls, phis, and
+//! terminators are never numbered.
+
+use std::collections::HashMap;
+use yali_ir::{DomTree, Function, Module, Op, Value};
+
+/// Runs GVN on every definition. Returns the number of replaced
+/// instructions.
+pub fn run_module(m: &mut Module) -> usize {
+    m.functions
+        .iter_mut()
+        .filter(|f| !f.is_declaration())
+        .map(run)
+        .sum()
+}
+
+/// A hashable expression key. Values are rendered into a stable string
+/// form — simple, collision-free, and fast enough at our scales.
+fn key_of(f: &Function, i: yali_ir::InstId) -> Option<String> {
+    let inst = f.inst(i);
+    let pure = inst.op.is_int_binop()
+        || inst.op.is_float_binop()
+        || inst.op.is_cast()
+        || matches!(inst.op, Op::ICmp | Op::FCmp | Op::Select | Op::Gep | Op::FNeg);
+    if !pure {
+        return None;
+    }
+    let mut args: Vec<String> = inst.args.iter().map(val_key).collect();
+    if inst.op.is_commutative() {
+        args.sort();
+    }
+    Some(format!(
+        "{}:{}:{:?}:{}",
+        inst.op,
+        inst.ty,
+        inst.pred,
+        args.join(",")
+    ))
+}
+
+fn val_key(v: &Value) -> String {
+    match v {
+        Value::Inst(id) => format!("i{}", id.0),
+        Value::Param(p) => format!("p{p}"),
+        Value::ConstInt(t, c) => format!("c{t}:{c}"),
+        Value::ConstFloat(c) => format!("f{:x}", c.to_bits()),
+        Value::Undef(t) => format!("u{t}"),
+    }
+}
+
+/// Runs GVN on one function.
+pub fn run(f: &mut Function) -> usize {
+    if f.is_declaration() {
+        return 0;
+    }
+    let dt = DomTree::build(f);
+    let mut table: HashMap<String, Value> = HashMap::new();
+    let mut scopes: Vec<Vec<String>> = Vec::new();
+    let mut replaced = 0;
+
+    enum Step {
+        Enter(yali_ir::BlockId),
+        Exit,
+    }
+    let mut stack = vec![Step::Enter(f.entry())];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Exit => {
+                for k in scopes.pop().unwrap_or_default() {
+                    table.remove(&k);
+                }
+            }
+            Step::Enter(b) => {
+                let mut inserted = Vec::new();
+                let insts: Vec<yali_ir::InstId> = f.block(b).insts.clone();
+                for i in insts {
+                    let Some(key) = key_of(f, i) else { continue };
+                    match table.get(&key) {
+                        Some(v) => {
+                            let v = v.clone();
+                            f.replace_all_uses(i, &v);
+                            f.remove_from_block(b, i);
+                            replaced += 1;
+                        }
+                        None => {
+                            table.insert(key.clone(), Value::Inst(i));
+                            inserted.push(key);
+                        }
+                    }
+                }
+                scopes.push(inserted);
+                stack.push(Step::Exit);
+                for &c in dt.children(b) {
+                    stack.push(Step::Enter(c));
+                }
+            }
+        }
+    }
+    if replaced > 0 {
+        f.compact();
+    }
+    replaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yali_ir::interp::{run as exec, ExecConfig, Val};
+    use yali_ir::verify_module;
+
+    fn opt(src: &str) -> Module {
+        let mut m = yali_minic::compile(src).expect("compile");
+        crate::mem2reg::run_module(&mut m);
+        crate::combine::run_module(&mut m);
+        run_module(&mut m);
+        crate::dce::run_module(&mut m);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", yali_ir::print_module(&m)));
+        m
+    }
+
+    #[test]
+    fn eliminates_repeated_subexpressions() {
+        let m = opt("int f(int a, int b) { return (a * b + 3) + (a * b + 3); }");
+        let f = m.function("f").unwrap();
+        let muls = f
+            .iter_insts()
+            .filter(|&(_, i)| f.inst(i).op == Op::Mul)
+            .count();
+        assert_eq!(muls, 1, "{}", yali_ir::print_function(f));
+        let out = exec(
+            &m,
+            "f",
+            &[Val::Int(3), Val::Int(4)],
+            &[],
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.ret, Some(Val::Int(30)));
+    }
+
+    #[test]
+    fn commutative_operands_share_a_number() {
+        let m = opt("int f(int a, int b) { return a * b + b * a; }");
+        let f = m.function("f").unwrap();
+        let muls = f
+            .iter_insts()
+            .filter(|&(_, i)| f.inst(i).op == Op::Mul)
+            .count();
+        assert_eq!(muls, 1, "{}", yali_ir::print_function(f));
+    }
+
+    #[test]
+    fn does_not_merge_across_sibling_branches() {
+        let src = "int f(int a, int c) { int r = 0; if (c > 0) { r = a * a; } else { r = a * a; } return r; }";
+        let m = opt(src);
+        // The two multiplies live in sibling blocks; neither dominates the
+        // other, so both survive.
+        let f = m.function("f").unwrap();
+        let muls = f
+            .iter_insts()
+            .filter(|&(_, i)| f.inst(i).op == Op::Mul)
+            .count();
+        assert_eq!(muls, 2);
+        let out = exec(
+            &m,
+            "f",
+            &[Val::Int(6), Val::Int(1)],
+            &[],
+            &ExecConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.ret, Some(Val::Int(36)));
+    }
+
+    #[test]
+    fn calls_are_never_numbered() {
+        let m = opt("void f() { print_int(read_int()); print_int(read_int()); }");
+        let f = m.function("f").unwrap();
+        let calls = f
+            .iter_insts()
+            .filter(|&(_, i)| f.inst(i).op == Op::Call)
+            .count();
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn dominating_expression_reused_in_branch() {
+        let src = "int f(int a, int c) { int x = a * 7; int r = x; if (c > 0) { r = a * 7 + 1; } return r; }";
+        let m = opt(src);
+        let f = m.function("f").unwrap();
+        let muls = f
+            .iter_insts()
+            .filter(|&(_, i)| f.inst(i).op == Op::Mul)
+            .count();
+        assert_eq!(muls, 1, "{}", yali_ir::print_function(f));
+    }
+}

@@ -1,0 +1,339 @@
+//! Function inlining.
+//!
+//! Call sites whose callees are small, non-recursive definitions are
+//! replaced by a clone of the callee body. Inlining is the `-O2`/`-O3`
+//! ingredient that most reshapes opcode histograms (calls disappear, caller
+//! mixes absorb callee mixes), which matters for the paper's observation
+//! that optimization is itself an effective evasion strategy (RQ3).
+
+use std::collections::HashMap;
+use yali_ir::{BlockId, Function, Inst, InstId, Module, Op, Type, Value};
+
+/// Inlining configuration.
+#[derive(Debug, Clone)]
+pub struct InlineConfig {
+    /// Callees with at most this many instructions are inlined.
+    pub callee_threshold: usize,
+    /// Stop growing a caller beyond this many instructions.
+    pub caller_budget: usize,
+    /// Rounds of inlining (later rounds inline through freshly exposed
+    /// call sites).
+    pub rounds: usize,
+}
+
+impl Default for InlineConfig {
+    fn default() -> Self {
+        InlineConfig {
+            callee_threshold: 80,
+            caller_budget: 4000,
+            rounds: 2,
+        }
+    }
+}
+
+/// Runs the inliner over the module. Returns the number of call sites
+/// inlined.
+pub fn run_module(m: &mut Module, config: &InlineConfig) -> usize {
+    let mut total = 0;
+    for _ in 0..config.rounds {
+        let n = one_round(m, config);
+        total += n;
+        if n == 0 {
+            break;
+        }
+    }
+    total
+}
+
+fn is_directly_recursive(f: &Function) -> bool {
+    f.iter_insts()
+        .any(|(_, i)| f.inst(i).callee.as_deref() == Some(f.name.as_str()))
+}
+
+fn one_round(m: &mut Module, config: &InlineConfig) -> usize {
+    // Decide inlinable callees up front (immutable snapshot).
+    let inlinable: HashMap<String, Function> = m
+        .functions
+        .iter()
+        .filter(|f| {
+            !f.is_declaration()
+                && f.num_insts() <= config.callee_threshold
+                && !is_directly_recursive(f)
+        })
+        .map(|f| (f.name.clone(), f.clone()))
+        .collect();
+    let mut n = 0;
+    for f in &mut m.functions {
+        if f.is_declaration() {
+            continue;
+        }
+        loop {
+            if f.num_insts() > config.caller_budget {
+                break;
+            }
+            let Some((b, i)) = find_call_site(f, &inlinable) else {
+                break;
+            };
+            inline_site(f, b, i, &inlinable);
+            n += 1;
+        }
+    }
+    n
+}
+
+fn find_call_site(f: &Function, inlinable: &HashMap<String, Function>) -> Option<(BlockId, InstId)> {
+    for (b, i) in f.iter_insts() {
+        let inst = f.inst(i);
+        if inst.op == Op::Call {
+            if let Some(callee) = inst.callee.as_deref() {
+                if callee != f.name && inlinable.contains_key(callee) {
+                    return Some((b, i));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn remap_value(v: &Value, inst_map: &HashMap<InstId, InstId>, args: &[Value]) -> Value {
+    match v {
+        Value::Inst(id) => Value::Inst(
+            *inst_map
+                .get(id)
+                .unwrap_or_else(|| panic!("inline: unmapped instruction {id}")),
+        ),
+        Value::Param(p) => args[*p as usize].clone(),
+        other => other.clone(),
+    }
+}
+
+fn inline_site(
+    f: &mut Function,
+    site_block: BlockId,
+    site_inst: InstId,
+    inlinable: &HashMap<String, Function>,
+) {
+    let call = f.inst(site_inst).clone();
+    let callee = &inlinable[call.callee.as_deref().unwrap()];
+    let call_args = call.args.clone();
+
+    // Split the site block: everything after the call moves to `cont`.
+    let pos = f
+        .block(site_block)
+        .insts
+        .iter()
+        .position(|&x| x == site_inst)
+        .expect("call not in its block");
+    let tail: Vec<InstId> = f.block(site_block).insts[pos + 1..].to_vec();
+    f.block_mut(site_block).insts.truncate(pos); // drops the call too
+    let cont = f.add_block();
+    f.block_mut(cont).insts = tail;
+    // Successor phis that named the site block now come from cont.
+    for s in f.successors(cont) {
+        f.retarget_phis(s, site_block, cont);
+    }
+
+    // Clone callee blocks.
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    for &cb in callee.block_order() {
+        block_map.insert(cb, f.add_block());
+    }
+    let mut inst_map: HashMap<InstId, InstId> = HashMap::new();
+    // First create placeholder instructions to obtain ids (two-phase so
+    // forward references in phis resolve).
+    for &cb in callee.block_order() {
+        for &ci in &callee.block(cb).insts {
+            let id = f.new_inst(Inst::new(Op::Unreachable, Type::Void, vec![]));
+            inst_map.insert(ci, id);
+            let nb = block_map[&cb];
+            f.block_mut(nb).insts.push(id);
+        }
+    }
+    // Collect returns for the continuation phi.
+    let mut ret_edges: Vec<(Value, BlockId)> = Vec::new();
+    for &cb in callee.block_order() {
+        for &ci in &callee.block(cb).insts {
+            let orig = callee.inst(ci);
+            let new_id = inst_map[&ci];
+            if orig.op == Op::Ret {
+                if let Some(rv) = orig.args.first() {
+                    ret_edges.push((
+                        remap_value(rv, &inst_map, &call_args),
+                        block_map[&cb],
+                    ));
+                } else {
+                    ret_edges.push((Value::Undef(Type::Void), block_map[&cb]));
+                }
+                let mut br = Inst::new(Op::Br, Type::Void, vec![]);
+                br.blocks = vec![cont];
+                *f.inst_mut(new_id) = br;
+            } else {
+                let mut ni = orig.clone();
+                ni.args = ni
+                    .args
+                    .iter()
+                    .map(|a| remap_value(a, &inst_map, &call_args))
+                    .collect();
+                ni.blocks = ni.blocks.iter().map(|b| block_map[b]).collect();
+                *f.inst_mut(new_id) = ni;
+            }
+        }
+    }
+
+    // Branch from the site block into the callee entry.
+    let entry_clone = block_map[&callee.entry()];
+    let mut br = Inst::new(Op::Br, Type::Void, vec![]);
+    br.blocks = vec![entry_clone];
+    f.push_inst(site_block, br);
+
+    // The call's result: a phi over return values at the continuation head.
+    if !call.ty.is_void() {
+        let (args, blocks): (Vec<Value>, Vec<BlockId>) = ret_edges.into_iter().unzip();
+        let replacement = if args.len() == 1 {
+            args[0].clone()
+        } else {
+            let phi = Inst {
+                op: Op::Phi,
+                ty: call.ty.clone(),
+                args,
+                blocks,
+                pred: None,
+                callee: None,
+            };
+            let id = f.new_inst(phi);
+            f.insert_inst(cont, 0, id);
+            Value::Inst(id)
+        };
+        f.replace_all_uses(site_inst, &replacement);
+    }
+    f.compact();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yali_ir::interp::{run as exec, ExecConfig, Val};
+    use yali_ir::verify_module;
+
+    fn compile(src: &str) -> Module {
+        yali_minic::compile(src).expect("compile")
+    }
+
+    fn inlined(src: &str) -> Module {
+        let mut m = compile(src);
+        run_module(&mut m, &InlineConfig::default());
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", yali_ir::print_module(&m)));
+        m
+    }
+
+    fn count_calls(m: &Module, f: &str) -> usize {
+        let f = m.function(f).unwrap();
+        f.iter_insts()
+            .filter(|&(_, i)| f.inst(i).op == Op::Call)
+            .count()
+    }
+
+    #[test]
+    fn inlines_small_helpers() {
+        let src = r#"
+            int sq(int x) { return x * x; }
+            int f(int a) { return sq(a) + sq(a + 1); }
+        "#;
+        let m = inlined(src);
+        assert_eq!(count_calls(&m, "f"), 0);
+        let out = exec(&m, "f", &[Val::Int(3)], &[], &ExecConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(25)));
+    }
+
+    #[test]
+    fn multi_return_callee_gets_phi() {
+        let src = r#"
+            int pick(int x) { if (x > 0) { return 1; } return 2; }
+            int f(int a) { return pick(a) * 10; }
+        "#;
+        let m = inlined(src);
+        assert_eq!(count_calls(&m, "f"), 0);
+        for (a, want) in [(5, 10), (-5, 20)] {
+            let out = exec(&m, "f", &[Val::Int(a)], &[], &ExecConfig::default()).unwrap();
+            assert_eq!(out.ret, Some(Val::Int(want)));
+        }
+    }
+
+    #[test]
+    fn recursive_functions_are_not_inlined() {
+        let src = r#"
+            int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+            int f() { return fact(5); }
+        "#;
+        let m = inlined(src);
+        // fact is recursive; the call from f may be inlined? No: fact is
+        // directly recursive, so it is not inlinable at all.
+        assert_eq!(count_calls(&m, "f"), 1);
+        let out = exec(&m, "f", &[], &[], &ExecConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(120)));
+    }
+
+    #[test]
+    fn void_callees_inline() {
+        let src = r#"
+            void shout(int x) { print_int(x * 2); }
+            void f() { shout(1); shout(2); }
+        "#;
+        let m = inlined(src);
+        let f = m.function("f").unwrap();
+        let user_calls = f
+            .iter_insts()
+            .filter(|&(_, i)| f.inst(i).callee.as_deref() == Some("shout"))
+            .count();
+        assert_eq!(user_calls, 0);
+        let out = exec(&m, "f", &[], &[], &ExecConfig::default()).unwrap();
+        assert_eq!(out.output, vec![Val::Int(2), Val::Int(4)]);
+    }
+
+    #[test]
+    fn two_rounds_reach_through_wrappers() {
+        let src = r#"
+            int base(int x) { return x + 1; }
+            int wrap(int x) { return base(x) * 2; }
+            int f(int a) { return wrap(a); }
+        "#;
+        let m = inlined(src);
+        assert_eq!(count_calls(&m, "f"), 0);
+        let out = exec(&m, "f", &[Val::Int(4)], &[], &ExecConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(10)));
+    }
+
+    #[test]
+    fn inlining_preserves_loop_semantics() {
+        let src = r#"
+            int step(int x) { return x * 3 + 1; }
+            int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += step(i); } return s; }
+        "#;
+        let m0 = compile(src);
+        let m1 = inlined(src);
+        for n in [0i64, 1, 7] {
+            let a = exec(&m0, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            let b = exec(&m1, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            assert_eq!(a.ret, b.ret);
+        }
+        assert_eq!(count_calls(&m1, "f"), 0);
+    }
+
+    #[test]
+    fn caller_with_phis_after_call_survives_split() {
+        // The statement after the call produces control flow whose phis
+        // reference the split block.
+        let src = r#"
+            int h(int x) { return x + 10; }
+            int f(int a) { int r = h(a); if (r > 15) { r = r - 1; } return r; }
+        "#;
+        let mut m = compile(src);
+        crate::mem2reg::run_module(&mut m);
+        run_module(&mut m, &InlineConfig::default());
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", yali_ir::print_module(&m)));
+        for (a, want) in [(10, 19), (2, 12)] {
+            let out = exec(&m, "f", &[Val::Int(a)], &[], &ExecConfig::default()).unwrap();
+            assert_eq!(out.ret, Some(Val::Int(want)));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # yali-opt
+//!
+//! Optimization passes over [`yali_ir`] modules, standing in for clang's
+//! optimization levels in the yali reproduction of "A Game-Based Framework
+//! to Compare Program Classifiers and Evaders" (CGO 2023).
+//!
+//! Passes:
+//!
+//! - [`mem2reg`] — SSA construction (promotes stack slots to registers);
+//! - [`combine`] — constant folding, algebraic identities, and the inverse
+//!   patterns of O-LLVM's instruction substitution;
+//! - [`simplify`] — CFG simplification (branch folding, block merging);
+//! - [`dce`] — dead-code elimination;
+//! - [`gvn`] — dominator-scoped value numbering;
+//! - [`licm`] — loop-invariant code motion;
+//! - [`inline`] — function inlining.
+//!
+//! [`optimize`] wires them into `-O0` … `-O3` pipelines ([`OptLevel`]).
+//! In the paper's games, optimization plays two roles: as an *evader*
+//! (optimized challenges confuse classifiers trained on `-O0` code, RQ3)
+//! and as a *normalizer* (classifiers optimize challenges to undo
+//! obfuscation, RQ4).
+//!
+//! # Example
+//!
+//! ```
+//! use yali_opt::{optimize, OptLevel};
+//! use yali_ir::interp::{run, Val, ExecConfig};
+//!
+//! let mut m = yali_minic::compile(
+//!     "int f(int a, int b) { int t = a - (0 - b); return t; }",
+//! )?;
+//! optimize(&mut m, OptLevel::O1); // undoes the obfuscated subtraction
+//! let out = run(&m, "f", &[Val::Int(40), Val::Int(2)], &[], &ExecConfig::default())?;
+//! assert_eq!(out.ret, Some(Val::Int(42)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod combine;
+pub mod dce;
+pub mod gvn;
+pub mod inline;
+pub mod licm;
+pub mod mem2reg;
+pub mod pipeline;
+pub mod simplify;
+
+pub use inline::InlineConfig;
+pub use pipeline::{mem2reg_only, optimize, optimized, OptLevel};

@@ -1,0 +1,374 @@
+//! CFG simplification: branch folding, block merging, forwarder removal,
+//! and unreachable-code pruning (the moral equivalent of LLVM's
+//! `simplifycfg`).
+
+use std::collections::HashSet;
+use yali_ir::{cfg, BlockId, Function, Inst, Module, Op};
+
+/// Runs CFG simplification on every definition until fixpoint. Returns the
+/// number of rewrites applied.
+pub fn run_module(m: &mut Module) -> usize {
+    m.functions
+        .iter_mut()
+        .filter(|f| !f.is_declaration())
+        .map(run)
+        .sum()
+}
+
+/// Runs CFG simplification on one function until fixpoint.
+pub fn run(f: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let mut n = 0;
+        n += fold_constant_branches(f);
+        n += collapse_single_incoming_phis(f);
+        if cfg::prune_unreachable(f) {
+            n += 1;
+        }
+        n += merge_straight_line_blocks(f);
+        n += remove_forwarders(f);
+        if cfg::prune_unreachable(f) {
+            n += 1;
+        }
+        total += n;
+        if n == 0 {
+            break;
+        }
+    }
+    if total > 0 {
+        f.compact();
+    }
+    total
+}
+
+/// `condbr` on a constant, or with identical targets, becomes `br`;
+/// `switch` on a constant jumps straight to the matching case.
+fn fold_constant_branches(f: &mut Function) -> usize {
+    let mut n = 0;
+    for &b in &f.block_order().to_vec() {
+        let Some(t) = f.terminator(b) else { continue };
+        let inst = f.inst(t).clone();
+        match inst.op {
+            Op::CondBr => {
+                let target = match inst.args[0].as_const_int() {
+                    Some(c) => Some(if c != 0 { inst.blocks[0] } else { inst.blocks[1] }),
+                    None if inst.blocks[0] == inst.blocks[1] => Some(inst.blocks[0]),
+                    None => None,
+                };
+                if let Some(target) = target {
+                    let dropped = if target == inst.blocks[0] {
+                        inst.blocks[1]
+                    } else {
+                        inst.blocks[0]
+                    };
+                    let mut br = Inst::new(Op::Br, yali_ir::Type::Void, vec![]);
+                    br.blocks = vec![target];
+                    *f.inst_mut(t) = br;
+                    // The dropped edge disappears; fix phis if this was
+                    // their only edge from b.
+                    if dropped != target {
+                        remove_phi_incoming(f, dropped, b);
+                    }
+                    n += 1;
+                }
+            }
+            Op::Switch => {
+                if let Some(c) = inst.args[0].as_const_int() {
+                    let mut target = inst.blocks[0];
+                    for (v, &blk) in inst.args[1..].iter().zip(&inst.blocks[1..]) {
+                        if v.as_const_int() == Some(c) {
+                            target = blk;
+                            break;
+                        }
+                    }
+                    let mut br = Inst::new(Op::Br, yali_ir::Type::Void, vec![]);
+                    br.blocks = vec![target];
+                    *f.inst_mut(t) = br;
+                    for &blk in inst.blocks.iter().filter(|&&x| x != target) {
+                        remove_phi_incoming(f, blk, b);
+                    }
+                    n += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Drops the incoming entry for `pred` from every phi at the head of `b`.
+fn remove_phi_incoming(f: &mut Function, b: BlockId, pred: BlockId) {
+    for id in f.phis(b) {
+        let inst = f.inst_mut(id);
+        if let Some(k) = inst.blocks.iter().position(|&x| x == pred) {
+            inst.blocks.remove(k);
+            inst.args.remove(k);
+        }
+    }
+}
+
+/// A phi with exactly one incoming value is that value.
+fn collapse_single_incoming_phis(f: &mut Function) -> usize {
+    let mut n = 0;
+    for &b in &f.block_order().to_vec() {
+        for id in f.phis(b) {
+            let inst = f.inst(id);
+            if inst.args.len() == 1 {
+                let v = inst.args[0].clone();
+                // A phi can reference itself in unreachable loops; guard.
+                if v.as_inst() == Some(id) {
+                    continue;
+                }
+                f.replace_all_uses(id, &v);
+                f.remove_from_block(b, id);
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Merges `b -> s` when `b` ends in an unconditional branch to `s` and `s`
+/// has no other predecessors.
+fn merge_straight_line_blocks(f: &mut Function) -> usize {
+    let mut n = 0;
+    loop {
+        let preds = f.predecessors();
+        let mut merged = false;
+        for &b in &f.block_order().to_vec() {
+            let Some(t) = f.terminator(b) else { continue };
+            if f.inst(t).op != Op::Br {
+                continue;
+            }
+            let s = f.inst(t).blocks[0];
+            if s == b || preds.get(&s).map(Vec::len) != Some(1) {
+                continue;
+            }
+            // Phis in s have a single incoming (from b): collapse them.
+            for id in f.phis(s) {
+                let v = f.inst(id).args[0].clone();
+                f.replace_all_uses(id, &v);
+                f.remove_from_block(s, id);
+            }
+            // Move s's instructions into b, dropping b's br.
+            f.remove_from_block(b, t);
+            let moved: Vec<_> = f.block(s).insts.clone();
+            f.block_mut(s).insts.clear();
+            f.block_mut(b).insts.extend(moved);
+            // Phis in s's successors that referenced s now come from b.
+            for succ in f.successors(b) {
+                f.retarget_phis(succ, s, b);
+            }
+            // Drop s from the layout.
+            let order: Vec<BlockId> = f
+                .block_order()
+                .iter()
+                .copied()
+                .filter(|&x| x != s)
+                .collect();
+            f.set_block_order(order);
+            n += 1;
+            merged = true;
+            break; // predecessor map is stale; recompute
+        }
+        if !merged {
+            break;
+        }
+    }
+    if n > 0 {
+        f.compact();
+    }
+    n
+}
+
+/// Removes blocks that contain only `br target` by retargeting their
+/// predecessors, when doing so cannot corrupt phis.
+fn remove_forwarders(f: &mut Function) -> usize {
+    let mut n = 0;
+    loop {
+        let preds = f.predecessors();
+        let mut changed = false;
+        for &b in &f.block_order().to_vec() {
+            if b == f.entry() {
+                continue;
+            }
+            let insts = &f.block(b).insts;
+            if insts.len() != 1 {
+                continue;
+            }
+            let t = insts[0];
+            if f.inst(t).op != Op::Br {
+                continue;
+            }
+            let target = f.inst(t).blocks[0];
+            if target == b {
+                continue;
+            }
+            let bps: Vec<BlockId> = preds.get(&b).cloned().unwrap_or_default();
+            if bps.is_empty() {
+                continue; // unreachable; pruning handles it
+            }
+            // Safety: for each pred p, the target's phis must not already
+            // have an incoming for p (that would create a conflict), and p
+            // must not already branch to target (a condbr with both edges
+            // landing there would need phi semantics we cannot express).
+            let target_phi_preds: HashSet<BlockId> = f
+                .phis(target)
+                .iter()
+                .flat_map(|&id| f.inst(id).blocks.clone())
+                .collect();
+            let has_phis = !f.phis(target).is_empty();
+            let ok = bps.iter().all(|p| {
+                !target_phi_preds.contains(p)
+                    && (!has_phis || !f.successors(*p).contains(&target))
+            });
+            if !ok {
+                continue;
+            }
+            // Retarget each predecessor's terminator from b to target.
+            for &p in &bps {
+                if let Some(pt) = f.terminator(p) {
+                    for blk in &mut f.inst_mut(pt).blocks {
+                        if *blk == b {
+                            *blk = target;
+                        }
+                    }
+                }
+            }
+            // Phis in target that listed b now receive from the preds.
+            let mut phi_updates: Vec<(yali_ir::InstId, usize)> = Vec::new();
+            for id in f.phis(target) {
+                if let Some(k) = f.inst(id).blocks.iter().position(|&x| x == b) {
+                    phi_updates.push((id, k));
+                }
+            }
+            for (id, k) in phi_updates {
+                let v = f.inst(id).args[k].clone();
+                let inst = f.inst_mut(id);
+                inst.blocks.remove(k);
+                inst.args.remove(k);
+                for &p in &bps {
+                    let inst = f.inst_mut(id);
+                    inst.blocks.push(p);
+                    inst.args.push(v.clone());
+                }
+            }
+            // b is now unreachable.
+            changed = true;
+            n += 1;
+            break;
+        }
+        if !changed {
+            break;
+        }
+        cfg::prune_unreachable(f);
+    }
+    n
+}
+
+/// Replaces `select`-like diamonds? Not yet — kept minimal; `instcombine`
+/// owns value-level rewrites.
+#[allow(dead_code)]
+fn _placeholder() {}
+
+/// Recomputes whether two functions have equal observable structure — used
+/// by tests.
+#[cfg(test)]
+fn block_count(m: &Module, f: &str) -> usize {
+    m.function(f).unwrap().num_blocks()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yali_ir::interp::{run as exec, ExecConfig, Val};
+    use yali_ir::verify_module;
+
+    fn compile(src: &str) -> Module {
+        yali_minic::compile(src).expect("compile")
+    }
+
+    fn opt(src: &str) -> Module {
+        let mut m = compile(src);
+        crate::mem2reg::run_module(&mut m);
+        crate::combine::run_module(&mut m); // fold constant conditions first
+        run_module(&mut m);
+        crate::dce::run_module(&mut m);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", yali_ir::print_module(&m)));
+        m
+    }
+
+    #[test]
+    fn merges_linear_chains() {
+        // An if with constant condition leaves a linear chain once folded.
+        let m = opt("int f(int x) { int r = 0; if (1 < 2) { r = x; } return r; }");
+        assert_eq!(block_count(&m, "f"), 1);
+    }
+
+    #[test]
+    fn folds_constant_condbr() {
+        let mut m = compile("int f(int x) { if (x > 0) { return 1; } return 0; }");
+        crate::mem2reg::run_module(&mut m);
+        // Replace the condition with a constant true.
+        {
+            let f = m.function_mut("f").unwrap();
+            let t = f.terminator(f.entry()).unwrap();
+            assert_eq!(f.inst(t).op, Op::CondBr);
+            f.inst_mut(t).args[0] = yali_ir::Value::const_bool(true);
+        }
+        run_module(&mut m);
+        verify_module(&m).unwrap();
+        let out = exec(&m, "f", &[Val::Int(-9)], &[], &ExecConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(1)));
+        assert_eq!(block_count(&m, "f"), 1);
+    }
+
+    #[test]
+    fn semantics_preserved_on_loops() {
+        let src = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { if (i % 3 == 0) { s += i; } } return s; }";
+        let m0 = compile(src);
+        let m1 = opt(src);
+        for n in [0i64, 1, 10, 31] {
+            let a = exec(&m0, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            let b = exec(&m1, "f", &[Val::Int(n)], &[], &ExecConfig::default()).unwrap();
+            assert_eq!(a.ret, b.ret, "f({n})");
+        }
+        assert!(block_count(&m1, "f") <= block_count(&m0, "f"));
+    }
+
+    #[test]
+    fn switch_on_constant_folds() {
+        let src = "int f() { int x = 2; int r = 0; switch (x) { case 1: r = 10; break; case 2: r = 20; break; default: r = 30; } return r; }";
+        let m = opt(src);
+        let out = exec(&m, "f", &[], &[], &ExecConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(20)));
+        // After folding and merging the function is tiny.
+        assert!(block_count(&m, "f") <= 2, "got {}", block_count(&m, "f"));
+    }
+
+    #[test]
+    fn forwarder_blocks_disappear() {
+        // break generates a forwarding branch to the exit block.
+        let src = "int f(int n) { while (1) { if (n > 10) { break; } n++; } return n; }";
+        let m = opt(src);
+        let out = exec(&m, "f", &[Val::Int(0)], &[], &ExecConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(Val::Int(11)));
+    }
+
+    #[test]
+    fn empty_else_join_blocks_collapse() {
+        let src = "int f(int a, int b) { int m = a; if (b > a) { m = b; } return m; }";
+        let m = opt(src);
+        for (a, b, want) in [(1, 2, 2), (5, 3, 5)] {
+            let out = exec(
+                &m,
+                "f",
+                &[Val::Int(a), Val::Int(b)],
+                &[],
+                &ExecConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(out.ret, Some(Val::Int(want)));
+        }
+    }
+}

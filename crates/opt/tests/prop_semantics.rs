@@ -1,0 +1,67 @@
+//! Property tests: every optimization level preserves the behaviour of
+//! randomly generated MiniC programs.
+
+use proptest::prelude::*;
+use yali_ir::interp::{run, ExecConfig, Val};
+
+/// Random arithmetic expression over `x` and `y` (ints).
+fn expr(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        prop_oneof![
+            Just("x".to_string()),
+            Just("y".to_string()),
+            (-50i64..50).prop_map(|c| format!("({c})")),
+        ]
+        .boxed()
+    } else {
+        let sub = expr(depth - 1);
+        (sub.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")], sub)
+            .prop_map(|(a, o, b)| format!("({a} {o} {b})"))
+            .boxed()
+    }
+}
+
+fn program(e1: String, e2: String, bound: u8) -> String {
+    format!(
+        "int f(int x, int y) {{ int acc = 0; for (int i = 0; i < {bound}; i++) {{ if ({e1} > acc) {{ acc = acc + i; }} else {{ acc = acc - 1; }} }} return acc + {e2}; }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimization_levels_agree(
+        e1 in expr(2),
+        e2 in expr(2),
+        bound in 1u8..12,
+        x in -100i64..100,
+        y in -100i64..100,
+    ) {
+        let src = program(e1, e2, bound);
+        let m0 = yali_minic::compile(&src).expect("compiles");
+        let args = [Val::Int(x), Val::Int(y)];
+        let reference = run(&m0, "f", &args, &[], &ExecConfig::default()).expect("runs").ret;
+        for level in yali_opt::OptLevel::ALL {
+            let m = yali_opt::optimized(&m0, level);
+            yali_ir::verify_module(&m).expect("verifies");
+            let got = run(&m, "f", &args, &[], &ExecConfig::default()).expect("runs").ret;
+            prop_assert_eq!(got, reference, "level {} diverged on {}", level, src);
+        }
+    }
+
+    #[test]
+    fn o3_never_grows_execution_cost(
+        e1 in expr(2),
+        bound in 2u8..12,
+        x in -50i64..50,
+    ) {
+        let src = program(e1, "y".to_string(), bound);
+        let m0 = yali_minic::compile(&src).expect("compiles");
+        let args = [Val::Int(x), Val::Int(1)];
+        let base = run(&m0, "f", &args, &[], &ExecConfig::default()).expect("runs");
+        let m3 = yali_opt::optimized(&m0, yali_opt::OptLevel::O3);
+        let fast = run(&m3, "f", &args, &[], &ExecConfig::default()).expect("runs");
+        prop_assert!(fast.cost <= base.cost, "O3 {} > O0 {} for {}", fast.cost, base.cost, src);
+    }
+}

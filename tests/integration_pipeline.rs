@@ -1,0 +1,65 @@
+//! Cross-crate integration: the full front-end → optimizer → obfuscator →
+//! embedding pipeline on dataset programs.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use yali_core::Transformer;
+use yali_embed::EmbeddingKind;
+use yali_ir::verify_module;
+
+#[test]
+fn every_problem_flows_through_the_whole_pipeline() {
+    // One author per 8th problem keeps this under a minute while touching
+    // every corner of the template corpus.
+    for pid in (0..yali_dataset::NUM_PROBLEMS).step_by(8) {
+        let program = yali_dataset::solution(pid, 0xF00D + pid as u64);
+        let module = yali_minic::lower(&program);
+        verify_module(&module).unwrap_or_else(|e| panic!("problem {pid}: {e}"));
+
+        // Optimize at every level.
+        for level in yali_opt::OptLevel::ALL {
+            let m = yali_opt::optimized(&module, level);
+            verify_module(&m).unwrap_or_else(|e| panic!("problem {pid} {level}: {e}"));
+        }
+        // Obfuscate with every O-LLVM pass.
+        for pass in yali_obf::IrObf::ALL {
+            let mut m = module.clone();
+            let mut rng = ChaCha8Rng::seed_from_u64(pid as u64);
+            pass.apply(&mut m, &mut rng);
+            verify_module(&m).unwrap_or_else(|e| panic!("problem {pid} {pass}: {e}"));
+        }
+        // Embed every way.
+        for kind in EmbeddingKind::ALL {
+            match kind.embed(&module) {
+                yali_embed::Embedding::Vector(v) => assert!(!v.is_empty()),
+                yali_embed::Embedding::Graph(g) => assert!(g.num_nodes() > 0),
+            }
+        }
+    }
+}
+
+#[test]
+fn obfuscate_then_optimize_round_trips_through_the_verifier() {
+    // The Game-3 path: ollvm first, -O3 after, still valid IR.
+    for pid in [2usize, 30, 55, 80] {
+        let program = yali_dataset::solution(pid, 42);
+        let mut m = yali_minic::lower(&program);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        yali_obf::ollvm(&mut m, &mut rng);
+        yali_opt::optimize(&mut m, yali_opt::OptLevel::O3);
+        verify_module(&m).unwrap_or_else(|e| panic!("problem {pid}: {e}"));
+    }
+}
+
+#[test]
+fn transformer_enum_covers_ir_text_round_trip() {
+    // Printed IR of transformed programs re-parses to identical text.
+    let program = yali_dataset::solution(7, 5);
+    for t in Transformer::EVADERS {
+        let m = t.apply(&program, 77);
+        let text = yali_ir::print_module(&m);
+        let again = yali_ir::parse_module(&text)
+            .unwrap_or_else(|e| panic!("{t}: reparse failed: {e}"));
+        assert_eq!(text, yali_ir::print_module(&again), "{t} round trip");
+    }
+}

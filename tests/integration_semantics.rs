@@ -1,0 +1,114 @@
+//! Property-style semantic-preservation checks across the whole arena:
+//! every transformer must leave every program's observable behaviour
+//! untouched (Definition 2.4 requires evaders to preserve semantics).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use yali_core::Transformer;
+use yali_ir::interp::{run, ExecConfig, Val};
+
+fn outputs(m: &yali_ir::Module, inputs: &[Val]) -> Vec<Val> {
+    let cfg = ExecConfig {
+        fuel: 30_000_000,
+        ..Default::default()
+    };
+    run(m, "main", &[], inputs, &cfg)
+        .unwrap_or_else(|e| panic!("execution failed: {e}"))
+        .output
+}
+
+#[test]
+fn all_transformers_preserve_program_behaviour() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFEED);
+    let specs = yali_dataset::problems();
+    // A spread of problems across all four template families.
+    for pid in [1usize, 9, 20, 28, 40, 53, 61, 79, 90, 101] {
+        let spec = &specs[pid];
+        let program = spec.author_solution(pid as u64 * 3 + 1);
+        let base = yali_minic::lower(&program);
+        let inputs = spec.inputs.sample(&mut rng);
+        let reference = outputs(&base, &inputs);
+        for t in Transformer::EVADERS {
+            let m = t.apply(&program, rng.gen());
+            assert_eq!(
+                outputs(&m, &inputs),
+                reference,
+                "{t} changed the behaviour of {} on {inputs:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn game3_normalization_preserves_behaviour_after_obfuscation() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xCAFE);
+    let specs = yali_dataset::problems();
+    for pid in [4usize, 33, 66, 95] {
+        let spec = &specs[pid];
+        let program = spec.author_solution(17);
+        let inputs = spec.inputs.sample(&mut rng);
+        let reference = outputs(&yali_minic::lower(&program), &inputs);
+        for evader in [
+            Transformer::Ir(yali_obf::IrObf::Bcf),
+            Transformer::Ir(yali_obf::IrObf::Fla),
+            Transformer::Source(yali_core::SourceStrategy::Rs),
+        ] {
+            let mut m = evader.apply(&program, 55);
+            yali_opt::optimize(&mut m, yali_opt::OptLevel::O3);
+            assert_eq!(
+                outputs(&m, &inputs),
+                reference,
+                "{evader}+O3 changed {} on {inputs:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn interpreter_cost_reflects_the_transformation_direction() {
+    // Optimization lowers cost; obfuscation raises it — on real corpus
+    // programs, not just micro-tests.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC057);
+    let specs = yali_dataset::problems();
+    let mut o3_wins = 0;
+    let mut ollvm_slows = 0;
+    let mut n = 0;
+    for pid in [10usize, 30, 60, 85] {
+        let spec = &specs[pid];
+        let program = spec.variant(0);
+        let inputs = spec.inputs.sample(&mut rng);
+        let cfg = ExecConfig {
+            fuel: 30_000_000,
+            ..Default::default()
+        };
+        let base = run(&yali_minic::lower(&program), "main", &[], &inputs, &cfg).unwrap();
+        let fast = run(
+            &Transformer::Opt(yali_opt::OptLevel::O3).apply(&program, 1),
+            "main",
+            &[],
+            &inputs,
+            &cfg,
+        )
+        .unwrap();
+        let slow = run(
+            &Transformer::Ir(yali_obf::IrObf::Ollvm).apply(&program, 1),
+            "main",
+            &[],
+            &inputs,
+            &cfg,
+        )
+        .unwrap();
+        if fast.cost < base.cost {
+            o3_wins += 1;
+        }
+        if slow.cost > base.cost {
+            ollvm_slows += 1;
+        }
+        n += 1;
+    }
+    assert!(o3_wins >= n - 1, "O3 sped up only {o3_wins}/{n}");
+    assert_eq!(ollvm_slows, n, "ollvm failed to slow some programs");
+}
