@@ -69,29 +69,50 @@ pub fn banner(figure: &str, what: &str, scale: &Scale) {
 }
 
 
+/// Plays every round of one sweep cell and returns the mean accuracy —
+/// a pure function of `(game, evader, model, scale)`, so sweep cells can
+/// run in any order or in parallel.
+pub fn sweep_cell(
+    game: yali_core::Game,
+    evader: yali_core::Transformer,
+    model: yali_ml::ModelKind,
+    scale: &Scale,
+) -> f64 {
+    use yali_core::{play, ClassifierSpec, Corpus, GameConfig};
+    let mut accs = Vec::new();
+    for round in 0..scale.rounds {
+        let corpus = Corpus::poj(scale.classes, scale.per_class, 60 + round as u64);
+        let cfg =
+            GameConfig::game0(ClassifierSpec::histogram(model), round as u64).with_game(game, evader);
+        accs.push(play(&corpus, &cfg).accuracy);
+    }
+    mean(&accs)
+}
+
 /// Runs the Figure 8/9/11 grid: every evader against every model on the
-/// histogram embedding, in the given game, and prints the table.
+/// histogram embedding, in the given game, and prints the table. The
+/// evader × model cells fan out on the [`yali_core::engine`]; each cell is
+/// deterministic, so the table is identical at every thread count.
 pub fn run_evader_model_grid(game: yali_core::Game, scale: &Scale) {
-    use yali_core::{play, ClassifierSpec, Corpus, GameConfig, Transformer};
+    use yali_core::Transformer;
     use yali_ml::ModelKind;
     let header: Vec<String> = std::iter::once("evader".to_string())
         .chain(ModelKind::ALL.iter().map(|m| m.name().to_string()))
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let points: Vec<(Transformer, ModelKind)> = Transformer::EVADERS
+        .iter()
+        .flat_map(|&e| ModelKind::ALL.iter().map(move |&m| (e, m)))
+        .collect();
+    let accs = yali_core::par_map(&points, |_, &(evader, model)| {
+        sweep_cell(game, evader, model, scale)
+    });
     let mut rows = Vec::new();
-    for evader in Transformer::EVADERS {
+    for (ei, evader) in Transformer::EVADERS.iter().enumerate() {
         let mut cells = vec![evader.name().to_string()];
-        for model in ModelKind::ALL {
-            let mut accs = Vec::new();
-            for round in 0..scale.rounds {
-                let corpus = Corpus::poj(scale.classes, scale.per_class, 60 + round as u64);
-                let cfg = GameConfig::game0(ClassifierSpec::histogram(model), round as u64)
-                    .with_game(game, evader);
-                accs.push(play(&corpus, &cfg).accuracy);
-            }
-            cells.push(pct(mean(&accs)));
+        for mi in 0..ModelKind::ALL.len() {
+            cells.push(pct(accs[ei * ModelKind::ALL.len() + mi]));
         }
-        eprintln!("  evader {} done", evader.name());
         rows.push(cells);
     }
     print_table(&format!("{game} — evaders × models"), &header_refs, &rows);

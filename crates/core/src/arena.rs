@@ -1,6 +1,12 @@
 //! The classification arena: corpora, classifier specifications, and the
 //! embedding/training plumbing shared by all four games.
+//!
+//! Per-sample work (transformation, embedding, classification) runs on the
+//! [`crate::engine`]: it fans out over scoped threads and answers repeated
+//! embeddings from the content-addressed cache, without changing any
+//! result.
 
+use crate::engine;
 use crate::transformer::Transformer;
 use yali_embed::{Embedding, EmbeddingKind};
 use yali_minic::Program;
@@ -138,7 +144,7 @@ pub enum TrainedClassifier {
 }
 
 fn graph_sample(m: &yali_ir::Module, kind: EmbeddingKind) -> GraphSample {
-    match kind.embed(m) {
+    match engine::embed_cached(m, kind) {
         Embedding::Graph(g) => GraphSample {
             feats: g.feats,
             edges: g.edges.iter().map(|&(s, d, _)| (s, d)).collect(),
@@ -148,7 +154,7 @@ fn graph_sample(m: &yali_ir::Module, kind: EmbeddingKind) -> GraphSample {
 }
 
 fn vector_sample(m: &yali_ir::Module, kind: EmbeddingKind) -> Vec<f64> {
-    match kind.embed(m) {
+    match engine::embed_cached(m, kind) {
         Embedding::Vector(v) => v,
         Embedding::Graph(_) => unreachable!("vector embedding expected"),
     }
@@ -173,10 +179,8 @@ impl TrainedClassifier {
                     spec.embedding.is_graph(),
                     "dgcnn requires a graph embedding"
                 );
-                let graphs: Vec<GraphSample> = modules
-                    .iter()
-                    .map(|m| graph_sample(m, spec.embedding))
-                    .collect();
+                let graphs: Vec<GraphSample> =
+                    engine::par_map(modules, |_, m| graph_sample(m, spec.embedding));
                 let model = Dgcnn::fit(&graphs, labels, n_classes, &spec.dgcnn);
                 TrainedClassifier::Graph(Box::new(model), spec.embedding)
             }
@@ -185,22 +189,26 @@ impl TrainedClassifier {
                     !spec.embedding.is_graph(),
                     "{kind} cannot consume graph embeddings"
                 );
-                let x: Vec<Vec<f64>> = modules
-                    .iter()
-                    .map(|m| vector_sample(m, spec.embedding))
-                    .collect();
+                let x: Vec<Vec<f64>> =
+                    engine::par_map(modules, |_, m| vector_sample(m, spec.embedding));
                 let model = VectorClassifier::fit(kind, &x, labels, n_classes, &spec.train);
                 TrainedClassifier::Vector(model, spec.embedding)
             }
         }
     }
 
-    /// Classifies one challenge module.
-    pub fn classify(&mut self, m: &yali_ir::Module) -> usize {
+    /// Classifies one challenge module. Pure: a trained classifier can be
+    /// challenged from many threads at once.
+    pub fn classify(&self, m: &yali_ir::Module) -> usize {
         match self {
             TrainedClassifier::Vector(model, kind) => model.predict(&vector_sample(m, *kind)),
             TrainedClassifier::Graph(model, kind) => model.predict(&graph_sample(m, *kind)),
         }
+    }
+
+    /// Classifies a whole challenge set in parallel, preserving order.
+    pub fn classify_all(&self, modules: &[yali_ir::Module]) -> Vec<usize> {
+        engine::par_map(modules, |_, m| self.classify(m))
     }
 
     /// Approximate model memory (Figure 7's second panel).
@@ -212,13 +220,14 @@ impl TrainedClassifier {
     }
 }
 
-/// Materializes transformed IR modules for a set of samples.
+/// Materializes transformed IR modules for a set of samples, in parallel
+/// and through the engine's transform cache. Each sample's transformation
+/// seed depends only on its index, so the output is identical at every
+/// thread count, cached or cold.
 pub fn transform_all(samples: &[&Sample], t: Transformer, seed: u64) -> Vec<yali_ir::Module> {
-    samples
-        .iter()
-        .enumerate()
-        .map(|(i, s)| t.apply(&s.program, seed ^ ((i as u64) << 16)))
-        .collect()
+    engine::par_map(samples, |i, s| {
+        engine::transform_cached(&s.program, t, seed ^ ((i as u64) << 16))
+    })
 }
 
 #[cfg(test)]
@@ -254,9 +263,9 @@ mod tests {
         let train_modules = transform_all(&tr, Transformer::None, 0);
         let labels: Vec<usize> = tr.iter().map(|s| s.class).collect();
         let spec = ClassifierSpec::histogram(ModelKind::Rf);
-        let mut clf = TrainedClassifier::fit(&spec, &train_modules, &labels, 3);
+        let clf = TrainedClassifier::fit(&spec, &train_modules, &labels, 3);
         let test_modules = transform_all(&te, Transformer::None, 1);
-        let pred: Vec<usize> = test_modules.iter().map(|m| clf.classify(m)).collect();
+        let pred: Vec<usize> = clf.classify_all(&test_modules);
         let truth: Vec<usize> = te.iter().map(|s| s.class).collect();
         let acc = yali_ml::accuracy(&pred, &truth);
         assert!(acc > 0.5, "accuracy {acc} too low for 3 separable classes");

@@ -108,11 +108,13 @@ pub fn discover_transformer(
         // the same base programs.
         let mut prng = ChaCha8Rng::seed_from_u64(seed ^ 0xBA5E);
         let bases = base_programs(dataset, ti, per_transformer, &mut prng);
-        for (k, p) in bases.iter().enumerate() {
+        // Transform + embed per sample in parallel; each sample's seed is a
+        // function of its index, so results match the serial loop.
+        x.extend(crate::engine::par_map(&bases, |k, p| {
             let m = t.apply(p, seed ^ ((ti as u64) << 24) ^ (k as u64));
-            x.push(yali_embed::histogram(&m));
-            y.push(ti);
-        }
+            yali_embed::histogram(&m)
+        }));
+        y.extend(std::iter::repeat_n(ti, bases.len()));
     }
     // Shuffled stratified split.
     let mut idx: Vec<usize> = (0..x.len()).collect();
@@ -121,7 +123,7 @@ pub fn discover_transformer(
     let (tr, te) = idx.split_at(cut);
     let xtr: Vec<Vec<f64>> = tr.iter().map(|&i| x[i].clone()).collect();
     let ytr: Vec<usize> = tr.iter().map(|&i| y[i]).collect();
-    let mut clf = VectorClassifier::fit(
+    let clf = VectorClassifier::fit(
         ModelKind::Rf,
         &xtr,
         &ytr,
@@ -131,7 +133,7 @@ pub fn discover_transformer(
             ..Default::default()
         },
     );
-    let pred: Vec<usize> = te.iter().map(|&i| clf.predict(&x[i])).collect();
+    let pred: Vec<usize> = crate::engine::par_map(te, |_, &i| clf.predict(&x[i]));
     let truth: Vec<usize> = te.iter().map(|&i| y[i]).collect();
     DiscoverResult {
         accuracy: yali_ml::accuracy(&pred, &truth),

@@ -1,0 +1,518 @@
+//! The parallel experiment engine: a deterministic scoped-thread map and a
+//! content-addressed embedding cache.
+//!
+//! Experiments in this crate are embarrassingly parallel at two grains —
+//! per-sample (transform, embed, classify) and per-round (seeds, sweep
+//! points) — and they recompute the same embeddings over and over: every
+//! game embeds each module once to train and once per challenge, and the
+//! benchmark sweeps replay the same modules across many design points.
+//!
+//! Two primitives exploit that without touching any experiment's results:
+//!
+//! - [`par_map`] fans a slice out over `std::thread::scope` workers and
+//!   returns outputs **in input order**. Each `(index, item)` pair is
+//!   handed to the same closure it would meet serially, so any experiment
+//!   whose per-item work is a pure function of `(index, item)` produces
+//!   byte-identical results at every thread count (including 1).
+//!   Worker count comes from the `YALI_THREADS` environment variable, or
+//!   the machine's available parallelism when unset.
+//! - [`EmbedCache`] memoizes [`EmbeddingKind::embed`] keyed by the 64-bit
+//!   structural hash of the module ([`yali_ir::Module::content_hash`])
+//!   plus the embedding kind. The hash ignores module names and arena
+//!   numbering — exactly the things embeddings cannot observe — so a
+//!   cache hit returns the same embedding the recomputation would.
+//!   [`CacheStats`] exposes hit/miss/insert counters.
+//! - [`TransformCache`] does the same for [`Transformer::apply`], keyed by
+//!   a hash of the printed source program plus the transformer and seed —
+//!   the complete input of that pure function. Sweeps that pit many
+//!   models against the same transformed corpus stop re-obfuscating it
+//!   per design point.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::transformer::Transformer;
+use yali_embed::{Embedding, EmbeddingKind};
+
+/// Number of worker threads: the `YALI_THREADS` environment variable when
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (1 when that is unknown).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("YALI_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`worker_count`] scoped threads, preserving
+/// input order. `f` receives `(index, &item)`; determinism is the caller's
+/// bargain: keep `f` a pure function of its arguments and the output is
+/// identical at every thread count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with(worker_count(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (tests pin this to compare
+/// thread counts without touching the environment).
+pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Small chunks + an atomic cursor give dynamic load balancing (module
+    // sizes vary wildly) while each chunk stays contiguous, so stitching
+    // the pieces back in start order restores the serial output exactly.
+    let chunk = (n / (threads * 4)).max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<U>)> = std::thread::scope(|s| {
+        let f = &f;
+        let next = &next;
+        let handles: Vec<_> = (0..threads.min(n_chunks))
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(n);
+                        let out: Vec<U> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(j, t)| f(start + j, t))
+                            .collect();
+                        local.push((start, out));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    pieces.sort_unstable_by_key(|p| p.0);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut v) in pieces {
+        out.append(&mut v);
+    }
+    out
+}
+
+/// Applies `f` to every element in place, in parallel. Each worker owns a
+/// contiguous sub-slice, so the effect equals the serial loop whenever `f`
+/// is a pure function of `(index, element)`.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = worker_count();
+    if threads <= 1 || n <= 1 {
+        for (i, t) in items.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        for (ci, part) in items.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                for (j, t) in part.iter_mut().enumerate() {
+                    f(ci * chunk + j, t);
+                }
+            });
+        }
+    });
+}
+
+/// Snapshot of [`EmbedCache`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the embedding.
+    pub misses: u64,
+    /// Entries actually stored (≤ misses: concurrent misses on one key
+    /// store once).
+    pub inserts: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// A sharded, content-addressed embedding cache.
+///
+/// Keys are `(Module::content_hash(), EmbeddingKind)`. The structural hash
+/// normalizes away module names and instruction-arena numbering, so any
+/// two modules that print identically share one entry — in particular the
+/// same transformed module reached through different experiment paths.
+pub struct EmbedCache {
+    shards: Vec<Mutex<HashMap<(u64, EmbeddingKind), Embedding>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for EmbedCache {
+    fn default() -> Self {
+        EmbedCache::new()
+    }
+}
+
+impl EmbedCache {
+    /// An empty cache.
+    pub fn new() -> EmbedCache {
+        EmbedCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache used by the experiment drivers.
+    pub fn global() -> &'static EmbedCache {
+        static GLOBAL: OnceLock<EmbedCache> = OnceLock::new();
+        GLOBAL.get_or_init(EmbedCache::new)
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<(u64, EmbeddingKind), Embedding>> {
+        // Spread the (already well-mixed) FNV hash across shards.
+        &self.shards[(key as usize) % SHARDS]
+    }
+
+    /// Computes (or recalls) `kind`'s embedding of `m`.
+    pub fn embed(&self, m: &yali_ir::Module, kind: EmbeddingKind) -> Embedding {
+        let key = (m.content_hash(), kind);
+        if let Some(e) = self.shard(key.0).lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return e.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compute outside the lock: embeddings dominate the cost and other
+        // keys in the shard must not wait on this one.
+        let e = kind.embed(m);
+        let mut shard = self.shard(key.0).lock().unwrap();
+        if shard.insert(key, e.clone()).is_none() {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        e
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
+        }
+    }
+
+    /// Empties the cache and zeroes the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Whether the global caches are in use. `YALI_CACHE=0` (or `off`)
+/// bypasses them entirely — every transform and embedding is recomputed,
+/// which is the pre-engine behavior (useful as a benchmark baseline and
+/// when bisecting a suspected cache bug).
+pub fn caching_enabled() -> bool {
+    !matches!(
+        std::env::var("YALI_CACHE").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    )
+}
+
+/// Embeds through the global [`EmbedCache`] (or directly, under
+/// `YALI_CACHE=0`).
+pub fn embed_cached(m: &yali_ir::Module, kind: EmbeddingKind) -> Embedding {
+    if !caching_enabled() {
+        return kind.embed(m);
+    }
+    EmbedCache::global().embed(m, kind)
+}
+
+/// One transform-cache shard: `(source hash, transformer, seed)` → module.
+type TransformShard = Mutex<HashMap<(u64, Transformer, u64), yali_ir::Module>>;
+
+/// A content-addressed cache for [`Transformer::apply`].
+///
+/// `apply` is a pure function of `(program, transformer, seed)`; the key
+/// hashes the printed source (stable across clones) plus the other two, so
+/// a hit returns the module the recomputation would produce. This is what
+/// keeps sweeps from re-obfuscating one corpus once per design point.
+pub struct TransformCache {
+    shards: Vec<TransformShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for TransformCache {
+    fn default() -> Self {
+        TransformCache::new()
+    }
+}
+
+impl TransformCache {
+    /// An empty cache.
+    pub fn new() -> TransformCache {
+        TransformCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache used by the experiment drivers.
+    pub fn global() -> &'static TransformCache {
+        static GLOBAL: OnceLock<TransformCache> = OnceLock::new();
+        GLOBAL.get_or_init(TransformCache::new)
+    }
+
+    /// Applies (or recalls) `t` to `program` under `seed`.
+    pub fn apply(&self, program: &yali_minic::Program, t: Transformer, seed: u64) -> yali_ir::Module {
+        let mut h = yali_ir::Fnv64::new();
+        h.write_str(&yali_minic::print(program));
+        let key = (h.finish(), t, seed);
+        let shard = &self.shards[(key.0 as usize) % SHARDS];
+        if let Some(m) = shard.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return m.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let m = t.apply(program, seed);
+        if shard.lock().unwrap().insert(key, m.clone()).is_none() {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+        m
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
+        }
+    }
+
+    /// Empties the cache and zeroes the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Transforms through the global [`TransformCache`] (or directly, under
+/// `YALI_CACHE=0`).
+pub fn transform_cached(program: &yali_minic::Program, t: Transformer, seed: u64) -> yali_ir::Module {
+    if !caching_enabled() {
+        return t.apply(program, seed);
+    }
+    TransformCache::global().apply(program, t, seed)
+}
+
+/// Clears both global caches (benchmarks use this to measure cold starts).
+pub fn clear_caches() {
+    EmbedCache::global().clear();
+    TransformCache::global().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(src: &str) -> yali_ir::Module {
+        yali_minic::compile(src).expect("test program compiles")
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial = par_map_with(1, &items, |i, &v| v * v + i as u64);
+        for threads in [2, 3, 8, 32] {
+            let parallel = par_map_with(threads, &items, |i, &v| v * v + i as u64);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(4, &empty, |_, &v| v).is_empty());
+        assert_eq!(par_map_with(4, &[7u32], |i, &v| v + i as u32), vec![7]);
+        assert_eq!(
+            par_map_with(64, &[1u32, 2], |_, &v| v * 10),
+            vec![10, 20],
+            "more threads than chunks"
+        );
+    }
+
+    #[test]
+    fn par_for_each_mut_equals_the_serial_loop() {
+        let mut a: Vec<usize> = (0..57).collect();
+        let mut b = a.clone();
+        for (i, t) in a.iter_mut().enumerate() {
+            *t = *t * 3 + i;
+        }
+        par_for_each_mut(&mut b, |i, t| *t = *t * 3 + i);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cache_hits_on_structurally_equal_modules() {
+        let cache = EmbedCache::new();
+        let m1 = module("int f(int a) { return a * a + 3; }");
+        let e1 = cache.embed(&m1, EmbeddingKind::Histogram);
+        let e2 = cache.embed(&m1, EmbeddingKind::Histogram);
+        assert_eq!(e1, e2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn cache_distinguishes_kinds_and_contents() {
+        let cache = EmbedCache::new();
+        let m1 = module("int f(int a) { return a + 1; }");
+        let m2 = module("int f(int a) { return a - 1; }");
+        cache.embed(&m1, EmbeddingKind::Histogram);
+        cache.embed(&m1, EmbeddingKind::Milepost);
+        cache.embed(&m2, EmbeddingKind::Histogram);
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.entries, 3);
+    }
+
+    #[test]
+    fn cached_equals_uncached() {
+        let cache = EmbedCache::new();
+        let m = module("int g(int x) { int s = 0; while (x > 0) { s = s + x; x = x - 1; } return s; }");
+        for kind in EmbeddingKind::ALL {
+            assert_eq!(cache.embed(&m, kind), kind.embed(&m), "{kind}");
+            // Second round: answered from cache, still identical.
+            assert_eq!(cache.embed(&m, kind), kind.embed(&m), "{kind} cached");
+        }
+        assert_eq!(cache.stats().hits, EmbeddingKind::ALL.len() as u64);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = EmbedCache::new();
+        cache.embed(&module("int f() { return 4; }"), EmbeddingKind::Histogram);
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (0, 0, 0, 0));
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_is_shared_across_threads() {
+        let cache = EmbedCache::new();
+        let ms: Vec<yali_ir::Module> =
+            (0..8).map(|_| module("int f(int a) { return a * 2; }")).collect();
+        let embs = par_map_with(4, &ms, |_, m| cache.embed(m, EmbeddingKind::Histogram));
+        assert!(embs.windows(2).all(|w| w[0] == w[1]));
+        let s = cache.stats();
+        // All eight modules share one key; at least one lookup computed.
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.hits + s.misses, 8);
+        assert!(s.misses >= 1);
+    }
+
+    #[test]
+    fn transform_cache_matches_direct_application() {
+        let cache = TransformCache::new();
+        let p = yali_minic::parse("int f(int a) { return a * 3 + 1; }").unwrap();
+        for t in [
+            Transformer::None,
+            Transformer::Opt(yali_opt::OptLevel::O3),
+            Transformer::Ir(yali_obf::IrObf::Fla),
+        ] {
+            let direct = t.apply(&p, 9);
+            let cold = cache.apply(&p, t, 9);
+            let warm = cache.apply(&p, t, 9);
+            assert_eq!(yali_ir::print_module(&direct), yali_ir::print_module(&cold), "{t}");
+            assert_eq!(yali_ir::print_module(&direct), yali_ir::print_module(&warm), "{t}");
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (3, 3, 3));
+    }
+
+    #[test]
+    fn transform_cache_distinguishes_seeds_and_programs() {
+        let cache = TransformCache::new();
+        let p1 = yali_minic::parse("int f(int a) { return a + 2; }").unwrap();
+        let p2 = yali_minic::parse("int f(int a) { return a - 2; }").unwrap();
+        let t = Transformer::Ir(yali_obf::IrObf::Bcf);
+        cache.apply(&p1, t, 1);
+        cache.apply(&p1, t, 2); // same program, new seed: distinct entry
+        cache.apply(&p2, t, 1); // new program: distinct entry
+        cache.apply(&p1, Transformer::None, 1); // new transformer
+        let s = cache.stats();
+        assert_eq!((s.hits, s.entries), (0, 4));
+    }
+
+    #[test]
+    fn experiment_types_are_send_and_sync() {
+        fn ok<T: Send + Sync>() {}
+        ok::<Embedding>();
+        ok::<EmbeddingKind>();
+        ok::<crate::Transformer>();
+        ok::<yali_ml::VectorClassifier>();
+        ok::<yali_ml::Dgcnn>();
+        ok::<crate::arena::TrainedClassifier>();
+        ok::<EmbedCache>();
+    }
+}

@@ -113,7 +113,7 @@ pub fn play(corpus: &Corpus, config: &GameConfig) -> GameResult {
         Game::Game3 => config.normalizer,
     };
     let train_modules = transform_all(&train, train_transform, config.seed ^ 0x7431);
-    let mut clf = TrainedClassifier::fit(
+    let clf = TrainedClassifier::fit(
         &config.classifier,
         &train_modules,
         &train_labels,
@@ -129,13 +129,13 @@ pub fn play(corpus: &Corpus, config: &GameConfig) -> GameResult {
     // Game 3: the classifier re-optimizes every challenge it receives.
     if config.game == Game::Game3 {
         if let Transformer::Opt(level) = config.normalizer {
-            for m in &mut challenge_modules {
+            crate::engine::par_for_each_mut(&mut challenge_modules, |_, m| {
                 yali_opt::optimize(m, level);
-            }
+            });
         }
     }
 
-    let pred: Vec<usize> = challenge_modules.iter().map(|m| clf.classify(m)).collect();
+    let pred: Vec<usize> = clf.classify_all(&challenge_modules);
     GameResult {
         accuracy: yali_ml::accuracy(&pred, &test_labels),
         f1: yali_ml::macro_f1(&pred, &test_labels, corpus.n_classes),
@@ -186,17 +186,20 @@ mod tests {
 
     #[test]
     fn game2_recovers_much_of_game0() {
+        // The game-2-beats-game-1 claim is statistical: on an 8-sample
+        // challenge set a single seed can flip it, so compare means over a
+        // few seeds.
         let corpus = small_corpus();
-        let base = GameConfig::game0(ClassifierSpec::histogram(ModelKind::Rf), 5);
         let evader = Transformer::Ir(yali_obf::IrObf::Ollvm);
-        let g1 = play(&corpus, &base.clone().with_game(Game::Game1, evader));
-        let g2 = play(&corpus, &base.clone().with_game(Game::Game2, evader));
-        assert!(
-            g2.accuracy >= g1.accuracy,
-            "game2 {} should not trail game1 {}",
-            g2.accuracy,
-            g1.accuracy
-        );
+        let (mut a1, mut a2) = (0.0, 0.0);
+        let seeds = [5u64, 6, 7];
+        for &seed in &seeds {
+            let base = GameConfig::game0(ClassifierSpec::histogram(ModelKind::Rf), seed);
+            a1 += play(&corpus, &base.clone().with_game(Game::Game1, evader)).accuracy;
+            a2 += play(&corpus, &base.clone().with_game(Game::Game2, evader)).accuracy;
+        }
+        let (a1, a2) = (a1 / seeds.len() as f64, a2 / seeds.len() as f64);
+        assert!(a2 >= a1, "mean game2 {a2} should not trail mean game1 {a1}");
     }
 
     #[test]

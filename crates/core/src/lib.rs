@@ -14,7 +14,10 @@
 //! - [`discover`] — RQ7: identifying the transformer itself;
 //! - [`malware_exp`] — RQ8: MIRAI-family identification;
 //! - [`av`] — the signature-scanner stand-in for VirusTotal;
-//! - [`scale`] — workload scaling (`YALI_SCALE=small|medium|paper`).
+//! - [`scale`] — workload scaling (`YALI_SCALE=small|medium|paper`);
+//! - [`engine`] — the parallel experiment engine: a deterministic
+//!   scoped-thread map (`YALI_THREADS`) and a content-addressed embedding
+//!   cache.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 pub mod arena;
 pub mod av;
 pub mod discover;
+pub mod engine;
 pub mod game;
 pub mod malware_exp;
 pub mod scale;
@@ -46,6 +50,9 @@ pub mod transformer;
 pub use arena::{transform_all, ClassifierSpec, Corpus, ModelChoice, Sample, TrainedClassifier};
 pub use av::SignatureScanner;
 pub use discover::{discover_transformer, DiscoverDataset, DiscoverResult};
+pub use engine::{
+    embed_cached, par_map, par_map_with, transform_cached, CacheStats, EmbedCache, TransformCache,
+};
 pub use game::{play, Game, GameConfig, GameResult};
 pub use malware_exp::{malware_round, MalwareCorpus, MalwarePoint, MALWARE_TRANSFORMERS};
 pub use scale::Scale;

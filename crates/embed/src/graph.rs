@@ -177,8 +177,10 @@ fn inst_graph(m: &Module, data: bool, calls: bool, memory: bool) -> ProgramGraph
         }
         if memory {
             // Group memory ops by their base pointer operand; connect each
-            // store to every load of the same base.
-            let mut by_base: HashMap<String, (Vec<usize>, Vec<usize>)> = HashMap::new();
+            // store to every load of the same base. A BTreeMap keeps the
+            // edge order independent of the process's hash seed.
+            let mut by_base: std::collections::BTreeMap<String, (Vec<usize>, Vec<usize>)> =
+                std::collections::BTreeMap::new();
             for (_, i) in f.iter_insts() {
                 let inst = f.inst(i);
                 match inst.op {

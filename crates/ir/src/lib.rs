@@ -42,6 +42,7 @@
 pub mod builder;
 pub mod cfg;
 pub mod dom;
+pub mod hash;
 pub mod interp;
 pub mod module;
 pub mod opcode;
@@ -53,6 +54,7 @@ pub mod verify;
 
 pub use builder::FunctionBuilder;
 pub use dom::DomTree;
+pub use hash::Fnv64;
 pub use module::{Block, Function, Inst, Module};
 pub use opcode::{Cmp, Op};
 pub use parse::{parse_module, ParseError};

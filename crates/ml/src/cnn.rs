@@ -108,7 +108,7 @@ impl Cnn {
     }
 
     /// Predicts one sample.
-    pub fn predict(&mut self, x: &[f64]) -> usize {
+    pub fn predict(&self, x: &[f64]) -> usize {
         self.net.predict(&self.scaler.transform(x))
     }
 
@@ -142,7 +142,7 @@ mod tests {
             epochs: 50,
             ..Default::default()
         };
-        let mut m = Cnn::fit(&x, &y, 3, &cfg);
+        let m = Cnn::fit(&x, &y, 3, &cfg);
         let pred: Vec<usize> = x.iter().map(|v| m.predict(v)).collect();
         assert!(crate::metrics::accuracy(&pred, &y) > 0.9);
     }
@@ -156,7 +156,7 @@ mod tests {
             epochs: 2,
             ..Default::default()
         };
-        let mut m = Cnn::fit(&x, &y, 2, &cfg);
+        let m = Cnn::fit(&x, &y, 2, &cfg);
         let _ = m.predict(&x[0]);
     }
 

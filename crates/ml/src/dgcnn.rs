@@ -335,10 +335,10 @@ impl Dgcnn {
         }
     }
 
-    /// Predicts the class of one graph.
-    pub fn predict(&mut self, g: &GraphSample) -> usize {
+    /// Predicts the class of one graph. Pure: safe to call concurrently.
+    pub fn predict(&self, g: &GraphSample) -> usize {
         let cache = self.forward(g, false);
-        argmax(&self.tail.forward(&cache.flat, false))
+        argmax(&self.tail.infer(&cache.flat))
     }
 
     /// Approximate resident bytes (parameters + Adam moments).
@@ -396,7 +396,7 @@ mod tests {
             dropout: 0.1,
             ..Default::default()
         };
-        let mut m = Dgcnn::fit(&gs, &y, 2, &cfg);
+        let m = Dgcnn::fit(&gs, &y, 2, &cfg);
         let pred: Vec<usize> = gs.iter().map(|g| m.predict(g)).collect();
         let acc = crate::metrics::accuracy(&pred, &y);
         assert!(acc > 0.9, "accuracy {acc}");
@@ -412,7 +412,7 @@ mod tests {
             dense: 16,
             ..Default::default()
         };
-        let mut m = Dgcnn::fit(&gs, &y, 2, &cfg);
+        let m = Dgcnn::fit(&gs, &y, 2, &cfg);
         let _ = m.predict(&gs[0]);
     }
 
@@ -437,7 +437,7 @@ mod tests {
             dropout: 0.0,
             ..Default::default()
         };
-        let mut m = Dgcnn::fit(&gs, &y, 2, &cfg);
+        let m = Dgcnn::fit(&gs, &y, 2, &cfg);
         let _ = m.predict(&gs[0]);
     }
 

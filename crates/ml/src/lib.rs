@@ -205,8 +205,9 @@ impl VectorClassifier {
         }
     }
 
-    /// Predicts the class of one sample.
-    pub fn predict(&mut self, x: &[f64]) -> usize {
+    /// Predicts the class of one sample. Pure: a trained classifier can
+    /// serve predictions from many threads at once.
+    pub fn predict(&self, x: &[f64]) -> usize {
         match self {
             VectorClassifier::Rf(m) => m.predict(x),
             VectorClassifier::Linear(m) => m.predict(x),
@@ -217,7 +218,7 @@ impl VectorClassifier {
     }
 
     /// Predicts a whole test set.
-    pub fn predict_all(&mut self, xs: &[Vec<f64>]) -> Vec<usize> {
+    pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
         xs.iter().map(|x| self.predict(x)).collect()
     }
 
@@ -289,7 +290,7 @@ mod tests {
     fn all_six_models_learn_blobs() {
         let (x, y) = blobs(24, 3);
         for kind in ModelKind::ALL {
-            let mut clf = VectorClassifier::fit(kind, &x, &y, 3, &TrainConfig::default());
+            let clf = VectorClassifier::fit(kind, &x, &y, 3, &TrainConfig::default());
             let pred = clf.predict_all(&x);
             let acc = accuracy(&pred, &y);
             assert!(acc > 0.9, "{kind} accuracy {acc}");

@@ -64,7 +64,7 @@ impl Mlp {
     }
 
     /// Predicts one sample.
-    pub fn predict(&mut self, x: &[f64]) -> usize {
+    pub fn predict(&self, x: &[f64]) -> usize {
         self.net.predict(&self.scaler.transform(x))
     }
 
@@ -92,7 +92,7 @@ mod tests {
             epochs: 150,
             ..Default::default()
         };
-        let mut m = Mlp::fit(&x, &y, 2, &cfg);
+        let m = Mlp::fit(&x, &y, 2, &cfg);
         let pred: Vec<usize> = x.iter().map(|v| m.predict(v)).collect();
         assert!(crate::metrics::accuracy(&pred, &y) > 0.9);
     }

@@ -11,9 +11,16 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// A differentiable layer processing flat `f64` vectors.
-pub trait Layer {
+///
+/// Training uses [`Layer::forward`], which caches activations for the
+/// following [`Layer::backward`]. Inference uses [`Layer::infer`], which is
+/// pure (`&self`, eval-mode semantics, no caches) — that is what lets a
+/// trained network classify from many threads at once.
+pub trait Layer: Send + Sync {
     /// Forward pass; `train` enables stochastic behaviour (dropout).
     fn forward(&mut self, x: &[f64], train: bool) -> Vec<f64>;
+    /// Pure eval-mode forward pass: no activation caches, no RNG.
+    fn infer(&self, x: &[f64]) -> Vec<f64>;
     /// Backward pass: receives ∂L/∂output, accumulates parameter gradients,
     /// returns ∂L/∂input.
     fn backward(&mut self, grad: &[f64]) -> Vec<f64>;
@@ -57,10 +64,14 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    #[allow(clippy::needless_range_loop)] // row indexing mirrors Wx+b
     fn forward(&mut self, x: &[f64], _train: bool) -> Vec<f64> {
-        debug_assert_eq!(x.len(), self.n_in);
         self.last_x = x.to_vec();
+        self.infer(x)
+    }
+
+    #[allow(clippy::needless_range_loop)] // row indexing mirrors Wx+b
+    fn infer(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.n_in);
         let mut out = self.b.clone();
         for o in 0..self.n_out {
             let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
@@ -113,6 +124,10 @@ pub struct Relu {
 impl Layer for Relu {
     fn forward(&mut self, x: &[f64], _train: bool) -> Vec<f64> {
         self.mask = x.iter().map(|&v| v > 0.0).collect();
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &[f64]) -> Vec<f64> {
         x.iter().map(|&v| v.max(0.0)).collect()
     }
 
@@ -166,6 +181,12 @@ impl Layer for Dropout {
             })
             .collect();
         x.iter().zip(&self.mask).map(|(v, m)| v * m).collect()
+    }
+
+    fn infer(&self, x: &[f64]) -> Vec<f64> {
+        // Eval-mode dropout is the identity (inverted dropout rescales at
+        // train time), so inference needs neither the RNG nor a mask.
+        x.to_vec()
     }
 
     fn backward(&mut self, grad: &[f64]) -> Vec<f64> {
@@ -246,8 +267,12 @@ impl Conv1d {
 
 impl Layer for Conv1d {
     fn forward(&mut self, x: &[f64], _train: bool) -> Vec<f64> {
-        debug_assert_eq!(x.len(), self.in_ch * self.in_len);
         self.last_x = x.to_vec();
+        self.infer(x)
+    }
+
+    fn infer(&self, x: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(x.len(), self.in_ch * self.in_len);
         let mut out = vec![0.0; self.out_ch * self.out_len];
         for o in 0..self.out_ch {
             for p in 0..self.out_len {
@@ -336,10 +361,11 @@ impl MaxPool1d {
     }
 }
 
-impl Layer for MaxPool1d {
-    fn forward(&mut self, x: &[f64], _train: bool) -> Vec<f64> {
+impl MaxPool1d {
+    /// Shared pooling kernel: returns `(outputs, argmax indices)`.
+    fn pool(&self, x: &[f64]) -> (Vec<f64>, Vec<usize>) {
         let mut out = vec![0.0; self.ch * self.out_len];
-        self.arg = vec![0; self.ch * self.out_len];
+        let mut arg = vec![0; self.ch * self.out_len];
         for c in 0..self.ch {
             for p in 0..self.out_len {
                 let start = p * self.size;
@@ -352,10 +378,22 @@ impl Layer for MaxPool1d {
                     }
                 }
                 out[c * self.out_len + p] = x[best];
-                self.arg[c * self.out_len + p] = best;
+                arg[c * self.out_len + p] = best;
             }
         }
+        (out, arg)
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, x: &[f64], _train: bool) -> Vec<f64> {
+        let (out, arg) = self.pool(x);
+        self.arg = arg;
         out
+    }
+
+    fn infer(&self, x: &[f64]) -> Vec<f64> {
+        self.pool(x).0
     }
 
     fn backward(&mut self, grad: &[f64]) -> Vec<f64> {
@@ -387,6 +425,15 @@ impl Net {
         let mut cur = x.to_vec();
         for l in &mut self.layers {
             cur = l.forward(&cur, train);
+        }
+        cur
+    }
+
+    /// Pure eval-mode forward pass; safe to call from many threads at once.
+    pub fn infer(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for l in &self.layers {
+            cur = l.infer(&cur);
         }
         cur
     }
@@ -449,8 +496,8 @@ impl Net {
     }
 
     /// Predicts the class of one sample.
-    pub fn predict(&mut self, x: &[f64]) -> usize {
-        argmax(&self.forward(x, false))
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.infer(x))
     }
 
     /// Total trainable parameters.

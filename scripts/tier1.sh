@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and a warning-free
+# clippy pass over every target (benches and tests included).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,70 @@
+//! Engine determinism: a fixed-seed game must produce byte-identical
+//! results at every thread count, and with cold or warm caches. This is
+//! the contract that lets the experiment engine parallelize and cache
+//! without perturbing any figure.
+
+use proptest::prelude::*;
+use yali_core::{engine, play, ClassifierSpec, Corpus, Game, GameConfig, Transformer};
+use yali_ml::ModelKind;
+
+fn play_once(seed: u64, game: Game) -> String {
+    let corpus = Corpus::poj(3, 8, seed);
+    // Alternate models so both RNG-seeded (rf) and deterministic (knn)
+    // training paths are exercised.
+    let model = if seed.is_multiple_of(2) {
+        ModelKind::Rf
+    } else {
+        ModelKind::Knn
+    };
+    let cfg = GameConfig::game0(ClassifierSpec::histogram(model), seed)
+        .with_game(game, Transformer::Ir(yali_obf::IrObf::Ollvm));
+    format!("{:?}", play(&corpus, &cfg))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    // All thread-count manipulation lives in this single test function so
+    // no concurrently running test can observe a half-set YALI_THREADS.
+    #[test]
+    fn fixed_seed_games_are_identical_across_threads_and_caches(
+        seed in 0u64..64,
+        game_idx in 0usize..4,
+    ) {
+        let game = Game::ALL[game_idx];
+        let run = |threads: &str, cold: bool| {
+            std::env::set_var("YALI_THREADS", threads);
+            if cold {
+                engine::clear_caches();
+            }
+            let out = play_once(seed, game);
+            std::env::remove_var("YALI_THREADS");
+            out
+        };
+        let serial_cold = run("1", true);
+        let parallel_cold = run("8", true);
+        prop_assert_eq!(&serial_cold, &parallel_cold, "1 vs 8 threads, cold caches");
+        let parallel_warm = run("8", false);
+        prop_assert_eq!(&serial_cold, &parallel_warm, "cold vs warm caches");
+        let serial_warm = run("1", false);
+        prop_assert_eq!(&serial_cold, &serial_warm, "serial replay on warm caches");
+    }
+}
+
+#[test]
+fn par_map_with_matches_serial_on_real_embeddings() {
+    // The same transform + embed pipeline, explicitly at several thread
+    // counts via par_map_with (no env involved, safe to run in parallel
+    // with other tests).
+    let corpus = Corpus::poj(2, 6, 21);
+    let refs: Vec<&yali_core::Sample> = corpus.samples.iter().collect();
+    let modules = yali_core::transform_all(&refs, Transformer::None, 3);
+    let serial: Vec<String> = engine::par_map_with(1, &modules, |_, m| {
+        format!("{:?}", engine::embed_cached(m, yali_embed::EmbeddingKind::Ir2Vec))
+    });
+    for threads in [2, 4, 9] {
+        let par: Vec<String> = engine::par_map_with(threads, &modules, |_, m| {
+            format!("{:?}", engine::embed_cached(m, yali_embed::EmbeddingKind::Ir2Vec))
+        });
+        assert_eq!(serial, par, "{threads} threads");
+    }
+}

@@ -1,0 +1,273 @@
+//! Offline-vendored subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the surface its benches use: [`Criterion`] with the builder knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`), `bench_function`,
+//! benchmark groups with `bench_with_input`, [`BenchmarkId`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is real
+//! wall-clock timing: a calibration phase sizes the per-sample iteration
+//! count, then `sample_size` samples are collected and summarized as
+//! mean / median / min per iteration.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Times one benchmark body over a fixed number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One finished benchmark: its id and per-iteration nanosecond stats.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark id (`group/param` for grouped benches).
+    pub id: String,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+}
+
+/// The benchmark harness configuration and result sink.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    summaries: Vec<Summary>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            summaries: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the calibration budget before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group; ids inside become `name/param`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// All summaries collected so far, in execution order.
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        // Calibration: double the batch size until one batch costs at least
+        // ~1/5 of the warm-up budget, so sample batches are long enough to
+        // swamp timer overhead.
+        let mut iters: u64 = 1;
+        let warm_start = Instant::now();
+        let per_iter_secs = loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if warm_start.elapsed() >= self.warm_up_time
+                || b.elapsed * 5 >= self.warm_up_time
+                || iters >= 1 << 40
+            {
+                break (b.elapsed.as_secs_f64() / iters as f64).max(1e-10);
+            }
+            iters *= 2;
+        };
+
+        // Size the per-sample batch to fill the measurement budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let sample_iters = (budget / per_iter_secs).clamp(1.0, 1e12) as u64;
+
+        let mut samples_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters: sample_iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / sample_iters as f64
+            })
+            .collect();
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let min_ns = samples_ns[0];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            format_ns(min_ns),
+            format_ns(mean_ns),
+            format_ns(samples_ns[samples_ns.len() - 1]),
+        );
+        self.summaries.push(Summary {
+            id,
+            mean_ns,
+            median_ns,
+            min_ns,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A parameterized benchmark id inside a group.
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled by `parameter`'s `Display` form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            param: format!("{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input` under `name/id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.param);
+        self.criterion.run_one(full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15))
+    }
+
+    #[test]
+    fn bench_function_records_a_summary() {
+        let mut c = quick();
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let s = &c.summaries()[0];
+        assert_eq!(s.id, "spin");
+        assert!(s.mean_ns > 0.0);
+        assert!(s.min_ns <= s.mean_ns * 1.001);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        for n in [1u64, 4] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n * 50).sum::<u64>())
+            });
+        }
+        g.finish();
+        let ids: Vec<&str> = c.summaries().iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["g/1", "g/4"]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline-vendored subset of the `serde` API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of serde it uses: a [`Serialize`] trait that renders values
+//! straight to JSON text, a `#[derive(Serialize)]` macro (re-exported from
+//! the companion `serde_derive` crate), and impls for the std types the
+//! experiment results contain. `serde_json::to_string` sits on top.
+
+#![warn(missing_docs)]
+
+// The derive macro emits `impl ::serde::Serialize`, so give this crate its
+// own name for the in-crate derive test below.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A type that can render itself as JSON text.
+///
+/// This is a direct-to-JSON simplification of serde's data model: the
+/// workspace only ever serializes results to JSON, so the intermediate
+/// `Serializer` abstraction is unnecessary.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize(&self, out: &mut String);
+}
+
+/// Appends `s` to `out` as a JSON string literal with escaping.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite float; non-finite values become `null` (as serde_json).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&format!("{self}"));
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut String) {
+        write_f64(out, *self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut String) {
+        write_f64(out, *self as f64);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        write_json_str(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(out, k.as_ref());
+            out.push(':');
+            v.serialize(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives_render_as_json() {
+        assert_eq!(json(&42u64), "42");
+        assert_eq!(json(&-3i64), "-3");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&0.5f64), "0.5");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers_render_as_json() {
+        assert_eq!(json(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&Some(1u32)), "1");
+        assert_eq!(json(&None::<u32>), "null");
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        assert_eq!(json(&m), "{\"a\":1,\"b\":2}");
+    }
+
+    #[test]
+    fn derive_handles_structs_and_unit_enums() {
+        #[derive(Serialize)]
+        struct Point {
+            x: f64,
+            y: u32,
+        }
+
+        #[derive(Serialize)]
+        enum Tag {
+            #[allow(dead_code)]
+            Alpha,
+            Beta,
+        }
+
+        assert_eq!(json(&Point { x: 1.5, y: 2 }), "{\"x\":1.5,\"y\":2}");
+        assert_eq!(json(&Tag::Beta), "\"Beta\"");
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline-vendored `#[derive(Serialize)]`.
+//!
+//! The build environment has no crates.io access, so this derive is written
+//! against `proc_macro` alone (no `syn`/`quote`): it hand-parses the item's
+//! token stream and emits the impl as source text. It supports exactly the
+//! shapes the workspace serializes — structs with named fields and enums
+//! with unit variants — and fails with a clear message on anything else.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`, rendering named-field structs as JSON
+/// objects and unit-variant enums as JSON strings.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (kind, name, body) = parse_item(&tokens);
+    let impl_src = match kind {
+        ItemKind::Struct => struct_impl(&name, &named_fields(&body)),
+        ItemKind::Enum => enum_impl(&name, &unit_variants(&body)),
+    };
+    impl_src
+        .parse()
+        .expect("serde_derive generated invalid Rust")
+}
+
+enum ItemKind {
+    Struct,
+    Enum,
+}
+
+/// Finds the item keyword, its name, and its `{ ... }` body, skipping
+/// attributes (`#[...]`), doc comments, and visibility modifiers.
+fn parse_item(tokens: &[TokenTree]) -> (ItemKind, String, Vec<TokenTree>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: `#` (+ optional `!`) + bracketed group.
+                i += 1;
+                if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesized group.
+                if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                let kind = match id.to_string().as_str() {
+                    "struct" => ItemKind::Struct,
+                    "enum" => ItemKind::Enum,
+                    other => panic!("derive(Serialize): unsupported item `{other}`"),
+                };
+                let name = match &tokens[i + 1] {
+                    TokenTree::Ident(n) => n.to_string(),
+                    t => panic!("derive(Serialize): expected item name, got `{t}`"),
+                };
+                match &tokens[i + 2] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        return (kind, name, g.stream().into_iter().collect());
+                    }
+                    t => panic!(
+                        "derive(Serialize): only braced items without generics are \
+                         supported, got `{t}` after `{name}`"
+                    ),
+                }
+            }
+            t => panic!("derive(Serialize): unexpected token `{t}`"),
+        }
+    }
+    panic!("derive(Serialize): no struct or enum found");
+}
+
+/// Splits a brace-group body on top-level commas.
+fn split_on_commas(body: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut pieces = Vec::new();
+    let mut cur = Vec::new();
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                pieces.push(std::mem::take(&mut cur));
+            }
+            t => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        pieces.push(cur);
+    }
+    pieces
+}
+
+/// Strips leading attributes and visibility from one field/variant piece.
+fn strip_attrs_and_vis(piece: &[TokenTree]) -> Vec<TokenTree> {
+    let mut i = 0;
+    while i < piece.len() {
+        match &piece[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(piece.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    piece[i..].to_vec()
+}
+
+fn named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_on_commas(body)
+        .iter()
+        .map(|piece| {
+            let rest = strip_attrs_and_vis(piece);
+            match (rest.first(), rest.get(1)) {
+                (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(p)))
+                    if p.as_char() == ':' =>
+                {
+                    name.to_string()
+                }
+                _ => panic!("derive(Serialize): only named struct fields are supported"),
+            }
+        })
+        .collect()
+}
+
+fn unit_variants(body: &[TokenTree]) -> Vec<String> {
+    split_on_commas(body)
+        .iter()
+        .map(|piece| {
+            let rest = strip_attrs_and_vis(piece);
+            match (rest.first(), rest.len()) {
+                (Some(TokenTree::Ident(name)), 1) => name.to_string(),
+                _ => panic!("derive(Serialize): only unit enum variants are supported"),
+            }
+        })
+        .collect()
+}
+
+fn struct_impl(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("out.push('{');\n");
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "::serde::write_json_str(out, \"{f}\");\n\
+             out.push(':');\n\
+             ::serde::Serialize::serialize(&self.{f}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn enum_impl(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => ::serde::write_json_str(out, \"{v}\"),\n"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self, out: &mut ::std::string::String) {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    )
+}

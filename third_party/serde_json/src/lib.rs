@@ -1,0 +1,116 @@
+//! Offline-vendored subset of `serde_json`: [`to_string`] and
+//! [`to_string_pretty`] over the vendored `serde::Serialize` trait.
+//!
+//! The vendored `Serialize` renders straight to JSON text, so this crate is
+//! a thin shim that matches the upstream call signatures (including the
+//! `Result` return, which is infallible here).
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// A serialization error. The vendored encoder is infallible, so this type
+/// is never constructed; it exists to keep upstream call sites compiling.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Encodes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Encodes `value` as JSON indented with two spaces.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-indents compact JSON. Operates on the already-escaped text, so it only
+/// needs to track whether it is inside a string literal.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if chars.peek() == Some(&'}') || chars.peek() == Some(&']') {
+                    out.push(chars.next().expect("peeked"));
+                } else {
+                    depth += 1;
+                    newline(&mut out, depth);
+                }
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_string_encodes_compactly() {
+        assert_eq!(to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string("x").unwrap(), "\"x\"");
+    }
+
+    #[test]
+    fn pretty_indents_and_preserves_strings() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32, 2]);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+        // Braces inside strings are untouched.
+        let s = to_string_pretty("{:x}").unwrap();
+        assert_eq!(s, "\"{:x}\"");
+    }
+}
