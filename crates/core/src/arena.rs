@@ -9,7 +9,9 @@
 use crate::engine;
 use crate::transformer::Transformer;
 use yali_embed::{Embedding, EmbeddingKind};
+use yali_ir::Fnv64;
 use yali_minic::Program;
+use yali_ml::serialize::{ByteReader, ByteWriter};
 use yali_ml::{Dgcnn, DgcnnConfig, GraphSample, ModelKind, TrainConfig, VectorClassifier};
 
 /// One labelled solution: a source program plus its problem class.
@@ -218,6 +220,165 @@ impl TrainedClassifier {
             TrainedClassifier::Graph(model, _) => model.memory_bytes(),
         }
     }
+
+    /// Serializes the trained classifier for the engine's
+    /// [`engine::ModelCache`]. Weights travel as `f64` bit patterns, so
+    /// the deserialized classifier's predictions are byte-identical.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            TrainedClassifier::Vector(model, kind) => {
+                w.put_u8(1);
+                w.put_u8(embed_tag(*kind));
+                w.put_bytes(&model.to_bytes());
+            }
+            TrainedClassifier::Graph(model, kind) => {
+                w.put_u8(2);
+                w.put_u8(embed_tag(*kind));
+                w.put_bytes(&model.to_bytes());
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a classifier written by [`TrainedClassifier::to_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed blob (a model-store bug, not an input error).
+    pub fn from_bytes(bytes: &[u8]) -> TrainedClassifier {
+        let mut r = ByteReader::new(bytes);
+        let tag = r.get_u8();
+        let kind = embed_from_tag(r.get_u8());
+        let blob = r.get_bytes();
+        assert!(r.is_done(), "trailing bytes in model blob");
+        match tag {
+            1 => TrainedClassifier::Vector(VectorClassifier::from_bytes(&blob), kind),
+            2 => TrainedClassifier::Graph(Box::new(Dgcnn::from_bytes(&blob)), kind),
+            t => panic!("unknown trained-classifier tag {t}"),
+        }
+    }
+}
+
+fn embed_tag(kind: EmbeddingKind) -> u8 {
+    EmbeddingKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("every kind is in ALL") as u8
+}
+
+fn embed_from_tag(tag: u8) -> EmbeddingKind {
+    EmbeddingKind::ALL[tag as usize]
+}
+
+/// Digest of everything [`TrainedClassifier::fit`] consumes: the design
+/// point (embedding, model, training knobs) and the training set (module
+/// content hashes, labels, class count). Two calls with equal keys train
+/// byte-identical classifiers.
+fn classifier_key(
+    spec: &ClassifierSpec,
+    modules: &[yali_ir::Module],
+    labels: &[usize],
+    n_classes: usize,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("classifier-v1");
+    h.write_str(spec.embedding.name());
+    h.write_str(spec.model.name());
+    h.write_u64(spec.train.seed);
+    h.write_u64(spec.train.epochs as u64);
+    h.write_u64(spec.train.n_trees as u64);
+    h.write_u64(spec.train.k as u64);
+    if let ModelChoice::Dgcnn = spec.model {
+        // DGCNN knobs only matter for graph models; hashing them always
+        // would needlessly split otherwise-identical vector design points.
+        h.write_u64(spec.dgcnn.channels.len() as u64);
+        for &c in &spec.dgcnn.channels {
+            h.write_u64(c as u64);
+        }
+        h.write_u64(spec.dgcnn.k as u64);
+        h.write_u64(spec.dgcnn.dense as u64);
+        h.write_u64(spec.dgcnn.dropout.to_bits());
+        h.write_u64(spec.dgcnn.epochs as u64);
+        h.write_u64(spec.dgcnn.batch as u64);
+        h.write_u64(spec.dgcnn.lr.to_bits());
+        h.write_u64(spec.dgcnn.seed);
+    }
+    h.write_u64(n_classes as u64);
+    h.write_u64(modules.len() as u64);
+    for m in modules {
+        h.write_u64(m.content_hash());
+    }
+    for &l in labels {
+        h.write_u64(l as u64);
+    }
+    h.finish()
+}
+
+/// [`TrainedClassifier::fit`] through the engine's model store: a sweep
+/// that revisits a design point (same spec, same training modules) loads
+/// the serialized model instead of retraining. Under `YALI_CACHE=0` this
+/// is exactly `fit`.
+pub fn fit_classifier_cached(
+    spec: &ClassifierSpec,
+    modules: &[yali_ir::Module],
+    labels: &[usize],
+    n_classes: usize,
+) -> TrainedClassifier {
+    if !engine::caching_enabled() {
+        return TrainedClassifier::fit(spec, modules, labels, n_classes);
+    }
+    let key = classifier_key(spec, modules, labels, n_classes);
+    let store = engine::ModelCache::global();
+    if let Some(blob) = store.get(key) {
+        return TrainedClassifier::from_bytes(&blob);
+    }
+    let clf = TrainedClassifier::fit(spec, modules, labels, n_classes);
+    store.insert(key, clf.to_bytes());
+    clf
+}
+
+/// [`VectorClassifier::fit`] through the engine's model store, for
+/// experiments that train directly on feature vectors (transformer
+/// discovery, the malware scanner). The key digests the full feature
+/// matrix via `f64` bit patterns, so only exact re-training is answered
+/// from the store.
+pub fn fit_vector_cached(
+    model: ModelKind,
+    x: &[Vec<f64>],
+    y: &[usize],
+    n_classes: usize,
+    config: &TrainConfig,
+) -> VectorClassifier {
+    if !engine::caching_enabled() {
+        return VectorClassifier::fit(model, x, y, n_classes, config);
+    }
+    let mut h = Fnv64::new();
+    h.write_str("vector-v1");
+    h.write_str(model.name());
+    h.write_u64(config.seed);
+    h.write_u64(config.epochs as u64);
+    h.write_u64(config.n_trees as u64);
+    h.write_u64(config.k as u64);
+    h.write_u64(n_classes as u64);
+    h.write_u64(x.len() as u64);
+    for row in x {
+        h.write_u64(row.len() as u64);
+        for &v in row {
+            h.write_u64(v.to_bits());
+        }
+    }
+    for &l in y {
+        h.write_u64(l as u64);
+    }
+    let key = h.finish();
+    let store = engine::ModelCache::global();
+    if let Some(blob) = store.get(key) {
+        return VectorClassifier::from_bytes(&blob);
+    }
+    let clf = VectorClassifier::fit(model, x, y, n_classes, config);
+    store.insert(key, clf.to_bytes());
+    clf
 }
 
 /// Materializes transformed IR modules for a set of samples, in parallel

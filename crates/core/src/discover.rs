@@ -11,7 +11,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use yali_ml::{ModelKind, TrainConfig, VectorClassifier};
+use yali_ml::{ModelKind, TrainConfig};
 
 /// The four dataset constructions of Figure 14.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,7 +123,7 @@ pub fn discover_transformer(
     let (tr, te) = idx.split_at(cut);
     let xtr: Vec<Vec<f64>> = tr.iter().map(|&i| x[i].clone()).collect();
     let ytr: Vec<usize> = tr.iter().map(|&i| y[i]).collect();
-    let clf = VectorClassifier::fit(
+    let clf = crate::arena::fit_vector_cached(
         ModelKind::Rf,
         &xtr,
         &ytr,

@@ -7,15 +7,17 @@
 //! game embeds each module once to train and once per challenge, and the
 //! benchmark sweeps replay the same modules across many design points.
 //!
-//! Two primitives exploit that without touching any experiment's results:
+//! Three primitives exploit that without touching any experiment's
+//! results:
 //!
-//! - [`par_map`] fans a slice out over `std::thread::scope` workers and
-//!   returns outputs **in input order**. Each `(index, item)` pair is
-//!   handed to the same closure it would meet serially, so any experiment
-//!   whose per-item work is a pure function of `(index, item)` produces
-//!   byte-identical results at every thread count (including 1).
-//!   Worker count comes from the `YALI_THREADS` environment variable, or
-//!   the machine's available parallelism when unset.
+//! - [`par_map`] (re-exported from [`yali_par`], where `yali-ml`'s
+//!   data-parallel trainers share it) fans a slice out over
+//!   `std::thread::scope` workers and returns outputs **in input order**.
+//!   Each `(index, item)` pair is handed to the same closure it would meet
+//!   serially, so any experiment whose per-item work is a pure function of
+//!   `(index, item)` produces byte-identical results at every thread count
+//!   (including 1). Worker count comes from the `YALI_THREADS` environment
+//!   variable, or the machine's available parallelism when unset.
 //! - [`EmbedCache`] memoizes [`EmbeddingKind::embed`] keyed by the 64-bit
 //!   structural hash of the module ([`yali_ir::Module::content_hash`])
 //!   plus the embedding kind. The hash ignores module names and arena
@@ -27,127 +29,24 @@
 //!   the complete input of that pure function. Sweeps that pit many
 //!   models against the same transformed corpus stop re-obfuscating it
 //!   per design point.
+//! - [`ModelCache`] is the trained-model store: serialized classifier
+//!   blobs keyed by a digest of the complete training input (embedding,
+//!   model, training knobs, training-set content hashes, labels). Arena,
+//!   game, discover, and malware sweeps that revisit a design point load
+//!   the fitted model instead of retraining it; weights round-trip via
+//!   `f64::to_bits`, so a loaded model classifies byte-identically to the
+//!   one the retrain would produce.
+//!
+//! `YALI_CACHE=0` bypasses all three caches.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::transformer::Transformer;
 use yali_embed::{Embedding, EmbeddingKind};
 
-/// Number of worker threads: the `YALI_THREADS` environment variable when
-/// set to a positive integer, otherwise the machine's available
-/// parallelism (1 when that is unknown).
-pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("YALI_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Maps `f` over `items` on [`worker_count`] scoped threads, preserving
-/// input order. `f` receives `(index, &item)`; determinism is the caller's
-/// bargain: keep `f` a pure function of its arguments and the output is
-/// identical at every thread count.
-pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(usize, &T) -> U + Sync,
-{
-    par_map_with(worker_count(), items, f)
-}
-
-/// [`par_map`] with an explicit thread count (tests pin this to compare
-/// thread counts without touching the environment).
-pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(usize, &T) -> U + Sync,
-{
-    let n = items.len();
-    if threads <= 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    // Small chunks + an atomic cursor give dynamic load balancing (module
-    // sizes vary wildly) while each chunk stays contiguous, so stitching
-    // the pieces back in start order restores the serial output exactly.
-    let chunk = (n / (threads * 4)).max(1);
-    let n_chunks = n.div_ceil(chunk);
-    let next = AtomicUsize::new(0);
-    let mut pieces: Vec<(usize, Vec<U>)> = std::thread::scope(|s| {
-        let f = &f;
-        let next = &next;
-        let handles: Vec<_> = (0..threads.min(n_chunks))
-            .map(|_| {
-                s.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= n_chunks {
-                            break;
-                        }
-                        let start = c * chunk;
-                        let end = (start + chunk).min(n);
-                        let out: Vec<U> = items[start..end]
-                            .iter()
-                            .enumerate()
-                            .map(|(j, t)| f(start + j, t))
-                            .collect();
-                        local.push((start, out));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("engine worker panicked"))
-            .collect()
-    });
-    pieces.sort_unstable_by_key(|p| p.0);
-    let mut out = Vec::with_capacity(n);
-    for (_, mut v) in pieces {
-        out.append(&mut v);
-    }
-    out
-}
-
-/// Applies `f` to every element in place, in parallel. Each worker owns a
-/// contiguous sub-slice, so the effect equals the serial loop whenever `f`
-/// is a pure function of `(index, element)`.
-pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
-where
-    T: Send,
-    F: Fn(usize, &mut T) + Sync,
-{
-    let n = items.len();
-    let threads = worker_count();
-    if threads <= 1 || n <= 1 {
-        for (i, t) in items.iter_mut().enumerate() {
-            f(i, t);
-        }
-        return;
-    }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|s| {
-        let f = &f;
-        for (ci, part) in items.chunks_mut(chunk).enumerate() {
-            s.spawn(move || {
-                for (j, t) in part.iter_mut().enumerate() {
-                    f(ci * chunk + j, t);
-                }
-            });
-        }
-    });
-}
+pub use yali_par::{par_for_each_mut, par_map, par_map_with, worker_count};
 
 /// Snapshot of [`EmbedCache`] counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -364,10 +263,97 @@ pub fn transform_cached(program: &yali_minic::Program, t: Transformer, seed: u64
     TransformCache::global().apply(program, t, seed)
 }
 
-/// Clears both global caches (benchmarks use this to measure cold starts).
+/// The content-addressed trained-model store.
+///
+/// Values are serialized model blobs ([`crate::arena::TrainedClassifier`]
+/// and `VectorClassifier` byte encodings); keys digest the complete
+/// training input, so a hit deserializes to the model the retrain would
+/// have produced, bit for bit. Blobs are shared via `Arc`: a hit clones a
+/// pointer, not the weights.
+pub struct ModelCache {
+    shards: Vec<Mutex<HashMap<u64, Arc<Vec<u8>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        ModelCache::new()
+    }
+}
+
+impl ModelCache {
+    /// An empty store.
+    pub fn new() -> ModelCache {
+        ModelCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide store used by the experiment drivers.
+    pub fn global() -> &'static ModelCache {
+        static GLOBAL: OnceLock<ModelCache> = OnceLock::new();
+        GLOBAL.get_or_init(ModelCache::new)
+    }
+
+    /// Looks up a model blob, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<Vec<u8>>> {
+        let found = self.shards[(key as usize) % SHARDS]
+            .lock()
+            .unwrap()
+            .get(&key)
+            .cloned();
+        match found {
+            Some(b) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(b)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly trained model's blob (first writer wins; a
+    /// concurrent trainer of the same key stores once).
+    pub fn insert(&self, key: u64, bytes: Vec<u8>) {
+        let mut shard = self.shards[(key as usize) % SHARDS].lock().unwrap();
+        if shard.insert(key, Arc::new(bytes)).is_none() {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
+        }
+    }
+
+    /// Empties the store and zeroes the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Clears all global caches (benchmarks use this to measure cold starts).
 pub fn clear_caches() {
     EmbedCache::global().clear();
     TransformCache::global().clear();
+    ModelCache::global().clear();
 }
 
 #[cfg(test)]
@@ -502,6 +488,20 @@ mod tests {
         cache.apply(&p1, Transformer::None, 1); // new transformer
         let s = cache.stats();
         assert_eq!((s.hits, s.entries), (0, 4));
+    }
+
+    #[test]
+    fn model_cache_counts_and_clears() {
+        let cache = ModelCache::new();
+        assert!(cache.get(42).is_none());
+        cache.insert(42, vec![1, 2, 3]);
+        cache.insert(42, vec![1, 2, 3]); // same key: no second entry
+        assert_eq!(cache.get(42).unwrap().as_slice(), &[1, 2, 3]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 1, 1, 1));
+        cache.clear();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (0, 0, 0, 0));
     }
 
     #[test]

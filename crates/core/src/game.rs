@@ -7,7 +7,7 @@
 //! | 2 (symmetric) | evader-transformed 0.8 split | yes | no |
 //! | 3 (asymmetric) | normalizer-transformed 0.8 split | yes | yes (challenges too) |
 
-use crate::arena::{transform_all, ClassifierSpec, Corpus, TrainedClassifier};
+use crate::arena::{fit_classifier_cached, transform_all, ClassifierSpec, Corpus};
 use crate::transformer::Transformer;
 use serde::Serialize;
 
@@ -113,7 +113,10 @@ pub fn play(corpus: &Corpus, config: &GameConfig) -> GameResult {
         Game::Game3 => config.normalizer,
     };
     let train_modules = transform_all(&train, train_transform, config.seed ^ 0x7431);
-    let clf = TrainedClassifier::fit(
+    // Through the model store: replayed design points (sweeps, repeated
+    // games on one corpus) load the trained classifier instead of
+    // retraining it.
+    let clf = fit_classifier_cached(
         &config.classifier,
         &train_modules,
         &train_labels,

@@ -7,6 +7,7 @@
 
 use crate::linear::Scaler;
 use crate::nn::{Conv1d, Dense, Dropout, MaxPool1d, Net, Relu};
+use crate::serialize::{ByteReader, ByteWriter};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -76,12 +77,12 @@ pub(crate) fn build_tail(
     let flat = conv2.output_size();
     vec![
         Box::new(conv1),
-        Box::new(Relu::default()),
+        Box::new(Relu),
         Box::new(pool),
         Box::new(conv2),
-        Box::new(Relu::default()),
+        Box::new(Relu),
         Box::new(Dense::new(flat, config.dense, config.lr, rng)),
-        Box::new(Relu::default()),
+        Box::new(Relu),
         Box::new(Dropout::new(config.dropout, config.seed ^ 0xD0)),
         Box::new(Dense::new(config.dense, n_classes, config.lr, rng)),
     ]
@@ -115,6 +116,20 @@ impl Cnn {
     /// Approximate resident bytes.
     pub fn memory_bytes(&self) -> usize {
         self.net.num_params() * 8 * 3
+    }
+
+    /// Serializes the fitted CNN for the model store.
+    pub fn write(&self, out: &mut ByteWriter) {
+        self.net.write(out);
+        self.scaler.write(out);
+    }
+
+    /// Reads a fitted CNN back from a model-store blob.
+    pub fn read(r: &mut ByteReader) -> Cnn {
+        Cnn {
+            net: Net::read(r),
+            scaler: Scaler::read(r),
+        }
     }
 }
 

@@ -12,10 +12,19 @@
 //!    node), max pooling, a second 1-D convolution;
 //! 4. a dense layer with dropout and a final dense classifier.
 //!
-//! Everything is trained end to end with manual backpropagation.
+//! Everything is trained end to end with manual backpropagation. Training
+//! follows the same deterministic data-parallel scheme as [`Net::fit`]:
+//! minibatches split into fixed micro-batches, per-micro gradients computed
+//! purely (`&self`) on worker threads — graph passes per sample, the tail
+//! as one batched GEMM pass — and merged in index order, so the fitted
+//! model is byte-identical at every thread count.
 
-use crate::linalg::{argmax, Adam, Matrix};
-use crate::nn::{Conv1d, Dense, Dropout, Layer, MaxPool1d, Net, Relu};
+use crate::linalg::{argmax, axpy, Adam, Matrix};
+use crate::nn::{
+    mix3, step_threads, BatchCtx, Conv1d, Dense, Dropout, Layer, LayerGrads, MaxPool1d, Net, Relu,
+    MICRO_BATCH,
+};
+use crate::serialize::{ByteReader, ByteWriter};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -73,9 +82,11 @@ impl Default for DgcnnConfig {
     }
 }
 
+/// One graph-convolution layer. Gradients live in trainer-owned buffers
+/// (like [`LayerGrads`] for the tail); the optimizer's moment buffers are
+/// hoisted in [`Adam`], so a training step allocates nothing.
 struct GraphConv {
     w: Matrix, // d_in × d_out
-    gw: Matrix,
     opt: Adam,
 }
 
@@ -159,12 +170,29 @@ struct ForwardCache {
 }
 
 impl Dgcnn {
-    /// Trains a DGCNN on graph samples with labels in `0..n_classes`.
+    /// Trains a DGCNN on graph samples with labels in `0..n_classes`,
+    /// using [`yali_par::worker_count`] threads.
     ///
     /// # Panics
     ///
     /// Panics on an empty training set or inconsistent feature widths.
     pub fn fit(graphs: &[GraphSample], y: &[usize], n_classes: usize, config: &DgcnnConfig) -> Dgcnn {
+        Dgcnn::fit_with_threads(graphs, y, n_classes, config, yali_par::worker_count())
+    }
+
+    /// [`Dgcnn::fit`] with an explicit thread count; the fitted model is
+    /// byte-identical at every `threads` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set or inconsistent feature widths.
+    pub fn fit_with_threads(
+        graphs: &[GraphSample],
+        y: &[usize],
+        n_classes: usize,
+        config: &DgcnnConfig,
+        threads: usize,
+    ) -> Dgcnn {
         assert!(!graphs.is_empty(), "empty training set");
         assert_eq!(graphs.len(), y.len());
         let in_dim = graphs[0].feats.first().map(Vec::len).unwrap_or(1);
@@ -175,7 +203,6 @@ impl Dgcnn {
             let scale = (2.0 / (d + c) as f64).sqrt();
             convs.push(GraphConv {
                 w: Matrix::from_fn(d, c, |_, _| (rng.gen::<f64>() * 2.0 - 1.0) * scale),
-                gw: Matrix::zeros(d, c),
                 opt: Adam::new(d * c, config.lr),
             });
             d = c;
@@ -193,12 +220,12 @@ impl Dgcnn {
         let flat2 = conv2.output_size();
         let tail_layers: Vec<Box<dyn Layer>> = vec![
             Box::new(conv1),
-            Box::new(Relu::default()),
+            Box::new(Relu),
             Box::new(pool),
             Box::new(conv2),
-            Box::new(Relu::default()),
+            Box::new(Relu),
             Box::new(Dense::new(flat2, config.dense, config.lr, &mut rng)),
-            Box::new(Relu::default()),
+            Box::new(Relu),
             Box::new(Dropout::new(config.dropout, config.seed ^ 0xD6)),
             Box::new(Dense::new(config.dense, n_classes, config.lr, &mut rng)),
         ];
@@ -212,37 +239,85 @@ impl Dgcnn {
             total_ch,
             in_dim,
         };
-        // Training loop.
+        // Deterministic data-parallel training: the minibatch decomposition
+        // into MICRO_BATCH-sample micro-batches is fixed, micro-gradients
+        // are computed purely on worker threads, and the merge walks them
+        // in index order — so the weights do not depend on `threads`.
+        let seed = config.seed ^ 0xBEEF;
         let mut order: Vec<usize> = (0..graphs.len()).collect();
-        let mut rng2 = ChaCha8Rng::seed_from_u64(config.seed ^ 0xBEEF);
-        for _ in 0..config.epochs {
+        let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+        let mut tail_acc = model.tail.grad_buffers();
+        let mut conv_acc: Vec<Matrix> = model
+            .convs
+            .iter()
+            .map(|c| Matrix::zeros(c.w.rows, c.w.cols))
+            .collect();
+        let params = model.num_params();
+        for epoch in 0..config.epochs {
             order.shuffle(&mut rng2);
-            for chunk in order.chunks(config.batch) {
-                for &i in chunk {
-                    let cache = model.forward(&graphs[i], true);
-                    let logits = model.tail.forward(&cache.flat, true);
-                    let (_, grad) = Net::ce_grad(&logits, y[i]);
-                    let dflat = model.tail.backward(&grad);
-                    model.backward_graph(&cache, &dflat);
-                }
-                model.tail.step(chunk.len());
-                for conv in &mut model.convs {
-                    let n = conv.gw.data.len();
-                    let s = 1.0 / chunk.len().max(1) as f64;
-                    for g in &mut conv.gw.data {
-                        *g *= s;
+            for chunk in order.chunks(config.batch.max(1)) {
+                let micros: Vec<&[usize]> = chunk.chunks(MICRO_BATCH).collect();
+                let t = step_threads(threads, micros.len(), params * chunk.len());
+                let results = yali_par::par_map_with(t, &micros, |_, m| {
+                    model.micro_grads(graphs, y, m, epoch, seed)
+                });
+                for (tg, cg) in results {
+                    for (a, g) in tail_acc.iter_mut().zip(&tg) {
+                        a.add(g);
                     }
-                    let mut w = std::mem::take(&mut conv.w.data);
-                    conv.opt.step(&mut w, &conv.gw.data);
-                    conv.w.data = w;
-                    conv.gw.data = vec![0.0; n];
+                    for (a, g) in conv_acc.iter_mut().zip(&cg) {
+                        axpy(1.0, &g.data, &mut a.data);
+                    }
+                }
+                let s = 1.0 / chunk.len().max(1) as f64;
+                model.tail.step(&mut tail_acc, chunk.len());
+                for (conv, acc) in model.convs.iter_mut().zip(conv_acc.iter_mut()) {
+                    // The fused step folds the 1/batch scale into the Adam
+                    // update and the accumulator is zeroed in place — no
+                    // per-step reallocation.
+                    conv.opt.step_scaled(&mut conv.w.data, &acc.data, s);
+                    acc.data.iter_mut().for_each(|g| *g = 0.0);
                 }
             }
         }
         model
     }
 
-    fn forward(&self, g: &GraphSample, _train: bool) -> ForwardCache {
+    /// Gradients of one micro-batch: per-sample graph passes, one batched
+    /// tail pass. Pure (`&self`), so micro-batches run on worker threads.
+    fn micro_grads(
+        &self,
+        graphs: &[GraphSample],
+        y: &[usize],
+        idxs: &[usize],
+        epoch: usize,
+        seed: u64,
+    ) -> (Vec<LayerGrads>, Vec<Matrix>) {
+        let caches: Vec<ForwardCache> = idxs.iter().map(|&i| self.forward_graph(&graphs[i])).collect();
+        let flats: Vec<&[f64]> = caches.iter().map(|c| c.flat.as_slice()).collect();
+        let input = Matrix::from_rows(&flats);
+        let ctx = BatchCtx::train(
+            idxs.iter().map(|&i| mix3(seed, epoch as u64, i as u64)).collect(),
+        );
+        let (logits, tail_caches) = self.tail.forward_batch(input, &ctx);
+        let ys: Vec<usize> = idxs.iter().map(|&i| y[i]).collect();
+        let (_, grad) = Net::batch_loss_grad(&logits, &ys);
+        let mut tail_grads = self.tail.grad_buffers();
+        let dflat = self.tail.backward_batch(&tail_caches, grad, &mut tail_grads);
+        let mut conv_grads: Vec<Matrix> = self
+            .convs
+            .iter()
+            .map(|c| Matrix::zeros(c.w.rows, c.w.cols))
+            .collect();
+        for (r, cache) in caches.iter().enumerate() {
+            self.graph_grads(cache, dflat.row(r), &mut conv_grads);
+        }
+        (tail_grads, conv_grads)
+    }
+
+    /// Pure forward pass of the graph half (graph convolutions plus
+    /// SortPooling); the tail consumes `flat`.
+    fn forward_graph(&self, g: &GraphSample) -> ForwardCache {
         let n = g.feats.len().max(1);
         let neigh = if g.feats.is_empty() {
             vec![Vec::new()]
@@ -289,9 +364,10 @@ impl Dgcnn {
         }
     }
 
-    /// Backprop from the flattened SortPooling gradient into the graph
-    /// convolution weights.
-    fn backward_graph(&mut self, cache: &ForwardCache, dflat: &[f64]) {
+    /// Backprop from the flattened SortPooling gradient into per-layer
+    /// graph-convolution weight gradients, accumulated into `acc`. Pure
+    /// (`&self`): the trainer owns the accumulators.
+    fn graph_grads(&self, cache: &ForwardCache, dflat: &[f64], acc: &mut [Matrix]) {
         let n = cache.zs[0].rows;
         // Per-layer pooled gradients.
         let mut dz: Vec<Matrix> = self
@@ -321,30 +397,78 @@ impl Dgcnn {
             }
             // gW += S^T ds
             let gw = cache.aggs[li].t_matmul(&ds);
-            for (acc, g) in self.convs[li].gw.data.iter_mut().zip(&gw.data) {
-                *acc += g;
-            }
+            axpy(1.0, &gw.data, &mut acc[li].data);
             if li > 0 {
                 // dH_{i-1} = Â^T (ds W^T)
                 let dh = ds.matmul_t(&self.convs[li].w);
                 let routed = aggregate_t(&dh, &cache.neigh);
-                for (acc, g) in dz[li - 1].data.iter_mut().zip(&routed.data) {
-                    *acc += g;
-                }
+                axpy(1.0, &routed.data, &mut dz[li - 1].data);
             }
         }
     }
 
     /// Predicts the class of one graph. Pure: safe to call concurrently.
     pub fn predict(&self, g: &GraphSample) -> usize {
-        let cache = self.forward(g, false);
+        let cache = self.forward_graph(g);
         argmax(&self.tail.infer(&cache.flat))
+    }
+
+    /// Total trainable parameters (graph convolutions plus the tail).
+    pub fn num_params(&self) -> usize {
+        let conv_params: usize = self.convs.iter().map(|c| c.w.data.len()).sum();
+        conv_params + self.tail.num_params()
     }
 
     /// Approximate resident bytes (parameters + Adam moments).
     pub fn memory_bytes(&self) -> usize {
-        let conv_params: usize = self.convs.iter().map(|c| c.w.data.len()).sum();
-        (conv_params + self.tail.num_params()) * 8 * 3
+        self.num_params() * 8 * 3
+    }
+
+    /// Serializes the fitted model for the experiment engine's model
+    /// store. Weights round-trip via [`f64::to_bits`], so a deserialized
+    /// model classifies byte-identically to the original.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.k);
+        w.put_usize(self.total_ch);
+        w.put_usize(self.in_dim);
+        w.put_usize(self.convs.len());
+        for c in &self.convs {
+            w.put_f64(c.opt.lr);
+            w.put_matrix(&c.w);
+        }
+        self.tail.write(&mut w);
+        w.into_bytes()
+    }
+
+    /// Deserializes a model written by [`Dgcnn::to_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed blob (a model-store bug, not an input error).
+    pub fn from_bytes(bytes: &[u8]) -> Dgcnn {
+        let mut r = ByteReader::new(bytes);
+        let k = r.get_usize();
+        let total_ch = r.get_usize();
+        let in_dim = r.get_usize();
+        let n_convs = r.get_usize();
+        let convs = (0..n_convs)
+            .map(|_| {
+                let lr = r.get_f64();
+                let w = r.get_matrix();
+                let opt = Adam::new(w.data.len(), lr);
+                GraphConv { w, opt }
+            })
+            .collect();
+        let tail = Net::read(&mut r);
+        assert!(r.is_done(), "trailing bytes in model blob");
+        Dgcnn {
+            convs,
+            tail,
+            k,
+            total_ch,
+            in_dim,
+        }
     }
 }
 
@@ -466,5 +590,43 @@ mod tests {
         };
         let m = Dgcnn::fit(&gs, &y, 2, &cfg);
         assert!(m.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn training_is_byte_identical_across_thread_counts() {
+        let (gs, y) = structured_graphs(12);
+        // Heavy enough that params × batch crosses the PAR_MIN_WORK gate,
+        // so the threaded runs really take the parallel path.
+        let cfg = DgcnnConfig {
+            epochs: 2,
+            k: 6,
+            batch: 24,
+            dense: 128,
+            dropout: 0.3,
+            ..Default::default()
+        };
+        let want = Dgcnn::fit_with_threads(&gs, &y, 2, &cfg, 1).to_bytes();
+        for threads in [2usize, 8] {
+            let got = Dgcnn::fit_with_threads(&gs, &y, 2, &cfg, threads).to_bytes();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips_predictions() {
+        let (gs, y) = structured_graphs(6);
+        let cfg = DgcnnConfig {
+            epochs: 5,
+            k: 6,
+            channels: vec![8, 8, 1],
+            dense: 32,
+            ..Default::default()
+        };
+        let m = Dgcnn::fit(&gs, &y, 2, &cfg);
+        let restored = Dgcnn::from_bytes(&m.to_bytes());
+        for g in &gs {
+            assert_eq!(m.predict(g), restored.predict(g));
+        }
+        assert_eq!(restored.to_bytes(), m.to_bytes(), "re-serialization is stable");
     }
 }

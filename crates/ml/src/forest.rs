@@ -1,6 +1,7 @@
 //! Random forest (`rf`): bagged CART trees with per-split feature
 //! subsampling — the model the paper finds hardest to beat.
 
+use crate::serialize::{ByteReader, ByteWriter};
 use crate::tree::{DecisionTree, TreeConfig};
 use rand::Rng;
 use rand::SeedableRng;
@@ -81,6 +82,23 @@ impl RandomForest {
     /// comparison): ~40 bytes per tree node.
     pub fn memory_bytes(&self) -> usize {
         self.num_nodes() * 40
+    }
+
+    /// Serializes the forest for the model store.
+    pub fn write(&self, out: &mut ByteWriter) {
+        out.put_usize(self.n_classes);
+        out.put_usize(self.trees.len());
+        for t in &self.trees {
+            t.write(out);
+        }
+    }
+
+    /// Reads a forest back from a model-store blob.
+    pub fn read(r: &mut ByteReader) -> RandomForest {
+        let n_classes = r.get_usize();
+        let n = r.get_usize();
+        let trees = (0..n).map(|_| DecisionTree::read(r)).collect();
+        RandomForest { trees, n_classes }
     }
 }
 

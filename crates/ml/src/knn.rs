@@ -2,6 +2,7 @@
 //! stochastic training at all.
 
 use crate::linalg::dist2;
+use crate::serialize::{ByteReader, ByteWriter};
 
 /// A fitted (memorized) kNN classifier.
 #[derive(Debug, Clone)]
@@ -49,6 +50,27 @@ impl Knn {
     /// Approximate resident bytes (the stored training matrix).
     pub fn memory_bytes(&self) -> usize {
         self.x.iter().map(|r| r.len() * 8).sum::<usize>() + self.y.len() * 8
+    }
+
+    /// Serializes the memorized training set for the model store.
+    pub fn write(&self, out: &mut ByteWriter) {
+        out.put_usize(self.k);
+        out.put_usize(self.n_classes);
+        out.put_usizes(&self.y);
+        out.put_usize(self.x.len());
+        for row in &self.x {
+            out.put_f64s(row);
+        }
+    }
+
+    /// Reads a classifier back from a model-store blob.
+    pub fn read(r: &mut ByteReader) -> Knn {
+        let k = r.get_usize();
+        let n_classes = r.get_usize();
+        let y = r.get_usizes();
+        let n = r.get_usize();
+        let x = (0..n).map(|_| r.get_f64s()).collect();
+        Knn { k, x, y, n_classes }
     }
 }
 

@@ -39,12 +39,14 @@ pub mod linear;
 pub mod metrics;
 pub mod mlp;
 pub mod nn;
+pub mod serialize;
 pub mod tree;
 
 pub use cnn::{Cnn, CnnConfig};
 pub use dgcnn::{Dgcnn, DgcnnConfig, GraphSample};
 pub use forest::{ForestConfig, RandomForest};
 pub use knn::Knn;
+pub use linalg::Matrix;
 pub use linear::{LinearConfig, LinearLoss, LinearModel};
 pub use metrics::{accuracy, confusion, macro_f1};
 pub use mlp::{Mlp, MlpConfig};
@@ -97,8 +99,9 @@ impl std::fmt::Display for ModelKind {
     }
 }
 
-/// Scale/seed knobs shared by every model's trainer.
-#[derive(Debug, Clone)]
+/// Scale/seed knobs shared by every model's trainer. Hashable so the
+/// experiment engine's trained-model store can key on it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TrainConfig {
     /// RNG seed.
     pub seed: u64,
@@ -233,6 +236,55 @@ impl VectorClassifier {
             VectorClassifier::Cnn(m) => m.memory_bytes(),
         }
     }
+
+    /// Serializes the trained classifier for the experiment engine's
+    /// model store. Weights round-trip via [`f64::to_bits`], so a
+    /// deserialized model classifies byte-identically to the original.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = serialize::ByteWriter::new();
+        match self {
+            VectorClassifier::Rf(m) => {
+                w.put_u8(1);
+                m.write(&mut w);
+            }
+            VectorClassifier::Linear(m) => {
+                w.put_u8(2);
+                m.write(&mut w);
+            }
+            VectorClassifier::Knn(m) => {
+                w.put_u8(3);
+                m.write(&mut w);
+            }
+            VectorClassifier::Mlp(m) => {
+                w.put_u8(4);
+                m.write(&mut w);
+            }
+            VectorClassifier::Cnn(m) => {
+                w.put_u8(5);
+                m.write(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a classifier written by [`VectorClassifier::to_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed blob (a model-store bug, not an input error).
+    pub fn from_bytes(bytes: &[u8]) -> VectorClassifier {
+        let mut r = serialize::ByteReader::new(bytes);
+        let out = match r.get_u8() {
+            1 => VectorClassifier::Rf(RandomForest::read(&mut r)),
+            2 => VectorClassifier::Linear(LinearModel::read(&mut r)),
+            3 => VectorClassifier::Knn(Knn::read(&mut r)),
+            4 => VectorClassifier::Mlp(Mlp::read(&mut r)),
+            5 => VectorClassifier::Cnn(Cnn::read(&mut r)),
+            tag => panic!("unknown classifier tag {tag} in model blob"),
+        };
+        assert!(r.is_done(), "trailing bytes in model blob");
+        out
+    }
 }
 
 /// Splits `(x, y)` into train/test by taking every sample whose index mod
@@ -317,6 +369,26 @@ mod tests {
         let b = train_test_split(&x, &y, 0.8, 7);
         assert_eq!(a.1, b.1);
         assert_eq!(a.3, b.3);
+    }
+
+    #[test]
+    fn serialization_round_trips_every_model_kind() {
+        let (x, y) = blobs(24, 3);
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        for kind in ModelKind::ALL {
+            let clf = VectorClassifier::fit(kind, &x, &y, 3, &cfg);
+            let bytes = clf.to_bytes();
+            let restored = VectorClassifier::from_bytes(&bytes);
+            assert_eq!(
+                clf.predict_all(&x),
+                restored.predict_all(&x),
+                "{kind} predictions must survive the round trip"
+            );
+            assert_eq!(restored.to_bytes(), bytes, "{kind} re-serialization is stable");
+        }
     }
 
     #[test]

@@ -1,8 +1,33 @@
-//! A minimal dense linear-algebra kernel: row-major matrices and the
-//! handful of operations the neural models need.
+//! Dense linear-algebra kernels: row-major matrices plus the GEMM and
+//! optimizer primitives the neural models train on.
+//!
+//! The three products ([`Matrix::matmul`], [`Matrix::t_matmul`],
+//! [`Matrix::matmul_t`]) all reduce to one register-blocked kernel in the
+//! `i–k–j` (axpy) formulation: the inner loop accumulates
+//! `C[i][·] += A[i][k] · B[k][·]` over two **contiguous** row slices, which
+//! the vectorized [`axpy`] turns into straight vector work — unlike a
+//! dot-product formulation, whose single serial accumulator chains every
+//! add's latency. Summation over `k` runs in a fixed ascending order, so
+//! results are bit-stable run to run. The kernel walks `A` four rows at a
+//! time so each streamed `B` row is reused across four accumulator rows
+//! from registers. `matmul` is the kernel's native layout and packs
+//! nothing; `matmul_t` packs `Bᵀ` once per call with the tiled
+//! [`Matrix::transpose`] — an `O(k·n)` copy against `O(m·k·n)` multiply
+//! work — so its inner loop is contiguous too; `t_matmul` re-associates
+//! to stream `A` rows directly, also pack-free.
+//!
+//! [`Matrix::matmul_t_bias`] is the fused inference/training path: it
+//! seeds every output row with the bias vector instead of zero, saving a
+//! full pass over the output (the `Dense` and `Conv1d` layers call it on
+//! their batched forward).
+//!
+//! A naive triple-loop implementation of each product is kept under
+//! `#[cfg(test)]` as the reference oracle; a property test checks the
+//! blocked kernels against it on random (including degenerate 0×N and
+//! 1×1) shapes.
 
 /// A dense row-major matrix of `f64`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     /// Rows.
     pub rows: usize,
@@ -10,6 +35,81 @@ pub struct Matrix {
     pub cols: usize,
     /// Row-major data (`rows * cols` entries).
     pub data: Vec<f64>,
+}
+
+/// Shape-mismatch panic naming both operand shapes (kept out of line so
+/// the kernels stay small).
+#[cold]
+#[inline(never)]
+fn shape_panic(op: &str, rule: &str, a: (usize, usize), b: (usize, usize)) -> ! {
+    panic!(
+        "{op}: incompatible shapes {}x{} vs {}x{} ({rule})",
+        a.0, a.1, b.0, b.1
+    );
+}
+
+/// `y += alpha * x`: the GEMM inner loop, and the fused accumulate used
+/// to merge gradient buffers and scatter conv gradients. Written as a
+/// bounds-check-free slice zip so the compiler vectorizes it — every
+/// `y[k]` is an independent accumulator, so vectorization needs no
+/// reassociation and results stay bit-stable.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len().min(y.len());
+    for (yv, &xv) in y[..n].iter_mut().zip(&x[..n]) {
+        *yv += alpha * xv;
+    }
+}
+
+/// The register-blocked `C = A · B (+ bias)` kernel in the `i–k–j`
+/// formulation: each output row is seeded (with zero or the bias) and
+/// then built by streaming `axpy(A[i][k], B.row(k))` over ascending `k`,
+/// so both the load and the store of the inner loop are contiguous and
+/// the summation order is fixed. Rows of `A` are processed four at a time
+/// so every streamed `B` row is reused from registers across four
+/// accumulator rows; each output element still sums in ascending-`k`
+/// order, so the blocking changes nothing bitwise. Zero `A` entries
+/// (whole rows in the remainder loop) skip their multiply.
+fn mul_rm(a: &Matrix, b: &Matrix, bias: Option<&[f64]>) -> Matrix {
+    let n = b.cols;
+    let k = a.cols;
+    let mut out = Matrix::zeros(a.rows, n);
+    if let Some(bv) = bias {
+        for i in 0..a.rows {
+            out.data[i * n..(i + 1) * n].copy_from_slice(bv);
+        }
+    }
+    let mut i = 0;
+    while i + 4 <= a.rows {
+        let (o0, rest) = out.data[i * n..(i + 4) * n].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        for kk in 0..k {
+            let brow = &b.data[kk * n..(kk + 1) * n];
+            let a0 = a.data[i * k + kk];
+            let a1 = a.data[(i + 1) * k + kk];
+            let a2 = a.data[(i + 2) * k + kk];
+            let a3 = a.data[(i + 3) * k + kk];
+            for (j, &bj) in brow.iter().enumerate() {
+                o0[j] += a0 * bj;
+                o1[j] += a1 * bj;
+                o2[j] += a2 * bj;
+                o3[j] += a3 * bj;
+            }
+        }
+        i += 4;
+    }
+    while i < a.rows {
+        let arow = &a.data[i * k..(i + 1) * k];
+        let orow = &mut out.data[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                axpy(av, &b.data[kk * n..(kk + 1) * n], orow);
+            }
+        }
+        i += 1;
+    }
+    out
 }
 
 impl Matrix {
@@ -29,6 +129,21 @@ impl Matrix {
             for c in 0..cols {
                 m.data[r * cols + c] = f(r, c);
             }
+        }
+        m
+    }
+
+    /// Builds a matrix by copying `rows.len()` equally sized row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Matrix {
+        let cols = rows.first().map_or(0, |r| r.len());
+        let mut m = Matrix::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "from_rows: ragged row {r}");
+            m.row_mut(r).copy_from_slice(row);
         }
         m
     }
@@ -55,42 +170,64 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self * other`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on inner-dimension mismatch.
-    pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(r, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = &mut out.data[r * other.cols..(r + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
+    /// The transpose, packed with cache-friendly tiles.
+    pub fn transpose(&self) -> Matrix {
+        const T: usize = 32;
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for rb in (0..self.rows).step_by(T) {
+            let rend = (rb + T).min(self.rows);
+            for cb in (0..self.cols).step_by(T) {
+                let cend = (cb + T).min(self.cols);
+                for r in rb..rend {
+                    for c in cb..cend {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
                 }
             }
         }
         out
     }
 
+    /// `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch, naming both shapes.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        if self.cols != other.rows {
+            shape_panic(
+                "matmul",
+                "A.cols must equal B.rows",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            );
+        }
+        mul_rm(self, other, None)
+    }
+
     /// `self^T * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch, naming both shapes.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        if self.rows != other.rows {
+            shape_panic(
+                "t_matmul",
+                "A.rows must equal B.rows",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            );
+        }
+        // `(AᵀB)[i][·] = Σ_r A[r][i] · B[r][·]`: streaming the rows of both
+        // operands hits the axpy kernel without packing either transpose.
         let mut out = Matrix::zeros(self.cols, other.cols);
         for r in 0..self.rows {
-            for i in 0..self.cols {
-                let a = self.get(r, i);
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..other.cols {
-                    out.data[i * other.cols + j] += a * other.get(r, j);
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &av) in arow.iter().enumerate() {
+                if av != 0.0 {
+                    axpy(av, brow, &mut out.data[i * other.cols..(i + 1) * other.cols]);
                 }
             }
         }
@@ -98,19 +235,67 @@ impl Matrix {
     }
 
     /// `self * other^T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch, naming both shapes.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for r in 0..self.rows {
-            for j in 0..other.rows {
-                let mut acc = 0.0;
-                for k in 0..self.cols {
-                    acc += self.get(r, k) * other.get(j, k);
-                }
-                out.data[r * other.rows + j] = acc;
-            }
+        if self.cols != other.cols {
+            shape_panic(
+                "matmul_t",
+                "A.cols must equal B.cols",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            );
         }
-        out
+        mul_rm(self, &other.transpose(), None)
+    }
+
+    /// Fused `self * other^T + bias`: every output row starts from `bias`
+    /// instead of zero. This is one batched dense/conv forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch or when `bias.len() != other.rows`,
+    /// naming the shapes.
+    pub fn matmul_t_bias(&self, other: &Matrix, bias: &[f64]) -> Matrix {
+        if self.cols != other.cols {
+            shape_panic(
+                "matmul_t_bias",
+                "A.cols must equal B.cols",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            );
+        }
+        if bias.len() != other.rows {
+            shape_panic(
+                "matmul_t_bias",
+                "bias length must equal B.rows",
+                (bias.len(), 1),
+                (other.rows, other.cols),
+            );
+        }
+        mul_rm(self, &other.transpose(), Some(bias))
+    }
+
+    /// Accumulates each column's sum into `out` (`out[c] += Σ_r self[r][c]`),
+    /// walking rows in order so the reduction is bit-stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != self.cols`, naming the shapes.
+    pub fn add_col_sums(&self, out: &mut [f64]) {
+        if out.len() != self.cols {
+            shape_panic(
+                "add_col_sums",
+                "out length must equal cols",
+                (self.rows, self.cols),
+                (out.len(), 1),
+            );
+        }
+        for r in 0..self.rows {
+            axpy(1.0, self.row(r), out);
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -157,7 +342,9 @@ pub fn argmax(v: &[f64]) -> usize {
     best
 }
 
-/// The Adam optimizer state for one parameter tensor.
+/// The Adam optimizer state for one parameter tensor. The first/second
+/// moment buffers are allocated once at construction and updated in place
+/// — `step` never allocates.
 #[derive(Debug, Clone)]
 pub struct Adam {
     m: Vec<f64>,
@@ -184,6 +371,17 @@ impl Adam {
     ///
     /// Panics if sizes disagree with construction.
     pub fn step(&mut self, p: &mut [f64], g: &[f64]) {
+        self.step_scaled(p, g, 1.0);
+    }
+
+    /// Applies one update step of `scale * g` to `p` without materializing
+    /// the scaled gradient — the fused path the layers use to fold the
+    /// `1/batch` normalization into the moment update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes disagree with construction.
+    pub fn step_scaled(&mut self, p: &mut [f64], g: &[f64], scale: f64) {
         assert_eq!(p.len(), self.m.len());
         assert_eq!(g.len(), self.m.len());
         const B1: f64 = 0.9;
@@ -193,8 +391,9 @@ impl Adam {
         let bc1 = 1.0 - B1.powi(self.t as i32);
         let bc2 = 1.0 - B2.powi(self.t as i32);
         for i in 0..p.len() {
-            self.m[i] = B1 * self.m[i] + (1.0 - B1) * g[i];
-            self.v[i] = B2 * self.v[i] + (1.0 - B2) * g[i] * g[i];
+            let gi = scale * g[i];
+            self.m[i] = B1 * self.m[i] + (1.0 - B1) * gi;
+            self.v[i] = B2 * self.v[i] + (1.0 - B2) * gi * gi;
             let mhat = self.m[i] / bc1;
             let vhat = self.v[i] / bc2;
             p[i] -= self.lr * mhat / (vhat.sqrt() + EPS);
@@ -205,6 +404,114 @@ impl Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// The pre-blocking triple-loop products: the reference oracle the
+    /// blocked kernels are property-tested against.
+    mod naive {
+        use super::Matrix;
+
+        pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+            let mut out = Matrix::zeros(a.rows, b.cols);
+            for r in 0..a.rows {
+                for k in 0..a.cols {
+                    let av = a.get(r, k);
+                    for c in 0..b.cols {
+                        out.data[r * b.cols + c] += av * b.get(k, c);
+                    }
+                }
+            }
+            out
+        }
+
+        pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+            let mut out = Matrix::zeros(a.cols, b.cols);
+            for r in 0..a.rows {
+                for i in 0..a.cols {
+                    let av = a.get(r, i);
+                    for j in 0..b.cols {
+                        out.data[i * b.cols + j] += av * b.get(r, j);
+                    }
+                }
+            }
+            out
+        }
+
+        pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+            let mut out = Matrix::zeros(a.rows, b.rows);
+            for r in 0..a.rows {
+                for j in 0..b.rows {
+                    let mut acc = 0.0;
+                    for k in 0..a.cols {
+                        acc += a.get(r, k) * b.get(j, k);
+                    }
+                    out.data[r * b.rows + j] = acc;
+                }
+            }
+            out
+        }
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, what: &str) {
+        assert_eq!((a.rows, a.cols), (b.rows, b.cols), "{what} shape");
+        for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+            assert!((x - y).abs() < 1e-9, "{what} entry {i}: {x} vs {y}");
+        }
+    }
+
+    fn fill(rows: usize, cols: usize, vals: &[f64]) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals[(r * cols + c) % vals.len()]
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // The tentpole contract: the blocked axpy kernels agree with the
+        // naive triple loops on arbitrary shapes, including degenerate
+        // 0xN and 1x1 operands.
+        #[test]
+        fn blocked_gemm_matches_the_naive_oracle(
+            m in 0usize..9,
+            k in 0usize..67,
+            n in 0usize..41,
+            vals in prop::collection::vec(-8.0f64..8.0, 1..48),
+        ) {
+            let a = fill(m, k, &vals);
+            let b = fill(k, n, &vals[vals.len() / 2..]);
+            assert_close(&a.matmul(&b), &naive::matmul(&a, &b), "matmul");
+
+            let a2 = fill(k, m, &vals);
+            assert_close(&a2.t_matmul(&b), &naive::t_matmul(&a2, &b), "t_matmul");
+
+            let b2 = fill(n, k, &vals);
+            assert_close(&a.matmul_t(&b2), &naive::matmul_t(&a, &b2), "matmul_t");
+
+            let bias: Vec<f64> = (0..n).map(|j| j as f64 * 0.25 - 1.0).collect();
+            let mut want = naive::matmul_t(&a, &b2);
+            for r in 0..want.rows {
+                axpy(1.0, &bias, want.row_mut(r));
+            }
+            assert_close(&a.matmul_t_bias(&b2, &bias), &want, "matmul_t_bias");
+        }
+
+        #[test]
+        fn transpose_round_trips(
+            m in 0usize..12,
+            n in 0usize..12,
+            vals in prop::collection::vec(-4.0f64..4.0, 1..16),
+        ) {
+            let a = fill(m, n, &vals);
+            let t = a.transpose();
+            prop_assert_eq!((t.rows, t.cols), (n, m));
+            prop_assert_eq!(t.transpose(), a);
+        }
+    }
 
     #[test]
     fn matmul_small() {
@@ -218,12 +525,52 @@ mod tests {
     fn transpose_products_agree_with_explicit_transpose() {
         let a = Matrix::from_fn(3, 2, |r, c| (r + 2 * c) as f64);
         let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f64 + 1.0);
-        let a_t = Matrix::from_fn(2, 3, |r, c| a.get(c, r));
-        assert_eq!(a.t_matmul(&b), a_t.matmul(&b));
+        let a_t = a.transpose();
+        assert_close(&a.t_matmul(&b), &a_t.matmul(&b), "t_matmul");
 
         let c = Matrix::from_fn(5, 2, |r, col| (r * 2 + col) as f64);
-        let c_t = Matrix::from_fn(2, 5, |r, col| c.get(col, r));
-        assert_eq!(a.matmul_t(&c), a.matmul(&c_t));
+        let c_t = c.transpose();
+        assert_close(&a.matmul_t(&c), &a.matmul(&c_t), "matmul_t");
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul: incompatible shapes 2x3 vs 4x2")]
+    fn matmul_names_both_shapes_on_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_matmul: incompatible shapes 3x2 vs 4x5")]
+    fn t_matmul_names_both_shapes_on_mismatch() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(4, 5);
+        let _ = a.t_matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_t: incompatible shapes 3x2 vs 4x5")]
+    fn matmul_t_names_both_shapes_on_mismatch() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(4, 5);
+        let _ = a.matmul_t(&b);
+    }
+
+    #[test]
+    fn from_rows_builds_and_col_sums_accumulate() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!((m.rows, m.cols), (3, 2));
+        let mut sums = vec![0.5, 0.5];
+        m.add_col_sums(&mut sums);
+        assert_eq!(sums, vec![9.5, 12.5]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0; 7];
+        axpy(2.0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0]);
     }
 
     #[test]
@@ -258,6 +605,21 @@ mod tests {
             opt.step(&mut p, &g);
         }
         assert!((p[0] - 3.0).abs() < 1e-3, "p = {}", p[0]);
+    }
+
+    #[test]
+    fn step_scaled_equals_step_on_scaled_gradients() {
+        let mut p1 = vec![1.0, -2.0, 0.5];
+        let mut p2 = p1.clone();
+        let mut o1 = Adam::new(3, 0.05);
+        let mut o2 = Adam::new(3, 0.05);
+        let g = vec![4.0, -6.0, 8.0];
+        for _ in 0..20 {
+            o1.step_scaled(&mut p1, &g, 0.25);
+            let scaled: Vec<f64> = g.iter().map(|v| v * 0.25).collect();
+            o2.step(&mut p2, &scaled);
+        }
+        assert_eq!(p1, p2);
     }
 
     #[test]

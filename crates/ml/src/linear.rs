@@ -3,6 +3,7 @@
 //! features.
 
 use crate::linalg::{argmax, dot, softmax_inplace, Adam};
+use crate::serialize::{ByteReader, ByteWriter};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -52,6 +53,20 @@ impl Scaler {
             .zip(self.mean.iter().zip(&self.std))
             .map(|(v, (m, s))| (v - m) / s)
             .collect()
+    }
+
+    /// Serializes the scaler for the model store.
+    pub fn write(&self, out: &mut ByteWriter) {
+        out.put_f64s(&self.mean);
+        out.put_f64s(&self.std);
+    }
+
+    /// Reads a scaler back from a model-store blob.
+    pub fn read(r: &mut ByteReader) -> Scaler {
+        Scaler {
+            mean: r.get_f64s(),
+            std: r.get_f64s(),
+        }
     }
 }
 
@@ -192,6 +207,33 @@ impl LinearModel {
     /// Approximate resident bytes (weights + biases + scaler).
     pub fn memory_bytes(&self) -> usize {
         self.w.iter().map(|r| r.len() * 8).sum::<usize>() + self.b.len() * 8 + self.scaler.mean.len() * 16
+    }
+
+    /// Serializes the fitted model for the model store.
+    pub fn write(&self, out: &mut ByteWriter) {
+        out.put_u8(match self.loss {
+            LinearLoss::Softmax => 0,
+            LinearLoss::Hinge => 1,
+        });
+        out.put_usize(self.w.len());
+        for row in &self.w {
+            out.put_f64s(row);
+        }
+        out.put_f64s(&self.b);
+        self.scaler.write(out);
+    }
+
+    /// Reads a fitted model back from a model-store blob.
+    pub fn read(r: &mut ByteReader) -> LinearModel {
+        let loss = match r.get_u8() {
+            0 => LinearLoss::Softmax,
+            _ => LinearLoss::Hinge,
+        };
+        let n = r.get_usize();
+        let w = (0..n).map(|_| r.get_f64s()).collect();
+        let b = r.get_f64s();
+        let scaler = Scaler::read(r);
+        LinearModel { w, b, scaler, loss }
     }
 }
 

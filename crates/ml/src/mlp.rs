@@ -3,6 +3,7 @@
 
 use crate::linear::Scaler;
 use crate::nn::{Dense, Net, Relu};
+use crate::serialize::{ByteReader, ByteWriter};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -54,7 +55,7 @@ impl Mlp {
         let mut net = Net {
             layers: vec![
                 Box::new(Dense::new(d, config.hidden, config.lr, &mut rng)),
-                Box::new(Relu::default()),
+                Box::new(Relu),
                 Box::new(Dense::new(config.hidden, n_classes, config.lr, &mut rng)),
             ],
             n_classes,
@@ -71,6 +72,20 @@ impl Mlp {
     /// Approximate resident bytes.
     pub fn memory_bytes(&self) -> usize {
         self.net.num_params() * 8 * 3 // weights + Adam moments
+    }
+
+    /// Serializes the fitted MLP for the model store.
+    pub fn write(&self, out: &mut ByteWriter) {
+        self.net.write(out);
+        self.scaler.write(out);
+    }
+
+    /// Reads a fitted MLP back from a model-store blob.
+    pub fn read(r: &mut ByteReader) -> Mlp {
+        Mlp {
+            net: Net::read(r),
+            scaler: Scaler::read(r),
+        }
     }
 }
 

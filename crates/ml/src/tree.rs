@@ -1,6 +1,7 @@
 //! CART decision trees (Gini impurity), the base learner of the random
 //! forest.
 
+use crate::serialize::{ByteReader, ByteWriter};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -181,6 +182,52 @@ impl DecisionTree {
     /// Number of nodes (a size/memory proxy).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Serializes the tree for the model store.
+    pub fn write(&self, out: &mut ByteWriter) {
+        out.put_usize(self.n_classes);
+        out.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { class } => {
+                    out.put_u8(0);
+                    out.put_usize(*class);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    out.put_u8(1);
+                    out.put_usize(*feature);
+                    out.put_f64(*threshold);
+                    out.put_usize(*left);
+                    out.put_usize(*right);
+                }
+            }
+        }
+    }
+
+    /// Reads a tree back from a model-store blob.
+    pub fn read(r: &mut ByteReader) -> DecisionTree {
+        let n_classes = r.get_usize();
+        let n = r.get_usize();
+        let nodes = (0..n)
+            .map(|_| match r.get_u8() {
+                0 => Node::Leaf {
+                    class: r.get_usize(),
+                },
+                _ => Node::Split {
+                    feature: r.get_usize(),
+                    threshold: r.get_f64(),
+                    left: r.get_usize(),
+                    right: r.get_usize(),
+                },
+            })
+            .collect();
+        DecisionTree { nodes, n_classes }
     }
 }
 

@@ -1,0 +1,171 @@
+//! # yali-par
+//!
+//! Deterministic scoped-thread parallel primitives.
+//!
+//! This crate sits below both the experiment engine (`yali-core`) and the
+//! model trainers (`yali-ml`), so training loops can fan minibatch
+//! gradient work out over the same worker pool the experiment drivers
+//! use. Everything here upholds one contract: **the output of a parallel
+//! run is byte-identical to the serial run** whenever the mapped closure
+//! is a pure function of `(index, item)`. Parallelism only reschedules
+//! work; it never re-associates floating-point reductions — callers that
+//! need a reduction merge the per-item results in index order themselves.
+//!
+//! Worker count comes from the `YALI_THREADS` environment variable, or
+//! the machine's available parallelism when unset.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads: the `YALI_THREADS` environment variable when
+/// set to a positive integer, otherwise the machine's available
+/// parallelism (1 when that is unknown).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("YALI_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`worker_count`] scoped threads, preserving
+/// input order. `f` receives `(index, &item)`; determinism is the caller's
+/// bargain: keep `f` a pure function of its arguments and the output is
+/// identical at every thread count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with(worker_count(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (tests pin this to compare
+/// thread counts without touching the environment).
+pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Small chunks + an atomic cursor give dynamic load balancing (work
+    // sizes vary wildly) while each chunk stays contiguous, so stitching
+    // the pieces back in start order restores the serial output exactly.
+    let chunk = (n / (threads * 4)).max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<U>)> = std::thread::scope(|s| {
+        let f = &f;
+        let next = &next;
+        let handles: Vec<_> = (0..threads.min(n_chunks))
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * chunk;
+                        let end = (start + chunk).min(n);
+                        let out: Vec<U> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(j, t)| f(start + j, t))
+                            .collect();
+                        local.push((start, out));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    pieces.sort_unstable_by_key(|p| p.0);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut v) in pieces {
+        out.append(&mut v);
+    }
+    out
+}
+
+/// Applies `f` to every element in place, in parallel. Each worker owns a
+/// contiguous sub-slice, so the effect equals the serial loop whenever `f`
+/// is a pure function of `(index, element)`.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = worker_count();
+    if threads <= 1 || n <= 1 {
+        for (i, t) in items.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        for (ci, part) in items.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                for (j, t) in part.iter_mut().enumerate() {
+                    f(ci * chunk + j, t);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial = par_map_with(1, &items, |i, &v| v * v + i as u64);
+        for threads in [2, 3, 8, 32] {
+            let parallel = par_map_with(threads, &items, |i, &v| v * v + i as u64);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(4, &empty, |_, &v| v).is_empty());
+        assert_eq!(par_map_with(4, &[7u32], |i, &v| v + i as u32), vec![7]);
+        assert_eq!(
+            par_map_with(64, &[1u32, 2], |_, &v| v * 10),
+            vec![10, 20],
+            "more threads than chunks"
+        );
+    }
+
+    #[test]
+    fn par_for_each_mut_equals_the_serial_loop() {
+        let mut a: Vec<usize> = (0..57).collect();
+        let mut b = a.clone();
+        for (i, t) in a.iter_mut().enumerate() {
+            *t = *t * 3 + i;
+        }
+        par_for_each_mut(&mut b, |i, t| *t = *t * 3 + i);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the engine benchmark suite and sanity-checks the JSON reports it
+# writes at the repo root:
+#
+#   scripts/bench.sh          throughput + training benches, then verify
+#                             BENCH_engine.json and BENCH_train.json
+#   scripts/bench.sh --smoke  the same pass (both benches are already
+#                             sized for smoke runs: Scale::SMALL corpora,
+#                             10 Criterion samples) — the flag states
+#                             intent for CI hooks like tier1.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+case "${1:-}" in
+  ""|--smoke) ;;
+  *) echo "usage: scripts/bench.sh [--smoke]" >&2; exit 2 ;;
+esac
+
+cargo bench --bench throughput
+cargo bench --bench training
+
+# check_json FILE KEY... — the report parses, carries every KEY, and
+# records no degenerate (non-positive) timing.
+check_json() {
+  local file="$1"
+  shift
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$file" "$@" <<'EOF'
+import json
+import sys
+
+path, keys = sys.argv[1], sys.argv[2:]
+with open(path) as f:
+    report = json.load(f)
+for key in keys:
+    if key not in report:
+        sys.exit(f"{path}: missing key {key!r}")
+modes = report.get("modes", [])
+if not modes:
+    sys.exit(f"{path}: no benchmark modes recorded")
+for m in modes:
+    if not (m["mean_ns"] > 0 and m["speedup_vs_serial"] > 0):
+        sys.exit(f"{path}: degenerate timing in {m['name']}")
+print(f"{path}: ok ({len(modes)} modes)")
+EOF
+  else
+    for key in "$@" modes; do
+      grep -q "\"$key\"" "$file" || { echo "$file: missing key \"$key\"" >&2; exit 1; }
+    done
+    echo "$file: ok (grep fallback; python3 unavailable)"
+  fi
+}
+
+check_json BENCH_engine.json speedup_serial_to_parallel_cached embed_cache transform_cache
+check_json BENCH_train.json speedup_serial_to_parallel_cached model_cache

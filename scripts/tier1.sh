@@ -7,3 +7,9 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Optional benchmark smoke: YALI_SMOKE=1 scripts/tier1.sh also runs the
+# throughput + training benches and sanity-checks their JSON reports.
+if [ "${YALI_SMOKE:-0}" = "1" ]; then
+  scripts/bench.sh --smoke
+fi

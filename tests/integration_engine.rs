@@ -9,12 +9,14 @@ use yali_ml::ModelKind;
 
 fn play_once(seed: u64, game: Game) -> String {
     let corpus = Corpus::poj(3, 8, seed);
-    // Alternate models so both RNG-seeded (rf) and deterministic (knn)
-    // training paths are exercised.
-    let model = if seed.is_multiple_of(2) {
-        ModelKind::Rf
-    } else {
-        ModelKind::Knn
+    // Rotate models so the RNG-seeded (rf), deterministic (knn), and
+    // gradient-trained (mlp — the data-parallel minibatch path, and a
+    // model-store round trip through serialized weights) trainers are all
+    // exercised.
+    let model = match seed % 3 {
+        0 => ModelKind::Rf,
+        1 => ModelKind::Knn,
+        _ => ModelKind::Mlp,
     };
     let cfg = GameConfig::game0(ClassifierSpec::histogram(model), seed)
         .with_game(game, Transformer::Ir(yali_obf::IrObf::Ollvm));
