@@ -34,16 +34,23 @@ fn main() {
         let mut av_family_hits = 0usize;
         let mut total = 0usize;
         for (want_mal, pool) in [(true, &corpus.test_malware), (false, &corpus.test_benign)] {
-            for (k, p) in pool.iter().enumerate() {
-                let m = t.apply(p, 0x7E57 ^ ((ti as u64) << 20) ^ (k as u64));
-                if scanner.is_malware(&m) == want_mal {
-                    av_malware_hits += 1;
-                }
-                if scanner.is_family(&m) == want_mal {
-                    av_family_hits += 1;
-                }
-                total += 1;
-            }
+            // Transform the pool, then scan the whole batch at once.
+            let mods: Vec<yali_ir::Module> = pool
+                .iter()
+                .enumerate()
+                .map(|(k, p)| t.apply(p, 0x7E57 ^ ((ti as u64) << 20) ^ (k as u64)))
+                .collect();
+            av_malware_hits += scanner
+                .is_malware_all(&mods)
+                .into_iter()
+                .filter(|&v| v == want_mal)
+                .count();
+            av_family_hits += scanner
+                .is_family_all(&mods)
+                .into_iter()
+                .filter(|&v| v == want_mal)
+                .count();
+            total += mods.len();
         }
         let rf_acc = rf
             .per_transformer

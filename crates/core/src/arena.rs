@@ -208,9 +208,26 @@ impl TrainedClassifier {
         }
     }
 
-    /// Classifies a whole challenge set in parallel, preserving order.
+    /// Classifies a whole challenge set, preserving order: embeddings are
+    /// computed in parallel through the engine's embed cache, then the
+    /// whole batch runs through the model's batched inference path
+    /// ([`VectorClassifier::predict_batch`] / [`Dgcnn::predict_batch`]) —
+    /// GEMM-backed chunked kernels whose labels are identical to a
+    /// per-module [`TrainedClassifier::classify`] loop at any
+    /// `YALI_THREADS`.
     pub fn classify_all(&self, modules: &[yali_ir::Module]) -> Vec<usize> {
-        engine::par_map(modules, |_, m| self.classify(m))
+        match self {
+            TrainedClassifier::Vector(model, kind) => {
+                let xs: Vec<Vec<f64>> =
+                    engine::par_map(modules, |_, m| vector_sample(m, *kind));
+                model.predict_batch(&xs)
+            }
+            TrainedClassifier::Graph(model, kind) => {
+                let gs: Vec<GraphSample> =
+                    engine::par_map(modules, |_, m| graph_sample(m, *kind));
+                model.predict_batch(&gs)
+            }
+        }
     }
 
     /// Approximate model memory (Figure 7's second panel).

@@ -79,6 +79,30 @@ impl SignatureScanner {
         self.match_ratio(m) >= self.family_threshold
     }
 
+    /// Match ratios for a whole pool, scanned in parallel on the engine's
+    /// worker pool, preserving order. The per-module ratio is identical
+    /// to [`SignatureScanner::match_ratio`], so the batched verdicts
+    /// equal a serial scan at any `YALI_THREADS`.
+    pub fn match_ratios(&self, modules: &[Module]) -> Vec<f64> {
+        crate::engine::par_map(modules, |_, m| self.match_ratio(m))
+    }
+
+    /// Batched "is malware" verdicts (see [`SignatureScanner::match_ratios`]).
+    pub fn is_malware_all(&self, modules: &[Module]) -> Vec<bool> {
+        self.match_ratios(modules)
+            .into_iter()
+            .map(|r| r >= self.detect_threshold)
+            .collect()
+    }
+
+    /// Batched "is this family" verdicts (see [`SignatureScanner::match_ratios`]).
+    pub fn is_family_all(&self, modules: &[Module]) -> Vec<bool> {
+        self.match_ratios(modules)
+            .into_iter()
+            .map(|r| r >= self.family_threshold)
+            .collect()
+    }
+
     /// Number of stored signatures.
     pub fn num_signatures(&self) -> usize {
         self.signatures.len()
@@ -117,6 +141,21 @@ mod tests {
         let malware_rate = fresh.iter().filter(|m| scanner.is_malware(m)).count();
         let family_rate = fresh.iter().filter(|m| scanner.is_family(m)).count();
         assert!(family_rate <= malware_rate);
+    }
+
+    #[test]
+    fn batched_verdicts_match_serial_scan() {
+        let mal = modules(yali_dataset::mirai_variant, 0..10);
+        let ben = modules(yali_dataset::benign_program, 0..10);
+        let scanner = SignatureScanner::build(&mal, &ben);
+        let pool: Vec<Module> = modules(yali_dataset::mirai_variant, 30..36)
+            .into_iter()
+            .chain(modules(yali_dataset::benign_program, 30..36))
+            .collect();
+        let serial_mal: Vec<bool> = pool.iter().map(|m| scanner.is_malware(m)).collect();
+        let serial_fam: Vec<bool> = pool.iter().map(|m| scanner.is_family(m)).collect();
+        assert_eq!(scanner.is_malware_all(&pool), serial_mal);
+        assert_eq!(scanner.is_family_all(&pool), serial_fam);
     }
 
     #[test]

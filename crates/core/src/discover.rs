@@ -133,7 +133,9 @@ pub fn discover_transformer(
             ..Default::default()
         },
     );
-    let pred: Vec<usize> = crate::engine::par_map(te, |_, &i| clf.predict(&x[i]));
+    // Batched inference over the held-out feature rows.
+    let xte: Vec<Vec<f64>> = te.iter().map(|&i| x[i].clone()).collect();
+    let pred: Vec<usize> = clf.predict_batch(&xte);
     let truth: Vec<usize> = te.iter().map(|&i| y[i]).collect();
     DiscoverResult {
         accuracy: yali_ml::accuracy(&pred, &truth),

@@ -5,6 +5,7 @@
 //! 1-D convolution → max pooling → 1-D convolution → dense → dropout →
 //! dense classifier.
 
+use crate::linalg::Matrix;
 use crate::linear::Scaler;
 use crate::nn::{Conv1d, Dense, Dropout, MaxPool1d, Net, Relu};
 use crate::serialize::{ByteReader, ByteWriter};
@@ -108,9 +109,33 @@ impl Cnn {
         Cnn { net, scaler }
     }
 
-    /// Predicts one sample.
+    /// Predicts one sample, through the same batched forward as
+    /// [`Cnn::predict_chunk`] on a one-row chunk.
     pub fn predict(&self, x: &[f64]) -> usize {
-        self.net.predict(&self.scaler.transform(x))
+        self.predict_chunk(&[x])[0]
+    }
+
+    /// Standardizes one chunk into a single matrix for the batched net.
+    fn scaled(&self, xs: &[&[f64]]) -> Matrix {
+        let rows: Vec<Vec<f64>> = xs.iter().map(|x| self.scaler.transform(x)).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs)
+    }
+
+    /// Labels for one chunk of samples via the batched GEMM forward.
+    pub(crate) fn predict_chunk(&self, xs: &[&[f64]]) -> Vec<usize> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        self.net.predict_rows(self.scaled(xs))
+    }
+
+    /// Softmax probabilities for one chunk of samples.
+    pub(crate) fn proba_chunk(&self, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        self.net.proba_rows(self.scaled(xs))
     }
 
     /// Approximate resident bytes.

@@ -19,7 +19,7 @@
 //! as one batched GEMM pass — and merged in index order, so the fitted
 //! model is byte-identical at every thread count.
 
-use crate::linalg::{argmax, axpy, Adam, Matrix};
+use crate::linalg::{axpy, Adam, Matrix};
 use crate::nn::{
     mix3, step_threads, BatchCtx, Conv1d, Dense, Dropout, Layer, LayerGrads, MaxPool1d, Net, Relu,
     MICRO_BATCH,
@@ -90,6 +90,36 @@ struct GraphConv {
     opt: Adam,
 }
 
+/// Compressed-sparse-row adjacency: the neighbours of node `v` are
+/// `indices[offsets[v]..offsets[v+1]]`, sorted ascending and deduplicated.
+/// Two flat arrays instead of a `Vec` per node, so the aggregation inner
+/// loops walk contiguous memory — and a chunk of graphs stacks into one
+/// block-diagonal `Csr` for the batched forward.
+struct Csr {
+    offsets: Vec<usize>,
+    indices: Vec<usize>,
+}
+
+impl Csr {
+    /// Packs per-node adjacency lists (kept in their given order).
+    fn from_adj(adj: &[Vec<usize>]) -> Csr {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        offsets.push(0);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut indices = Vec::with_capacity(total);
+        for l in adj {
+            indices.extend_from_slice(l);
+            offsets.push(indices.len());
+        }
+        Csr { offsets, indices }
+    }
+
+    /// The (sorted) neighbour slice of node `v`.
+    fn neighbours(&self, v: usize) -> &[usize] {
+        &self.indices[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
 /// A fitted DGCNN.
 pub struct Dgcnn {
     convs: Vec<GraphConv>,
@@ -101,7 +131,7 @@ pub struct Dgcnn {
 
 /// Row-normalized aggregation: `out[v] = (x[v] + Σ_{u∈N(v)} x[u]) / (1+|N(v)|)`.
 #[allow(clippy::needless_range_loop)] // index form mirrors the formula
-fn aggregate(x: &Matrix, neigh: &[Vec<usize>]) -> Matrix {
+fn aggregate(x: &Matrix, adj: &Csr) -> Matrix {
     let mut out = Matrix::zeros(x.rows, x.cols);
     for v in 0..x.rows {
         let row = x.row(v).to_vec();
@@ -109,12 +139,13 @@ fn aggregate(x: &Matrix, neigh: &[Vec<usize>]) -> Matrix {
         for (oo, &xv) in o.iter_mut().zip(&row) {
             *oo = xv;
         }
-        for &u in &neigh[v] {
+        let neigh = adj.neighbours(v);
+        for &u in neigh {
             for (oo, &xu) in o.iter_mut().zip(x.row(u)) {
                 *oo += xu;
             }
         }
-        let norm = 1.0 / (1 + neigh[v].len()) as f64;
+        let norm = 1.0 / (1 + neigh.len()) as f64;
         for oo in o.iter_mut() {
             *oo *= norm;
         }
@@ -125,15 +156,16 @@ fn aggregate(x: &Matrix, neigh: &[Vec<usize>]) -> Matrix {
 /// Transpose of [`aggregate`] for backprop: routes each node's gradient to
 /// itself and its neighbours with the *receiver's* normalization.
 #[allow(clippy::needless_range_loop)] // index form mirrors the formula
-fn aggregate_t(g: &Matrix, neigh: &[Vec<usize>]) -> Matrix {
+fn aggregate_t(g: &Matrix, adj: &Csr) -> Matrix {
     let mut out = Matrix::zeros(g.rows, g.cols);
     for v in 0..g.rows {
-        let norm = 1.0 / (1 + neigh[v].len()) as f64;
+        let neigh = adj.neighbours(v);
+        let norm = 1.0 / (1 + neigh.len()) as f64;
         let grow: Vec<f64> = g.row(v).iter().map(|x| x * norm).collect();
         for (oo, gg) in out.row_mut(v).iter_mut().zip(&grow) {
             *oo += gg;
         }
-        for &u in &neigh[v] {
+        for &u in neigh {
             for (oo, gg) in out.row_mut(u).iter_mut().zip(&grow) {
                 *oo += gg;
             }
@@ -158,8 +190,18 @@ fn neighbours(g: &GraphSample) -> Vec<Vec<usize>> {
     neigh
 }
 
+/// Symmetrized, deduplicated adjacency as CSR; a feature-less graph gets
+/// one padded zero node (matching the forward pass).
+fn adjacency(g: &GraphSample) -> Csr {
+    if g.feats.is_empty() {
+        Csr::from_adj(&[Vec::new()])
+    } else {
+        Csr::from_adj(&neighbours(g))
+    }
+}
+
 struct ForwardCache {
-    neigh: Vec<Vec<usize>>,
+    neigh: Csr,
     /// Aggregated inputs per layer (`S_i = Â H_{i-1}`).
     aggs: Vec<Matrix>,
     /// Activations per layer (`Z_i = tanh(S_i W_i)`).
@@ -319,11 +361,7 @@ impl Dgcnn {
     /// SortPooling); the tail consumes `flat`.
     fn forward_graph(&self, g: &GraphSample) -> ForwardCache {
         let n = g.feats.len().max(1);
-        let neigh = if g.feats.is_empty() {
-            vec![Vec::new()]
-        } else {
-            neighbours(g)
-        };
+        let neigh = adjacency(g);
         let mut h = Matrix::zeros(n, self.in_dim);
         for (r, row) in g.feats.iter().enumerate() {
             for (c, &v) in row.iter().enumerate().take(self.in_dim) {
@@ -407,10 +445,99 @@ impl Dgcnn {
         }
     }
 
-    /// Predicts the class of one graph. Pure: safe to call concurrently.
+    /// Predicts the class of one graph, through the same stacked batched
+    /// forward as [`Dgcnn::predict_batch`] on a one-graph chunk. Pure:
+    /// safe to call concurrently.
     pub fn predict(&self, g: &GraphSample) -> usize {
-        let cache = self.forward_graph(g);
-        argmax(&self.tail.infer(&cache.flat))
+        self.predict_chunk(&[g])[0]
+    }
+
+    /// Predicts a whole batch of graphs: fixed-size chunks dispatched on
+    /// `yali-par` workers and merged in index order, each chunk stacked
+    /// into one block-diagonal CSR forward — byte-identical to a
+    /// per-graph [`Dgcnn::predict`] loop at any `YALI_THREADS`.
+    pub fn predict_batch(&self, gs: &[GraphSample]) -> Vec<usize> {
+        self.predict_batch_with_threads(gs, yali_par::worker_count())
+    }
+
+    /// [`Dgcnn::predict_batch`] with an explicit worker count; the chunk
+    /// decomposition is fixed, so results do not depend on `threads`.
+    pub fn predict_batch_with_threads(&self, gs: &[GraphSample], threads: usize) -> Vec<usize> {
+        let refs: Vec<&GraphSample> = gs.iter().collect();
+        crate::chunked_map(refs.len(), threads, |lo, hi| self.predict_chunk(&refs[lo..hi]))
+    }
+
+    /// Labels for one chunk of graphs: stack all nodes into one matrix
+    /// with a block-diagonal CSR adjacency, run every graph convolution
+    /// as a single pass over the stacked nodes, SortPool per graph, and
+    /// classify the chunk through one batched tail pass. Every per-node
+    /// value matches the per-graph forward bit-for-bit (row-independent
+    /// kernels), so predictions equal the per-sample path exactly.
+    pub(crate) fn predict_chunk(&self, gs: &[&GraphSample]) -> Vec<usize> {
+        if gs.is_empty() {
+            return Vec::new();
+        }
+        let flat = self.sort_pooled_chunk(gs);
+        self.tail.predict_rows(flat)
+    }
+
+    /// The stacked graph-half forward: one SortPooled feature row per
+    /// graph in the chunk, ready for the batched tail.
+    fn sort_pooled_chunk(&self, gs: &[&GraphSample]) -> Matrix {
+        // Feature-less graphs pad to one zero node, as in forward_graph.
+        let counts: Vec<usize> = gs.iter().map(|g| g.feats.len().max(1)).collect();
+        let mut starts = Vec::with_capacity(gs.len() + 1);
+        starts.push(0usize);
+        for &c in &counts {
+            starts.push(starts.last().unwrap() + c);
+        }
+        let total = *starts.last().unwrap();
+        let mut h = Matrix::zeros(total, self.in_dim);
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for (b, g) in gs.iter().enumerate() {
+            let lo = starts[b];
+            for (r, row) in g.feats.iter().enumerate() {
+                for (c, &v) in row.iter().enumerate().take(self.in_dim) {
+                    h.set(lo + r, c, v);
+                }
+            }
+            for (v, l) in neighbours(g).into_iter().enumerate() {
+                adj[lo + v] = l.into_iter().map(|u| lo + u).collect();
+            }
+        }
+        let csr = Csr::from_adj(&adj);
+        let mut zs: Vec<Matrix> = Vec::with_capacity(self.convs.len());
+        let mut cur = h;
+        for conv in &self.convs {
+            let s = aggregate(&cur, &csr);
+            let mut z = s.matmul(&conv.w);
+            z.map_inplace(f64::tanh);
+            cur = z.clone();
+            zs.push(z);
+        }
+        let last = zs.last().expect("at least one conv layer");
+        let mut flat = Matrix::zeros(gs.len(), self.k * self.total_ch);
+        for b in 0..gs.len() {
+            let (lo, n) = (starts[b], counts[b]);
+            // SortPooling on local node indices, same comparator as the
+            // per-graph forward: descending final channel, ascending index.
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &c| {
+                last.get(lo + c, 0).total_cmp(&last.get(lo + a, 0)).then(a.cmp(&c))
+            });
+            idx.truncate(self.k);
+            let frow = flat.row_mut(b);
+            for (slot, &node) in idx.iter().enumerate() {
+                let mut off = 0;
+                for z in &zs {
+                    for c in 0..z.cols {
+                        frow[slot * self.total_ch + off + c] = z.get(lo + node, c);
+                    }
+                    off += z.cols;
+                }
+            }
+        }
+        flat
     }
 
     /// Total trainable parameters (graph convolutions plus the tail).
@@ -568,7 +695,7 @@ mod tests {
     #[test]
     fn aggregate_and_transpose_are_adjoint() {
         // <Âx, y> == <x, Â^T y> for random-ish data.
-        let neigh = vec![vec![1], vec![0, 2], vec![1]];
+        let neigh = Csr::from_adj(&[vec![1], vec![0, 2], vec![1]]);
         let x = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64 + 0.5);
         let y = Matrix::from_fn(3, 2, |r, c| (r as f64 - c as f64) * 1.25);
         let ax = aggregate(&x, &neigh);

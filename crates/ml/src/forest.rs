@@ -70,7 +70,39 @@ impl RandomForest {
         for t in &self.trees {
             votes[t.predict(x)] += 1;
         }
-        crate::linalg::argmax(&votes.iter().map(|&v| v as f64).collect::<Vec<_>>())
+        crate::linalg::argmax_counts(&votes)
+    }
+
+    /// Class vote counts for one chunk, walked tree-by-tree over the
+    /// whole batch: each tree's nodes stay hot in cache while it scores
+    /// every sample, instead of refaulting the full forest per sample.
+    /// Votes are integers, so the tally (and the argmax) is identical to
+    /// the per-sample loop.
+    fn votes_chunk(&self, xs: &[&[f64]]) -> Vec<usize> {
+        let mut votes = vec![0usize; xs.len() * self.n_classes];
+        for t in &self.trees {
+            for (i, x) in xs.iter().enumerate() {
+                votes[i * self.n_classes + t.predict(x)] += 1;
+            }
+        }
+        votes
+    }
+
+    /// Labels for one chunk of samples.
+    pub(crate) fn predict_chunk(&self, xs: &[&[f64]]) -> Vec<usize> {
+        self.votes_chunk(xs)
+            .chunks(self.n_classes)
+            .map(crate::linalg::argmax_counts)
+            .collect()
+    }
+
+    /// Vote shares (votes / trees) for one chunk of samples.
+    pub(crate) fn proba_chunk(&self, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        let n = self.trees.len() as f64;
+        self.votes_chunk(xs)
+            .chunks(self.n_classes)
+            .map(|row| row.iter().map(|&v| v as f64 / n).collect())
+            .collect()
     }
 
     /// Total node count across trees (a memory proxy).

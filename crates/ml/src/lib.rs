@@ -99,6 +99,38 @@ impl std::fmt::Display for ModelKind {
     }
 }
 
+/// Samples per chunk in the batched inference dispatch. The decomposition
+/// of a batch into chunks is a function of the batch length alone — never
+/// of the thread count — so `predict_batch` returns identical bits at any
+/// `YALI_THREADS`.
+pub const INFER_CHUNK: usize = 32;
+
+/// Fixed-size chunk dispatch for batched inference: splits `n` items into
+/// [`INFER_CHUNK`]-sized chunks, maps every chunk with `f(lo, hi)` on the
+/// `yali-par` worker pool, and concatenates the per-chunk results in index
+/// order. `f` must depend only on the chunk bounds, which makes the output
+/// independent of `threads`.
+pub(crate) fn chunked_map<R: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize, usize) -> Vec<R> + Sync,
+) -> Vec<R> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let bounds: Vec<(usize, usize)> = (0..n)
+        .step_by(INFER_CHUNK)
+        .map(|lo| (lo, (lo + INFER_CHUNK).min(n)))
+        .collect();
+    if bounds.len() == 1 || threads <= 1 {
+        return bounds.into_iter().flat_map(|(lo, hi)| f(lo, hi)).collect();
+    }
+    yali_par::par_map_with(threads, &bounds, |_, &(lo, hi)| f(lo, hi))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
 /// Scale/seed knobs shared by every model's trainer. Hashable so the
 /// experiment engine's trained-model store can key on it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -209,7 +241,10 @@ impl VectorClassifier {
     }
 
     /// Predicts the class of one sample. Pure: a trained classifier can
-    /// serve predictions from many threads at once.
+    /// serve predictions from many threads at once. Every model routes
+    /// this through its batched kernel on a one-sample chunk, so a
+    /// [`VectorClassifier::predict_batch`] call and a loop of `predict`
+    /// produce identical bits.
     pub fn predict(&self, x: &[f64]) -> usize {
         match self {
             VectorClassifier::Rf(m) => m.predict(x),
@@ -220,9 +255,66 @@ impl VectorClassifier {
         }
     }
 
-    /// Predicts a whole test set.
+    /// Labels for one chunk of samples through the model's batched kernel.
+    fn predict_chunk(&self, xs: &[&[f64]]) -> Vec<usize> {
+        match self {
+            VectorClassifier::Rf(m) => m.predict_chunk(xs),
+            VectorClassifier::Linear(m) => m.predict_chunk(xs),
+            VectorClassifier::Knn(m) => m.predict_chunk(xs),
+            VectorClassifier::Mlp(m) => m.predict_chunk(xs),
+            VectorClassifier::Cnn(m) => m.predict_chunk(xs),
+        }
+    }
+
+    /// Per-class probabilities for one chunk of samples.
+    fn proba_chunk(&self, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        match self {
+            VectorClassifier::Rf(m) => m.proba_chunk(xs),
+            VectorClassifier::Linear(m) => m.proba_chunk(xs),
+            VectorClassifier::Knn(m) => m.proba_chunk(xs),
+            VectorClassifier::Mlp(m) => m.proba_chunk(xs),
+            VectorClassifier::Cnn(m) => m.proba_chunk(xs),
+        }
+    }
+
+    /// Predicts a whole batch through the GEMM-backed batched kernels:
+    /// dense models forward whole chunk matrices, knn forms a
+    /// query×train distance matrix, and the forest votes tree-by-tree —
+    /// all in fixed [`INFER_CHUNK`]-sample chunks dispatched on the
+    /// `yali-par` worker pool and merged in index order. The returned
+    /// labels are identical to a per-sample [`VectorClassifier::predict`]
+    /// loop at any `YALI_THREADS`.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        self.predict_batch_with_threads(xs, yali_par::worker_count())
+    }
+
+    /// [`VectorClassifier::predict_batch`] with an explicit worker count;
+    /// the chunk decomposition is fixed, so results do not depend on
+    /// `threads`.
+    pub fn predict_batch_with_threads(&self, xs: &[Vec<f64>], threads: usize) -> Vec<usize> {
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        chunked_map(refs.len(), threads, |lo, hi| self.predict_chunk(&refs[lo..hi]))
+    }
+
+    /// Per-class probabilities for a whole batch, where the model defines
+    /// them: vote shares for rf and knn, softmax scores for lr, mlp and
+    /// cnn. Returns `None` for the hinge-loss svm — its margins are not
+    /// probabilities. Batched and chunk-dispatched like
+    /// [`VectorClassifier::predict_batch`].
+    pub fn predict_proba_batch(&self, xs: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+        if matches!(self, VectorClassifier::Linear(m) if m.loss() == LinearLoss::Hinge) {
+            return None;
+        }
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        Some(chunked_map(refs.len(), yali_par::worker_count(), |lo, hi| {
+            self.proba_chunk(&refs[lo..hi])
+        }))
+    }
+
+    /// Predicts a whole test set (batched; see
+    /// [`VectorClassifier::predict_batch`]).
     pub fn predict_all(&self, xs: &[Vec<f64>]) -> Vec<usize> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        self.predict_batch(xs)
     }
 
     /// Approximate resident bytes of the fitted model (Figure 7's memory

@@ -342,6 +342,18 @@ pub fn argmax(v: &[f64]) -> usize {
     best
 }
 
+/// Index of the maximum vote count (first on ties) — the integer twin of
+/// [`argmax`], used by the voting models (rf, knn).
+pub fn argmax_counts(v: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
 /// The Adam optimizer state for one parameter tensor. The first/second
 /// moment buffers are allocated once at construction and updated in place
 /// — `step` never allocates.

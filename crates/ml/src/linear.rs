@@ -2,7 +2,7 @@
 //! linear SVM (`svm`), both trained with mini-batch Adam on standardized
 //! features.
 
-use crate::linalg::{argmax, dot, softmax_inplace, Adam};
+use crate::linalg::{argmax, dot, softmax_inplace, Adam, Matrix};
 use crate::serialize::{ByteReader, ByteWriter};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -107,9 +107,12 @@ pub enum LinearLoss {
 }
 
 /// A fitted linear classifier: weights `W (classes × features)` + bias.
+/// The weights live in one flattened row-major [`Matrix`] so a whole
+/// batch of standardized rows scores in a single
+/// [`Matrix::matmul_t_bias`] pass.
 #[derive(Debug, Clone)]
 pub struct LinearModel {
-    w: Vec<Vec<f64>>,
+    w: Matrix,
     b: Vec<f64>,
     scaler: Scaler,
     loss: LinearLoss,
@@ -184,19 +187,53 @@ impl LinearModel {
                 opt_b.step(&mut b, &gb);
             }
         }
-        LinearModel { w, b, scaler, loss }
+        let rows: Vec<&[f64]> = w.iter().map(|r| r.as_slice()).collect();
+        LinearModel {
+            w: Matrix::from_rows(&rows),
+            b,
+            scaler,
+            loss,
+        }
     }
 
-    /// Predicts the highest-scoring class.
+    /// Predicts the highest-scoring class, through the same batched GEMM
+    /// kernel as [`LinearModel::predict_chunk`] on a one-row chunk.
     pub fn predict(&self, x: &[f64]) -> usize {
-        let xs = self.scaler.transform(x);
-        let scores: Vec<f64> = self
-            .w
-            .iter()
-            .zip(&self.b)
-            .map(|(wc, bc)| dot(wc, &xs) + bc)
-            .collect();
-        argmax(&scores)
+        self.predict_chunk(&[x])[0]
+    }
+
+    /// Raw class scores `X·Wᵀ + b` for one chunk of samples.
+    fn scores_chunk(&self, xs: &[&[f64]]) -> Matrix {
+        let scaled: Vec<Vec<f64>> = xs.iter().map(|x| self.scaler.transform(x)).collect();
+        let refs: Vec<&[f64]> = scaled.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs).matmul_t_bias(&self.w, &self.b)
+    }
+
+    /// Labels for one chunk of samples (argmax score per row).
+    pub(crate) fn predict_chunk(&self, xs: &[&[f64]]) -> Vec<usize> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let scores = self.scores_chunk(xs);
+        (0..scores.rows).map(|r| argmax(scores.row(r))).collect()
+    }
+
+    /// Softmax probabilities for one chunk of samples. Only meaningful
+    /// for [`LinearLoss::Softmax`]; hinge margins are not probabilities,
+    /// and the public batch API returns `None` for the svm instead of
+    /// calling this.
+    pub(crate) fn proba_chunk(&self, xs: &[&[f64]]) -> Vec<Vec<f64>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let mut scores = self.scores_chunk(xs);
+        let mut out = Vec::with_capacity(scores.rows);
+        for r in 0..scores.rows {
+            let row = scores.row_mut(r);
+            softmax_inplace(row);
+            out.push(row.to_vec());
+        }
+        out
     }
 
     /// Which loss this model was trained with.
@@ -206,7 +243,7 @@ impl LinearModel {
 
     /// Approximate resident bytes (weights + biases + scaler).
     pub fn memory_bytes(&self) -> usize {
-        self.w.iter().map(|r| r.len() * 8).sum::<usize>() + self.b.len() * 8 + self.scaler.mean.len() * 16
+        self.w.data.len() * 8 + self.b.len() * 8 + self.scaler.mean.len() * 16
     }
 
     /// Serializes the fitted model for the model store.
@@ -215,9 +252,9 @@ impl LinearModel {
             LinearLoss::Softmax => 0,
             LinearLoss::Hinge => 1,
         });
-        out.put_usize(self.w.len());
-        for row in &self.w {
-            out.put_f64s(row);
+        out.put_usize(self.w.rows);
+        for r in 0..self.w.rows {
+            out.put_f64s(self.w.row(r));
         }
         out.put_f64s(&self.b);
         self.scaler.write(out);
@@ -230,7 +267,9 @@ impl LinearModel {
             _ => LinearLoss::Hinge,
         };
         let n = r.get_usize();
-        let w = (0..n).map(|_| r.get_f64s()).collect();
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| r.get_f64s()).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let w = Matrix::from_rows(&refs);
         let b = r.get_f64s();
         let scaler = Scaler::read(r);
         LinearModel { w, b, scaler, loss }

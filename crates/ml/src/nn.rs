@@ -723,6 +723,31 @@ impl Net {
         cur
     }
 
+    /// Eval-mode batched logits: [`Net::forward_batch`] with an eval
+    /// context, caches discarded — the inference fast path through the
+    /// blocked GEMM kernels. Pure; safe from many threads at once.
+    pub fn logits_batch(&self, x: Matrix) -> Matrix {
+        self.forward_batch(x, &BatchCtx::eval()).0
+    }
+
+    /// Argmax label per row of the eval-mode batched logits.
+    pub fn predict_rows(&self, x: Matrix) -> Vec<usize> {
+        let logits = self.logits_batch(x);
+        (0..logits.rows).map(|r| argmax(logits.row(r))).collect()
+    }
+
+    /// Softmax probabilities per row of the eval-mode batched logits.
+    pub fn proba_rows(&self, x: Matrix) -> Vec<Vec<f64>> {
+        let mut logits = self.logits_batch(x);
+        let mut out = Vec::with_capacity(logits.rows);
+        for r in 0..logits.rows {
+            let row = logits.row_mut(r);
+            softmax_inplace(row);
+            out.push(row.to_vec());
+        }
+        out
+    }
+
     /// Pure eval-mode forward pass; safe to call from many threads at once.
     pub fn infer(&self, x: &[f64]) -> Vec<f64> {
         let mut cur = x.to_vec();

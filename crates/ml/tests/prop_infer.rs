@@ -1,0 +1,144 @@
+//! Determinism of the batched inference engine: `predict_batch` must
+//! equal a per-sample `predict` loop **bit-for-bit** for every
+//! [`VectorClassifier`] variant and the DGCNN, across random batch shapes
+//! (empty batch, batch of 1, sizes crossing the chunk boundary) and any
+//! thread count — the chunk decomposition is a function of the batch
+//! length alone, so `YALI_THREADS` must never change a label.
+
+use proptest::prelude::*;
+use yali_ml::{Dgcnn, DgcnnConfig, GraphSample, ModelKind, TrainConfig, VectorClassifier};
+
+/// Deterministic, well-separated training blobs.
+fn blobs(d: usize, per_class: usize, classes: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for c in 0..classes {
+        for k in 0..per_class {
+            let j = (k as f64 * 0.61).fract() - 0.5;
+            x.push((0..d).map(|f| c as f64 * 5.0 + j + f as f64 * 0.1).collect());
+            y.push(c);
+        }
+    }
+    (x, y)
+}
+
+/// Deterministic pseudo-random queries spread over and between the blobs.
+fn queries(seed: u64, n: usize, d: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|f| {
+                    let h = seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((i * 31 + f * 7) as u64)
+                        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    (h % 1600) as f64 / 100.0 - 4.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Small path/star graphs with degree features, plus one pathological
+/// graph with no features at all.
+fn graph_queries(n: usize) -> Vec<GraphSample> {
+    let mut gs = Vec::new();
+    for k in 0..n {
+        let nodes = 3 + (k % 5);
+        let edges: Vec<(usize, usize)> = if k % 2 == 0 {
+            (0..nodes - 1).map(|i| (i, i + 1)).collect()
+        } else {
+            (1..nodes).map(|i| (0, i)).collect()
+        };
+        let mut deg = vec![0.0; nodes];
+        for &(s, d) in &edges {
+            deg[s] += 1.0;
+            deg[d] += 1.0;
+        }
+        let feats = deg.into_iter().map(|d| vec![1.0, d / 4.0]).collect();
+        gs.push(GraphSample { feats, edges });
+    }
+    if n > 2 {
+        // Exercise the empty-graph padding inside a batch.
+        gs[n / 2] = GraphSample { feats: vec![], edges: vec![] };
+    }
+    gs
+}
+
+proptest! {
+    // Each case trains all six models, so keep the case count low; the
+    // batch-size range deliberately includes 0, 1, and values beyond the
+    // 32-sample INFER_CHUNK boundary.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn predict_batch_is_bitwise_equal_to_per_sample_loop(
+        seed in 0u64..1000,
+        d in 1usize..4,
+        size_idx in 0usize..7,
+    ) {
+        // Deliberately includes 0, 1, and sizes crossing INFER_CHUNK = 32.
+        let n_queries = [0usize, 1, 2, 31, 32, 33, 70][size_idx];
+        let classes = 3;
+        let (x, y) = blobs(d, 8, classes);
+        let qs = queries(seed, n_queries, d);
+        let cfg = TrainConfig { seed, epochs: 2, n_trees: 5, k: 3 };
+        for kind in ModelKind::ALL {
+            let clf = VectorClassifier::fit(kind, &x, &y, classes, &cfg);
+            let serial: Vec<usize> = qs.iter().map(|q| clf.predict(q)).collect();
+            for threads in [1usize, 2, 5] {
+                let batched = clf.predict_batch_with_threads(&qs, threads);
+                prop_assert_eq!(&batched, &serial, "{} at {} threads", kind, threads);
+            }
+            prop_assert_eq!(clf.predict_batch(&qs), serial, "{} default pool", kind);
+            if let Some(p) = clf.predict_proba_batch(&qs) {
+                prop_assert_eq!(p.len(), qs.len(), "{} proba batch length", kind);
+                for (row, &label) in p.iter().zip(&serial) {
+                    let sum: f64 = row.iter().sum();
+                    prop_assert!((sum - 1.0).abs() < 1e-9, "{} proba row sums to {}", kind, sum);
+                    // The argmax of the probabilities is the prediction.
+                    let amax = row
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    prop_assert_eq!(amax, label, "{} proba argmax", kind);
+                }
+            } else {
+                prop_assert_eq!(kind, ModelKind::Svm, "only svm lacks probabilities");
+            }
+        }
+    }
+
+    #[test]
+    fn dgcnn_predict_batch_is_bitwise_equal_to_per_sample_loop(
+        seed in 0u64..1000,
+        size_idx in 0usize..4,
+    ) {
+        let n_queries = [0usize, 1, 2, 9][size_idx];
+        let train = graph_queries(8);
+        let y: Vec<usize> = (0..train.len()).map(|i| i % 2).collect();
+        let cfg = DgcnnConfig {
+            epochs: 2,
+            k: 4,
+            channels: vec![4, 1],
+            dense: 8,
+            dropout: 0.0,
+            seed,
+            ..Default::default()
+        };
+        let m = Dgcnn::fit(&train, &y, 2, &cfg);
+        let qs = graph_queries(n_queries);
+        let serial: Vec<usize> = qs.iter().map(|g| m.predict(g)).collect();
+        for threads in [1usize, 2, 5] {
+            prop_assert_eq!(
+                &m.predict_batch_with_threads(&qs, threads),
+                &serial,
+                "dgcnn at {} threads",
+                threads
+            );
+        }
+        prop_assert_eq!(m.predict_batch(&qs), serial, "dgcnn default pool");
+    }
+}

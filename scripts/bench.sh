@@ -2,9 +2,10 @@
 # Runs the engine benchmark suite and sanity-checks the JSON reports it
 # writes at the repo root:
 #
-#   scripts/bench.sh          throughput + training benches, then verify
-#                             BENCH_engine.json and BENCH_train.json
-#   scripts/bench.sh --smoke  the same pass (both benches are already
+#   scripts/bench.sh          throughput + training + inference benches,
+#                             then verify BENCH_engine.json,
+#                             BENCH_train.json and BENCH_infer.json
+#   scripts/bench.sh --smoke  the same pass (the benches are already
 #                             sized for smoke runs: Scale::SMALL corpora,
 #                             10 Criterion samples) — the flag states
 #                             intent for CI hooks like tier1.sh.
@@ -18,9 +19,11 @@ esac
 
 cargo bench --bench throughput
 cargo bench --bench training
+cargo bench --bench inference
 
-# check_json FILE KEY... — the report parses, carries every KEY, and
-# records no degenerate (non-positive) timing.
+# check_json FILE KEY... — the report parses, carries every KEY, records
+# no degenerate (non-positive) timing, and every batched inference mode
+# is at least as fast as its serial baseline.
 check_json() {
   local file="$1"
   shift
@@ -41,6 +44,11 @@ if not modes:
 for m in modes:
     if not (m["mean_ns"] > 0 and m["speedup_vs_serial"] > 0):
         sys.exit(f"{path}: degenerate timing in {m['name']}")
+    if "batched" in m["name"] and not m["speedup_vs_serial"] >= 1.0:
+        sys.exit(
+            f"{path}: batched mode {m['name']} slower than serial "
+            f"({m['speedup_vs_serial']:.2f}x)"
+        )
 print(f"{path}: ok ({len(modes)} modes)")
 EOF
   else
@@ -53,3 +61,4 @@ EOF
 
 check_json BENCH_engine.json speedup_serial_to_parallel_cached embed_cache transform_cache
 check_json BENCH_train.json speedup_serial_to_parallel_cached model_cache
+check_json BENCH_infer.json speedup_serial_to_batched speedup_serial_to_batched_parallel n_queries
