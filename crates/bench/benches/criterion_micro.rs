@@ -106,6 +106,25 @@ fn bench_forest_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability crate's advertised disabled-path cost: one relaxed
+/// load per `count!` site, one relaxed load plus an inert guard per
+/// `span!`. Both should land within a few nanoseconds of the empty loop.
+fn bench_obs_disabled(c: &mut Criterion) {
+    yali_obs::set_enabled(false);
+    c.bench_function("obs/count_disabled", |b| {
+        b.iter(|| {
+            yali_obs::count!("bench.obs.count", 1);
+            std::hint::black_box(0u64)
+        })
+    });
+    c.bench_function("obs/span_disabled", |b| {
+        b.iter(|| {
+            let _g = yali_obs::span!("bench.obs.span");
+            std::hint::black_box(0u64)
+        })
+    });
+}
+
 fn bench_interp(c: &mut Criterion) {
     use yali_ir::interp::{run, ExecConfig, Val};
     let m = yali_minic::compile(PROGRAM).unwrap();
@@ -121,6 +140,6 @@ fn bench_interp(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_frontend, bench_opt, bench_obf, bench_embeddings, bench_forest_ablation, bench_interp
+    targets = bench_frontend, bench_opt, bench_obf, bench_embeddings, bench_forest_ablation, bench_obs_disabled, bench_interp
 );
 criterion_main!(micro);

@@ -53,4 +53,5 @@ fn main() {
         &["embedding", "accuracy", "std", "paper≈"],
         &rows,
     );
+    yali_bench::emit_runstats();
 }

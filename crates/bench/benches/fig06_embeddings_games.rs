@@ -36,4 +36,5 @@ fn main() {
         &rows,
     );
     println!("paper: accuracies collapse in game1/game3 (< 25%), recover in game2 (~60-76%).");
+    yali_bench::emit_runstats();
 }

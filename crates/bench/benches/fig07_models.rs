@@ -47,4 +47,5 @@ fn main() {
         &["model", "accuracy", "std", "model memory", "paper acc≈"],
         &rows,
     );
+    yali_bench::emit_runstats();
 }

@@ -12,4 +12,5 @@ fn main() {
     let scale = Scale::from_env();
     banner("Figure 8", "Game1: evaders × models (histogram)", &scale);
     run_evader_model_grid(Game::Game1, &scale);
+    yali_bench::emit_runstats();
 }

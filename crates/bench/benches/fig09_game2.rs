@@ -9,4 +9,5 @@ fn main() {
     let scale = Scale::from_env();
     banner("Figure 9", "Game2: shared transformation (histogram)", &scale);
     run_evader_model_grid(Game::Game2, &scale);
+    yali_bench::emit_runstats();
 }

@@ -44,4 +44,5 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    yali_bench::emit_runstats();
 }

@@ -12,4 +12,5 @@ fn main() {
     let scale = Scale::from_env();
     banner("Figure 11", "Game3: evaders vs -O3 normalization (histogram)", &scale);
     run_evader_model_grid(Game::Game3, &scale);
+    yali_bench::emit_runstats();
 }

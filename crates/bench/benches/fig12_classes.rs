@@ -40,4 +40,5 @@ fn main() {
         &["model", "classes", "accuracy", "macro F1", "chance"],
         &rows,
     );
+    yali_bench::emit_runstats();
 }

@@ -55,4 +55,5 @@ fn main() {
         geo(&speedups),
         geo(&slowdowns)
     );
+    yali_bench::emit_runstats();
 }

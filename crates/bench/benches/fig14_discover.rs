@@ -30,4 +30,5 @@ fn main() {
         &["dataset", "accuracy", "paper≈", "chance"],
         &rows,
     );
+    yali_bench::emit_runstats();
 }

@@ -76,4 +76,5 @@ fn main() {
         &rows,
     );
     println!("paper: rf ≥95.8% on all columns; AV 83.9-96.8% (malware), 70.9-80.6% (family).");
+    yali_bench::emit_runstats();
 }

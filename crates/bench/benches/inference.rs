@@ -118,6 +118,16 @@ fn main() {
     c.bench_function("infer/batched", |b| b.iter(batched_pass));
     std::env::set_var("YALI_THREADS", parallel_threads.to_string());
     c.bench_function("infer/batched_parallel", |b| b.iter(batched_pass));
+
+    // One instrumented pass for the companion run report (chunk latency
+    // histogram, batch counters, pool utilization).
+    yali_obs::set_enabled(true);
+    let _ = batched_pass();
+    let runstats_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUNSTATS_infer.json");
+    yali_core::RunReport::collect()
+        .write(runstats_path)
+        .expect("write RUNSTATS_infer.json");
+    yali_obs::set_enabled(false);
     std::env::remove_var("YALI_THREADS");
 
     let serial_mean = c

@@ -83,6 +83,7 @@ struct Report {
     threads_parallel: usize,
     modes: Vec<ModeOut>,
     speedup_serial_to_parallel_cached: f64,
+    obs_overhead_pct: f64,
     embed_cache: CacheOut,
     transform_cache: CacheOut,
 }
@@ -130,6 +131,17 @@ fn main() {
     c.bench_function("embed/parallel_cached", |b| b.iter(|| embed_all(&modules)));
     engine::clear_caches();
     c.bench_function("sweep/parallel_cached", |b| b.iter(|| sweep(&corpora)));
+
+    // The same warm-cache sweep with observability live. The mode above is
+    // the instrumented-but-disabled configuration, so the pair bounds the
+    // cost of switching `YALI_OBS` on; bench.sh gates the delta at 3%.
+    yali_obs::set_enabled(true);
+    c.bench_function("sweep/obs_on", |b| b.iter(|| sweep(&corpora)));
+    let runstats_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUNSTATS_engine.json");
+    yali_core::RunReport::collect()
+        .write(runstats_path)
+        .expect("write RUNSTATS_engine.json");
+    yali_obs::set_enabled(false);
     std::env::remove_var("YALI_THREADS");
 
     // Speedups are relative to the same group's serial mode.
@@ -156,6 +168,17 @@ fn main() {
         .find(|m| m.name == "sweep/parallel_cached")
         .map(|m| m.speedup_vs_serial)
         .unwrap_or(0.0);
+    // Overhead of live observability over the same warm-cache sweep,
+    // compared on min_ns (the noise-resistant end of the distribution).
+    let min_of = |id: &str| {
+        modes
+            .iter()
+            .find(|m| m.name == id)
+            .map(|m| m.min_ns)
+            .expect("mode summary")
+    };
+    let obs_overhead_pct =
+        (min_of("sweep/obs_on") / min_of("sweep/parallel_cached") - 1.0) * 100.0;
 
     let report = Report {
         description: "embed-all (ir2vec over the corpus) and the Scale::SMALL full-game \
@@ -172,6 +195,7 @@ fn main() {
         threads_parallel: parallel_threads,
         modes,
         speedup_serial_to_parallel_cached: cached_speedup,
+        obs_overhead_pct,
         embed_cache: engine::EmbedCache::global().stats().into(),
         transform_cache: engine::TransformCache::global().stats().into(),
     };
@@ -179,6 +203,7 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, json + "\n").expect("write BENCH_engine.json");
     println!(
-        "serial -> parallel_cached speedup: {cached_speedup:.2}x (report at {path})"
+        "serial -> parallel_cached speedup: {cached_speedup:.2}x, \
+         obs-on overhead: {obs_overhead_pct:.2}% (report at {path})"
     );
 }

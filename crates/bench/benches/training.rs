@@ -132,6 +132,16 @@ fn main() {
 
     engine::clear_caches();
     c.bench_function("train/parallel_cached", |b| b.iter(|| sweep(&corpora)));
+
+    // One instrumented pass over the warm store for the companion run
+    // report (epoch counters, GEMM counts, phase wall times).
+    yali_obs::set_enabled(true);
+    let _ = sweep(&corpora);
+    let runstats_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUNSTATS_train.json");
+    yali_core::RunReport::collect()
+        .write(runstats_path)
+        .expect("write RUNSTATS_train.json");
+    yali_obs::set_enabled(false);
     std::env::remove_var("YALI_THREADS");
 
     // Speedups are relative to the same group's serial mode.

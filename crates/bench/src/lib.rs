@@ -68,6 +68,18 @@ pub fn banner(figure: &str, what: &str, scale: &Scale) {
     );
 }
 
+/// Writes `RUNSTATS.json` at the repo root when observability is on
+/// (`YALI_OBS=1`) and does nothing otherwise. Every figure bench calls
+/// this on exit, so an instrumented run leaves its cache hit ratios, phase
+/// wall times, and pool utilization next to the printed tables.
+pub fn emit_runstats() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUNSTATS.json");
+    yali_core::report::maybe_write_runstats(path);
+    if yali_obs::enabled() {
+        println!("run report at {path}");
+    }
+}
+
 
 /// Plays every round of one sweep cell and returns the mean accuracy —
 /// a pure function of `(game, evader, model, scale)`, so sweep cells can

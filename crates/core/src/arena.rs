@@ -181,8 +181,11 @@ impl TrainedClassifier {
                     spec.embedding.is_graph(),
                     "dgcnn requires a graph embedding"
                 );
-                let graphs: Vec<GraphSample> =
-                    engine::par_map(modules, |_, m| graph_sample(m, spec.embedding));
+                let graphs: Vec<GraphSample> = {
+                    let _s = yali_obs::span!("embed.batch");
+                    engine::par_map(modules, |_, m| graph_sample(m, spec.embedding))
+                };
+                let _s = yali_obs::span!("train.fit");
                 let model = Dgcnn::fit(&graphs, labels, n_classes, &spec.dgcnn);
                 TrainedClassifier::Graph(Box::new(model), spec.embedding)
             }
@@ -191,8 +194,11 @@ impl TrainedClassifier {
                     !spec.embedding.is_graph(),
                     "{kind} cannot consume graph embeddings"
                 );
-                let x: Vec<Vec<f64>> =
-                    engine::par_map(modules, |_, m| vector_sample(m, spec.embedding));
+                let x: Vec<Vec<f64>> = {
+                    let _s = yali_obs::span!("embed.batch");
+                    engine::par_map(modules, |_, m| vector_sample(m, spec.embedding))
+                };
+                let _s = yali_obs::span!("train.fit");
                 let model = VectorClassifier::fit(kind, &x, labels, n_classes, &spec.train);
                 TrainedClassifier::Vector(model, spec.embedding)
             }
@@ -218,13 +224,19 @@ impl TrainedClassifier {
     pub fn classify_all(&self, modules: &[yali_ir::Module]) -> Vec<usize> {
         match self {
             TrainedClassifier::Vector(model, kind) => {
-                let xs: Vec<Vec<f64>> =
-                    engine::par_map(modules, |_, m| vector_sample(m, *kind));
+                let xs: Vec<Vec<f64>> = {
+                    let _s = yali_obs::span!("embed.batch");
+                    engine::par_map(modules, |_, m| vector_sample(m, *kind))
+                };
+                let _s = yali_obs::span!("infer.batch");
                 model.predict_batch(&xs)
             }
             TrainedClassifier::Graph(model, kind) => {
-                let gs: Vec<GraphSample> =
-                    engine::par_map(modules, |_, m| graph_sample(m, *kind));
+                let gs: Vec<GraphSample> = {
+                    let _s = yali_obs::span!("embed.batch");
+                    engine::par_map(modules, |_, m| graph_sample(m, *kind))
+                };
+                let _s = yali_obs::span!("infer.batch");
                 model.predict_batch(&gs)
             }
         }
@@ -403,6 +415,7 @@ pub fn fit_vector_cached(
 /// seed depends only on its index, so the output is identical at every
 /// thread count, cached or cold.
 pub fn transform_all(samples: &[&Sample], t: Transformer, seed: u64) -> Vec<yali_ir::Module> {
+    let _s = yali_obs::span!("transform.batch");
     engine::par_map(samples, |i, s| {
         engine::transform_cached(&s.program, t, seed ^ ((i as u64) << 16))
     })

@@ -99,6 +99,8 @@ pub fn discover_transformer(
     train_fraction: f64,
     seed: u64,
 ) -> DiscoverResult {
+    let _round = yali_obs::span!("discover.round");
+    yali_obs::count!("game.rounds.discover", 1);
     let transformers = Transformer::RQ7_TRANSFORMERS;
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD15C);
     let mut x = Vec::new();

@@ -63,14 +63,60 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hits over total lookups (0.0 when nothing was looked up).
-    pub fn hit_rate(&self) -> f64 {
+    /// Hits over total lookups (0.0 when nothing was looked up). This is
+    /// the number [`crate::report::RunReport`] publishes per cache.
+    pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Alias of [`CacheStats::hit_ratio`] (the original name).
+    pub fn hit_rate(&self) -> f64 {
+        self.hit_ratio()
+    }
+}
+
+/// The hit/miss/insert counter trio shared by [`EmbedCache`],
+/// [`TransformCache`], and [`ModelCache`] (formerly copy-pasted into each).
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl CacheCounters {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a first-writer insert (concurrent misses on one key store
+    /// once, so inserts ≤ misses).
+    fn insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, entries: usize) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
     }
 }
 
@@ -84,9 +130,7 @@ const SHARDS: usize = 16;
 /// same transformed module reached through different experiment paths.
 pub struct EmbedCache {
     shards: Vec<Mutex<HashMap<(u64, EmbeddingKind), Embedding>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
+    counters: CacheCounters,
 }
 
 impl Default for EmbedCache {
@@ -100,9 +144,7 @@ impl EmbedCache {
     pub fn new() -> EmbedCache {
         EmbedCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
+            counters: CacheCounters::default(),
         }
     }
 
@@ -121,28 +163,24 @@ impl EmbedCache {
     pub fn embed(&self, m: &yali_ir::Module, kind: EmbeddingKind) -> Embedding {
         let key = (m.content_hash(), kind);
         if let Some(e) = self.shard(key.0).lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hit();
             return e.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.miss();
         // Compute outside the lock: embeddings dominate the cost and other
         // keys in the shard must not wait on this one.
         let e = kind.embed(m);
         let mut shard = self.shard(key.0).lock().unwrap();
         if shard.insert(key, e.clone()).is_none() {
-            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.counters.insert();
         }
         e
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
-        }
+        self.counters
+            .snapshot(self.shards.iter().map(|s| s.lock().unwrap().len()).sum())
     }
 
     /// Empties the cache and zeroes the counters.
@@ -150,9 +188,7 @@ impl EmbedCache {
         for s in &self.shards {
             s.lock().unwrap().clear();
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.inserts.store(0, Ordering::Relaxed);
+        self.counters.reset();
     }
 }
 
@@ -168,8 +204,15 @@ pub fn caching_enabled() -> bool {
 }
 
 /// Embeds through the global [`EmbedCache`] (or directly, under
-/// `YALI_CACHE=0`).
+/// `YALI_CACHE=0`). Under observability every embedding is a `embed.one`
+/// span; with a trace sink attached the open event carries the module's
+/// content hash, so a timeline can tell recomputes from replays.
 pub fn embed_cached(m: &yali_ir::Module, kind: EmbeddingKind) -> Embedding {
+    let _span = if yali_obs::trace_on() {
+        yali_obs::span_attr("embed.one", "module", m.content_hash())
+    } else {
+        yali_obs::span("embed.one")
+    };
     if !caching_enabled() {
         return kind.embed(m);
     }
@@ -187,9 +230,7 @@ type TransformShard = Mutex<HashMap<(u64, Transformer, u64), yali_ir::Module>>;
 /// keeps sweeps from re-obfuscating one corpus once per design point.
 pub struct TransformCache {
     shards: Vec<TransformShard>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
+    counters: CacheCounters,
 }
 
 impl Default for TransformCache {
@@ -203,9 +244,7 @@ impl TransformCache {
     pub fn new() -> TransformCache {
         TransformCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
+            counters: CacheCounters::default(),
         }
     }
 
@@ -222,25 +261,21 @@ impl TransformCache {
         let key = (h.finish(), t, seed);
         let shard = &self.shards[(key.0 as usize) % SHARDS];
         if let Some(m) = shard.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hit();
             return m.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.miss();
         let m = t.apply(program, seed);
         if shard.lock().unwrap().insert(key, m.clone()).is_none() {
-            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.counters.insert();
         }
         m
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
-        }
+        self.counters
+            .snapshot(self.shards.iter().map(|s| s.lock().unwrap().len()).sum())
     }
 
     /// Empties the cache and zeroes the counters.
@@ -248,15 +283,14 @@ impl TransformCache {
         for s in &self.shards {
             s.lock().unwrap().clear();
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.inserts.store(0, Ordering::Relaxed);
+        self.counters.reset();
     }
 }
 
 /// Transforms through the global [`TransformCache`] (or directly, under
 /// `YALI_CACHE=0`).
 pub fn transform_cached(program: &yali_minic::Program, t: Transformer, seed: u64) -> yali_ir::Module {
+    let _span = yali_obs::span!("transform.one");
     if !caching_enabled() {
         return t.apply(program, seed);
     }
@@ -272,9 +306,7 @@ pub fn transform_cached(program: &yali_minic::Program, t: Transformer, seed: u64
 /// pointer, not the weights.
 pub struct ModelCache {
     shards: Vec<Mutex<HashMap<u64, Arc<Vec<u8>>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
+    counters: CacheCounters,
 }
 
 impl Default for ModelCache {
@@ -288,9 +320,7 @@ impl ModelCache {
     pub fn new() -> ModelCache {
         ModelCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
+            counters: CacheCounters::default(),
         }
     }
 
@@ -309,11 +339,11 @@ impl ModelCache {
             .cloned();
         match found {
             Some(b) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hit();
                 Some(b)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.counters.miss();
                 None
             }
         }
@@ -324,18 +354,14 @@ impl ModelCache {
     pub fn insert(&self, key: u64, bytes: Vec<u8>) {
         let mut shard = self.shards[(key as usize) % SHARDS].lock().unwrap();
         if shard.insert(key, Arc::new(bytes)).is_none() {
-            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.counters.insert();
         }
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().unwrap().len()).sum(),
-        }
+        self.counters
+            .snapshot(self.shards.iter().map(|s| s.lock().unwrap().len()).sum())
     }
 
     /// Empties the store and zeroes the counters.
@@ -343,9 +369,7 @@ impl ModelCache {
         for s in &self.shards {
             s.lock().unwrap().clear();
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.inserts.store(0, Ordering::Relaxed);
+        self.counters.reset();
     }
 }
 

@@ -102,6 +102,15 @@ pub struct GameResult {
 /// `s` into `s' = E(s)`, the classifier guesses `C(s')`, and the result
 /// reports the classifier's hit rate.
 pub fn play(corpus: &Corpus, config: &GameConfig) -> GameResult {
+    // Per-game round counters feed `RunReport`'s round table; `name()`
+    // returns `&'static str` but the counter macro wants a literal.
+    match config.game {
+        Game::Game0 => yali_obs::count!("game.rounds.game0", 1),
+        Game::Game1 => yali_obs::count!("game.rounds.game1", 1),
+        Game::Game2 => yali_obs::count!("game.rounds.game2", 1),
+        Game::Game3 => yali_obs::count!("game.rounds.game3", 1),
+    }
+    let _round = yali_obs::span!("game.round");
     let (train, test) = corpus.split(config.train_fraction, config.seed);
     let train_labels: Vec<usize> = train.iter().map(|s| s.class).collect();
     let test_labels: Vec<usize> = test.iter().map(|s| s.class).collect();
@@ -112,33 +121,46 @@ pub fn play(corpus: &Corpus, config: &GameConfig) -> GameResult {
         Game::Game2 => config.evader,
         Game::Game3 => config.normalizer,
     };
-    let train_modules = transform_all(&train, train_transform, config.seed ^ 0x7431);
+    let train_modules = {
+        let _s = yali_obs::span!("game.transform_train");
+        transform_all(&train, train_transform, config.seed ^ 0x7431)
+    };
     // Through the model store: replayed design points (sweeps, repeated
     // games on one corpus) load the trained classifier instead of
     // retraining it.
-    let clf = fit_classifier_cached(
-        &config.classifier,
-        &train_modules,
-        &train_labels,
-        corpus.n_classes,
-    );
+    let clf = {
+        let _s = yali_obs::span!("game.fit");
+        fit_classifier_cached(
+            &config.classifier,
+            &train_modules,
+            &train_labels,
+            corpus.n_classes,
+        )
+    };
 
     // What the evader hands over.
     let evader = match config.game {
         Game::Game0 => Transformer::None,
         _ => config.evader,
     };
-    let mut challenge_modules = transform_all(&test, evader, config.seed ^ 0xEEAD);
+    let mut challenge_modules = {
+        let _s = yali_obs::span!("game.transform_challenge");
+        transform_all(&test, evader, config.seed ^ 0xEEAD)
+    };
     // Game 3: the classifier re-optimizes every challenge it receives.
     if config.game == Game::Game3 {
         if let Transformer::Opt(level) = config.normalizer {
+            let _s = yali_obs::span!("game.normalize");
             crate::engine::par_for_each_mut(&mut challenge_modules, |_, m| {
                 yali_opt::optimize(m, level);
             });
         }
     }
 
-    let pred: Vec<usize> = clf.classify_all(&challenge_modules);
+    let pred: Vec<usize> = {
+        let _s = yali_obs::span!("game.infer");
+        clf.classify_all(&challenge_modules)
+    };
     GameResult {
         accuracy: yali_ml::accuracy(&pred, &test_labels),
         f1: yali_ml::macro_f1(&pred, &test_labels, corpus.n_classes),

@@ -17,7 +17,9 @@
 //! - [`scale`] — workload scaling (`YALI_SCALE=small|medium|paper`);
 //! - [`engine`] — the parallel experiment engine: a deterministic
 //!   scoped-thread map (`YALI_THREADS`) and a content-addressed embedding
-//!   cache.
+//!   cache;
+//! - [`report`] — aggregates the `yali-obs` registry and the engine's
+//!   cache counters into a [`report::RunReport`] (`RUNSTATS.json`).
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub mod discover;
 pub mod engine;
 pub mod game;
 pub mod malware_exp;
+pub mod report;
 pub mod scale;
 pub mod transformer;
 
@@ -55,5 +58,6 @@ pub use engine::{
 };
 pub use game::{play, Game, GameConfig, GameResult};
 pub use malware_exp::{malware_round, MalwareCorpus, MalwarePoint, MALWARE_TRANSFORMERS};
+pub use report::RunReport;
 pub use scale::Scale;
 pub use transformer::{SourceStrategy, Transformer};

@@ -1,0 +1,247 @@
+//! Run reports: the end-of-run aggregation of the `yali-obs` registry and
+//! the engine's cache counters into one JSON document (`RUNSTATS.json`).
+//!
+//! Drivers and benches call [`maybe_write_runstats`] on exit; under
+//! `YALI_OBS=1` it serializes a [`RunReport`] — per-cache hit ratios,
+//! per-phase wall times, worker-pool utilization, and every registered
+//! counter — and with observability off it does nothing at all, so
+//! uninstrumented runs pay nothing and leave no files behind.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::engine::{EmbedCache, ModelCache, TransformCache};
+
+/// One cache's counters plus its derived hit ratio.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheReport {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries actually stored (≤ misses).
+    pub inserts: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Hits over total lookups ([`crate::CacheStats::hit_ratio`]).
+    pub hit_ratio: f64,
+}
+
+impl CacheReport {
+    fn from_stats(s: crate::CacheStats) -> CacheReport {
+        CacheReport {
+            hits: s.hits,
+            misses: s.misses,
+            inserts: s.inserts,
+            entries: s.entries,
+            hit_ratio: s.hit_ratio(),
+        }
+    }
+}
+
+/// One instrumented phase (a `yali-obs` span label): how often it ran and
+/// how long it took.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseReport {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall time across all entries, in nanoseconds.
+    pub total_ns: u64,
+    /// Mean wall time per entry, in nanoseconds.
+    pub mean_ns: f64,
+    /// Longest single entry, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Worker-pool accounting summed over every `par_map` region of the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PoolReport {
+    /// `par_map` regions that ran on more than one worker.
+    pub regions: u64,
+    /// Items those regions processed.
+    pub items: u64,
+    /// Wall time of the regions, in nanoseconds.
+    pub wall_ns: u64,
+    /// Summed busy time of the workers, in nanoseconds.
+    pub busy_ns: u64,
+    /// Wall time × worker count — the capacity the pool held open.
+    pub worker_ns: u64,
+    /// `busy_ns / worker_ns`: 1.0 means every worker was busy for the
+    /// whole region, lower means workers idled at the barrier.
+    pub utilization: f64,
+}
+
+/// The aggregated statistics of one instrumented run.
+///
+/// Everything here is *derived* observability: collecting a report reads
+/// counters and snapshots, never reschedules or recomputes work, so the
+/// run's results are bit-identical with or without it.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Whether observability was live when the report was collected
+    /// (all-zero reports from disabled runs are distinguishable).
+    pub obs_enabled: bool,
+    /// The worker count the engine resolved (`YALI_THREADS` or machine
+    /// parallelism).
+    pub threads: usize,
+    /// Global caches by name: `embed`, `transform`, `model`.
+    pub caches: BTreeMap<String, CacheReport>,
+    /// Span histograms by label (`game.fit`, `embed.batch`, …).
+    pub phases: BTreeMap<String, PhaseReport>,
+    /// Worker-pool utilization across all `par_map` regions.
+    pub pool: PoolReport,
+    /// Every registered counter (`game.rounds.*`, `ir.interp.*`,
+    /// `ml.gemm.*`, …), zero-valued ones included.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunReport {
+    /// Snapshots the `yali-obs` registry and the engine's global caches
+    /// into a report.
+    pub fn collect() -> RunReport {
+        let reg = yali_obs::Registry::global();
+        let counters: BTreeMap<String, u64> = reg.counters().into_iter().collect();
+        let phases: BTreeMap<String, PhaseReport> = reg
+            .histograms()
+            .into_iter()
+            .map(|h| {
+                let mean_ns = h.mean_ns();
+                (
+                    h.name,
+                    PhaseReport {
+                        count: h.count,
+                        total_ns: h.sum_ns,
+                        mean_ns,
+                        max_ns: h.max_ns,
+                    },
+                )
+            })
+            .collect();
+        let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+        let (busy_ns, worker_ns) = (get("par.busy_ns"), get("par.worker_ns"));
+        let pool = PoolReport {
+            regions: get("par.regions"),
+            items: get("par.items"),
+            wall_ns: get("par.wall_ns"),
+            busy_ns,
+            worker_ns,
+            utilization: if worker_ns == 0 {
+                0.0
+            } else {
+                busy_ns as f64 / worker_ns as f64
+            },
+        };
+        let mut caches = BTreeMap::new();
+        caches.insert(
+            "embed".to_string(),
+            CacheReport::from_stats(EmbedCache::global().stats()),
+        );
+        caches.insert(
+            "transform".to_string(),
+            CacheReport::from_stats(TransformCache::global().stats()),
+        );
+        caches.insert(
+            "model".to_string(),
+            CacheReport::from_stats(ModelCache::global().stats()),
+        );
+        RunReport {
+            obs_enabled: yali_obs::enabled(),
+            threads: crate::engine::worker_count(),
+            caches,
+            phases,
+            pool,
+            counters,
+        }
+    }
+
+    /// The report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RunReport serializes")
+    }
+
+    /// Writes the report to `path` (flushing the trace sink first, so a
+    /// paired `YALI_TRACE` file is complete when the report lands).
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        yali_obs::flush_trace();
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Writes `RunReport::collect()` to `path` when observability is on; does
+/// nothing (and touches no file) when it is off. Errors are reported as
+/// `yali-obs` warnings — a failed report must never take the run down.
+pub fn maybe_write_runstats(path: &str) {
+    if !yali_obs::enabled() {
+        return;
+    }
+    let report = RunReport::collect();
+    if let Err(e) = report.write(path) {
+        yali_obs::warn(&format!("cannot write run report {path}: {e}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The obs enabled flag is process-wide; tests that flip it serialize
+    // here and restore `false` before returning.
+    static GLOBAL_STATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn collect_reports_all_three_caches_and_the_pool() {
+        let r = RunReport::collect();
+        for cache in ["embed", "transform", "model"] {
+            let c = &r.caches[cache];
+            assert!(c.hits + c.misses >= c.inserts, "{cache}");
+            assert!((0.0..=1.0).contains(&c.hit_ratio), "{cache}");
+        }
+        assert!((0.0..=1.0).contains(&r.pool.utilization));
+        assert!(r.threads >= 1);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        yali_obs::set_enabled(true);
+        yali_obs::count!("test.report.counter", 3);
+        {
+            let _s = yali_obs::span!("test.report.span");
+        }
+        yali_obs::set_enabled(false);
+        let r = RunReport::collect();
+        let json = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["counters"]["test.report.counter"], 3);
+        let phase = &v["phases"]["test.report.span"];
+        assert_eq!(phase["count"], 1);
+        assert!(phase["total_ns"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn maybe_write_is_a_no_op_when_disabled() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        yali_obs::set_enabled(false);
+        let path = std::env::temp_dir().join("yali_runstats_disabled.json");
+        let path = path.to_str().unwrap().to_string();
+        let _ = std::fs::remove_file(&path);
+        maybe_write_runstats(&path);
+        assert!(!std::path::Path::new(&path).exists());
+    }
+
+    #[test]
+    fn maybe_write_emits_the_file_when_enabled() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        let path = std::env::temp_dir().join("yali_runstats_enabled.json");
+        let path = path.to_str().unwrap().to_string();
+        yali_obs::set_enabled(true);
+        maybe_write_runstats(&path);
+        yali_obs::set_enabled(false);
+        let text = std::fs::read_to_string(&path).expect("report written");
+        let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(v["obs_enabled"], true);
+        assert!(v["caches"]["embed"]["hit_ratio"].is_number());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -181,7 +181,15 @@ pub fn run(
         steps: 0,
         max_depth: config.max_depth,
     };
-    let ret = machine.call(f, args.to_vec(), 0)?;
+    let ret = machine.call(f, args.to_vec(), 0);
+    // Instruction-count hook: one counter bump per *run* (never per
+    // instruction), so the interpreter loop itself stays untouched and
+    // the disabled path costs a single relaxed load. Errored runs still
+    // report the instructions they executed before failing.
+    yali_obs::count!("ir.interp.runs", 1);
+    yali_obs::count!("ir.interp.instructions", machine.steps);
+    yali_obs::count!("ir.interp.cost", machine.cost);
+    let ret = ret?;
     Ok(Outcome {
         ret,
         output: machine.output,

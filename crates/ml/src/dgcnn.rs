@@ -295,15 +295,18 @@ impl Dgcnn {
             .map(|c| Matrix::zeros(c.w.rows, c.w.cols))
             .collect();
         let params = model.num_params();
+        let _fit_span = yali_obs::span!("ml.dgcnn.fit");
         for epoch in 0..config.epochs {
             order.shuffle(&mut rng2);
+            let mut total = 0.0;
             for chunk in order.chunks(config.batch.max(1)) {
                 let micros: Vec<&[usize]> = chunk.chunks(MICRO_BATCH).collect();
                 let t = step_threads(threads, micros.len(), params * chunk.len());
                 let results = yali_par::par_map_with(t, &micros, |_, m| {
                     model.micro_grads(graphs, y, m, epoch, seed)
                 });
-                for (tg, cg) in results {
+                for (loss, tg, cg) in results {
+                    total += loss;
                     for (a, g) in tail_acc.iter_mut().zip(&tg) {
                         a.add(g);
                     }
@@ -321,6 +324,11 @@ impl Dgcnn {
                     acc.data.iter_mut().for_each(|g| *g = 0.0);
                 }
             }
+            yali_obs::count!("ml.dgcnn.epochs", 1);
+            yali_obs::record!(
+                "ml.dgcnn.epoch_loss_millis",
+                crate::nn::to_millis(total / graphs.len() as f64)
+            );
         }
         model
     }
@@ -334,7 +342,7 @@ impl Dgcnn {
         idxs: &[usize],
         epoch: usize,
         seed: u64,
-    ) -> (Vec<LayerGrads>, Vec<Matrix>) {
+    ) -> (f64, Vec<LayerGrads>, Vec<Matrix>) {
         let caches: Vec<ForwardCache> = idxs.iter().map(|&i| self.forward_graph(&graphs[i])).collect();
         let flats: Vec<&[f64]> = caches.iter().map(|c| c.flat.as_slice()).collect();
         let input = Matrix::from_rows(&flats);
@@ -343,7 +351,7 @@ impl Dgcnn {
         );
         let (logits, tail_caches) = self.tail.forward_batch(input, &ctx);
         let ys: Vec<usize> = idxs.iter().map(|&i| y[i]).collect();
-        let (_, grad) = Net::batch_loss_grad(&logits, &ys);
+        let (loss, grad) = Net::batch_loss_grad(&logits, &ys);
         let mut tail_grads = self.tail.grad_buffers();
         let dflat = self.tail.backward_batch(&tail_caches, grad, &mut tail_grads);
         let mut conv_grads: Vec<Matrix> = self
@@ -354,7 +362,7 @@ impl Dgcnn {
         for (r, cache) in caches.iter().enumerate() {
             self.graph_grads(cache, dflat.row(r), &mut conv_grads);
         }
-        (tail_grads, conv_grads)
+        (loss, tail_grads, conv_grads)
     }
 
     /// Pure forward pass of the graph half (graph convolutions plus

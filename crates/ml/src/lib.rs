@@ -122,10 +122,24 @@ pub(crate) fn chunked_map<R: Send>(
         .step_by(INFER_CHUNK)
         .map(|lo| (lo, (lo + INFER_CHUNK).min(n)))
         .collect();
+    yali_obs::count!("ml.infer.batches", 1);
+    yali_obs::count!("ml.infer.samples", n as u64);
+    // Per-chunk latency is timed only when observability is on; the chunk
+    // decomposition itself never changes, so results stay bit-identical.
+    let timed = |lo: usize, hi: usize| {
+        if yali_obs::enabled() {
+            let t0 = std::time::Instant::now();
+            let out = f(lo, hi);
+            yali_obs::record!("ml.infer.chunk_ns", t0.elapsed().as_nanos() as u64);
+            out
+        } else {
+            f(lo, hi)
+        }
+    };
     if bounds.len() == 1 || threads <= 1 {
-        return bounds.into_iter().flat_map(|(lo, hi)| f(lo, hi)).collect();
+        return bounds.into_iter().flat_map(|(lo, hi)| timed(lo, hi)).collect();
     }
-    yali_par::par_map_with(threads, &bounds, |_, &(lo, hi)| f(lo, hi))
+    yali_par::par_map_with(threads, &bounds, |_, &(lo, hi)| timed(lo, hi))
         .into_iter()
         .flatten()
         .collect()

@@ -73,6 +73,10 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 fn mul_rm(a: &Matrix, b: &Matrix, bias: Option<&[f64]>) -> Matrix {
     let n = b.cols;
     let k = a.cols;
+    // GEMM-kernel accounting: one counter bump per kernel call (never per
+    // element), so the disabled path costs one relaxed load.
+    yali_obs::count!("ml.gemm.calls", 1);
+    yali_obs::count!("ml.gemm.fmas", (a.rows * n * k) as u64);
     let mut out = Matrix::zeros(a.rows, n);
     if let Some(bv) = bias {
         for i in 0..a.rows {
@@ -221,6 +225,8 @@ impl Matrix {
         }
         // `(AᵀB)[i][·] = Σ_r A[r][i] · B[r][·]`: streaming the rows of both
         // operands hits the axpy kernel without packing either transpose.
+        yali_obs::count!("ml.gemm.calls", 1);
+        yali_obs::count!("ml.gemm.fmas", (self.rows * self.cols * other.cols) as u64);
         let mut out = Matrix::zeros(self.cols, other.cols);
         for r in 0..self.rows {
             let arow = self.row(r);

@@ -60,6 +60,17 @@ pub(crate) fn mix3(a: u64, b: u64, c: u64) -> u64 {
     splitmix(mix2(a, b) ^ c)
 }
 
+/// A non-negative f64 in units of 1/1000, saturated into a u64 for the
+/// observability histograms (loss values are reported, never consumed, so
+/// the rounding cannot perturb training).
+pub(crate) fn to_millis(v: f64) -> u64 {
+    if v.is_finite() && v > 0.0 {
+        (v * 1000.0).round() as u64
+    } else {
+        0
+    }
+}
+
 /// Picks the worker count for one training step of `work = params × batch`
 /// split into `n_micros` micro-batches.
 pub(crate) fn step_threads(requested: usize, n_micros: usize, work: usize) -> usize {
@@ -850,6 +861,7 @@ impl Net {
         if x.is_empty() {
             return f64::INFINITY;
         }
+        let _fit_span = yali_obs::span!("ml.net.fit");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..x.len()).collect();
         let mut acc = self.grad_buffers();
@@ -873,6 +885,11 @@ impl Net {
                 self.step(&mut acc, chunk.len());
             }
             last = total / x.len() as f64;
+            // Epoch-loss accounting in milli-nats: a histogram gives the
+            // count (epochs run) and the loss trajectory's sum/max without
+            // perturbing the f64 loss itself.
+            yali_obs::count!("ml.net.epochs", 1);
+            yali_obs::record!("ml.net.epoch_loss_millis", to_millis(last));
         }
         last
     }

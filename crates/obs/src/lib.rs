@@ -1,0 +1,665 @@
+//! # yali-obs
+//!
+//! Zero-overhead-when-off observability for the experiment engine: named
+//! atomic **counters**, fixed-bucket latency **histograms**, RAII **span**
+//! timers, and a JSONL **trace sink** — with one contract above all:
+//! instrumentation must never perturb a result, and when it is off it must
+//! cost **one relaxed atomic load per call site**.
+//!
+//! ## Switching it on
+//!
+//! Observability is off by default. `YALI_OBS=1` (or any value other than
+//! `0`/`off`/`false`) enables the counters, histograms, and spans;
+//! [`set_enabled`] does the same programmatically (tests and benches use
+//! it to avoid process-global environment races). `YALI_TRACE=<path>` (or
+//! [`set_trace_path`]) additionally streams span open/close events as JSON
+//! lines, so a run can be replayed into a flamegraph-style timeline.
+//!
+//! ## Cost model
+//!
+//! Every entry point begins with [`enabled`], a single
+//! `AtomicU8::load(Relaxed)` once the state is initialized. When it
+//! returns `false`, [`count!`] is a load plus an untaken branch, and
+//! [`span!`] returns an inert guard whose `Drop` is a branch on a bool —
+//! no clock reads, no registry locks, no allocation. The
+//! `criterion_micro` bench (`obs/count_disabled`, `obs/span_disabled`)
+//! measures both at around a nanosecond.
+//!
+//! ## Naming
+//!
+//! Names are `&'static str` and registered on first use; handles are
+//! leaked (`Box::leak`) so call sites hold `&'static` references and pay
+//! the registry lock only once per distinct name per call site (the
+//! [`count!`]/[`record!`] macros cache the handle in a `OnceLock`).
+//! Dotted lowercase names (`embed.batch`, `par.busy_ns`) group related
+//! series; [`Registry::counters`]/[`Registry::histograms`] snapshot
+//! everything for `yali_core::report`'s `RUNSTATS.json`.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// --- global on/off state -------------------------------------------------
+
+const STATE_UNKNOWN: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNKNOWN);
+
+/// Whether instrumentation is live. One relaxed atomic load in the steady
+/// state; the first call reads `YALI_OBS` (off when unset, `0`, `off`, or
+/// `false`).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_state(),
+    }
+}
+
+#[cold]
+fn init_state() -> bool {
+    let on = match std::env::var("YALI_OBS") {
+        Ok(v) => !matches!(v.trim(), "" | "0" | "off" | "false"),
+        Err(_) => false,
+    };
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    if on {
+        init_trace_from_env();
+    }
+    on
+}
+
+/// Programmatic override of `YALI_OBS` (tests and benches flip this
+/// instead of racing on process-global environment variables).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+// --- counters ------------------------------------------------------------
+
+/// A named monotonic counter. Handles are `&'static`; bumping is one
+/// relaxed `fetch_add`.
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` (unconditionally — gate hot call sites with [`count!`] or
+    /// an explicit [`enabled`] check).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+// --- histograms ----------------------------------------------------------
+
+/// Power-of-two bucket count: bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also takes 0), up to ~9 minutes
+/// in the last bucket.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A fixed-bucket histogram of nanosecond samples with exact sum/count
+/// (so mean phase wall time is exact even though the distribution is
+/// bucketed).
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one nanosecond sample (unconditionally — gate hot call
+    /// sites with [`record!`] or an explicit [`enabled`] check).
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        let idx = (63 - (ns | 1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the histogram.
+    pub fn snapshot(&self, name: &str) -> HistSnapshot {
+        HistSnapshot {
+            name: name.to_string(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum.load(Ordering::Relaxed),
+            max_ns: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples, in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest sample, in nanoseconds.
+    pub max_ns: u64,
+    /// Power-of-two bucket counts (see [`HIST_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+// --- the registry --------------------------------------------------------
+
+/// The process-wide name → counter/histogram registry.
+pub struct Registry {
+    counters: Mutex<Vec<(&'static str, &'static Counter)>>,
+    hists: Mutex<Vec<(&'static str, &'static Histogram)>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+impl Registry {
+    /// The global registry.
+    pub fn global() -> &'static Registry {
+        REGISTRY.get_or_init(|| Registry {
+            counters: Mutex::new(Vec::new()),
+            hists: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Sorted snapshot of every counter (zero-valued ones included: a
+    /// registered-but-idle series is information, not noise).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.to_string(), c.get()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Sorted snapshot of every histogram.
+    pub fn histograms(&self) -> Vec<HistSnapshot> {
+        let mut out: Vec<HistSnapshot> = self
+            .hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| h.snapshot(n))
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Zeroes every counter and histogram (report scoping and tests;
+    /// registered handles stay valid).
+    pub fn reset(&self) {
+        for (_, c) in self.counters.lock().unwrap().iter() {
+            c.v.store(0, Ordering::Relaxed);
+        }
+        for (_, h) in self.hists.lock().unwrap().iter() {
+            h.reset();
+        }
+    }
+}
+
+/// Returns (registering on first use) the counter named `name`.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let reg = Registry::global();
+    let mut counters = reg.counters.lock().unwrap();
+    if let Some((_, c)) = counters.iter().find(|(n, _)| *n == name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter {
+        v: AtomicU64::new(0),
+    }));
+    counters.push((name, c));
+    c
+}
+
+/// Returns (registering on first use) the histogram named `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let reg = Registry::global();
+    let mut hists = reg.hists.lock().unwrap();
+    if let Some((_, h)) = hists.iter().find(|(n, _)| *n == name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    hists.push((name, h));
+    h
+}
+
+/// Bumps the named counter by `n` when observability is on; a relaxed
+/// load and an untaken branch when off. The handle is cached per call
+/// site, so the registry lock is paid once.
+#[macro_export]
+macro_rules! count {
+    ($name:literal, $n:expr) => {
+        if $crate::enabled() {
+            static H: ::std::sync::OnceLock<&'static $crate::Counter> =
+                ::std::sync::OnceLock::new();
+            H.get_or_init(|| $crate::counter($name)).add($n);
+        }
+    };
+}
+
+/// Records a nanosecond sample into the named histogram when observability
+/// is on; a relaxed load and an untaken branch when off.
+#[macro_export]
+macro_rules! record {
+    ($name:literal, $ns:expr) => {
+        if $crate::enabled() {
+            static H: ::std::sync::OnceLock<&'static $crate::Histogram> =
+                ::std::sync::OnceLock::new();
+            H.get_or_init(|| $crate::histogram($name)).record($ns);
+        }
+    };
+}
+
+/// Opens an RAII span timer (see [`span`]); the guard records its
+/// lifetime into the histogram of the same name and mirrors open/close
+/// events to the trace sink.
+#[macro_export]
+macro_rules! span {
+    ($label:literal) => {
+        $crate::span($label)
+    };
+}
+
+// --- spans ---------------------------------------------------------------
+
+/// RAII span timer returned by [`span`]. While observability is off the
+/// guard is inert: no clock read on open, a single branch on drop.
+pub struct SpanGuard {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            histogram(self.label).record(ns);
+            if trace_on() {
+                trace_event(&[
+                    ("ev", TraceVal::Str("close")),
+                    ("span", TraceVal::Str(self.label)),
+                    ("tid", TraceVal::U64(thread_id())),
+                    ("t_ns", TraceVal::U64(epoch_ns())),
+                    ("dur_ns", TraceVal::U64(ns)),
+                ]);
+            }
+        }
+    }
+}
+
+/// Opens a span labelled `label`: its drop records the elapsed
+/// nanoseconds into the histogram of the same name, and (when a trace
+/// sink is active) open/close events with thread id and wall-nanos stream
+/// to the JSONL sink.
+#[inline]
+pub fn span(label: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { label, start: None };
+    }
+    span_open(label, None)
+}
+
+/// [`span`] with one extra `key: value` attribute on the open event
+/// (e.g. the content hash of the module being embedded). The value is
+/// rendered as hex, matching `Module::content_hash` conventions.
+#[inline]
+pub fn span_attr(label: &'static str, key: &'static str, value: u64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { label, start: None };
+    }
+    span_open(label, Some((key, value)))
+}
+
+#[cold]
+fn span_open(label: &'static str, attr: Option<(&'static str, u64)>) -> SpanGuard {
+    if trace_on() {
+        match attr {
+            Some((k, v)) => trace_event(&[
+                ("ev", TraceVal::Str("open")),
+                ("span", TraceVal::Str(label)),
+                ("tid", TraceVal::U64(thread_id())),
+                ("t_ns", TraceVal::U64(epoch_ns())),
+                (k, TraceVal::Hex(v)),
+            ]),
+            None => trace_event(&[
+                ("ev", TraceVal::Str("open")),
+                ("span", TraceVal::Str(label)),
+                ("tid", TraceVal::U64(thread_id())),
+                ("t_ns", TraceVal::U64(epoch_ns())),
+            ]),
+        }
+    }
+    SpanGuard {
+        label,
+        start: Some(Instant::now()),
+    }
+}
+
+// --- the JSONL trace sink ------------------------------------------------
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+// LineWriter, not BufWriter: process exit never runs static destructors,
+// so a block-buffered sink would silently drop its final partial buffer
+// (unbalanced open/close events) in any binary that does not call
+// flush_trace() before exiting.
+static TRACE_SINK: Mutex<Option<std::io::LineWriter<std::fs::File>>> = Mutex::new(None);
+
+/// Whether a trace sink is attached (cheap relaxed load).
+#[inline]
+pub fn trace_on() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+fn init_trace_from_env() {
+    if let Ok(path) = std::env::var("YALI_TRACE") {
+        if !path.trim().is_empty() {
+            set_trace_path(Some(path.trim()));
+        }
+    }
+}
+
+/// Attaches (or with `None` detaches) the JSONL event sink. The file is
+/// truncated; failures to open are reported on stderr and leave tracing
+/// off — observability must never take a run down.
+pub fn set_trace_path(path: Option<&str>) {
+    let mut sink = TRACE_SINK.lock().unwrap();
+    if let Some(mut old) = sink.take() {
+        let _ = old.flush();
+    }
+    TRACE_ON.store(false, Ordering::Relaxed);
+    if let Some(path) = path {
+        match std::fs::File::create(path) {
+            Ok(f) => {
+                *sink = Some(std::io::LineWriter::new(f));
+                TRACE_ON.store(true, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("yali-obs: cannot open trace sink {path}: {e}"),
+        }
+    }
+}
+
+/// Flushes buffered trace events to disk (reports call this before
+/// reading the file back; process exit does not run static destructors).
+pub fn flush_trace() {
+    if let Some(w) = TRACE_SINK.lock().unwrap().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// A value in a trace event.
+enum TraceVal {
+    Str(&'static str),
+    U64(u64),
+    Hex(u64),
+    Owned(String),
+}
+
+fn trace_event(fields: &[(&str, TraceVal)]) {
+    let mut line = String::with_capacity(96);
+    line.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('"');
+        line.push_str(k);
+        line.push_str("\":");
+        match v {
+            TraceVal::Str(s) => {
+                line.push('"');
+                json_escape_into(&mut line, s);
+                line.push('"');
+            }
+            TraceVal::U64(n) => line.push_str(&n.to_string()),
+            TraceVal::Hex(n) => {
+                line.push('"');
+                line.push_str(&format!("{n:#018x}"));
+                line.push('"');
+            }
+            TraceVal::Owned(s) => {
+                line.push('"');
+                json_escape_into(&mut line, s);
+                line.push('"');
+            }
+        }
+    }
+    line.push_str("}\n");
+    if let Some(w) = TRACE_SINK.lock().unwrap().as_mut() {
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Emits a warning: always mirrored to stderr (misconfiguration must not
+/// be silent even with observability off) and, when a sink is attached, a
+/// `{"ev":"warn",...}` event.
+pub fn warn(msg: &str) {
+    eprintln!("yali-obs: warning: {msg}");
+    if trace_on() {
+        trace_event(&[
+            ("ev", TraceVal::Str("warn")),
+            ("tid", TraceVal::U64(thread_id())),
+            ("t_ns", TraceVal::U64(epoch_ns())),
+            ("msg", TraceVal::Owned(msg.to_string())),
+        ]);
+    }
+}
+
+/// Emits a custom event with a label and per-call numeric fields (the
+/// parallel pool reports per-region utilization this way). No-op without
+/// an attached sink.
+pub fn trace_region(label: &'static str, fields: &[(&'static str, u64)]) {
+    if !trace_on() {
+        return;
+    }
+    let mut all: Vec<(&str, TraceVal)> = vec![
+        ("ev", TraceVal::Str("region")),
+        ("label", TraceVal::Str(label)),
+        ("tid", TraceVal::U64(thread_id())),
+        ("t_ns", TraceVal::U64(epoch_ns())),
+    ];
+    for &(k, v) in fields {
+        all.push((k, TraceVal::U64(v)));
+    }
+    trace_event(&all);
+}
+
+// --- thread ids and the process epoch ------------------------------------
+
+static NEXT_TID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed) as u64;
+}
+
+/// A small sequential id for the current thread (assigned on first use;
+/// `ThreadId` itself has no stable numeric form).
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the first observability event of the process — the
+/// common clock all trace timestamps share.
+pub fn epoch_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global enabled flag is process-wide, so every test that flips
+    // it serializes on this lock and restores `false` before returning.
+    static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        set_enabled(true);
+        count!("test.counter.a", 2);
+        count!("test.counter.a", 3);
+        set_enabled(false);
+        count!("test.counter.a", 100); // off: must not land
+        assert_eq!(counter("test.counter.a").get(), 5);
+        let all = Registry::global().counters();
+        assert_eq!(all.iter().filter(|(n, _)| n == "test.counter.a").count(), 1);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        set_enabled(false);
+        {
+            let _g = span!("test.span.disabled");
+        }
+        assert_eq!(histogram("test.span.disabled").snapshot("x").count, 0);
+    }
+
+    #[test]
+    fn enabled_spans_record_duration() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        set_enabled(true);
+        {
+            let _g = span!("test.span.enabled");
+            std::hint::black_box(1 + 1);
+        }
+        set_enabled(false);
+        let snap = histogram("test.span.enabled").snapshot("test.span.enabled");
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum_ns > 0);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1 << 20);
+        h.record(u64::MAX);
+        let s = h.snapshot("h");
+        assert_eq!(s.count, 6);
+        assert_eq!(s.buckets[0], 2); // 0 and 1
+        assert_eq!(s.buckets[1], 2); // 2 and 3
+        assert_eq!(s.buckets[20], 1);
+        assert_eq!(s.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(s.max_ns, u64::MAX);
+        assert!(s.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn trace_sink_writes_parseable_lines() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        let path = std::env::temp_dir().join("yali_obs_selftest.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        set_trace_path(Some(&path));
+        set_enabled(true);
+        {
+            let _g = span_attr("test.trace.span", "module", 0xDEAD_BEEF);
+        }
+        warn("test \"quoted\" warning\nwith newline");
+        set_enabled(false);
+        set_trace_path(None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "open + close + warn, got {lines:?}");
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"span\":\"test.trace.span\""));
+        assert!(text.contains("\"module\":\"0x00000000deadbeef\""));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\\n"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        set_enabled(true);
+        count!("test.reset.counter", 7);
+        record!("test.reset.hist", 123);
+        set_enabled(false);
+        Registry::global().reset();
+        assert_eq!(counter("test.reset.counter").get(), 0);
+        assert_eq!(histogram("test.reset.hist").snapshot("x").count, 0);
+    }
+
+    #[test]
+    fn thread_ids_are_small_and_distinct() {
+        let a = thread_id();
+        let b = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(a, b);
+        assert!(a >= 1 && b >= 1);
+    }
+}

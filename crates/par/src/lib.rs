@@ -12,23 +12,70 @@
 //! need a reduction merge the per-item results in index order themselves.
 //!
 //! Worker count comes from the `YALI_THREADS` environment variable, or
-//! the machine's available parallelism when unset.
+//! the machine's available parallelism when unset. A set-but-invalid
+//! `YALI_THREADS` (unparsable, or zero) falls back to the machine
+//! parallelism **with a warning** through the `yali-obs` event sink —
+//! never silently.
+//!
+//! With `YALI_OBS=1` every parallel [`par_map`] region additionally
+//! accounts its workers' busy time against the region's wall time
+//! (`par.busy_ns` / `par.worker_ns` in the registry — their ratio is the
+//! pool utilization `yali_core::report` puts in `RUNSTATS.json`), and
+//! streams one per-region event to the `YALI_TRACE` sink.
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// How one `YALI_THREADS` value parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadsVar {
+    /// Variable not set: use the machine's parallelism.
+    Unset,
+    /// A positive integer.
+    Count(usize),
+    /// Set but unusable (unparsable, empty, or zero).
+    Invalid,
+}
+
+/// Parses a `YALI_THREADS` value. Surrounding whitespace is tolerated;
+/// zero, an empty/blank string, and non-numbers are [`ThreadsVar::Invalid`].
+fn parse_threads(v: Option<&str>) -> ThreadsVar {
+    match v {
+        None => ThreadsVar::Unset,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => ThreadsVar::Count(n),
+            _ => ThreadsVar::Invalid,
+        },
+    }
+}
 
 /// Number of worker threads: the `YALI_THREADS` environment variable when
 /// set to a positive integer, otherwise the machine's available
-/// parallelism (1 when that is unknown).
+/// parallelism (1 when that is unknown). A set-but-invalid value warns
+/// once per process (stderr plus the `yali-obs` trace sink) instead of
+/// silently falling back.
 pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("YALI_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+    let var = std::env::var("YALI_THREADS").ok();
+    match parse_threads(var.as_deref()) {
+        ThreadsVar::Count(n) => n,
+        ThreadsVar::Unset => machine_parallelism(),
+        ThreadsVar::Invalid => {
+            static WARNED: AtomicBool = AtomicBool::new(false);
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                yali_obs::warn(&format!(
+                    "YALI_THREADS={:?} is not a positive integer; falling back to the \
+                     machine's available parallelism",
+                    var.unwrap_or_default()
+                ));
             }
+            machine_parallelism()
         }
     }
+}
+
+fn machine_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
@@ -64,13 +111,21 @@ where
     // the pieces back in start order restores the serial output exactly.
     let chunk = (n / (threads * 4)).max(1);
     let n_chunks = n.div_ceil(chunk);
+    let workers = threads.min(n_chunks);
+    // Pool accounting (busy-vs-wall per region) is purely additive: it
+    // times workers, never reschedules them, so results are unaffected.
+    let obs = yali_obs::enabled();
+    let region_start = obs.then(Instant::now);
+    let busy_ns = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
     let mut pieces: Vec<(usize, Vec<U>)> = std::thread::scope(|s| {
         let f = &f;
         let next = &next;
-        let handles: Vec<_> = (0..threads.min(n_chunks))
+        let busy_ns = &busy_ns;
+        let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
+                    let worker_start = obs.then(Instant::now);
                     let mut local = Vec::new();
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
@@ -86,6 +141,9 @@ where
                             .collect();
                         local.push((start, out));
                     }
+                    if let Some(t0) = worker_start {
+                        busy_ns.fetch_add(t0.elapsed().as_nanos() as usize, Ordering::Relaxed);
+                    }
                     local
                 })
             })
@@ -95,6 +153,24 @@ where
             .flat_map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     });
+    if let Some(t0) = region_start {
+        let wall = t0.elapsed().as_nanos() as u64;
+        let busy = busy_ns.load(Ordering::Relaxed) as u64;
+        yali_obs::count!("par.regions", 1);
+        yali_obs::count!("par.items", n as u64);
+        yali_obs::count!("par.wall_ns", wall);
+        yali_obs::count!("par.busy_ns", busy);
+        yali_obs::count!("par.worker_ns", wall * workers as u64);
+        yali_obs::trace_region(
+            "par_map",
+            &[
+                ("wall_ns", wall),
+                ("busy_ns", busy),
+                ("workers", workers as u64),
+                ("items", n as u64),
+            ],
+        );
+    }
     pieces.sort_unstable_by_key(|p| p.0);
     let mut out = Vec::with_capacity(n);
     for (_, mut v) in pieces {
@@ -144,6 +220,57 @@ mod tests {
             let parallel = par_map_with(threads, &items, |i, &v| v * v + i as u64);
             assert_eq!(parallel, serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn threads_var_zero_is_invalid_not_a_silent_fallback() {
+        assert_eq!(parse_threads(Some("0")), ThreadsVar::Invalid);
+    }
+
+    #[test]
+    fn threads_var_garbage_is_invalid() {
+        assert_eq!(parse_threads(Some("abc")), ThreadsVar::Invalid);
+        assert_eq!(parse_threads(Some("-3")), ThreadsVar::Invalid);
+        assert_eq!(parse_threads(Some("4x")), ThreadsVar::Invalid);
+    }
+
+    #[test]
+    fn threads_var_whitespace_cases() {
+        // Pure whitespace is invalid; whitespace around a number is fine.
+        assert_eq!(parse_threads(Some("   ")), ThreadsVar::Invalid);
+        assert_eq!(parse_threads(Some("")), ThreadsVar::Invalid);
+        assert_eq!(parse_threads(Some(" 8 ")), ThreadsVar::Count(8));
+        assert_eq!(parse_threads(Some("\t4\n")), ThreadsVar::Count(4));
+    }
+
+    #[test]
+    fn threads_var_valid_and_unset() {
+        assert_eq!(parse_threads(Some("1")), ThreadsVar::Count(1));
+        assert_eq!(parse_threads(Some("16")), ThreadsVar::Count(16));
+        assert_eq!(parse_threads(None), ThreadsVar::Unset);
+    }
+
+    #[test]
+    fn par_map_accounts_pool_time_when_obs_is_on() {
+        yali_obs::set_enabled(true);
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_with(4, &items, |i, &v| {
+            std::hint::black_box(v.wrapping_mul(0x9E37_79B9).rotate_left(i as u32))
+        });
+        yali_obs::set_enabled(false);
+        assert_eq!(out.len(), 64);
+        let counters = yali_obs::Registry::global().counters();
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert!(get("par.regions") >= 1);
+        assert!(get("par.items") >= 64);
+        assert!(get("par.worker_ns") >= get("par.busy_ns"));
+        assert!(get("par.busy_ns") > 0);
     }
 
     #[test]

@@ -4,7 +4,11 @@
 #
 #   scripts/bench.sh          throughput + training + inference benches,
 #                             then verify BENCH_engine.json,
-#                             BENCH_train.json and BENCH_infer.json
+#                             BENCH_train.json and BENCH_infer.json plus
+#                             their companion RUNSTATS_*.json run reports
+#                             and the observability overhead gate (the
+#                             instrumented-but-disabled sweep must land
+#                             within 3% of itself with YALI_OBS=1)
 #   scripts/bench.sh --smoke  the same pass (the benches are already
 #                             sized for smoke runs: Scale::SMALL corpora,
 #                             10 Criterion samples) — the flag states
@@ -59,6 +63,67 @@ EOF
   fi
 }
 
-check_json BENCH_engine.json speedup_serial_to_parallel_cached embed_cache transform_cache
+check_json BENCH_engine.json speedup_serial_to_parallel_cached obs_overhead_pct embed_cache transform_cache
 check_json BENCH_train.json speedup_serial_to_parallel_cached model_cache
 check_json BENCH_infer.json speedup_serial_to_batched speedup_serial_to_batched_parallel n_queries
+
+# check_runstats FILE — the companion run report is well-formed JSON with
+# coherent cache counters (hits + misses >= inserts, ratio in [0, 1]),
+# non-negative phase wall times, and pool utilization in [0, 1].
+check_runstats() {
+  local file="$1"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$file" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+if not report.get("obs_enabled"):
+    sys.exit(f"{path}: report written without observability enabled")
+for name, c in report["caches"].items():
+    if c["hits"] + c["misses"] < c["inserts"]:
+        sys.exit(f"{path}: cache {name}: hits+misses < inserts")
+    if not 0.0 <= c["hit_ratio"] <= 1.0:
+        sys.exit(f"{path}: cache {name}: hit_ratio {c['hit_ratio']} out of range")
+for name, p in report["phases"].items():
+    if p["total_ns"] < 0 or p["max_ns"] < 0 or p["mean_ns"] < 0:
+        sys.exit(f"{path}: phase {name}: negative wall time")
+    if p["count"] > 0 and p["total_ns"] == 0:
+        sys.exit(f"{path}: phase {name}: {p['count']} entries but zero time")
+util = report["pool"]["utilization"]
+if not 0.0 <= util <= 1.0:
+    sys.exit(f"{path}: pool utilization {util} out of range")
+print(
+    f"{path}: ok ({len(report['caches'])} caches, {len(report['phases'])} phases, "
+    f"pool utilization {util:.2f})"
+)
+EOF
+  else
+    for key in obs_enabled caches phases pool counters; do
+      grep -q "\"$key\"" "$file" || { echo "$file: missing key \"$key\"" >&2; exit 1; }
+    done
+    echo "$file: ok (grep fallback; python3 unavailable)"
+  fi
+}
+
+check_runstats RUNSTATS_engine.json
+check_runstats RUNSTATS_train.json
+check_runstats RUNSTATS_infer.json
+
+# The observability overhead gate: with YALI_OBS unset every count!/span!
+# call site must stay a single relaxed load, so the instrumented sweep's
+# obs-on mode may cost at most 3% over the identical obs-off mode.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_engine.json") as f:
+    report = json.load(f)
+pct = report["obs_overhead_pct"]
+if pct > 3.0:
+    raise SystemExit(f"BENCH_engine.json: obs-on overhead {pct:.2f}% exceeds the 3% gate")
+print(f"observability overhead gate: ok ({pct:.2f}% <= 3%)")
+EOF
+fi

@@ -7,6 +7,12 @@ use proptest::prelude::*;
 use yali_core::{engine, play, ClassifierSpec, Corpus, Game, GameConfig, Transformer};
 use yali_ml::ModelKind;
 
+// YALI_THREADS and the yali-obs enabled/trace state are process-global;
+// the tests that touch either serialize here so neither can observe the
+// other mid-flip (an in-flight game would otherwise write span opens into
+// a trace that detaches before the matching closes).
+static GLOBAL_STATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn play_once(seed: u64, game: Game) -> String {
     let corpus = Corpus::poj(3, 8, seed);
     // Rotate models so the RNG-seeded (rf), deterministic (knn), and
@@ -33,6 +39,7 @@ proptest! {
         game_idx in 0usize..4,
     ) {
         let game = Game::ALL[game_idx];
+        let _lock = GLOBAL_STATE.lock().unwrap();
         let run = |threads: &str, cold: bool| {
             std::env::set_var("YALI_THREADS", threads);
             if cold {
@@ -49,6 +56,54 @@ proptest! {
         prop_assert_eq!(&serial_cold, &parallel_warm, "cold vs warm caches");
         let serial_warm = run("1", false);
         prop_assert_eq!(&serial_cold, &serial_warm, "serial replay on warm caches");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    // The observability contract: flipping YALI_OBS/YALI_TRACE on must not
+    // change a single byte of any result — instrumentation only times and
+    // counts, it never reschedules work. Uses the programmatic overrides
+    // (set_enabled/set_trace_path) so this test cannot race other tests on
+    // process-global environment variables.
+    #[test]
+    fn observability_never_perturbs_results(
+        seed in 0u64..32,
+        game_idx in 0usize..4,
+    ) {
+        let game = Game::ALL[game_idx];
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        yali_obs::set_enabled(false);
+        let plain = play_once(seed, game);
+
+        let trace_path = std::env::temp_dir().join(format!(
+            "yali_trace_determinism_{seed}_{game_idx}.jsonl"
+        ));
+        let trace_path = trace_path.to_str().unwrap().to_string();
+        yali_obs::set_enabled(true);
+        yali_obs::set_trace_path(Some(&trace_path));
+        let observed = play_once(seed, game);
+        yali_obs::set_trace_path(None);
+        yali_obs::set_enabled(false);
+
+        prop_assert_eq!(&plain, &observed, "YALI_OBS=1 + trace changed a result");
+
+        // The trace itself must be sane: non-empty, one JSON object per
+        // line, with matching span open/close counts.
+        let text = std::fs::read_to_string(&trace_path).expect("trace written");
+        let _ = std::fs::remove_file(&trace_path);
+        let (mut opens, mut closes) = (0usize, 0usize);
+        for line in text.lines() {
+            let v = serde_json::from_str(line)
+                .unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+            match v["ev"].as_str() {
+                Some("open") => opens += 1,
+                Some("close") => closes += 1,
+                _ => {}
+            }
+        }
+        prop_assert!(opens > 0, "an instrumented game emitted no spans");
+        prop_assert_eq!(opens, closes, "unbalanced span events");
     }
 }
 

@@ -76,13 +76,24 @@ fn parse_item(tokens: &[TokenTree]) -> (ItemKind, String, Vec<TokenTree>) {
     panic!("derive(Serialize): no struct or enum found");
 }
 
-/// Splits a brace-group body on top-level commas.
+/// Splits a brace-group body on top-level commas. Angle brackets are
+/// `Punct`s, not groups, so the splitter tracks `<`/`>` depth to keep the
+/// comma of e.g. `BTreeMap<String, CacheReport>` inside its field.
 fn split_on_commas(body: &[TokenTree]) -> Vec<Vec<TokenTree>> {
     let mut pieces = Vec::new();
     let mut cur = Vec::new();
+    let mut angle_depth = 0usize;
     for t in body {
         match t {
-            TokenTree::Punct(p) if p.as_char() == ',' => {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
                 pieces.push(std::mem::take(&mut cur));
             }
             t => cur.push(t.clone()),

@@ -1,22 +1,32 @@
-//! Offline-vendored subset of `serde_json`: [`to_string`] and
-//! [`to_string_pretty`] over the vendored `serde::Serialize` trait.
+//! Offline-vendored subset of `serde_json`: [`to_string`] /
+//! [`to_string_pretty`] over the vendored `serde::Serialize` trait, plus a
+//! dynamic [`Value`] with a [`from_str`] parser for reading reports and
+//! trace lines back.
 //!
-//! The vendored `Serialize` renders straight to JSON text, so this crate is
-//! a thin shim that matches the upstream call signatures (including the
-//! `Result` return, which is infallible here).
+//! The vendored `Serialize` renders straight to JSON text, so the encoding
+//! half is a thin shim that matches the upstream call signatures
+//! (including the `Result` return, which is infallible there).
 
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
+
 use serde::Serialize;
 
-/// A serialization error. The vendored encoder is infallible, so this type
-/// is never constructed; it exists to keep upstream call sites compiling.
+/// A serialization or parse error. Encoding is infallible; parsing reports
+/// the byte offset and a short message.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn parse(offset: usize, msg: &str) -> Error {
+        Error(format!("at byte {offset}: {msg}"))
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json error")
+        write!(f, "serde_json error: {}", self.0)
     }
 }
 
@@ -93,6 +103,338 @@ fn prettify(compact: &str) -> String {
     out
 }
 
+/// A parsed JSON document. Numbers are kept as `f64` (every value the
+/// workspace writes — counters, ratios, nanoseconds — fits exactly or is
+/// itself an `f64`; nanosecond counts stay exact up to 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (key order normalized).
+    Object(BTreeMap<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Object member by key ([`Value::Null`] when absent or not an object).
+    pub fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(o) => o.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_f64() == Some(f64::from(*other))
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+/// Parses a JSON document into a [`Value`]. Rejects trailing non-space
+/// input, unterminated strings, and malformed escapes.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::parse(p.pos, "trailing input"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(self.pos, "invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error::parse(self.pos, "expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{', "expected '{'")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':'")?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::parse(self.pos, "bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by any writer
+                            // in the workspace; map lone surrogates to the
+                            // replacement character rather than erroring.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(Error::parse(self.pos, "unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let c = std::str::from_utf8(rest)
+                        .map_err(|_| Error::parse(self.pos, "invalid utf-8"))?
+                        .chars()
+                        .next()
+                        .expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| Error::parse(start, "invalid number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +454,47 @@ mod tests {
         // Braces inside strings are untouched.
         let s = to_string_pretty("{:x}").unwrap();
         assert_eq!(s, "\"{:x}\"");
+    }
+
+    #[test]
+    fn parse_round_trips_what_the_encoder_writes() {
+        let mut m = BTreeMap::new();
+        m.insert("xs".to_string(), vec![1u32, 2, 3]);
+        let text = to_string_pretty(&m).unwrap();
+        let v = from_str(&text).unwrap();
+        assert_eq!(v["xs"][0], 1u64);
+        assert_eq!(v["xs"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parse_handles_every_value_shape() {
+        let v = from_str(
+            r#"{"b":true,"n":null,"f":-2.5e2,"s":"a\"b\nA","o":{"k":7},"a":[]}"#,
+        )
+        .unwrap();
+        assert_eq!(v["b"], true);
+        assert_eq!(v["n"], Value::Null);
+        assert_eq!(v["f"], -250.0);
+        assert_eq!(v["s"], "a\"b\nA");
+        assert_eq!(v["o"]["k"], 7u64);
+        assert!(v["a"].as_array().unwrap().is_empty());
+        // Missing keys index to Null instead of panicking.
+        assert_eq!(v["absent"]["deeper"], Value::Null);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["{", "[1,", "\"open", "{\"k\" 1}", "tru", "1 2", "{'k':1}"] {
+            assert!(from_str(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn numbers_classify_as_u64_only_when_integral() {
+        let v = from_str("[3, 3.5, -1]").unwrap();
+        assert_eq!(v[0].as_u64(), Some(3));
+        assert_eq!(v[1].as_u64(), None);
+        assert_eq!(v[1].as_f64(), Some(3.5));
+        assert_eq!(v[2].as_u64(), None);
     }
 }
