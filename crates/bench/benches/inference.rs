@@ -128,6 +128,22 @@ fn main() {
         .write(runstats_path)
         .expect("write RUNSTATS_infer.json");
     yali_obs::set_enabled(false);
+
+    // One untimed traced pass for `yali-prof` (separate from the report
+    // pass above so the JSONL sink's mutex writes never taint the
+    // RUNSTATS phase timings).
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_infer.jsonl");
+    yali_obs::set_trace_path(Some(trace_path));
+    yali_obs::set_enabled(true);
+    {
+        // `predict_batch` itself only records histograms (the per-chunk
+        // latency), so give the capture a root span to hang the pool's
+        // region events under.
+        let _pass = yali_obs::span!("bench.infer.pass");
+        let _ = batched_pass();
+    }
+    yali_obs::set_enabled(false);
+    yali_obs::set_trace_path(None);
     std::env::remove_var("YALI_THREADS");
 
     let serial_mean = c

@@ -132,9 +132,10 @@ fn main() {
     engine::clear_caches();
     c.bench_function("sweep/parallel_cached", |b| b.iter(|| sweep(&corpora)));
 
-    // The same warm-cache sweep with observability live. The mode above is
-    // the instrumented-but-disabled configuration, so the pair bounds the
-    // cost of switching `YALI_OBS` on; bench.sh gates the delta at 3%.
+    // The same warm-cache sweep with observability live, reported as its
+    // own mode. (The 3% `obs_overhead_pct` gate is computed from the
+    // interleaved paired measurement below, not from these two modes —
+    // they are timed too far apart to subtract cleanly on a noisy box.)
     yali_obs::set_enabled(true);
     c.bench_function("sweep/obs_on", |b| b.iter(|| sweep(&corpora)));
     let runstats_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUNSTATS_engine.json");
@@ -142,6 +143,45 @@ fn main() {
         .write(runstats_path)
         .expect("write RUNSTATS_engine.json");
     yali_obs::set_enabled(false);
+
+    // The overhead gate's own measurement. Criterion times the obs-off
+    // and obs-on modes tens of seconds apart, which on a small shared box
+    // lets clock drift (thermal, scheduler) swamp the sub-1% cost being
+    // gated — run-to-run the mode-vs-mode delta swings well past ±10% in
+    // both directions. Interleave instead: time obs-off/obs-on sweeps
+    // back to back in alternating order, so drift cancels pairwise, and
+    // gate on the median paired ratio.
+    let timed_sweep = |on: bool| {
+        yali_obs::set_enabled(on);
+        let t = std::time::Instant::now();
+        std::hint::black_box(sweep(&corpora));
+        let ns = t.elapsed().as_nanos() as f64;
+        yali_obs::set_enabled(false);
+        ns
+    };
+    let mut ratios: Vec<f64> = (0..9)
+        .map(|i| {
+            if i % 2 == 0 {
+                let off = timed_sweep(false);
+                timed_sweep(true) / off
+            } else {
+                let on = timed_sweep(true);
+                on / timed_sweep(false)
+            }
+        })
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let obs_overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+
+    // One untimed traced pass for `yali-prof`. The JSONL sink takes a
+    // mutex per event, so it must never be live inside a Criterion-timed
+    // mode — it would blow the 3% obs-overhead gate on `sweep/obs_on`.
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_engine.jsonl");
+    yali_obs::set_trace_path(Some(trace_path));
+    yali_obs::set_enabled(true);
+    let _ = sweep(&corpora);
+    yali_obs::set_enabled(false);
+    yali_obs::set_trace_path(None);
     std::env::remove_var("YALI_THREADS");
 
     // Speedups are relative to the same group's serial mode.
@@ -168,18 +208,6 @@ fn main() {
         .find(|m| m.name == "sweep/parallel_cached")
         .map(|m| m.speedup_vs_serial)
         .unwrap_or(0.0);
-    // Overhead of live observability over the same warm-cache sweep,
-    // compared on min_ns (the noise-resistant end of the distribution).
-    let min_of = |id: &str| {
-        modes
-            .iter()
-            .find(|m| m.name == id)
-            .map(|m| m.min_ns)
-            .expect("mode summary")
-    };
-    let obs_overhead_pct =
-        (min_of("sweep/obs_on") / min_of("sweep/parallel_cached") - 1.0) * 100.0;
-
     let report = Report {
         description: "embed-all (ir2vec over the corpus) and the Scale::SMALL full-game \
                       sweep (4 games x {knn,svm,lr} x ollvm evader), each serial / \

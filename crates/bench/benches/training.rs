@@ -142,6 +142,16 @@ fn main() {
         .write(runstats_path)
         .expect("write RUNSTATS_train.json");
     yali_obs::set_enabled(false);
+
+    // One untimed traced pass for `yali-prof` (separate from the report
+    // pass above so the JSONL sink's mutex writes never taint the
+    // RUNSTATS phase timings).
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_train.jsonl");
+    yali_obs::set_trace_path(Some(trace_path));
+    yali_obs::set_enabled(true);
+    let _ = sweep(&corpora);
+    yali_obs::set_enabled(false);
+    yali_obs::set_trace_path(None);
     std::env::remove_var("YALI_THREADS");
 
     // Speedups are relative to the same group's serial mode.

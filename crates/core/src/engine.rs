@@ -209,9 +209,9 @@ pub fn caching_enabled() -> bool {
 /// content hash, so a timeline can tell recomputes from replays.
 pub fn embed_cached(m: &yali_ir::Module, kind: EmbeddingKind) -> Embedding {
     let _span = if yali_obs::trace_on() {
-        yali_obs::span_attr("embed.one", "module", m.content_hash())
+        yali_obs::span_attr!("embed.one", "module", m.content_hash())
     } else {
-        yali_obs::span("embed.one")
+        yali_obs::span!("embed.one")
     };
     if !caching_enabled() {
         return kind.embed(m);

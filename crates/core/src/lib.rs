@@ -58,6 +58,6 @@ pub use engine::{
 };
 pub use game::{play, Game, GameConfig, GameResult};
 pub use malware_exp::{malware_round, MalwareCorpus, MalwarePoint, MALWARE_TRANSFORMERS};
-pub use report::RunReport;
+pub use report::{RunReport, RUNSTATS_SCHEMA_VERSION};
 pub use scale::Scale;
 pub use transformer::{SourceStrategy, Transformer};

@@ -50,6 +50,11 @@ pub struct PhaseReport {
     pub total_ns: u64,
     /// Mean wall time per entry, in nanoseconds.
     pub mean_ns: f64,
+    /// Median wall time, estimated from the log2 histogram buckets
+    /// ([`yali_obs::HistSnapshot::quantile`]).
+    pub p50_ns: u64,
+    /// 95th-percentile wall time, estimated from the log2 buckets.
+    pub p95_ns: u64,
     /// Longest single entry, in nanoseconds.
     pub max_ns: u64,
 }
@@ -72,6 +77,13 @@ pub struct PoolReport {
     pub utilization: f64,
 }
 
+/// Version of the `RUNSTATS.json` schema this crate writes. Bumped on
+/// every breaking change so `yali-prof diff` can refuse (or degrade
+/// gracefully) when comparing reports from incompatible writers.
+/// History: 1 = PR 4 (caches/phases/pool/counters); 2 = this version
+/// (adds `schema_version` itself and per-phase `p50_ns`/`p95_ns`).
+pub const RUNSTATS_SCHEMA_VERSION: u32 = 2;
+
 /// The aggregated statistics of one instrumented run.
 ///
 /// Everything here is *derived* observability: collecting a report reads
@@ -79,6 +91,8 @@ pub struct PoolReport {
 /// run's results are bit-identical with or without it.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
+    /// The [`RUNSTATS_SCHEMA_VERSION`] of the writer.
+    pub schema_version: u32,
     /// Whether observability was live when the report was collected
     /// (all-zero reports from disabled runs are distinguishable).
     pub obs_enabled: bool,
@@ -107,12 +121,15 @@ impl RunReport {
             .into_iter()
             .map(|h| {
                 let mean_ns = h.mean_ns();
+                let (p50_ns, p95_ns) = (h.quantile(0.5), h.quantile(0.95));
                 (
                     h.name,
                     PhaseReport {
                         count: h.count,
                         total_ns: h.sum_ns,
                         mean_ns,
+                        p50_ns,
+                        p95_ns,
                         max_ns: h.max_ns,
                     },
                 )
@@ -146,6 +163,7 @@ impl RunReport {
             CacheReport::from_stats(ModelCache::global().stats()),
         );
         RunReport {
+            schema_version: RUNSTATS_SCHEMA_VERSION,
             obs_enabled: yali_obs::enabled(),
             threads: crate::engine::worker_count(),
             caches,
@@ -213,10 +231,16 @@ mod tests {
         let r = RunReport::collect();
         let json = r.to_json();
         let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(v["schema_version"], u64::from(RUNSTATS_SCHEMA_VERSION));
         assert_eq!(v["counters"]["test.report.counter"], 3);
         let phase = &v["phases"]["test.report.span"];
         assert_eq!(phase["count"], 1);
         assert!(phase["total_ns"].as_u64().unwrap() > 0);
+        // Quantiles ride along and respect p50 <= p95 <= max.
+        let p50 = phase["p50_ns"].as_u64().unwrap();
+        let p95 = phase["p95_ns"].as_u64().unwrap();
+        let max = phase["max_ns"].as_u64().unwrap();
+        assert!(p50 <= p95 && p95 <= max, "p50={p50} p95={p95} max={max}");
     }
 
     #[test]

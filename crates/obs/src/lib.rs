@@ -190,6 +190,40 @@ impl HistSnapshot {
             self.sum_ns as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile in nanoseconds (`q` in `[0, 1]`), linearly
+    /// interpolated inside the log2 bucket holding the target rank, so the
+    /// estimate is never off by more than one bucket width (a factor of
+    /// two). `q >= 1` returns the exact recorded maximum; an empty
+    /// snapshot returns 0. Estimates are clamped to `max_ns`, so no
+    /// quantile ever exceeds the largest observed sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max_ns;
+        }
+        // 1-based rank of the requested quantile among the sorted samples.
+        let target = ((q.max(0.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                // Bucket i spans [2^i, 2^(i+1)); bucket 0 also holds 0
+                // and 1. Interpolate by the rank's position in the bucket.
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = 1u64 << (i + 1);
+                let frac = (target - seen) as f64 / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).min(self.max_ns);
+            }
+            seen += n;
+        }
+        self.max_ns
+    }
 }
 
 // --- the registry --------------------------------------------------------
@@ -250,30 +284,38 @@ impl Registry {
     }
 }
 
-/// Returns (registering on first use) the counter named `name`.
+/// Returns (registering on first use) the counter named `name`. The
+/// registry vector is kept sorted by name, so lookup under the mutex is a
+/// binary search rather than a linear scan (sweeps register hundreds of
+/// distinct series; uncached call sites would otherwise pay O(n) each).
 pub fn counter(name: &'static str) -> &'static Counter {
     let reg = Registry::global();
     let mut counters = reg.counters.lock().unwrap();
-    if let Some((_, c)) = counters.iter().find(|(n, _)| *n == name) {
-        return c;
+    match counters.binary_search_by_key(&name, |&(n, _)| n) {
+        Ok(i) => counters[i].1,
+        Err(i) => {
+            let c: &'static Counter = Box::leak(Box::new(Counter {
+                v: AtomicU64::new(0),
+            }));
+            counters.insert(i, (name, c));
+            c
+        }
     }
-    let c: &'static Counter = Box::leak(Box::new(Counter {
-        v: AtomicU64::new(0),
-    }));
-    counters.push((name, c));
-    c
 }
 
-/// Returns (registering on first use) the histogram named `name`.
+/// Returns (registering on first use) the histogram named `name`. Same
+/// sorted-vector binary search as [`counter`].
 pub fn histogram(name: &'static str) -> &'static Histogram {
     let reg = Registry::global();
     let mut hists = reg.hists.lock().unwrap();
-    if let Some((_, h)) = hists.iter().find(|(n, _)| *n == name) {
-        return h;
+    match hists.binary_search_by_key(&name, |&(n, _)| n) {
+        Ok(i) => hists[i].1,
+        Err(i) => {
+            let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+            hists.insert(i, (name, h));
+            h
+        }
     }
-    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
-    hists.push((name, h));
-    h
 }
 
 /// Bumps the named counter by `n` when observability is on; a relaxed
@@ -305,36 +347,77 @@ macro_rules! record {
 
 /// Opens an RAII span timer (see [`span`]); the guard records its
 /// lifetime into the histogram of the same name and mirrors open/close
-/// events to the trace sink.
+/// events to the trace sink. The histogram handle is cached per call
+/// site, so neither open nor drop ever takes the registry lock.
 #[macro_export]
 macro_rules! span {
-    ($label:literal) => {
-        $crate::span($label)
-    };
+    ($label:literal) => {{
+        static H: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        $crate::span_cached($label, &H)
+    }};
+}
+
+/// [`span!`] with one extra `key: value` attribute on the open and close
+/// events; the histogram handle is cached per call site like [`span!`].
+#[macro_export]
+macro_rules! span_attr {
+    ($label:literal, $key:literal, $value:expr) => {{
+        static H: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        $crate::span_attr_cached($label, &H, $key, $value)
+    }};
 }
 
 // --- spans ---------------------------------------------------------------
+
+// Per-thread span bookkeeping for the trace sink: `seq` is a monotone
+// open-event sequence number (never reused, so a close can name the open
+// it pairs with), `depth` is the current nesting level. Spans obey stack
+// discipline per thread (RAII guards drop LIFO), which is what makes a
+// trace reconstructible from the flat event stream.
+thread_local! {
+    static NEXT_SEQ: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static DEPTH: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
 
 /// RAII span timer returned by [`span`]. While observability is off the
 /// guard is inert: no clock read on open, a single branch on drop.
 pub struct SpanGuard {
     label: &'static str,
-    start: Option<Instant>,
+    /// Start instant and the label's histogram, both resolved at open
+    /// (through the per-call-site cache when opened by the macros), so a
+    /// drop on the hot path is clock + relaxed atomics — never the
+    /// registry lock. `None` while observability is off.
+    timed: Option<(Instant, &'static Histogram)>,
+    /// The open event's attribute, echoed on the close event so
+    /// per-module filtering works on either end of the pair.
+    attr: Option<(&'static str, u64)>,
+    /// `(seq, depth)` of the traced open event; `None` when the open was
+    /// not traced (so the drop never emits a close without its open).
+    trace: Option<(u64, u64)>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
+        if let Some((start, hist)) = self.timed {
             let ns = start.elapsed().as_nanos() as u64;
-            histogram(self.label).record(ns);
-            if trace_on() {
-                trace_event(&[
+            hist.record(ns);
+            if let Some((seq, depth)) = self.trace {
+                DEPTH.with(|d| d.set(depth));
+                let mut fields = vec![
                     ("ev", TraceVal::Str("close")),
                     ("span", TraceVal::Str(self.label)),
                     ("tid", TraceVal::U64(thread_id())),
+                    ("seq", TraceVal::U64(seq)),
+                    ("depth", TraceVal::U64(depth)),
                     ("t_ns", TraceVal::U64(epoch_ns())),
                     ("dur_ns", TraceVal::U64(ns)),
-                ]);
+                ];
+                if let Some((k, v)) = self.attr {
+                    fields.push((k, TraceVal::Hex(v)));
+                }
+                trace_event(&fields);
             }
         }
     }
@@ -342,49 +425,116 @@ impl Drop for SpanGuard {
 
 /// Opens a span labelled `label`: its drop records the elapsed
 /// nanoseconds into the histogram of the same name, and (when a trace
-/// sink is active) open/close events with thread id and wall-nanos stream
-/// to the JSONL sink.
+/// sink is active) open/close events with thread id, per-thread sequence
+/// id, stack depth, and wall-nanos stream to the JSONL sink.
+///
+/// Resolves the histogram through the registry lock on every call; hot
+/// call sites should prefer the [`span!`] macro, which caches the handle.
 #[inline]
 pub fn span(label: &'static str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { label, start: None };
+        return SpanGuard {
+            label,
+            timed: None,
+            attr: None,
+            trace: None,
+        };
     }
-    span_open(label, None)
+    span_open(label, histogram(label), None)
 }
 
-/// [`span`] with one extra `key: value` attribute on the open event
-/// (e.g. the content hash of the module being embedded). The value is
-/// rendered as hex, matching `Module::content_hash` conventions.
+/// [`span`] with one extra `key: value` attribute on the open **and**
+/// close events (e.g. the content hash of the module being embedded). The
+/// value is rendered as hex, matching `Module::content_hash` conventions.
 #[inline]
 pub fn span_attr(label: &'static str, key: &'static str, value: u64) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { label, start: None };
+        return SpanGuard {
+            label,
+            timed: None,
+            attr: None,
+            trace: None,
+        };
     }
-    span_open(label, Some((key, value)))
+    span_open(label, histogram(label), Some((key, value)))
+}
+
+/// The [`span!`] macro's entry point: like [`span`], but the histogram
+/// handle comes from the macro's per-call-site `OnceLock`, so the
+/// registry lock is paid once per call site, not once per span.
+#[inline]
+pub fn span_cached(
+    label: &'static str,
+    slot: &'static std::sync::OnceLock<&'static Histogram>,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            label,
+            timed: None,
+            attr: None,
+            trace: None,
+        };
+    }
+    span_open(label, slot.get_or_init(|| histogram(label)), None)
+}
+
+/// The [`span_attr!`] macro's entry point; see [`span_cached`].
+#[inline]
+pub fn span_attr_cached(
+    label: &'static str,
+    slot: &'static std::sync::OnceLock<&'static Histogram>,
+    key: &'static str,
+    value: u64,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            label,
+            timed: None,
+            attr: None,
+            trace: None,
+        };
+    }
+    span_open(label, slot.get_or_init(|| histogram(label)), Some((key, value)))
 }
 
 #[cold]
-fn span_open(label: &'static str, attr: Option<(&'static str, u64)>) -> SpanGuard {
-    if trace_on() {
-        match attr {
-            Some((k, v)) => trace_event(&[
-                ("ev", TraceVal::Str("open")),
-                ("span", TraceVal::Str(label)),
-                ("tid", TraceVal::U64(thread_id())),
-                ("t_ns", TraceVal::U64(epoch_ns())),
-                (k, TraceVal::Hex(v)),
-            ]),
-            None => trace_event(&[
-                ("ev", TraceVal::Str("open")),
-                ("span", TraceVal::Str(label)),
-                ("tid", TraceVal::U64(thread_id())),
-                ("t_ns", TraceVal::U64(epoch_ns())),
-            ]),
+fn span_open(
+    label: &'static str,
+    hist: &'static Histogram,
+    attr: Option<(&'static str, u64)>,
+) -> SpanGuard {
+    let trace = if trace_on() {
+        let seq = NEXT_SEQ.with(|s| {
+            let v = s.get();
+            s.set(v + 1);
+            v
+        });
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        let mut fields = vec![
+            ("ev", TraceVal::Str("open")),
+            ("span", TraceVal::Str(label)),
+            ("tid", TraceVal::U64(thread_id())),
+            ("seq", TraceVal::U64(seq)),
+            ("depth", TraceVal::U64(depth)),
+            ("t_ns", TraceVal::U64(epoch_ns())),
+        ];
+        if let Some((k, v)) = attr {
+            fields.push((k, TraceVal::Hex(v)));
         }
-    }
+        trace_event(&fields);
+        Some((seq, depth))
+    } else {
+        None
+    };
     SpanGuard {
         label,
-        start: Some(Instant::now()),
+        timed: Some((Instant::now(), hist)),
+        attr,
+        trace,
     }
 }
 
@@ -653,6 +803,138 @@ mod tests {
         Registry::global().reset();
         assert_eq!(counter("test.reset.counter").get(), 0);
         assert_eq!(histogram("test.reset.hist").snapshot("x").count, 0);
+    }
+
+    #[test]
+    fn trace_events_carry_seq_depth_and_attr_on_both_ends() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        let path = std::env::temp_dir().join("yali_obs_seqdepth.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        set_trace_path(Some(&path));
+        set_enabled(true);
+        {
+            let _outer = span!("test.seq.outer");
+            let _inner = span_attr("test.seq.inner", "module", 0xABCD);
+        }
+        {
+            let _again = span!("test.seq.outer");
+        }
+        set_enabled(false);
+        set_trace_path(None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let mut opens: Vec<(String, u64, u64)> = Vec::new();
+        let mut closes: Vec<(String, u64, u64, bool)> = Vec::new();
+        for line in text.lines() {
+            let v = serde_json::from_str(line).expect("trace line parses");
+            if !line.contains("test.seq.") {
+                continue;
+            }
+            let span = v["span"].as_str().unwrap().to_string();
+            let seq = v["seq"].as_u64().unwrap();
+            let depth = v["depth"].as_u64().unwrap();
+            match v["ev"].as_str().unwrap() {
+                "open" => opens.push((span, seq, depth)),
+                "close" => closes.push((span, seq, depth, line.contains("\"module\""))),
+                other => panic!("unexpected ev {other}"),
+            }
+        }
+        assert_eq!(opens.len(), 3);
+        assert_eq!(closes.len(), 3);
+        // Per-thread sequence ids are strictly monotone across opens.
+        assert!(opens.windows(2).all(|w| w[0].1 < w[1].1), "{opens:?}");
+        // Nesting depth: outer at 0, inner at 1, the second outer at 0.
+        assert_eq!(opens[0].2, 0);
+        assert_eq!(opens[1].2, 1);
+        assert_eq!(opens[2].2, 0);
+        // Closes echo the open's seq (inner closes first) and the attr
+        // lands on both ends of the attributed span.
+        assert_eq!(closes[0].0, "test.seq.inner");
+        assert_eq!(closes[0].1, opens[1].1);
+        assert!(closes[0].3, "close lost the open's attr");
+        assert_eq!(closes[1].0, "test.seq.outer");
+        assert_eq!(closes[1].1, opens[0].1);
+        assert!(!closes[1].3);
+    }
+
+    #[test]
+    fn quantiles_estimate_within_one_bucket_and_p100_is_exact() {
+        let h = Histogram::new();
+        // 100 samples at exactly 100ns: every quantile lives in the
+        // [64, 128) bucket, and p100 is the exact max.
+        for _ in 0..100 {
+            h.record(100);
+        }
+        let s = h.snapshot("q");
+        for q in [0.0, 0.5, 0.95, 0.99] {
+            let est = s.quantile(q);
+            assert!((64..128).contains(&est), "q={q} est={est}");
+        }
+        assert_eq!(s.quantile(1.0), 100);
+
+        // A bimodal distribution: 90 fast samples (~1µs), 10 slow (~1ms).
+        // p50 must sit in the fast mode's bucket, p95+ in the slow one.
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot("q");
+        let p50 = s.quantile(0.5);
+        let p95 = s.quantile(0.95);
+        assert!((512..1_024).contains(&p50), "p50={p50}");
+        assert!((524_288..=1_000_000).contains(&p95), "p95={p95}");
+        assert_eq!(s.quantile(1.0), 1_000_000);
+        // Quantiles are monotone in q.
+        let qs: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| s.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn quantile_of_empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot("empty");
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn registry_registers_first_use_once_and_snapshots_stay_sorted() {
+        // Out-of-order registration: handles are stable (same pointer on
+        // re-lookup) and snapshots come back sorted by name regardless.
+        let c1 = counter("test.zzz.order");
+        let c2 = counter("test.aaa.order");
+        let c3 = counter("test.mmm.order");
+        assert!(std::ptr::eq(c1, counter("test.zzz.order")));
+        assert!(std::ptr::eq(c2, counter("test.aaa.order")));
+        assert!(std::ptr::eq(c3, counter("test.mmm.order")));
+        let names: Vec<String> = Registry::global()
+            .counters()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "counter snapshot must stay name-sorted");
+        assert_eq!(
+            names.iter().filter(|n| *n == "test.zzz.order").count(),
+            1,
+            "re-registration must not duplicate"
+        );
+        let h1 = histogram("test.zzz.hist");
+        assert!(std::ptr::eq(h1, histogram("test.zzz.hist")));
+        let hnames: Vec<String> = Registry::global()
+            .histograms()
+            .into_iter()
+            .map(|h| h.name)
+            .collect();
+        let mut hsorted = hnames.clone();
+        hsorted.sort();
+        assert_eq!(hnames, hsorted, "histogram snapshot must stay name-sorted");
     }
 
     #[test]

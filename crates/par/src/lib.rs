@@ -21,7 +21,10 @@
 //! accounts its workers' busy time against the region's wall time
 //! (`par.busy_ns` / `par.worker_ns` in the registry — their ratio is the
 //! pool utilization `yali_core::report` puts in `RUNSTATS.json`), and
-//! streams one per-region event to the `YALI_TRACE` sink.
+//! streams one per-region `par_map` event plus one `par_worker` event per
+//! worker (carrying the worker's index, start time, and busy nanoseconds)
+//! to the `YALI_TRACE` sink — the raw material for `yali-prof`'s
+//! busy/idle utilization timeline.
 
 #![warn(missing_docs)]
 
@@ -116,6 +119,7 @@ where
     // times workers, never reschedules them, so results are unaffected.
     let obs = yali_obs::enabled();
     let region_start = obs.then(Instant::now);
+    let region_t0 = (obs && yali_obs::trace_on()).then(yali_obs::epoch_ns);
     let busy_ns = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
     let mut pieces: Vec<(usize, Vec<U>)> = std::thread::scope(|s| {
@@ -123,10 +127,12 @@ where
         let next = &next;
         let busy_ns = &busy_ns;
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 s.spawn(move || {
                     let worker_start = obs.then(Instant::now);
+                    let worker_t0 = (obs && yali_obs::trace_on()).then(yali_obs::epoch_ns);
                     let mut local = Vec::new();
+                    let mut worker_items = 0u64;
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
@@ -134,6 +140,7 @@ where
                         }
                         let start = c * chunk;
                         let end = (start + chunk).min(n);
+                        worker_items += (end - start) as u64;
                         let out: Vec<U> = items[start..end]
                             .iter()
                             .enumerate()
@@ -142,7 +149,22 @@ where
                         local.push((start, out));
                     }
                     if let Some(t0) = worker_start {
-                        busy_ns.fetch_add(t0.elapsed().as_nanos() as usize, Ordering::Relaxed);
+                        let busy = t0.elapsed().as_nanos() as u64;
+                        busy_ns.fetch_add(busy as usize, Ordering::Relaxed);
+                        // One per-worker event with the worker's index, so
+                        // trace analysis can lay out a busy/idle timeline
+                        // per worker rather than one aggregate per region.
+                        if let Some(t0_ns) = worker_t0 {
+                            yali_obs::trace_region(
+                                "par_worker",
+                                &[
+                                    ("worker", w as u64),
+                                    ("t0_ns", t0_ns),
+                                    ("busy_ns", busy),
+                                    ("items", worker_items),
+                                ],
+                            );
+                        }
                     }
                     local
                 })
@@ -164,6 +186,7 @@ where
         yali_obs::trace_region(
             "par_map",
             &[
+                ("t0_ns", region_t0.unwrap_or(0)),
                 ("wall_ns", wall),
                 ("busy_ns", busy),
                 ("workers", workers as u64),

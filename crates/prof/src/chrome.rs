@@ -1,0 +1,168 @@
+//! Chrome Trace Format export: renders a parsed [`Trace`] as a JSON
+//! `traceEvents` document loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`.
+//!
+//! Spans become complete events (`"ph":"X"`) with microsecond `ts`/`dur`
+//! derived from the open/close timestamps on the shared epoch clock (the
+//! `Instant`-measured `dur_ns` rides along in `args`, so the authoritative
+//! number survives the unit conversion). Pool `par_map`/`par_worker`
+//! region events become `X` slices too — workers get a synthetic
+//! `pool.w<i>` thread name — and warnings become instant events
+//! (`"ph":"i"`).
+//!
+//! The output is deliberately deterministic — fixed field order, fixed
+//! float formatting — so re-exporting an unchanged trace is byte-identical
+//! (the property `yali-prof selfcheck` pins with a golden fixture).
+
+use crate::trace::{SpanNode, Trace};
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds to the microsecond ticks Chrome Trace Format expects,
+/// rendered with fixed precision so export is deterministic.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+fn span_event(s: &SpanNode, out: &mut Vec<String>) {
+    let mut args = format!("\"seq\":{},\"depth\":{},\"dur_ns\":{}", s.seq, s.depth, s.dur_ns);
+    if let Some((k, v)) = &s.attr {
+        args.push_str(&format!(",\"{}\":\"{}\"", esc(k), esc(v)));
+    }
+    out.push(format!(
+        "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+        esc(&s.label),
+        us(s.open_ns),
+        us(s.close_ns.saturating_sub(s.open_ns)),
+        s.tid,
+        args,
+    ));
+    for c in &s.children {
+        span_event(c, out);
+    }
+}
+
+/// Renders the trace as a Chrome Trace Format JSON document.
+pub fn to_chrome(trace: &Trace) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for root in &trace.roots {
+        span_event(root, &mut events);
+    }
+    for r in &trace.regions {
+        let t0 = r.fields.get("t0_ns").copied();
+        let (name, dur) = match r.label.as_str() {
+            "par_map" => ("par_map".to_string(), r.fields.get("wall_ns").copied()),
+            "par_worker" => (
+                format!("pool.w{}", r.fields.get("worker").copied().unwrap_or(0)),
+                r.fields.get("busy_ns").copied(),
+            ),
+            other => (other.to_string(), None),
+        };
+        let mut args: Vec<String> = r
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", esc(k), v))
+            .collect();
+        args.sort();
+        let args = args.join(",");
+        match (t0, dur) {
+            (Some(t0), Some(dur)) => events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"pool\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+                esc(&name),
+                us(t0),
+                us(dur),
+                r.tid,
+                args,
+            )),
+            _ => events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"pool\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{{{}}}}}",
+                esc(&name),
+                us(r.t_ns),
+                r.tid,
+                args,
+            )),
+        }
+    }
+    for w in &trace.warns {
+        events.push(format!(
+            "{{\"name\":\"warn\",\"cat\":\"warn\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{{\"msg\":\"{}\"}}}}",
+            us(w.t_ns),
+            w.tid,
+            esc(&w.msg),
+        ));
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_trace;
+
+    #[test]
+    fn exports_valid_chrome_trace_format() {
+        let text = r#"
+{"ev":"open","span":"root","tid":1,"seq":0,"depth":0,"t_ns":1000}
+{"ev":"open","span":"child","tid":1,"seq":1,"depth":1,"t_ns":2000,"module":"0xab"}
+{"ev":"close","span":"child","tid":1,"seq":1,"depth":1,"t_ns":3000,"dur_ns":1000,"module":"0xab"}
+{"ev":"close","span":"root","tid":1,"seq":0,"depth":0,"t_ns":5000,"dur_ns":4000}
+{"ev":"region","label":"par_worker","tid":7,"t_ns":4500,"worker":2,"t0_ns":2500,"busy_ns":2000,"items":4}
+{"ev":"warn","tid":1,"t_ns":4900,"msg":"careful"}
+"#;
+        let trace = parse_trace(text.trim()).unwrap();
+        let chrome = to_chrome(&trace);
+        // The whole document parses as JSON and has the shape Perfetto
+        // expects: a traceEvents array of objects with ph/ts/pid/tid.
+        let v = serde_json::from_str(&chrome).expect("chrome export parses");
+        let events = v["traceEvents"].as_array().expect("traceEvents array");
+        assert_eq!(events.len(), 4);
+        for ev in events {
+            assert!(ev["ph"].as_str().is_some(), "{ev:?}");
+            assert!(ev["ts"].is_number(), "{ev:?}");
+            assert!(ev["tid"].is_number(), "{ev:?}");
+            assert!(ev["pid"].is_number(), "{ev:?}");
+        }
+        // Complete events carry dur in microseconds.
+        assert_eq!(events[0]["name"], "root");
+        assert_eq!(events[0]["ph"], "X");
+        assert_eq!(events[0]["ts"].as_f64().unwrap(), 1.0);
+        assert_eq!(events[0]["dur"].as_f64().unwrap(), 4.0);
+        // The attr survives into args on the child span.
+        assert_eq!(events[1]["args"]["module"], "0xab");
+        // The worker slice lands on its own named slot.
+        assert_eq!(events[2]["name"], "pool.w2");
+        assert_eq!(events[2]["dur"].as_f64().unwrap(), 2.0);
+        // Warnings become instants.
+        assert_eq!(events[3]["ph"], "i");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let text = r#"
+{"ev":"open","span":"a","tid":1,"seq":0,"depth":0,"t_ns":10}
+{"ev":"close","span":"a","tid":1,"seq":0,"depth":0,"t_ns":20,"dur_ns":10}
+"#;
+        let trace = parse_trace(text.trim()).unwrap();
+        assert_eq!(to_chrome(&trace), to_chrome(&trace));
+        let reparsed = parse_trace(text.trim()).unwrap();
+        assert_eq!(to_chrome(&trace), to_chrome(&reparsed));
+    }
+}

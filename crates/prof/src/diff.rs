@@ -1,0 +1,402 @@
+//! Run-over-run regression watch: compares two `RUNSTATS_*.json` run
+//! reports (or two `BENCH_*.json` benchmark reports) and flags drift past
+//! configurable thresholds — counter deltas, phase-time ratios, cache
+//! hit-ratio drops, and speedup floors.
+//!
+//! The thresholds default to values loose enough that an unmodified tree
+//! re-running its benches passes (criterion picks iteration counts
+//! adaptively, so raw counters legitimately scale by a few x between
+//! runs) but tight enough that a real regression — a cache that stopped
+//! hitting, a phase that got an order of magnitude slower, a parallel
+//! mode that fell back to serial — fails the gate with the offending
+//! metric named in the message.
+
+use serde_json::Value;
+
+/// The highest `RUNSTATS.json` `schema_version` this analyzer understands
+/// (kept in lockstep with `yali_core::report::RUNSTATS_SCHEMA_VERSION`).
+pub const MAX_SUPPORTED_SCHEMA: u64 = 2;
+
+/// Thresholds for [`diff_values`]. All ratios compare `new` against `old`.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// A counter may grow or shrink by at most this factor (counters scale
+    /// with the benchmark's adaptive iteration count, so this is loose).
+    pub max_counter_ratio: f64,
+    /// Counters with both sides below this floor are ignored (tiny counts
+    /// are all noise).
+    pub min_counter: u64,
+    /// A phase's mean wall time may grow by at most this factor.
+    pub max_phase_ratio: f64,
+    /// Phases with an old mean below this many nanoseconds are ignored
+    /// (sub-threshold spans measure clock overhead, not work).
+    pub min_phase_ns: f64,
+    /// A cache hit ratio may drop by at most this much (absolute).
+    pub max_hit_drop: f64,
+    /// A benchmark mode's speedup-vs-serial must stay at least this
+    /// fraction of its old value.
+    pub min_speedup_ratio: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            max_counter_ratio: 8.0,
+            min_counter: 16,
+            max_phase_ratio: 10.0,
+            min_phase_ns: 50_000.0,
+            max_hit_drop: 0.15,
+            min_speedup_ratio: 0.5,
+        }
+    }
+}
+
+/// One threshold breach: the metric that moved and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The metric that breached (`counter game.rounds.game1`,
+    /// `cache embed hit_ratio`, `phase game.fit mean_ns`, …).
+    pub metric: String,
+    /// Old value, new value, and the threshold that was crossed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "REGRESSION {}: {}", self.metric, self.detail)
+    }
+}
+
+/// What kind of report a JSON document is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportKind {
+    /// A `RUNSTATS_*.json` run report (caches/phases/pool/counters).
+    RunStats,
+    /// A `BENCH_*.json` benchmark report (modes with speedups).
+    Bench,
+}
+
+/// Detects the report kind from its top-level keys.
+pub fn detect_kind(v: &Value) -> Result<ReportKind, String> {
+    if v.get("phases").as_object().is_some() && v.get("caches").as_object().is_some() {
+        Ok(ReportKind::RunStats)
+    } else if v.get("modes").as_array().is_some() {
+        Ok(ReportKind::Bench)
+    } else {
+        Err("report is neither a RUNSTATS (caches+phases) nor a BENCH (modes) document".into())
+    }
+}
+
+fn schema_version(v: &Value) -> u64 {
+    // Reports written before the field existed are schema 1.
+    v.get("schema_version").as_u64().unwrap_or(1)
+}
+
+/// Compares two parsed reports of the same kind. Returns the list of
+/// threshold breaches (empty = the gate passes) or an error when the
+/// documents are not comparable at all.
+pub fn diff_values(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<Vec<Violation>, String> {
+    let kind = detect_kind(old)?;
+    let new_kind = detect_kind(new)?;
+    if kind != new_kind {
+        return Err(format!("cannot compare {kind:?} against {new_kind:?}"));
+    }
+    match kind {
+        ReportKind::RunStats => diff_runstats(old, new, cfg),
+        ReportKind::Bench => diff_bench(old, new, cfg),
+    }
+}
+
+fn diff_runstats(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<Vec<Violation>, String> {
+    let (vo, vn) = (schema_version(old), schema_version(new));
+    if vo > MAX_SUPPORTED_SCHEMA || vn > MAX_SUPPORTED_SCHEMA {
+        return Err(format!(
+            "unsupported RUNSTATS schema_version (old {vo}, new {vn}; this yali-prof understands \
+             up to {MAX_SUPPORTED_SCHEMA})"
+        ));
+    }
+    let mut out = Vec::new();
+    if vn < vo {
+        out.push(Violation {
+            metric: "schema_version".into(),
+            detail: format!("regressed from {vo} to {vn}"),
+        });
+    }
+
+    // Counter deltas. Timing-sum counters (`*_ns`) scale with wall time,
+    // not with work, so they are exempt; everything else must stay within
+    // max_counter_ratio in either direction.
+    let empty = std::collections::BTreeMap::new();
+    let old_counters = old.get("counters").as_object().unwrap_or(&empty);
+    let new_counters = new.get("counters").as_object().unwrap_or(&empty);
+    for (name, ov) in old_counters {
+        if name.ends_with("_ns") {
+            continue;
+        }
+        let (Some(o), Some(n)) = (ov.as_u64(), new_counters.get(name).and_then(Value::as_u64))
+        else {
+            continue;
+        };
+        if o < cfg.min_counter && n < cfg.min_counter {
+            continue;
+        }
+        if o > 0 && n == 0 {
+            out.push(Violation {
+                metric: format!("counter {name}"),
+                detail: format!("disappeared (old {o}, new 0)"),
+            });
+            continue;
+        }
+        if o == 0 {
+            continue; // newly exercised series: fine
+        }
+        let ratio = n as f64 / o as f64;
+        if ratio > cfg.max_counter_ratio || ratio < 1.0 / cfg.max_counter_ratio {
+            out.push(Violation {
+                metric: format!("counter {name}"),
+                detail: format!(
+                    "old {o}, new {n} ({ratio:.2}x outside the {:.0}x band)",
+                    cfg.max_counter_ratio
+                ),
+            });
+        }
+    }
+
+    // Cache hit-ratio drift.
+    let old_caches = old.get("caches").as_object().unwrap_or(&empty);
+    let new_caches = new.get("caches").as_object().unwrap_or(&empty);
+    for (name, oc) in old_caches {
+        let Some(nc) = new_caches.get(name) else {
+            out.push(Violation {
+                metric: format!("cache {name}"),
+                detail: "missing from the new report".into(),
+            });
+            continue;
+        };
+        let (Some(o), Some(n)) = (oc.get("hit_ratio").as_f64(), nc.get("hit_ratio").as_f64())
+        else {
+            continue;
+        };
+        if o - n > cfg.max_hit_drop {
+            out.push(Violation {
+                metric: format!("cache {name} hit_ratio"),
+                detail: format!(
+                    "dropped from {o:.3} to {n:.3} (more than the {:.2} allowance)",
+                    cfg.max_hit_drop
+                ),
+            });
+        }
+    }
+
+    // Phase-time ratios: per-entry means, so adaptive iteration counts
+    // cancel out.
+    let old_phases = old.get("phases").as_object().unwrap_or(&empty);
+    let new_phases = new.get("phases").as_object().unwrap_or(&empty);
+    for (name, op) in old_phases {
+        let Some(np) = new_phases.get(name) else {
+            continue; // a phase may vanish when its code path is off
+        };
+        let (Some(o), Some(n)) = (op.get("mean_ns").as_f64(), np.get("mean_ns").as_f64()) else {
+            continue;
+        };
+        if o < cfg.min_phase_ns {
+            continue;
+        }
+        let ratio = n / o;
+        if ratio > cfg.max_phase_ratio {
+            out.push(Violation {
+                metric: format!("phase {name} mean_ns"),
+                detail: format!(
+                    "slowed from {:.0}ns to {:.0}ns ({ratio:.1}x > {:.0}x)",
+                    o, n, cfg.max_phase_ratio
+                ),
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn diff_bench(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<Vec<Violation>, String> {
+    let mut out = Vec::new();
+    let empty_vec = Vec::new();
+    let old_modes = old.get("modes").as_array().unwrap_or(&empty_vec);
+    let new_modes = new.get("modes").as_array().unwrap_or(&empty_vec);
+    for om in old_modes {
+        let Some(name) = om.get("name").as_str() else {
+            continue;
+        };
+        let Some(nm) = new_modes.iter().find(|m| m.get("name").as_str() == Some(name)) else {
+            out.push(Violation {
+                metric: format!("mode {name}"),
+                detail: "missing from the new report".into(),
+            });
+            continue;
+        };
+        let (Some(o), Some(n)) = (
+            om.get("speedup_vs_serial").as_f64(),
+            nm.get("speedup_vs_serial").as_f64(),
+        ) else {
+            continue;
+        };
+        if o > 0.0 && n < o * cfg.min_speedup_ratio {
+            out.push(Violation {
+                metric: format!("mode {name} speedup_vs_serial"),
+                detail: format!(
+                    "fell from {o:.2}x to {n:.2}x (below {:.0}% of the baseline)",
+                    cfg.min_speedup_ratio * 100.0
+                ),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Reads, parses, and diffs two report files.
+pub fn diff_files(
+    old_path: &str,
+    new_path: &str,
+    cfg: &DiffConfig,
+) -> Result<Vec<Violation>, String> {
+    let read = |path: &str| -> Result<Value, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    diff_values(&read(old_path)?, &read(new_path)?, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runstats(rounds: u64, hit_ratio: f64, fit_mean: f64) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{
+              "schema_version": 2,
+              "obs_enabled": true,
+              "caches": {{"embed": {{"hits": 100, "misses": 10, "hit_ratio": {hit_ratio}}}}},
+              "phases": {{"game.fit": {{"count": 40, "mean_ns": {fit_mean}, "total_ns": 1}}}},
+              "counters": {{"game.rounds.game1": {rounds}, "par.busy_ns": 999999}}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_runstats_pass() {
+        let v = runstats(120, 0.9, 1_000_000.0);
+        assert!(diff_values(&v, &v, &DiffConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn mild_run_to_run_noise_passes() {
+        let old = runstats(120, 0.90, 1_000_000.0);
+        let new = runstats(260, 0.85, 1_900_000.0); // ~2x counters, small drift
+        assert!(diff_values(&old, &new, &DiffConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn perturbed_counter_fails_and_names_the_metric() {
+        let old = runstats(120, 0.9, 1_000_000.0);
+        let new = runstats(120 * 100, 0.9, 1_000_000.0);
+        let violations = diff_values(&old, &new, &DiffConfig::default()).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "counter game.rounds.game1");
+        assert!(violations[0].to_string().contains("REGRESSION"));
+        // The other direction (collapse) also trips.
+        let new = runstats(1, 0.9, 1_000_000.0);
+        let violations = diff_values(&old, &new, &DiffConfig::default()).unwrap();
+        assert_eq!(violations[0].metric, "counter game.rounds.game1");
+    }
+
+    #[test]
+    fn timing_counters_are_exempt() {
+        let old = runstats(120, 0.9, 1_000_000.0);
+        let new: Value = serde_json::from_str(
+            r#"{"schema_version":2,"obs_enabled":true,"caches":{"embed":{"hit_ratio":0.9}},"phases":{},"counters":{"game.rounds.game1":120,"par.busy_ns":1}}"#,
+        )
+        .unwrap();
+        // par.busy_ns went from 999999 to 1: no violation (it ends in _ns).
+        assert!(diff_values(&old, &new, &DiffConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn cache_hit_ratio_drop_fails() {
+        let old = runstats(120, 0.95, 1_000_000.0);
+        let new = runstats(120, 0.40, 1_000_000.0);
+        let violations = diff_values(&old, &new, &DiffConfig::default()).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "cache embed hit_ratio");
+    }
+
+    #[test]
+    fn phase_blowup_fails_but_fast_phases_are_ignored() {
+        let old = runstats(120, 0.9, 1_000_000.0);
+        let new = runstats(120, 0.9, 20_000_000.0);
+        let violations = diff_values(&old, &new, &DiffConfig::default()).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "phase game.fit mean_ns");
+        // A sub-floor phase can blow up freely (it measures overhead).
+        let old = runstats(120, 0.9, 100.0);
+        let new = runstats(120, 0.9, 40_000.0);
+        assert!(diff_values(&old, &new, &DiffConfig::default())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn bench_speedup_floor() {
+        let mk = |speedup: f64| -> Value {
+            serde_json::from_str(&format!(
+                r#"{{"modes":[{{"name":"sweep/parallel_cached","mean_ns":5.0,"speedup_vs_serial":{speedup}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let cfg = DiffConfig::default();
+        assert!(diff_values(&mk(2.2), &mk(1.8), &cfg).unwrap().is_empty());
+        let violations = diff_values(&mk(2.2), &mk(0.6), &cfg).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "mode sweep/parallel_cached speedup_vs_serial");
+        // A mode vanishing is itself a regression.
+        let gone: Value = serde_json::from_str(r#"{"modes":[]}"#).unwrap();
+        let violations = diff_values(&mk(2.2), &gone, &cfg).unwrap();
+        assert_eq!(violations[0].metric, "mode sweep/parallel_cached");
+    }
+
+    #[test]
+    fn schema_version_handling() {
+        let old = runstats(120, 0.9, 1_000_000.0);
+        // Future schema: not comparable at all.
+        let mut future = runstats(120, 0.9, 1_000_000.0);
+        if let Value::Object(o) = &mut future {
+            o.insert("schema_version".into(), Value::Number(99.0));
+        }
+        assert!(diff_values(&old, &future, &DiffConfig::default()).is_err());
+        // Pre-versioned reports (schema 1) still compare.
+        let mut v1 = runstats(120, 0.9, 1_000_000.0);
+        if let Value::Object(o) = &mut v1 {
+            o.remove("schema_version");
+        }
+        assert!(diff_values(&v1, &old, &DiffConfig::default())
+            .unwrap()
+            .is_empty());
+        // Downgrading the writer is flagged.
+        let violations = diff_values(&old, &v1, &DiffConfig::default()).unwrap();
+        assert_eq!(violations[0].metric, "schema_version");
+    }
+
+    #[test]
+    fn mismatched_or_unknown_documents_error() {
+        let rs = runstats(1, 0.9, 1.0);
+        let bench: Value = serde_json::from_str(r#"{"modes":[]}"#).unwrap();
+        let junk: Value = serde_json::from_str(r#"{"x":1}"#).unwrap();
+        assert!(diff_values(&rs, &bench, &DiffConfig::default()).is_err());
+        assert!(diff_values(&junk, &junk, &DiffConfig::default()).is_err());
+    }
+}

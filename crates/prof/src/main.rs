@@ -1,0 +1,203 @@
+//! The `yali-prof` CLI: trace analysis, Perfetto export, and the
+//! run-over-run regression watch over the files the instrumented engine
+//! writes (`YALI_TRACE` JSONL captures, `RUNSTATS_*.json`,
+//! `BENCH_*.json`).
+
+use yali_prof::diff::DiffConfig;
+
+const USAGE: &str = "\
+yali-prof — trace analysis and regression watch for yali telemetry
+
+USAGE:
+  yali-prof top <TRACE.jsonl> [--top N]         self/total time per span label
+  yali-prof critical-path <TRACE.jsonl>         the span chain bounding wall time
+  yali-prof timeline <TRACE.jsonl> [--buckets N]  pool busy/idle per worker
+  yali-prof export --chrome <TRACE.jsonl> [-o OUT.json]
+                                                Chrome Trace Format (Perfetto)
+  yali-prof diff <OLD.json> <NEW.json> [options]  compare RUNSTATS/BENCH reports
+      --max-counter-ratio X   counter growth/shrink band   (default 8)
+      --max-phase-ratio X     phase mean_ns growth cap     (default 10)
+      --max-hit-drop X        cache hit-ratio drop cap     (default 0.15)
+      --min-speedup-ratio X   speedup floor vs baseline    (default 0.5)
+      --min-phase-ns X        ignore phases faster than X  (default 50000)
+  yali-prof selfcheck                           golden-fixture round trip
+
+EXIT: 0 ok; 1 analysis/regression failure; 2 usage error";
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("yali-prof: {msg}");
+    1
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("yali-prof: {msg}\n\n{USAGE}");
+    2
+}
+
+/// Pulls `--flag value` out of `args`, parsed as `T`.
+fn take_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Result<Option<T>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let raw = args.remove(i + 1);
+        args.remove(i);
+        raw.parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("{flag} value {raw:?} did not parse"))
+    } else {
+        Ok(None)
+    }
+}
+
+fn run() -> i32 {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return usage("missing command");
+    };
+    args.remove(0);
+    match cmd.as_str() {
+        "top" => {
+            let n = match take_flag::<usize>(&mut args, "--top") {
+                Ok(v) => v.unwrap_or(20),
+                Err(e) => return usage(&e),
+            };
+            let [path] = args.as_slice() else {
+                return usage("top takes exactly one trace file");
+            };
+            match yali_prof::parse_trace_file(path) {
+                Ok(trace) => {
+                    print!("{}", yali_prof::render_top(&yali_prof::profile(&trace), n));
+                    0
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "critical-path" => {
+            let [path] = args.as_slice() else {
+                return usage("critical-path takes exactly one trace file");
+            };
+            match yali_prof::parse_trace_file(path) {
+                Ok(trace) => {
+                    print!(
+                        "{}",
+                        yali_prof::render_critical_path(&yali_prof::critical_path(&trace))
+                    );
+                    0
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "timeline" => {
+            let buckets = match take_flag::<usize>(&mut args, "--buckets") {
+                Ok(v) => v.unwrap_or(60),
+                Err(e) => return usage(&e),
+            };
+            let [path] = args.as_slice() else {
+                return usage("timeline takes exactly one trace file");
+            };
+            match yali_prof::parse_trace_file(path) {
+                Ok(trace) => match yali_prof::timeline(&trace, buckets) {
+                    Some(tl) => {
+                        print!("{}", yali_prof::render_timeline(&tl));
+                        0
+                    }
+                    None => fail("trace has no par_worker events (serial run?)"),
+                },
+                Err(e) => fail(&e),
+            }
+        }
+        "export" => {
+            if args.iter().position(|a| a == "--chrome").is_none() {
+                return usage("export currently supports only --chrome");
+            }
+            args.retain(|a| a != "--chrome");
+            let out = match take_flag::<String>(&mut args, "-o") {
+                Ok(v) => v,
+                Err(e) => return usage(&e),
+            };
+            let [path] = args.as_slice() else {
+                return usage("export takes exactly one trace file");
+            };
+            let out = out.unwrap_or_else(|| match path.strip_suffix(".jsonl") {
+                Some(stem) => format!("{stem}.chrome.json"),
+                None => format!("{path}.chrome.json"),
+            });
+            match yali_prof::parse_trace_file(path) {
+                Ok(trace) => {
+                    let chrome = yali_prof::to_chrome(&trace);
+                    match std::fs::write(&out, &chrome) {
+                        Ok(()) => {
+                            println!(
+                                "wrote {out} ({} bytes, {} spans) — load it at \
+                                 https://ui.perfetto.dev or chrome://tracing",
+                                chrome.len(),
+                                trace.n_spans
+                            );
+                            0
+                        }
+                        Err(e) => fail(&format!("cannot write {out}: {e}")),
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "diff" => {
+            let mut cfg = DiffConfig::default();
+            let flags: [(&str, &mut f64); 4] = [
+                ("--max-counter-ratio", &mut cfg.max_counter_ratio),
+                ("--max-phase-ratio", &mut cfg.max_phase_ratio),
+                ("--max-hit-drop", &mut cfg.max_hit_drop),
+                ("--min-speedup-ratio", &mut cfg.min_speedup_ratio),
+            ];
+            for (flag, slot) in flags {
+                match take_flag::<f64>(&mut args, flag) {
+                    Ok(Some(v)) => *slot = v,
+                    Ok(None) => {}
+                    Err(e) => return usage(&e),
+                }
+            }
+            match take_flag::<f64>(&mut args, "--min-phase-ns") {
+                Ok(Some(v)) => cfg.min_phase_ns = v,
+                Ok(None) => {}
+                Err(e) => return usage(&e),
+            }
+            let [old, new] = args.as_slice() else {
+                return usage("diff takes exactly two report files");
+            };
+            match yali_prof::diff_files(old, new, &cfg) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("diff ok: {new} within thresholds of {old}");
+                    0
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!(
+                        "yali-prof: {} regression(s) comparing {new} against {old}",
+                        violations.len()
+                    );
+                    1
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "selfcheck" => match yali_prof::selfcheck() {
+            Ok(report) => {
+                println!("{report}");
+                0
+            }
+            Err(e) => fail(&e),
+        },
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            0
+        }
+        other => usage(&format!("unknown command {other:?}")),
+    }
+}
+
+fn main() {
+    std::process::exit(run());
+}

@@ -1,0 +1,263 @@
+//! Flamegraph-style aggregation over reconstructed span trees: per-label
+//! **self vs. total** time, and the **critical path** through the deepest
+//! nesting of a run's most expensive root span.
+//!
+//! Self time is the flamegraph invariant: a span's duration minus the
+//! durations of its direct children. Summed over every span of a tree the
+//! children's contributions telescope away, so the self-time total of a
+//! trace equals the summed wall time of its root spans (up to the clamping
+//! of negative self times, which only occur on sub-microsecond clock skew
+//! between a parent's and its children's independent `Instant` reads).
+
+use std::collections::BTreeMap;
+
+use crate::trace::{SpanNode, Trace};
+
+/// Aggregated timings for one span label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelProfile {
+    /// The span label.
+    pub label: String,
+    /// Spans with this label.
+    pub count: u64,
+    /// Summed duration (time with this label anywhere on the stack edge —
+    /// a parent's total includes its children).
+    pub total_ns: u64,
+    /// Summed self time (duration minus direct children).
+    pub self_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+}
+
+/// A whole-trace profile: per-label rows plus the root wall time they
+/// must account for.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// One row per label, sorted by descending self time (ties by label).
+    pub labels: Vec<LabelProfile>,
+    /// Summed duration of every root span — the wall time the self-time
+    /// column decomposes.
+    pub root_wall_ns: u64,
+}
+
+impl Profile {
+    /// Summed self time across every label (equals [`Profile::root_wall_ns`]
+    /// up to clamping).
+    pub fn self_total_ns(&self) -> u64 {
+        self.labels.iter().map(|l| l.self_ns).sum()
+    }
+}
+
+/// Builds the per-label self/total profile of a trace.
+pub fn profile(trace: &Trace) -> Profile {
+    let mut by_label: BTreeMap<&str, LabelProfile> = BTreeMap::new();
+    fn walk<'a>(node: &'a SpanNode, by_label: &mut BTreeMap<&'a str, LabelProfile>) {
+        let row = by_label
+            .entry(node.label.as_str())
+            .or_insert_with(|| LabelProfile {
+                label: node.label.clone(),
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                max_ns: 0,
+            });
+        row.count += 1;
+        row.total_ns += node.dur_ns;
+        row.self_ns += node.self_ns();
+        row.max_ns = row.max_ns.max(node.dur_ns);
+        for c in &node.children {
+            walk(c, by_label);
+        }
+    }
+    for root in &trace.roots {
+        walk(root, &mut by_label);
+    }
+    let mut labels: Vec<LabelProfile> = by_label.into_values().collect();
+    labels.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.label.cmp(&b.label)));
+    Profile {
+        labels,
+        root_wall_ns: trace.roots.iter().map(|r| r.dur_ns).sum(),
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the `--top N` text profile: the N labels with the most self
+/// time, with their share of the root wall time, plus an accounting
+/// footer.
+pub fn render_top(p: &Profile, n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>12} {:>12} {:>12} {:>7}\n",
+        "span", "count", "total", "self", "max", "self%"
+    ));
+    let wall = p.root_wall_ns.max(1);
+    for row in p.labels.iter().take(n) {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>12} {:>12} {:>6.2}%\n",
+            row.label,
+            row.count,
+            fmt_ns(row.total_ns),
+            fmt_ns(row.self_ns),
+            fmt_ns(row.max_ns),
+            100.0 * row.self_ns as f64 / wall as f64,
+        ));
+    }
+    if p.labels.len() > n {
+        out.push_str(&format!("... {} more label(s)\n", p.labels.len() - n));
+    }
+    out.push_str(&format!(
+        "self-time total {} of root wall {}\n",
+        fmt_ns(p.self_total_ns()),
+        fmt_ns(p.root_wall_ns),
+    ));
+    out
+}
+
+/// One step of the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// The span label at this step.
+    pub label: String,
+    /// Nesting depth (0 = the chosen root).
+    pub depth: u64,
+    /// The span's duration.
+    pub dur_ns: u64,
+    /// The span's self time.
+    pub self_ns: u64,
+}
+
+/// Extracts the critical path of the trace: starting from the most
+/// expensive root span (the game-phase root of a run), repeatedly descend
+/// into the most expensive child. The result is the chain of spans that
+/// bounds the run's wall time — shortening anything off this path cannot
+/// make the run faster than the path itself.
+pub fn critical_path(trace: &Trace) -> Vec<CriticalStep> {
+    let mut path = Vec::new();
+    let Some(mut node) = trace.roots.iter().max_by_key(|r| r.dur_ns) else {
+        return path;
+    };
+    loop {
+        path.push(CriticalStep {
+            label: node.label.clone(),
+            depth: node.depth,
+            dur_ns: node.dur_ns,
+            self_ns: node.self_ns(),
+        });
+        match node.children.iter().max_by_key(|c| c.dur_ns) {
+            Some(next) => node = next,
+            None => return path,
+        }
+    }
+}
+
+/// Renders the critical path as an indented text chain.
+pub fn render_critical_path(path: &[CriticalStep]) -> String {
+    if path.is_empty() {
+        return "trace has no spans\n".to_string();
+    }
+    let mut out = String::new();
+    let total = path[0].dur_ns.max(1);
+    out.push_str("critical path (most expensive child at every level):\n");
+    for (i, step) in path.iter().enumerate() {
+        out.push_str(&format!(
+            "{:indent$}{} {} (self {}, {:.1}% of path root)\n",
+            "",
+            step.label,
+            fmt_ns(step.dur_ns),
+            fmt_ns(step.self_ns),
+            100.0 * step.dur_ns as f64 / total as f64,
+            indent = i * 2,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_trace;
+
+    fn sample_trace() -> Trace {
+        // root(1000) { fit(600) { gemm(200), gemm(100) }, infer(250) }
+        let text = r#"
+{"ev":"open","span":"root","tid":1,"seq":0,"depth":0,"t_ns":0}
+{"ev":"open","span":"fit","tid":1,"seq":1,"depth":1,"t_ns":100}
+{"ev":"open","span":"gemm","tid":1,"seq":2,"depth":2,"t_ns":150}
+{"ev":"close","span":"gemm","tid":1,"seq":2,"depth":2,"t_ns":350,"dur_ns":200}
+{"ev":"open","span":"gemm","tid":1,"seq":3,"depth":2,"t_ns":400}
+{"ev":"close","span":"gemm","tid":1,"seq":3,"depth":2,"t_ns":500,"dur_ns":100}
+{"ev":"close","span":"fit","tid":1,"seq":1,"depth":1,"t_ns":700,"dur_ns":600}
+{"ev":"open","span":"infer","tid":1,"seq":4,"depth":1,"t_ns":710}
+{"ev":"close","span":"infer","tid":1,"seq":4,"depth":1,"t_ns":960,"dur_ns":250}
+{"ev":"close","span":"root","tid":1,"seq":0,"depth":0,"t_ns":1000,"dur_ns":1000}
+"#;
+        parse_trace(text.trim()).unwrap()
+    }
+
+    #[test]
+    fn self_times_telescope_to_the_root_wall() {
+        let p = profile(&sample_trace());
+        assert_eq!(p.root_wall_ns, 1000);
+        assert_eq!(p.self_total_ns(), 1000);
+        let get = |name: &str| p.labels.iter().find(|l| l.label == name).unwrap();
+        assert_eq!(get("root").self_ns, 150); // 1000 - 600 - 250
+        assert_eq!(get("root").total_ns, 1000);
+        assert_eq!(get("fit").self_ns, 300); // 600 - 200 - 100
+        assert_eq!(get("gemm").self_ns, 300);
+        assert_eq!(get("gemm").count, 2);
+        assert_eq!(get("gemm").max_ns, 200);
+        assert_eq!(get("infer").self_ns, 250);
+    }
+
+    #[test]
+    fn labels_sort_by_descending_self_time() {
+        let p = profile(&sample_trace());
+        let selfs: Vec<u64> = p.labels.iter().map(|l| l.self_ns).collect();
+        let mut sorted = selfs.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(selfs, sorted);
+    }
+
+    #[test]
+    fn render_top_truncates_and_accounts() {
+        let p = profile(&sample_trace());
+        let text = render_top(&p, 2);
+        assert!(text.contains("more label(s)"), "{text}");
+        assert!(text.contains("self-time total"), "{text}");
+        let full = render_top(&p, 10);
+        assert!(full.contains("root"), "{full}");
+        assert!(full.contains("gemm"), "{full}");
+    }
+
+    #[test]
+    fn critical_path_follows_the_heaviest_children() {
+        let path = critical_path(&sample_trace());
+        let labels: Vec<&str> = path.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["root", "fit", "gemm"]);
+        assert_eq!(path[2].dur_ns, 200); // the heavier of the two gemms
+        let text = render_critical_path(&path);
+        assert!(text.contains("root"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_profiles_cleanly() {
+        let t = parse_trace("").unwrap();
+        let p = profile(&t);
+        assert!(p.labels.is_empty());
+        assert_eq!(p.root_wall_ns, 0);
+        assert!(critical_path(&t).is_empty());
+        assert!(render_critical_path(&[]).contains("no spans"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Pool utilization timeline: busy/idle per worker over time buckets,
+//! derived from the `par_worker` region events the `yali-par` pool emits
+//! (one per worker per `par_map` region, carrying the worker's index, its
+//! start timestamp `t0_ns`, and its busy nanoseconds).
+//!
+//! A worker is considered busy over `[t0_ns, t0_ns + busy_ns)` — the
+//! pool's accounting counts a worker's whole lifetime inside a region as
+//! busy, so idle time in this view is the time a worker slot exists but no
+//! region runs on it (the pool starving between regions, exactly the
+//! signal an arena sweep needs to see).
+
+use crate::trace::Trace;
+
+/// A busy interval of one worker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BusySlot {
+    worker: u64,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// The bucketed busy/idle view of the pool across a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Timeline start (earliest worker start), nanoseconds on the trace
+    /// epoch clock.
+    pub start_ns: u64,
+    /// Timeline end (latest worker end).
+    pub end_ns: u64,
+    /// Worker slot indexes observed, ascending (row order of
+    /// [`Timeline::busy`]).
+    pub workers: Vec<u64>,
+    /// Busy fraction in `[0, 1]` per worker row per bucket.
+    pub busy: Vec<Vec<f64>>,
+    /// Mean busy fraction across worker rows per bucket.
+    pub utilization: Vec<f64>,
+    /// `par_map` regions that contributed.
+    pub regions: u64,
+}
+
+/// Builds the pool timeline with `buckets` equal time buckets. Returns
+/// `None` when the trace carries no `par_worker` events (a serial run, or
+/// a trace captured before the pool was instrumented).
+pub fn timeline(trace: &Trace, buckets: usize) -> Option<Timeline> {
+    let buckets = buckets.max(1);
+    let mut slots: Vec<BusySlot> = Vec::new();
+    let mut regions = 0u64;
+    for r in &trace.regions {
+        match r.label.as_str() {
+            "par_worker" => {
+                // Tolerate events from older producers that lack the
+                // per-worker fields; they simply contribute nothing.
+                if let (Some(&worker), Some(&t0), Some(&busy)) = (
+                    r.fields.get("worker"),
+                    r.fields.get("t0_ns"),
+                    r.fields.get("busy_ns"),
+                ) {
+                    slots.push(BusySlot {
+                        worker,
+                        start_ns: t0,
+                        end_ns: t0 + busy,
+                    });
+                }
+            }
+            "par_map" => regions += 1,
+            _ => {}
+        }
+    }
+    if slots.is_empty() {
+        return None;
+    }
+    let start_ns = slots.iter().map(|s| s.start_ns).min().unwrap();
+    let end_ns = slots.iter().map(|s| s.end_ns).max().unwrap().max(start_ns + 1);
+    let mut workers: Vec<u64> = slots.iter().map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+
+    let span = (end_ns - start_ns) as f64;
+    let bucket_ns = span / buckets as f64;
+    let mut busy = vec![vec![0.0f64; buckets]; workers.len()];
+    for s in &slots {
+        let row = workers.binary_search(&s.worker).expect("worker indexed");
+        for (b, cell) in busy[row].iter_mut().enumerate() {
+            let b_lo = start_ns as f64 + b as f64 * bucket_ns;
+            let b_hi = b_lo + bucket_ns;
+            let overlap = (s.end_ns as f64).min(b_hi) - (s.start_ns as f64).max(b_lo);
+            if overlap > 0.0 {
+                *cell += overlap / bucket_ns;
+            }
+        }
+    }
+    // Overlapping regions can stack the same worker slot past 1.0; the
+    // timeline reads as a fraction, so clamp.
+    for row in &mut busy {
+        for cell in row {
+            *cell = cell.min(1.0);
+        }
+    }
+    let utilization: Vec<f64> = (0..buckets)
+        .map(|b| busy.iter().map(|row| row[b]).sum::<f64>() / workers.len() as f64)
+        .collect();
+    Some(Timeline {
+        start_ns,
+        end_ns,
+        workers,
+        busy,
+        utilization,
+        regions,
+    })
+}
+
+/// Maps a busy fraction to a density glyph.
+fn glyph(frac: f64) -> char {
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let idx = (frac * 10.0).floor() as usize;
+    RAMP[idx.min(RAMP.len() - 1)]
+}
+
+/// Renders the timeline as one ASCII row per worker plus a pool summary
+/// row (` ` idle through `@` fully busy).
+pub fn render_timeline(t: &Timeline) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "pool timeline: {} worker slot(s), {} region(s), {:.3}ms window, {} bucket(s)\n",
+        t.workers.len(),
+        t.regions,
+        (t.end_ns - t.start_ns) as f64 / 1e6,
+        t.utilization.len(),
+    ));
+    for (row, w) in t.workers.iter().enumerate() {
+        out.push_str(&format!("  w{w:<3} |"));
+        for &frac in &t.busy[row] {
+            out.push(glyph(frac));
+        }
+        out.push_str("|\n");
+    }
+    out.push_str("  pool |");
+    for &frac in &t.utilization {
+        out.push(glyph(frac));
+    }
+    let mean = t.utilization.iter().sum::<f64>() / t.utilization.len().max(1) as f64;
+    out.push_str(&format!("| mean busy {:.0}%\n", mean * 100.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_trace;
+
+    fn worker_event(tid: u64, worker: u64, t0: u64, busy: u64) -> String {
+        format!(
+            r#"{{"ev":"region","label":"par_worker","tid":{tid},"t_ns":{},"worker":{worker},"t0_ns":{t0},"busy_ns":{busy},"items":4}}"#,
+            t0 + busy
+        )
+    }
+
+    #[test]
+    fn timeline_buckets_busy_intervals_per_worker() {
+        // Worker 0 busy over the whole [0, 1000) window, worker 1 only
+        // over the first half.
+        let text = [
+            worker_event(5, 0, 0, 1000),
+            worker_event(6, 1, 0, 500),
+            r#"{"ev":"region","label":"par_map","tid":1,"t_ns":1000,"t0_ns":0,"wall_ns":1000,"busy_ns":1500,"workers":2,"items":8}"#
+                .to_string(),
+        ]
+        .join("\n");
+        let t = parse_trace(&text).unwrap();
+        let tl = timeline(&t, 4).unwrap();
+        assert_eq!(tl.workers, vec![0, 1]);
+        assert_eq!(tl.regions, 1);
+        assert_eq!(tl.start_ns, 0);
+        assert_eq!(tl.end_ns, 1000);
+        // Worker 0: busy in all four buckets; worker 1: first two only.
+        for b in 0..4 {
+            assert!((tl.busy[0][b] - 1.0).abs() < 1e-9, "w0 b{b}={}", tl.busy[0][b]);
+        }
+        assert!((tl.busy[1][0] - 1.0).abs() < 1e-9);
+        assert!((tl.busy[1][1] - 1.0).abs() < 1e-9);
+        assert!(tl.busy[1][2].abs() < 1e-9);
+        assert!(tl.busy[1][3].abs() < 1e-9);
+        // Pool utilization: 1.0 first half, 0.5 second half.
+        assert!((tl.utilization[0] - 1.0).abs() < 1e-9);
+        assert!((tl.utilization[3] - 0.5).abs() < 1e-9);
+        let text = render_timeline(&tl);
+        assert!(text.contains("w0"), "{text}");
+        assert!(text.contains("mean busy 75%"), "{text}");
+    }
+
+    #[test]
+    fn timeline_is_none_without_worker_events() {
+        let t = parse_trace("").unwrap();
+        assert!(timeline(&t, 8).is_none());
+    }
+
+    #[test]
+    fn overlapping_slots_clamp_at_fully_busy() {
+        let text = [worker_event(5, 0, 0, 100), worker_event(6, 0, 0, 100)].join("\n");
+        let t = parse_trace(&text).unwrap();
+        let tl = timeline(&t, 2).unwrap();
+        assert!(tl.busy[0].iter().all(|&f| f <= 1.0));
+    }
+}

@@ -1,0 +1,586 @@
+//! The trace model: a strict parser from the `yali-obs` JSONL span schema
+//! to reconstructed per-thread span trees.
+//!
+//! The producer side (`yali_obs::span`) guarantees stack discipline per
+//! thread — RAII guards drop LIFO — and stamps every open/close pair with
+//! a per-thread monotone sequence id and its nesting depth. This parser
+//! holds the producer to that contract: any unbalanced close, out-of-order
+//! sequence id, depth mismatch, or malformed line is rejected with the
+//! 1-based line number where the trace went wrong. A trace that parses is
+//! therefore unambiguously reconstructible; every analysis downstream
+//! (profiles, critical paths, exports) works on the [`Trace`] built here
+//! and never re-reads the raw text.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+/// A parse or validation error, carrying the 1-based line number of the
+/// offending event (0 means end-of-input, e.g. a span left open).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line of the offending event; 0 for end-of-input errors.
+    pub line: usize,
+    /// What was wrong.
+    pub msg: String,
+}
+
+impl TraceError {
+    fn new(line: usize, msg: impl Into<String>) -> TraceError {
+        TraceError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace error at end of input: {}", self.msg)
+        } else {
+            write!(f, "trace error at line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One reconstructed span: an open/close pair plus every span nested
+/// inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span label (`game.round`, `embed.batch`, …).
+    pub label: String,
+    /// Thread that ran the span.
+    pub tid: u64,
+    /// Per-thread monotone open sequence id.
+    pub seq: u64,
+    /// Nesting depth at open (0 = a root span of its thread).
+    pub depth: u64,
+    /// Open timestamp, nanoseconds on the shared process epoch clock.
+    pub open_ns: u64,
+    /// Close timestamp on the same clock.
+    pub close_ns: u64,
+    /// Measured duration from the close event (monotonic `Instant`
+    /// elapsed — the authoritative wall time of the span).
+    pub dur_ns: u64,
+    /// The optional attribute carried on both events (key, rendered value).
+    pub attr: Option<(String, String)>,
+    /// Spans nested directly inside this one, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Duration minus the duration of direct children: the time this span
+    /// spent in its own code (clamped at 0 against clock skew between the
+    /// parent's and children's independent `Instant` reads).
+    pub fn self_ns(&self) -> u64 {
+        self.dur_ns
+            .saturating_sub(self.children.iter().map(|c| c.dur_ns).sum())
+    }
+}
+
+/// One `region` event (e.g. the pool's `par_map` / `par_worker` reports):
+/// a label, the emitting thread, a timestamp, and free-form numeric
+/// fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionEvent {
+    /// Region label (`par_map`, `par_worker`, …).
+    pub label: String,
+    /// Thread that emitted the event.
+    pub tid: u64,
+    /// Emission timestamp on the process epoch clock.
+    pub t_ns: u64,
+    /// Every numeric payload field (`wall_ns`, `busy_ns`, `worker`, …).
+    pub fields: BTreeMap<String, u64>,
+    /// 1-based source line in the JSONL file.
+    pub line: usize,
+}
+
+/// One `warn` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarnEvent {
+    /// Thread that warned.
+    pub tid: u64,
+    /// Emission timestamp on the process epoch clock.
+    pub t_ns: u64,
+    /// The warning text.
+    pub msg: String,
+}
+
+/// A fully parsed and validated trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Top-level spans of every thread, ordered by open timestamp (ties
+    /// broken by thread id, then sequence id).
+    pub roots: Vec<SpanNode>,
+    /// Every `region` event, in file order.
+    pub regions: Vec<RegionEvent>,
+    /// Every `warn` event, in file order.
+    pub warns: Vec<WarnEvent>,
+    /// Total events parsed (spans count their open and close separately).
+    pub n_events: usize,
+    /// Total reconstructed spans.
+    pub n_spans: usize,
+}
+
+impl Trace {
+    /// Thread ids that opened at least one span, ascending.
+    pub fn tids(&self) -> Vec<u64> {
+        let mut tids: Vec<u64> = Vec::new();
+        fn walk(node: &SpanNode, tids: &mut Vec<u64>) {
+            tids.push(node.tid);
+            for c in &node.children {
+                walk(c, tids);
+            }
+        }
+        for r in &self.roots {
+            walk(r, &mut tids);
+        }
+        tids.sort_unstable();
+        tids.dedup();
+        tids
+    }
+
+    /// Every span in open order (depth-first over [`Trace::roots`]).
+    pub fn spans(&self) -> Vec<&SpanNode> {
+        let mut out = Vec::with_capacity(self.n_spans);
+        fn walk<'a>(node: &'a SpanNode, out: &mut Vec<&'a SpanNode>) {
+            out.push(node);
+            for c in &node.children {
+                walk(c, out);
+            }
+        }
+        for r in &self.roots {
+            walk(r, &mut out);
+        }
+        out
+    }
+}
+
+/// A span opened but not yet closed during parsing.
+struct PendingSpan {
+    label: String,
+    seq: u64,
+    depth: u64,
+    open_ns: u64,
+    attr: Option<(String, String)>,
+    line: usize,
+    children: Vec<SpanNode>,
+}
+
+/// Per-thread parser state: the open-span stack and the last open seq.
+#[derive(Default)]
+struct ThreadState {
+    stack: Vec<PendingSpan>,
+    last_seq: Option<u64>,
+}
+
+fn field_u64(v: &Value, key: &str, line: usize) -> Result<u64, TraceError> {
+    v.get(key)
+        .as_u64()
+        .ok_or_else(|| TraceError::new(line, format!("missing or non-integer field {key:?}")))
+}
+
+fn field_str<'a>(v: &'a Value, key: &str, line: usize) -> Result<&'a str, TraceError> {
+    v.get(key)
+        .as_str()
+        .ok_or_else(|| TraceError::new(line, format!("missing or non-string field {key:?}")))
+}
+
+/// Renders an attribute value the way the sink wrote it (hex attrs are
+/// strings already; numbers print in decimal).
+fn render_attr(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) if n.fract() == 0.0 => format!("{}", *n as i64),
+        Value::Number(n) => format!("{n}"),
+        Value::Bool(b) => format!("{b}"),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Extracts the single optional attribute: any key outside `known`.
+fn extract_attr(
+    obj: &BTreeMap<String, Value>,
+    known: &[&str],
+    line: usize,
+) -> Result<Option<(String, String)>, TraceError> {
+    let mut attr = None;
+    for (k, v) in obj {
+        if known.contains(&k.as_str()) {
+            continue;
+        }
+        if attr.is_some() {
+            return Err(TraceError::new(
+                line,
+                format!("more than one attribute on event (extra key {k:?})"),
+            ));
+        }
+        attr = Some((k.clone(), render_attr(v)));
+    }
+    Ok(attr)
+}
+
+/// Parses a JSONL trace capture into a validated [`Trace`].
+///
+/// Strictness, in order of checking per line: the line must be a JSON
+/// object with a known `ev` kind; required fields must be present with
+/// the right types; span opens must carry a strictly increasing per-thread
+/// `seq` and a `depth` equal to the thread's current nesting; span closes
+/// must match the innermost open span of their thread in label and `seq`,
+/// and echo its attribute if both carry one. At end of input every opened
+/// span must have closed.
+pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
+    let mut threads: BTreeMap<u64, ThreadState> = BTreeMap::new();
+    let mut trace = Trace::default();
+    let mut closed_roots: Vec<SpanNode> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(raw)
+            .map_err(|e| TraceError::new(line, format!("invalid JSON: {e}")))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| TraceError::new(line, "event is not a JSON object"))?;
+        trace.n_events += 1;
+        match field_str(&v, "ev", line)? {
+            "open" => {
+                let label = field_str(&v, "span", line)?.to_string();
+                let tid = field_u64(&v, "tid", line)?;
+                let seq = field_u64(&v, "seq", line)?;
+                let depth = field_u64(&v, "depth", line)?;
+                let open_ns = field_u64(&v, "t_ns", line)?;
+                let attr = extract_attr(obj, &["ev", "span", "tid", "seq", "depth", "t_ns"], line)?;
+                let st = threads.entry(tid).or_default();
+                if let Some(last) = st.last_seq {
+                    if seq <= last {
+                        return Err(TraceError::new(
+                            line,
+                            format!(
+                                "out-of-order open on tid {tid}: seq {seq} after seq {last} \
+                                 (per-thread sequence ids must be strictly increasing)"
+                            ),
+                        ));
+                    }
+                }
+                st.last_seq = Some(seq);
+                if depth != st.stack.len() as u64 {
+                    return Err(TraceError::new(
+                        line,
+                        format!(
+                            "depth mismatch on tid {tid}: open of {label:?} claims depth \
+                             {depth} but {} span(s) are open",
+                            st.stack.len()
+                        ),
+                    ));
+                }
+                st.stack.push(PendingSpan {
+                    label,
+                    seq,
+                    depth,
+                    open_ns,
+                    attr,
+                    line,
+                    children: Vec::new(),
+                });
+            }
+            "close" => {
+                let label = field_str(&v, "span", line)?;
+                let tid = field_u64(&v, "tid", line)?;
+                let seq = field_u64(&v, "seq", line)?;
+                let depth = field_u64(&v, "depth", line)?;
+                let close_ns = field_u64(&v, "t_ns", line)?;
+                let dur_ns = field_u64(&v, "dur_ns", line)?;
+                let attr = extract_attr(
+                    obj,
+                    &["ev", "span", "tid", "seq", "depth", "t_ns", "dur_ns"],
+                    line,
+                )?;
+                let st = threads.entry(tid).or_default();
+                let open = st.stack.pop().ok_or_else(|| {
+                    TraceError::new(
+                        line,
+                        format!("unbalanced close of {label:?} on tid {tid}: no span is open"),
+                    )
+                })?;
+                if open.label != label || open.seq != seq {
+                    return Err(TraceError::new(
+                        line,
+                        format!(
+                            "close of {label:?} (seq {seq}) on tid {tid} does not match the \
+                             innermost open span {:?} (seq {}, opened at line {})",
+                            open.label, open.seq, open.line
+                        ),
+                    ));
+                }
+                if depth != open.depth {
+                    return Err(TraceError::new(
+                        line,
+                        format!(
+                            "depth mismatch on tid {tid}: close of {label:?} claims depth \
+                             {depth} but its open (line {}) was at depth {}",
+                            open.line, open.depth
+                        ),
+                    ));
+                }
+                if let (Some(oa), Some(ca)) = (&open.attr, &attr) {
+                    if oa != ca {
+                        return Err(TraceError::new(
+                            line,
+                            format!(
+                                "attribute mismatch on tid {tid}: close carries {ca:?} but \
+                                 the open (line {}) carried {oa:?}",
+                                open.line
+                            ),
+                        ));
+                    }
+                }
+                let node = SpanNode {
+                    label: open.label,
+                    tid,
+                    seq: open.seq,
+                    depth: open.depth,
+                    open_ns: open.open_ns,
+                    close_ns,
+                    dur_ns,
+                    attr: open.attr.or(attr),
+                    children: open.children,
+                };
+                trace.n_spans += 1;
+                match st.stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => closed_roots.push(node),
+                }
+            }
+            "region" => {
+                let label = field_str(&v, "label", line)?.to_string();
+                let tid = field_u64(&v, "tid", line)?;
+                let t_ns = field_u64(&v, "t_ns", line)?;
+                let mut fields = BTreeMap::new();
+                for (k, fv) in obj {
+                    if matches!(k.as_str(), "ev" | "label" | "tid" | "t_ns") {
+                        continue;
+                    }
+                    let n = fv.as_u64().ok_or_else(|| {
+                        TraceError::new(
+                            line,
+                            format!("region field {k:?} is not a non-negative integer"),
+                        )
+                    })?;
+                    fields.insert(k.clone(), n);
+                }
+                trace.regions.push(RegionEvent {
+                    label,
+                    tid,
+                    t_ns,
+                    fields,
+                    line,
+                });
+            }
+            "warn" => {
+                trace.warns.push(WarnEvent {
+                    tid: field_u64(&v, "tid", line)?,
+                    t_ns: field_u64(&v, "t_ns", line)?,
+                    msg: field_str(&v, "msg", line)?.to_string(),
+                });
+            }
+            other => {
+                return Err(TraceError::new(
+                    line,
+                    format!("unknown event kind {other:?}"),
+                ));
+            }
+        }
+    }
+
+    for (tid, st) in &threads {
+        if let Some(open) = st.stack.last() {
+            return Err(TraceError::new(
+                0,
+                format!(
+                    "span {:?} on tid {tid} (opened at line {}) was never closed",
+                    open.label, open.line
+                ),
+            ));
+        }
+    }
+
+    closed_roots.sort_by_key(|s| (s.open_ns, s.tid, s.seq));
+    trace.roots = closed_roots;
+    Ok(trace)
+}
+
+/// Reads and parses a trace file (convenience wrapper over
+/// [`parse_trace`]).
+pub fn parse_trace_file(path: &str) -> Result<Trace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(span: &str, tid: u64, seq: u64, depth: u64, t: u64) -> String {
+        format!(
+            r#"{{"ev":"open","span":"{span}","tid":{tid},"seq":{seq},"depth":{depth},"t_ns":{t}}}"#
+        )
+    }
+
+    fn close(span: &str, tid: u64, seq: u64, depth: u64, t: u64, dur: u64) -> String {
+        format!(
+            r#"{{"ev":"close","span":"{span}","tid":{tid},"seq":{seq},"depth":{depth},"t_ns":{t},"dur_ns":{dur}}}"#
+        )
+    }
+
+    #[test]
+    fn parses_nested_spans_into_a_tree() {
+        let text = [
+            open("root", 1, 0, 0, 100),
+            open("child", 1, 1, 1, 200),
+            close("child", 1, 1, 1, 300, 100),
+            open("child", 1, 2, 1, 350),
+            close("child", 1, 2, 1, 450, 100),
+            close("root", 1, 0, 0, 500, 400),
+        ]
+        .join("\n");
+        let t = parse_trace(&text).unwrap();
+        assert_eq!(t.roots.len(), 1);
+        assert_eq!(t.n_spans, 3);
+        let root = &t.roots[0];
+        assert_eq!(root.label, "root");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.self_ns(), 200);
+        assert_eq!(root.children[0].seq, 1);
+        assert_eq!(root.children[1].seq, 2);
+        assert_eq!(t.tids(), vec![1]);
+        assert_eq!(t.spans().len(), 3);
+    }
+
+    #[test]
+    fn interleaved_threads_reconstruct_independently() {
+        let text = [
+            open("a", 1, 0, 0, 10),
+            open("b", 2, 0, 0, 20),
+            close("b", 2, 0, 0, 40, 20),
+            close("a", 1, 0, 0, 50, 40),
+        ]
+        .join("\n");
+        let t = parse_trace(&text).unwrap();
+        assert_eq!(t.roots.len(), 2);
+        assert_eq!(t.roots[0].label, "a"); // earlier open first
+        assert_eq!(t.roots[1].label, "b");
+        assert_eq!(t.tids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn attr_is_carried_and_checked_on_both_ends() {
+        let text = [
+            r#"{"ev":"open","span":"e","tid":1,"seq":0,"depth":0,"t_ns":1,"module":"0xab"}"#
+                .to_string(),
+            r#"{"ev":"close","span":"e","tid":1,"seq":0,"depth":0,"t_ns":2,"dur_ns":1,"module":"0xab"}"#
+                .to_string(),
+        ]
+        .join("\n");
+        let t = parse_trace(&text).unwrap();
+        assert_eq!(
+            t.roots[0].attr,
+            Some(("module".to_string(), "0xab".to_string()))
+        );
+
+        let bad = text.replace(r#""dur_ns":1,"module":"0xab""#, r#""dur_ns":1,"module":"0xcd""#);
+        let err = parse_trace(&bad).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("attribute mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_out_of_order_events_with_line_numbers() {
+        // Close without an open.
+        let err = parse_trace(&close("x", 1, 0, 0, 10, 5)).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("unbalanced close"), "{err}");
+
+        // Open never closed.
+        let err = parse_trace(&open("x", 1, 0, 0, 10)).unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.msg.contains("never closed"), "{err}");
+
+        // Non-monotone per-thread seq.
+        let text = [
+            open("a", 1, 5, 0, 10),
+            close("a", 1, 5, 0, 20, 10),
+            open("b", 1, 5, 0, 30),
+            close("b", 1, 5, 0, 40, 10),
+        ]
+        .join("\n");
+        let err = parse_trace(&text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("out-of-order"), "{err}");
+
+        // Close of the wrong span.
+        let text = [
+            open("a", 1, 0, 0, 10),
+            open("b", 1, 1, 1, 20),
+            close("a", 1, 0, 1, 30, 20),
+        ]
+        .join("\n");
+        let err = parse_trace(&text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("does not match"), "{err}");
+
+        // Depth that disagrees with the open stack.
+        let err = parse_trace(&open("a", 1, 0, 3, 10)).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("depth mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_lines_and_unknown_kinds() {
+        let err = parse_trace("not json").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("invalid JSON"), "{err}");
+
+        let err = parse_trace(r#"{"ev":"explode","tid":1}"#).unwrap_err();
+        assert!(err.msg.contains("unknown event kind"), "{err}");
+
+        let err = parse_trace(r#"{"ev":"open","span":"x","tid":1}"#).unwrap_err();
+        assert!(err.msg.contains("seq"), "{err}");
+
+        let err = parse_trace("[1,2]").unwrap_err();
+        assert!(err.msg.contains("not a JSON object"), "{err}");
+    }
+
+    #[test]
+    fn regions_and_warns_pass_through() {
+        let text = [
+            r#"{"ev":"region","label":"par_map","tid":1,"t_ns":100,"wall_ns":50,"busy_ns":40,"workers":2,"items":8,"t0_ns":50}"#,
+            r#"{"ev":"region","label":"par_worker","tid":7,"t_ns":90,"worker":0,"t0_ns":55,"busy_ns":35,"items":4}"#,
+            r#"{"ev":"warn","tid":1,"t_ns":120,"msg":"something odd"}"#,
+        ]
+        .join("\n");
+        let t = parse_trace(text.as_str()).unwrap();
+        assert_eq!(t.regions.len(), 2);
+        assert_eq!(t.regions[0].label, "par_map");
+        assert_eq!(t.regions[0].fields["workers"], 2);
+        assert_eq!(t.regions[1].fields["worker"], 0);
+        assert_eq!(t.warns.len(), 1);
+        assert_eq!(t.warns[0].msg, "something odd");
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let text = format!(
+            "{}\n\n{}\n",
+            open("a", 1, 0, 0, 1),
+            close("a", 1, 0, 0, 2, 1)
+        );
+        assert_eq!(parse_trace(&text).unwrap().n_spans, 1);
+    }
+}

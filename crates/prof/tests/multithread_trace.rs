@@ -1,0 +1,124 @@
+//! Multithreaded tracing round trip: a parallel fan-out under a live
+//! `YALI_TRACE` sink must produce a capture the strict `yali-prof` parser
+//! accepts — balanced open/close per thread, strictly monotone per-thread
+//! sequence ids, depths that match the reconstructed nesting — and the
+//! capture must carry the pool's per-worker region events so a
+//! utilization timeline can be derived.
+
+use std::collections::BTreeMap;
+
+/// The obs enabled/trace state is process-global; every test in this file
+/// serializes on this lock and restores the off state before returning.
+static GLOBAL_STATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn capture_fanout(path: &str, threads: usize, items: usize) -> String {
+    yali_obs::set_trace_path(Some(path));
+    yali_obs::set_enabled(true);
+    let data: Vec<u64> = (0..items as u64).collect();
+    let out = {
+        let _root = yali_obs::span!("test.fanout.root");
+        yali_par::par_map_with(threads, &data, |i, &v| {
+            let _outer = yali_obs::span_attr("test.fanout.item", "module", v);
+            let _inner = yali_obs::span!("test.fanout.inner");
+            std::hint::black_box(v.wrapping_mul(0x9E37_79B9).rotate_left(i as u32))
+        })
+    };
+    assert_eq!(out.len(), items);
+    yali_obs::set_enabled(false);
+    yali_obs::set_trace_path(None);
+    let text = std::fs::read_to_string(path).expect("trace written");
+    let _ = std::fs::remove_file(path);
+    text
+}
+
+#[test]
+fn fanout_trace_parses_balanced_and_monotone() {
+    let _lock = GLOBAL_STATE.lock().unwrap();
+    let path = std::env::temp_dir().join("yali_prof_fanout.jsonl");
+    let path = path.to_str().unwrap().to_string();
+    let text = capture_fanout(&path, 4, 64);
+
+    // The strict parser accepting the capture already proves balance,
+    // per-thread monotone seq, and depth consistency; everything below
+    // re-checks the invariants independently of the parser's own logic.
+    let trace = yali_prof::parse_trace(&text).expect("fan-out trace parses");
+    assert!(trace.n_spans > 2 * 64, "spans={}", trace.n_spans);
+
+    let mut opens_per_tid: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut closes_per_tid: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut seqs_per_tid: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for line in text.lines() {
+        let v = serde_json::from_str(line).expect("line parses");
+        let tid = v["tid"].as_u64().unwrap();
+        match v["ev"].as_str().unwrap() {
+            "open" => {
+                *opens_per_tid.entry(tid).or_default() += 1;
+                seqs_per_tid.entry(tid).or_default().push(v["seq"].as_u64().unwrap());
+            }
+            "close" => *closes_per_tid.entry(tid).or_default() += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(opens_per_tid, closes_per_tid, "balanced open/close per tid");
+    for (tid, seqs) in &seqs_per_tid {
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "tid {tid} seq ids not strictly monotone: {seqs:?}"
+        );
+    }
+    // The fan-out really did run on several threads (the root's thread
+    // plus the pool workers), and each worker's items nest under it.
+    assert!(trace.tids().len() >= 2, "tids={:?}", trace.tids());
+
+    // Per-worker region events made it through, so the pool timeline is
+    // derivable from this capture.
+    let workers: Vec<&yali_prof::trace::RegionEvent> = trace
+        .regions
+        .iter()
+        .filter(|r| r.label == "par_worker")
+        .collect();
+    assert!(!workers.is_empty(), "no par_worker events in the capture");
+    for w in &workers {
+        assert!(w.fields.contains_key("worker"), "worker index missing");
+        assert!(w.fields.contains_key("t0_ns"));
+        assert!(w.fields.contains_key("busy_ns"));
+    }
+    let tl = yali_prof::timeline(&trace, 10).expect("timeline derivable");
+    assert!(!tl.workers.is_empty());
+    assert!(tl.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+
+    // The item spans carried their attr on open and close alike.
+    let item_span = trace
+        .spans()
+        .into_iter()
+        .find(|s| s.label == "test.fanout.item")
+        .expect("item span present");
+    assert!(item_span.attr.is_some(), "attr lost");
+    assert_eq!(item_span.children.len(), 1, "inner span nests under item");
+}
+
+#[test]
+fn serial_fanout_traces_identically_through_the_profile() {
+    let _lock = GLOBAL_STATE.lock().unwrap();
+    let path = std::env::temp_dir().join("yali_prof_serial.jsonl");
+    let path = path.to_str().unwrap().to_string();
+    let text = capture_fanout(&path, 1, 16);
+    let trace = yali_prof::parse_trace(&text).expect("serial trace parses");
+    // Serial run: every span lands on one thread, and the profile's
+    // self-time decomposition accounts for the root's wall time.
+    assert_eq!(trace.tids().len(), 1);
+    let p = yali_prof::profile(&trace);
+    let root = p
+        .labels
+        .iter()
+        .find(|l| l.label == "test.fanout.root")
+        .expect("root label");
+    assert_eq!(root.count, 1);
+    let sum: u64 = p.labels.iter().map(|l| l.self_ns).sum();
+    let tolerance = p.root_wall_ns / 100 + 1000;
+    assert!(
+        sum.abs_diff(p.root_wall_ns) <= tolerance,
+        "self-time sum {sum} vs root wall {} (tolerance {tolerance})",
+        p.root_wall_ns
+    );
+}

@@ -8,7 +8,11 @@
 #                             their companion RUNSTATS_*.json run reports
 #                             and the observability overhead gate (the
 #                             instrumented-but-disabled sweep must land
-#                             within 3% of itself with YALI_OBS=1)
+#                             within 3% of itself with YALI_OBS=1);
+#                             finally analyze the TRACE_*.jsonl captures
+#                             with yali-prof (profile + Chrome export)
+#                             and run `yali-prof diff` against the
+#                             reports committed before the run
 #   scripts/bench.sh --smoke  the same pass (the benches are already
 #                             sized for smoke runs: Scale::SMALL corpora,
 #                             10 Criterion samples) — the flag states
@@ -20,6 +24,16 @@ case "${1:-}" in
   ""|--smoke) ;;
   *) echo "usage: scripts/bench.sh [--smoke]" >&2; exit 2 ;;
 esac
+
+# Snapshot the committed reports before the benches overwrite them: the
+# regression watch at the end of this script diffs each fresh report
+# against the baseline that was here when the run started.
+baseline_dir="$(mktemp -d)"
+trap 'rm -rf "$baseline_dir"' EXIT
+for f in RUNSTATS_engine.json RUNSTATS_train.json RUNSTATS_infer.json \
+         BENCH_engine.json BENCH_train.json BENCH_infer.json; do
+  [ -f "$f" ] && cp "$f" "$baseline_dir/$f"
+done
 
 cargo bench --bench throughput
 cargo bench --bench training
@@ -127,3 +141,29 @@ if pct > 3.0:
 print(f"observability overhead gate: ok ({pct:.2f}% <= 3%)")
 EOF
 fi
+
+# Trace analysis: every bench also wrote an untimed TRACE_*.jsonl
+# capture. The strict parser accepting it proves balanced spans and
+# monotone per-thread seqs; the Chrome export is what Perfetto loads.
+cargo build --release -q -p yali-prof
+prof=target/release/yali-prof
+for t in TRACE_engine.jsonl TRACE_train.jsonl TRACE_infer.jsonl; do
+  [ -f "$t" ] || { echo "$t: missing trace capture" >&2; exit 1; }
+  "$prof" top "$t" --top 10
+  "$prof" export --chrome "$t"
+done
+
+# The run-over-run regression watch: diff each fresh report against the
+# baseline snapshotted at the top of this script. Thresholds are loose
+# (Criterion sizes iteration counts adaptively, so absolute counters
+# move a few x between runs) but a real regression — a cache that
+# stopped hitting, a phase that blew up, a speedup that collapsed —
+# fails the script with the offending metric named.
+for f in RUNSTATS_engine.json RUNSTATS_train.json RUNSTATS_infer.json \
+         BENCH_engine.json BENCH_train.json BENCH_infer.json; do
+  if [ -f "$baseline_dir/$f" ]; then
+    "$prof" diff "$baseline_dir/$f" "$f"
+  else
+    echo "$f: no committed baseline, skipping diff (first run?)"
+  fi
+done

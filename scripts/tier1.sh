@@ -8,6 +8,11 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# The profiler's golden-fixture round trip: parse the committed trace,
+# re-export it, demand a byte-identical Chrome file. Catches any drift
+# in the trace schema, the parser, or the exporter.
+target/release/yali-prof selfcheck
+
 # Optional benchmark smoke: YALI_SMOKE=1 scripts/tier1.sh also runs the
 # throughput + training benches and sanity-checks their JSON reports.
 if [ "${YALI_SMOKE:-0}" = "1" ]; then
