@@ -4,9 +4,12 @@
 //! pre-engine behavior), parallel with a cold model store, and parallel
 //! with a warm model store (the steady state of a sweep that revisits
 //! design points, where [`yali_core::engine::ModelCache`] answers every
-//! fit with a deserialized model). A `gemm` group times the blocked
-//! transposed-B matmul kernel against a naive triple loop at an
-//! MLP-forward-sized shape.
+//! fit with a deserialized model). A `gemm` group times the kernel
+//! family at an MLP-forward-sized shape: a naive triple loop
+//! (`gemm/serial`), the blocked scalar kernel pinned explicitly
+//! (`gemm/blocked`), and the process's dispatched SIMD kernel
+//! (`gemm/simd`) — each gemm mode also reports GFLOP/s, and the report
+//! names which kernel `gemm/simd` ran.
 //!
 //! Writes `BENCH_train.json` at the repo root with per-mode timings,
 //! speedups over each group's serial mode, and the model-store counters.
@@ -17,6 +20,7 @@ use criterion::Criterion;
 use yali_core::{engine, play, ClassifierSpec, Corpus, Game, GameConfig, Scale, Transformer};
 use yali_ml::Matrix;
 use yali_ml::ModelKind;
+use yali_ml::{active_kernel, GemmKernel};
 
 const MODELS: [ModelKind; 2] = [ModelKind::Mlp, ModelKind::Cnn];
 const EVADER: Transformer = Transformer::Ir(yali_obf::IrObf::Ollvm);
@@ -61,6 +65,9 @@ struct ModeOut {
     median_ns: f64,
     min_ns: f64,
     speedup_vs_serial: f64,
+    /// Arithmetic throughput, only for the gemm modes (`2·m·k·n` flops
+    /// over the mean time); `null` for the sweep modes.
+    gflops: Option<f64>,
 }
 
 #[derive(serde::Serialize)]
@@ -90,6 +97,9 @@ struct Report {
     workload: String,
     threads_parallel: usize,
     modes: Vec<ModeOut>,
+    /// Which kernel family member `gemm/simd` dispatched to (per-process
+    /// CPU detection; "scalar" when no SIMD kernel is available).
+    gemm_simd_kernel: String,
     speedup_serial_to_parallel_cached: f64,
     model_cache: CacheOut,
 }
@@ -110,11 +120,17 @@ fn main() {
         .measurement_time(Duration::from_secs(3));
 
     // GEMM micro-measure at an MLP-forward shape (batch x features times
-    // features x hidden); "serial" is the naive triple loop.
+    // features x hidden); "serial" is the naive triple loop, "blocked"
+    // pins the scalar kernel, "simd" is whatever the process dispatched
+    // (the widest kernel this CPU runs).
     let ga = Matrix::from_fn(96, 128, |r, cc| ((r * 31 + cc * 7) % 13) as f64 * 0.25 - 1.5);
     let gb = Matrix::from_fn(128, 96, |r, cc| ((r * 17 + cc * 3) % 11) as f64 * 0.5 - 2.0);
+    let gemm_flops = 2.0 * 96.0 * 128.0 * 96.0;
     c.bench_function("gemm/serial", |b| b.iter(|| naive_matmul(&ga, &gb)));
-    c.bench_function("gemm/blocked", |b| b.iter(|| ga.matmul(&gb)));
+    c.bench_function("gemm/blocked", |b| {
+        b.iter(|| ga.matmul_with_kernel(&gb, GemmKernel::Scalar))
+    });
+    c.bench_function("gemm/simd", |b| b.iter(|| ga.matmul(&gb)));
 
     // The pre-engine configuration: one thread, no caching at all.
     std::env::set_var("YALI_THREADS", "1");
@@ -171,6 +187,7 @@ fn main() {
             median_ns: s.median_ns,
             min_ns: s.min_ns,
             speedup_vs_serial: serial_mean(s.id.split('/').next().unwrap()) / s.mean_ns,
+            gflops: s.id.starts_with("gemm/").then(|| gemm_flops / s.mean_ns),
         })
         .collect();
     let cached_speedup = modes
@@ -182,7 +199,8 @@ fn main() {
     let report = Report {
         description: "gradient-training sweep (games 0-1 x {mlp,cnn} x ollvm evader at \
                       Scale::SMALL), serial / parallel+cold-store / parallel+warm-store, \
-                      plus naive-vs-blocked GEMM at 96x128x96"
+                      plus the GEMM kernel family (naive / blocked scalar / dispatched \
+                      SIMD, GFLOP/s each) at 96x128x96"
             .to_string(),
         workload: format!(
             "{} classes x {} per class, {} rounds, {} plays per sweep",
@@ -193,6 +211,7 @@ fn main() {
         ),
         threads_parallel: parallel_threads,
         modes,
+        gemm_simd_kernel: active_kernel().name().to_string(),
         speedup_serial_to_parallel_cached: cached_speedup,
         model_cache: engine::ModelCache::global().stats().into(),
     };

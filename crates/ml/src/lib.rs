@@ -36,6 +36,7 @@ pub mod forest;
 pub mod knn;
 pub mod linalg;
 pub mod linear;
+pub mod lowp;
 pub mod metrics;
 pub mod mlp;
 pub mod nn;
@@ -46,8 +47,9 @@ pub use cnn::{Cnn, CnnConfig};
 pub use dgcnn::{Dgcnn, DgcnnConfig, GraphSample};
 pub use forest::{ForestConfig, RandomForest};
 pub use knn::Knn;
-pub use linalg::Matrix;
+pub use linalg::{active_kernel, GemmKernel, Matrix, Matrix32};
 pub use linear::{LinearConfig, LinearLoss, LinearModel};
+pub use lowp::{F32Classifier, Int8Classifier};
 pub use metrics::{accuracy, confusion, macro_f1};
 pub use mlp::{Mlp, MlpConfig};
 
@@ -344,10 +346,12 @@ impl VectorClassifier {
     }
 
     /// Serializes the trained classifier for the experiment engine's
-    /// model store. Weights round-trip via [`f64::to_bits`], so a
-    /// deserialized model classifies byte-identically to the original.
+    /// model store. Blobs are prefixed with [`serialize::CODEC_VERSION`];
+    /// weights round-trip via [`f64::to_bits`], so a deserialized model
+    /// classifies byte-identically to the original.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = serialize::ByteWriter::new();
+        w.put_u8(serialize::CODEC_VERSION);
         match self {
             VectorClassifier::Rf(m) => {
                 w.put_u8(1);
@@ -380,6 +384,12 @@ impl VectorClassifier {
     /// Panics on a malformed blob (a model-store bug, not an input error).
     pub fn from_bytes(bytes: &[u8]) -> VectorClassifier {
         let mut r = serialize::ByteReader::new(bytes);
+        let version = r.get_u8();
+        assert_eq!(
+            version,
+            serialize::CODEC_VERSION,
+            "model blob codec version {version} does not match this binary"
+        );
         let out = match r.get_u8() {
             1 => VectorClassifier::Rf(RandomForest::read(&mut r)),
             2 => VectorClassifier::Linear(LinearModel::read(&mut r)),

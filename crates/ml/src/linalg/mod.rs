@@ -1,20 +1,43 @@
 //! Dense linear-algebra kernels: row-major matrices plus the GEMM and
 //! optimizer primitives the neural models train on.
 //!
+//! # Kernel family and dispatch
+//!
 //! The three products ([`Matrix::matmul`], [`Matrix::t_matmul`],
-//! [`Matrix::matmul_t`]) all reduce to one register-blocked kernel in the
-//! `i–k–j` (axpy) formulation: the inner loop accumulates
-//! `C[i][·] += A[i][k] · B[k][·]` over two **contiguous** row slices, which
-//! the vectorized [`axpy`] turns into straight vector work — unlike a
-//! dot-product formulation, whose single serial accumulator chains every
-//! add's latency. Summation over `k` runs in a fixed ascending order, so
-//! results are bit-stable run to run. The kernel walks `A` four rows at a
-//! time so each streamed `B` row is reused across four accumulator rows
-//! from registers. `matmul` is the kernel's native layout and packs
-//! nothing; `matmul_t` packs `Bᵀ` once per call with the tiled
+//! [`Matrix::matmul_t`]) share one GEMM core that is now a *family* of
+//! kernels behind one-time CPU feature detection (see
+//! [`active_kernel`]):
+//!
+//! * [`kernel_scalar`](self) — the original register-blocked `i–k–j`
+//!   (axpy-formulation) kernel: always available, bit-identical to the
+//!   pre-SIMD codebase, and the tolerance oracle for everything else.
+//!   `YALI_SIMD=0` forces it.
+//! * [`kernel_simd`](self) — explicit `std::arch` kernels: AVX-512F and
+//!   AVX2+FMA register tiles on x86_64, NEON on aarch64. These use
+//!   hardware FMA, so they differ from the scalar kernel in the last
+//!   ulp; the property tests hold them bitwise against a scalar
+//!   `mul_add` reference (IEEE FMA is exact, so that reference really
+//!   is a bit-oracle).
+//! * [`quant`] — the opt-in int8 path: per-row absmax quantization with
+//!   exact i32 accumulation, used by the `lowp` inference classifiers.
+//!
+//! Precision policy: training is always `f64` (ModelCache keys and the
+//! determinism proptests depend on it); inference may opt into `f32`
+//! ([`Matrix32`]) or int8 via `lowp`. The kernel choice is fixed per
+//! process, so run-to-run bit-stability on one machine is preserved.
+//!
+//! In the axpy formulation the inner loop accumulates
+//! `C[i][·] += A[i][k] · B[k][·]` over two **contiguous** row slices —
+//! unlike a dot-product formulation, whose single serial accumulator
+//! chains every add's latency. Summation over `k` runs in a fixed
+//! ascending order in every kernel, so results are bit-stable run to
+//! run. `matmul` is the kernel's native layout and packs nothing;
+//! `matmul_t` packs `Bᵀ` once per call with the tiled
 //! [`Matrix::transpose`] — an `O(k·n)` copy against `O(m·k·n)` multiply
 //! work — so its inner loop is contiguous too; `t_matmul` re-associates
-//! to stream `A` rows directly, also pack-free.
+//! to stream `A` rows directly, also pack-free (it stays on the scalar
+//! axpy path: it runs on gradient passes where its zero-skip and
+//! pack-free streaming already win).
 //!
 //! [`Matrix::matmul_t_bias`] is the fused inference/training path: it
 //! seeds every output row with the bias vector instead of zero, saving a
@@ -23,8 +46,58 @@
 //!
 //! A naive triple-loop implementation of each product is kept under
 //! `#[cfg(test)]` as the reference oracle; a property test checks the
-//! blocked kernels against it on random (including degenerate 0×N and
-//! 1×1) shapes.
+//! dispatched kernels against it on random (including degenerate 0×N
+//! and 1×1) shapes.
+
+mod kernel_scalar;
+mod kernel_simd;
+pub mod quant;
+
+pub use kernel_simd::active_kernel;
+
+/// One member of the GEMM kernel family. [`active_kernel`] picks the
+/// widest available member once per process; [`Matrix::matmul_with_kernel`]
+/// lets benchmarks and tests pin a specific one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// The register-blocked scalar kernel — always available, bitwise
+    /// identical to the pre-SIMD codebase.
+    Scalar,
+    /// AVX2 + FMA 4×8 (f64) / 4×16 (f32) register tiles (x86_64).
+    Avx2,
+    /// AVX-512F 8×16 (f64) / 8×32 (f32) register tiles (x86_64).
+    Avx512,
+    /// NEON 4×4 (f64) / 4×8 (f32) register tiles (aarch64 baseline).
+    Neon,
+}
+
+impl GemmKernel {
+    /// Whether this kernel can run on the current CPU.
+    pub fn available(self) -> bool {
+        match self {
+            GemmKernel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            GemmKernel::Avx2 => {
+                is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            GemmKernel::Avx512 => is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            GemmKernel::Avx2 | GemmKernel::Avx512 => false,
+            GemmKernel::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    /// Stable lowercase name, used in bench reports and counter keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmKernel::Scalar => "scalar",
+            GemmKernel::Avx2 => "avx2",
+            GemmKernel::Avx512 => "avx512",
+            GemmKernel::Neon => "neon",
+        }
+    }
+}
 
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -35,6 +108,20 @@ pub struct Matrix {
     pub cols: usize,
     /// Row-major data (`rows * cols` entries).
     pub data: Vec<f64>,
+}
+
+/// A dense row-major matrix of `f32` — the reduced-precision *inference*
+/// storage/compute mode. Training never touches it: models are trained
+/// in `f64` and narrowed once by the `lowp` classifiers, whose products
+/// run through the same dispatched kernel family in `f32`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Matrix32 {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Row-major data (`rows * cols` entries).
+    pub data: Vec<f32>,
 }
 
 /// Shape-mismatch panic naming both operand shapes (kept out of line so
@@ -53,67 +140,56 @@ fn shape_panic(op: &str, rule: &str, a: (usize, usize), b: (usize, usize)) -> ! 
 /// bounds-check-free slice zip so the compiler vectorizes it — every
 /// `y[k]` is an independent accumulator, so vectorization needs no
 /// reassociation and results stay bit-stable.
+///
+/// The slices must have equal lengths: a mismatch is a shape bug
+/// upstream, and silently truncating would turn it into wrong math, so
+/// debug builds assert (naming both lengths) instead.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    let n = x.len().min(y.len());
-    for (yv, &xv) in y[..n].iter_mut().zip(&x[..n]) {
+    debug_assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy: x.len() {} != y.len() {}",
+        x.len(),
+        y.len()
+    );
+    for (yv, &xv) in y.iter_mut().zip(x) {
         *yv += alpha * xv;
     }
 }
 
-/// The register-blocked `C = A · B (+ bias)` kernel in the `i–k–j`
-/// formulation: each output row is seeded (with zero or the bias) and
-/// then built by streaming `axpy(A[i][k], B.row(k))` over ascending `k`,
-/// so both the load and the store of the inner loop are contiguous and
-/// the summation order is fixed. Rows of `A` are processed four at a time
-/// so every streamed `B` row is reused from registers across four
-/// accumulator rows; each output element still sums in ascending-`k`
-/// order, so the blocking changes nothing bitwise. Zero `A` entries
-/// (whole rows in the remainder loop) skip their multiply.
-fn mul_rm(a: &Matrix, b: &Matrix, bias: Option<&[f64]>) -> Matrix {
+/// `C = A · B (+ bias)` through one pinned kernel: seeds every output
+/// row (with zero or the bias), bumps the aggregate and per-variant GEMM
+/// counters, and hands the accumulation to the kernel. Shape checks
+/// belong to the public callers.
+fn mul_rm_with(a: &Matrix, b: &Matrix, bias: Option<&[f64]>, kernel: GemmKernel) -> Matrix {
     let n = b.cols;
     let k = a.cols;
     // GEMM-kernel accounting: one counter bump per kernel call (never per
-    // element), so the disabled path costs one relaxed load.
+    // element), so the disabled path costs one relaxed load. The
+    // aggregate pair predates dispatch and keeps emitting; the
+    // per-variant counters let yali-prof attribute calls to a kernel.
     yali_obs::count!("ml.gemm.calls", 1);
     yali_obs::count!("ml.gemm.fmas", (a.rows * n * k) as u64);
+    match kernel {
+        GemmKernel::Scalar => yali_obs::count!("ml.gemm.kernel.scalar", 1),
+        GemmKernel::Avx2 => yali_obs::count!("ml.gemm.kernel.avx2", 1),
+        GemmKernel::Avx512 => yali_obs::count!("ml.gemm.kernel.avx512", 1),
+        GemmKernel::Neon => yali_obs::count!("ml.gemm.kernel.neon", 1),
+    }
     let mut out = Matrix::zeros(a.rows, n);
     if let Some(bv) = bias {
         for i in 0..a.rows {
             out.data[i * n..(i + 1) * n].copy_from_slice(bv);
         }
     }
-    let mut i = 0;
-    while i + 4 <= a.rows {
-        let (o0, rest) = out.data[i * n..(i + 4) * n].split_at_mut(n);
-        let (o1, rest) = rest.split_at_mut(n);
-        let (o2, o3) = rest.split_at_mut(n);
-        for kk in 0..k {
-            let brow = &b.data[kk * n..(kk + 1) * n];
-            let a0 = a.data[i * k + kk];
-            let a1 = a.data[(i + 1) * k + kk];
-            let a2 = a.data[(i + 2) * k + kk];
-            let a3 = a.data[(i + 3) * k + kk];
-            for (j, &bj) in brow.iter().enumerate() {
-                o0[j] += a0 * bj;
-                o1[j] += a1 * bj;
-                o2[j] += a2 * bj;
-                o3[j] += a3 * bj;
-            }
-        }
-        i += 4;
-    }
-    while i < a.rows {
-        let arow = &a.data[i * k..(i + 1) * k];
-        let orow = &mut out.data[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av != 0.0 {
-                axpy(av, &b.data[kk * n..(kk + 1) * n], orow);
-            }
-        }
-        i += 1;
-    }
+    kernel_simd::gemm_f64_with(kernel, a.rows, k, n, &a.data, &b.data, &mut out.data);
     out
+}
+
+/// [`mul_rm_with`] on the process-wide [`active_kernel`].
+fn mul_rm(a: &Matrix, b: &Matrix, bias: Option<&[f64]>) -> Matrix {
+    mul_rm_with(a, b, bias, active_kernel())
 }
 
 impl Matrix {
@@ -209,6 +285,31 @@ impl Matrix {
         mul_rm(self, other, None)
     }
 
+    /// `self * other` through one pinned kernel instead of the
+    /// process-wide dispatch — how the benchmarks time kernels
+    /// side by side and the tests pin the scalar oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch, and when `kernel` is not
+    /// available on this CPU.
+    pub fn matmul_with_kernel(&self, other: &Matrix, kernel: GemmKernel) -> Matrix {
+        assert!(
+            kernel.available(),
+            "matmul_with_kernel: kernel {} is not available on this CPU",
+            kernel.name()
+        );
+        if self.cols != other.rows {
+            shape_panic(
+                "matmul",
+                "A.cols must equal B.rows",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            );
+        }
+        mul_rm_with(self, other, None, kernel)
+    }
+
     /// `self^T * other`.
     ///
     /// # Panics
@@ -227,6 +328,7 @@ impl Matrix {
         // operands hits the axpy kernel without packing either transpose.
         yali_obs::count!("ml.gemm.calls", 1);
         yali_obs::count!("ml.gemm.fmas", (self.rows * self.cols * other.cols) as u64);
+        yali_obs::count!("ml.gemm.kernel.scalar", 1);
         let mut out = Matrix::zeros(self.cols, other.cols);
         for r in 0..self.rows {
             let arow = self.row(r);
@@ -309,6 +411,122 @@ impl Matrix {
         for v in &mut self.data {
             *v = f(*v);
         }
+    }
+}
+
+impl Matrix32 {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix32 {
+        Matrix32 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Narrows an `f64` matrix to `f32` storage (one rounding per
+    /// element).
+    pub fn from_f64(m: &Matrix) -> Matrix32 {
+        Matrix32 {
+            rows: m.rows,
+            cols: m.cols,
+            data: m.data.iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Builds a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix32 {
+        let mut m = Matrix32::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose, packed with cache-friendly tiles.
+    pub fn transpose(&self) -> Matrix32 {
+        const T: usize = 32;
+        let mut out = Matrix32::zeros(self.cols, self.rows);
+        for rb in (0..self.rows).step_by(T) {
+            let rend = (rb + T).min(self.rows);
+            for cb in (0..self.cols).step_by(T) {
+                let cend = (cb + T).min(self.cols);
+                for r in rb..rend {
+                    for c in cb..cend {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fused `self * other^T + bias` in `f32`, through the dispatched
+    /// kernel family — the `lowp` batched forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch or when `bias.len() != other.rows`,
+    /// naming the shapes.
+    pub fn matmul_t_bias(&self, other: &Matrix32, bias: &[f32]) -> Matrix32 {
+        if self.cols != other.cols {
+            shape_panic(
+                "matmul_t_bias(f32)",
+                "A.cols must equal B.cols",
+                (self.rows, self.cols),
+                (other.rows, other.cols),
+            );
+        }
+        if bias.len() != other.rows {
+            shape_panic(
+                "matmul_t_bias(f32)",
+                "bias length must equal B.rows",
+                (bias.len(), 1),
+                (other.rows, other.cols),
+            );
+        }
+        yali_obs::count!("ml.gemm.f32.calls", 1);
+        yali_obs::count!("ml.gemm.f32.fmas", (self.rows * other.rows * self.cols) as u64);
+        let bt = other.transpose();
+        let n = bt.cols;
+        let mut out = Matrix32::zeros(self.rows, n);
+        for i in 0..self.rows {
+            out.data[i * n..(i + 1) * n].copy_from_slice(bias);
+        }
+        kernel_simd::gemm_f32_with(
+            active_kernel(),
+            self.rows,
+            self.cols,
+            n,
+            &self.data,
+            &bt.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Heap bytes held by the element storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
     }
 }
 
@@ -470,6 +688,46 @@ mod tests {
         }
     }
 
+    /// The scalar-fused bit-oracle for the SIMD kernels: IEEE `fma`
+    /// rounds once, exactly like `f64::mul_add`, so each SIMD lane's
+    /// ascending-`k` FMA chain must reproduce this loop bit for bit.
+    fn fused_ref_f64(m: usize, k: usize, n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for kk in 0..k {
+                    acc = a[i * k + kk].mul_add(b[kk * n + j], acc);
+                }
+                out[i * n + j] += acc;
+            }
+        }
+        out
+    }
+
+    /// The `f32` twin of [`fused_ref_f64`].
+    fn fused_ref_f32(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc = a[i * k + kk].mul_add(b[kk * n + j], acc);
+                }
+                out[i * n + j] += acc;
+            }
+        }
+        out
+    }
+
+    /// Every non-scalar kernel runnable on this CPU.
+    fn simd_kernels() -> Vec<GemmKernel> {
+        [GemmKernel::Avx2, GemmKernel::Avx512, GemmKernel::Neon]
+            .into_iter()
+            .filter(|k| k.available())
+            .collect()
+    }
+
     fn assert_close(a: &Matrix, b: &Matrix, what: &str) {
         assert_eq!((a.rows, a.cols), (b.rows, b.cols), "{what} shape");
         for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
@@ -490,9 +748,9 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
-        // The tentpole contract: the blocked axpy kernels agree with the
-        // naive triple loops on arbitrary shapes, including degenerate
-        // 0xN and 1x1 operands.
+        // The dispatch contract: whichever kernel the process picked,
+        // the three products agree with the naive triple loops on
+        // arbitrary shapes, including degenerate 0xN and 1x1 operands.
         #[test]
         fn blocked_gemm_matches_the_naive_oracle(
             m in 0usize..9,
@@ -518,6 +776,31 @@ mod tests {
             assert_close(&a.matmul_t_bias(&b2, &bias), &want, "matmul_t_bias");
         }
 
+        // The SIMD bit-oracle, randomized: each available SIMD kernel
+        // reproduces the scalar fused-chain reference bit for bit on
+        // random shapes (shape ranges straddle every tile width).
+        #[test]
+        fn simd_kernels_match_the_fused_oracle_bitwise(
+            m in 0usize..19,
+            k in 0usize..35,
+            n in 0usize..37,
+            vals in prop::collection::vec(-8.0f64..8.0, 1..48),
+        ) {
+            let a = fill(m, k, &vals);
+            let b = fill(k, n, &vals[vals.len() / 2..]);
+            let want = fused_ref_f64(m, k, n, &a.data, &b.data);
+            for kernel in simd_kernels() {
+                let mut got = vec![0.0f64; m * n];
+                kernel_simd::gemm_f64_with(kernel, m, k, n, &a.data, &b.data, &mut got);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    prop_assert_eq!(
+                        g.to_bits(), w.to_bits(),
+                        "kernel {} entry {}: {} vs {}", kernel.name(), i, g, w
+                    );
+                }
+            }
+        }
+
         #[test]
         fn transpose_round_trips(
             m in 0usize..12,
@@ -528,6 +811,111 @@ mod tests {
             let t = a.transpose();
             prop_assert_eq!((t.rows, t.cols), (n, m));
             prop_assert_eq!(t.transpose(), a);
+        }
+    }
+
+    // The SIMD bit-oracle on handpicked adversarial shapes: empty
+    // operands, single elements, column counts one either side of every
+    // lane/tile width (4, 8, 16, 32), and row counts that are not
+    // multiples of the 4- and 8-row blocks.
+    #[test]
+    fn simd_kernels_survive_adversarial_shapes_bitwise() {
+        let kernels = simd_kernels();
+        if kernels.is_empty() {
+            eprintln!("skipping: no SIMD kernel on this host");
+            return;
+        }
+        let vals: Vec<f64> = (0..97)
+            .map(|i| ((i * 37 + 11) % 19) as f64 * 0.37 - 3.3)
+            .collect();
+        for &m in &[0usize, 1, 2, 3, 4, 5, 7, 8, 9, 11, 16, 17] {
+            for &n in &[0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+                for &k in &[0usize, 1, 2, 13] {
+                    let a = fill(m, k, &vals);
+                    let b = fill(k, n, &vals[31..]);
+                    let want = fused_ref_f64(m, k, n, &a.data, &b.data);
+                    for &kernel in &kernels {
+                        let mut got = vec![0.0f64; m * n];
+                        kernel_simd::gemm_f64_with(kernel, m, k, n, &a.data, &b.data, &mut got);
+                        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                            assert_eq!(
+                                g.to_bits(),
+                                w.to_bits(),
+                                "kernel {} shape {m}x{k}x{n} entry {i}: {g} vs {w}",
+                                kernel.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Same adversarial sweep for the f32 kernels (tile widths 8, 16, 32
+    // columns), which back the Matrix32 inference path.
+    #[test]
+    fn simd_f32_kernels_survive_adversarial_shapes_bitwise() {
+        let kernels = simd_kernels();
+        if kernels.is_empty() {
+            eprintln!("skipping: no SIMD kernel on this host");
+            return;
+        }
+        for &m in &[0usize, 1, 3, 4, 5, 8, 9, 17] {
+            for &n in &[0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+                for &k in &[0usize, 1, 13] {
+                    let a: Vec<f32> =
+                        (0..m * k).map(|i| ((i * 29 + 7) % 17) as f32 * 0.31 - 2.4).collect();
+                    let b: Vec<f32> =
+                        (0..k * n).map(|i| ((i * 41 + 3) % 23) as f32 * 0.17 - 1.9).collect();
+                    let want = fused_ref_f32(m, k, n, &a, &b);
+                    for &kernel in &kernels {
+                        let mut got = vec![0.0f32; m * n];
+                        kernel_simd::gemm_f32_with(kernel, m, k, n, &a, &b, &mut got);
+                        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                            assert_eq!(
+                                g.to_bits(),
+                                w.to_bits(),
+                                "kernel {} shape {m}x{k}x{n} entry {i}: {g} vs {w}",
+                                kernel.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_scalar_kernel_matches_dispatched_matmul_within_tolerance() {
+        let vals: Vec<f64> = (0..53).map(|i| ((i * 13 + 5) % 29) as f64 * 0.21 - 2.9).collect();
+        let a = fill(9, 23, &vals);
+        let b = fill(23, 17, &vals[20..]);
+        assert_close(
+            &a.matmul_with_kernel(&b, GemmKernel::Scalar),
+            &a.matmul(&b),
+            "scalar vs dispatched",
+        );
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    #[should_panic(expected = "matmul_with_kernel: kernel neon is not available")]
+    fn pinning_an_unavailable_kernel_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.matmul_with_kernel(&a, GemmKernel::Neon);
+    }
+
+    #[test]
+    fn matrix32_matmul_t_bias_matches_f64_within_f32_tolerance() {
+        let a = fill(7, 33, &[0.5, -1.25, 2.0, 0.75, -0.375]);
+        let w = fill(5, 33, &[1.5, -0.25, 0.125, 2.5]);
+        let bias: Vec<f64> = (0..5).map(|j| j as f64 * 0.5 - 1.0).collect();
+        let want = a.matmul_t_bias(&w, &bias);
+        let bias32: Vec<f32> = bias.iter().map(|&v| v as f32).collect();
+        let got = Matrix32::from_f64(&a).matmul_t_bias(&Matrix32::from_f64(&w), &bias32);
+        assert_eq!((got.rows, got.cols), (want.rows, want.cols));
+        for (i, (g, w)) in got.data.iter().zip(&want.data).enumerate() {
+            assert!((*g as f64 - w).abs() < 1e-3, "entry {i}: {g} vs {w}");
         }
     }
 
@@ -589,6 +977,14 @@ mod tests {
         let mut y = vec![1.0; 7];
         axpy(2.0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], &mut y);
         assert_eq!(y, vec![3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "axpy: x.len() 3 != y.len() 2")]
+    fn axpy_rejects_mismatched_lengths_in_debug_builds() {
+        let mut y = vec![0.0; 2];
+        axpy(1.0, &[1.0, 2.0, 3.0], &mut y);
     }
 
     #[test]

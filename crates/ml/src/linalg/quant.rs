@@ -1,0 +1,278 @@
+//! Dynamic int8 quantization for the opt-in low-precision inference path.
+//!
+//! A [`QuantMatrix`] stores each row of an f64 matrix as `i8` codes plus
+//! one f64 scale — per-row absmax quantization: `scale = absmax / 127`,
+//! `code = round(x / scale)` clamped to `[-127, 127]` (the `-128` code is
+//! unused so negation stays symmetric). [`matmul_t_dequant`] multiplies
+//! two quantized operands with exact `i32` accumulation and dequantizes
+//! on the way out: `out[i][j] = Σ_k qa[i][k]·qw[j][k] · sa[i]·sw[j] +
+//! bias[j]`.
+//!
+//! `i32` accumulation cannot overflow for any realistic width: each
+//! product is at most `127² = 16129`, so the inner dimension would need
+//! to exceed `2³¹ / 127² ≈ 133 000` before saturating — far beyond any
+//! feature width in this codebase (a `debug_assert!` documents the
+//! bound).
+//!
+//! Because integer arithmetic is exact, the AVX2 kernel is bit-identical
+//! to the scalar one — the unit tests compare them with `assert_eq!`,
+//! not a tolerance. Accuracy versus the f64 verdicts is gated end-to-end
+//! in `lowp` (agreement ≥ 99.5% on generated corpora), not here.
+
+use super::Matrix;
+
+/// A row-major i8 matrix with one dequantization scale per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f64>,
+}
+
+impl QuantMatrix {
+    /// Quantizes `m` row-wise: per-row absmax scale, symmetric clamp to
+    /// `[-127, 127]`. An all-zero row gets scale `0.0` and all-zero
+    /// codes (dequantizing back to exact zeros).
+    pub fn from_f64(m: &Matrix) -> Self {
+        let (rows, cols) = (m.rows, m.cols);
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut scales = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = m.row(r);
+            let absmax = row.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+            if absmax == 0.0 {
+                scales.push(0.0);
+                data.extend(std::iter::repeat_n(0i8, cols));
+            } else {
+                let scale = absmax / 127.0;
+                scales.push(scale);
+                data.extend(row.iter().map(|&v| {
+                    let q = (v / scale).round();
+                    q.clamp(-127.0, 127.0) as i8
+                }));
+            }
+        }
+        QuantMatrix { rows, cols, data, scales }
+    }
+
+    /// Quantizes one feature row (a single query) with the same rule as
+    /// [`QuantMatrix::from_f64`].
+    pub fn from_row(row: &[f64]) -> Self {
+        Self::from_f64(&Matrix { rows: 1, cols: row.len(), data: row.to_vec() })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The i8 codes of row `r`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The dequantization scale of row `r`.
+    pub fn scale(&self, r: usize) -> f64 {
+        self.scales[r]
+    }
+
+    /// Heap bytes held by codes and scales.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Raw parts for serialization: `(rows, cols, codes, scales)`.
+    pub(crate) fn parts(&self) -> (usize, usize, &[i8], &[f64]) {
+        (self.rows, self.cols, &self.data, &self.scales)
+    }
+
+    /// Rebuilds a matrix from serialized parts.
+    pub(crate) fn from_parts(rows: usize, cols: usize, data: Vec<i8>, scales: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "quant codes length mismatch");
+        assert_eq!(scales.len(), rows, "quant scales length mismatch");
+        QuantMatrix { rows, cols, data, scales }
+    }
+}
+
+/// Exact i32 dot product of two i8 code rows.
+fn dot_i8_scalar(x: &[i8], y: &[i8]) -> i32 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| a as i32 * b as i32).sum()
+}
+
+/// AVX2 i8 dot product: sign-extend 16 codes a side to i16, multiply and
+/// pairwise-add into i32 lanes with `madd`, reduce at the end. Exact, so
+/// bit-identical to [`dot_i8_scalar`].
+///
+/// # Safety
+///
+/// Requires AVX2; `x` and `y` must have equal length.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2(x: &[i8], y: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 16 <= n {
+        let xv = _mm_loadu_si128(x.as_ptr().add(i) as *const __m128i);
+        let yv = _mm_loadu_si128(y.as_ptr().add(i) as *const __m128i);
+        let xw = _mm256_cvtepi8_epi16(xv);
+        let yw = _mm256_cvtepi8_epi16(yv);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xw, yw));
+        i += 16;
+    }
+    let mut lanes = [0i32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut sum: i32 = lanes.iter().sum();
+    while i < n {
+        sum += *x.get_unchecked(i) as i32 * *y.get_unchecked(i) as i32;
+        i += 1;
+    }
+    sum
+}
+
+/// `a · wᵀ` over quantized operands, dequantized with `bias` added:
+/// `out[i][j] = dot(a.row(i), w.row(j)) · a.scale(i)·w.scale(j) +
+/// bias[j]`. Inner products accumulate exactly in `i32`; dispatch
+/// between the scalar and AVX2 dot kernels follows
+/// [`super::active_kernel`] (any x86 SIMD kernel implies AVX2).
+pub fn matmul_t_dequant(a: &QuantMatrix, w: &QuantMatrix, bias: &[f64]) -> Matrix {
+    assert_eq!(
+        a.cols, w.cols,
+        "matmul_t_dequant: inner dimensions differ ({} vs {})",
+        a.cols, w.cols
+    );
+    assert_eq!(
+        w.rows,
+        bias.len(),
+        "matmul_t_dequant: bias length {} does not match {} output columns",
+        bias.len(),
+        w.rows
+    );
+    debug_assert!(
+        a.cols < (i32::MAX as usize) / (127 * 127),
+        "matmul_t_dequant: inner dimension {} could overflow i32 accumulation",
+        a.cols
+    );
+    yali_obs::count!("ml.gemm.int8.calls", 1);
+    yali_obs::count!("ml.gemm.int8.macs", (a.rows * w.rows * a.cols) as u64);
+
+    #[cfg(target_arch = "x86_64")]
+    let use_avx2 = super::active_kernel() != super::GemmKernel::Scalar;
+
+    let mut out = Matrix::zeros(a.rows, w.rows);
+    for i in 0..a.rows {
+        let arow = a.row(i);
+        let sa = a.scales[i];
+        let orow = out.row_mut(i);
+        for j in 0..w.rows {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: every x86 kernel above Scalar requires AVX2 or a
+            // superset, so detection already proved AVX2 is present.
+            let acc = if use_avx2 {
+                unsafe { dot_i8_avx2(arow, w.row(j)) }
+            } else {
+                dot_i8_scalar(arow, w.row(j))
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            let acc = dot_i8_scalar(arow, w.row(j));
+            orow[j] = acc as f64 * sa * w.scales[j] + bias[j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((r * cols + c) as u64)
+                .wrapping_mul(1442695040888963407);
+            ((h >> 33) as f64 / (1u64 << 31) as f64) * 6.0 - 3.0
+        })
+    }
+
+    #[test]
+    fn quantization_round_trips_within_half_step() {
+        let m = fill(5, 17, 7);
+        let q = QuantMatrix::from_f64(&m);
+        for r in 0..5 {
+            let scale = q.scale(r);
+            for (c, &code) in q.row(r).iter().enumerate() {
+                let err = (code as f64 * scale - m.get(r, c)).abs();
+                assert!(err <= scale * 0.5 + 1e-12, "row {r} col {c}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_quantize_to_zero() {
+        let m = Matrix::zeros(3, 9);
+        let q = QuantMatrix::from_f64(&m);
+        for r in 0..3 {
+            assert_eq!(q.scale(r), 0.0);
+            assert!(q.row(r).iter().all(|&c| c == 0));
+        }
+        let out = matmul_t_dequant(&q, &QuantMatrix::from_f64(&fill(4, 9, 3)), &[0.5; 4]);
+        for r in 0..3 {
+            assert!(out.row(r).iter().all(|&v| v == 0.5));
+        }
+    }
+
+    #[test]
+    fn dequantized_product_tracks_f64_product() {
+        let a = fill(6, 33, 11);
+        let w = fill(4, 33, 12);
+        let bias = vec![0.25, -0.5, 1.0, 0.0];
+        let exact = {
+            let mut out = Matrix::zeros(6, 4);
+            for i in 0..6 {
+                for (j, &bj) in bias.iter().enumerate() {
+                    out.set(i, j, super::super::dot(a.row(i), w.row(j)) + bj);
+                }
+            }
+            out
+        };
+        let got = matmul_t_dequant(&QuantMatrix::from_f64(&a), &QuantMatrix::from_f64(&w), &bias);
+        // Worst-case absolute error of a length-k int8 dot is bounded by
+        // k · (|a|max·sw/2 + |w|max·sa/2 + sa·sw/4); the corpus here is
+        // tiny, so a loose 0.5 band is plenty while still catching any
+        // scale/transpose mix-up (values span roughly ±10).
+        for i in 0..6 {
+            for j in 0..4 {
+                let err = (got.get(i, j) - exact.get(i, j)).abs();
+                assert!(err < 0.5, "({i},{j}): int8 {} vs f64 {}", got.get(i, j), exact.get(i, j));
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_dot_is_bit_identical_to_scalar() {
+        if !is_x86_feature_detected!("avx2") {
+            eprintln!("skipping: no AVX2 on this host");
+            return;
+        }
+        // Lane-width edges around the 16-code AVX2 step, plus empty.
+        for n in [0usize, 1, 15, 16, 17, 31, 32, 33, 64, 100] {
+            let x: Vec<i8> =
+                (0..n).map(|i| ((i as i64 * 37 + 11) % 255 - 127) as i8).collect();
+            let y: Vec<i8> =
+                (0..n).map(|i| ((i as i64 * 53 + 29) % 255 - 127) as i8).collect();
+            // SAFETY: AVX2 presence checked above.
+            let simd = unsafe { dot_i8_avx2(&x, &y) };
+            assert_eq!(simd, dot_i8_scalar(&x, &y), "n = {n}");
+        }
+    }
+}

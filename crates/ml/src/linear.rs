@@ -241,6 +241,12 @@ impl LinearModel {
         self.loss
     }
 
+    /// Raw parts — `(weights, bias, scaler)` — for the reduced-precision
+    /// `lowp` classifiers to narrow.
+    pub(crate) fn lowp_parts(&self) -> (&Matrix, &[f64], &Scaler) {
+        (&self.w, &self.b, &self.scaler)
+    }
+
     /// Approximate resident bytes (weights + biases + scaler).
     pub fn memory_bytes(&self) -> usize {
         self.w.data.len() * 8 + self.b.len() * 8 + self.scaler.mean.len() * 16

@@ -1,0 +1,528 @@
+//! Reduced-precision inference classifiers: `f32` and int8 twins of the
+//! GEMM-backed models (lr, svm, mlp).
+//!
+//! Training always stays `f64` — ModelCache keys and the determinism
+//! proptests depend on it. A [`F32Classifier`] or [`Int8Classifier`] is
+//! built *from* a trained [`VectorClassifier`] by narrowing its weights
+//! once:
+//!
+//! * **f32** — weights and activations stored and multiplied in `f32`
+//!   through the dispatched [`Matrix32`] kernels: half the memory
+//!   traffic and twice the SIMD lanes of the f64 path.
+//! * **int8** — weights quantized once per model (per-row absmax codes,
+//!   [`crate::linalg::quant`]); activations quantized dynamically per
+//!   batch row; products accumulate exactly in `i32` and dequantize to
+//!   `f64` for bias, ReLU and argmax. A quarter of the f32 traffic
+//!   again, at the price of quantization noise.
+//!
+//! The int8 path is *opt-in* and gated: the property tests in this
+//! module train models on generated corpora and require label agreement
+//! with the f64 verdicts of at least 99.5%, and `BENCH_infer.json`
+//! re-checks that agreement on its corpus at bench time. Only the
+//! models whose inference is a pure dense pipeline get a reduced
+//! twin — rf and knn have no weight matrix to narrow, and the cnn's
+//! im2col path stays f64 — so [`F32Classifier::from_model`] returns
+//! `None` for those.
+//!
+//! Both classifiers reuse the same fixed [`crate::INFER_CHUNK`]
+//! decomposition as the f64 batch engine, so their labels are identical
+//! at any `YALI_THREADS`.
+
+use crate::linalg::quant::{matmul_t_dequant, QuantMatrix};
+use crate::linalg::{argmax, Matrix, Matrix32};
+use crate::linear::Scaler;
+use crate::serialize::{ByteReader, ByteWriter, CODEC_VERSION};
+use crate::{chunked_map, VectorClassifier};
+
+const TAG_LINEAR: u8 = 1;
+const TAG_MLP: u8 = 2;
+
+/// One dense stage of a reduced-precision pipeline in `f32`.
+struct DenseF32 {
+    w: Matrix32,
+    b: Vec<f32>,
+}
+
+/// One dense stage of a reduced-precision pipeline in int8.
+struct DenseI8 {
+    w: QuantMatrix,
+    b: Vec<f64>,
+}
+
+enum F32Model {
+    /// One dense stage, argmax over raw scores (lr / svm).
+    Linear(DenseF32),
+    /// Dense stages with ReLU between them (mlp).
+    Mlp(Vec<DenseF32>),
+}
+
+enum Int8Model {
+    Linear(DenseI8),
+    Mlp(Vec<DenseI8>),
+}
+
+/// Collects the dense stages of a trained model as `(weights, bias)`
+/// pairs in forward order — `None` when the model has no pure dense
+/// pipeline to narrow.
+#[allow(clippy::type_complexity)]
+fn dense_stages(model: &VectorClassifier) -> Option<(&Scaler, Vec<(&Matrix, &[f64])>, bool)> {
+    match model {
+        VectorClassifier::Linear(m) => {
+            let (w, b, scaler) = m.lowp_parts();
+            Some((scaler, vec![(w, b)], false))
+        }
+        VectorClassifier::Mlp(m) => {
+            let (scaler, net) = m.lowp_parts();
+            let stages: Vec<(&Matrix, &[f64])> =
+                net.layers.iter().filter_map(|l| l.dense_params()).collect();
+            Some((scaler, stages, true))
+        }
+        _ => None,
+    }
+}
+
+fn to_f32_vec(v: &[f64]) -> Vec<f32> {
+    v.iter().map(|&x| x as f32).collect()
+}
+
+fn argmax32(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn put_quant(w: &mut ByteWriter, q: &QuantMatrix) {
+    let (rows, cols, codes, scales) = q.parts();
+    w.put_usize(rows);
+    w.put_usize(cols);
+    w.put_i8s(codes);
+    w.put_f64s(scales);
+}
+
+fn get_quant(r: &mut ByteReader) -> QuantMatrix {
+    let rows = r.get_usize();
+    let cols = r.get_usize();
+    let codes = r.get_i8s();
+    let scales = r.get_f64s();
+    QuantMatrix::from_parts(rows, cols, codes, scales)
+}
+
+/// Standardizes one chunk of queries into an `f32` matrix.
+fn scaled32(scaler: &Scaler, xs: &[&[f64]]) -> Matrix32 {
+    let cols = xs.first().map_or(0, |r| r.len());
+    let mut m = Matrix32::zeros(xs.len(), cols);
+    for (r, x) in xs.iter().enumerate() {
+        let scaled = scaler.transform(x);
+        for (dst, &v) in m.row_mut(r).iter_mut().zip(&scaled) {
+            *dst = v as f32;
+        }
+    }
+    m
+}
+
+/// Standardizes one chunk of queries into an `f64` matrix.
+fn scaled64(scaler: &Scaler, xs: &[&[f64]]) -> Matrix {
+    let rows: Vec<Vec<f64>> = xs.iter().map(|x| scaler.transform(x)).collect();
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Matrix::from_rows(&refs)
+}
+
+/// An `f32` inference twin of a trained lr/svm/mlp: same scaler, weights
+/// narrowed once, forward passes through the dispatched `f32` kernels.
+pub struct F32Classifier {
+    scaler: Scaler,
+    model: F32Model,
+}
+
+impl F32Classifier {
+    /// Narrows a trained model, or `None` when the model has no dense
+    /// pipeline to narrow (rf, knn, cnn).
+    pub fn from_model(model: &VectorClassifier) -> Option<F32Classifier> {
+        let (scaler, stages, is_mlp) = dense_stages(model)?;
+        let narrowed: Vec<DenseF32> = stages
+            .into_iter()
+            .map(|(w, b)| DenseF32 { w: Matrix32::from_f64(w), b: to_f32_vec(b) })
+            .collect();
+        let model = if is_mlp {
+            F32Model::Mlp(narrowed)
+        } else {
+            let mut it = narrowed.into_iter();
+            F32Model::Linear(it.next().expect("linear model has one dense stage"))
+        };
+        Some(F32Classifier { scaler: scaler.clone(), model })
+    }
+
+    /// Labels for one chunk of queries.
+    fn predict_chunk(&self, xs: &[&[f64]]) -> Vec<usize> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let x = scaled32(&self.scaler, xs);
+        let scores = match &self.model {
+            F32Model::Linear(d) => x.matmul_t_bias(&d.w, &d.b),
+            F32Model::Mlp(stages) => {
+                let mut cur = x;
+                for (i, d) in stages.iter().enumerate() {
+                    cur = cur.matmul_t_bias(&d.w, &d.b);
+                    if i + 1 < stages.len() {
+                        cur.map_inplace(|v| v.max(0.0));
+                    }
+                }
+                cur
+            }
+        };
+        (0..scores.rows).map(|r| argmax32(scores.row(r))).collect()
+    }
+
+    /// Labels for a whole batch, chunk-dispatched like
+    /// [`VectorClassifier::predict_batch`] (identical at any thread
+    /// count).
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        self.predict_batch_with_threads(xs, yali_par::worker_count())
+    }
+
+    /// [`F32Classifier::predict_batch`] with an explicit worker count.
+    pub fn predict_batch_with_threads(&self, xs: &[Vec<f64>], threads: usize) -> Vec<usize> {
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        chunked_map(refs.len(), threads, |lo, hi| self.predict_chunk(&refs[lo..hi]))
+    }
+
+    /// Approximate resident bytes (weights + biases).
+    pub fn memory_bytes(&self) -> usize {
+        let stages: &[DenseF32] = match &self.model {
+            F32Model::Linear(d) => std::slice::from_ref(d),
+            F32Model::Mlp(v) => v,
+        };
+        stages.iter().map(|d| d.w.memory_bytes() + d.b.len() * 4).sum()
+    }
+
+    /// Serializes the classifier (codec-versioned, `f32` bit patterns).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(CODEC_VERSION);
+        let stages: &[DenseF32] = match &self.model {
+            F32Model::Linear(d) => {
+                w.put_u8(TAG_LINEAR);
+                std::slice::from_ref(d)
+            }
+            F32Model::Mlp(v) => {
+                w.put_u8(TAG_MLP);
+                v
+            }
+        };
+        self.scaler.write(&mut w);
+        w.put_usize(stages.len());
+        for d in stages {
+            w.put_matrix32(&d.w);
+            w.put_f32s(&d.b);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a classifier written by [`F32Classifier::to_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed blob or codec-version mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> F32Classifier {
+        let mut r = ByteReader::new(bytes);
+        let version = r.get_u8();
+        assert_eq!(version, CODEC_VERSION, "f32 blob codec version {version} unsupported");
+        let tag = r.get_u8();
+        let scaler = Scaler::read(&mut r);
+        let n = r.get_usize();
+        let mut stages: Vec<DenseF32> = (0..n)
+            .map(|_| DenseF32 { w: r.get_matrix32(), b: r.get_f32s() })
+            .collect();
+        assert!(r.is_done(), "trailing bytes in f32 model blob");
+        let model = match tag {
+            TAG_LINEAR => F32Model::Linear(stages.remove(0)),
+            TAG_MLP => F32Model::Mlp(stages),
+            tag => panic!("unknown f32 classifier tag {tag}"),
+        };
+        F32Classifier { scaler, model }
+    }
+}
+
+/// An int8 inference twin of a trained lr/svm/mlp: weights quantized
+/// once per row, activations quantized per batch row, exact `i32`
+/// accumulation, dequantized `f64` bias/ReLU/argmax.
+pub struct Int8Classifier {
+    scaler: Scaler,
+    model: Int8Model,
+}
+
+impl Int8Classifier {
+    /// Quantizes a trained model, or `None` when the model has no dense
+    /// pipeline to quantize (rf, knn, cnn).
+    pub fn from_model(model: &VectorClassifier) -> Option<Int8Classifier> {
+        let (scaler, stages, is_mlp) = dense_stages(model)?;
+        let quantized: Vec<DenseI8> = stages
+            .into_iter()
+            .map(|(w, b)| DenseI8 { w: QuantMatrix::from_f64(w), b: b.to_vec() })
+            .collect();
+        let model = if is_mlp {
+            Int8Model::Mlp(quantized)
+        } else {
+            let mut it = quantized.into_iter();
+            Int8Model::Linear(it.next().expect("linear model has one dense stage"))
+        };
+        Some(Int8Classifier { scaler: scaler.clone(), model })
+    }
+
+    /// Labels for one chunk of queries.
+    fn predict_chunk(&self, xs: &[&[f64]]) -> Vec<usize> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let x = scaled64(&self.scaler, xs);
+        let scores = match &self.model {
+            Int8Model::Linear(d) => matmul_t_dequant(&QuantMatrix::from_f64(&x), &d.w, &d.b),
+            Int8Model::Mlp(stages) => {
+                let mut cur = x;
+                for (i, d) in stages.iter().enumerate() {
+                    cur = matmul_t_dequant(&QuantMatrix::from_f64(&cur), &d.w, &d.b);
+                    if i + 1 < stages.len() {
+                        cur.map_inplace(|v| v.max(0.0));
+                    }
+                }
+                cur
+            }
+        };
+        (0..scores.rows).map(|r| argmax(scores.row(r))).collect()
+    }
+
+    /// Labels for a whole batch, chunk-dispatched like
+    /// [`VectorClassifier::predict_batch`] (identical at any thread
+    /// count).
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        self.predict_batch_with_threads(xs, yali_par::worker_count())
+    }
+
+    /// [`Int8Classifier::predict_batch`] with an explicit worker count.
+    pub fn predict_batch_with_threads(&self, xs: &[Vec<f64>], threads: usize) -> Vec<usize> {
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        chunked_map(refs.len(), threads, |lo, hi| self.predict_chunk(&refs[lo..hi]))
+    }
+
+    /// Approximate resident bytes (codes + scales + biases).
+    pub fn memory_bytes(&self) -> usize {
+        let stages: &[DenseI8] = match &self.model {
+            Int8Model::Linear(d) => std::slice::from_ref(d),
+            Int8Model::Mlp(v) => v,
+        };
+        stages.iter().map(|d| d.w.memory_bytes() + d.b.len() * 8).sum()
+    }
+
+    /// Serializes the classifier (codec-versioned, i8 codes + f64
+    /// scales).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u8(CODEC_VERSION);
+        let stages: &[DenseI8] = match &self.model {
+            Int8Model::Linear(d) => {
+                w.put_u8(TAG_LINEAR);
+                std::slice::from_ref(d)
+            }
+            Int8Model::Mlp(v) => {
+                w.put_u8(TAG_MLP);
+                v
+            }
+        };
+        self.scaler.write(&mut w);
+        w.put_usize(stages.len());
+        for d in stages {
+            put_quant(&mut w, &d.w);
+            w.put_f64s(&d.b);
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a classifier written by [`Int8Classifier::to_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed blob or codec-version mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Int8Classifier {
+        let mut r = ByteReader::new(bytes);
+        let version = r.get_u8();
+        assert_eq!(version, CODEC_VERSION, "int8 blob codec version {version} unsupported");
+        let tag = r.get_u8();
+        let scaler = Scaler::read(&mut r);
+        let n = r.get_usize();
+        let mut stages: Vec<DenseI8> = (0..n)
+            .map(|_| DenseI8 { w: get_quant(&mut r), b: r.get_f64s() })
+            .collect();
+        assert!(r.is_done(), "trailing bytes in int8 model blob");
+        let model = match tag {
+            TAG_LINEAR => Int8Model::Linear(stages.remove(0)),
+            TAG_MLP => Int8Model::Mlp(stages),
+            tag => panic!("unknown int8 classifier tag {tag}"),
+        };
+        Int8Classifier { scaler, model }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelKind, TrainConfig};
+    use proptest::prelude::*;
+
+    /// A labeled blob corpus: training points plus jittered queries.
+    #[allow(clippy::type_complexity)]
+    fn corpus(
+        seed: u64,
+        classes: usize,
+        per_class: usize,
+        spread: f64,
+    ) -> (Vec<Vec<f64>>, Vec<usize>, Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut qx = Vec::new();
+        let mut qy = Vec::new();
+        for c in 0..classes {
+            for k in 0..per_class {
+                let j = ((seed.wrapping_mul(31).wrapping_add((c * per_class + k) as u64) % 97)
+                    as f64
+                    / 97.0
+                    - 0.5)
+                    * spread;
+                let base = vec![
+                    c as f64 * 6.0 + j,
+                    -(c as f64) * 4.0 + j * 0.5,
+                    (c * c) as f64 + j * 0.25,
+                    j,
+                ];
+                x.push(base.clone());
+                y.push(c);
+                // Two jittered queries per training point.
+                for q in 0..2 {
+                    let mut v = base.clone();
+                    v[q] += j * 0.3 + 0.05;
+                    qx.push(v);
+                    qy.push(c);
+                }
+            }
+        }
+        (x, y, qx, qy)
+    }
+
+    fn agreement(a: &[usize], b: &[usize]) -> f64 {
+        assert_eq!(a.len(), b.len());
+        if a.is_empty() {
+            return 1.0;
+        }
+        a.iter().zip(b).filter(|(x, y)| x == y).count() as f64 / a.len() as f64
+    }
+
+    const REDUCIBLE: [ModelKind; 3] = [ModelKind::Lr, ModelKind::Svm, ModelKind::Mlp];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        // The int8 accuracy-delta gate: on generated corpora, quantized
+        // verdicts agree with the f64 verdicts on at least 99.5% of
+        // queries, for every model with an int8 twin. The f32 twin is
+        // held to the same bar.
+        #[test]
+        fn reduced_precision_agrees_with_f64_verdicts(
+            seed in 0u64..1000,
+            spread in 0.5f64..2.0,
+        ) {
+            let (x, y, qx, _) = corpus(seed, 3, 35, spread);
+            prop_assert!(qx.len() >= 200, "corpus must exercise many queries");
+            let cfg = TrainConfig { epochs: 8, seed, ..Default::default() };
+            for kind in REDUCIBLE {
+                let clf = VectorClassifier::fit(kind, &x, &y, 3, &cfg);
+                let want = clf.predict_batch(&qx);
+
+                let q8 = Int8Classifier::from_model(&clf).expect("int8 twin");
+                let a8 = agreement(&q8.predict_batch(&qx), &want);
+                prop_assert!(a8 >= 0.995, "{kind} int8 agreement {a8}");
+
+                let f32c = F32Classifier::from_model(&clf).expect("f32 twin");
+                let a32 = agreement(&f32c.predict_batch(&qx), &want);
+                prop_assert!(a32 >= 0.995, "{kind} f32 agreement {a32}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_twins_round_trip_and_shrink() {
+        let (x, y, qx, _) = corpus(3, 3, 16, 1.0);
+        let cfg = TrainConfig { epochs: 6, seed: 3, ..Default::default() };
+        for kind in REDUCIBLE {
+            let clf = VectorClassifier::fit(kind, &x, &y, 3, &cfg);
+
+            let f = F32Classifier::from_model(&clf).unwrap();
+            let f2 = F32Classifier::from_bytes(&f.to_bytes());
+            assert_eq!(f.predict_batch(&qx), f2.predict_batch(&qx), "{kind} f32 round trip");
+            assert_eq!(f2.to_bytes(), f.to_bytes(), "{kind} f32 re-serialization");
+
+            let q = Int8Classifier::from_model(&clf).unwrap();
+            let q2 = Int8Classifier::from_bytes(&q.to_bytes());
+            assert_eq!(q.predict_batch(&qx), q2.predict_batch(&qx), "{kind} int8 round trip");
+            assert_eq!(q2.to_bytes(), q.to_bytes(), "{kind} int8 re-serialization");
+
+            // Narrower storage really is narrower: int8 <= f32 (per-row
+            // f64 scales can make them tie on tiny weight matrices, as
+            // for the 3x4 linear models here), and f32 is well under the
+            // f64 model (which also counts its scaler and optimizer
+            // state). The mlp's 100-unit hidden layer is big enough for
+            // the int8 saving to show strictly.
+            assert!(
+                q.memory_bytes() <= f.memory_bytes(),
+                "{kind}: int8 {} !<= f32 {}",
+                q.memory_bytes(),
+                f.memory_bytes()
+            );
+            if kind == ModelKind::Mlp {
+                assert!(
+                    q.memory_bytes() < f.memory_bytes(),
+                    "mlp: int8 {} !< f32 {}",
+                    q.memory_bytes(),
+                    f.memory_bytes()
+                );
+            }
+            assert!(
+                f.memory_bytes() < clf.memory_bytes(),
+                "{kind}: f32 {} !< f64 {}",
+                f.memory_bytes(),
+                clf.memory_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_labels_do_not_depend_on_threads() {
+        let (x, y, qx, _) = corpus(5, 3, 16, 1.2);
+        let cfg = TrainConfig { epochs: 6, seed: 5, ..Default::default() };
+        let clf = VectorClassifier::fit(ModelKind::Mlp, &x, &y, 3, &cfg);
+        let f = F32Classifier::from_model(&clf).unwrap();
+        let q = Int8Classifier::from_model(&clf).unwrap();
+        assert_eq!(
+            f.predict_batch_with_threads(&qx, 1),
+            f.predict_batch_with_threads(&qx, 4)
+        );
+        assert_eq!(
+            q.predict_batch_with_threads(&qx, 1),
+            q.predict_batch_with_threads(&qx, 4)
+        );
+    }
+
+    #[test]
+    fn models_without_a_dense_pipeline_have_no_twin() {
+        let (x, y, _, _) = corpus(1, 2, 10, 1.0);
+        let cfg = TrainConfig { epochs: 2, n_trees: 4, ..Default::default() };
+        for kind in [ModelKind::Rf, ModelKind::Knn, ModelKind::Cnn] {
+            let clf = VectorClassifier::fit(kind, &x, &y, 2, &cfg);
+            assert!(F32Classifier::from_model(&clf).is_none(), "{kind}");
+            assert!(Int8Classifier::from_model(&clf).is_none(), "{kind}");
+        }
+    }
+}

@@ -94,6 +94,13 @@ impl Mlp {
         self.net.proba_rows(self.scaled(xs))
     }
 
+    /// Raw parts — `(scaler, net)` — for the reduced-precision `lowp`
+    /// classifiers to narrow (they walk the net's dense layers through
+    /// [`crate::nn::Layer::dense_params`]).
+    pub(crate) fn lowp_parts(&self) -> (&Scaler, &Net) {
+        (&self.scaler, &self.net)
+    }
+
     /// Approximate resident bytes.
     pub fn memory_bytes(&self) -> usize {
         self.net.num_params() * 8 * 3 // weights + Adam moments

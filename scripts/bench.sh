@@ -78,8 +78,8 @@ EOF
 }
 
 check_json BENCH_engine.json speedup_serial_to_parallel_cached obs_overhead_pct embed_cache transform_cache
-check_json BENCH_train.json speedup_serial_to_parallel_cached model_cache
-check_json BENCH_infer.json speedup_serial_to_batched speedup_serial_to_batched_parallel n_queries
+check_json BENCH_train.json speedup_serial_to_parallel_cached model_cache gemm_simd_kernel
+check_json BENCH_infer.json speedup_serial_to_batched speedup_serial_to_batched_parallel n_queries int8_agreement f32_agreement
 
 # check_runstats FILE — the companion run report is well-formed JSON with
 # coherent cache counters (hits + misses >= inserts, ratio in [0, 1]),
@@ -139,6 +139,55 @@ pct = report["obs_overhead_pct"]
 if pct > 3.0:
     raise SystemExit(f"BENCH_engine.json: obs-on overhead {pct:.2f}% exceeds the 3% gate")
 print(f"observability overhead gate: ok ({pct:.2f}% <= 3%)")
+EOF
+fi
+
+# The SIMD kernel floor: the dispatched GEMM kernel must beat the blocked
+# scalar kernel by at least 4x at the MLP-forward shape. Skipped (with a
+# note) when CPU detection picked the scalar kernel — there is nothing to
+# gate on a machine with no SIMD units, and tier-1 already proves the
+# scalar path correct.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_train.json") as f:
+    report = json.load(f)
+kernel = report["gemm_simd_kernel"]
+if kernel == "scalar":
+    print("gemm simd floor: skipped (dispatch chose the scalar kernel)")
+    raise SystemExit(0)
+mean = {m["name"]: m["mean_ns"] for m in report["modes"]}
+ratio = mean["gemm/blocked"] / mean["gemm/simd"]
+if ratio < 4.0:
+    raise SystemExit(
+        f"BENCH_train.json: gemm/simd ({kernel}) only {ratio:.2f}x over "
+        f"gemm/blocked, below the 4x floor"
+    )
+print(f"gemm simd floor: ok ({kernel} {ratio:.2f}x over blocked, >= 4x)")
+EOF
+fi
+
+# The int8 accuracy gate: the quantized inference path must agree with
+# the f64 verdicts on at least 99.5% of the subset labels (the bench
+# asserts this too; re-checking the written report keeps the gate honest
+# against a stale file).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_infer.json") as f:
+    report = json.load(f)
+for key in ("int8_agreement", "f32_agreement"):
+    agree = report[key]
+    if agree < 0.995:
+        raise SystemExit(f"BENCH_infer.json: {key} {agree:.4f} below the 99.5% gate")
+mean = {m["name"]: m["mean_ns"] for m in report["modes"]}
+speed = mean["infer/subset_f64"] / mean["infer/subset_int8"]
+print(
+    f"int8 gate: ok (agreement {report['int8_agreement']:.4f} >= 0.995, "
+    f"f32 {report['f32_agreement']:.4f}, int8 {speed:.2f}x vs subset f64)"
+)
 EOF
 fi
 

@@ -8,6 +8,11 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# The ml suite again with SIMD dispatch forced off: every GEMM consumer
+# must be green on the blocked scalar fallback too (the bit-oracle
+# proptests then exercise scalar-vs-scalar, which is cheap).
+YALI_SIMD=0 cargo test -q -p yali-ml
+
 # The profiler's golden-fixture round trip: parse the committed trace,
 # re-export it, demand a byte-identical Chrome file. Catches any drift
 # in the trace schema, the parser, or the exporter.
