@@ -1,0 +1,185 @@
+//! Artifact-store throughput: a compute-heavy sweep (the MCMC search
+//! evader against MLP and CNN classifiers) timed in three store
+//! configurations — cold (empty store directory, every artifact computed
+//! and published), warm-disk (populated store, memory caches cleared
+//! each iteration — the fresh-process resume path), and warm-memory (the
+//! steady state, everything answered from RAM).
+//!
+//! The workload is deliberately dominated by store-cacheable work:
+//! search-based evasion and neural-net training are exactly what a
+//! resumed sweep should never redo, while the uncached per-play floor
+//! (normalization, featurization, prediction) stays small.
+//!
+//! Writes `BENCH_store.json` at the repo root with per-mode timings, the
+//! cold→warm-disk speedup (gated ≥10x in `scripts/bench.sh`), bytes on
+//! disk, and the disk hit ratio; plus `RUNSTATS_store.json` and
+//! `TRACE_store.jsonl` from an untimed traced pass for `yali-prof`.
+
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::Criterion;
+use yali_core::{engine, play, store, ClassifierSpec, Corpus, Game, GameConfig, Transformer};
+use yali_ml::ModelKind;
+
+const MODELS: [ModelKind; 2] = [ModelKind::Mlp, ModelKind::Cnn];
+const EVADER: Transformer = Transformer::Source(yali_core::SourceStrategy::Mcmc);
+const CLASSES: usize = 6;
+const PER_CLASS: usize = 10;
+const ROUNDS: usize = 2;
+
+/// Plays every cell of the sweep grid; the store (when active) absorbs
+/// every transform, embedding, and trained model along the way.
+fn sweep(corpora: &[Corpus]) -> f64 {
+    let mut total = 0.0;
+    for model in MODELS {
+        for (round, corpus) in corpora.iter().enumerate() {
+            let cfg = GameConfig::game0(ClassifierSpec::histogram(model), round as u64)
+                .with_game(Game::Game1, EVADER);
+            total += play(corpus, &cfg).accuracy;
+        }
+    }
+    total
+}
+
+#[derive(serde::Serialize)]
+struct ModeOut {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    description: String,
+    workload: String,
+    modes: Vec<ModeOut>,
+    speedup_cold_to_warm_disk: f64,
+    speedup_cold_to_warm_memory: f64,
+    store_entries: usize,
+    bytes_on_disk: u64,
+    disk_hit_ratio: f64,
+    disk_hits: u64,
+    disk_misses: u64,
+}
+
+fn main() {
+    let corpora: Vec<Corpus> = (0..ROUNDS)
+        .map(|r| Corpus::poj(CLASSES, PER_CLASS, 60 + r as u64))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    std::env::set_var("YALI_THREADS", threads.to_string());
+
+    let root = std::env::temp_dir().join(format!(
+        "yali_bench_store_{}_{}",
+        std::process::id(),
+        yali_obs::epoch_ns()
+    ));
+    std::fs::create_dir_all(&root).expect("create bench store root");
+
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    // Cold: every iteration opens a brand-new store directory with empty
+    // memory caches, so the sweep computes and publishes everything —
+    // including all store write I/O.
+    let cold_seq = Cell::new(0u64);
+    c.bench_function("sweep/cold_disk", |b| {
+        b.iter(|| {
+            let dir = root.join(format!("cold-{}", cold_seq.replace(cold_seq.get() + 1)));
+            store::set_store_dir(Some(&dir)).expect("open cold store");
+            engine::clear_caches();
+            sweep(&corpora)
+        })
+    });
+
+    // Populate one shared store, then measure the resume path: memory
+    // caches dropped each iteration (as a fresh worker process would
+    // start), every artifact answered from disk.
+    let warm_dir: PathBuf = root.join("warm");
+    store::set_store_dir(Some(&warm_dir)).expect("open warm store");
+    engine::clear_caches();
+    let _ = sweep(&corpora);
+    c.bench_function("sweep/warm_disk", |b| {
+        b.iter(|| {
+            engine::clear_caches();
+            sweep(&corpora)
+        })
+    });
+
+    // Steady state: memory caches stay warm, the store is never consulted.
+    c.bench_function("sweep/warm_memory", |b| b.iter(|| sweep(&corpora)));
+
+    // One untimed traced pass over the warm store for `yali-prof`: the
+    // store.read spans and disk-hit counters land in the run report.
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_store.jsonl");
+    yali_obs::set_trace_path(Some(trace_path));
+    yali_obs::set_enabled(true);
+    engine::clear_caches();
+    let _ = sweep(&corpora);
+    let runstats_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUNSTATS_store.json");
+    yali_core::RunReport::collect()
+        .write(runstats_path)
+        .expect("write RUNSTATS_store.json");
+    yali_obs::set_enabled(false);
+    yali_obs::set_trace_path(None);
+
+    let stats = store::active_stats().expect("warm store active");
+    store::set_store_dir(None).expect("detach store");
+    std::fs::remove_dir_all(&root).ok();
+    std::env::remove_var("YALI_THREADS");
+
+    let mean = |name: &str| {
+        c.summaries()
+            .iter()
+            .find(|s| s.id == name)
+            .map(|s| s.mean_ns)
+            .expect("mode summary")
+    };
+    let modes: Vec<ModeOut> = c
+        .summaries()
+        .iter()
+        .map(|s| ModeOut {
+            name: s.id.clone(),
+            mean_ns: s.mean_ns,
+            median_ns: s.median_ns,
+            min_ns: s.min_ns,
+        })
+        .collect();
+    let speedup_disk = mean("sweep/cold_disk") / mean("sweep/warm_disk");
+    let speedup_memory = mean("sweep/cold_disk") / mean("sweep/warm_memory");
+    let denom = (stats.disk_hits + stats.disk_misses).max(1);
+    let report = Report {
+        description: "a game1 sweep ({mlp,cnn} x mcmc evader) against an empty store, a \
+                      populated store with cold memory caches (the fresh-process resume \
+                      path), and warm memory caches"
+            .to_string(),
+        workload: format!(
+            "{CLASSES} classes x {PER_CLASS} per class, {ROUNDS} rounds, {} plays per sweep",
+            MODELS.len() * ROUNDS
+        ),
+        modes,
+        speedup_cold_to_warm_disk: speedup_disk,
+        speedup_cold_to_warm_memory: speedup_memory,
+        store_entries: stats.entries,
+        bytes_on_disk: stats.total_bytes,
+        disk_hit_ratio: stats.disk_hits as f64 / denom as f64,
+        disk_hits: stats.disk_hits,
+        disk_misses: stats.disk_misses,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_store.json");
+    println!(
+        "cold -> warm_disk speedup: {speedup_disk:.2}x, disk hit ratio: {:.3}, \
+         {} bytes on disk (report at {path})",
+        report.disk_hit_ratio, report.bytes_on_disk
+    );
+}

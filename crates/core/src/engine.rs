@@ -38,6 +38,17 @@
 //!   one the retrain would produce.
 //!
 //! `YALI_CACHE=0` bypasses all three caches.
+//!
+//! With `YALI_STORE=dir` set, the *global* instances of all three caches
+//! additionally read through the persistent [`crate::store`]: a memory
+//! miss consults the disk index before computing, and a computed artifact
+//! is published to disk as it enters memory. Warm artifacts therefore
+//! survive the process and are shared by the workers of a `yali-grid`
+//! sweep. Locally constructed caches ([`EmbedCache::new`] etc.) stay
+//! memory-only — their counter semantics are part of the unit-test
+//! contract — and a disk hit still counts as a memory *miss* in
+//! [`CacheStats`]; the disk traffic is accounted separately in
+//! [`crate::store::StoreStats`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,6 +142,10 @@ const SHARDS: usize = 16;
 pub struct EmbedCache {
     shards: Vec<Mutex<HashMap<(u64, EmbeddingKind), Embedding>>>,
     counters: CacheCounters,
+    /// Whether memory misses read through the persistent store. Only the
+    /// global instance attaches; local instances keep the exact counter
+    /// semantics the unit tests pin down.
+    attached: bool,
 }
 
 impl Default for EmbedCache {
@@ -140,18 +155,23 @@ impl Default for EmbedCache {
 }
 
 impl EmbedCache {
-    /// An empty cache.
+    /// An empty, memory-only cache.
     pub fn new() -> EmbedCache {
         EmbedCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             counters: CacheCounters::default(),
+            attached: false,
         }
     }
 
-    /// The process-wide cache used by the experiment drivers.
+    /// The process-wide cache used by the experiment drivers. Reads
+    /// through the persistent store when `YALI_STORE` is active.
     pub fn global() -> &'static EmbedCache {
         static GLOBAL: OnceLock<EmbedCache> = OnceLock::new();
-        GLOBAL.get_or_init(EmbedCache::new)
+        GLOBAL.get_or_init(|| EmbedCache {
+            attached: true,
+            ..EmbedCache::new()
+        })
     }
 
     fn shard(&self, key: u64) -> &Mutex<HashMap<(u64, EmbeddingKind), Embedding>> {
@@ -167,12 +187,36 @@ impl EmbedCache {
             return e.clone();
         }
         self.counters.miss();
+        // Disk layer: a store hit skips the computation and warms memory.
+        let store = if self.attached { crate::store::active() } else { None };
+        if let Some(store) = &store {
+            let skey = crate::store::embed_key(key.0, kind);
+            if let Some(e) = store
+                .get(crate::store::Namespace::Embed, skey)
+                .and_then(|bytes| crate::store::decode_embedding(&bytes))
+            {
+                let mut shard = self.shard(key.0).lock().unwrap();
+                if shard.insert(key, e.clone()).is_none() {
+                    self.counters.insert();
+                }
+                return e;
+            }
+        }
         // Compute outside the lock: embeddings dominate the cost and other
         // keys in the shard must not wait on this one.
         let e = kind.embed(m);
         let mut shard = self.shard(key.0).lock().unwrap();
         if shard.insert(key, e.clone()).is_none() {
             self.counters.insert();
+            drop(shard);
+            if let Some(store) = &store {
+                let skey = crate::store::embed_key(key.0, kind);
+                store.put(
+                    crate::store::Namespace::Embed,
+                    skey,
+                    &crate::store::encode_embedding(&e),
+                );
+            }
         }
         e
     }
@@ -231,6 +275,8 @@ type TransformShard = Mutex<HashMap<(u64, Transformer, u64), yali_ir::Module>>;
 pub struct TransformCache {
     shards: Vec<TransformShard>,
     counters: CacheCounters,
+    /// See [`EmbedCache`]: only the global instance reads through disk.
+    attached: bool,
 }
 
 impl Default for TransformCache {
@@ -240,18 +286,23 @@ impl Default for TransformCache {
 }
 
 impl TransformCache {
-    /// An empty cache.
+    /// An empty, memory-only cache.
     pub fn new() -> TransformCache {
         TransformCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             counters: CacheCounters::default(),
+            attached: false,
         }
     }
 
-    /// The process-wide cache used by the experiment drivers.
+    /// The process-wide cache used by the experiment drivers. Reads
+    /// through the persistent store when `YALI_STORE` is active.
     pub fn global() -> &'static TransformCache {
         static GLOBAL: OnceLock<TransformCache> = OnceLock::new();
-        GLOBAL.get_or_init(TransformCache::new)
+        GLOBAL.get_or_init(|| TransformCache {
+            attached: true,
+            ..TransformCache::new()
+        })
     }
 
     /// Applies (or recalls) `t` to `program` under `seed`.
@@ -265,9 +316,29 @@ impl TransformCache {
             return m.clone();
         }
         self.counters.miss();
+        let store = if self.attached { crate::store::active() } else { None };
+        let skey = crate::store::transform_key(key.0, t.name(), seed);
+        if let Some(store) = &store {
+            if let Some(m) = store
+                .get(crate::store::Namespace::Transform, skey)
+                .and_then(|bytes| crate::store::decode_module(&bytes))
+            {
+                if shard.lock().unwrap().insert(key, m.clone()).is_none() {
+                    self.counters.insert();
+                }
+                return m;
+            }
+        }
         let m = t.apply(program, seed);
         if shard.lock().unwrap().insert(key, m.clone()).is_none() {
             self.counters.insert();
+            if let Some(store) = &store {
+                store.put(
+                    crate::store::Namespace::Transform,
+                    skey,
+                    &crate::store::encode_module(&m),
+                );
+            }
         }
         m
     }
@@ -307,6 +378,8 @@ pub fn transform_cached(program: &yali_minic::Program, t: Transformer, seed: u64
 pub struct ModelCache {
     shards: Vec<Mutex<HashMap<u64, Arc<Vec<u8>>>>>,
     counters: CacheCounters,
+    /// See [`EmbedCache`]: only the global instance reads through disk.
+    attached: bool,
 }
 
 impl Default for ModelCache {
@@ -316,18 +389,23 @@ impl Default for ModelCache {
 }
 
 impl ModelCache {
-    /// An empty store.
+    /// An empty, memory-only store.
     pub fn new() -> ModelCache {
         ModelCache {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             counters: CacheCounters::default(),
+            attached: false,
         }
     }
 
-    /// The process-wide store used by the experiment drivers.
+    /// The process-wide store used by the experiment drivers. Reads
+    /// through the persistent store when `YALI_STORE` is active.
     pub fn global() -> &'static ModelCache {
         static GLOBAL: OnceLock<ModelCache> = OnceLock::new();
-        GLOBAL.get_or_init(ModelCache::new)
+        GLOBAL.get_or_init(|| ModelCache {
+            attached: true,
+            ..ModelCache::new()
+        })
     }
 
     /// Looks up a model blob, counting the hit or miss.
@@ -344,6 +422,22 @@ impl ModelCache {
             }
             None => {
                 self.counters.miss();
+                if self.attached {
+                    if let Some(store) = crate::store::active() {
+                        if let Some(blob) = store
+                            .get(crate::store::Namespace::Model, key)
+                            .and_then(|bytes| crate::store::decode_model(&bytes))
+                        {
+                            let blob = Arc::new(blob);
+                            let mut shard =
+                                self.shards[(key as usize) % SHARDS].lock().unwrap();
+                            if shard.insert(key, blob.clone()).is_none() {
+                                self.counters.insert();
+                            }
+                            return Some(blob);
+                        }
+                    }
+                }
                 None
             }
         }
@@ -353,8 +447,19 @@ impl ModelCache {
     /// concurrent trainer of the same key stores once).
     pub fn insert(&self, key: u64, bytes: Vec<u8>) {
         let mut shard = self.shards[(key as usize) % SHARDS].lock().unwrap();
+        let encoded = if self.attached {
+            Some(crate::store::encode_model(&bytes))
+        } else {
+            None
+        };
         if shard.insert(key, Arc::new(bytes)).is_none() {
             self.counters.insert();
+            drop(shard);
+            if let Some(encoded) = encoded {
+                if let Some(store) = crate::store::active() {
+                    store.put(crate::store::Namespace::Model, key, &encoded);
+                }
+            }
         }
     }
 
@@ -526,6 +631,50 @@ mod tests {
         cache.clear();
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.inserts, s.entries), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn attached_caches_read_through_the_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "yali_engine_store_test_{}_{}",
+            std::process::id(),
+            yali_obs::epoch_ns()
+        ));
+        crate::store::set_store_dir(Some(&dir)).unwrap();
+
+        // Publish via one attached cache, then recall via a second one
+        // with empty memory: the artifact must come back from disk.
+        let m = module("int readthrough(int a) { return a * 7 + 5; }");
+        let writer = EmbedCache { attached: true, ..EmbedCache::new() };
+        let e = writer.embed(&m, EmbeddingKind::Histogram);
+        let reader = EmbedCache { attached: true, ..EmbedCache::new() };
+        let before = crate::store::active_stats().unwrap().disk_hits;
+        assert_eq!(reader.embed(&m, EmbeddingKind::Histogram), e);
+        assert!(
+            crate::store::active_stats().unwrap().disk_hits > before,
+            "second cache must hit the disk, not recompute"
+        );
+        let s = reader.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (0, 1, 1), "disk hit is a memory miss");
+
+        // Same story for models.
+        let mc1 = ModelCache { attached: true, ..ModelCache::new() };
+        mc1.insert(0xfeed_beef, vec![4, 5, 6]);
+        let mc2 = ModelCache { attached: true, ..ModelCache::new() };
+        assert_eq!(mc2.get(0xfeed_beef).unwrap().as_slice(), &[4, 5, 6]);
+
+        // And transforms: the recalled module embeds identically.
+        let p = yali_minic::parse("int readthrough(int a) { return a - 9; }").unwrap();
+        let t = Transformer::Ir(yali_obf::IrObf::Fla);
+        let tc1 = TransformCache { attached: true, ..TransformCache::new() };
+        let direct = tc1.apply(&p, t, 3);
+        let tc2 = TransformCache { attached: true, ..TransformCache::new() };
+        let from_disk = tc2.apply(&p, t, 3);
+        assert_eq!(yali_ir::print_module(&from_disk), yali_ir::print_module(&direct));
+        assert_eq!(from_disk.content_hash(), direct.content_hash());
+
+        crate::store::set_store_dir(None).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

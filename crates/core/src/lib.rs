@@ -19,7 +19,11 @@
 //!   scoped-thread map (`YALI_THREADS`) and a content-addressed embedding
 //!   cache;
 //! - [`report`] — aggregates the `yali-obs` registry and the engine's
-//!   cache counters into a [`report::RunReport`] (`RUNSTATS.json`).
+//!   cache counters into a [`report::RunReport`] (`RUNSTATS.json`);
+//! - [`store`] — the persistent content-addressed artifact store
+//!   (`YALI_STORE=dir`): the caches read through it, so embeddings,
+//!   transformed modules, and trained models outlive the process and can
+//!   be shared by the workers of a sharded `yali-grid` sweep.
 //!
 //! # Quickstart
 //!
@@ -48,6 +52,7 @@ pub mod game;
 pub mod malware_exp;
 pub mod report;
 pub mod scale;
+pub mod store;
 pub mod transformer;
 
 pub use arena::{transform_all, ClassifierSpec, Corpus, ModelChoice, Sample, TrainedClassifier};
@@ -60,4 +65,5 @@ pub use game::{play, Game, GameConfig, GameResult};
 pub use malware_exp::{malware_round, MalwareCorpus, MalwarePoint, MALWARE_TRANSFORMERS};
 pub use report::{RunReport, RUNSTATS_SCHEMA_VERSION};
 pub use scale::Scale;
+pub use store::{ArtifactStore, Namespace, StoreStats};
 pub use transformer::{SourceStrategy, Transformer};

@@ -80,9 +80,75 @@ pub struct PoolReport {
 /// Version of the `RUNSTATS.json` schema this crate writes. Bumped on
 /// every breaking change so `yali-prof diff` can refuse (or degrade
 /// gracefully) when comparing reports from incompatible writers.
-/// History: 1 = PR 4 (caches/phases/pool/counters); 2 = this version
-/// (adds `schema_version` itself and per-phase `p50_ns`/`p95_ns`).
-pub const RUNSTATS_SCHEMA_VERSION: u32 = 2;
+/// History: 1 = PR 4 (caches/phases/pool/counters); 2 = PR 5 (adds
+/// `schema_version` itself and per-phase `p50_ns`/`p95_ns`); 3 = this
+/// version (adds the persistent artifact `store` section).
+pub const RUNSTATS_SCHEMA_VERSION: u32 = 3;
+
+/// The persistent artifact store's activity, when `YALI_STORE` attached
+/// one (all-zero with `active: false` otherwise, so consumers need no
+/// null handling).
+#[derive(Debug, Clone, Serialize)]
+pub struct StoreReport {
+    /// Whether a store was attached for this run.
+    pub active: bool,
+    /// Committed records indexed (all namespaces).
+    pub entries: usize,
+    /// Total bytes on disk across every segment.
+    pub total_bytes: u64,
+    /// Lookups answered from disk.
+    pub disk_hits: u64,
+    /// Lookups that fell through to computation.
+    pub disk_misses: u64,
+    /// Records this process appended.
+    pub published: u64,
+    /// Publishes dropped by the `YALI_STORE_MAX_BYTES` cap.
+    pub capped: u64,
+    /// Payload bytes read from disk.
+    pub bytes_read: u64,
+    /// Frame bytes appended to disk.
+    pub bytes_written: u64,
+    /// Disk hits over disk lookups (0.0 when nothing was looked up).
+    pub disk_hit_ratio: f64,
+}
+
+impl StoreReport {
+    fn collect() -> StoreReport {
+        match crate::store::active_stats() {
+            Some(s) => {
+                let lookups = s.disk_hits + s.disk_misses;
+                StoreReport {
+                    active: true,
+                    entries: s.entries,
+                    total_bytes: s.total_bytes,
+                    disk_hits: s.disk_hits,
+                    disk_misses: s.disk_misses,
+                    published: s.published,
+                    capped: s.capped,
+                    bytes_read: s.bytes_read,
+                    bytes_written: s.bytes_written,
+                    disk_hit_ratio: if lookups == 0 {
+                        0.0
+                    } else {
+                        s.disk_hits as f64 / lookups as f64
+                    },
+                }
+            }
+            None => StoreReport {
+                active: false,
+                entries: 0,
+                total_bytes: 0,
+                disk_hits: 0,
+                disk_misses: 0,
+                published: 0,
+                capped: 0,
+                bytes_read: 0,
+                bytes_written: 0,
+                disk_hit_ratio: 0.0,
+            },
+        }
+    }
+}
 
 /// The aggregated statistics of one instrumented run.
 ///
@@ -105,6 +171,8 @@ pub struct RunReport {
     pub phases: BTreeMap<String, PhaseReport>,
     /// Worker-pool utilization across all `par_map` regions.
     pub pool: PoolReport,
+    /// Persistent artifact store activity (`YALI_STORE`).
+    pub store: StoreReport,
     /// Every registered counter (`game.rounds.*`, `ir.interp.*`,
     /// `ml.gemm.*`, …), zero-valued ones included.
     pub counters: BTreeMap<String, u64>,
@@ -169,6 +237,7 @@ impl RunReport {
             caches,
             phases,
             pool,
+            store: StoreReport::collect(),
             counters,
         }
     }
@@ -217,6 +286,10 @@ mod tests {
         }
         assert!((0.0..=1.0).contains(&r.pool.utilization));
         assert!(r.threads >= 1);
+        assert!((0.0..=1.0).contains(&r.store.disk_hit_ratio));
+        if !r.store.active {
+            assert_eq!(r.store.entries, 0, "inactive store reports zeros");
+        }
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! # yali-grid
+//!
+//! The sharded sweep driver. A full experiment sweep — games × evaders ×
+//! models × rounds — is a grid of independent design points, each a pure
+//! function of its coordinates. This crate enumerates that grid
+//! deterministically, partitions it across worker processes that share
+//! one persistent artifact store (`YALI_STORE`), and merges the workers'
+//! results into a single report that is byte-identical however many
+//! workers produced it.
+//!
+//! Combined with the store's read-through caches, this is what makes an
+//! interrupted sweep cheap to resume: relaunching the same grid against
+//! the same store recomputes only the artifacts the previous run never
+//! committed — everything else is a disk hit.
+//!
+//! The binary (`yali-grid`) fronts this library with `plan`, `point`,
+//! `worker`, `run`, and `merge` subcommands; see `yali-grid help`.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use serde_json::Value;
+
+use yali_core::{play, ClassifierSpec, Corpus, Game, GameConfig, GameResult, Transformer};
+use yali_ml::ModelKind;
+
+/// Schema version of the merged grid report.
+pub const GRID_SCHEMA_VERSION: u32 = 1;
+
+/// The sweep grid: which games, evaders, models, and rounds to cover, and
+/// how big each round's corpus is.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Games to play.
+    pub games: Vec<Game>,
+    /// Evaders to field.
+    pub evaders: Vec<Transformer>,
+    /// Classifier models to train.
+    pub models: Vec<ModelKind>,
+    /// Rounds (seeds) per cell.
+    pub rounds: usize,
+    /// POJ classes per corpus.
+    pub classes: usize,
+    /// Programs per class.
+    pub per_class: usize,
+}
+
+impl GridSpec {
+    /// The default sweep at the given scale: Game 1 (the paper's headline
+    /// asymmetric game), every evader, every model.
+    pub fn from_scale(scale: &yali_core::Scale) -> GridSpec {
+        GridSpec {
+            games: vec![Game::Game1],
+            evaders: Transformer::EVADERS.to_vec(),
+            models: ModelKind::ALL.to_vec(),
+            rounds: scale.rounds,
+            classes: scale.classes,
+            per_class: scale.per_class,
+        }
+    }
+
+    /// Enumerates the grid in its canonical order (game-major, then
+    /// evader, model, round); `index` is the position in this order, so
+    /// any two processes given the same spec agree on every point's
+    /// coordinates.
+    pub fn points(&self) -> Vec<DesignPoint> {
+        let mut out = Vec::new();
+        for &game in &self.games {
+            for &evader in &self.evaders {
+                for &model in &self.models {
+                    for round in 0..self.rounds {
+                        out.push(DesignPoint {
+                            index: out.len(),
+                            game,
+                            evader,
+                            model,
+                            round: round as u64,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One cell × round of the sweep grid.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignPoint {
+    /// Position in the grid's canonical enumeration order.
+    pub index: usize,
+    /// The game played.
+    pub game: Game,
+    /// The evader fielded.
+    pub evader: Transformer,
+    /// The classifier model trained.
+    pub model: ModelKind,
+    /// The round (drives the corpus and training seeds).
+    pub round: u64,
+}
+
+/// The points of shard `shard` out of `of` — a deterministic round-robin
+/// partition, so shards are balanced across the grid's axes and every
+/// point lands in exactly one shard.
+pub fn partition(points: &[DesignPoint], shard: usize, of: usize) -> Vec<DesignPoint> {
+    assert!(of > 0 && shard < of, "shard {shard} not in 0..{of}");
+    points
+        .iter()
+        .filter(|p| p.index % of == shard)
+        .copied()
+        .collect()
+}
+
+/// Plays one design point: the same corpus/seed discipline as the bench
+/// sweeps (`yali_bench::sweep_cell`), so grid results line up with bench
+/// results. A pure function of `(spec, point)` — any process that plays
+/// the same point gets the byte-identical [`GameResult`].
+pub fn play_point(spec: &GridSpec, p: &DesignPoint) -> GameResult {
+    let corpus = Corpus::poj(spec.classes, spec.per_class, 60 + p.round);
+    let cfg = GameConfig::game0(ClassifierSpec::histogram(p.model), p.round)
+        .with_game(p.game, p.evader);
+    play(&corpus, &cfg)
+}
+
+/// One played point in a grid report: the point's coordinates plus its
+/// [`GameResult`] fields, flattened for JSON.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PointResult {
+    /// The point's grid index.
+    pub index: u64,
+    /// Game name (`game0`..`game3`).
+    pub game: String,
+    /// Evader name (`none`, `fla`, …).
+    pub evader: String,
+    /// Model name (`rf`, `knn`, …).
+    pub model: String,
+    /// The round.
+    pub round: u64,
+    /// Challenge accuracy.
+    pub accuracy: f64,
+    /// Macro F1.
+    pub f1: f64,
+    /// Training-set size.
+    pub n_train: u64,
+    /// Challenge-set size.
+    pub n_test: u64,
+    /// Model memory proxy, in bytes.
+    pub model_bytes: u64,
+}
+
+impl PointResult {
+    /// Flattens a played point into its report row.
+    pub fn new(p: &DesignPoint, r: &GameResult) -> PointResult {
+        PointResult {
+            index: p.index as u64,
+            game: p.game.name().to_string(),
+            evader: p.evader.name().to_string(),
+            model: p.model.name().to_string(),
+            round: p.round,
+            accuracy: r.accuracy,
+            f1: r.f1,
+            n_train: r.n_train as u64,
+            n_test: r.n_test as u64,
+            model_bytes: r.model_bytes as u64,
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<PointResult, String> {
+        let u = |k: &str| {
+            v.get(k)
+                .as_u64()
+                .ok_or_else(|| format!("point result missing integer field {k:?}"))
+        };
+        let f = |k: &str| {
+            v.get(k)
+                .as_f64()
+                .ok_or_else(|| format!("point result missing number field {k:?}"))
+        };
+        let s = |k: &str| {
+            v.get(k)
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("point result missing string field {k:?}"))
+        };
+        Ok(PointResult {
+            index: u("index")?,
+            game: s("game")?,
+            evader: s("evader")?,
+            model: s("model")?,
+            round: u("round")?,
+            accuracy: f("accuracy")?,
+            f1: f("f1")?,
+            n_train: u("n_train")?,
+            n_test: u("n_test")?,
+            model_bytes: u("model_bytes")?,
+        })
+    }
+}
+
+/// A grid report: a worker's shard of results, or the merged whole.
+///
+/// Only deterministic fields live here — no wall times, hostnames, or
+/// store statistics — so the merge of N workers' reports is byte-identical
+/// to a single process's run of the same grid.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GridReport {
+    /// [`GRID_SCHEMA_VERSION`] of the writer.
+    pub schema_version: u32,
+    /// Number of results (the shard's, or the merged grid's).
+    pub n_points: u64,
+    /// The played points, sorted by grid index.
+    pub results: Vec<PointResult>,
+}
+
+impl GridReport {
+    /// Wraps played results into a report (sorts by index).
+    pub fn new(mut results: Vec<PointResult>) -> GridReport {
+        results.sort_by_key(|r| r.index);
+        GridReport {
+            schema_version: GRID_SCHEMA_VERSION,
+            n_points: results.len() as u64,
+            results,
+        }
+    }
+
+    /// The report as pretty-printed JSON (trailing newline included, so
+    /// the file is diff-friendly).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("GridReport serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parses a report written by [`GridReport::to_json`].
+    pub fn from_json(text: &str) -> Result<GridReport, String> {
+        let v = serde_json::from_str(text).map_err(|e| format!("invalid report JSON: {e:?}"))?;
+        let schema_version = v
+            .get("schema_version")
+            .as_u64()
+            .ok_or("report missing schema_version")? as u32;
+        if schema_version > GRID_SCHEMA_VERSION {
+            return Err(format!(
+                "report schema_version {schema_version} is newer than this binary \
+                 (understands up to {GRID_SCHEMA_VERSION})"
+            ));
+        }
+        let results = v
+            .get("results")
+            .as_array()
+            .ok_or("report missing results array")?
+            .iter()
+            .map(PointResult::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let n_points = v.get("n_points").as_u64().ok_or("report missing n_points")?;
+        if n_points != results.len() as u64 {
+            return Err(format!(
+                "report n_points {n_points} disagrees with {} results",
+                results.len()
+            ));
+        }
+        Ok(GridReport {
+            schema_version,
+            n_points,
+            results,
+        })
+    }
+}
+
+/// Merges worker shard reports into the full grid report. The union must
+/// cover indices `0..n` with no duplicates — a missing index means a
+/// worker died before finishing its shard, and the merge names it.
+pub fn merge(reports: Vec<GridReport>) -> Result<GridReport, String> {
+    let mut results: Vec<PointResult> = reports.into_iter().flat_map(|r| r.results).collect();
+    results.sort_by_key(|r| r.index);
+    for (i, r) in results.iter().enumerate() {
+        if r.index != i as u64 {
+            return Err(if results.iter().filter(|x| x.index == r.index).count() > 1 {
+                format!("duplicate result for grid index {}", r.index)
+            } else {
+                format!("missing result for grid index {i} (a worker died mid-shard?)")
+            });
+        }
+    }
+    Ok(GridReport::new(results))
+}
+
+/// Looks a game up by its [`Game::name`].
+pub fn game_by_name(name: &str) -> Result<Game, String> {
+    Game::ALL
+        .into_iter()
+        .find(|g| g.name() == name)
+        .ok_or_else(|| format!("unknown game {name:?} (games: game0..game3)"))
+}
+
+/// Looks an evader up by its [`Transformer::name`] (any of
+/// [`Transformer::EVADERS`], which includes `none`).
+pub fn evader_by_name(name: &str) -> Result<Transformer, String> {
+    Transformer::EVADERS
+        .into_iter()
+        .find(|e| e.name() == name)
+        .ok_or_else(|| {
+            let known: Vec<&str> = Transformer::EVADERS.iter().map(|e| e.name()).collect();
+            format!("unknown evader {name:?} (evaders: {})", known.join(", "))
+        })
+}
+
+/// Looks a model up by its [`ModelKind::name`].
+pub fn model_by_name(name: &str) -> Result<ModelKind, String> {
+    ModelKind::ALL
+        .into_iter()
+        .find(|m| m.name() == name)
+        .ok_or_else(|| {
+            let known: Vec<&str> = ModelKind::ALL.iter().map(|m| m.name()).collect();
+            format!("unknown model {name:?} (models: {})", known.join(", "))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> GridSpec {
+        GridSpec {
+            games: vec![Game::Game0, Game::Game1],
+            evaders: vec![Transformer::None, evader_by_name("fla").unwrap()],
+            models: vec![ModelKind::Knn, ModelKind::Rf],
+            rounds: 3,
+            classes: 3,
+            per_class: 4,
+        }
+    }
+
+    #[test]
+    fn grid_enumeration_is_dense_and_ordered() {
+        let points = spec().points();
+        assert_eq!(points.len(), 2 * 2 * 2 * 3);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // Canonical order: the last axis (round) varies fastest.
+        assert_eq!(points[0].round, 0);
+        assert_eq!(points[1].round, 1);
+        assert_eq!(points[2].round, 2);
+        assert_eq!(points[3].round, 0);
+    }
+
+    #[test]
+    fn partition_covers_every_point_exactly_once() {
+        let points = spec().points();
+        for of in [1, 2, 3, 5] {
+            let mut seen = vec![0usize; points.len()];
+            for shard in 0..of {
+                for p in partition(&points, shard, of) {
+                    seen[p.index] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "of={of}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn merge_reassembles_shards_byte_identically() {
+        let points = spec().points();
+        // Fake results: deterministic fields derived from the index, no
+        // game-playing needed to exercise the merge plumbing.
+        let result = |p: &DesignPoint| PointResult {
+            index: p.index as u64,
+            game: p.game.name().into(),
+            evader: p.evader.name().into(),
+            model: p.model.name().into(),
+            round: p.round,
+            accuracy: 0.5 + p.index as f64 / 1000.0,
+            f1: 0.25,
+            n_train: 9,
+            n_test: 3,
+            model_bytes: 1024,
+        };
+        let single = GridReport::new(points.iter().map(result).collect());
+        let shards: Vec<GridReport> = (0..3)
+            .map(|s| GridReport::new(partition(&points, s, 3).iter().map(result).collect()))
+            .collect();
+        let merged = merge(shards).unwrap();
+        assert_eq!(merged.to_json(), single.to_json());
+    }
+
+    #[test]
+    fn merge_names_missing_and_duplicate_indices() {
+        let points = spec().points();
+        let result = |p: &DesignPoint| PointResult {
+            index: p.index as u64,
+            game: p.game.name().into(),
+            evader: p.evader.name().into(),
+            model: p.model.name().into(),
+            round: p.round,
+            accuracy: 0.5,
+            f1: 0.5,
+            n_train: 9,
+            n_test: 3,
+            model_bytes: 0,
+        };
+        let mut partial: Vec<PointResult> = points.iter().map(result).collect();
+        partial.remove(5);
+        let err = merge(vec![GridReport::new(partial)]).unwrap_err();
+        assert!(err.contains("missing result for grid index 5"), "{err}");
+
+        let mut doubled: Vec<PointResult> = points.iter().map(result).collect();
+        doubled.push(result(&points[2]));
+        let err = merge(vec![GridReport::new(doubled)]).unwrap_err();
+        assert!(err.contains("duplicate result for grid index 2"), "{err}");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let points = spec().points();
+        let results: Vec<PointResult> = points
+            .iter()
+            .take(4)
+            .map(|p| PointResult::new(p, &GameResult {
+                accuracy: 0.8125,
+                f1: 0.8,
+                n_train: 9,
+                n_test: 3,
+                model_bytes: 2048,
+            }))
+            .collect();
+        let report = GridReport::new(results);
+        let parsed = GridReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        // Idempotent re-serialization: what the merge step relies on for
+        // byte-identical outputs.
+        assert_eq!(parsed.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn lookups_resolve_names_and_reject_garbage() {
+        assert_eq!(game_by_name("game2").unwrap(), Game::Game2);
+        assert!(game_by_name("game9").is_err());
+        assert_eq!(evader_by_name("none").unwrap(), Transformer::None);
+        assert!(evader_by_name("rot13").is_err());
+        assert_eq!(model_by_name("knn").unwrap(), ModelKind::Knn);
+        assert!(model_by_name("gpt").is_err());
+    }
+}

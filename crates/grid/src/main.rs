@@ -1,0 +1,345 @@
+//! The `yali-grid` CLI: plan, play, shard, and merge experiment sweeps.
+//!
+//! ```text
+//! yali-grid plan   [grid options]                 list the design points
+//! yali-grid point  --game G --evader E --model M --round R [--repeat N]
+//!                  [--classes C --per-class P]    play one point, print JSON
+//! yali-grid worker --shard I --of N --out FILE [grid options]
+//!                  play one shard, write its report
+//! yali-grid run    --workers N --out FILE [--store DIR] [grid options]
+//!                  spawn N workers sharing one store, merge their reports
+//! yali-grid merge  --out FILE IN...               merge shard reports
+//!
+//! grid options: --games A,B --evaders A,B --models A,B
+//!               --rounds N --classes N --per-class N
+//! ```
+//!
+//! Set `YALI_STORE=dir` (or pass `--store`) so workers share artifacts;
+//! re-running a grid against a warm store recomputes only what the
+//! previous run never committed — that is the resume story.
+
+use std::process::{Command, ExitCode};
+
+use yali_grid::{
+    evader_by_name, game_by_name, merge, model_by_name, partition, play_point, GridReport,
+    GridSpec, PointResult,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("point") => cmd_point(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("help") | Some("--help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("yali-grid: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: yali-grid <plan|point|worker|run|merge> [options]
+  plan   [grid options]                          list the design points
+  point  --game G --evader E --model M --round R [--repeat N] [--classes C --per-class P]
+  worker --shard I --of N --out FILE [grid options]
+  run    --workers N --out FILE [--store DIR] [grid options]
+  merge  --out FILE IN...
+grid options: --games A,B --evaders A,B --models A,B --rounds N --classes N --per-class N
+";
+
+/// One `--flag value` argument walker; positional args collect separately.
+struct Args<'a> {
+    flags: Vec<(&'a str, &'a str)>,
+    positional: Vec<&'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(args: &'a [String]) -> Result<Args<'a>, String> {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name, value.as_str()));
+            } else {
+                positional.push(a.as_str());
+            }
+        }
+        Ok(Args { flags, positional })
+    }
+
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} {v:?} is not a count")),
+        }
+    }
+}
+
+/// Builds the grid spec from `--games/--evaders/--models/--rounds/
+/// --classes/--per-class`, defaulting to the `YALI_SCALE` scale's Game-1
+/// sweep.
+fn spec_from_args(args: &Args<'_>) -> Result<GridSpec, String> {
+    let mut spec = GridSpec::from_scale(&yali_core::Scale::from_env());
+    if let Some(games) = args.get("games") {
+        spec.games = games
+            .split(',')
+            .map(game_by_name)
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(evaders) = args.get("evaders") {
+        spec.evaders = evaders
+            .split(',')
+            .map(evader_by_name)
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(models) = args.get("models") {
+        spec.models = models
+            .split(',')
+            .map(model_by_name)
+            .collect::<Result<_, _>>()?;
+    }
+    spec.rounds = args.get_usize("rounds", spec.rounds)?;
+    spec.classes = args.get_usize("classes", spec.classes)?;
+    spec.per_class = args.get_usize("per-class", spec.per_class)?;
+    if spec.games.is_empty() || spec.evaders.is_empty() || spec.models.is_empty() {
+        return Err("the grid needs at least one game, evader, and model".into());
+    }
+    if spec.rounds == 0 || spec.classes < 2 || spec.per_class < 2 {
+        return Err("the grid needs rounds >= 1, classes >= 2, per-class >= 2".into());
+    }
+    Ok(spec)
+}
+
+/// The grid flags to forward verbatim to spawned workers.
+fn forwarded_grid_flags(args: &Args<'_>) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in ["games", "evaders", "models", "rounds", "classes", "per-class"] {
+        if let Some(v) = args.get(name) {
+            out.push(format!("--{name}"));
+            out.push(v.to_string());
+        }
+    }
+    out
+}
+
+fn cmd_plan(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let spec = spec_from_args(&args)?;
+    let points = spec.points();
+    for p in &points {
+        println!(
+            "{:6}  {}  {}  {}  round {}",
+            p.index,
+            p.game.name(),
+            p.evader.name(),
+            p.model.name(),
+            p.round
+        );
+    }
+    println!(
+        "{} points ({} games x {} evaders x {} models x {} rounds), corpus {} classes x {}",
+        points.len(),
+        spec.games.len(),
+        spec.evaders.len(),
+        spec.models.len(),
+        spec.rounds,
+        spec.classes,
+        spec.per_class
+    );
+    Ok(())
+}
+
+fn cmd_point(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let spec = GridSpec {
+        games: vec![game_by_name(args.require("game")?)?],
+        evaders: vec![evader_by_name(args.require("evader")?)?],
+        models: vec![model_by_name(args.require("model")?)?],
+        rounds: 1,
+        classes: args.get_usize("classes", yali_core::Scale::from_env().classes)?,
+        per_class: args.get_usize("per-class", yali_core::Scale::from_env().per_class)?,
+    };
+    let round: u64 = args
+        .require("round")?
+        .parse()
+        .map_err(|_| "--round must be a number".to_string())?;
+    let repeat = args.get_usize("repeat", 1)?;
+    let mut point = spec.points()[0];
+    point.round = round;
+    for _ in 0..repeat {
+        let r = play_point(&spec, &point);
+        println!(
+            "{}",
+            serde_json::to_string(&r).map_err(|e| format!("serialize: {e:?}"))?
+        );
+    }
+    yali_core::store::sync_active();
+    Ok(())
+}
+
+fn cmd_worker(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let spec = spec_from_args(&args)?;
+    let shard = args.get_usize("shard", 0)?;
+    let of = args.get_usize("of", 1)?;
+    if of == 0 || shard >= of {
+        return Err(format!("--shard {shard} not in 0..{of}"));
+    }
+    let out = args.require("out")?;
+    let mine = partition(&spec.points(), shard, of);
+    let mut results = Vec::with_capacity(mine.len());
+    for p in &mine {
+        results.push(PointResult::new(p, &play_point(&spec, p)));
+    }
+    let report = GridReport::new(results);
+    write_atomically(out, &report.to_json())?;
+    // Make this worker's published artifacts durable before exiting so a
+    // resuming run finds them even after power loss.
+    yali_core::store::sync_active();
+    eprintln!(
+        "worker {shard}/{of}: {} points -> {out}{}",
+        mine.len(),
+        store_summary()
+    );
+    Ok(())
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    spec_from_args(&args)?; // validate before spawning anything
+    let workers = args.get_usize("workers", 1)?;
+    if workers == 0 {
+        return Err("--workers must be >= 1".into());
+    }
+    let out = args.require("out")?;
+    let store = args.get("store");
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let grid_flags = forwarded_grid_flags(&args);
+
+    let mut children = Vec::new();
+    for shard in 0..workers {
+        let shard_out = format!("{out}.shard{shard}");
+        let mut cmd = Command::new(&exe);
+        cmd.arg("worker")
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--of")
+            .arg(workers.to_string())
+            .arg("--out")
+            .arg(&shard_out)
+            .args(&grid_flags);
+        if let Some(dir) = store {
+            cmd.env("YALI_STORE", dir);
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {shard}: {e}"))?;
+        children.push((shard, shard_out, child));
+    }
+
+    let mut shard_files = Vec::new();
+    let mut failures = Vec::new();
+    for (shard, shard_out, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("cannot wait for worker {shard}: {e}"))?;
+        if status.success() {
+            shard_files.push(shard_out);
+        } else {
+            failures.push(format!("worker {shard} exited with {status}"));
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+
+    let reports = shard_files
+        .iter()
+        .map(|f| {
+            std::fs::read_to_string(f)
+                .map_err(|e| format!("cannot read {f}: {e}"))
+                .and_then(|text| GridReport::from_json(&text))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let merged = merge(reports)?;
+    write_atomically(out, &merged.to_json())?;
+    for f in &shard_files {
+        let _ = std::fs::remove_file(f);
+    }
+    let mean_acc = merged.results.iter().map(|r| r.accuracy).sum::<f64>()
+        / merged.results.len().max(1) as f64;
+    println!(
+        "{} workers, {} points -> {out} (mean accuracy {:.3})",
+        workers, merged.n_points, mean_acc
+    );
+    Ok(())
+}
+
+fn cmd_merge(rest: &[String]) -> Result<(), String> {
+    let args = Args::parse(rest)?;
+    let out = args.require("out")?;
+    if args.positional.is_empty() {
+        return Err("merge needs at least one input report".into());
+    }
+    let reports = args
+        .positional
+        .iter()
+        .map(|f| {
+            std::fs::read_to_string(f)
+                .map_err(|e| format!("cannot read {f}: {e}"))
+                .and_then(|text| GridReport::from_json(&text))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let merged = merge(reports)?;
+    write_atomically(out, &merged.to_json())?;
+    println!("{} reports, {} points -> {out}", args.positional.len(), merged.n_points);
+    Ok(())
+}
+
+/// Writes via temp file + rename, so a killed driver never leaves a
+/// half-written report where a resume would trust it.
+fn write_atomically(path: &str, contents: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename {tmp} into place: {e}"))
+}
+
+/// A one-line store summary for worker stderr (empty with no store).
+fn store_summary() -> String {
+    match yali_core::store::active_stats() {
+        Some(s) => format!(
+            " (store: {} entries, {} disk hits, {} published)",
+            s.entries, s.disk_hits, s.published
+        ),
+        None => String::new(),
+    }
+}

@@ -15,7 +15,7 @@ use serde_json::Value;
 
 /// The highest `RUNSTATS.json` `schema_version` this analyzer understands
 /// (kept in lockstep with `yali_core::report::RUNSTATS_SCHEMA_VERSION`).
-pub const MAX_SUPPORTED_SCHEMA: u64 = 2;
+pub const MAX_SUPPORTED_SCHEMA: u64 = 3;
 
 /// Thresholds for [`diff_values`]. All ratios compare `new` against `old`.
 #[derive(Debug, Clone)]
@@ -185,6 +185,31 @@ fn diff_runstats(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<Vec<Viola
                     cfg.max_hit_drop
                 ),
             });
+        }
+    }
+
+    // Artifact-store hit-ratio drift (schema 3+). Only comparable when
+    // both runs had a store attached — a run without one legitimately
+    // reports zeros.
+    if let (Some(os), Some(ns)) = (old.get("store").as_object(), new.get("store").as_object()) {
+        let active = |s: &std::collections::BTreeMap<String, Value>| {
+            s.get("active").and_then(Value::as_bool).unwrap_or(false)
+        };
+        if active(os) && active(ns) {
+            if let (Some(o), Some(n)) = (
+                os.get("disk_hit_ratio").and_then(Value::as_f64),
+                ns.get("disk_hit_ratio").and_then(Value::as_f64),
+            ) {
+                if o - n > cfg.max_hit_drop {
+                    out.push(Violation {
+                        metric: "store disk_hit_ratio".into(),
+                        detail: format!(
+                            "dropped from {o:.3} to {n:.3} (more than the {:.2} allowance)",
+                            cfg.max_hit_drop
+                        ),
+                    });
+                }
+            }
         }
     }
 

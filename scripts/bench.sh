@@ -2,13 +2,16 @@
 # Runs the engine benchmark suite and sanity-checks the JSON reports it
 # writes at the repo root:
 #
-#   scripts/bench.sh          throughput + training + inference benches,
-#                             then verify BENCH_engine.json,
-#                             BENCH_train.json and BENCH_infer.json plus
-#                             their companion RUNSTATS_*.json run reports
-#                             and the observability overhead gate (the
+#   scripts/bench.sh          throughput + training + inference + store
+#                             benches, then verify BENCH_engine.json,
+#                             BENCH_train.json, BENCH_infer.json and
+#                             BENCH_store.json plus their companion
+#                             RUNSTATS_*.json run reports, the
+#                             observability overhead gate (the
 #                             instrumented-but-disabled sweep must land
-#                             within 3% of itself with YALI_OBS=1);
+#                             within 3% of itself with YALI_OBS=1), and
+#                             the store resume gate (warm-from-disk
+#                             replay >= 10x over cold);
 #                             finally analyze the TRACE_*.jsonl captures
 #                             with yali-prof (profile + Chrome export)
 #                             and run `yali-prof diff` against the
@@ -30,14 +33,15 @@ esac
 # against the baseline that was here when the run started.
 baseline_dir="$(mktemp -d)"
 trap 'rm -rf "$baseline_dir"' EXIT
-for f in RUNSTATS_engine.json RUNSTATS_train.json RUNSTATS_infer.json \
-         BENCH_engine.json BENCH_train.json BENCH_infer.json; do
+for f in RUNSTATS_engine.json RUNSTATS_train.json RUNSTATS_infer.json RUNSTATS_store.json \
+         BENCH_engine.json BENCH_train.json BENCH_infer.json BENCH_store.json; do
   [ -f "$f" ] && cp "$f" "$baseline_dir/$f"
 done
 
 cargo bench --bench throughput
 cargo bench --bench training
 cargo bench --bench inference
+cargo bench --bench store
 
 # check_json FILE KEY... — the report parses, carries every KEY, records
 # no degenerate (non-positive) timing, and every batched inference mode
@@ -60,12 +64,15 @@ modes = report.get("modes", [])
 if not modes:
     sys.exit(f"{path}: no benchmark modes recorded")
 for m in modes:
-    if not (m["mean_ns"] > 0 and m["speedup_vs_serial"] > 0):
+    # The store bench's modes carry no serial baseline; default the
+    # speedup to a passing value for reports that don't record one.
+    speedup = m.get("speedup_vs_serial", 1.0)
+    if not (m["mean_ns"] > 0 and speedup > 0):
         sys.exit(f"{path}: degenerate timing in {m['name']}")
-    if "batched" in m["name"] and not m["speedup_vs_serial"] >= 1.0:
+    if "batched" in m["name"] and not speedup >= 1.0:
         sys.exit(
             f"{path}: batched mode {m['name']} slower than serial "
-            f"({m['speedup_vs_serial']:.2f}x)"
+            f"({speedup:.2f}x)"
         )
 print(f"{path}: ok ({len(modes)} modes)")
 EOF
@@ -80,6 +87,7 @@ EOF
 check_json BENCH_engine.json speedup_serial_to_parallel_cached obs_overhead_pct embed_cache transform_cache
 check_json BENCH_train.json speedup_serial_to_parallel_cached model_cache gemm_simd_kernel
 check_json BENCH_infer.json speedup_serial_to_batched speedup_serial_to_batched_parallel n_queries int8_agreement f32_agreement
+check_json BENCH_store.json speedup_cold_to_warm_disk bytes_on_disk disk_hit_ratio store_entries
 
 # check_runstats FILE — the companion run report is well-formed JSON with
 # coherent cache counters (hits + misses >= inserts, ratio in [0, 1]),
@@ -109,6 +117,12 @@ for name, p in report["phases"].items():
 util = report["pool"]["utilization"]
 if not 0.0 <= util <= 1.0:
     sys.exit(f"{path}: pool utilization {util} out of range")
+store = report.get("store")
+if store is not None and store.get("active"):
+    if not 0.0 <= store["disk_hit_ratio"] <= 1.0:
+        sys.exit(f"{path}: store disk_hit_ratio {store['disk_hit_ratio']} out of range")
+    if store["disk_hits"] + store["disk_misses"] < store["published"]:
+        sys.exit(f"{path}: store hits+misses < published")
 print(
     f"{path}: ok ({len(report['caches'])} caches, {len(report['phases'])} phases, "
     f"pool utilization {util:.2f})"
@@ -125,6 +139,7 @@ EOF
 check_runstats RUNSTATS_engine.json
 check_runstats RUNSTATS_train.json
 check_runstats RUNSTATS_infer.json
+check_runstats RUNSTATS_store.json
 
 # The observability overhead gate: with YALI_OBS unset every count!/span!
 # call site must stay a single relaxed load, so the instrumented sweep's
@@ -191,12 +206,38 @@ print(
 EOF
 fi
 
+# The artifact-store resume gate: replaying the store bench's sweep from
+# a populated store in a cold-cache process must beat recomputing it from
+# scratch by at least 10x, and the replay must actually come from disk
+# (hit ratio well above chance), or resuming an interrupted sweep is not
+# worth the I/O.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_store.json") as f:
+    report = json.load(f)
+speedup = report["speedup_cold_to_warm_disk"]
+ratio = report["disk_hit_ratio"]
+if speedup < 10.0:
+    raise SystemExit(
+        f"BENCH_store.json: warm-disk replay only {speedup:.2f}x over cold, "
+        f"below the 10x floor"
+    )
+if ratio < 0.5:
+    raise SystemExit(f"BENCH_store.json: disk hit ratio {ratio:.3f} below 0.5")
+if report["bytes_on_disk"] <= 0:
+    raise SystemExit("BENCH_store.json: empty store after the sweep")
+print(f"store resume gate: ok ({speedup:.2f}x >= 10x, hit ratio {ratio:.3f})")
+EOF
+fi
+
 # Trace analysis: every bench also wrote an untimed TRACE_*.jsonl
 # capture. The strict parser accepting it proves balanced spans and
 # monotone per-thread seqs; the Chrome export is what Perfetto loads.
 cargo build --release -q -p yali-prof
 prof=target/release/yali-prof
-for t in TRACE_engine.jsonl TRACE_train.jsonl TRACE_infer.jsonl; do
+for t in TRACE_engine.jsonl TRACE_train.jsonl TRACE_infer.jsonl TRACE_store.jsonl; do
   [ -f "$t" ] || { echo "$t: missing trace capture" >&2; exit 1; }
   "$prof" top "$t" --top 10
   "$prof" export --chrome "$t"
@@ -208,8 +249,8 @@ done
 # move a few x between runs) but a real regression — a cache that
 # stopped hitting, a phase that blew up, a speedup that collapsed —
 # fails the script with the offending metric named.
-for f in RUNSTATS_engine.json RUNSTATS_train.json RUNSTATS_infer.json \
-         BENCH_engine.json BENCH_train.json BENCH_infer.json; do
+for f in RUNSTATS_engine.json RUNSTATS_train.json RUNSTATS_infer.json RUNSTATS_store.json \
+         BENCH_engine.json BENCH_train.json BENCH_infer.json BENCH_store.json; do
   if [ -f "$baseline_dir/$f" ]; then
     "$prof" diff "$baseline_dir/$f" "$f"
   else

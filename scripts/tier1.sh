@@ -13,6 +13,14 @@ cargo clippy --all-targets -- -D warnings
 # proptests then exercise scalar-vs-scalar, which is cheap).
 YALI_SIMD=0 cargo test -q -p yali-ml
 
+# The ml + core suites again with the artifact store live at a tempdir:
+# the read-through layer must be invisible to every test that passed
+# without it (the plain `cargo test` above already covers YALI_STORE
+# unset).
+store_dir="$(mktemp -d)"
+trap 'rm -rf "$store_dir"' EXIT
+YALI_STORE="$store_dir/artifacts" cargo test -q -p yali-ml -p yali-core
+
 # The profiler's golden-fixture round trip: parse the committed trace,
 # re-export it, demand a byte-identical Chrome file. Catches any drift
 # in the trace schema, the parser, or the exporter.
