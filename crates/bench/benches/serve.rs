@@ -1,0 +1,298 @@
+//! Serving throughput and tail latency: the `yali-serve` daemon under a
+//! closed-loop fleet of single-query clients, timed in two batching
+//! configurations —
+//!
+//! * `serve/serial` — one-request-per-dispatch (`max_batch = 1`): every
+//!   row pays the per-`predict` price, the pre-batching behavior a naive
+//!   daemon would have;
+//! * `serve/batched` — the real policy: coalesce concurrent requests into
+//!   `INFER_CHUNK`-row batches on a 2 ms deadline and dispatch through
+//!   `predict_batch`.
+//!
+//! The fleet is closed-loop (each worker holds one connection and one
+//! outstanding request), so throughput is limited by the server's service
+//! rate, not by an open-loop arrival schedule — exactly the regime where
+//! coalescing pays. Every verdict is checked against a locally trained
+//! oracle during the measured run (tenant training is deterministic in
+//! the seed), so the bench doubles as an end-to-end bit-identity check.
+//!
+//! Per-request latencies are recorded client-side; the report carries
+//! p50/p95/p99 and sustained QPS per mode, and `speedup_vs_serial` is the
+//! QPS ratio (gated at >= 2x by `scripts/bench.sh`, and run-over-run by
+//! `yali-prof diff`'s p99 ceiling and QPS floor). Writes
+//! `BENCH_serve.json`, `RUNSTATS_serve.json`, and `TRACE_serve.jsonl` at
+//! the repo root.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use yali_ml::ModelKind;
+use yali_serve::{train_tenants, BatcherConfig, Client, Reply, Server};
+
+/// Heavy tenants: the two dense-forward models whose batched GEMM path
+/// is the win being served (the single-core machine gains nothing from
+/// pool parallelism, so the QPS ratio below is pure kernel amortization).
+const MODELS: [ModelKind; 2] = [ModelKind::Mlp, ModelKind::Cnn];
+const CLASSES: usize = 8;
+const PER_CLASS: usize = 12;
+const SEED: u64 = 77;
+
+/// Enough closed-loop workers that each model lane can fill an
+/// `INFER_CHUNK` batch by size, not only by deadline.
+const N_CLIENTS: usize = 64;
+const WARMUP_PER_CLIENT: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 40;
+
+#[derive(serde::Serialize)]
+struct ModeOut {
+    name: String,
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    p50_ns: f64,
+    p95_ns: f64,
+    p99_ns: f64,
+    qps: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    description: String,
+    workload: String,
+    n_clients: usize,
+    requests_per_client: usize,
+    models: Vec<String>,
+    modes: Vec<ModeOut>,
+    /// The headline gate: batched QPS over serial QPS (>= 2.0 required
+    /// by scripts/bench.sh).
+    qps_serial_to_batched: f64,
+    /// Batched p99 over serial p99 (< 1 means batching also improved the
+    /// tail under saturation, because queue waits shrink when rows are
+    /// retired 32 at a time).
+    p99_batched_over_serial: f64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted latency vector.
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((n as f64 * p / 100.0).ceil() as usize).clamp(1, n);
+    sorted[rank - 1] as f64
+}
+
+/// The query mix: every worker walks the same pool, offset by its index,
+/// alternating the two model lanes across workers.
+fn query_pool() -> Vec<Vec<f64>> {
+    let corpus = yali_core::Corpus::poj(CLASSES, PER_CLASS, SEED);
+    let all: Vec<&yali_core::Sample> = corpus.samples.iter().collect();
+    yali_core::transform_all(&all, yali_core::Transformer::None, 3)
+        .iter()
+        .map(yali_embed::histogram)
+        .collect()
+}
+
+/// Runs one closed-loop round against `addr`: `n_clients` workers, each
+/// with one connection and one outstanding request, `requests` measured
+/// calls each after a short unmeasured warmup. Returns the ascending
+/// per-request latencies and the fleet's wall time.
+fn run_round(
+    addr: &str,
+    queries: &Arc<Vec<Vec<f64>>>,
+    want: &Arc<Vec<Vec<u32>>>,
+    n_clients: usize,
+    requests: usize,
+) -> (Vec<u64>, u64) {
+    // Workers connect and warm up first; the barrier then releases the
+    // measured phase on every thread at once so wall time is honest.
+    let barrier = Arc::new(Barrier::new(n_clients + 1));
+    let workers: Vec<_> = (0..n_clients)
+        .map(|w| {
+            let addr = addr.to_string();
+            let queries = Arc::clone(queries);
+            let want = Arc::clone(want);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let model = w % MODELS.len();
+                let step = |client: &mut Client, i: usize, check: bool| -> u64 {
+                    let q = (w + i * 7) % queries.len();
+                    let t0 = Instant::now();
+                    let reply = client
+                        .classify(model as u8, queries[q].clone())
+                        .expect("classify");
+                    let dt = t0.elapsed().as_nanos() as u64;
+                    match reply {
+                        Reply::Label(got) => {
+                            if check {
+                                assert_eq!(
+                                    got, want[model][q],
+                                    "served verdict diverged from direct predict \
+                                     (worker {w}, model {model}, query {q})"
+                                );
+                            }
+                        }
+                        other => panic!("worker {w}: unexpected reply {other:?}"),
+                    }
+                    dt
+                };
+                for i in 0..WARMUP_PER_CLIENT {
+                    step(&mut client, i, false);
+                }
+                barrier.wait();
+                (0..requests).map(|i| step(&mut client, i, true)).collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut latencies: Vec<u64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("worker panicked"))
+        .collect();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    latencies.sort_unstable();
+    (latencies, wall_ns)
+}
+
+/// Starts a server with `cfg` on an ephemeral port; returns its address
+/// and run-thread handle (joined after `shutdown`).
+fn start_server(cfg: BatcherConfig) -> (String, std::thread::JoinHandle<()>) {
+    let tenants = train_tenants(&MODELS, CLASSES, PER_CLASS, SEED);
+    let server = Server::bind("127.0.0.1:0", tenants, cfg).expect("bind ephemeral");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+fn shut_down(addr: &str, handle: std::thread::JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    assert_eq!(client.shutdown().expect("shutdown"), Reply::Ok);
+    handle.join().expect("server run thread");
+}
+
+fn main() {
+    let queries = Arc::new(query_pool());
+
+    // The oracle: the same tenants trained locally (training is
+    // deterministic in the seed, so the servers below hold bit-identical
+    // models) — every served verdict is checked against a direct
+    // `predict` on these.
+    let oracle = train_tenants(&MODELS, CLASSES, PER_CLASS, SEED);
+    let want: Arc<Vec<Vec<u32>>> = Arc::new(
+        oracle
+            .models
+            .iter()
+            .map(|(_, clf)| queries.iter().map(|q| clf.predict(q) as u32).collect())
+            .collect(),
+    );
+    drop(oracle);
+
+    let serial_cfg = BatcherConfig {
+        max_batch: 1,
+        deadline_ns: 1,
+        queue_cap: 4096,
+    };
+    let batched_cfg = BatcherConfig {
+        max_batch: yali_ml::INFER_CHUNK,
+        deadline_ns: 2_000_000,
+        queue_cap: 4096,
+    };
+
+    // Mode 1: one-request-per-dispatch serial serving (the baseline).
+    let (addr, handle) = start_server(serial_cfg);
+    let (serial_lat, serial_wall) =
+        run_round(&addr, &queries, &want, N_CLIENTS, REQUESTS_PER_CLIENT);
+    shut_down(&addr, handle);
+
+    // Mode 2: deadline batching (the product). The server stays up after
+    // the measured round for the instrumented and traced passes, so the
+    // RUNSTATS/TRACE capture the same daemon the numbers came from.
+    let (addr, handle) = start_server(batched_cfg);
+    let (batched_lat, batched_wall) =
+        run_round(&addr, &queries, &want, N_CLIENTS, REQUESTS_PER_CLIENT);
+
+    // Instrumented pass: a short extra round with observability on, for
+    // the companion run report (batch-size histogram, queue waits, batch
+    // fill latency, dispatch phase).
+    yali_obs::set_enabled(true);
+    let _ = run_round(&addr, &queries, &want, N_CLIENTS, 8);
+    let runstats_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUNSTATS_serve.json");
+    yali_core::RunReport::collect()
+        .write(runstats_path)
+        .expect("write RUNSTATS_serve.json");
+    yali_obs::set_enabled(false);
+
+    // Traced pass: a separate short round for `yali-prof` (separate from
+    // the report pass so the JSONL sink's writes never taint the RUNSTATS
+    // phase timings).
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_serve.jsonl");
+    yali_obs::set_trace_path(Some(trace_path));
+    yali_obs::set_enabled(true);
+    {
+        let _pass = yali_obs::span!("bench.serve.pass");
+        let _ = run_round(&addr, &queries, &want, N_CLIENTS, 8);
+    }
+    yali_obs::set_enabled(false);
+    yali_obs::set_trace_path(None);
+
+    shut_down(&addr, handle);
+
+    let total = (N_CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    let mode = |name: &str, lat: &[u64], wall_ns: u64, qps_serial: f64| -> ModeOut {
+        let qps = total / (wall_ns as f64 / 1e9);
+        ModeOut {
+            name: name.to_string(),
+            mean_ns: lat.iter().sum::<u64>() as f64 / lat.len() as f64,
+            median_ns: percentile(lat, 50.0),
+            min_ns: lat.first().copied().unwrap_or(0) as f64,
+            p50_ns: percentile(lat, 50.0),
+            p95_ns: percentile(lat, 95.0),
+            p99_ns: percentile(lat, 99.0),
+            qps,
+            speedup_vs_serial: if qps_serial > 0.0 { qps / qps_serial } else { 1.0 },
+        }
+    };
+    let serial = mode("serve/serial", &serial_lat, serial_wall, 0.0);
+    let qps_serial = serial.qps;
+    let serial = ModeOut {
+        speedup_vs_serial: 1.0,
+        ..serial
+    };
+    let batched = mode("serve/batched", &batched_lat, batched_wall, qps_serial);
+
+    let report = Report {
+        description: "classification-as-a-service: a closed-loop fleet of single-query \
+                      clients against the yali-serve daemon, one-request-per-dispatch \
+                      (max_batch=1) vs deadline batching (INFER_CHUNK rows or 2 ms); \
+                      speedup_vs_serial is the sustained-QPS ratio and every served \
+                      verdict is checked bit-identical to direct predict"
+            .to_string(),
+        workload: format!(
+            "{} classes x {} per class, models {}, {} workers x {} requests per mode",
+            CLASSES,
+            PER_CLASS,
+            MODELS.map(|m| m.name()).join(","),
+            N_CLIENTS,
+            REQUESTS_PER_CLIENT
+        ),
+        n_clients: N_CLIENTS,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        models: MODELS.iter().map(|m| m.name().to_string()).collect(),
+        qps_serial_to_batched: batched.qps / serial.qps,
+        p99_batched_over_serial: batched.p99_ns / serial.p99_ns,
+        modes: vec![serial, batched],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_serve.json");
+    println!(
+        "serve serial -> batched: {:.2}x QPS ({:.0} -> {:.0}), p99 {:.2}ms -> {:.2}ms \
+         (report at {})",
+        report.qps_serial_to_batched,
+        report.modes[0].qps,
+        report.modes[1].qps,
+        report.modes[0].p99_ns / 1e6,
+        report.modes[1].p99_ns / 1e6,
+        path
+    );
+}

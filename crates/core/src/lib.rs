@@ -55,7 +55,10 @@ pub mod scale;
 pub mod store;
 pub mod transformer;
 
-pub use arena::{transform_all, ClassifierSpec, Corpus, ModelChoice, Sample, TrainedClassifier};
+pub use arena::{
+    fit_vector_cached, transform_all, ClassifierSpec, Corpus, ModelChoice, Sample,
+    TrainedClassifier,
+};
 pub use av::SignatureScanner;
 pub use discover::{discover_transformer, DiscoverDataset, DiscoverResult};
 pub use engine::{

@@ -53,10 +53,11 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use yali_embed::{Embedding, EmbeddingKind, ProgramGraph};
+use yali_obs::{EnvVar, WarnOnce};
 use yali_ir::Fnv64;
 use yali_ml::serialize::{ByteReader, ByteWriter, CODEC_VERSION};
 
@@ -481,14 +482,12 @@ impl ArtifactStore {
             if projected > cap {
                 self.counters.capped.fetch_add(1, Ordering::Relaxed);
                 yali_obs::count!("store.publish.capped", 1);
-                static WARNED: AtomicBool = AtomicBool::new(false);
-                if !WARNED.swap(true, Ordering::Relaxed) {
-                    yali_obs::warn(&format!(
-                        "artifact store at {} reached YALI_STORE_MAX_BYTES ({cap}); \
-                         further publishes are dropped (reads keep working)",
-                        self.dir.display()
-                    ));
-                }
+                static ONCE: WarnOnce = WarnOnce::new();
+                ONCE.warn(&format!(
+                    "artifact store at {} reached YALI_STORE_MAX_BYTES ({cap}); \
+                     further publishes are dropped (reads keep working)",
+                    self.dir.display()
+                ));
                 return false;
             }
         }
@@ -497,14 +496,12 @@ impl ArtifactStore {
             match self.open_segment() {
                 Ok(w) => *writer = Some(w),
                 Err(e) => {
-                    static WARNED: AtomicBool = AtomicBool::new(false);
-                    if !WARNED.swap(true, Ordering::Relaxed) {
-                        yali_obs::warn(&format!(
-                            "artifact store at {} cannot open a segment for writing: {e}; \
-                             this process will not publish",
-                            self.dir.display()
-                        ));
-                    }
+                    static ONCE: WarnOnce = WarnOnce::new();
+                    ONCE.warn(&format!(
+                        "artifact store at {} cannot open a segment for writing: {e}; \
+                         this process will not publish",
+                        self.dir.display()
+                    ));
                     return false;
                 }
             }
@@ -631,52 +628,31 @@ fn read_payload(path: &Path, loc: Loc) -> std::io::Result<Vec<u8>> {
 // Environment plumbing: YALI_STORE / YALI_STORE_MAX_BYTES.
 // ---------------------------------------------------------------------------
 
-/// How one `YALI_STORE` value parsed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StoreVar {
-    /// Variable not set (or explicitly `0`/`off`): in-memory caches only.
-    Unset,
-    /// A directory path to open the store at.
-    Dir(PathBuf),
-    /// Set but unusable (empty or blank).
-    Invalid,
-}
-
-/// Parses a `YALI_STORE` value. `0`/`off`/`false` disable the store
-/// explicitly (mirroring `YALI_CACHE`); an empty or blank value is
-/// [`StoreVar::Invalid`] — the caller warns once and stays in-memory.
-pub fn parse_store(v: Option<&str>) -> StoreVar {
+/// Parses a `YALI_STORE` value into the directory to open the store at.
+/// `0`/`off`/`false` disable the store explicitly (mirroring
+/// `YALI_CACHE`); an empty or blank value is [`EnvVar::Invalid`] — the
+/// caller warns once and stays in-memory.
+pub fn parse_store(v: Option<&str>) -> EnvVar<PathBuf> {
     match v {
-        None => StoreVar::Unset,
+        None => EnvVar::Unset,
         Some(raw) => {
             let trimmed = raw.trim();
             match trimmed {
-                "" => StoreVar::Invalid,
-                "0" | "off" | "false" => StoreVar::Unset,
-                dir => StoreVar::Dir(PathBuf::from(dir)),
+                "" => EnvVar::Invalid,
+                "0" | "off" | "false" => EnvVar::Unset,
+                dir => EnvVar::Value(PathBuf::from(dir)),
             }
         }
     }
 }
 
-/// How one `YALI_STORE_MAX_BYTES` value parsed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MaxBytesVar {
-    /// Variable not set: no cap.
-    Unset,
-    /// A positive byte count.
-    Cap(u64),
-    /// Set but unusable (unparsable, empty, or zero).
-    Invalid,
-}
-
 /// Parses a `YALI_STORE_MAX_BYTES` value: a positive integer byte count,
 /// with optional `k`/`m`/`g` (binary) suffix. Zero, blanks, and
-/// non-numbers are [`MaxBytesVar::Invalid`] — the caller warns once and
-/// runs uncapped rather than panicking.
-pub fn parse_max_bytes(v: Option<&str>) -> MaxBytesVar {
+/// non-numbers are [`EnvVar::Invalid`] — the caller warns once and runs
+/// uncapped rather than panicking.
+pub fn parse_max_bytes(v: Option<&str>) -> EnvVar<u64> {
     let Some(raw) = v else {
-        return MaxBytesVar::Unset;
+        return EnvVar::Unset;
     };
     let t = raw.trim();
     let (digits, mult) = match t.char_indices().last() {
@@ -687,30 +663,21 @@ pub fn parse_max_bytes(v: Option<&str>) -> MaxBytesVar {
     };
     match digits.trim().parse::<u64>() {
         Ok(n) if n >= 1 => match n.checked_mul(mult) {
-            Some(b) => MaxBytesVar::Cap(b),
-            None => MaxBytesVar::Invalid,
+            Some(b) => EnvVar::Value(b),
+            None => EnvVar::Invalid,
         },
-        _ => MaxBytesVar::Invalid,
+        _ => EnvVar::Invalid,
     }
 }
 
 fn max_bytes_cap() -> Option<u64> {
-    let var = std::env::var("YALI_STORE_MAX_BYTES").ok();
-    match parse_max_bytes(var.as_deref()) {
-        MaxBytesVar::Cap(b) => Some(b),
-        MaxBytesVar::Unset => None,
-        MaxBytesVar::Invalid => {
-            static WARNED: AtomicBool = AtomicBool::new(false);
-            if !WARNED.swap(true, Ordering::Relaxed) {
-                yali_obs::warn(&format!(
-                    "YALI_STORE_MAX_BYTES={:?} is not a positive byte count; \
-                     running with no store size cap",
-                    var.unwrap_or_default()
-                ));
-            }
-            None
-        }
-    }
+    static ONCE: WarnOnce = WarnOnce::new();
+    yali_obs::env_once(
+        "YALI_STORE_MAX_BYTES",
+        &ONCE,
+        "is not a positive byte count; running with no store size cap",
+        parse_max_bytes,
+    )
 }
 
 /// The process-wide store slot: `None` until first use, then either the
@@ -725,17 +692,15 @@ static ENV_CONSULTED: OnceLock<()> = OnceLock::new();
 /// store could not come up.
 pub fn active() -> Option<Arc<ArtifactStore>> {
     ENV_CONSULTED.get_or_init(|| {
-        let var = std::env::var("YALI_STORE").ok();
-        match parse_store(var.as_deref()) {
-            StoreVar::Unset => {}
-            StoreVar::Invalid => {
-                yali_obs::warn(&format!(
-                    "YALI_STORE={:?} is not a usable directory path; \
-                     running with in-memory caches only",
-                    var.unwrap_or_default()
-                ));
-            }
-            StoreVar::Dir(dir) => match ArtifactStore::open(&dir) {
+        static ONCE: WarnOnce = WarnOnce::new();
+        let dir = yali_obs::env_once(
+            "YALI_STORE",
+            &ONCE,
+            "is not a usable directory path; running with in-memory caches only",
+            parse_store,
+        );
+        if let Some(dir) = dir {
+            match ArtifactStore::open(&dir) {
                 Ok(store) => {
                     *STORE_SLOT.lock().unwrap() = Some(Arc::new(store));
                 }
@@ -746,7 +711,7 @@ pub fn active() -> Option<Arc<ArtifactStore>> {
                         dir.display()
                     ));
                 }
-            },
+            }
         }
     });
     STORE_SLOT.lock().unwrap().clone()
@@ -1006,29 +971,29 @@ mod tests {
 
     #[test]
     fn parse_store_discipline() {
-        assert_eq!(parse_store(None), StoreVar::Unset);
-        assert_eq!(parse_store(Some("0")), StoreVar::Unset);
-        assert_eq!(parse_store(Some("off")), StoreVar::Unset);
-        assert_eq!(parse_store(Some("")), StoreVar::Invalid);
-        assert_eq!(parse_store(Some("   ")), StoreVar::Invalid);
+        assert_eq!(parse_store(None), EnvVar::<PathBuf>::Unset);
+        assert_eq!(parse_store(Some("0")), EnvVar::<PathBuf>::Unset);
+        assert_eq!(parse_store(Some("off")), EnvVar::<PathBuf>::Unset);
+        assert_eq!(parse_store(Some("")), EnvVar::Invalid);
+        assert_eq!(parse_store(Some("   ")), EnvVar::Invalid);
         assert_eq!(
             parse_store(Some(" /tmp/yali-store ")),
-            StoreVar::Dir(PathBuf::from("/tmp/yali-store"))
+            EnvVar::Value(PathBuf::from("/tmp/yali-store"))
         );
     }
 
     #[test]
     fn parse_max_bytes_discipline() {
-        assert_eq!(parse_max_bytes(None), MaxBytesVar::Unset);
-        assert_eq!(parse_max_bytes(Some("1024")), MaxBytesVar::Cap(1024));
-        assert_eq!(parse_max_bytes(Some(" 8k ")), MaxBytesVar::Cap(8192));
-        assert_eq!(parse_max_bytes(Some("2M")), MaxBytesVar::Cap(2 << 20));
-        assert_eq!(parse_max_bytes(Some("1g")), MaxBytesVar::Cap(1 << 30));
-        assert_eq!(parse_max_bytes(Some("0")), MaxBytesVar::Invalid);
-        assert_eq!(parse_max_bytes(Some("")), MaxBytesVar::Invalid);
-        assert_eq!(parse_max_bytes(Some("abc")), MaxBytesVar::Invalid);
-        assert_eq!(parse_max_bytes(Some("-5")), MaxBytesVar::Invalid);
-        assert_eq!(parse_max_bytes(Some("12q")), MaxBytesVar::Invalid);
+        assert_eq!(parse_max_bytes(None), EnvVar::<u64>::Unset);
+        assert_eq!(parse_max_bytes(Some("1024")), EnvVar::Value(1024));
+        assert_eq!(parse_max_bytes(Some(" 8k ")), EnvVar::Value(8192));
+        assert_eq!(parse_max_bytes(Some("2M")), EnvVar::Value(2 << 20));
+        assert_eq!(parse_max_bytes(Some("1g")), EnvVar::Value(1 << 30));
+        assert_eq!(parse_max_bytes(Some("0")), EnvVar::Invalid);
+        assert_eq!(parse_max_bytes(Some("")), EnvVar::Invalid);
+        assert_eq!(parse_max_bytes(Some("abc")), EnvVar::Invalid);
+        assert_eq!(parse_max_bytes(Some("-5")), EnvVar::Invalid);
+        assert_eq!(parse_max_bytes(Some("12q")), EnvVar::Invalid);
     }
 
     #[test]

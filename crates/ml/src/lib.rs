@@ -309,7 +309,17 @@ impl VectorClassifier {
     /// `threads`.
     pub fn predict_batch_with_threads(&self, xs: &[Vec<f64>], threads: usize) -> Vec<usize> {
         let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
-        chunked_map(refs.len(), threads, |lo, hi| self.predict_chunk(&refs[lo..hi]))
+        self.predict_batch_refs(&refs, threads)
+    }
+
+    /// [`VectorClassifier::predict_batch`] over borrowed rows: the entry
+    /// point for callers (the `yali-serve` batcher) whose queries arrive
+    /// scattered across owners and must be batched without copying each
+    /// feature vector into a fresh `Vec<Vec<f64>>`. Same contract: fixed
+    /// [`INFER_CHUNK`]-sized chunks on the worker pool, merged in index
+    /// order, labels bit-identical to a per-sample `predict` loop.
+    pub fn predict_batch_refs(&self, xs: &[&[f64]], threads: usize) -> Vec<usize> {
+        chunked_map(xs.len(), threads, |lo, hi| self.predict_chunk(&xs[lo..hi]))
     }
 
     /// Per-class probabilities for a whole batch, where the model defines

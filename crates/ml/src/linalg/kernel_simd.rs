@@ -35,26 +35,18 @@ use std::sync::OnceLock;
 
 use super::GemmKernel;
 
-/// How one `YALI_SIMD` value parsed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum SimdVar {
-    /// Variable not set: auto-detect.
-    Unset,
-    /// `0` (force scalar) or `1` (auto-detect, stated explicitly).
-    Force(bool),
-    /// Set but unusable; warn once and auto-detect.
-    Invalid,
-}
+use yali_obs::{EnvVar, WarnOnce};
 
-/// Parses a `YALI_SIMD` value. Surrounding whitespace is tolerated;
-/// anything other than `0` or `1` is [`SimdVar::Invalid`].
-pub(crate) fn parse_simd(v: Option<&str>) -> SimdVar {
+/// Parses a `YALI_SIMD` value: `0` forces the scalar kernel, `1` states
+/// auto-detection explicitly. Surrounding whitespace is tolerated;
+/// anything else is [`EnvVar::Invalid`].
+pub(crate) fn parse_simd(v: Option<&str>) -> EnvVar<bool> {
     match v {
-        None => SimdVar::Unset,
+        None => EnvVar::Unset,
         Some(raw) => match raw.trim() {
-            "0" => SimdVar::Force(false),
-            "1" => SimdVar::Force(true),
-            _ => SimdVar::Invalid,
+            "0" => EnvVar::Value(false),
+            "1" => EnvVar::Value(true),
+            _ => EnvVar::Invalid,
         },
     }
 }
@@ -88,18 +80,18 @@ fn detect_kernel() -> GemmKernel {
 /// the `yali-obs` trace sink) instead of silently falling back.
 pub fn active_kernel() -> GemmKernel {
     static KERNEL: OnceLock<GemmKernel> = OnceLock::new();
+    static ONCE: WarnOnce = WarnOnce::new();
     *KERNEL.get_or_init(|| {
-        let var = std::env::var("YALI_SIMD").ok();
-        match parse_simd(var.as_deref()) {
-            SimdVar::Force(false) => GemmKernel::Scalar,
-            SimdVar::Force(true) | SimdVar::Unset => detect_kernel(),
-            SimdVar::Invalid => {
-                yali_obs::warn(&format!(
-                    "YALI_SIMD={:?} is not 0 or 1; falling back to CPU feature detection",
-                    var.unwrap_or_default()
-                ));
-                detect_kernel()
-            }
+        match yali_obs::env_once(
+            "YALI_SIMD",
+            &ONCE,
+            "is not 0 or 1; falling back to CPU feature detection",
+            parse_simd,
+        ) {
+            Some(false) => GemmKernel::Scalar,
+            // `1` states auto-detection explicitly; unset (or invalid,
+            // after its one warning) detects too.
+            Some(true) | None => detect_kernel(),
         }
     })
 }
@@ -678,13 +670,13 @@ mod tests {
 
     #[test]
     fn simd_var_parses_like_threads_var() {
-        assert_eq!(parse_simd(None), SimdVar::Unset);
-        assert_eq!(parse_simd(Some("0")), SimdVar::Force(false));
-        assert_eq!(parse_simd(Some("1")), SimdVar::Force(true));
-        assert_eq!(parse_simd(Some(" 0 ")), SimdVar::Force(false));
-        assert_eq!(parse_simd(Some("\t1\n")), SimdVar::Force(true));
+        assert_eq!(parse_simd(None), EnvVar::<bool>::Unset);
+        assert_eq!(parse_simd(Some("0")), EnvVar::Value(false));
+        assert_eq!(parse_simd(Some("1")), EnvVar::Value(true));
+        assert_eq!(parse_simd(Some(" 0 ")), EnvVar::Value(false));
+        assert_eq!(parse_simd(Some("\t1\n")), EnvVar::Value(true));
         for garbage in ["", "  ", "2", "-1", "yes", "avx2", "0x1"] {
-            assert_eq!(parse_simd(Some(garbage)), SimdVar::Invalid, "{garbage:?}");
+            assert_eq!(parse_simd(Some(garbage)), EnvVar::Invalid, "{garbage:?}");
         }
     }
 

@@ -702,6 +702,72 @@ pub fn epoch_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
+// --- YALI_* environment knobs --------------------------------------------
+//
+// Every engine knob shares one contract: unset means "use the default",
+// a parsable value wins, and a set-but-garbage value must warn exactly
+// once per process (stderr plus the trace sink) and then behave as
+// unset — experiments degrade loudly, they never abort. The three-state
+// parse result and the warn-once plumbing live here so the per-knob code
+// is only the parse function itself.
+
+/// How one `YALI_*` environment variable parsed. Each knob supplies its
+/// own parse function; this is the shared shape of the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvVar<T> {
+    /// Variable not set (or an explicit "off" spelling): use the default.
+    Unset,
+    /// A usable value.
+    Value(T),
+    /// Set but unusable; the caller warns once and uses the default.
+    Invalid,
+}
+
+/// One-shot latch backing the warn-once discipline. Declare one
+/// `static` per knob and pass it to [`env_once`].
+pub struct WarnOnce(AtomicBool);
+
+impl WarnOnce {
+    /// A fresh latch (usable in `static` position).
+    pub const fn new() -> Self {
+        WarnOnce(AtomicBool::new(false))
+    }
+
+    /// Emits `msg` through [`warn`] the first time only.
+    pub fn warn(&self, msg: &str) {
+        if !self.0.swap(true, Ordering::Relaxed) {
+            warn(msg);
+        }
+    }
+}
+
+impl Default for WarnOnce {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reads the environment variable `name`, runs `parse` on it, and maps
+/// the result to `Some(value)` / `None`. An [`EnvVar::Invalid`] parse
+/// warns once through `once` as `"NAME="raw" invalid_msg"` — the message
+/// fragment states what was expected and what the fallback is.
+pub fn env_once<T>(
+    name: &str,
+    once: &WarnOnce,
+    invalid_msg: &str,
+    parse: impl FnOnce(Option<&str>) -> EnvVar<T>,
+) -> Option<T> {
+    let raw = std::env::var(name).ok();
+    match parse(raw.as_deref()) {
+        EnvVar::Value(v) => Some(v),
+        EnvVar::Unset => None,
+        EnvVar::Invalid => {
+            once.warn(&format!("{name}={:?} {invalid_msg}", raw.unwrap_or_default()));
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -943,5 +1009,46 @@ mod tests {
         let b = std::thread::spawn(thread_id).join().unwrap();
         assert_ne!(a, b);
         assert!(a >= 1 && b >= 1);
+    }
+
+    fn parse_positive(v: Option<&str>) -> EnvVar<usize> {
+        match v {
+            None => EnvVar::Unset,
+            Some(raw) => match raw.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => EnvVar::Value(n),
+                _ => EnvVar::Invalid,
+            },
+        }
+    }
+
+    #[test]
+    fn env_once_maps_the_three_states() {
+        static ONCE: WarnOnce = WarnOnce::new();
+        // Unset: the variable name is unique to this test, so it is absent.
+        assert_eq!(
+            env_once("YALI_TEST_ENV_ONCE_UNSET", &ONCE, "msg", parse_positive),
+            None
+        );
+        std::env::set_var("YALI_TEST_ENV_ONCE_VALUE", " 7 ");
+        assert_eq!(
+            env_once("YALI_TEST_ENV_ONCE_VALUE", &ONCE, "msg", parse_positive),
+            Some(7)
+        );
+        std::env::set_var("YALI_TEST_ENV_ONCE_BAD", "banana");
+        assert_eq!(
+            env_once("YALI_TEST_ENV_ONCE_BAD", &ONCE, "msg", parse_positive),
+            None
+        );
+    }
+
+    #[test]
+    fn warn_once_latches_after_the_first_emission() {
+        let once = WarnOnce::new();
+        assert!(!once.0.load(Ordering::Relaxed));
+        once.warn("test warn-once latch (expected once on stderr)");
+        assert!(once.0.load(Ordering::Relaxed));
+        // A second warn must be a no-op; the latch stays set.
+        once.warn("test warn-once latch (must NOT appear)");
+        assert!(once.0.load(Ordering::Relaxed));
     }
 }

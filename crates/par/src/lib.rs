@@ -28,28 +28,19 @@
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// How one `YALI_THREADS` value parsed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ThreadsVar {
-    /// Variable not set: use the machine's parallelism.
-    Unset,
-    /// A positive integer.
-    Count(usize),
-    /// Set but unusable (unparsable, empty, or zero).
-    Invalid,
-}
+use yali_obs::{EnvVar, WarnOnce};
 
 /// Parses a `YALI_THREADS` value. Surrounding whitespace is tolerated;
-/// zero, an empty/blank string, and non-numbers are [`ThreadsVar::Invalid`].
-fn parse_threads(v: Option<&str>) -> ThreadsVar {
+/// zero, an empty/blank string, and non-numbers are [`EnvVar::Invalid`].
+fn parse_threads(v: Option<&str>) -> EnvVar<usize> {
     match v {
-        None => ThreadsVar::Unset,
+        None => EnvVar::Unset,
         Some(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => ThreadsVar::Count(n),
-            _ => ThreadsVar::Invalid,
+            Ok(n) if n >= 1 => EnvVar::Value(n),
+            _ => EnvVar::Invalid,
         },
     }
 }
@@ -60,22 +51,14 @@ fn parse_threads(v: Option<&str>) -> ThreadsVar {
 /// once per process (stderr plus the `yali-obs` trace sink) instead of
 /// silently falling back.
 pub fn worker_count() -> usize {
-    let var = std::env::var("YALI_THREADS").ok();
-    match parse_threads(var.as_deref()) {
-        ThreadsVar::Count(n) => n,
-        ThreadsVar::Unset => machine_parallelism(),
-        ThreadsVar::Invalid => {
-            static WARNED: AtomicBool = AtomicBool::new(false);
-            if !WARNED.swap(true, Ordering::Relaxed) {
-                yali_obs::warn(&format!(
-                    "YALI_THREADS={:?} is not a positive integer; falling back to the \
-                     machine's available parallelism",
-                    var.unwrap_or_default()
-                ));
-            }
-            machine_parallelism()
-        }
-    }
+    static ONCE: WarnOnce = WarnOnce::new();
+    yali_obs::env_once(
+        "YALI_THREADS",
+        &ONCE,
+        "is not a positive integer; falling back to the machine's available parallelism",
+        parse_threads,
+    )
+    .unwrap_or_else(machine_parallelism)
 }
 
 fn machine_parallelism() -> usize {
@@ -247,30 +230,30 @@ mod tests {
 
     #[test]
     fn threads_var_zero_is_invalid_not_a_silent_fallback() {
-        assert_eq!(parse_threads(Some("0")), ThreadsVar::Invalid);
+        assert_eq!(parse_threads(Some("0")), EnvVar::Invalid);
     }
 
     #[test]
     fn threads_var_garbage_is_invalid() {
-        assert_eq!(parse_threads(Some("abc")), ThreadsVar::Invalid);
-        assert_eq!(parse_threads(Some("-3")), ThreadsVar::Invalid);
-        assert_eq!(parse_threads(Some("4x")), ThreadsVar::Invalid);
+        assert_eq!(parse_threads(Some("abc")), EnvVar::Invalid);
+        assert_eq!(parse_threads(Some("-3")), EnvVar::Invalid);
+        assert_eq!(parse_threads(Some("4x")), EnvVar::Invalid);
     }
 
     #[test]
     fn threads_var_whitespace_cases() {
         // Pure whitespace is invalid; whitespace around a number is fine.
-        assert_eq!(parse_threads(Some("   ")), ThreadsVar::Invalid);
-        assert_eq!(parse_threads(Some("")), ThreadsVar::Invalid);
-        assert_eq!(parse_threads(Some(" 8 ")), ThreadsVar::Count(8));
-        assert_eq!(parse_threads(Some("\t4\n")), ThreadsVar::Count(4));
+        assert_eq!(parse_threads(Some("   ")), EnvVar::Invalid);
+        assert_eq!(parse_threads(Some("")), EnvVar::Invalid);
+        assert_eq!(parse_threads(Some(" 8 ")), EnvVar::Value(8));
+        assert_eq!(parse_threads(Some("\t4\n")), EnvVar::Value(4));
     }
 
     #[test]
     fn threads_var_valid_and_unset() {
-        assert_eq!(parse_threads(Some("1")), ThreadsVar::Count(1));
-        assert_eq!(parse_threads(Some("16")), ThreadsVar::Count(16));
-        assert_eq!(parse_threads(None), ThreadsVar::Unset);
+        assert_eq!(parse_threads(Some("1")), EnvVar::Value(1));
+        assert_eq!(parse_threads(Some("16")), EnvVar::Value(16));
+        assert_eq!(parse_threads(None), EnvVar::<usize>::Unset);
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct DiffConfig {
     /// A benchmark mode's speedup-vs-serial must stay at least this
     /// fraction of its old value.
     pub min_speedup_ratio: f64,
+    /// A serving mode's p99 latency may grow by at most this factor
+    /// (applied only when both reports carry `p99_ns`).
+    pub max_p99_ratio: f64,
+    /// A serving mode's sustained throughput must stay at least this
+    /// fraction of its old value (applied only when both reports carry
+    /// `qps`).
+    pub min_qps_ratio: f64,
 }
 
 impl Default for DiffConfig {
@@ -47,6 +54,8 @@ impl Default for DiffConfig {
             min_phase_ns: 50_000.0,
             max_hit_drop: 0.15,
             min_speedup_ratio: 0.5,
+            max_p99_ratio: 3.0,
+            min_qps_ratio: 0.5,
         }
     }
 }
@@ -257,20 +266,45 @@ fn diff_bench(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<Vec<Violatio
             });
             continue;
         };
-        let (Some(o), Some(n)) = (
+        if let (Some(o), Some(n)) = (
             om.get("speedup_vs_serial").as_f64(),
             nm.get("speedup_vs_serial").as_f64(),
-        ) else {
-            continue;
-        };
-        if o > 0.0 && n < o * cfg.min_speedup_ratio {
-            out.push(Violation {
-                metric: format!("mode {name} speedup_vs_serial"),
-                detail: format!(
-                    "fell from {o:.2}x to {n:.2}x (below {:.0}% of the baseline)",
-                    cfg.min_speedup_ratio * 100.0
-                ),
-            });
+        ) {
+            if o > 0.0 && n < o * cfg.min_speedup_ratio {
+                out.push(Violation {
+                    metric: format!("mode {name} speedup_vs_serial"),
+                    detail: format!(
+                        "fell from {o:.2}x to {n:.2}x (below {:.0}% of the baseline)",
+                        cfg.min_speedup_ratio * 100.0
+                    ),
+                });
+            }
+        }
+        // Serving modes (BENCH_serve.json) additionally carry tail-latency
+        // and throughput fields; both sides must have them to compare — a
+        // plain throughput bench without percentiles is not penalized.
+        if let (Some(o), Some(n)) = (om.get("p99_ns").as_f64(), nm.get("p99_ns").as_f64()) {
+            if o > 0.0 && n > o * cfg.max_p99_ratio {
+                out.push(Violation {
+                    metric: format!("mode {name} p99_ns"),
+                    detail: format!(
+                        "tail latency grew from {o:.0}ns to {n:.0}ns ({:.1}x > {:.1}x ceiling)",
+                        n / o,
+                        cfg.max_p99_ratio
+                    ),
+                });
+            }
+        }
+        if let (Some(o), Some(n)) = (om.get("qps").as_f64(), nm.get("qps").as_f64()) {
+            if o > 0.0 && n < o * cfg.min_qps_ratio {
+                out.push(Violation {
+                    metric: format!("mode {name} qps"),
+                    detail: format!(
+                        "throughput fell from {o:.1} to {n:.1} qps (below {:.0}% of the baseline)",
+                        cfg.min_qps_ratio * 100.0
+                    ),
+                });
+            }
         }
     }
     Ok(out)
@@ -392,6 +426,50 @@ mod tests {
         let gone: Value = serde_json::from_str(r#"{"modes":[]}"#).unwrap();
         let violations = diff_values(&mk(2.2), &gone, &cfg).unwrap();
         assert_eq!(violations[0].metric, "mode sweep/parallel_cached");
+    }
+
+    #[test]
+    fn serve_bench_p99_ceiling_and_qps_floor() {
+        let mk = |p99: f64, qps: f64| -> Value {
+            serde_json::from_str(&format!(
+                r#"{{"modes":[{{"name":"serve/batched","mean_ns":5.0,"speedup_vs_serial":2.5,
+                     "p99_ns":{p99},"qps":{qps}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let cfg = DiffConfig::default();
+        // Mild drift on both axes passes.
+        assert!(diff_values(&mk(2_000_000.0, 900.0), &mk(4_000_000.0, 700.0), &cfg)
+            .unwrap()
+            .is_empty());
+        // Tail latency past the ceiling fails and names the mode.
+        let violations =
+            diff_values(&mk(2_000_000.0, 900.0), &mk(9_000_000.0, 900.0), &cfg).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "mode serve/batched p99_ns");
+        // Throughput under the floor fails.
+        let violations =
+            diff_values(&mk(2_000_000.0, 900.0), &mk(2_000_000.0, 300.0), &cfg).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "mode serve/batched qps");
+        // Thresholds are tunable like the speedup floor.
+        let loose = DiffConfig {
+            max_p99_ratio: 10.0,
+            min_qps_ratio: 0.1,
+            ..DiffConfig::default()
+        };
+        assert!(diff_values(&mk(2_000_000.0, 900.0), &mk(9_000_000.0, 300.0), &loose)
+            .unwrap()
+            .is_empty());
+        // Reports without the serving fields are not penalized.
+        let plain: Value = serde_json::from_str(
+            r#"{"modes":[{"name":"serve/batched","mean_ns":5.0,"speedup_vs_serial":2.5}]}"#,
+        )
+        .unwrap();
+        assert!(diff_values(&plain, &plain, &cfg).unwrap().is_empty());
+        assert!(diff_values(&plain, &mk(2_000_000.0, 900.0), &cfg)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

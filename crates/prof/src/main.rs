@@ -19,6 +19,8 @@ USAGE:
       --max-phase-ratio X     phase mean_ns growth cap     (default 10)
       --max-hit-drop X        cache hit-ratio drop cap     (default 0.15)
       --min-speedup-ratio X   speedup floor vs baseline    (default 0.5)
+      --max-p99-ratio X       serve p99 latency ceiling    (default 3)
+      --min-qps-ratio X       serve throughput floor       (default 0.5)
       --min-phase-ns X        ignore phases faster than X  (default 50000)
   yali-prof selfcheck                           golden-fixture round trip
 
@@ -144,11 +146,13 @@ fn run() -> i32 {
         }
         "diff" => {
             let mut cfg = DiffConfig::default();
-            let flags: [(&str, &mut f64); 4] = [
+            let flags: [(&str, &mut f64); 6] = [
                 ("--max-counter-ratio", &mut cfg.max_counter_ratio),
                 ("--max-phase-ratio", &mut cfg.max_phase_ratio),
                 ("--max-hit-drop", &mut cfg.max_hit_drop),
                 ("--min-speedup-ratio", &mut cfg.min_speedup_ratio),
+                ("--max-p99-ratio", &mut cfg.max_p99_ratio),
+                ("--min-qps-ratio", &mut cfg.min_qps_ratio),
             ];
             for (flag, slot) in flags {
                 match take_flag::<f64>(&mut args, flag) {

@@ -1,0 +1,300 @@
+//! The deadline/size batcher: the server's coalescing core, kept pure.
+//!
+//! A [`Batcher`] holds pending work in per-lane FIFO queues (one lane per
+//! model, one for the scanner) under one global admission cap, and
+//! decides *when* a lane dispatches: at [`BatcherConfig::max_batch`] rows,
+//! or when the lane's oldest row has waited
+//! [`BatcherConfig::deadline_ns`], whichever comes first — "dispatch at
+//! 32 rows or 2 ms".
+//!
+//! The struct is deliberately socket-free and clock-free: every method
+//! takes `now_ns` from the caller, so the proptests drive arbitrary
+//! arrival orders and clock schedules deterministically, and the batching
+//! policy is testable without a single thread or TCP connection. The
+//! server supplies `yali_obs::epoch_ns()` as the clock.
+//!
+//! Invariants (proptested in `tests/batcher_props.rs`):
+//!
+//! * every offered item is popped exactly once, in FIFO order per lane;
+//! * no batch exceeds `max_batch` rows or mixes lanes;
+//! * `offer` refuses (and the batcher is unchanged) exactly when the
+//!   global queue is at `queue_cap`;
+//! * a lane with `max_batch` rows is dispatchable immediately; an
+//!   underfull lane is dispatchable exactly from its oldest row's
+//!   enqueue time plus `deadline_ns`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Batching policy knobs (see the crate root for the `YALI_SERVE_*`
+/// environment variables that feed them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Dispatch a lane as soon as it holds this many rows; no batch is
+    /// ever larger. The serving default is `yali_ml::INFER_CHUNK`, so a
+    /// full batch is exactly one inference chunk.
+    pub max_batch: usize,
+    /// Dispatch an underfull lane once its oldest row has waited this
+    /// long (the latency bound a mostly-idle server puts on coalescing).
+    pub deadline_ns: u64,
+    /// Global admission cap across all lanes; `offer` refuses beyond it.
+    pub queue_cap: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: yali_ml::INFER_CHUNK,
+            deadline_ns: 2_000_000, // 2 ms
+            queue_cap: 1024,
+        }
+    }
+}
+
+/// One queued item plus its enqueue time (the dispatch path turns the
+/// difference into the queue-wait histogram).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pending<T> {
+    /// The queued work item.
+    pub item: T,
+    /// Clock reading when `offer` accepted the item.
+    pub enqueued_ns: u64,
+}
+
+/// Why a batch dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// The lane reached `max_batch` rows.
+    Full,
+    /// The lane's oldest row aged past `deadline_ns`.
+    Deadline,
+    /// Shutdown drain ([`Batcher::pop_any`]).
+    Drain,
+}
+
+/// One dispatched batch: up to `max_batch` rows from a single lane, in
+/// arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch<T> {
+    /// The lane every row came from.
+    pub lane: u32,
+    /// The rows, oldest first.
+    pub items: Vec<Pending<T>>,
+    /// What fired the dispatch.
+    pub trigger: Trigger,
+}
+
+/// The pure batching state machine. See the module docs for the
+/// invariants.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    cfg: BatcherConfig,
+    lanes: BTreeMap<u32, VecDeque<Pending<T>>>,
+    len: usize,
+}
+
+impl<T> Batcher<T> {
+    /// An empty batcher with the given policy. `max_batch` and
+    /// `queue_cap` are clamped to at least 1 — a zero would deadlock
+    /// every request, and misconfiguration must degrade, not hang.
+    pub fn new(cfg: BatcherConfig) -> Self {
+        let cfg = BatcherConfig {
+            max_batch: cfg.max_batch.max(1),
+            queue_cap: cfg.queue_cap.max(1),
+            ..cfg
+        };
+        Batcher {
+            cfg,
+            lanes: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> BatcherConfig {
+        self.cfg
+    }
+
+    /// Total queued rows across all lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Admits one item into `lane` at clock `now_ns`. Returns `false` —
+    /// and leaves the batcher untouched — when the global queue is at
+    /// `queue_cap`; the caller answers `overloaded` instead of queueing.
+    pub fn offer(&mut self, lane: u32, item: T, now_ns: u64) -> bool {
+        if self.len >= self.cfg.queue_cap {
+            return false;
+        }
+        self.lanes.entry(lane).or_default().push_back(Pending {
+            item,
+            enqueued_ns: now_ns,
+        });
+        self.len += 1;
+        true
+    }
+
+    /// The clock reading at which [`Batcher::pop_ready`] will next have
+    /// work, or `None` when empty. A full lane is ready immediately (its
+    /// own deadline is reported, which is already in the past or moot);
+    /// otherwise this is the earliest oldest-row deadline — the
+    /// dispatcher sleeps until this instant, or until `offer` wakes it.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        for q in self.lanes.values() {
+            let Some(front) = q.front() else { continue };
+            let at = if q.len() >= self.cfg.max_batch {
+                front.enqueued_ns // full: ready since its oldest row arrived
+            } else {
+                front.enqueued_ns + self.cfg.deadline_ns
+            };
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        next
+    }
+
+    /// Removes and returns the next dispatchable batch at clock `now_ns`,
+    /// or `None` when no lane is full and no deadline has expired. Full
+    /// lanes win over expired ones (they bound memory); ties break toward
+    /// the lane whose oldest row has waited longest, then the lowest lane
+    /// id — deterministic for the proptests.
+    pub fn pop_ready(&mut self, now_ns: u64) -> Option<Batch<T>> {
+        let pick = |pred: &dyn Fn(&VecDeque<Pending<T>>) -> bool| -> Option<u32> {
+            self.lanes
+                .iter()
+                .filter(|(_, q)| !q.is_empty() && pred(q))
+                // min_by_key is stable-first on ties, and the BTreeMap
+                // iterates in ascending lane order.
+                .min_by_key(|(_, q)| q.front().map_or(u64::MAX, |p| p.enqueued_ns))
+                .map(|(&lane, _)| lane)
+        };
+        let full = pick(&|q| q.len() >= self.cfg.max_batch);
+        let (lane, trigger) = match full {
+            Some(lane) => (lane, Trigger::Full),
+            None => {
+                let deadline = self.cfg.deadline_ns;
+                let expired = pick(&|q| {
+                    q.front()
+                        .is_some_and(|p| now_ns.saturating_sub(p.enqueued_ns) >= deadline)
+                })?;
+                (expired, Trigger::Deadline)
+            }
+        };
+        Some(self.take_from(lane, trigger))
+    }
+
+    /// Removes and returns any remaining batch regardless of deadlines —
+    /// the shutdown drain. `None` once empty.
+    pub fn pop_any(&mut self) -> Option<Batch<T>> {
+        let lane = *self.lanes.iter().find(|(_, q)| !q.is_empty())?.0;
+        Some(self.take_from(lane, Trigger::Drain))
+    }
+
+    fn take_from(&mut self, lane: u32, trigger: Trigger) -> Batch<T> {
+        let q = self.lanes.get_mut(&lane).expect("lane exists");
+        let take = q.len().min(self.cfg.max_batch);
+        let items: Vec<Pending<T>> = q.drain(..take).collect();
+        if q.is_empty() {
+            self.lanes.remove(&lane);
+        }
+        self.len -= items.len();
+        Batch {
+            lane,
+            items,
+            trigger,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_batch: usize, deadline_ns: u64, queue_cap: usize) -> BatcherConfig {
+        BatcherConfig {
+            max_batch,
+            deadline_ns,
+            queue_cap,
+        }
+    }
+
+    #[test]
+    fn full_lane_dispatches_before_the_deadline() {
+        let mut b = Batcher::new(cfg(3, 1_000, 100));
+        assert!(b.offer(0, "a", 10));
+        assert!(b.offer(0, "b", 11));
+        assert!(b.pop_ready(12).is_none(), "underfull and young: not ready");
+        assert!(b.offer(0, "c", 12));
+        let batch = b.pop_ready(12).expect("full lane is ready immediately");
+        assert_eq!(batch.lane, 0);
+        assert_eq!(batch.trigger, Trigger::Full);
+        let items: Vec<&str> = batch.items.iter().map(|p| p.item).collect();
+        assert_eq!(items, ["a", "b", "c"]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn deadline_fires_for_an_underfull_lane() {
+        let mut b = Batcher::new(cfg(32, 1_000, 100));
+        assert!(b.offer(2, 7u32, 100));
+        assert_eq!(b.next_deadline_ns(), Some(1_100));
+        assert!(b.pop_ready(1_099).is_none());
+        let batch = b.pop_ready(1_100).expect("deadline reached");
+        assert_eq!(batch.trigger, Trigger::Deadline);
+        assert_eq!(batch.lane, 2);
+        assert_eq!(batch.items.len(), 1);
+        assert_eq!(b.next_deadline_ns(), None);
+    }
+
+    #[test]
+    fn admission_cap_refuses_without_mutating() {
+        let mut b = Batcher::new(cfg(4, 1_000, 2));
+        assert!(b.offer(0, 1, 0));
+        assert!(b.offer(1, 2, 0));
+        assert!(!b.offer(0, 3, 0), "at cap: refused");
+        assert_eq!(b.len(), 2);
+        // Popping frees capacity again.
+        let _ = b.pop_ready(5_000).expect("deadline expired");
+        assert!(b.offer(0, 3, 5_000));
+    }
+
+    #[test]
+    fn oldest_lane_wins_ties_and_batches_never_mix_lanes() {
+        let mut b = Batcher::new(cfg(2, 100, 100));
+        assert!(b.offer(5, "late", 50));
+        assert!(b.offer(3, "early", 40));
+        // Both expired at t=200; lane 3's row is older.
+        let first = b.pop_ready(200).unwrap();
+        assert_eq!(first.lane, 3);
+        let second = b.pop_ready(200).unwrap();
+        assert_eq!(second.lane, 5);
+    }
+
+    #[test]
+    fn pop_any_drains_everything_in_lane_order() {
+        let mut b = Batcher::new(cfg(2, 1 << 60, 100));
+        for i in 0..5 {
+            assert!(b.offer(i % 2, i, 0));
+        }
+        let mut drained = 0;
+        while let Some(batch) = b.pop_any() {
+            assert!(batch.items.len() <= 2);
+            assert_eq!(batch.trigger, Trigger::Drain);
+            drained += batch.items.len();
+        }
+        assert_eq!(drained, 5);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn zero_knobs_are_clamped_to_one() {
+        let b: Batcher<u8> = Batcher::new(cfg(0, 0, 0));
+        assert_eq!(b.config().max_batch, 1);
+        assert_eq!(b.config().queue_cap, 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! A minimal blocking client: one connection, one outstanding request.
+//!
+//! The protocol allows pipelining (ids are echoed), but every consumer in
+//! this repo — the CLI, the smoke test, the closed-loop bench workers —
+//! wants exactly the one-outstanding-request shape, so that is all this
+//! client implements. Each call sends one frame and blocks for the
+//! matching reply.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{self, Reply, Request};
+
+/// A connected verdict-API client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running server (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        protocol::write_frame(&mut self.writer, &protocol::encode_request(id, req))?;
+        self.writer.flush()?;
+        let payload = protocol::read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        let (got_id, reply) = protocol::decode_reply(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if got_id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("reply id {got_id} does not match request id {id}"),
+            ));
+        }
+        Ok(reply)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<Reply> {
+        self.call(&Request::Ping)
+    }
+
+    /// Classifies one feature vector with the model at roster index
+    /// `model`. The returned [`Reply`] is `Label` on success, or one of
+    /// the refusal statuses.
+    pub fn classify(&mut self, model: u8, features: Vec<f64>) -> io::Result<Reply> {
+        self.call(&Request::Classify { model, features })
+    }
+
+    /// Scans MiniC source with the anti-virus tenant.
+    pub fn scan(&mut self, source: &str) -> io::Result<Reply> {
+        self.call(&Request::Scan {
+            source: source.to_string(),
+        })
+    }
+
+    /// Server counters snapshot.
+    pub fn stats(&mut self) -> io::Result<Reply> {
+        self.call(&Request::Stats)
+    }
+
+    /// Requests a graceful shutdown; `Ok` acks that the drain began.
+    pub fn shutdown(&mut self) -> io::Result<Reply> {
+        self.call(&Request::Shutdown)
+    }
+}

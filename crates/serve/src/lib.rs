@@ -1,0 +1,177 @@
+//! # yali-serve
+//!
+//! Classification-as-a-service: a long-lived TCP daemon that puts the
+//! engine's batched inference wins (GEMM chunk kernels, the `yali-par`
+//! pool) online for concurrent single-query clients.
+//!
+//! The problem it solves: `predict_batch` is ~4x cheaper per row than a
+//! `predict` loop, but only a caller already holding a full `Vec` of
+//! queries can use it. A fleet of clients each holding *one* query gets
+//! the serial price — unless something coalesces them. This crate is that
+//! something: concurrent in-flight requests are merged into
+//! [`yali_ml::INFER_CHUNK`]-sized batches on a deadline ("dispatch at 32
+//! rows or 2 ms, whichever first") and dispatched through
+//! `predict_batch`, with each verdict streamed back on its own
+//! connection.
+//!
+//! The correctness invariant is absolute: **a served verdict is
+//! bit-identical to a direct `predict` call for the same model and
+//! input**, regardless of how requests were coalesced. This holds
+//! because features travel bit-exact (`f64::to_le_bytes`), and because
+//! `predict_batch`'s chunk decomposition is a function of batch length
+//! only (PR 3's contract) — the batcher never reorders within a lane and
+//! the chunk kernels are bit-stable against batch composition.
+//!
+//! Module map: [`protocol`] (framing + codecs), [`batcher`] (the pure
+//! deadline/size state machine), [`server`] (daemon threads), [`client`]
+//! (blocking caller). The first tenants are the six vector classifiers
+//! and the signature anti-virus ([`yali_core::SignatureScanner`], the
+//! fig16 stand-in) — an antivirus verdict API.
+//!
+//! # Environment knobs
+//!
+//! * `YALI_SERVE_QUEUE` — admission cap (rows across all lanes) before
+//!   requests are refused as `overloaded`; default 1024.
+//! * `YALI_SERVE_DEADLINE_US` — the batching deadline in microseconds;
+//!   default 2000 (2 ms).
+//!
+//! Both parse with the same warn-once discipline as `YALI_THREADS`
+//! (through [`yali_obs::env_once`]): a set-but-garbage value warns once
+//! on stderr and falls back to the default.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+use yali_core::{MalwareCorpus, SignatureScanner};
+use yali_ml::{ModelKind, TrainConfig};
+use yali_obs::{EnvVar, WarnOnce};
+
+pub use batcher::{Batch, Batcher, BatcherConfig, Pending, Trigger};
+pub use client::Client;
+pub use protocol::{Reply, Request};
+pub use server::{Server, Tenants, SCAN_LANE};
+
+/// Parses a positive integer knob value (`YALI_SERVE_QUEUE`,
+/// `YALI_SERVE_DEADLINE_US`). Surrounding whitespace is tolerated; zero,
+/// blanks, and non-numbers are [`EnvVar::Invalid`].
+pub fn parse_positive(v: Option<&str>) -> EnvVar<u64> {
+    match v {
+        None => EnvVar::Unset,
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(n) if n >= 1 => EnvVar::Value(n),
+            _ => EnvVar::Invalid,
+        },
+    }
+}
+
+/// The admission cap from `YALI_SERVE_QUEUE` (default 1024). A
+/// set-but-invalid value warns once and uses the default.
+pub fn queue_cap_from_env() -> usize {
+    static ONCE: WarnOnce = WarnOnce::new();
+    yali_obs::env_once(
+        "YALI_SERVE_QUEUE",
+        &ONCE,
+        "is not a positive integer; using the default queue cap of 1024",
+        parse_positive,
+    )
+    .map_or(1024, |n| n as usize)
+}
+
+/// The batching deadline from `YALI_SERVE_DEADLINE_US` in microseconds
+/// (default 2000 = 2 ms), returned in nanoseconds. A set-but-invalid
+/// value warns once and uses the default.
+pub fn deadline_ns_from_env() -> u64 {
+    static ONCE: WarnOnce = WarnOnce::new();
+    yali_obs::env_once(
+        "YALI_SERVE_DEADLINE_US",
+        &ONCE,
+        "is not a positive microsecond count; using the default 2 ms deadline",
+        parse_positive,
+    )
+    .map_or(2_000_000, |us| us.saturating_mul(1_000))
+}
+
+/// The serving batch policy: `INFER_CHUNK` rows or the environment's
+/// deadline, whichever first, under the environment's admission cap.
+pub fn config_from_env() -> BatcherConfig {
+    BatcherConfig {
+        max_batch: yali_ml::INFER_CHUNK,
+        deadline_ns: deadline_ns_from_env(),
+        queue_cap: queue_cap_from_env(),
+    }
+}
+
+/// Trains the default tenant set for a daemon: the requested classifiers
+/// on a POJ-style corpus (through `fit_vector_cached`, so a process with
+/// `YALI_STORE` attached loads the serialized models read-through from
+/// disk instead of retraining), plus the signature anti-virus built from
+/// a malware corpus — the fig16 stand-in as the verdict API's first
+/// tenant.
+pub fn train_tenants(
+    kinds: &[ModelKind],
+    classes: usize,
+    per_class: usize,
+    seed: u64,
+) -> Tenants {
+    let _span = yali_obs::span!("serve.train_tenants");
+    let corpus = yali_core::Corpus::poj(classes, per_class, seed);
+    let (train, _) = corpus.split(0.8, 7);
+    let x: Vec<Vec<f64>> = yali_core::transform_all(&train, yali_core::Transformer::None, 1)
+        .iter()
+        .map(yali_embed::histogram)
+        .collect();
+    let y: Vec<usize> = train.iter().map(|s| s.class).collect();
+    let n_features = x.first().map_or(0, Vec::len);
+    let models = kinds
+        .iter()
+        .map(|&k| {
+            let clf = yali_core::fit_vector_cached(
+                k,
+                &x,
+                &y,
+                corpus.n_classes,
+                &TrainConfig::default(),
+            );
+            (k.name().to_string(), clf)
+        })
+        .collect();
+
+    let mal = MalwareCorpus::build(6, 2, seed ^ 0xAB);
+    let mal_mods: Vec<yali_ir::Module> = mal.train_malware.iter().map(yali_minic::lower).collect();
+    let ben_mods: Vec<yali_ir::Module> = mal.train_benign.iter().map(yali_minic::lower).collect();
+    let scanner = SignatureScanner::build(&mal_mods, &ben_mods);
+
+    Tenants {
+        models,
+        n_features,
+        scanner: Some(scanner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_knobs_parse_with_the_shared_discipline() {
+        assert_eq!(parse_positive(None), EnvVar::<u64>::Unset);
+        assert_eq!(parse_positive(Some("64")), EnvVar::Value(64));
+        assert_eq!(parse_positive(Some(" 2000 ")), EnvVar::Value(2000));
+        for garbage in ["", "  ", "0", "-1", "many", "1.5"] {
+            assert_eq!(parse_positive(Some(garbage)), EnvVar::Invalid, "{garbage:?}");
+        }
+    }
+
+    #[test]
+    fn env_defaults_apply_when_unset() {
+        // The suite never sets these variables, so the defaults rule.
+        assert_eq!(queue_cap_from_env(), 1024);
+        assert_eq!(deadline_ns_from_env(), 2_000_000);
+        let cfg = config_from_env();
+        assert_eq!(cfg.max_batch, yali_ml::INFER_CHUNK);
+    }
+}

@@ -1,0 +1,209 @@
+//! The `yali-serve` CLI: run the verdict daemon, or talk to one.
+//!
+//! ```text
+//! yali-serve serve [--addr 127.0.0.1:0] [--models lr,mlp,...]
+//!                  [--classes N] [--per-class N] [--seed N]
+//!     train the tenants (read-through YALI_STORE when attached), print
+//!     "yali-serve: listening on HOST:PORT", serve until SHUTDOWN
+//! yali-serve ping     --addr HOST:PORT
+//! yali-serve classify --addr HOST:PORT --model NAME (--features a,b,... | --code SRC)
+//! yali-serve scan     --addr HOST:PORT --code SRC
+//! yali-serve stats    --addr HOST:PORT
+//! yali-serve shutdown --addr HOST:PORT
+//! ```
+//!
+//! `classify --code` compiles and embeds the MiniC source client-side
+//! (the same `yali_embed::histogram` pipeline the server trained on) and
+//! sends the resulting feature row; `--features` sends raw values.
+
+use std::process::ExitCode;
+
+use yali_ml::ModelKind;
+use yali_serve::{config_from_env, train_tenants, Client, Reply, Server};
+
+const USAGE: &str = "\
+usage: yali-serve <serve|ping|classify|scan|stats|shutdown> [options]
+  serve    [--addr 127.0.0.1:0] [--models lr,mlp,...] [--classes N] [--per-class N] [--seed N]
+  ping     --addr HOST:PORT
+  classify --addr HOST:PORT --model NAME (--features a,b,... | --code SRC)
+  scan     --addr HOST:PORT --code SRC
+  stats    --addr HOST:PORT
+  shutdown --addr HOST:PORT
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("ping") => cmd_simple(&args[1..], |c| c.ping()),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("scan") => cmd_scan(&args[1..]),
+        Some("stats") => cmd_simple(&args[1..], |c| c.stats()),
+        Some("shutdown") => cmd_simple(&args[1..], |c| c.shutdown()),
+        Some("help") | Some("--help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("yali-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One `--flag value` argument walker.
+struct Args<'a> {
+    flags: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(args: &'a [String]) -> Result<Args<'a>, String> {
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {a:?}"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name, value.as_str()));
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&'a str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn require(&self, name: &str) -> Result<&'a str, String> {
+        self.get(name).ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} {v:?} is not a count")),
+        }
+    }
+}
+
+fn model_by_name(name: &str) -> Result<ModelKind, String> {
+    ModelKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name() == name.trim())
+        .ok_or_else(|| {
+            let all: Vec<&str> = ModelKind::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown model {name:?} (known: {})", all.join(","))
+        })
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let kinds: Vec<ModelKind> = match args.get("models") {
+        None => vec![ModelKind::Lr, ModelKind::Mlp],
+        Some(list) => list
+            .split(',')
+            .map(model_by_name)
+            .collect::<Result<_, _>>()?,
+    };
+    let classes = args.get_u64("classes", 8)? as usize;
+    let per_class = args.get_u64("per-class", 12)? as usize;
+    let seed = args.get_u64("seed", 77)?;
+    let tenants = train_tenants(&kinds, classes, per_class, seed);
+    let server = Server::bind(addr, tenants, config_from_env())
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    // The smoke test and any scripted caller parse this exact line to
+    // discover the ephemeral port; keep it first and flushed.
+    println!("yali-serve: listening on {}", server.local_addr());
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn print_reply(reply: &Reply) -> Result<(), String> {
+    match reply {
+        Reply::Ok => println!("ok"),
+        Reply::Label(l) => println!("label {l}"),
+        Reply::Scan { malware, ratio } => {
+            println!("malware {malware} ratio {ratio:.4}")
+        }
+        Reply::Stats(text) => print!("{text}"),
+        Reply::Overloaded => return Err("server overloaded".to_string()),
+        Reply::BadRequest(reason) => return Err(format!("bad request: {reason}")),
+        Reply::UnknownModel => return Err("unknown model index".to_string()),
+    }
+    Ok(())
+}
+
+fn cmd_simple(
+    args: &[String],
+    call: impl FnOnce(&mut Client) -> std::io::Result<Reply>,
+) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let addr = args.require("addr")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reply = call(&mut client).map_err(|e| e.to_string())?;
+    print_reply(&reply)
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let addr = args.require("addr")?;
+    let model_name = args.require("model")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // Resolve the model name against the server's roster so the wire
+    // index always matches what the daemon actually serves.
+    let stats = match client.stats().map_err(|e| e.to_string())? {
+        Reply::Stats(text) => text,
+        other => return Err(format!("unexpected stats reply {other:?}")),
+    };
+    let roster: Vec<String> = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("models "))
+        .map(|m| m.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let model = roster
+        .iter()
+        .position(|n| n == model_name.trim())
+        .ok_or_else(|| format!("server does not serve {model_name:?} (roster: {roster:?})"))?
+        as u8;
+    let features: Vec<f64> = match (args.get("features"), args.get("code")) {
+        (Some(csv), None) => csv
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("feature {v:?} is not a number"))
+            })
+            .collect::<Result<_, _>>()?,
+        (None, Some(src)) => {
+            let module = yali_minic::compile(src).map_err(|e| format!("minic: {e}"))?;
+            yali_embed::histogram(&module)
+        }
+        _ => return Err("classify needs exactly one of --features or --code".to_string()),
+    };
+    let reply = client.classify(model, features).map_err(|e| e.to_string())?;
+    print_reply(&reply)
+}
+
+fn cmd_scan(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let addr = args.require("addr")?;
+    let code = args.require("code")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reply = client.scan(code).map_err(|e| e.to_string())?;
+    print_reply(&reply)
+}

@@ -1,0 +1,401 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! u32 LE payload length | payload
+//! ```
+//!
+//! A request payload is `u64 LE request id | u8 opcode | body`; the id is
+//! chosen by the client and echoed verbatim on the response, so a client
+//! may pipeline requests on one connection and match replies by id. A
+//! response payload is `u64 LE request id | u8 status | body`. All
+//! integers are little-endian; feature values are `f64::to_le_bytes`
+//! (bit-exact — the server classifies the very bits the client sent,
+//! which is what makes the served-verdict-equals-direct-predict invariant
+//! testable at all).
+//!
+//! The frame length is capped at [`MAX_FRAME`]; a peer announcing a
+//! larger frame is protocol-broken and the connection is dropped rather
+//! than the length trusted.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload (16 MiB) — large enough for any real
+/// feature vector or source blob, small enough that a corrupt length
+/// field cannot drive an allocation bomb.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// One request, already decoded from a frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered immediately, never batched.
+    Ping,
+    /// Classify one feature vector with the model at `model` (an index
+    /// into the serve-time model list; see `STATS` for the roster).
+    Classify {
+        /// Index into the server's model roster.
+        model: u8,
+        /// The query row, bit-exact.
+        features: Vec<f64>,
+    },
+    /// Compile MiniC source server-side and scan it with the signature
+    /// anti-virus ([`yali_core::SignatureScanner`]).
+    Scan {
+        /// MiniC translation unit text.
+        source: String,
+    },
+    /// Server counters snapshot (answered immediately, never batched).
+    Stats,
+    /// Graceful shutdown: stop accepting, drain every queued request,
+    /// answer them all, ack, exit.
+    Shutdown,
+}
+
+/// One response body, already decoded from a frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// `Ping`, `Shutdown` ack.
+    Ok,
+    /// `Classify` verdict: the predicted class label.
+    Label(u32),
+    /// `Scan` verdict: the anti-virus call and its signature match ratio.
+    Scan {
+        /// `true` when the scanner calls the module malware.
+        malware: bool,
+        /// Fraction of malware signatures the module matched.
+        ratio: f64,
+    },
+    /// `Stats` snapshot (human-readable `key value` lines).
+    Stats(String),
+    /// The admission queue is full (or the server is draining); the
+    /// request was NOT enqueued. Back off and retry.
+    Overloaded,
+    /// The request could not be honored as sent (malformed body, wrong
+    /// feature dimension, MiniC that does not compile). The string names
+    /// the reason.
+    BadRequest(String),
+    /// The `Classify` model index is outside the server's roster.
+    UnknownModel,
+}
+
+const OP_PING: u8 = 1;
+const OP_CLASSIFY: u8 = 2;
+const OP_SCAN: u8 = 3;
+const OP_STATS: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+
+const ST_OK: u8 = 0;
+const ST_LABEL: u8 = 1;
+const ST_SCAN: u8 = 2;
+const ST_STATS: u8 = 3;
+const ST_OVERLOADED: u8 = 4;
+const ST_BAD_REQUEST: u8 = 5;
+const ST_UNKNOWN_MODEL: u8 = 6;
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` is a clean EOF on the frame
+/// boundary (the peer hung up between messages); an EOF mid-frame, or a
+/// length over [`MAX_FRAME`], is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encodes a request frame payload (id + opcode + body).
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&id.to_le_bytes());
+    match req {
+        Request::Ping => out.push(OP_PING),
+        Request::Classify { model, features } => {
+            out.push(OP_CLASSIFY);
+            out.push(*model);
+            out.extend_from_slice(&(features.len() as u32).to_le_bytes());
+            for v in features {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Request::Scan { source } => {
+            out.push(OP_SCAN);
+            out.extend_from_slice(&(source.len() as u32).to_le_bytes());
+            out.extend_from_slice(source.as_bytes());
+        }
+        Request::Stats => out.push(OP_STATS),
+        Request::Shutdown => out.push(OP_SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes a request frame payload into `(id, request)`; `Err` carries
+/// the reason the payload is malformed.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), String> {
+    let mut c = Cursor::new(payload);
+    let id = c.u64()?;
+    let op = c.u8()?;
+    let req = match op {
+        OP_PING => Request::Ping,
+        OP_CLASSIFY => {
+            let model = c.u8()?;
+            let n = c.u32()? as usize;
+            if n > MAX_FRAME / 8 {
+                return Err(format!("feature count {n} is implausible"));
+            }
+            let mut features = Vec::with_capacity(n);
+            for _ in 0..n {
+                features.push(f64::from_le_bytes(c.bytes8()?));
+            }
+            Request::Classify { model, features }
+        }
+        OP_SCAN => {
+            let n = c.u32()? as usize;
+            let raw = c.take(n)?;
+            let source = String::from_utf8(raw.to_vec())
+                .map_err(|_| "scan source is not UTF-8".to_string())?;
+            Request::Scan { source }
+        }
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        other => return Err(format!("unknown opcode {other}")),
+    };
+    c.done()?;
+    Ok((id, req))
+}
+
+/// Encodes a response frame payload (id + status + body).
+pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&id.to_le_bytes());
+    match reply {
+        Reply::Ok => out.push(ST_OK),
+        Reply::Label(l) => {
+            out.push(ST_LABEL);
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        Reply::Scan { malware, ratio } => {
+            out.push(ST_SCAN);
+            out.push(*malware as u8);
+            out.extend_from_slice(&ratio.to_le_bytes());
+        }
+        Reply::Stats(text) => {
+            out.push(ST_STATS);
+            out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
+        Reply::Overloaded => out.push(ST_OVERLOADED),
+        Reply::BadRequest(reason) => {
+            out.push(ST_BAD_REQUEST);
+            out.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+            out.extend_from_slice(reason.as_bytes());
+        }
+        Reply::UnknownModel => out.push(ST_UNKNOWN_MODEL),
+    }
+    out
+}
+
+/// Decodes a response frame payload into `(id, reply)`.
+pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), String> {
+    let mut c = Cursor::new(payload);
+    let id = c.u64()?;
+    let st = c.u8()?;
+    let reply = match st {
+        ST_OK => Reply::Ok,
+        ST_LABEL => Reply::Label(c.u32()?),
+        ST_SCAN => {
+            let malware = c.u8()? != 0;
+            let ratio = f64::from_le_bytes(c.bytes8()?);
+            Reply::Scan { malware, ratio }
+        }
+        ST_STATS => {
+            let n = c.u32()? as usize;
+            let raw = c.take(n)?;
+            Reply::Stats(
+                String::from_utf8(raw.to_vec()).map_err(|_| "stats not UTF-8".to_string())?,
+            )
+        }
+        ST_OVERLOADED => Reply::Overloaded,
+        ST_BAD_REQUEST => {
+            let n = c.u32()? as usize;
+            let raw = c.take(n)?;
+            Reply::BadRequest(
+                String::from_utf8(raw.to_vec()).map_err(|_| "reason not UTF-8".to_string())?,
+            )
+        }
+        ST_UNKNOWN_MODEL => Reply::UnknownModel,
+        other => return Err(format!("unknown status {other}")),
+    };
+    c.done()?;
+    Ok((id, reply))
+}
+
+/// A bounds-checked little-endian reader over one payload.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.data.len() {
+            return Err(format!(
+                "payload truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.data.len() - self.pos
+            ));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn bytes8(&mut self) -> Result<[u8; 8], String> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(b)
+    }
+
+    /// Rejects trailing bytes — a frame must be exactly one message.
+    fn done(&self) -> Result<(), String> {
+        if self.pos != self.data.len() {
+            return Err(format!(
+                "{} trailing bytes after the message",
+                self.data.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Ping,
+            Request::Classify {
+                model: 3,
+                features: vec![0.5, -0.0, f64::MIN_POSITIVE, 1e300],
+            },
+            Request::Scan {
+                source: "int f() { return 1; }".to_string(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for (i, req) in cases.iter().enumerate() {
+            let payload = encode_request(i as u64 + 7, req);
+            let (id, back) = decode_request(&payload).unwrap();
+            assert_eq!(id, i as u64 + 7);
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let cases = [
+            Reply::Ok,
+            Reply::Label(42),
+            Reply::Scan {
+                malware: true,
+                ratio: 0.375,
+            },
+            Reply::Stats("serve.requests 9\n".to_string()),
+            Reply::Overloaded,
+            Reply::BadRequest("dim mismatch".to_string()),
+            Reply::UnknownModel,
+        ];
+        for (i, reply) in cases.iter().enumerate() {
+            let payload = encode_reply(i as u64, reply);
+            let (id, back) = decode_reply(&payload).unwrap();
+            assert_eq!(id, i as u64);
+            assert_eq!(&back, reply);
+        }
+    }
+
+    #[test]
+    fn classify_features_are_bit_exact() {
+        // Signed zero and signaling-adjacent bit patterns must survive
+        // the wire exactly: the serve invariant is bit-identity with a
+        // direct predict call on the same bits.
+        let features = vec![-0.0, f64::NAN, 1.0 + f64::EPSILON];
+        let payload = encode_request(1, &Request::Classify { model: 0, features: features.clone() });
+        let (_, back) = decode_request(&payload).unwrap();
+        let Request::Classify { features: got, .. } = back else {
+            panic!("wrong variant");
+        };
+        let want: Vec<u64> = features.iter().map(|v| v.to_bits()).collect();
+        let have: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, have);
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let payload = encode_request(5, &Request::Classify { model: 0, features: vec![1.0] });
+        assert!(decode_request(&payload[..payload.len() - 1]).is_err());
+        let mut extra = payload.clone();
+        extra.push(0);
+        assert!(decode_request(&extra).is_err());
+        // An EOF mid-frame (length says 10, body has 3) is an error, not
+        // a clean close.
+        let mut torn = 10u32.to_le_bytes().to_vec();
+        torn.extend_from_slice(b"abc");
+        assert!(read_frame(&mut &torn[..]).is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! The daemon: accept loop, per-connection readers, and the batching
+//! dispatcher.
+//!
+//! Threading model — three roles, one shared [`Batcher`]:
+//!
+//! * the **accept loop** (the thread that called [`Server::run`]) hands
+//!   each connection to a detached reader thread;
+//! * a **reader** per connection decodes frames and either answers
+//!   immediately (ping, stats, malformed input, overload) or enqueues a
+//!   [`Job`] into the batcher and wakes the dispatcher;
+//! * one **dispatcher** thread sleeps until the earliest lane deadline
+//!   (or a wake from `offer`), pops ready batches, runs the model, and
+//!   writes each verdict back through its request's connection.
+//!
+//! Responses are written under a per-connection mutex, so a verdict
+//! dispatched from the batcher never interleaves bytes with an immediate
+//! reply from the reader. Shutdown is graceful by construction: the
+//! `SHUTDOWN` reader flips the flag (new work is refused as
+//! `overloaded`), unblocks the accept loop with a loopback connection,
+//! and the dispatcher drains every queued row — answering it — before
+//! [`Server::run`] returns.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use yali_core::SignatureScanner;
+use yali_ml::VectorClassifier;
+
+use crate::batcher::{Batch, Batcher, BatcherConfig, Trigger};
+use crate::protocol::{self, Reply, Request};
+
+/// The lane the signature scanner batches on; classifier lanes are the
+/// model's roster index (a `u8`, so no collision is possible).
+pub const SCAN_LANE: u32 = u32::MAX;
+
+/// What the daemon serves: a roster of trained classifiers (one batching
+/// lane each) and, optionally, the signature anti-virus.
+pub struct Tenants {
+    /// `(display name, model)`, indexed by the wire `model` byte.
+    pub models: Vec<(String, VectorClassifier)>,
+    /// Feature dimension every `Classify` row must have.
+    pub n_features: usize,
+    /// The anti-virus tenant behind the `Scan` op.
+    pub scanner: Option<SignatureScanner>,
+}
+
+/// Monotonic server counters, kept independently of `yali-obs` so the
+/// `STATS` op answers even when observability is off.
+#[derive(Default)]
+pub struct Stats {
+    /// Frames decoded into requests.
+    pub requests: AtomicU64,
+    /// Responses written (immediate and batched).
+    pub responses: AtomicU64,
+    /// Requests refused at admission.
+    pub overloaded: AtomicU64,
+    /// Batches dispatched.
+    pub batches: AtomicU64,
+    /// Rows answered through batches.
+    pub batched_rows: AtomicU64,
+}
+
+struct Conn {
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Writes one reply frame; a vanished client is not an error worth
+    /// propagating past its own connection.
+    fn send(&self, shared: &Shared, id: u64, reply: &Reply) {
+        let payload = protocol::encode_reply(id, reply);
+        let mut w = self.writer.lock().unwrap();
+        if protocol::write_frame(&mut *w, &payload).is_ok() {
+            shared.stats.responses.fetch_add(1, Ordering::Relaxed);
+            yali_obs::count!("serve.responses", 1);
+        }
+    }
+}
+
+/// One queued unit of batchable work. Immediate ops (ping, stats,
+/// shutdown) never become jobs.
+enum Job {
+    Classify {
+        conn: Arc<Conn>,
+        id: u64,
+        features: Vec<f64>,
+    },
+    Scan {
+        conn: Arc<Conn>,
+        id: u64,
+        module: yali_ir::Module,
+    },
+}
+
+struct Shared {
+    tenants: Tenants,
+    batcher: Mutex<Batcher<Job>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    stats: Stats,
+    addr: std::net::SocketAddr,
+}
+
+impl Shared {
+    fn stats_text(&self) -> String {
+        let roster: Vec<&str> = self.tenants.models.iter().map(|(n, _)| n.as_str()).collect();
+        format!(
+            "models {}\nn_features {}\nscanner {}\nserve.requests {}\nserve.responses {}\n\
+             serve.overloaded {}\nserve.batches {}\nserve.batched_rows {}\nqueued {}\n",
+            roster.join(","),
+            self.tenants.n_features,
+            self.tenants.scanner.is_some() as u8,
+            self.stats.requests.load(Ordering::Relaxed),
+            self.stats.responses.load(Ordering::Relaxed),
+            self.stats.overloaded.load(Ordering::Relaxed),
+            self.stats.batches.load(Ordering::Relaxed),
+            self.stats.batched_rows.load(Ordering::Relaxed),
+            self.batcher.lock().unwrap().len(),
+        )
+    }
+}
+
+/// The bound-but-not-yet-serving daemon. [`Server::bind`] then
+/// [`Server::run`]; `run` returns after a graceful shutdown.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and prepares the
+    /// shared state. Nothing is served until [`Server::run`].
+    pub fn bind(addr: &str, tenants: Tenants, cfg: BatcherConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                tenants,
+                batcher: Mutex::new(Batcher::new(cfg)),
+                wake: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                stats: Stats::default(),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (reads the ephemeral port back).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serves until a `SHUTDOWN` request: accepts connections, batches
+    /// work, drains on shutdown, then returns.
+    pub fn run(self) -> io::Result<()> {
+        let dispatcher = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || dispatch_loop(&shared))
+        };
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Verdicts are tiny frames; Nagle + delayed ACK would park
+            // each one for tens of milliseconds.
+            let _ = stream.set_nodelay(true);
+            let shared = Arc::clone(&self.shared);
+            // Readers are detached: each exits when its client hangs up,
+            // and every *queued* job holds its own connection handle, so
+            // the drain below can answer without the reader's help.
+            std::thread::spawn(move || {
+                let _ = connection_loop(&shared, stream);
+            });
+        }
+        drop(self.listener); // stop accepting before the drain
+        self.shared.wake.notify_all();
+        dispatcher.join().expect("dispatcher panicked");
+        Ok(())
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(stream),
+    });
+    while let Some(payload) = protocol::read_frame(&mut reader)? {
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        yali_obs::count!("serve.requests", 1);
+        let (id, req) = match protocol::decode_request(&payload) {
+            Ok(ok) => ok,
+            Err(reason) => {
+                // The id is the first 8 bytes when present; echo it so
+                // the client can match the error to its request.
+                let id = payload
+                    .get(..8)
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                conn.send(shared, id, &Reply::BadRequest(reason));
+                continue;
+            }
+        };
+        match req {
+            Request::Ping => conn.send(shared, id, &Reply::Ok),
+            Request::Stats => {
+                let text = shared.stats_text();
+                conn.send(shared, id, &Reply::Stats(text));
+            }
+            Request::Shutdown => {
+                begin_shutdown(shared);
+                conn.send(shared, id, &Reply::Ok);
+                // The connection has served its purpose; stop reading so
+                // the ack is this connection's last word.
+                break;
+            }
+            Request::Classify { model, features } => {
+                let reply = match validate_classify(shared, model, &features) {
+                    Some(reject) => Some(reject),
+                    None => enqueue(
+                        shared,
+                        model as u32,
+                        Job::Classify {
+                            conn: Arc::clone(&conn),
+                            id,
+                            features,
+                        },
+                    ),
+                };
+                if let Some(r) = reply {
+                    conn.send(shared, id, &r);
+                }
+            }
+            Request::Scan { source } => {
+                if shared.tenants.scanner.is_none() {
+                    conn.send(
+                        shared,
+                        id,
+                        &Reply::BadRequest("no scanner tenant".to_string()),
+                    );
+                    continue;
+                }
+                let reply = match yali_minic::compile(&source) {
+                    Err(e) => Some(Reply::BadRequest(format!("minic: {e}"))),
+                    Ok(module) => enqueue(
+                        shared,
+                        SCAN_LANE,
+                        Job::Scan {
+                            conn: Arc::clone(&conn),
+                            id,
+                            module,
+                        },
+                    ),
+                };
+                if let Some(r) = reply {
+                    conn.send(shared, id, &r);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_classify(shared: &Shared, model: u8, features: &[f64]) -> Option<Reply> {
+    if model as usize >= shared.tenants.models.len() {
+        return Some(Reply::UnknownModel);
+    }
+    if features.len() != shared.tenants.n_features {
+        return Some(Reply::BadRequest(format!(
+            "feature dimension {} (model expects {})",
+            features.len(),
+            shared.tenants.n_features
+        )));
+    }
+    None
+}
+
+/// Admits a job, waking the dispatcher. `Some(reply)` means the job was
+/// refused and the caller answers immediately.
+fn enqueue(shared: &Shared, lane: u32, job: Job) -> Option<Reply> {
+    if shared.shutdown.load(Ordering::Relaxed) {
+        shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+        yali_obs::count!("serve.overloaded", 1);
+        return Some(Reply::Overloaded);
+    }
+    let now = yali_obs::epoch_ns();
+    let admitted = shared.batcher.lock().unwrap().offer(lane, job, now);
+    if admitted {
+        shared.wake.notify_all();
+        None
+    } else {
+        shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+        yali_obs::count!("serve.overloaded", 1);
+        Some(Reply::Overloaded)
+    }
+}
+
+fn begin_shutdown(shared: &Arc<Shared>) {
+    if shared.shutdown.swap(true, Ordering::Relaxed) {
+        return; // already shutting down
+    }
+    shared.wake.notify_all();
+    // The accept loop is blocked in `accept`; a loopback connection makes
+    // it re-check the flag and break.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn dispatch_loop(shared: &Arc<Shared>) {
+    let mut guard = shared.batcher.lock().unwrap();
+    loop {
+        let now = yali_obs::epoch_ns();
+        if let Some(batch) = guard.pop_ready(now) {
+            drop(guard);
+            execute(shared, batch, now);
+            guard = shared.batcher.lock().unwrap();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            // Drain: every queued row is answered before run() returns.
+            loop {
+                let Some(batch) = guard.pop_any() else { break };
+                drop(guard);
+                execute(shared, batch, yali_obs::epoch_ns());
+                guard = shared.batcher.lock().unwrap();
+            }
+            return;
+        }
+        let wait = match guard.next_deadline_ns() {
+            // +1 so a rounding-down nanosleep cannot spin short of the
+            // deadline forever.
+            Some(at) => Duration::from_nanos(at.saturating_sub(now) + 1),
+            // Idle: offers and shutdown both notify, the timeout is only
+            // a heartbeat.
+            None => Duration::from_millis(100),
+        };
+        guard = shared.wake.wait_timeout(guard, wait).unwrap().0;
+    }
+}
+
+fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
+    let _span = yali_obs::span!("serve.dispatch");
+    let n = batch.items.len() as u64;
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared.stats.batched_rows.fetch_add(n, Ordering::Relaxed);
+    yali_obs::count!("serve.batches", 1);
+    yali_obs::count!("serve.batch.rows", n);
+    match batch.trigger {
+        Trigger::Full => yali_obs::count!("serve.batches.full", 1),
+        Trigger::Deadline => yali_obs::count!("serve.batches.deadline", 1),
+        Trigger::Drain => yali_obs::count!("serve.batches.drain", 1),
+    }
+    // The batch-size histogram abuses the ns-typed recorder for a row
+    // count; its "p50_ns" in RUNSTATS is a row count, documented as such.
+    yali_obs::record!("serve.batch_size", n);
+    if let Some(oldest) = batch.items.first() {
+        yali_obs::record!(
+            "serve.batch_fill_ns",
+            dispatched_ns.saturating_sub(oldest.enqueued_ns)
+        );
+    }
+    for p in &batch.items {
+        yali_obs::record!(
+            "serve.queue_wait_ns",
+            dispatched_ns.saturating_sub(p.enqueued_ns)
+        );
+    }
+    if batch.lane == SCAN_LANE {
+        let scanner = shared
+            .tenants
+            .scanner
+            .as_ref()
+            .expect("scan lane admitted without a scanner");
+        let mut metas = Vec::with_capacity(batch.items.len());
+        let mut modules = Vec::with_capacity(batch.items.len());
+        for p in batch.items {
+            match p.item {
+                Job::Scan { conn, id, module } => {
+                    metas.push((conn, id));
+                    modules.push(module);
+                }
+                Job::Classify { .. } => unreachable!("classify job on the scan lane"),
+            }
+        }
+        let verdicts = scanner.is_malware_all(&modules);
+        let ratios = scanner.match_ratios(&modules);
+        for (((conn, id), malware), ratio) in metas.into_iter().zip(verdicts).zip(ratios) {
+            conn.send(shared, id, &Reply::Scan { malware, ratio });
+        }
+    } else {
+        let (_, clf) = &shared.tenants.models[batch.lane as usize];
+        let mut metas = Vec::with_capacity(batch.items.len());
+        let mut rows = Vec::with_capacity(batch.items.len());
+        for p in batch.items {
+            match p.item {
+                Job::Classify { conn, id, features } => {
+                    metas.push((conn, id));
+                    rows.push(features);
+                }
+                Job::Scan { .. } => unreachable!("scan job on a classify lane"),
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let labels = clf.predict_batch_refs(&refs, yali_par::worker_count());
+        for ((conn, id), label) in metas.into_iter().zip(labels) {
+            conn.send(shared, id, &Reply::Label(label as u32));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Property tests for the batcher core (satellite of the serving PR).
+//!
+//! The batcher is pure and clock-free, so these tests drive arbitrary
+//! arrival orders and clock schedules through it and check the serving
+//! contract exhaustively:
+//!
+//! * every admitted request is answered exactly once, in FIFO order per
+//!   lane, and batches never mix lanes or exceed `max_batch`;
+//! * `offer` refuses exactly when the global queue is at `queue_cap`;
+//! * a dispatch trigger tells the truth (`Full` batches are full,
+//!   `Deadline` batches really aged past the deadline);
+//! * routing queries through the batcher + `predict_batch_refs` yields
+//!   verdicts bit-identical to a plain loop of `predict` — the serving
+//!   invariant, minus the sockets.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use yali_ml::{ModelKind, TrainConfig, VectorClassifier};
+use yali_serve::{Batcher, BatcherConfig, Trigger};
+
+/// One step of a simulated serving schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Offer one item into `lane`, then advance the clock by `dt_ns`.
+    Offer { lane: u32, dt_ns: u64 },
+    /// Advance the clock, then attempt one ready dispatch.
+    Tick { dt_ns: u64 },
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..4, 0u64..3_000_000u64).prop_map(|(lane, dt_ns)| Op::Offer { lane, dt_ns }),
+            (0u32..4, 0u64..3_000_000u64).prop_map(|(lane, dt_ns)| Op::Offer { lane, dt_ns }),
+            (0u32..4, 0u64..3_000_000u64).prop_map(|(lane, dt_ns)| Op::Offer { lane, dt_ns }),
+            (0u64..3_000_000u64).prop_map(|dt_ns| Op::Tick { dt_ns }),
+        ],
+        1..80,
+    )
+}
+
+/// An admitted item: its admission index (global arrival order) and lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Item {
+    seq: usize,
+    lane: u32,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Exactly-once, per-lane FIFO, lane purity, the size cap, the
+    /// admission cap, and truthful triggers — one schedule, all checked.
+    #[test]
+    fn schedules_uphold_every_batching_invariant(
+        ops in ops_strategy(),
+        max_batch in 1usize..6,
+        deadline_ns in 1u64..2_000_000,
+        queue_cap in 1usize..12,
+    ) {
+        let cfg = BatcherConfig { max_batch, deadline_ns, queue_cap };
+        let mut b: Batcher<Item> = Batcher::new(cfg);
+        let mut now: u64 = 0;
+        let mut seq = 0usize;
+        let mut admitted: Vec<Item> = Vec::new();
+        let mut popped: Vec<Item> = Vec::new();
+
+        let check_batch = |batch: &yali_serve::Batch<Item>, now: u64| {
+            prop_assert!(batch.items.len() <= max_batch, "batch exceeds max_batch");
+            prop_assert!(!batch.items.is_empty(), "empty batch dispatched");
+            for p in &batch.items {
+                prop_assert_eq!(p.item.lane, batch.lane, "lane mixing");
+            }
+            match batch.trigger {
+                Trigger::Full => prop_assert_eq!(
+                    batch.items.len(), max_batch,
+                    "Full trigger on an underfull batch"
+                ),
+                Trigger::Deadline => {
+                    let oldest = batch.items[0].enqueued_ns;
+                    prop_assert!(
+                        now.saturating_sub(oldest) >= deadline_ns,
+                        "Deadline trigger before the deadline"
+                    );
+                }
+                Trigger::Drain => {}
+            }
+            Ok(())
+        };
+
+        for op in &ops {
+            match *op {
+                Op::Offer { lane, dt_ns } => {
+                    let item = Item { seq, lane };
+                    let accepted = b.offer(lane, item, now);
+                    prop_assert_eq!(
+                        accepted,
+                        admitted.len() - popped.len() < queue_cap,
+                        "offer must refuse exactly at the cap"
+                    );
+                    if accepted {
+                        admitted.push(item);
+                        seq += 1;
+                    }
+                    now += dt_ns;
+                }
+                Op::Tick { dt_ns } => {
+                    now += dt_ns;
+                    if let Some(batch) = b.pop_ready(now) {
+                        check_batch(&batch, now)?;
+                        popped.extend(batch.items.iter().map(|p| p.item));
+                    }
+                }
+            }
+        }
+        // Shutdown drain: everything still queued comes out.
+        while let Some(batch) = b.pop_any() {
+            check_batch(&batch, now)?;
+            popped.extend(batch.items.iter().map(|p| p.item));
+        }
+        prop_assert!(b.is_empty());
+
+        // Exactly once, global: same multiset, and since seqs are unique,
+        // same set.
+        let mut sorted = popped.clone();
+        sorted.sort_by_key(|i| i.seq);
+        prop_assert_eq!(&sorted, &admitted, "every admitted item pops exactly once");
+
+        // FIFO per lane: each lane's pop order is ascending in seq.
+        let mut per_lane: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for i in &popped {
+            per_lane.entry(i.lane).or_default().push(i.seq);
+        }
+        for (lane, seqs) in per_lane {
+            prop_assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "lane {} popped out of order: {:?}", lane, seqs
+            );
+        }
+    }
+
+    /// `next_deadline_ns` is the true earliest instant at which
+    /// `pop_ready` has work: nothing pops just before it, something pops
+    /// at it.
+    #[test]
+    fn next_deadline_is_tight(
+        lanes in proptest::collection::vec((0u32..3, 0u64..1_000_000), 1..10),
+        deadline_ns in 1u64..1_000_000,
+    ) {
+        let cfg = BatcherConfig { max_batch: 64, deadline_ns, queue_cap: 1024 };
+        let mut b: Batcher<usize> = Batcher::new(cfg);
+        let mut now = 0u64;
+        for (i, &(lane, dt)) in lanes.iter().enumerate() {
+            prop_assert!(b.offer(lane, i, now));
+            now += dt;
+        }
+        let at = b.next_deadline_ns().expect("non-empty batcher has a deadline");
+        if at > 0 {
+            prop_assert!(b.pop_ready(at - 1).is_none(), "popped before the deadline");
+        }
+        prop_assert!(b.pop_ready(at).is_some(), "nothing popped at the deadline");
+    }
+}
+
+/// A small deterministic classifier shared by the verdict-identity tests
+/// (training once keeps the 256-case runs fast).
+fn oracle() -> &'static (VectorClassifier, usize) {
+    static MODEL: OnceLock<(VectorClassifier, usize)> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let dim = 6;
+        // A fixed, synthetic-but-nontrivial training set: three classes
+        // of rows clustered by which third of the vector carries mass.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let class = i % 3;
+            let mut row = vec![0.25; dim];
+            row[class * 2] = 2.0 + (i as f64) * 0.125;
+            row[class * 2 + 1] = 1.0 - (i as f64) * 0.0625;
+            x.push(row);
+            y.push(class);
+        }
+        let clf = VectorClassifier::fit(ModelKind::Lr, &x, &y, 3, &TrainConfig::default());
+        (clf, dim)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The serving invariant, socket-free: arbitrary queries arriving in
+    /// arbitrary bursts, coalesced by the batcher and classified with
+    /// `predict_batch_refs`, produce verdicts bit-identical to a plain
+    /// per-query `predict` loop.
+    #[test]
+    fn batched_verdicts_equal_loop_of_predict(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-4.0f64..4.0, 6..7),
+            1..40,
+        ),
+        gaps in proptest::collection::vec(0u64..4_000_000u64, 1..40),
+        max_batch in 1usize..8,
+        deadline_ns in 1u64..3_000_000,
+    ) {
+        let (clf, _) = oracle();
+        let want: Vec<usize> = rows.iter().map(|r| clf.predict(r)).collect();
+
+        let cfg = BatcherConfig { max_batch, deadline_ns, queue_cap: 4096 };
+        let mut b: Batcher<(usize, Vec<f64>)> = Batcher::new(cfg);
+        let mut now = 0u64;
+        let mut got: Vec<Option<usize>> = vec![None; rows.len()];
+        let dispatch = |batch: yali_serve::Batch<(usize, Vec<f64>)>,
+                            got: &mut Vec<Option<usize>>| {
+            let (ids, feats): (Vec<usize>, Vec<Vec<f64>>) =
+                batch.items.into_iter().map(|p| p.item).unzip();
+            let refs: Vec<&[f64]> = feats.iter().map(Vec::as_slice).collect();
+            let labels = clf.predict_batch_refs(&refs, 1);
+            for (id, label) in ids.into_iter().zip(labels) {
+                prop_assert!(got[id].is_none(), "request {} answered twice", id);
+                got[id] = Some(label);
+            }
+            Ok(())
+        };
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert!(b.offer(0, (i, row.clone()), now));
+            now += gaps[i % gaps.len()];
+            while let Some(batch) = b.pop_ready(now) {
+                dispatch(batch, &mut got)?;
+            }
+        }
+        while let Some(batch) = b.pop_any() {
+            dispatch(batch, &mut got)?;
+        }
+        let got: Vec<usize> = got
+            .into_iter()
+            .map(|g| g.expect("every request answered"))
+            .collect();
+        prop_assert_eq!(got, want, "served verdicts must equal loop-of-predict");
+    }
+}

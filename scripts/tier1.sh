@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: release build, full test suite, and a warning-free
-# clippy pass over every target (benches and tests included).
+# Tier-1 verification: release build, full test suite, a warning-free
+# clippy pass over every target (benches and tests included), and a
+# round-trip smoke test of the yali-serve daemon.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +26,49 @@ YALI_STORE="$store_dir/artifacts" cargo test -q -p yali-ml -p yali-core
 # re-export it, demand a byte-identical Chrome file. Catches any drift
 # in the trace schema, the parser, or the exporter.
 target/release/yali-prof selfcheck
+
+# The serving smoke test: boot the daemon on an ephemeral port with a
+# tiny corpus, round-trip a liveness probe, a classification, and an
+# anti-virus scan through the CLI client, then shut it down gracefully.
+# Every client call runs under `timeout`, so a hung daemon fails the
+# script instead of wedging it.
+serve_bin=target/release/yali-serve
+serve_log="$(mktemp)"
+"$serve_bin" serve --addr 127.0.0.1:0 --models lr --classes 4 --per-class 6 \
+  >"$serve_log" 2>&1 &
+serve_pid=$!
+cleanup_serve() {
+  kill "$serve_pid" 2>/dev/null || true
+  rm -f "$serve_log"
+}
+trap 'cleanup_serve; rm -rf "$store_dir"' EXIT
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr="$(sed -n 's/^yali-serve: listening on //p' "$serve_log")"
+  [ -n "$serve_addr" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "yali-serve never reported its port" >&2; exit 1; }
+timeout 30 "$serve_bin" ping --addr "$serve_addr"
+timeout 30 "$serve_bin" classify --addr "$serve_addr" --model lr \
+  --code 'int f(int a) { return a * a + 3; }' | grep -q '^label '
+timeout 30 "$serve_bin" scan --addr "$serve_addr" \
+  --code 'int f(int a) { return a + 1; }' | grep -q '^malware '
+timeout 30 "$serve_bin" shutdown --addr "$serve_addr"
+# A graceful shutdown means the process exits on its own.
+serve_rc=0
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+  echo "yali-serve did not exit after shutdown" >&2
+  exit 1
+fi
+wait "$serve_pid" || serve_rc=$?
+[ "$serve_rc" -eq 0 ] || { echo "yali-serve exited with $serve_rc" >&2; cat "$serve_log" >&2; exit 1; }
+echo "serve smoke: ok (daemon on $serve_addr answered ping/classify/scan and drained)"
 
 # Optional benchmark smoke: YALI_SMOKE=1 scripts/tier1.sh also runs the
 # throughput + training benches and sanity-checks their JSON reports.
