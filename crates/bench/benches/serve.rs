@@ -22,12 +22,23 @@
 //! `yali-prof diff`'s p99 ceiling and QPS floor). Writes
 //! `BENCH_serve.json`, `RUNSTATS_serve.json`, and `TRACE_serve.jsonl` at
 //! the repo root.
+//!
+//! Since the daemon became always-instrumented (binding enables the
+//! `yali-obs` registry and arms the flight recorder), the report also
+//! carries a `live` section: the daemon's own windowed quantiles and
+//! rolling QPS sampled over the measured round via the `metrics` op, and
+//! the flight recorder's measured overhead — paired recorder-off/on
+//! rounds on the same server, median wall-clock ratio of five pairs
+//! (whole-run QPS swings a few percent run-to-run, so a single unpaired
+//! comparison would be noise). `scripts/bench.sh` gates the overhead at
+//! <= 5% and cross-checks the windowed p99 against the client-observed
+//! percentile envelope.
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use yali_ml::ModelKind;
-use yali_serve::{train_tenants, BatcherConfig, Client, Reply, Server};
+use yali_serve::{train_tenants, BatcherConfig, Client, Metrics, Reply, Server};
 
 /// Heavy tenants: the two dense-forward models whose batched GEMM path
 /// is the win being served (the single-core machine gains nothing from
@@ -42,6 +53,9 @@ const SEED: u64 = 77;
 const N_CLIENTS: usize = 64;
 const WARMUP_PER_CLIENT: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 40;
+/// Requests per client in each recorder-overhead pairing round (shorter
+/// than the measured modes: ten of these run back-to-back).
+const OVERHEAD_REQUESTS: usize = 16;
 
 #[derive(serde::Serialize)]
 struct ModeOut {
@@ -54,6 +68,27 @@ struct ModeOut {
     p99_ns: f64,
     qps: f64,
     speedup_vs_serial: f64,
+}
+
+/// The daemon's own view of the measured round: windowed quantiles and
+/// rolling QPS from the `metrics` op (server-side enqueue-to-reply
+/// latencies, so they sit below the client-observed numbers), recorder
+/// occupancy, and the measured recorder overhead. Empty-window quantiles
+/// serialize as 0 — `yali-prof diff` skips zeros rather than gating on
+/// them.
+#[derive(serde::Serialize)]
+struct LiveOut {
+    window_count: u64,
+    windowed_p50_ns: u64,
+    windowed_p95_ns: u64,
+    windowed_p99_ns: u64,
+    rolling_qps: f64,
+    queue_depth: u64,
+    recorder_events: u64,
+    recorder_dropped: u64,
+    /// Median wall-clock cost of the armed flight recorder, in percent
+    /// (paired off/on rounds; can be slightly negative from run noise).
+    recorder_overhead_pct: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -71,6 +106,8 @@ struct Report {
     /// tail under saturation, because queue waits shrink when rows are
     /// retired 32 at a time).
     p99_batched_over_serial: f64,
+    /// The daemon's live telemetry, sampled over the batched round.
+    live: LiveOut,
 }
 
 /// Nearest-rank percentile over an ascending-sorted latency vector.
@@ -211,6 +248,31 @@ fn main() {
     let (batched_lat, batched_wall) =
         run_round(&addr, &queries, &want, N_CLIENTS, REQUESTS_PER_CLIENT);
 
+    // Live snapshot, taken immediately so the measured round is still
+    // inside the daemon's 10 s sliding window.
+    let live_m: Metrics = {
+        let mut c = Client::connect(&addr).expect("connect for metrics");
+        match c.metrics().expect("metrics") {
+            Reply::Metrics(m) => m,
+            other => panic!("unexpected metrics reply {other:?}"),
+        }
+    };
+
+    // Recorder overhead: five paired recorder-off/on rounds on the same
+    // server; the median of the per-pair wall ratios cancels the
+    // run-to-run drift a single comparison would drown in.
+    let mut ratios: Vec<f64> = (0..5)
+        .map(|_| {
+            yali_obs::recorder::set_recorder(None);
+            let (_, off_wall) = run_round(&addr, &queries, &want, N_CLIENTS, OVERHEAD_REQUESTS);
+            yali_obs::recorder::set_recorder(Some(yali_obs::recorder::DEFAULT_RECORDER_CAP));
+            let (_, on_wall) = run_round(&addr, &queries, &want, N_CLIENTS, OVERHEAD_REQUESTS);
+            on_wall as f64 / off_wall as f64
+        })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let recorder_overhead_pct = (ratios[2] - 1.0) * 100.0;
+
     // Instrumented pass: a short extra round with observability on, for
     // the companion run report (batch-size histogram, queue waits, batch
     // fill latency, dispatch phase).
@@ -280,6 +342,17 @@ fn main() {
         models: MODELS.iter().map(|m| m.name().to_string()).collect(),
         qps_serial_to_batched: batched.qps / serial.qps,
         p99_batched_over_serial: batched.p99_ns / serial.p99_ns,
+        live: LiveOut {
+            window_count: live_m.window_count,
+            windowed_p50_ns: live_m.p50_ns.unwrap_or(0),
+            windowed_p95_ns: live_m.p95_ns.unwrap_or(0),
+            windowed_p99_ns: live_m.p99_ns.unwrap_or(0),
+            rolling_qps: live_m.qps,
+            queue_depth: live_m.queue_depth,
+            recorder_events: live_m.recorder_events,
+            recorder_dropped: live_m.recorder_dropped,
+            recorder_overhead_pct,
+        },
         modes: vec![serial, batched],
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -294,5 +367,15 @@ fn main() {
         report.modes[0].p99_ns / 1e6,
         report.modes[1].p99_ns / 1e6,
         path
+    );
+    println!(
+        "serve live: windowed p99 {:.2}ms over {} rows, rolling {:.0} qps, recorder {} events \
+         ({} dropped), overhead {:.2}%",
+        report.live.windowed_p99_ns as f64 / 1e6,
+        report.live.window_count,
+        report.live.rolling_qps,
+        report.live.recorder_events,
+        report.live.recorder_dropped,
+        report.live.recorder_overhead_pct
     );
 }

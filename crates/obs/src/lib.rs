@@ -34,8 +34,21 @@
 //! Dotted lowercase names (`embed.batch`, `par.busy_ns`) group related
 //! series; [`Registry::counters`]/[`Registry::histograms`] snapshot
 //! everything for `yali_core::report`'s `RUNSTATS.json`.
+//!
+//! ## Live telemetry
+//!
+//! Everything above aggregates over the process lifetime — the right
+//! shape for a bounded run, the wrong one for a daemon. Two modules add
+//! the live view: [`window`] provides sliding-window histograms/counters
+//! (clock-free epoch rings; "p99 over the last ten seconds"), and
+//! [`recorder`] is the flight recorder — per-thread lock-free rings of
+//! recent span events, always on at bounded memory, dumpable as a JSONL
+//! trace `yali-prof` consumes unchanged.
 
 #![warn(missing_docs)]
+
+pub mod recorder;
+pub mod window;
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -195,14 +208,24 @@ impl HistSnapshot {
     /// interpolated inside the log2 bucket holding the target rank, so the
     /// estimate is never off by more than one bucket width (a factor of
     /// two). `q >= 1` returns the exact recorded maximum; an empty
-    /// snapshot returns 0. Estimates are clamped to `max_ns`, so no
-    /// quantile ever exceeds the largest observed sample.
+    /// snapshot returns 0 (use [`HistSnapshot::quantile_opt`] where "no
+    /// samples" must stay distinguishable from "0 ns"). Estimates are
+    /// clamped to `max_ns`, so no quantile ever exceeds the largest
+    /// observed sample.
     pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_opt(q).unwrap_or(0)
+    }
+
+    /// [`HistSnapshot::quantile`] with an explicit empty case: `None` when
+    /// the snapshot holds no samples, so callers that *gate* on a
+    /// quantile (the serve `metrics` reply, `yali-prof diff`) never
+    /// mistake an idle window for a zero-nanosecond latency.
+    pub fn quantile_opt(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         if q >= 1.0 {
-            return self.max_ns;
+            return Some(self.max_ns);
         }
         // 1-based rank of the requested quantile among the sorted samples.
         let target = ((q.max(0.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
@@ -218,11 +241,11 @@ impl HistSnapshot {
                 let hi = 1u64 << (i + 1);
                 let frac = (target - seen) as f64 / n as f64;
                 let est = lo as f64 + frac * (hi - lo) as f64;
-                return (est as u64).min(self.max_ns);
+                return Some((est as u64).min(self.max_ns));
             }
             seen += n;
         }
-        self.max_ns
+        Some(self.max_ns)
     }
 }
 
@@ -405,19 +428,33 @@ impl Drop for SpanGuard {
             hist.record(ns);
             if let Some((seq, depth)) = self.trace {
                 DEPTH.with(|d| d.set(depth));
-                let mut fields = vec![
-                    ("ev", TraceVal::Str("close")),
-                    ("span", TraceVal::Str(self.label)),
-                    ("tid", TraceVal::U64(thread_id())),
-                    ("seq", TraceVal::U64(seq)),
-                    ("depth", TraceVal::U64(depth)),
-                    ("t_ns", TraceVal::U64(epoch_ns())),
-                    ("dur_ns", TraceVal::U64(ns)),
-                ];
-                if let Some((k, v)) = self.attr {
-                    fields.push((k, TraceVal::Hex(v)));
+                let t_ns = epoch_ns();
+                if trace_on() {
+                    let mut fields = vec![
+                        ("ev", TraceVal::Str("close")),
+                        ("span", TraceVal::Str(self.label)),
+                        ("tid", TraceVal::U64(thread_id())),
+                        ("seq", TraceVal::U64(seq)),
+                        ("depth", TraceVal::U64(depth)),
+                        ("t_ns", TraceVal::U64(t_ns)),
+                        ("dur_ns", TraceVal::U64(ns)),
+                    ];
+                    if let Some((k, v)) = self.attr {
+                        fields.push((k, TraceVal::Hex(v)));
+                    }
+                    trace_event(&fields);
                 }
-                trace_event(&fields);
+                if recorder::recorder_on() {
+                    recorder::record_span(
+                        recorder::RecKind::Close,
+                        self.label,
+                        seq,
+                        depth,
+                        t_ns,
+                        ns,
+                        self.attr,
+                    );
+                }
             }
         }
     }
@@ -503,7 +540,13 @@ fn span_open(
     hist: &'static Histogram,
     attr: Option<(&'static str, u64)>,
 ) -> SpanGuard {
-    let trace = if trace_on() {
+    // Both event sinks share one seq/depth assignment and one clock read:
+    // the streaming JSONL sink and the in-memory flight recorder see the
+    // same event, so a recorder dump and a live trace are interchangeable
+    // inputs to yali-prof.
+    let sink = trace_on();
+    let rec = recorder::recorder_on();
+    let trace = if sink || rec {
         let seq = NEXT_SEQ.with(|s| {
             let v = s.get();
             s.set(v + 1);
@@ -514,18 +557,24 @@ fn span_open(
             d.set(v + 1);
             v
         });
-        let mut fields = vec![
-            ("ev", TraceVal::Str("open")),
-            ("span", TraceVal::Str(label)),
-            ("tid", TraceVal::U64(thread_id())),
-            ("seq", TraceVal::U64(seq)),
-            ("depth", TraceVal::U64(depth)),
-            ("t_ns", TraceVal::U64(epoch_ns())),
-        ];
-        if let Some((k, v)) = attr {
-            fields.push((k, TraceVal::Hex(v)));
+        let t_ns = epoch_ns();
+        if sink {
+            let mut fields = vec![
+                ("ev", TraceVal::Str("open")),
+                ("span", TraceVal::Str(label)),
+                ("tid", TraceVal::U64(thread_id())),
+                ("seq", TraceVal::U64(seq)),
+                ("depth", TraceVal::U64(depth)),
+                ("t_ns", TraceVal::U64(t_ns)),
+            ];
+            if let Some((k, v)) = attr {
+                fields.push((k, TraceVal::Hex(v)));
+            }
+            trace_event(&fields);
         }
-        trace_event(&fields);
+        if rec {
+            recorder::record_span(recorder::RecKind::Open, label, seq, depth, t_ns, 0, attr);
+        }
         Some((seq, depth))
     } else {
         None
@@ -632,7 +681,7 @@ fn trace_event(fields: &[(&str, TraceVal)]) {
     }
 }
 
-fn json_escape_into(out: &mut String, s: &str) {
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -1,0 +1,675 @@
+//! The flight recorder: an always-on, fixed-memory ring of recent span
+//! open/close events, dumpable on demand as a JSONL trace that
+//! `yali-prof` consumes unchanged.
+//!
+//! ## Why a second sink
+//!
+//! The `YALI_TRACE` sink streams every event to disk — perfect for a
+//! bounded run, unusable for a daemon that never exits. The recorder
+//! inverts the trade: each thread writes span events into its own
+//! fixed-capacity ring buffer, newest events overwrite oldest, and memory
+//! is bounded at `cap * 80` bytes per thread forever. When something goes
+//! wrong (an SLO breach, a queue overflow, an operator asking), the rings
+//! are drained into the same JSONL schema the trace sink writes, so every
+//! existing `yali-prof` view works on the last few thousand spans leading
+//! up to the incident.
+//!
+//! ## Concurrency design
+//!
+//! Each ring has exactly **one writer** — the thread that owns it — and
+//! readers that never block it. A slot is published seqlock-style: the
+//! writer stamps the slot odd (`2*i + 1`), stores the payload, then stamps
+//! it even (`2*i + 2`). A reader accepts a slot only if it observes the
+//! even stamp for the exact event index before *and* after copying the
+//! payload; a torn or overwritten slot is counted as dropped, never
+//! misreported. The write path is a handful of relaxed stores plus two
+//! fences — no locks, no allocation after the first event.
+//!
+//! Dropped events are always the **oldest**: overwriting advances from the
+//! tail, so what survives a dump is a suffix of each thread's history.
+//! Because a suffix can open with closes whose opens are gone (or end with
+//! opens whose closes have not happened yet), [`dump`] repairs each
+//! thread's stream — unmatched closes and still-open spans are dropped and
+//! counted, depths are recomputed — so the output *always* satisfies
+//! `yali-prof`'s strict parser.
+//!
+//! Like the trace sink, the recorder only sees spans while [`enabled`]
+//! observability is on; [`set_recorder`] arms it with a per-thread
+//! capacity.
+//!
+//! [`enabled`]: crate::enabled
+
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::{epoch_ns, json_escape_into, thread_id};
+
+/// Default per-thread ring capacity in events (~320 KiB per thread).
+pub const DEFAULT_RECORDER_CAP: usize = 4096;
+
+/// Payload words per slot (see [`RecEvent`] encoding).
+const WORDS: usize = 8;
+
+/// `attr_key` value meaning "no attribute".
+const NO_ATTR: u64 = u64::MAX;
+
+// --- events --------------------------------------------------------------
+
+/// Whether a recorded event opened or closed a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecKind {
+    /// Span open.
+    Open,
+    /// Span close.
+    Close,
+}
+
+/// One recorded span event, label and attribute key interned as indices
+/// into the global label table (see [`label_table`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecEvent {
+    /// Open or close.
+    pub kind: RecKind,
+    /// Index into the label table.
+    pub label: u32,
+    /// Per-thread monotone open-sequence id (closes echo their open's).
+    pub seq: u64,
+    /// Nesting depth at the time of recording.
+    pub depth: u64,
+    /// Timestamp, nanoseconds since the process observability epoch.
+    pub t_ns: u64,
+    /// Span duration (closes only; 0 on opens).
+    pub dur_ns: u64,
+    /// Attribute key as a label-table index, or `None`.
+    pub attr_key: Option<u32>,
+    /// Attribute value (meaningful only with `attr_key`).
+    pub attr_val: u64,
+}
+
+impl RecEvent {
+    fn encode(&self) -> [u64; WORDS] {
+        [
+            match self.kind {
+                RecKind::Open => 1,
+                RecKind::Close => 2,
+            },
+            self.label as u64,
+            self.seq,
+            self.depth,
+            self.t_ns,
+            self.dur_ns,
+            self.attr_key.map_or(NO_ATTR, |k| k as u64),
+            self.attr_val,
+        ]
+    }
+
+    fn decode(w: [u64; WORDS]) -> Option<RecEvent> {
+        let kind = match w[0] {
+            1 => RecKind::Open,
+            2 => RecKind::Close,
+            _ => return None,
+        };
+        Some(RecEvent {
+            kind,
+            label: u32::try_from(w[1]).ok()?,
+            seq: w[2],
+            depth: w[3],
+            t_ns: w[4],
+            dur_ns: w[5],
+            attr_key: if w[6] == NO_ATTR {
+                None
+            } else {
+                Some(u32::try_from(w[6]).ok()?)
+            },
+            attr_val: w[7],
+        })
+    }
+}
+
+// --- the per-thread ring -------------------------------------------------
+
+struct Slot {
+    /// `2*i + 1` while event `i` is being written, `2*i + 2` once it is
+    /// published, 0 before first use.
+    stamp: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+/// A single-writer, multi-reader ring of span events. Public so the test
+/// suites can drive wraparound and torn-read behavior directly; normal
+/// code reaches it only through the span machinery and [`dump`].
+pub struct Ring {
+    tid: u64,
+    cap: usize,
+    /// Events pushed over the ring's lifetime; event `i` lives in slot
+    /// `i % cap` until overwritten.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    /// A fresh ring for thread `tid` holding the last `cap` events
+    /// (`cap >= 1` enforced).
+    pub fn new(tid: u64, cap: usize) -> Ring {
+        let cap = cap.max(1);
+        let slots = (0..cap)
+            .map(|_| Slot {
+                stamp: AtomicU64::new(0),
+                words: [const { AtomicU64::new(0) }; WORDS],
+            })
+            .collect();
+        Ring {
+            tid,
+            cap,
+            head: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// The owning thread's id.
+    pub fn tid(&self) -> u64 {
+        self.tid
+    }
+
+    /// Events pushed over the ring's lifetime (not the number retained).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event. **Single-writer**: only the owning thread may
+    /// call this; concurrent readers are handled by the slot stamps.
+    pub fn push(&self, ev: &RecEvent) {
+        let i = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(i % self.cap as u64) as usize];
+        slot.stamp.store(2 * i + 1, Ordering::Relaxed);
+        // Release fence: the payload stores below must not be reordered
+        // before the odd stamp (crossbeam's seqlock write protocol).
+        fence(Ordering::Release);
+        let w = ev.encode();
+        for (s, v) in slot.words.iter().zip(w) {
+            s.store(v, Ordering::Relaxed);
+        }
+        slot.stamp.store(2 * i + 2, Ordering::Release);
+        self.head.store(i + 1, Ordering::Release);
+    }
+
+    /// Snapshots the retained events in push order, plus the number of
+    /// events lost (overwritten before this read, or torn by a concurrent
+    /// write mid-copy). `pushed() == events.len() + dropped` always holds
+    /// for the values returned together.
+    pub fn read(&self) -> (Vec<RecEvent>, u64) {
+        let end = self.head.load(Ordering::Acquire);
+        let start = end.saturating_sub(self.cap as u64);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        let mut lost = start;
+        for i in start..end {
+            let slot = &self.slots[(i % self.cap as u64) as usize];
+            let want = 2 * i + 2;
+            if slot.stamp.load(Ordering::Acquire) != want {
+                lost += 1;
+                continue;
+            }
+            let mut w = [0u64; WORDS];
+            for (v, s) in w.iter_mut().zip(slot.words.iter()) {
+                *v = s.load(Ordering::Relaxed);
+            }
+            // Acquire fence before re-checking the stamp: the payload
+            // loads above must not be reordered after it.
+            fence(Ordering::Acquire);
+            if slot.stamp.load(Ordering::Relaxed) != want {
+                lost += 1;
+                continue;
+            }
+            match RecEvent::decode(w) {
+                Some(ev) => out.push(ev),
+                None => lost += 1,
+            }
+        }
+        (out, lost)
+    }
+}
+
+// --- global recorder state -----------------------------------------------
+
+/// Per-thread ring capacity; 0 means the recorder is off.
+static CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Every ring ever created, so a dump can reach threads other than the
+/// dumper's (rings are kept alive for the life of the process — thread
+/// exit must not lose the events leading up to it).
+static RINGS: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+
+/// The label intern table: index ↔ `&'static str`. Shared by span labels
+/// and attribute keys.
+static LABELS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// This thread's ring, created lazily at its first recorded event
+    /// (with whatever capacity was set at that moment — a later
+    /// `set_recorder` resizes only rings created afterwards).
+    static MY_RING: std::cell::RefCell<Option<Arc<Ring>>> =
+        const { std::cell::RefCell::new(None) };
+    /// Pointer → label-id cache so the steady-state intern is a short
+    /// linear scan over this thread's few distinct labels, not a lock.
+    static LABEL_CACHE: std::cell::RefCell<Vec<(usize, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Arms the recorder with a per-thread ring capacity in events
+/// (`Some(0)`/`None` disarm it). Rings already created keep their
+/// capacity; new threads pick up the new value.
+pub fn set_recorder(cap: Option<usize>) {
+    CAP.store(cap.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Whether the recorder is armed (one relaxed load).
+#[inline]
+pub fn recorder_on() -> bool {
+    CAP.load(Ordering::Relaxed) != 0
+}
+
+/// Interns a `&'static str` into the global label table, returning its
+/// index. Two distinct statics with equal text intern to one id.
+fn intern(s: &'static str) -> u32 {
+    let ptr = s.as_ptr() as usize;
+    LABEL_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(&(_, id)) = cache.iter().find(|&&(p, _)| p == ptr) {
+            return id;
+        }
+        let mut table = LABELS.lock().unwrap();
+        let id = match table.iter().position(|&t| t == s) {
+            Some(i) => i as u32,
+            None => {
+                table.push(s);
+                (table.len() - 1) as u32
+            }
+        };
+        drop(table);
+        cache.push((ptr, id));
+        id
+    })
+}
+
+/// Snapshot of the label intern table (index `i` is label id `i`).
+pub fn label_table() -> Vec<&'static str> {
+    LABELS.lock().unwrap().clone()
+}
+
+/// Records one span event into the calling thread's ring (creating and
+/// registering the ring on first use). Called from the span machinery
+/// when [`recorder_on`]; cheap relative to the clock reads around it.
+pub(crate) fn record_span(
+    kind: RecKind,
+    label: &'static str,
+    seq: u64,
+    depth: u64,
+    t_ns: u64,
+    dur_ns: u64,
+    attr: Option<(&'static str, u64)>,
+) {
+    let ev = RecEvent {
+        kind,
+        label: intern(label),
+        seq,
+        depth,
+        t_ns,
+        dur_ns,
+        attr_key: attr.map(|(k, _)| intern(k)),
+        attr_val: attr.map_or(0, |(_, v)| v),
+    };
+    MY_RING.with(|r| {
+        let mut r = r.borrow_mut();
+        if r.is_none() {
+            let ring = Arc::new(Ring::new(thread_id(), CAP.load(Ordering::Relaxed)));
+            RINGS.lock().unwrap().push(Arc::clone(&ring));
+            *r = Some(ring);
+        }
+        r.as_ref().unwrap().push(&ev);
+    });
+}
+
+// --- stats and dumping ---------------------------------------------------
+
+/// Live recorder occupancy (no repair, no rendering — cheap enough for a
+/// metrics reply).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Events pushed across all rings over the process lifetime.
+    pub events: u64,
+    /// Of those, events no longer retained (overwritten).
+    pub dropped: u64,
+    /// Threads that have recorded at least one event.
+    pub threads: u64,
+}
+
+/// Sums push/drop counts across every ring.
+pub fn recorder_stats() -> RecorderStats {
+    let rings = RINGS.lock().unwrap();
+    let mut s = RecorderStats {
+        threads: rings.len() as u64,
+        ..RecorderStats::default()
+    };
+    for ring in rings.iter() {
+        let pushed = ring.pushed();
+        s.events += pushed;
+        s.dropped += pushed.saturating_sub(ring.cap as u64).min(pushed);
+    }
+    s
+}
+
+/// What a dump kept and what it had to repair away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DumpStats {
+    /// Events rendered into the dump.
+    pub events: u64,
+    /// Events lost before the dump: overwritten or torn in the rings.
+    pub dropped: u64,
+    /// Closes whose opens were overwritten (repaired away).
+    pub orphan_closes: u64,
+    /// Opens still in flight at dump time (repaired away; their completed
+    /// children are kept).
+    pub unclosed_opens: u64,
+    /// Threads contributing events.
+    pub threads: u64,
+}
+
+/// Drains every ring into a JSONL trace (strict-parser clean, see
+/// [`render_dump`]) prefixed with a `{"ev":"recorder",...}` meta line
+/// carrying the [`DumpStats`]. The rings keep recording throughout — a
+/// dump is a snapshot, not a reset.
+pub fn dump() -> (String, DumpStats) {
+    let rings: Vec<Arc<Ring>> = RINGS.lock().unwrap().clone();
+    let threads: Vec<(u64, Vec<RecEvent>, u64)> = rings
+        .iter()
+        .map(|r| {
+            let (evs, lost) = r.read();
+            (r.tid(), evs, lost)
+        })
+        .collect();
+    let labels = label_table();
+    let (body, stats) = render_dump(&threads, &labels);
+    let meta = format!(
+        "{{\"ev\":\"recorder\",\"tid\":{},\"t_ns\":{},\"events\":{},\"dropped\":{},\"orphan_closes\":{},\"unclosed_opens\":{},\"threads\":{}}}\n",
+        thread_id(),
+        epoch_ns(),
+        stats.events,
+        stats.dropped,
+        stats.orphan_closes,
+        stats.unclosed_opens,
+        stats.threads,
+    );
+    (meta + &body, stats)
+}
+
+/// Renders per-thread event streams into strict-parser-clean JSONL.
+///
+/// Pure (no globals, no clock), so the repair logic is directly
+/// proptestable. Each thread's retained events are a suffix of its true
+/// history, repaired in two passes: pass one pairs closes with opens on a
+/// simulated stack — a close whose open was overwritten is dropped as an
+/// orphan, and pairing down the stack discards opens whose closes were
+/// lost; pass two re-renders the survivors with depths recomputed from
+/// the surviving nesting (original `seq`s are kept: a subsequence of a
+/// strictly increasing sequence is still strictly increasing).
+pub fn render_dump(threads: &[(u64, Vec<RecEvent>, u64)], labels: &[&str]) -> (String, DumpStats) {
+    let mut out = String::new();
+    let mut stats = DumpStats::default();
+    for (tid, events, lost) in threads {
+        stats.dropped += lost;
+        if events.is_empty() {
+            continue;
+        }
+        stats.threads += 1;
+        // Pass 1: decide which events survive.
+        let mut keep = vec![false; events.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, ev) in events.iter().enumerate() {
+            match ev.kind {
+                RecKind::Open => stack.push(i),
+                RecKind::Close => {
+                    // The matching open, if it survived, is on the stack;
+                    // anything stacked above it lost its close (e.g. to a
+                    // torn slot) and is discarded with it.
+                    match stack
+                        .iter()
+                        .rposition(|&j| events[j].label == ev.label && events[j].seq == ev.seq)
+                    {
+                        Some(pos) => {
+                            stats.unclosed_opens += (stack.len() - pos - 1) as u64;
+                            keep[stack[pos]] = true;
+                            keep[i] = true;
+                            stack.truncate(pos);
+                        }
+                        None => stats.orphan_closes += 1,
+                    }
+                }
+            }
+        }
+        stats.unclosed_opens += stack.len() as u64;
+        // Pass 2: render survivors, recomputing depth from the surviving
+        // nesting.
+        let mut depth = 0u64;
+        for (i, ev) in events.iter().enumerate() {
+            if !keep[i] {
+                continue;
+            }
+            let label = match labels.get(ev.label as usize) {
+                Some(l) => *l,
+                None => {
+                    // A label id the table does not know (torn write that
+                    // still decoded): drop the event rather than emit an
+                    // unparseable line. Pairing guarantees its partner has
+                    // the same id, so nesting stays balanced.
+                    stats.dropped += 1;
+                    continue;
+                }
+            };
+            let (ev_name, line_depth) = match ev.kind {
+                RecKind::Open => {
+                    let d = depth;
+                    depth += 1;
+                    ("open", d)
+                }
+                RecKind::Close => {
+                    depth -= 1;
+                    ("close", depth)
+                }
+            };
+            out.push_str("{\"ev\":\"");
+            out.push_str(ev_name);
+            out.push_str("\",\"span\":\"");
+            json_escape_into(&mut out, label);
+            out.push_str("\",\"tid\":");
+            out.push_str(&tid.to_string());
+            out.push_str(",\"seq\":");
+            out.push_str(&ev.seq.to_string());
+            out.push_str(",\"depth\":");
+            out.push_str(&line_depth.to_string());
+            out.push_str(",\"t_ns\":");
+            out.push_str(&ev.t_ns.to_string());
+            if ev.kind == RecKind::Close {
+                out.push_str(",\"dur_ns\":");
+                out.push_str(&ev.dur_ns.to_string());
+            }
+            if let Some(k) = ev.attr_key {
+                if let Some(key) = labels.get(k as usize) {
+                    out.push_str(",\"");
+                    json_escape_into(&mut out, key);
+                    out.push_str("\":\"");
+                    out.push_str(&format!("{:#018x}", ev.attr_val));
+                    out.push('"');
+                }
+            }
+            out.push_str("}\n");
+            stats.events += 1;
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(label: u32, seq: u64, t: u64) -> RecEvent {
+        RecEvent {
+            kind: RecKind::Open,
+            label,
+            seq,
+            depth: 0,
+            t_ns: t,
+            dur_ns: 0,
+            attr_key: None,
+            attr_val: 0,
+        }
+    }
+
+    fn close(label: u32, seq: u64, t: u64, dur: u64) -> RecEvent {
+        RecEvent {
+            kind: RecKind::Close,
+            label,
+            seq,
+            depth: 0,
+            t_ns: t,
+            dur_ns: dur,
+            attr_key: None,
+            attr_val: 0,
+        }
+    }
+
+    #[test]
+    fn ring_retains_a_suffix_and_counts_drops_truthfully() {
+        let ring = Ring::new(7, 4);
+        for i in 0..10u64 {
+            ring.push(&open(0, i, i * 100));
+        }
+        let (events, lost) = ring.read();
+        assert_eq!(events.len(), 4);
+        assert_eq!(lost, 6);
+        assert_eq!(ring.pushed(), events.len() as u64 + lost);
+        // Oldest-first drops: what survives is exactly the newest suffix.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_under_capacity_loses_nothing() {
+        let ring = Ring::new(1, 8);
+        ring.push(&open(3, 0, 5));
+        ring.push(&close(3, 0, 9, 4));
+        let (events, lost) = ring.read();
+        assert_eq!(lost, 0);
+        assert_eq!(events, vec![open(3, 0, 5), close(3, 0, 9, 4)]);
+    }
+
+    #[test]
+    fn event_words_round_trip() {
+        let ev = RecEvent {
+            kind: RecKind::Close,
+            label: 9,
+            seq: 1 << 40,
+            depth: 3,
+            t_ns: u64::MAX - 1,
+            dur_ns: 12345,
+            attr_key: Some(2),
+            attr_val: 0xDEAD_BEEF,
+        };
+        assert_eq!(RecEvent::decode(ev.encode()), Some(ev));
+        assert_eq!(RecEvent::decode([0; WORDS]), None, "unwritten slot");
+    }
+
+    #[test]
+    fn render_pairs_survivors_and_recomputes_depth() {
+        // Suffix starting mid-stream: an orphan close (its open was
+        // overwritten), then a balanced pair, then a still-open span with
+        // a completed child.
+        let events = vec![
+            close(0, 10, 100, 50),    // orphan: open overwritten
+            open(1, 11, 110),         // balanced pair at depth 0
+            close(1, 11, 120, 10),    // ...
+            open(2, 12, 130),         // never closes (in flight)
+            open(0, 13, 140),         // its completed child survives
+            close(0, 13, 150, 10),    // ...
+        ];
+        let labels = ["a", "b", "c"];
+        let (text, stats) = render_dump(&[(1, events, 3)], &labels);
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.orphan_closes, 1);
+        assert_eq!(stats.unclosed_opens, 1);
+        assert_eq!(stats.events, 4);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The surviving child re-renders at depth 0, not its original 1+.
+        assert!(lines[2].contains("\"span\":\"a\"") && lines[2].contains("\"depth\":0"));
+        assert!(lines[3].contains("\"dur_ns\":10"));
+    }
+
+    #[test]
+    fn render_discards_opens_whose_close_was_torn_away() {
+        // open a, open b, close a — "close b" was lost to a torn slot, so
+        // pairing "close a" down the stack must discard b's open.
+        let events = vec![
+            open(0, 0, 10),
+            open(1, 1, 20),
+            close(0, 0, 40, 30),
+        ];
+        let (text, stats) = render_dump(&[(1, events, 1)], &["a", "b"]);
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.unclosed_opens, 1);
+        assert_eq!(stats.orphan_closes, 0);
+        assert!(!text.contains("\"span\":\"b\""));
+    }
+
+    #[test]
+    fn armed_flag_follows_capacity() {
+        // CAP is process-global; restore the disarmed default for other
+        // tests in this binary.
+        set_recorder(Some(16));
+        assert!(recorder_on());
+        set_recorder(Some(0));
+        assert!(!recorder_on());
+        set_recorder(None);
+        assert!(!recorder_on());
+    }
+
+    #[test]
+    fn intern_is_stable_and_shared_across_equal_text() {
+        let a = intern("recorder.test.intern.x");
+        let b = intern("recorder.test.intern.y");
+        assert_ne!(a, b);
+        assert_eq!(intern("recorder.test.intern.x"), a);
+        let table = label_table();
+        assert_eq!(table[a as usize], "recorder.test.intern.x");
+        assert_eq!(table[b as usize], "recorder.test.intern.y");
+    }
+
+    #[test]
+    fn concurrent_reads_during_writes_never_misreport() {
+        // One writer hammering a tiny ring, one reader snapshotting: every
+        // event a read returns must be internally consistent (the seq the
+        // writer really pushed for that label), and pushed == kept + lost.
+        let ring = Arc::new(Ring::new(1, 8));
+        let w = Arc::clone(&ring);
+        let writer = std::thread::spawn(move || {
+            for i in 0..20_000u64 {
+                // seq and t_ns move in lockstep; a torn read would break it.
+                w.push(&open(0, i, i * 3));
+            }
+        });
+        let mut reads = 0u64;
+        while reads < 200 {
+            let (events, lost) = ring.read();
+            assert!(events.len() as u64 + lost <= 20_000 + 8);
+            for ev in &events {
+                assert_eq!(ev.t_ns, ev.seq * 3, "torn read leaked through");
+            }
+            // Events come back in push order.
+            assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+            reads += 1;
+        }
+        writer.join().unwrap();
+        let (events, lost) = ring.read();
+        assert_eq!(events.len() as u64 + lost, 20_000);
+    }
+}

@@ -1,0 +1,363 @@
+//! Sliding-window metrics: epoch-ring histograms and counters for live
+//! telemetry ("what is p99 *right now*", not "what was p99 since boot").
+//!
+//! A window is a ring of `epochs` fixed-width buckets of `epoch_ns` each;
+//! a sample recorded at time `t` lands in epoch `t / epoch_ns`, and a
+//! snapshot taken at time `now` merges the epochs in the half-open window
+//! `(now/epoch_ns - epochs, now/epoch_ns]` — everything older has expired
+//! (its ring slot is lazily recycled when its index comes around again).
+//! The default shape is 10 x 1 s: live quantiles over roughly the last
+//! ten seconds, with one-second granularity at the trailing edge.
+//!
+//! The core is **clock-free** in the same sense as `yali_serve::Batcher`:
+//! no method reads a clock, every method takes a caller-supplied `now_ns`,
+//! so the whole state machine is a pure function of its inputs and
+//! property tests can drive time explicitly (including standing still and
+//! jumping far ahead). A `now_ns` that runs backwards is clamped to the
+//! newest epoch already seen — time never rewinds, late samples land in
+//! the current epoch.
+//!
+//! Memory is fixed at construction: `epochs` copies of a
+//! [`HIST_BUCKETS`]-bucket histogram (or one counter per epoch), no
+//! allocation on the record path. The structs are `&mut self` single
+//! writers; concurrent use wraps them in a `Mutex` (as `yali-serve` does
+//! per lane).
+
+use crate::{HistSnapshot, HIST_BUCKETS};
+
+/// Ring-slot sentinel: this epoch slot has never been written.
+const UNUSED: u64 = u64::MAX;
+
+/// The shape of a sliding window: `epochs` buckets of `epoch_ns` each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Width of one epoch bucket in nanoseconds.
+    pub epoch_ns: u64,
+    /// Number of epoch buckets the window spans.
+    pub epochs: usize,
+}
+
+impl WindowConfig {
+    /// Total window span in nanoseconds (`epoch_ns * epochs`).
+    pub fn span_ns(&self) -> u64 {
+        self.epoch_ns.saturating_mul(self.epochs as u64)
+    }
+}
+
+impl Default for WindowConfig {
+    /// 10 epochs of 1 second: quantiles over roughly the last 10 s.
+    fn default() -> WindowConfig {
+        WindowConfig {
+            epoch_ns: 1_000_000_000,
+            epochs: 10,
+        }
+    }
+}
+
+/// One epoch's worth of histogram state.
+#[derive(Clone)]
+struct HistEpoch {
+    /// Which epoch (`t / epoch_ns`) this slot currently holds; [`UNUSED`]
+    /// until first written.
+    seq: u64,
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl HistEpoch {
+    fn fresh(seq: u64) -> HistEpoch {
+        HistEpoch {
+            seq,
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+/// A sliding-window histogram of nanosecond samples: log2 buckets per
+/// epoch, merged into a [`HistSnapshot`] on demand so the lifetime
+/// histogram's quantile machinery applies unchanged to the live window.
+pub struct WindowedHistogram {
+    cfg: WindowConfig,
+    ring: Vec<HistEpoch>,
+    /// Newest epoch ever observed (monotone; a stale `now_ns` clamps here).
+    cur: u64,
+}
+
+impl WindowedHistogram {
+    /// An empty window of the given shape (`epochs >= 1`, `epoch_ns >= 1`
+    /// are clamped up).
+    pub fn new(cfg: WindowConfig) -> WindowedHistogram {
+        let cfg = WindowConfig {
+            epoch_ns: cfg.epoch_ns.max(1),
+            epochs: cfg.epochs.max(1),
+        };
+        WindowedHistogram {
+            cfg,
+            ring: vec![HistEpoch::fresh(UNUSED); cfg.epochs],
+            cur: 0,
+        }
+    }
+
+    /// The window shape.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Monotone epoch number for `now_ns` (never behind an epoch already
+    /// seen — the clamp that keeps a misbehaving clock from rewinding the
+    /// ring).
+    fn epoch(&self, now_ns: u64) -> u64 {
+        (now_ns / self.cfg.epoch_ns).max(self.cur)
+    }
+
+    /// Records one nanosecond sample at time `now_ns`.
+    pub fn record(&mut self, now_ns: u64, sample_ns: u64) {
+        let epoch = self.epoch(now_ns);
+        self.cur = epoch;
+        let len = self.ring.len();
+        let slot = &mut self.ring[(epoch % len as u64) as usize];
+        if slot.seq != epoch {
+            *slot = HistEpoch::fresh(epoch);
+        }
+        let idx = (63 - (sample_ns | 1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        slot.buckets[idx] += 1;
+        slot.count += 1;
+        slot.sum_ns = slot.sum_ns.saturating_add(sample_ns);
+        slot.max_ns = slot.max_ns.max(sample_ns);
+    }
+
+    /// Merges the live epochs into a point-in-time [`HistSnapshot`] as of
+    /// `now_ns` (advancing the window first, so samples older than the
+    /// span are excluded even if nothing was recorded since).
+    pub fn snapshot(&mut self, now_ns: u64, name: &str) -> HistSnapshot {
+        let epoch = self.epoch(now_ns);
+        self.cur = epoch;
+        let len = self.ring.len() as u64;
+        let mut snap = HistSnapshot {
+            name: name.to_string(),
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        };
+        for slot in &self.ring {
+            // Live iff written and within the trailing `epochs` window:
+            // seq in (epoch - len, epoch].
+            if slot.seq == UNUSED || slot.seq + len <= epoch {
+                continue;
+            }
+            for (b, n) in snap.buckets.iter_mut().zip(slot.buckets.iter()) {
+                *b += n;
+            }
+            snap.count += slot.count;
+            snap.sum_ns = snap.sum_ns.saturating_add(slot.sum_ns);
+            snap.max_ns = snap.max_ns.max(slot.max_ns);
+        }
+        snap
+    }
+}
+
+/// A sliding-window counter with a rolling per-second rate (the live QPS
+/// companion to [`WindowedHistogram`]). Same epoch ring, same clock-free
+/// contract.
+pub struct WindowedCounter {
+    cfg: WindowConfig,
+    ring: Vec<(u64, u64)>, // (epoch seq or UNUSED, count)
+    cur: u64,
+    /// First `now_ns` ever passed to [`WindowedCounter::add`]; rates over
+    /// a window the process has not yet lived through divide by the
+    /// elapsed time instead, so a young counter is not underreported.
+    first_ns: Option<u64>,
+}
+
+impl WindowedCounter {
+    /// An empty counter window of the given shape.
+    pub fn new(cfg: WindowConfig) -> WindowedCounter {
+        let cfg = WindowConfig {
+            epoch_ns: cfg.epoch_ns.max(1),
+            epochs: cfg.epochs.max(1),
+        };
+        WindowedCounter {
+            cfg,
+            ring: vec![(UNUSED, 0); cfg.epochs],
+            cur: 0,
+            first_ns: None,
+        }
+    }
+
+    fn epoch(&self, now_ns: u64) -> u64 {
+        (now_ns / self.cfg.epoch_ns).max(self.cur)
+    }
+
+    /// Adds `n` events at time `now_ns`.
+    pub fn add(&mut self, now_ns: u64, n: u64) {
+        let epoch = self.epoch(now_ns);
+        self.cur = epoch;
+        self.first_ns.get_or_insert(now_ns);
+        let len = self.ring.len();
+        let slot = &mut self.ring[(epoch % len as u64) as usize];
+        if slot.0 != epoch {
+            *slot = (epoch, 0);
+        }
+        slot.1 += n;
+    }
+
+    /// Events inside the window as of `now_ns`.
+    pub fn total(&mut self, now_ns: u64) -> u64 {
+        let epoch = self.epoch(now_ns);
+        self.cur = epoch;
+        let len = self.ring.len() as u64;
+        self.ring
+            .iter()
+            .filter(|(seq, _)| *seq != UNUSED && seq + len > epoch)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Rolling events-per-second as of `now_ns`: the window total over the
+    /// covered span (the full window once the counter is older than it,
+    /// the elapsed lifetime — floored at one epoch — before that). A
+    /// counter that never counted reports 0.
+    pub fn rate_per_sec(&mut self, now_ns: u64) -> f64 {
+        let Some(first) = self.first_ns else {
+            return 0.0;
+        };
+        let total = self.total(now_ns);
+        let covered = now_ns
+            .saturating_sub(first)
+            .max(self.cfg.epoch_ns)
+            .min(self.cfg.span_ns())
+            .max(1);
+        total as f64 * 1e9 / covered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: u64 = 1_000; // tiny epochs make the arithmetic readable
+
+    fn cfg() -> WindowConfig {
+        WindowConfig {
+            epoch_ns: E,
+            epochs: 4,
+        }
+    }
+
+    #[test]
+    fn samples_expire_oldest_epoch_first() {
+        let mut w = WindowedHistogram::new(cfg());
+        w.record(0, 10); // epoch 0
+        w.record(2 * E, 20); // epoch 2
+        // Window at epoch 3 covers epochs 0..=3: both visible.
+        let s = w.snapshot(3 * E, "w");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum_ns, 30);
+        // Window at epoch 4 covers 1..=4: epoch 0 expired.
+        let s = w.snapshot(4 * E, "w");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_ns, 20);
+        // Far future: everything expired, snapshot is truly empty.
+        let s = w.snapshot(100 * E, "w");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile_opt(0.99), None);
+    }
+
+    #[test]
+    fn ring_slots_are_recycled_on_wraparound() {
+        let mut w = WindowedHistogram::new(cfg());
+        w.record(0, 1); // epoch 0 -> slot 0
+        w.record(4 * E, 2); // epoch 4 -> slot 0 again: must evict epoch 0
+        let s = w.snapshot(4 * E, "w");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_ns, 2);
+    }
+
+    #[test]
+    fn a_backwards_clock_clamps_to_the_newest_epoch() {
+        let mut w = WindowedHistogram::new(cfg());
+        w.record(5 * E, 50);
+        w.record(E, 60); // stale now_ns: lands in epoch 5, not epoch 1
+        let s = w.snapshot(5 * E, "w");
+        assert_eq!(s.count, 2);
+        // And the stale record did not resurrect an expired view.
+        let s = w.snapshot(9 * E, "w");
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn quantiles_of_the_window_match_the_lifetime_estimator() {
+        let mut w = WindowedHistogram::new(WindowConfig::default());
+        for _ in 0..90 {
+            w.record(0, 1_000);
+        }
+        for _ in 0..10 {
+            w.record(0, 1_000_000);
+        }
+        let s = w.snapshot(0, "w");
+        assert_eq!(s.count, 100);
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((512..1_024).contains(&p50), "p50={p50}");
+        assert!((524_288..=1_000_000).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn counter_totals_roll_and_rates_divide_by_covered_time() {
+        let mut c = WindowedCounter::new(cfg());
+        assert_eq!(c.rate_per_sec(0), 0.0);
+        c.add(0, 8);
+        c.add(E, 4);
+        assert_eq!(c.total(E), 12);
+        // Epoch 0 expires at epoch 4.
+        assert_eq!(c.total(4 * E), 4);
+        assert_eq!(c.total(40 * E), 0);
+        // Rate: 12 events over one epoch of lifetime (floored) = 12/1000ns.
+        let mut c = WindowedCounter::new(cfg());
+        c.add(0, 12);
+        let r = c.rate_per_sec(0);
+        assert!((r - 12.0 * 1e9 / E as f64).abs() < 1e-6, "r={r}");
+        // Once older than the window, the divisor is the full span.
+        let mut c = WindowedCounter::new(cfg());
+        c.add(0, 1);
+        c.add(100 * E, 8);
+        let r = c.rate_per_sec(100 * E);
+        assert!((r - 8.0 * 1e9 / (4 * E) as f64).abs() < 1e-6, "r={r}");
+    }
+
+    #[test]
+    fn window_agrees_with_a_brute_force_model() {
+        // A deterministic pseudo-random schedule of (time, sample) events,
+        // checked against the spec: a sample at t is visible at `now` iff
+        // t/E is in (now/E - epochs, now/E], with both clocks monotone.
+        let mut w = WindowedHistogram::new(cfg());
+        let mut events: Vec<(u64, u64)> = Vec::new();
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut now = 0u64;
+        for step in 0..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            now += state % (3 * E / 2); // advance 0..1.5 epochs
+            let sample = (state >> 32) % 10_000;
+            w.record(now, sample);
+            events.push((now, sample));
+            if step % 7 == 0 {
+                let epoch = now / E;
+                let want: Vec<u64> = events
+                    .iter()
+                    .filter(|(t, _)| t / E + 4 > epoch)
+                    .map(|&(_, s)| s)
+                    .collect();
+                let snap = w.snapshot(now, "w");
+                assert_eq!(snap.count, want.len() as u64, "step {step}");
+                assert_eq!(snap.sum_ns, want.iter().sum::<u64>(), "step {step}");
+                assert_eq!(snap.max_ns, want.iter().copied().max().unwrap_or(0));
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! End-to-end and property tests for the live-telemetry layer: flight
+//! recorder dumps must *always* satisfy `yali-prof`'s strict trace
+//! parser (the whole point of the recorder is that an incident dump is
+//! analyzable with the existing tooling, not best-effort), and the
+//! sliding windows must agree with a brute-force model of the epoch
+//! arithmetic under arbitrary clock schedules.
+
+use proptest::prelude::*;
+use yali_obs::recorder::{self, RecEvent, RecKind, Ring};
+use yali_obs::window::{WindowConfig, WindowedCounter, WindowedHistogram};
+
+/// The recorder (capacity, rings, label table) is process-global; tests
+/// that arm it serialize here so one test's re-arm cannot change what
+/// another observes mid-flight.
+static RECORDER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn live_span_dump_parses_and_seqs_are_per_tid_monotone() {
+    let _lock = RECORDER_LOCK.lock().unwrap();
+    yali_obs::set_enabled(true);
+    recorder::set_recorder(Some(64));
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(|| {
+                // 200 iterations x 2 spans x 2 events = 800 events per
+                // thread, far past the 64-event ring: wraparound under
+                // real span traffic.
+                for i in 0..200u64 {
+                    let _outer = yali_obs::span("flight.test.outer");
+                    let _inner = yali_obs::span_attr("flight.test.inner", "module", i);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    recorder::set_recorder(None);
+    yali_obs::set_enabled(false);
+
+    let stats = recorder::recorder_stats();
+    assert!(stats.events >= 4 * 800, "events={}", stats.events);
+    assert!(stats.dropped > 0, "64-slot rings must have overwritten");
+    assert!(stats.threads >= 4);
+
+    let (dump, dstats) = recorder::dump();
+    assert!(dstats.events > 0);
+    assert!(dstats.dropped > 0);
+    assert_eq!(
+        dump.lines().count() as u64,
+        dstats.events + 1,
+        "one meta line plus exactly the kept events"
+    );
+    // The strict parser enforces per-tid monotone seq, depth coherence,
+    // and close/open pairing — a clean parse IS the monotonicity proof.
+    let trace = yali_prof::parse_trace(&dump).expect("flight dump must parse strictly");
+    assert!(trace.n_spans > 0);
+    assert_eq!(trace.recorder.len(), 1);
+    assert_eq!(trace.recorder[0].fields["events"], dstats.events);
+    assert_eq!(trace.recorder[0].fields["dropped"], dstats.dropped);
+    // And the standard views consume it unchanged.
+    let profile = yali_prof::profile(&trace);
+    assert!(profile
+        .labels
+        .iter()
+        .any(|r| r.label.starts_with("flight.test.")));
+    let chrome = yali_prof::to_chrome(&trace);
+    assert!(chrome.contains("flight.test.inner"));
+}
+
+#[test]
+fn spans_recorded_before_arming_repair_away_cleanly() {
+    let _lock = RECORDER_LOCK.lock().unwrap();
+    yali_obs::set_enabled(true);
+    // Open a span with the recorder off, arm mid-flight, then close: the
+    // ring sees a close whose open it never recorded — an orphan the
+    // dump must repair away, not emit.
+    let guard = yali_obs::span("flight.test.straddle");
+    recorder::set_recorder(Some(32));
+    drop(guard);
+    {
+        let _balanced = yali_obs::span("flight.test.balanced");
+    }
+    recorder::set_recorder(None);
+    yali_obs::set_enabled(false);
+    let (dump, _) = recorder::dump();
+    let trace = yali_prof::parse_trace(&dump).expect("straddled dump must parse");
+    fn count_label(nodes: &[yali_prof::SpanNode], label: &str) -> usize {
+        nodes
+            .iter()
+            .map(|n| {
+                (n.label == label) as usize + count_label(&n.children, label)
+            })
+            .sum()
+    }
+    assert_eq!(count_label(&trace.roots, "flight.test.straddle"), 0);
+    assert!(count_label(&trace.roots, "flight.test.balanced") >= 1);
+}
+
+/// A balanced span program on one thread, driven by a proptest-chosen
+/// op list: an op below `n_labels` opens a span with that label, anything
+/// else closes the innermost open span (ignored when nothing is open);
+/// everything still open at the end is closed. Timestamps advance by the
+/// given deltas.
+fn balanced_program(ops: &[u8], dts: &[u64], n_labels: u8) -> Vec<RecEvent> {
+    let mut events = Vec::new();
+    let mut stack: Vec<(u32, u64)> = Vec::new();
+    let mut next_seq = 0u64;
+    let mut t = 0u64;
+    let mut dts = dts.iter().cycle();
+    let emit = |events: &mut Vec<RecEvent>, kind, label, seq, depth, t, dur| {
+        events.push(RecEvent {
+            kind,
+            label,
+            seq,
+            depth,
+            t_ns: t,
+            dur_ns: dur,
+            // Exercise the attr path on a slice of spans.
+            attr_key: if label % 3 == 0 { Some(label) } else { None },
+            attr_val: seq,
+        });
+    };
+    for &op in ops {
+        t += dts.next().unwrap();
+        if op < n_labels {
+            let label = op as u32;
+            emit(
+                &mut events,
+                RecKind::Open,
+                label,
+                next_seq,
+                stack.len() as u64,
+                t,
+                0,
+            );
+            stack.push((label, next_seq));
+            next_seq += 1;
+        } else if let Some((label, seq)) = stack.pop() {
+            emit(
+                &mut events,
+                RecKind::Close,
+                label,
+                seq,
+                stack.len() as u64,
+                t,
+                1,
+            );
+        }
+    }
+    while let Some((label, seq)) = stack.pop() {
+        t += 1;
+        emit(
+            &mut events,
+            RecKind::Close,
+            label,
+            seq,
+            stack.len() as u64,
+            t,
+            1,
+        );
+    }
+    events
+}
+
+proptest! {
+    /// Any balanced program, squeezed through a ring of any capacity (so
+    /// an arbitrary suffix survives), renders to a dump the strict parser
+    /// accepts, with truthful kept/dropped accounting.
+    #[test]
+    fn any_ring_suffix_renders_to_a_strictly_parseable_trace(
+        // Ops 0..6 open a span with that label, 6..10 close: ~60% opens.
+        ops in proptest::collection::vec(0u8..10, 0..120),
+        dts in proptest::collection::vec(0u64..1_000, 1..8),
+        cap in 1usize..48,
+    ) {
+        let events = balanced_program(&ops, &dts, 6);
+        let ring = Ring::new(9, cap);
+        for ev in &events {
+            ring.push(ev);
+        }
+        let (kept, lost) = ring.read();
+        prop_assert_eq!(kept.len() as u64 + lost, events.len() as u64);
+        // Oldest-first: the survivors are exactly the newest suffix.
+        prop_assert_eq!(&kept[..], &events[lost as usize..]);
+        let labels = ["l0", "l1", "l2", "l3", "l4", "l5"];
+        let (text, stats) = recorder::render_dump(&[(9, kept, lost)], &labels);
+        prop_assert_eq!(stats.dropped, lost);
+        let trace = yali_prof::parse_trace(&text)
+            .map_err(|e| TestCaseError::fail(format!("dump must parse: {e}\n{text}")))?;
+        prop_assert_eq!(stats.events, text.lines().count() as u64);
+        prop_assert_eq!(trace.n_spans as u64 * 2, stats.events);
+        // Nothing invented: every surviving event was in the suffix.
+        prop_assert!(stats.events <= (events.len() as u64 - lost));
+    }
+
+    /// The windowed histogram agrees with a brute-force model: a sample
+    /// recorded at (monotone-clamped) time `t` is visible at `now` iff
+    /// its epoch is within the trailing `epochs` window.
+    #[test]
+    fn windowed_histogram_matches_model(
+        steps in proptest::collection::vec((0u64..2_500, 1u64..100_000), 1..150),
+        epoch_ns in 1u64..2_000,
+        epochs in 1usize..12,
+    ) {
+        let cfg = WindowConfig { epoch_ns, epochs };
+        let mut w = WindowedHistogram::new(cfg);
+        let mut c = WindowedCounter::new(cfg);
+        let mut seen: Vec<(u64, u64)> = Vec::new(); // (clamped epoch, sample)
+        let mut now = 0u64;
+        let mut cur_epoch = 0u64;
+        for &(dt, sample) in &steps {
+            now += dt;
+            w.record(now, sample);
+            c.add(now, 1);
+            cur_epoch = cur_epoch.max(now / epoch_ns);
+            seen.push((cur_epoch, sample));
+            let visible: Vec<u64> = seen
+                .iter()
+                .filter(|(e, _)| e + epochs as u64 > cur_epoch)
+                .map(|&(_, s)| s)
+                .collect();
+            let snap = w.snapshot(now, "w");
+            prop_assert_eq!(snap.count, visible.len() as u64);
+            prop_assert_eq!(snap.sum_ns, visible.iter().sum::<u64>());
+            prop_assert_eq!(snap.max_ns, visible.iter().copied().max().unwrap_or(0));
+            prop_assert_eq!(c.total(now), visible.len() as u64);
+            // Satellite contract: empty window <=> no quantile, and any
+            // quantile estimate stays within the observed range.
+            match snap.quantile_opt(0.99) {
+                None => prop_assert_eq!(snap.count, 0),
+                Some(q) => prop_assert!(q <= snap.max_ns),
+            }
+        }
+    }
+}

@@ -307,6 +307,41 @@ fn diff_bench(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<Vec<Violatio
             }
         }
     }
+
+    // The top-level `live` section (BENCH_serve.json): the daemon's own
+    // windowed telemetry, sampled over the bench run. The same tail/
+    // throughput thresholds apply, and the same both-sides-present rule —
+    // a zero means "window was empty when sampled", which is a bench
+    // harness artifact, not a serving regression.
+    if let (Some(ol), Some(nl)) = (old.get("live").as_object(), new.get("live").as_object()) {
+        let f = |m: &std::collections::BTreeMap<String, Value>, k: &str| {
+            m.get(k).and_then(Value::as_f64).filter(|&v| v > 0.0)
+        };
+        if let (Some(o), Some(n)) = (f(ol, "windowed_p99_ns"), f(nl, "windowed_p99_ns")) {
+            if n > o * cfg.max_p99_ratio {
+                out.push(Violation {
+                    metric: "live windowed_p99_ns".into(),
+                    detail: format!(
+                        "live tail grew from {o:.0}ns to {n:.0}ns ({:.1}x > {:.1}x ceiling)",
+                        n / o,
+                        cfg.max_p99_ratio
+                    ),
+                });
+            }
+        }
+        if let (Some(o), Some(n)) = (f(ol, "rolling_qps"), f(nl, "rolling_qps")) {
+            if n < o * cfg.min_qps_ratio {
+                out.push(Violation {
+                    metric: "live rolling_qps".into(),
+                    detail: format!(
+                        "live throughput fell from {o:.1} to {n:.1} qps (below {:.0}% of the \
+                         baseline)",
+                        cfg.min_qps_ratio * 100.0
+                    ),
+                });
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -470,6 +505,39 @@ mod tests {
         assert!(diff_values(&plain, &mk(2_000_000.0, 900.0), &cfg)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn live_section_gates_windowed_tail_and_rolling_qps() {
+        let mk = |p99: f64, qps: f64| -> Value {
+            serde_json::from_str(&format!(
+                r#"{{"modes":[{{"name":"serve/batched","mean_ns":5.0}}],
+                     "live":{{"windowed_p99_ns":{p99},"rolling_qps":{qps},"window_count":64}}}}"#
+            ))
+            .unwrap()
+        };
+        let cfg = DiffConfig::default();
+        assert!(diff_values(&mk(2e6, 900.0), &mk(4e6, 700.0), &cfg)
+            .unwrap()
+            .is_empty());
+        let violations = diff_values(&mk(2e6, 900.0), &mk(9e6, 900.0), &cfg).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "live windowed_p99_ns");
+        let violations = diff_values(&mk(2e6, 900.0), &mk(2e6, 100.0), &cfg).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "live rolling_qps");
+        // An empty window on either side (0) or a report without the
+        // section never gates — garbage must not fail a build.
+        assert!(diff_values(&mk(0.0, 0.0), &mk(9e6, 1.0), &cfg)
+            .unwrap()
+            .is_empty());
+        assert!(diff_values(&mk(2e6, 900.0), &mk(0.0, 0.0), &cfg)
+            .unwrap()
+            .is_empty());
+        let plain: Value =
+            serde_json::from_str(r#"{"modes":[{"name":"serve/batched","mean_ns":5.0}]}"#).unwrap();
+        assert!(diff_values(&plain, &mk(2e6, 900.0), &cfg).unwrap().is_empty());
+        assert!(diff_values(&mk(2e6, 900.0), &plain, &cfg).unwrap().is_empty());
     }
 
     #[test]

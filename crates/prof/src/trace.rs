@@ -119,6 +119,10 @@ pub struct Trace {
     pub regions: Vec<RegionEvent>,
     /// Every `warn` event, in file order.
     pub warns: Vec<WarnEvent>,
+    /// Flight-recorder dump meta lines (`{"ev":"recorder",...}`), in file
+    /// order; carries the dump's kept/dropped/repair accounting as
+    /// free-form numeric fields. Ignored by profile/timeline/export.
+    pub recorder: Vec<RegionEvent>,
     /// Total events parsed (spans count their open and close separately).
     pub n_events: usize,
     /// Total reconstructed spans.
@@ -389,6 +393,34 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
                     msg: field_str(&v, "msg", line)?.to_string(),
                 });
             }
+            // The flight recorder prefixes its dumps with one meta line
+            // describing what the dump kept and repaired (events, dropped,
+            // orphan_closes, ...). Shaped like a labelless region: tid,
+            // t_ns, and free-form numeric fields.
+            "recorder" => {
+                let tid = field_u64(&v, "tid", line)?;
+                let t_ns = field_u64(&v, "t_ns", line)?;
+                let mut fields = BTreeMap::new();
+                for (k, fv) in obj {
+                    if matches!(k.as_str(), "ev" | "tid" | "t_ns") {
+                        continue;
+                    }
+                    let n = fv.as_u64().ok_or_else(|| {
+                        TraceError::new(
+                            line,
+                            format!("recorder field {k:?} is not a non-negative integer"),
+                        )
+                    })?;
+                    fields.insert(k.clone(), n);
+                }
+                trace.recorder.push(RegionEvent {
+                    label: "recorder".to_string(),
+                    tid,
+                    t_ns,
+                    fields,
+                    line,
+                });
+            }
             other => {
                 return Err(TraceError::new(
                     line,
@@ -572,6 +604,25 @@ mod tests {
         assert_eq!(t.regions[1].fields["worker"], 0);
         assert_eq!(t.warns.len(), 1);
         assert_eq!(t.warns[0].msg, "something odd");
+    }
+
+    #[test]
+    fn recorder_meta_lines_parse_with_numeric_fields() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            r#"{"ev":"recorder","tid":3,"t_ns":500,"events":2,"dropped":7,"orphan_closes":1,"unclosed_opens":0,"threads":1}"#,
+            open("a", 1, 0, 0, 10),
+            close("a", 1, 0, 0, 20, 10),
+        );
+        let t = parse_trace(&text).unwrap();
+        assert_eq!(t.recorder.len(), 1);
+        assert_eq!(t.recorder[0].tid, 3);
+        assert_eq!(t.recorder[0].fields["dropped"], 7);
+        assert_eq!(t.n_spans, 1);
+        // Non-numeric payload fields are rejected, like regions.
+        let err =
+            parse_trace(r#"{"ev":"recorder","tid":1,"t_ns":0,"events":"lots"}"#).unwrap_err();
+        assert!(err.msg.contains("not a non-negative integer"), "{err}");
     }
 
     #[test]

@@ -74,6 +74,18 @@ impl Client {
         self.call(&Request::Stats)
     }
 
+    /// Structured live metrics: windowed quantiles + rolling QPS per
+    /// lane, lifetime counters, recorder occupancy.
+    pub fn metrics(&mut self) -> io::Result<Reply> {
+        self.call(&Request::Metrics)
+    }
+
+    /// The server's flight-recorder contents as a `yali-prof`-parseable
+    /// JSONL trace.
+    pub fn dump_trace(&mut self) -> io::Result<Reply> {
+        self.call(&Request::DumpTrace)
+    }
+
     /// Requests a graceful shutdown; `Ok` acks that the drain began.
     pub fn shutdown(&mut self) -> io::Result<Reply> {
         self.call(&Request::Shutdown)

@@ -34,8 +34,14 @@
 //!   requests are refused as `overloaded`; default 1024.
 //! * `YALI_SERVE_DEADLINE_US` — the batching deadline in microseconds;
 //!   default 2000 (2 ms).
+//! * `YALI_SERVE_SLO_P99_MS` — a windowed-p99 latency SLO in
+//!   milliseconds; when the live p99 over the trailing window exceeds
+//!   it, the daemon auto-dumps the flight recorder to a JSONL file.
+//!   Unset means the trigger is off (queue overflow still dumps).
+//! * `YALI_SERVE_DUMP_DIR` — directory for anomaly-triggered flight
+//!   dumps; default the daemon's working directory.
 //!
-//! Both parse with the same warn-once discipline as `YALI_THREADS`
+//! All parse with the same warn-once discipline as `YALI_THREADS`
 //! (through [`yali_obs::env_once`]): a set-but-garbage value warns once
 //! on stderr and falls back to the default.
 
@@ -43,6 +49,7 @@
 
 pub mod batcher;
 pub mod client;
+pub mod live;
 pub mod protocol;
 pub mod server;
 
@@ -52,7 +59,8 @@ use yali_obs::{EnvVar, WarnOnce};
 
 pub use batcher::{Batch, Batcher, BatcherConfig, Pending, Trigger};
 pub use client::Client;
-pub use protocol::{Reply, Request};
+pub use live::{live_config_from_env, LiveConfig};
+pub use protocol::{LaneMetrics, Metrics, Reply, Request};
 pub use server::{Server, Tenants, SCAN_LANE};
 
 /// Parses a positive integer knob value (`YALI_SERVE_QUEUE`,

@@ -1,0 +1,329 @@
+//! Live telemetry for the daemon: per-lane sliding windows, the anomaly
+//! trigger, and flight-recorder dump plumbing.
+//!
+//! Each lane (one per model, plus the scan lane) owns a
+//! [`WindowedHistogram`] of enqueue-to-reply latencies and a
+//! [`WindowedCounter`] of completions; a global pair aggregates across
+//! lanes. The dispatcher feeds them after every batch it answers, and the
+//! `metrics` protocol op snapshots them — so "p99 right now" is a real
+//! sliding-window quantile, not a lifetime aggregate that stopped meaning
+//! anything minutes after boot.
+//!
+//! The anomaly trigger turns the flight recorder from a passive ring into
+//! an incident artifact: when the *windowed* global p99 breaches the
+//! configured SLO, or the admission queue refuses a request, the recorder
+//! is dumped to a JSONL file in [`LiveConfig::dump_dir`] (rate-limited by
+//! [`LiveConfig::dump_cooldown_ns`], so a sustained breach produces one
+//! dump per cooldown, not one per batch). The decision is a pure function
+//! ([`should_dump`]) of explicit nanosecond inputs, tested without clocks
+//! or filesystems.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use yali_obs::window::{WindowConfig, WindowedCounter, WindowedHistogram};
+
+use crate::server::SCAN_LANE;
+
+/// Configuration for the live-telemetry layer, fixed at bind time.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Sliding-window shape for latency quantiles and rolling QPS.
+    pub window: WindowConfig,
+    /// Windowed-p99 SLO in nanoseconds; a breach triggers a flight
+    /// recorder dump. `None` disables the latency trigger.
+    pub slo_p99_ns: Option<u64>,
+    /// Directory anomaly dumps are written into.
+    pub dump_dir: PathBuf,
+    /// Minimum nanoseconds between anomaly dumps (a sustained breach
+    /// must not flood the disk).
+    pub dump_cooldown_ns: u64,
+    /// Flight recorder ring capacity per thread, in events; 0 leaves the
+    /// recorder disarmed.
+    pub recorder_cap: usize,
+}
+
+impl Default for LiveConfig {
+    /// 10x1s windows, no SLO trigger, dumps to the working directory at
+    /// most every 5 s, recorder armed at the default capacity.
+    fn default() -> LiveConfig {
+        LiveConfig {
+            window: WindowConfig::default(),
+            slo_p99_ns: None,
+            dump_dir: PathBuf::from("."),
+            dump_cooldown_ns: 5_000_000_000,
+            recorder_cap: yali_obs::recorder::DEFAULT_RECORDER_CAP,
+        }
+    }
+}
+
+/// [`LiveConfig`] from the environment: `YALI_SERVE_SLO_P99_MS` (windowed
+/// p99 SLO in milliseconds; unset disables the latency trigger) and
+/// `YALI_SERVE_DUMP_DIR` (anomaly dump directory, default `.`). Garbage
+/// SLO values warn once and disable the trigger, per the knob discipline.
+pub fn live_config_from_env() -> LiveConfig {
+    static ONCE: yali_obs::WarnOnce = yali_obs::WarnOnce::new();
+    let slo_p99_ns = yali_obs::env_once(
+        "YALI_SERVE_SLO_P99_MS",
+        &ONCE,
+        "is not a positive millisecond count; the SLO dump trigger stays off",
+        crate::parse_positive,
+    )
+    .map(|ms| ms.saturating_mul(1_000_000));
+    let dump_dir = std::env::var("YALI_SERVE_DUMP_DIR")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    LiveConfig {
+        slo_p99_ns,
+        dump_dir,
+        ..LiveConfig::default()
+    }
+}
+
+/// Pure anomaly-trigger decision: dump iff there is something anomalous
+/// (`breached`) and the last dump is at least `cooldown_ns` old
+/// (`last_dump_ns == 0` means "never dumped", which always qualifies).
+pub fn should_dump(breached: bool, last_dump_ns: u64, now_ns: u64, cooldown_ns: u64) -> bool {
+    breached && (last_dump_ns == 0 || now_ns.saturating_sub(last_dump_ns) >= cooldown_ns)
+}
+
+/// One lane's sliding-window state.
+struct LaneWindow {
+    hist: WindowedHistogram,
+    thru: WindowedCounter,
+}
+
+impl LaneWindow {
+    fn new(cfg: WindowConfig) -> LaneWindow {
+        LaneWindow {
+            hist: WindowedHistogram::new(cfg),
+            thru: WindowedCounter::new(cfg),
+        }
+    }
+}
+
+/// A point-in-time window snapshot for one lane (or the global
+/// aggregate): count, optional quantiles, rolling rate.
+pub(crate) struct WindowStats {
+    pub count: u64,
+    pub p50_ns: Option<u64>,
+    pub p95_ns: Option<u64>,
+    pub p99_ns: Option<u64>,
+    pub qps: f64,
+}
+
+/// The live-telemetry state one server instance owns.
+pub(crate) struct Live {
+    pub(crate) cfg: LiveConfig,
+    /// Model lanes in roster order, then the scan lane.
+    lanes: Vec<Mutex<LaneWindow>>,
+    global: Mutex<LaneWindow>,
+    /// `epoch_ns` of the last anomaly dump (0 = never).
+    last_dump_ns: AtomicU64,
+}
+
+impl Live {
+    pub(crate) fn new(cfg: LiveConfig, n_models: usize) -> Live {
+        let lanes = (0..n_models + 1)
+            .map(|_| Mutex::new(LaneWindow::new(cfg.window)))
+            .collect();
+        Live {
+            global: Mutex::new(LaneWindow::new(cfg.window)),
+            lanes,
+            last_dump_ns: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    fn lane_idx(&self, lane: u32) -> usize {
+        if lane == SCAN_LANE {
+            self.lanes.len() - 1
+        } else {
+            (lane as usize).min(self.lanes.len() - 1)
+        }
+    }
+
+    /// Records one answered batch: `enqueued_ns` are the rows' admission
+    /// timestamps, `now_ns` the post-reply clock; each row contributes
+    /// its enqueue-to-reply latency. Returns the windowed global p99
+    /// *iff* it breaches the configured SLO.
+    pub(crate) fn observe(&self, lane: u32, enqueued_ns: &[u64], now_ns: u64) -> Option<u64> {
+        if enqueued_ns.is_empty() {
+            return None;
+        }
+        {
+            let mut lw = self.lanes[self.lane_idx(lane)].lock().unwrap();
+            for &e in enqueued_ns {
+                lw.hist.record(now_ns, now_ns.saturating_sub(e));
+            }
+            lw.thru.add(now_ns, enqueued_ns.len() as u64);
+        }
+        let mut g = self.global.lock().unwrap();
+        for &e in enqueued_ns {
+            g.hist.record(now_ns, now_ns.saturating_sub(e));
+        }
+        g.thru.add(now_ns, enqueued_ns.len() as u64);
+        let slo = self.cfg.slo_p99_ns?;
+        g.hist
+            .snapshot(now_ns, "serve.window")
+            .quantile_opt(0.99)
+            .filter(|&p99| p99 > slo)
+    }
+
+    fn stats_of(w: &mut LaneWindow, now_ns: u64) -> WindowStats {
+        let snap = w.hist.snapshot(now_ns, "serve.window");
+        WindowStats {
+            count: snap.count,
+            p50_ns: snap.quantile_opt(0.5),
+            p95_ns: snap.quantile_opt(0.95),
+            p99_ns: snap.quantile_opt(0.99),
+            qps: w.thru.rate_per_sec(now_ns),
+        }
+    }
+
+    /// Window snapshot of one lane (model index order, scan last).
+    pub(crate) fn lane_stats(&self, idx: usize, now_ns: u64) -> WindowStats {
+        Self::stats_of(&mut self.lanes[idx].lock().unwrap(), now_ns)
+    }
+
+    /// Window snapshot of the global aggregate.
+    pub(crate) fn global_stats(&self, now_ns: u64) -> WindowStats {
+        Self::stats_of(&mut self.global.lock().unwrap(), now_ns)
+    }
+
+    /// Number of lanes (models + scan).
+    pub(crate) fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Anomaly path: writes a flight-recorder dump named after `reason`
+    /// into the configured directory, if the recorder is armed and the
+    /// cooldown allows it. Never takes the server down — a write failure
+    /// warns and moves on.
+    pub(crate) fn maybe_dump(&self, reason: &str, now_ns: u64) {
+        if !yali_obs::recorder::recorder_on() {
+            return;
+        }
+        let last = self.last_dump_ns.load(Ordering::Relaxed);
+        if !should_dump(true, last, now_ns, self.cfg.dump_cooldown_ns) {
+            return;
+        }
+        // One dumper wins the race; losers skip (their anomaly is in the
+        // winner's dump anyway).
+        if self
+            .last_dump_ns
+            .compare_exchange(last, now_ns.max(1), Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let (dump, stats) = yali_obs::recorder::dump();
+        let path = self
+            .cfg
+            .dump_dir
+            .join(format!("yali-serve-flight-{reason}-{now_ns}.jsonl"));
+        match std::fs::write(&path, &dump) {
+            Ok(()) => {
+                yali_obs::count!("serve.flight_dumps", 1);
+                yali_obs::warn(&format!(
+                    "anomaly ({reason}): dumped {} flight-recorder events to {}",
+                    stats.events,
+                    path.display()
+                ));
+            }
+            Err(e) => {
+                yali_obs::warn(&format!(
+                    "anomaly ({reason}): flight-recorder dump to {} failed: {e}",
+                    path.display()
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn should_dump_respects_breach_and_cooldown() {
+        let cd = 5_000_000_000;
+        assert!(!should_dump(false, 0, 0, cd), "no anomaly, no dump");
+        assert!(should_dump(true, 0, 0, cd), "first anomaly always dumps");
+        assert!(!should_dump(true, 1, 1 + cd - 1, cd), "inside cooldown");
+        assert!(should_dump(true, 1, 1 + cd, cd), "cooldown elapsed");
+        assert!(
+            !should_dump(true, 10, 3, cd),
+            "a stale clock must not re-trigger"
+        );
+    }
+
+    #[test]
+    fn observe_feeds_lane_and_global_and_flags_slo_breach() {
+        let cfg = LiveConfig {
+            slo_p99_ns: Some(1_000),
+            ..LiveConfig::default()
+        };
+        let live = Live::new(cfg, 2);
+        assert_eq!(live.n_lanes(), 3);
+        // Fast rows: under the SLO, no breach.
+        assert_eq!(live.observe(0, &[900, 950], 1_000), None);
+        // Slow rows on the scan lane: global windowed p99 breaches.
+        let breach = live.observe(SCAN_LANE, &[0], 1_000_000);
+        assert!(breach.is_some_and(|p99| p99 > 1_000), "{breach:?}");
+        let g = live.global_stats(1_000_000);
+        assert_eq!(g.count, 3);
+        assert!(g.p99_ns.is_some());
+        assert!(g.qps > 0.0);
+        // Lane attribution: lane 0 got the fast rows, scan got the slow
+        // one, lane 1 stayed idle (and has no quantiles, not zeros).
+        assert_eq!(live.lane_stats(0, 1_000_000).count, 2);
+        assert_eq!(live.lane_stats(2, 1_000_000).count, 1);
+        let idle = live.lane_stats(1, 1_000_000);
+        assert_eq!(idle.count, 0);
+        assert_eq!(idle.p99_ns, None);
+        assert_eq!(idle.qps, 0.0);
+    }
+
+    #[test]
+    fn observe_without_slo_never_breaches() {
+        let live = Live::new(LiveConfig::default(), 1);
+        assert_eq!(live.observe(0, &[0], u32::MAX as u64), None);
+    }
+
+    #[test]
+    fn maybe_dump_writes_once_per_cooldown() {
+        let dir = std::env::temp_dir().join(format!(
+            "yali_live_dump_test_{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = LiveConfig {
+            dump_dir: dir.clone(),
+            dump_cooldown_ns: 1_000_000_000,
+            ..LiveConfig::default()
+        };
+        let live = Live::new(cfg, 1);
+        yali_obs::recorder::set_recorder(Some(64));
+        live.maybe_dump("test", 10);
+        live.maybe_dump("test", 20); // inside cooldown: skipped
+        yali_obs::recorder::set_recorder(None);
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("yali-serve-flight-test-")
+            })
+            .collect();
+        assert_eq!(dumps.len(), 1, "cooldown must rate-limit");
+        // The dump is a parseable trace even if no spans were recorded
+        // (meta line only).
+        let text = std::fs::read_to_string(dumps[0].path()).unwrap();
+        assert!(text.starts_with("{\"ev\":\"recorder\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

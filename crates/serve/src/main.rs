@@ -5,30 +5,42 @@
 //!                  [--classes N] [--per-class N] [--seed N]
 //!     train the tenants (read-through YALI_STORE when attached), print
 //!     "yali-serve: listening on HOST:PORT", serve until SHUTDOWN
-//! yali-serve ping     --addr HOST:PORT
-//! yali-serve classify --addr HOST:PORT --model NAME (--features a,b,... | --code SRC)
-//! yali-serve scan     --addr HOST:PORT --code SRC
-//! yali-serve stats    --addr HOST:PORT
-//! yali-serve shutdown --addr HOST:PORT
+//! yali-serve ping       --addr HOST:PORT
+//! yali-serve classify   --addr HOST:PORT --model NAME (--features a,b,... | --code SRC)
+//! yali-serve scan       --addr HOST:PORT --code SRC
+//! yali-serve stats      --addr HOST:PORT
+//! yali-serve metrics    --addr HOST:PORT
+//! yali-serve dump-trace --addr HOST:PORT [--out FILE]
+//! yali-serve top        --addr HOST:PORT [--interval-ms 1000] [--iterations N]
+//! yali-serve shutdown   --addr HOST:PORT
 //! ```
 //!
 //! `classify --code` compiles and embeds the MiniC source client-side
 //! (the same `yali_embed::histogram` pipeline the server trained on) and
 //! sends the resulting feature row; `--features` sends raw values.
+//! `metrics` prints one structured live snapshot (windowed quantiles +
+//! rolling QPS per lane), `dump-trace` pulls the flight recorder as a
+//! `yali-prof`-ready JSONL trace, and `top` refreshes the metrics view
+//! in place like its namesake.
 
 use std::process::ExitCode;
 
 use yali_ml::ModelKind;
-use yali_serve::{config_from_env, train_tenants, Client, Reply, Server};
+use yali_serve::{
+    config_from_env, live_config_from_env, train_tenants, Client, Metrics, Reply, Server,
+};
 
 const USAGE: &str = "\
-usage: yali-serve <serve|ping|classify|scan|stats|shutdown> [options]
-  serve    [--addr 127.0.0.1:0] [--models lr,mlp,...] [--classes N] [--per-class N] [--seed N]
-  ping     --addr HOST:PORT
-  classify --addr HOST:PORT --model NAME (--features a,b,... | --code SRC)
-  scan     --addr HOST:PORT --code SRC
-  stats    --addr HOST:PORT
-  shutdown --addr HOST:PORT
+usage: yali-serve <serve|ping|classify|scan|stats|metrics|dump-trace|top|shutdown> [options]
+  serve      [--addr 127.0.0.1:0] [--models lr,mlp,...] [--classes N] [--per-class N] [--seed N]
+  ping       --addr HOST:PORT
+  classify   --addr HOST:PORT --model NAME (--features a,b,... | --code SRC)
+  scan       --addr HOST:PORT --code SRC
+  stats      --addr HOST:PORT
+  metrics    --addr HOST:PORT
+  dump-trace --addr HOST:PORT [--out FILE]          (default: stdout)
+  top        --addr HOST:PORT [--interval-ms 1000] [--iterations N]  (0 = forever)
+  shutdown   --addr HOST:PORT
 ";
 
 fn main() -> ExitCode {
@@ -39,6 +51,9 @@ fn main() -> ExitCode {
         Some("classify") => cmd_classify(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("stats") => cmd_simple(&args[1..], |c| c.stats()),
+        Some("metrics") => cmd_simple(&args[1..], |c| c.metrics()),
+        Some("dump-trace") => cmd_dump_trace(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("shutdown") => cmd_simple(&args[1..], |c| c.shutdown()),
         Some("help") | Some("--help") | None => {
             print!("{USAGE}");
@@ -123,7 +138,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let per_class = args.get_u64("per-class", 12)? as usize;
     let seed = args.get_u64("seed", 77)?;
     let tenants = train_tenants(&kinds, classes, per_class, seed);
-    let server = Server::bind(addr, tenants, config_from_env())
+    let server = Server::bind_with(addr, tenants, config_from_env(), live_config_from_env())
         .map_err(|e| format!("bind {addr}: {e}"))?;
     // The smoke test and any scripted caller parse this exact line to
     // discover the ephemeral port; keep it first and flushed.
@@ -141,6 +156,8 @@ fn print_reply(reply: &Reply) -> Result<(), String> {
             println!("malware {malware} ratio {ratio:.4}")
         }
         Reply::Stats(text) => print!("{text}"),
+        Reply::Metrics(m) => print!("{}", render_metrics(m)),
+        Reply::Trace(jsonl) => print!("{jsonl}"),
         Reply::Overloaded => return Err("server overloaded".to_string()),
         Reply::BadRequest(reason) => return Err(format!("bad request: {reason}")),
         Reply::UnknownModel => return Err("unknown model index".to_string()),
@@ -197,6 +214,111 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     };
     let reply = client.classify(model, features).map_err(|e| e.to_string())?;
     print_reply(&reply)
+}
+
+/// `None` quantiles (empty window) render as `-`, never a fake zero.
+fn fmt_q(q: Option<u64>) -> String {
+    match q {
+        Some(ns) => format!("{:.3}", ns as f64 / 1e6),
+        None => "-".to_string(),
+    }
+}
+
+fn render_metrics(m: &Metrics) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "window {:.1}s  queue {}  requests {}  responses {}  overloaded {}",
+        m.window_ns as f64 / 1e9,
+        m.queue_depth,
+        m.requests,
+        m.responses,
+        m.overloaded
+    );
+    let _ = writeln!(
+        out,
+        "batches {}  rows {}  flight_dumps {}  recorder {} events ({} dropped)",
+        m.batches, m.batched_rows, m.flight_dumps, m.recorder_events, m.recorder_dropped
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "lane", "count", "p50 ms", "p95 ms", "p99 ms", "qps"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10.1}",
+        "all",
+        m.window_count,
+        fmt_q(m.p50_ns),
+        fmt_q(m.p95_ns),
+        fmt_q(m.p99_ns),
+        m.qps
+    );
+    for lane in &m.lanes {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10.1}",
+            lane.name,
+            lane.window_count,
+            fmt_q(lane.p50_ns),
+            fmt_q(lane.p95_ns),
+            fmt_q(lane.p99_ns),
+            lane.qps
+        );
+    }
+    out
+}
+
+fn cmd_dump_trace(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let addr = args.require("addr")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let jsonl = match client.dump_trace().map_err(|e| e.to_string())? {
+        Reply::Trace(jsonl) => jsonl,
+        other => return Err(format!("unexpected dump-trace reply {other:?}")),
+    };
+    match args.get("out") {
+        None => print!("{jsonl}"),
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!(
+                "yali-serve: wrote {} lines to {path}",
+                jsonl.lines().count()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    use std::io::{IsTerminal, Write};
+    let args = Args::parse(args)?;
+    let addr = args.require("addr")?;
+    let interval = args.get_u64("interval-ms", 1_000)?;
+    let iterations = args.get_u64("iterations", 0)?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let fancy = std::io::stdout().is_terminal();
+    let mut n = 0u64;
+    loop {
+        let m = match client.metrics().map_err(|e| e.to_string())? {
+            Reply::Metrics(m) => m,
+            other => return Err(format!("unexpected metrics reply {other:?}")),
+        };
+        let mut stdout = std::io::stdout().lock();
+        if fancy {
+            // Home + clear-to-end keeps a static layout from flickering.
+            let _ = write!(stdout, "\x1b[H\x1b[2J");
+        }
+        let _ = write!(stdout, "yali-serve top — {addr}\n{}", render_metrics(&m));
+        let _ = stdout.flush();
+        n += 1;
+        if iterations != 0 && n >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval));
+    }
 }
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {

@@ -50,6 +50,74 @@ pub enum Request {
     /// Graceful shutdown: stop accepting, drain every queued request,
     /// answer them all, ack, exit.
     Shutdown,
+    /// Live telemetry snapshot: windowed quantiles, rolling QPS, queue
+    /// depth, recorder occupancy (answered immediately, never batched).
+    Metrics,
+    /// Drain the flight recorder into a JSONL trace and ship it back
+    /// (answered immediately, never batched).
+    DumpTrace,
+}
+
+/// Per-lane live telemetry in a [`Reply::Metrics`] body: one entry per
+/// model lane plus the scan lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneMetrics {
+    /// Model index, or [`crate::SCAN_LANE`] for the scan lane.
+    pub lane: u32,
+    /// Human name (model kind, or `"scan"`).
+    pub name: String,
+    /// Requests inside the sliding window.
+    pub window_count: u64,
+    /// Windowed latency quantiles in nanoseconds; `None` when the window
+    /// is empty (an idle lane has *no* p99, not a zero one).
+    pub p50_ns: Option<u64>,
+    /// See `p50_ns`.
+    pub p95_ns: Option<u64>,
+    /// See `p50_ns`.
+    pub p99_ns: Option<u64>,
+    /// Rolling requests/second over the window.
+    pub qps: f64,
+}
+
+/// The [`Reply::Metrics`] body: the live-telemetry answer to "what is
+/// this server doing *right now*" — windowed latency quantiles and
+/// rolling QPS (global and per lane), queue depth, flight-recorder
+/// occupancy, and the lifetime counters the old `stats` text carried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Sliding-window span in nanoseconds.
+    pub window_ns: u64,
+    /// Rows waiting in the admission queue right now.
+    pub queue_depth: u64,
+    /// Lifetime requests accepted.
+    pub requests: u64,
+    /// Lifetime responses sent.
+    pub responses: u64,
+    /// Lifetime requests refused with `Overloaded`.
+    pub overloaded: u64,
+    /// Lifetime batches dispatched.
+    pub batches: u64,
+    /// Lifetime rows dispatched through batches.
+    pub batched_rows: u64,
+    /// Anomaly-triggered flight-recorder dumps written so far.
+    pub flight_dumps: u64,
+    /// Span events pushed into the flight recorder over its lifetime.
+    pub recorder_events: u64,
+    /// Of those, events already overwritten (the rings are bounded).
+    pub recorder_dropped: u64,
+    /// Requests inside the sliding window (all lanes).
+    pub window_count: u64,
+    /// Windowed global latency quantiles; `None` when the window is
+    /// empty.
+    pub p50_ns: Option<u64>,
+    /// See `p50_ns`.
+    pub p95_ns: Option<u64>,
+    /// See `p50_ns`.
+    pub p99_ns: Option<u64>,
+    /// Rolling global requests/second over the window.
+    pub qps: f64,
+    /// Per-lane breakdowns (model lanes first, scan lane last).
+    pub lanes: Vec<LaneMetrics>,
 }
 
 /// One response body, already decoded from a frame payload.
@@ -77,6 +145,11 @@ pub enum Reply {
     BadRequest(String),
     /// The `Classify` model index is outside the server's roster.
     UnknownModel,
+    /// `Metrics` snapshot.
+    Metrics(Metrics),
+    /// `DumpTrace` result: a flight-recorder dump as JSONL text, directly
+    /// consumable by `yali-prof`.
+    Trace(String),
 }
 
 const OP_PING: u8 = 1;
@@ -84,6 +157,8 @@ const OP_CLASSIFY: u8 = 2;
 const OP_SCAN: u8 = 3;
 const OP_STATS: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
+const OP_METRICS: u8 = 6;
+const OP_DUMP_TRACE: u8 = 7;
 
 const ST_OK: u8 = 0;
 const ST_LABEL: u8 = 1;
@@ -92,6 +167,8 @@ const ST_STATS: u8 = 3;
 const ST_OVERLOADED: u8 = 4;
 const ST_BAD_REQUEST: u8 = 5;
 const ST_UNKNOWN_MODEL: u8 = 6;
+const ST_METRICS: u8 = 7;
+const ST_TRACE: u8 = 8;
 
 /// Writes one frame (length prefix + payload).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
@@ -144,8 +221,49 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         }
         Request::Stats => out.push(OP_STATS),
         Request::Shutdown => out.push(OP_SHUTDOWN),
+        Request::Metrics => out.push(OP_METRICS),
+        Request::DumpTrace => out.push(OP_DUMP_TRACE),
     }
     out
+}
+
+/// Encodes one window block (count + optional quantiles + rate). The
+/// presence flag keeps "idle window" distinguishable from "0 ns" on the
+/// wire: all three quantiles are `Some` or all are `None`, matching how
+/// a histogram snapshot answers.
+fn encode_window_block(
+    out: &mut Vec<u8>,
+    count: u64,
+    p50: Option<u64>,
+    p95: Option<u64>,
+    p99: Option<u64>,
+    qps: f64,
+) {
+    out.extend_from_slice(&count.to_le_bytes());
+    match (p50, p95, p99) {
+        (Some(a), Some(b), Some(c)) => {
+            out.push(1);
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        _ => out.push(0),
+    }
+    out.extend_from_slice(&qps.to_le_bytes());
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_window_block(
+    c: &mut Cursor,
+) -> Result<(u64, Option<u64>, Option<u64>, Option<u64>, f64), String> {
+    let count = c.u64()?;
+    let (p50, p95, p99) = match c.u8()? {
+        0 => (None, None, None),
+        1 => (Some(c.u64()?), Some(c.u64()?), Some(c.u64()?)),
+        other => return Err(format!("bad quantile presence flag {other}")),
+    };
+    let qps = f64::from_le_bytes(c.bytes8()?);
+    Ok((count, p50, p95, p99, qps))
 }
 
 /// Decodes a request frame payload into `(id, request)`; `Err` carries
@@ -177,6 +295,8 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), String> {
         }
         OP_STATS => Request::Stats,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_METRICS => Request::Metrics,
+        OP_DUMP_TRACE => Request::DumpTrace,
         other => return Err(format!("unknown opcode {other}")),
     };
     c.done()?;
@@ -210,6 +330,39 @@ pub fn encode_reply(id: u64, reply: &Reply) -> Vec<u8> {
             out.extend_from_slice(reason.as_bytes());
         }
         Reply::UnknownModel => out.push(ST_UNKNOWN_MODEL),
+        Reply::Metrics(m) => {
+            out.push(ST_METRICS);
+            out.extend_from_slice(&m.window_ns.to_le_bytes());
+            out.extend_from_slice(&m.queue_depth.to_le_bytes());
+            out.extend_from_slice(&m.requests.to_le_bytes());
+            out.extend_from_slice(&m.responses.to_le_bytes());
+            out.extend_from_slice(&m.overloaded.to_le_bytes());
+            out.extend_from_slice(&m.batches.to_le_bytes());
+            out.extend_from_slice(&m.batched_rows.to_le_bytes());
+            out.extend_from_slice(&m.flight_dumps.to_le_bytes());
+            out.extend_from_slice(&m.recorder_events.to_le_bytes());
+            out.extend_from_slice(&m.recorder_dropped.to_le_bytes());
+            encode_window_block(&mut out, m.window_count, m.p50_ns, m.p95_ns, m.p99_ns, m.qps);
+            out.extend_from_slice(&(m.lanes.len() as u32).to_le_bytes());
+            for lane in &m.lanes {
+                out.extend_from_slice(&lane.lane.to_le_bytes());
+                out.extend_from_slice(&(lane.name.len() as u32).to_le_bytes());
+                out.extend_from_slice(lane.name.as_bytes());
+                encode_window_block(
+                    &mut out,
+                    lane.window_count,
+                    lane.p50_ns,
+                    lane.p95_ns,
+                    lane.p99_ns,
+                    lane.qps,
+                );
+            }
+        }
+        Reply::Trace(text) => {
+            out.push(ST_TRACE);
+            out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
     }
     out
 }
@@ -243,6 +396,65 @@ pub fn decode_reply(payload: &[u8]) -> Result<(u64, Reply), String> {
             )
         }
         ST_UNKNOWN_MODEL => Reply::UnknownModel,
+        ST_METRICS => {
+            let window_ns = c.u64()?;
+            let queue_depth = c.u64()?;
+            let requests = c.u64()?;
+            let responses = c.u64()?;
+            let overloaded = c.u64()?;
+            let batches = c.u64()?;
+            let batched_rows = c.u64()?;
+            let flight_dumps = c.u64()?;
+            let recorder_events = c.u64()?;
+            let recorder_dropped = c.u64()?;
+            let (window_count, p50_ns, p95_ns, p99_ns, qps) = decode_window_block(&mut c)?;
+            let n_lanes = c.u32()? as usize;
+            if n_lanes > 4096 {
+                return Err(format!("lane count {n_lanes} is implausible"));
+            }
+            let mut lanes = Vec::with_capacity(n_lanes);
+            for _ in 0..n_lanes {
+                let lane = c.u32()?;
+                let n = c.u32()? as usize;
+                let name = String::from_utf8(c.take(n)?.to_vec())
+                    .map_err(|_| "lane name is not UTF-8".to_string())?;
+                let (window_count, p50_ns, p95_ns, p99_ns, qps) = decode_window_block(&mut c)?;
+                lanes.push(LaneMetrics {
+                    lane,
+                    name,
+                    window_count,
+                    p50_ns,
+                    p95_ns,
+                    p99_ns,
+                    qps,
+                });
+            }
+            Reply::Metrics(Metrics {
+                window_ns,
+                queue_depth,
+                requests,
+                responses,
+                overloaded,
+                batches,
+                batched_rows,
+                flight_dumps,
+                recorder_events,
+                recorder_dropped,
+                window_count,
+                p50_ns,
+                p95_ns,
+                p99_ns,
+                qps,
+                lanes,
+            })
+        }
+        ST_TRACE => {
+            let n = c.u32()? as usize;
+            Reply::Trace(
+                String::from_utf8(c.take(n)?.to_vec())
+                    .map_err(|_| "trace not UTF-8".to_string())?,
+            )
+        }
         other => return Err(format!("unknown status {other}")),
     };
     c.done()?;
@@ -324,6 +536,8 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
+            Request::DumpTrace,
         ];
         for (i, req) in cases.iter().enumerate() {
             let payload = encode_request(i as u64 + 7, req);
@@ -346,6 +560,65 @@ mod tests {
             Reply::Overloaded,
             Reply::BadRequest("dim mismatch".to_string()),
             Reply::UnknownModel,
+            Reply::Trace("{\"ev\":\"recorder\",\"tid\":1,\"t_ns\":0}\n".to_string()),
+            // A busy server: quantiles present globally and on one lane,
+            // absent (idle window) on the other.
+            Reply::Metrics(Metrics {
+                window_ns: 10_000_000_000,
+                queue_depth: 3,
+                requests: 100,
+                responses: 99,
+                overloaded: 1,
+                batches: 12,
+                batched_rows: 96,
+                flight_dumps: 2,
+                recorder_events: 4096,
+                recorder_dropped: 777,
+                window_count: 50,
+                p50_ns: Some(1_200_000),
+                p95_ns: Some(2_500_000),
+                p99_ns: Some(4_000_000),
+                qps: 123.456,
+                lanes: vec![
+                    LaneMetrics {
+                        lane: 0,
+                        name: "mlp".to_string(),
+                        window_count: 50,
+                        p50_ns: Some(1_200_000),
+                        p95_ns: Some(2_500_000),
+                        p99_ns: Some(4_000_000),
+                        qps: 123.456,
+                    },
+                    LaneMetrics {
+                        lane: u32::MAX,
+                        name: "scan".to_string(),
+                        window_count: 0,
+                        p50_ns: None,
+                        p95_ns: None,
+                        p99_ns: None,
+                        qps: 0.0,
+                    },
+                ],
+            }),
+            // A freshly started server: nothing anywhere.
+            Reply::Metrics(Metrics {
+                window_ns: 10_000_000_000,
+                queue_depth: 0,
+                requests: 0,
+                responses: 0,
+                overloaded: 0,
+                batches: 0,
+                batched_rows: 0,
+                flight_dumps: 0,
+                recorder_events: 0,
+                recorder_dropped: 0,
+                window_count: 0,
+                p50_ns: None,
+                p95_ns: None,
+                p99_ns: None,
+                qps: 0.0,
+                lanes: vec![],
+            }),
         ];
         for (i, reply) in cases.iter().enumerate() {
             let payload = encode_reply(i as u64, reply);
@@ -353,6 +626,20 @@ mod tests {
             assert_eq!(id, i as u64);
             assert_eq!(&back, reply);
         }
+    }
+
+    #[test]
+    fn metrics_quantile_flag_rejects_garbage() {
+        // Body of a Metrics reply where the presence flag is neither 0
+        // nor 1: ten u64 counters, a count, then the bad flag.
+        let mut payload = 1u64.to_le_bytes().to_vec();
+        payload.push(ST_METRICS);
+        for _ in 0..11 {
+            payload.extend_from_slice(&0u64.to_le_bytes());
+        }
+        payload.push(7);
+        let err = decode_reply(&payload).unwrap_err();
+        assert!(err.contains("presence flag"), "{err}");
     }
 
     #[test]

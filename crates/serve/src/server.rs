@@ -22,7 +22,7 @@
 
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -30,6 +30,7 @@ use yali_core::SignatureScanner;
 use yali_ml::VectorClassifier;
 
 use crate::batcher::{Batch, Batcher, BatcherConfig, Trigger};
+use crate::live::{Live, LiveConfig};
 use crate::protocol::{self, Reply, Request};
 
 /// The lane the signature scanner batches on; classifier lanes are the
@@ -47,22 +48,6 @@ pub struct Tenants {
     pub scanner: Option<SignatureScanner>,
 }
 
-/// Monotonic server counters, kept independently of `yali-obs` so the
-/// `STATS` op answers even when observability is off.
-#[derive(Default)]
-pub struct Stats {
-    /// Frames decoded into requests.
-    pub requests: AtomicU64,
-    /// Responses written (immediate and batched).
-    pub responses: AtomicU64,
-    /// Requests refused at admission.
-    pub overloaded: AtomicU64,
-    /// Batches dispatched.
-    pub batches: AtomicU64,
-    /// Rows answered through batches.
-    pub batched_rows: AtomicU64,
-}
-
 struct Conn {
     writer: Mutex<TcpStream>,
 }
@@ -70,11 +55,10 @@ struct Conn {
 impl Conn {
     /// Writes one reply frame; a vanished client is not an error worth
     /// propagating past its own connection.
-    fn send(&self, shared: &Shared, id: u64, reply: &Reply) {
+    fn send(&self, id: u64, reply: &Reply) {
         let payload = protocol::encode_reply(id, reply);
         let mut w = self.writer.lock().unwrap();
         if protocol::write_frame(&mut *w, &payload).is_ok() {
-            shared.stats.responses.fetch_add(1, Ordering::Relaxed);
             yali_obs::count!("serve.responses", 1);
         }
     }
@@ -100,26 +84,82 @@ struct Shared {
     batcher: Mutex<Batcher<Job>>,
     wake: Condvar,
     shutdown: AtomicBool,
-    stats: Stats,
+    live: Live,
     addr: std::net::SocketAddr,
 }
 
 impl Shared {
+    /// The legacy `STATS` text. The `serve.*` counters come straight from
+    /// the `yali-obs` registry (the single source of truth since the
+    /// ad-hoc `Stats` atomics were retired) and are therefore
+    /// process-wide; a daemon process hosts one server, where the two
+    /// views coincide.
     fn stats_text(&self) -> String {
         let roster: Vec<&str> = self.tenants.models.iter().map(|(n, _)| n.as_str()).collect();
+        let c = |name: &'static str| yali_obs::counter(name).get();
         format!(
             "models {}\nn_features {}\nscanner {}\nserve.requests {}\nserve.responses {}\n\
              serve.overloaded {}\nserve.batches {}\nserve.batched_rows {}\nqueued {}\n",
             roster.join(","),
             self.tenants.n_features,
             self.tenants.scanner.is_some() as u8,
-            self.stats.requests.load(Ordering::Relaxed),
-            self.stats.responses.load(Ordering::Relaxed),
-            self.stats.overloaded.load(Ordering::Relaxed),
-            self.stats.batches.load(Ordering::Relaxed),
-            self.stats.batched_rows.load(Ordering::Relaxed),
+            c("serve.requests"),
+            c("serve.responses"),
+            c("serve.overloaded"),
+            c("serve.batches"),
+            c("serve.batch.rows"),
             self.batcher.lock().unwrap().len(),
         )
+    }
+
+    /// The `METRICS` reply: live windows + lifetime counters + recorder
+    /// occupancy, one coherent snapshot.
+    fn metrics(&self) -> protocol::Metrics {
+        let now = yali_obs::epoch_ns();
+        let g = self.live.global_stats(now);
+        let rec = yali_obs::recorder::recorder_stats();
+        let c = |name: &'static str| yali_obs::counter(name).get();
+        let mut lanes = Vec::with_capacity(self.live.n_lanes());
+        for (i, (name, _)) in self.tenants.models.iter().enumerate() {
+            let s = self.live.lane_stats(i, now);
+            lanes.push(protocol::LaneMetrics {
+                lane: i as u32,
+                name: name.clone(),
+                window_count: s.count,
+                p50_ns: s.p50_ns,
+                p95_ns: s.p95_ns,
+                p99_ns: s.p99_ns,
+                qps: s.qps,
+            });
+        }
+        let s = self.live.lane_stats(self.live.n_lanes() - 1, now);
+        lanes.push(protocol::LaneMetrics {
+            lane: SCAN_LANE,
+            name: "scan".to_string(),
+            window_count: s.count,
+            p50_ns: s.p50_ns,
+            p95_ns: s.p95_ns,
+            p99_ns: s.p99_ns,
+            qps: s.qps,
+        });
+        protocol::Metrics {
+            window_ns: self.live.cfg.window.span_ns(),
+            queue_depth: self.batcher.lock().unwrap().len() as u64,
+            requests: c("serve.requests"),
+            responses: c("serve.responses"),
+            overloaded: c("serve.overloaded"),
+            batches: c("serve.batches"),
+            batched_rows: c("serve.batch.rows"),
+            flight_dumps: c("serve.flight_dumps"),
+            recorder_events: rec.events,
+            recorder_dropped: rec.dropped,
+            window_count: g.count,
+            p50_ns: g.p50_ns,
+            p95_ns: g.p95_ns,
+            p99_ns: g.p99_ns,
+            qps: g.qps,
+            lanes,
+        }
     }
 }
 
@@ -132,10 +172,28 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and prepares the
-    /// shared state. Nothing is served until [`Server::run`].
+    /// shared state with the default live-telemetry configuration.
+    /// Nothing is served until [`Server::run`].
     pub fn bind(addr: &str, tenants: Tenants, cfg: BatcherConfig) -> io::Result<Server> {
+        Server::bind_with(addr, tenants, cfg, LiveConfig::default())
+    }
+
+    /// [`Server::bind`] with an explicit [`LiveConfig`]. Binding turns
+    /// observability on and arms the flight recorder at the configured
+    /// capacity: a daemon is always instrumented — the `serve.*` registry
+    /// counters are its only counters, and the recorder must already hold
+    /// history when the first anomaly hits.
+    pub fn bind_with(
+        addr: &str,
+        tenants: Tenants,
+        cfg: BatcherConfig,
+        live_cfg: LiveConfig,
+    ) -> io::Result<Server> {
+        yali_obs::set_enabled(true);
+        yali_obs::recorder::set_recorder(Some(live_cfg.recorder_cap));
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let n_models = tenants.models.len();
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -143,7 +201,7 @@ impl Server {
                 batcher: Mutex::new(Batcher::new(cfg)),
                 wake: Condvar::new(),
                 shutdown: AtomicBool::new(false),
-                stats: Stats::default(),
+                live: Live::new(live_cfg, n_models),
                 addr,
             }),
         })
@@ -193,7 +251,6 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
         writer: Mutex::new(stream),
     });
     while let Some(payload) = protocol::read_frame(&mut reader)? {
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
         yali_obs::count!("serve.requests", 1);
         let (id, req) = match protocol::decode_request(&payload) {
             Ok(ok) => ok,
@@ -204,19 +261,36 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                     .get(..8)
                     .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
                     .unwrap_or(0);
-                conn.send(shared, id, &Reply::BadRequest(reason));
+                conn.send(id, &Reply::BadRequest(reason));
                 continue;
             }
         };
         match req {
-            Request::Ping => conn.send(shared, id, &Reply::Ok),
+            Request::Ping => conn.send(id, &Reply::Ok),
             Request::Stats => {
                 let text = shared.stats_text();
-                conn.send(shared, id, &Reply::Stats(text));
+                conn.send(id, &Reply::Stats(text));
+            }
+            Request::Metrics => conn.send(id, &Reply::Metrics(shared.metrics())),
+            Request::DumpTrace => {
+                let (dump, _) = yali_obs::recorder::dump();
+                // A reply frame carries the whole dump plus a small
+                // envelope; refuse rather than ship an unframeable blob.
+                if dump.len() + 64 > protocol::MAX_FRAME {
+                    conn.send(
+                        id,
+                        &Reply::BadRequest(format!(
+                            "trace dump of {} bytes exceeds the frame limit",
+                            dump.len()
+                        )),
+                    );
+                } else {
+                    conn.send(id, &Reply::Trace(dump));
+                }
             }
             Request::Shutdown => {
                 begin_shutdown(shared);
-                conn.send(shared, id, &Reply::Ok);
+                conn.send(id, &Reply::Ok);
                 // The connection has served its purpose; stop reading so
                 // the ack is this connection's last word.
                 break;
@@ -235,16 +309,12 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                     ),
                 };
                 if let Some(r) = reply {
-                    conn.send(shared, id, &r);
+                    conn.send(id, &r);
                 }
             }
             Request::Scan { source } => {
                 if shared.tenants.scanner.is_none() {
-                    conn.send(
-                        shared,
-                        id,
-                        &Reply::BadRequest("no scanner tenant".to_string()),
-                    );
+                    conn.send(id, &Reply::BadRequest("no scanner tenant".to_string()));
                     continue;
                 }
                 let reply = match yali_minic::compile(&source) {
@@ -260,7 +330,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                     ),
                 };
                 if let Some(r) = reply {
-                    conn.send(shared, id, &r);
+                    conn.send(id, &r);
                 }
             }
         }
@@ -286,7 +356,6 @@ fn validate_classify(shared: &Shared, model: u8, features: &[f64]) -> Option<Rep
 /// refused and the caller answers immediately.
 fn enqueue(shared: &Shared, lane: u32, job: Job) -> Option<Reply> {
     if shared.shutdown.load(Ordering::Relaxed) {
-        shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
         yali_obs::count!("serve.overloaded", 1);
         return Some(Reply::Overloaded);
     }
@@ -296,8 +365,10 @@ fn enqueue(shared: &Shared, lane: u32, job: Job) -> Option<Reply> {
         shared.wake.notify_all();
         None
     } else {
-        shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
         yali_obs::count!("serve.overloaded", 1);
+        // A full queue is the anomaly the flight recorder exists for:
+        // snapshot the recent span history before it scrolls away.
+        shared.live.maybe_dump("queue-overflow", now);
         Some(Reply::Overloaded)
     }
 }
@@ -347,8 +418,6 @@ fn dispatch_loop(shared: &Arc<Shared>) {
 fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
     let _span = yali_obs::span!("serve.dispatch");
     let n = batch.items.len() as u64;
-    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-    shared.stats.batched_rows.fetch_add(n, Ordering::Relaxed);
     yali_obs::count!("serve.batches", 1);
     yali_obs::count!("serve.batch.rows", n);
     match batch.trigger {
@@ -371,6 +440,10 @@ fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
             dispatched_ns.saturating_sub(p.enqueued_ns)
         );
     }
+    // Enqueue stamps, saved before the match consumes the rows: after
+    // the replies go out, each row's enqueue-to-reply latency feeds the
+    // live windows.
+    let enq: Vec<u64> = batch.items.iter().map(|p| p.enqueued_ns).collect();
     if batch.lane == SCAN_LANE {
         let scanner = shared
             .tenants
@@ -391,7 +464,7 @@ fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
         let verdicts = scanner.is_malware_all(&modules);
         let ratios = scanner.match_ratios(&modules);
         for (((conn, id), malware), ratio) in metas.into_iter().zip(verdicts).zip(ratios) {
-            conn.send(shared, id, &Reply::Scan { malware, ratio });
+            conn.send(id, &Reply::Scan { malware, ratio });
         }
     } else {
         let (_, clf) = &shared.tenants.models[batch.lane as usize];
@@ -409,7 +482,13 @@ fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let labels = clf.predict_batch_refs(&refs, yali_par::worker_count());
         for ((conn, id), label) in metas.into_iter().zip(labels) {
-            conn.send(shared, id, &Reply::Label(label as u32));
+            conn.send(id, &Reply::Label(label as u32));
         }
+    }
+    // Feed the windows with reply-time latencies; a windowed-p99 breach
+    // of the SLO triggers a flight dump (cooldown-limited, one winner).
+    let done = yali_obs::epoch_ns();
+    if shared.live.observe(batch.lane, &enq, done).is_some() {
+        shared.live.maybe_dump("slo-p99", done);
     }
 }

@@ -2,11 +2,12 @@
 //! direct `predict`, concurrent clients, admission control, and the
 //! graceful shutdown drain.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use yali_ml::ModelKind;
 use yali_serve::{
-    train_tenants, BatcherConfig, Client, Reply, Server, Tenants,
+    train_tenants, BatcherConfig, Client, LiveConfig, Reply, Server, Tenants,
 };
 
 /// Tenants are deterministic in the seed, so training the same set twice
@@ -32,12 +33,38 @@ fn queries() -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// A [`LiveConfig`] whose anomaly dumps land in a fresh per-test temp
+/// directory: the overload test deliberately triggers the queue-overflow
+/// dump, and that file must not pollute the checkout.
+fn test_live_config() -> (LiveConfig, std::path::PathBuf) {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "yali_serve_roundtrip_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("create dump dir");
+    let cfg = LiveConfig {
+        dump_dir: dir.clone(),
+        ..LiveConfig::default()
+    };
+    (cfg, dir)
+}
+
 /// Starts a server on an ephemeral port in a background thread; returns
 /// the address and the join handle (joined after `shutdown` to prove the
 /// daemon actually exits).
 fn start_server(cfg: BatcherConfig) -> (String, std::thread::JoinHandle<()>) {
+    let (live, _dir) = test_live_config();
+    start_server_live(cfg, live)
+}
+
+fn start_server_live(
+    cfg: BatcherConfig,
+    live: LiveConfig,
+) -> (String, std::thread::JoinHandle<()>) {
     let tenants = train_tenants(&[ModelKind::Lr, ModelKind::Mlp], CLASSES, PER_CLASS, SEED);
-    let server = Server::bind("127.0.0.1:0", tenants, cfg).expect("bind ephemeral");
+    let server = Server::bind_with("127.0.0.1:0", tenants, cfg, live).expect("bind ephemeral");
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run().expect("serve"));
     (addr, handle)
@@ -208,4 +235,116 @@ fn overload_refuses_loudly_and_shutdown_drains_the_queue() {
     assert_eq!(client.shutdown().unwrap(), Reply::Ok);
     assert_eq!(parked.join().unwrap(), Reply::Label(want));
     handle.join().unwrap();
+}
+
+#[test]
+fn metrics_reflect_served_traffic_and_dump_trace_is_prof_ready() {
+    let (addr, handle) = start_server(BatcherConfig::default());
+    let mut client = Client::connect(&addr).expect("connect");
+    for q in queries().into_iter().take(8) {
+        match client.classify(0, q).unwrap() {
+            Reply::Label(_) => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    // The window is fed *after* each reply frame goes out, so the last
+    // row may not be visible to an immediate metrics call: poll briefly.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let m = loop {
+        let m = match client.metrics().unwrap() {
+            Reply::Metrics(m) => m,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        if m.window_count >= 8 {
+            break m;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "served rows never reached the live window: {m:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    assert!(m.requests >= 9, "8 classifies + metrics: {m:?}");
+    assert!(m.window_ns > 0);
+    // Lanes are the roster in order, then the scan lane.
+    let names: Vec<&str> = m.lanes.iter().map(|l| l.name.as_str()).collect();
+    assert_eq!(names, ["lr", "mlp", "scan"]);
+    let lr = &m.lanes[0];
+    assert!(lr.window_count >= 8, "{lr:?}");
+    assert!(lr.p50_ns.is_some() && lr.p99_ns.is_some());
+    assert!(lr.p50_ns <= lr.p99_ns);
+    assert!(lr.qps > 0.0);
+    // Idle lanes answer None, never a garbage zero quantile.
+    let mlp = &m.lanes[1];
+    if mlp.window_count == 0 {
+        assert_eq!(mlp.p99_ns, None);
+        assert_eq!(mlp.qps, 0.0);
+    }
+    // Global quantiles exist and bound the lane's.
+    assert!(m.p99_ns.is_some());
+    assert!(m.recorder_events > 0, "the daemon is always instrumented");
+
+    // The flight dump must satisfy the strict parser and feed the
+    // standard views — that is the whole point of the recorder.
+    let dump = match client.dump_trace().unwrap() {
+        Reply::Trace(jsonl) => jsonl,
+        other => panic!("unexpected reply {other:?}"),
+    };
+    let trace = yali_prof::parse_trace(&dump).expect("flight dump must parse strictly");
+    assert_eq!(trace.recorder.len(), 1);
+    let profile = yali_prof::profile(&trace);
+    assert!(
+        profile.labels.iter().any(|r| r.label == "serve.dispatch"),
+        "dispatch spans must be in the flight dump"
+    );
+
+    assert_eq!(client.shutdown().unwrap(), Reply::Ok);
+    handle.join().unwrap();
+}
+
+#[test]
+fn slo_breach_auto_dumps_a_parseable_flight_file() {
+    // A 1 ns SLO: the first answered batch breaches it, so serving any
+    // request must produce exactly one flight dump (cooldown swallows
+    // repeats) in the configured directory.
+    let (live, dir) = test_live_config();
+    let live = LiveConfig {
+        slo_p99_ns: Some(1),
+        ..live
+    };
+    let (addr, handle) = start_server_live(BatcherConfig::default(), live);
+    let mut client = Client::connect(&addr).expect("connect");
+    for q in queries().into_iter().take(3) {
+        client.classify(0, q).unwrap();
+    }
+
+    // The dump is written by the dispatcher after the replies; poll.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let dump_path = loop {
+        let found = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("yali-serve-flight-slo-p99-")
+            });
+        if let Some(e) = found {
+            break e.path();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "SLO breach never produced a flight dump in {}",
+            dir.display()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    let text = std::fs::read_to_string(&dump_path).unwrap();
+    let trace = yali_prof::parse_trace(&text).expect("auto-dump must parse strictly");
+    assert_eq!(trace.recorder.len(), 1);
+
+    assert_eq!(client.shutdown().unwrap(), Reply::Ok);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -92,7 +92,7 @@ check_json BENCH_engine.json speedup_serial_to_parallel_cached obs_overhead_pct 
 check_json BENCH_train.json speedup_serial_to_parallel_cached model_cache gemm_simd_kernel
 check_json BENCH_infer.json speedup_serial_to_batched speedup_serial_to_batched_parallel n_queries int8_agreement f32_agreement
 check_json BENCH_store.json speedup_cold_to_warm_disk bytes_on_disk disk_hit_ratio store_entries
-check_json BENCH_serve.json qps_serial_to_batched p99_batched_over_serial n_clients requests_per_client
+check_json BENCH_serve.json qps_serial_to_batched p99_batched_over_serial n_clients requests_per_client live
 
 # check_runstats FILE — the companion run report is well-formed JSON with
 # coherent cache counters (hits + misses >= inserts, ratio in [0, 1]),
@@ -310,6 +310,34 @@ if by_trigger != batches:
 print(
     f"serve gate: ok ({ratio:.2f}x QPS >= 2x, p99 ratio {p99:.2f}, "
     f"{batches} batches / {rows} rows coherent)"
+)
+
+# The live-telemetry gate: the daemon's own windowed view of the measured
+# round must be populated and coherent with the client-observed
+# percentiles (server-side enqueue-to-reply sits below client latency but
+# within a loose envelope of it), and the always-armed flight recorder
+# must cost at most 5% (measured by paired off/on rounds in the bench).
+live = report["live"]
+if live["window_count"] <= 0:
+    raise SystemExit("BENCH_serve.json: live window saw no traffic")
+overhead = live["recorder_overhead_pct"]
+if overhead > 5.0:
+    raise SystemExit(
+        f"BENCH_serve.json: flight-recorder overhead {overhead:.2f}% exceeds the 5% gate"
+    )
+wp99 = live["windowed_p99_ns"]
+lo = modes["serve/batched"]["p50_ns"] / 8.0
+hi = 4.0 * max(modes["serve/serial"]["p99_ns"], modes["serve/batched"]["p99_ns"])
+if not lo <= wp99 <= hi:
+    raise SystemExit(
+        f"BENCH_serve.json: windowed p99 {wp99:.0f}ns outside the "
+        f"[{lo:.0f}, {hi:.0f}]ns envelope of the client percentiles"
+    )
+if live["recorder_events"] <= 0:
+    raise SystemExit("BENCH_serve.json: the always-instrumented daemon recorded no spans")
+print(
+    f"serve live gate: ok (windowed p99 {wp99/1e6:.2f}ms in envelope, "
+    f"{live['window_count']} rows, recorder overhead {overhead:.2f}% <= 5%)"
 )
 EOF
 fi

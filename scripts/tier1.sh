@@ -55,6 +55,19 @@ timeout 30 "$serve_bin" classify --addr "$serve_addr" --model lr \
   --code 'int f(int a) { return a * a + 3; }' | grep -q '^label '
 timeout 30 "$serve_bin" scan --addr "$serve_addr" \
   --code 'int f(int a) { return a + 1; }' | grep -q '^malware '
+# Live telemetry: the structured metrics op reports the lanes and a
+# window header, and the top dashboard renders one frame non-interactively.
+timeout 30 "$serve_bin" metrics --addr "$serve_addr" | grep -q '^window '
+timeout 30 "$serve_bin" metrics --addr "$serve_addr" | grep -q '^lr '
+timeout 30 "$serve_bin" top --addr "$serve_addr" --iterations 1 | grep -q 'yali-serve top'
+# The flight recorder: a live dump must satisfy the strict yali-prof
+# parser and feed the standard views — that is the recorder's contract.
+flight_dump="$(mktemp -u).jsonl"
+timeout 30 "$serve_bin" dump-trace --addr "$serve_addr" --out "$flight_dump"
+grep -q '"ev":"recorder"' "$flight_dump"
+target/release/yali-prof top "$flight_dump" --top 5
+target/release/yali-prof export --chrome "$flight_dump" -o "$flight_dump.chrome.json"
+rm -f "$flight_dump" "$flight_dump.chrome.json"
 timeout 30 "$serve_bin" shutdown --addr "$serve_addr"
 # A graceful shutdown means the process exits on its own.
 serve_rc=0
