@@ -56,6 +56,10 @@ const REQUESTS_PER_CLIENT: usize = 40;
 /// Requests per client in each recorder-overhead pairing round (shorter
 /// than the measured modes: ten of these run back-to-back).
 const OVERHEAD_REQUESTS: usize = 16;
+/// Base seed for the traced pass's per-worker trace contexts (worker `w`
+/// uses `TRACE_SEED + (w << 32)`, keeping every connection's trace ids
+/// disjoint). Deterministic, so two runs of the bench trace identically.
+const TRACE_SEED: u64 = 0x7ace;
 
 #[derive(serde::Serialize)]
 struct ModeOut {
@@ -138,6 +142,7 @@ fn run_round(
     want: &Arc<Vec<Vec<u32>>>,
     n_clients: usize,
     requests: usize,
+    trace_seed: Option<u64>,
 ) -> (Vec<u64>, u64) {
     // Workers connect and warm up first; the barrier then releases the
     // measured phase on every thread at once so wall time is honest.
@@ -150,6 +155,12 @@ fn run_round(
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
                 let mut client = Client::connect(&addr).expect("connect");
+                if let Some(seed) = trace_seed {
+                    // Per-worker seed: every connection restarts its
+                    // request ids at 1, so a shared seed would collide
+                    // trace ids across workers.
+                    client.set_tracing(seed.wrapping_add((w as u64) << 32));
+                }
                 let model = w % MODELS.len();
                 let step = |client: &mut Client, i: usize, check: bool| -> u64 {
                     let q = (w + i * 7) % queries.len();
@@ -238,7 +249,7 @@ fn main() {
     // Mode 1: one-request-per-dispatch serial serving (the baseline).
     let (addr, handle) = start_server(serial_cfg);
     let (serial_lat, serial_wall) =
-        run_round(&addr, &queries, &want, N_CLIENTS, REQUESTS_PER_CLIENT);
+        run_round(&addr, &queries, &want, N_CLIENTS, REQUESTS_PER_CLIENT, None);
     shut_down(&addr, handle);
 
     // Mode 2: deadline batching (the product). The server stays up after
@@ -246,7 +257,7 @@ fn main() {
     // RUNSTATS/TRACE capture the same daemon the numbers came from.
     let (addr, handle) = start_server(batched_cfg);
     let (batched_lat, batched_wall) =
-        run_round(&addr, &queries, &want, N_CLIENTS, REQUESTS_PER_CLIENT);
+        run_round(&addr, &queries, &want, N_CLIENTS, REQUESTS_PER_CLIENT, None);
 
     // Live snapshot, taken immediately so the measured round is still
     // inside the daemon's 10 s sliding window.
@@ -264,9 +275,9 @@ fn main() {
     let mut ratios: Vec<f64> = (0..5)
         .map(|_| {
             yali_obs::recorder::set_recorder(None);
-            let (_, off_wall) = run_round(&addr, &queries, &want, N_CLIENTS, OVERHEAD_REQUESTS);
+            let (_, off_wall) = run_round(&addr, &queries, &want, N_CLIENTS, OVERHEAD_REQUESTS, None);
             yali_obs::recorder::set_recorder(Some(yali_obs::recorder::DEFAULT_RECORDER_CAP));
-            let (_, on_wall) = run_round(&addr, &queries, &want, N_CLIENTS, OVERHEAD_REQUESTS);
+            let (_, on_wall) = run_round(&addr, &queries, &want, N_CLIENTS, OVERHEAD_REQUESTS, None);
             on_wall as f64 / off_wall as f64
         })
         .collect();
@@ -277,7 +288,7 @@ fn main() {
     // the companion run report (batch-size histogram, queue waits, batch
     // fill latency, dispatch phase).
     yali_obs::set_enabled(true);
-    let _ = run_round(&addr, &queries, &want, N_CLIENTS, 8);
+    let _ = run_round(&addr, &queries, &want, N_CLIENTS, 8, None);
     let runstats_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../RUNSTATS_serve.json");
     yali_core::RunReport::collect()
         .write(runstats_path)
@@ -292,9 +303,21 @@ fn main() {
     yali_obs::set_enabled(true);
     {
         let _pass = yali_obs::span!("bench.serve.pass");
-        let _ = run_round(&addr, &queries, &want, N_CLIENTS, 8);
+        let _ = run_round(&addr, &queries, &want, N_CLIENTS, 8, Some(TRACE_SEED));
     }
     yali_obs::set_enabled(false);
+    // Quiesce before detaching the sink: the dispatcher is a single
+    // sequential thread, so a reply to one more (untraced — obs is off,
+    // so its span guard is inert) request proves the last traced batch's
+    // `serve.dispatch` guard dropped and its close event reached the
+    // file. Detaching straight after the traced round would race that
+    // drop and leave the capture unbalanced for the strict parser.
+    {
+        let mut client = Client::connect(&addr).expect("quiesce connect");
+        let _ = client
+            .classify(0, queries[0].clone())
+            .expect("quiesce classify");
+    }
     yali_obs::set_trace_path(None);
 
     shut_down(&addr, handle);

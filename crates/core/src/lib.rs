@@ -66,7 +66,7 @@ pub use engine::{
 };
 pub use game::{play, Game, GameConfig, GameResult};
 pub use malware_exp::{malware_round, MalwareCorpus, MalwarePoint, MALWARE_TRANSFORMERS};
-pub use report::{RunReport, RUNSTATS_SCHEMA_VERSION};
+pub use report::{FleetReport, RunReport, ShardReport, RUNSTATS_SCHEMA_VERSION};
 pub use scale::Scale;
 pub use store::{ArtifactStore, Namespace, StoreStats};
 pub use transformer::{SourceStrategy, Transformer};

@@ -57,6 +57,12 @@ pub struct PhaseReport {
     pub p95_ns: u64,
     /// Longest single entry, in nanoseconds.
     pub max_ns: u64,
+    /// Raw log2 bucket counts ([`yali_obs::HIST_BUCKETS`] entries; bucket
+    /// `i` holds samples in `[2^i, 2^(i+1))` ns). Carried so multi-process
+    /// reports can be merged bucket-wise and their quantiles *recomputed*
+    /// rather than averaged — a p95 of quantile estimates is not the
+    /// quantile of the union.
+    pub buckets: Vec<u64>,
 }
 
 /// Worker-pool accounting summed over every `par_map` region of the run.
@@ -81,9 +87,12 @@ pub struct PoolReport {
 /// every breaking change so `yali-prof diff` can refuse (or degrade
 /// gracefully) when comparing reports from incompatible writers.
 /// History: 1 = PR 4 (caches/phases/pool/counters); 2 = PR 5 (adds
-/// `schema_version` itself and per-phase `p50_ns`/`p95_ns`); 3 = this
-/// version (adds the persistent artifact `store` section).
-pub const RUNSTATS_SCHEMA_VERSION: u32 = 3;
+/// `schema_version` itself and per-phase `p50_ns`/`p95_ns`); 3 = PR 7
+/// (adds the persistent artifact `store` section); 4 = this version
+/// (adds per-phase raw `buckets` and the fleet report:
+/// `RUNSTATS_grid.json` with a merged `fleet` report plus per-shard
+/// breakdown).
+pub const RUNSTATS_SCHEMA_VERSION: u32 = 4;
 
 /// The persistent artifact store's activity, when `YALI_STORE` attached
 /// one (all-zero with `active: false` otherwise, so consumers need no
@@ -199,6 +208,7 @@ impl RunReport {
                         p50_ns,
                         p95_ns,
                         max_ns: h.max_ns,
+                        buckets: h.buckets,
                     },
                 )
             })
@@ -252,6 +262,312 @@ impl RunReport {
     pub fn write(&self, path: &str) -> std::io::Result<()> {
         yali_obs::flush_trace();
         std::fs::write(path, self.to_json())
+    }
+
+    /// Parses a report written by [`RunReport::to_json`]. Tolerant of
+    /// reports from older writers (missing per-phase `buckets` parse as
+    /// empty), strict about shape (a non-object input is an error).
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| format!("invalid report JSON: {e:?}"))?;
+        Self::from_value(&v)
+    }
+
+    /// [`RunReport::from_json`] over an already-parsed value (the fleet
+    /// reader pulls shard reports out of one enclosing document).
+    pub fn from_value(v: &serde_json::Value) -> Result<RunReport, String> {
+        if v.as_object().is_none() {
+            return Err("run report is not a JSON object".into());
+        }
+        let u = |val: &serde_json::Value| val.as_u64().unwrap_or(0);
+        let f = |val: &serde_json::Value| val.as_f64().unwrap_or(0.0);
+        let mut caches = BTreeMap::new();
+        if let Some(obj) = v.get("caches").as_object() {
+            for (name, c) in obj {
+                caches.insert(
+                    name.clone(),
+                    CacheReport {
+                        hits: u(c.get("hits")),
+                        misses: u(c.get("misses")),
+                        inserts: u(c.get("inserts")),
+                        entries: u(c.get("entries")) as usize,
+                        hit_ratio: f(c.get("hit_ratio")),
+                    },
+                );
+            }
+        }
+        let mut phases = BTreeMap::new();
+        if let Some(obj) = v.get("phases").as_object() {
+            for (name, p) in obj {
+                let buckets = p
+                    .get("buckets")
+                    .as_array()
+                    .map(|a| a.iter().map(&u).collect())
+                    .unwrap_or_default();
+                phases.insert(
+                    name.clone(),
+                    PhaseReport {
+                        count: u(p.get("count")),
+                        total_ns: u(p.get("total_ns")),
+                        mean_ns: f(p.get("mean_ns")),
+                        p50_ns: u(p.get("p50_ns")),
+                        p95_ns: u(p.get("p95_ns")),
+                        max_ns: u(p.get("max_ns")),
+                        buckets,
+                    },
+                );
+            }
+        }
+        let mut counters = BTreeMap::new();
+        if let Some(obj) = v.get("counters").as_object() {
+            for (name, c) in obj {
+                counters.insert(name.clone(), u(c));
+            }
+        }
+        let pool = v.get("pool");
+        let store = v.get("store");
+        Ok(RunReport {
+            schema_version: u(v.get("schema_version")) as u32,
+            obs_enabled: v.get("obs_enabled").as_bool().unwrap_or(false),
+            threads: u(v.get("threads")) as usize,
+            caches,
+            phases,
+            pool: PoolReport {
+                regions: u(pool.get("regions")),
+                items: u(pool.get("items")),
+                wall_ns: u(pool.get("wall_ns")),
+                busy_ns: u(pool.get("busy_ns")),
+                worker_ns: u(pool.get("worker_ns")),
+                utilization: f(pool.get("utilization")),
+            },
+            store: StoreReport {
+                active: store.get("active").as_bool().unwrap_or(false),
+                entries: u(store.get("entries")) as usize,
+                total_bytes: u(store.get("total_bytes")),
+                disk_hits: u(store.get("disk_hits")),
+                disk_misses: u(store.get("disk_misses")),
+                published: u(store.get("published")),
+                capped: u(store.get("capped")),
+                bytes_read: u(store.get("bytes_read")),
+                bytes_written: u(store.get("bytes_written")),
+                disk_hit_ratio: f(store.get("disk_hit_ratio")),
+            },
+            counters,
+        })
+    }
+
+    /// Merges per-process reports into one fleet-wide report: counters,
+    /// cache tallies, pool accounting, and store activity are summed;
+    /// phase histograms are merged *bucket-wise* and their mean and
+    /// quantiles recomputed from the union, so the fleet p95 is the p95
+    /// of all samples, not an average of per-shard estimates. `threads`
+    /// is the per-process maximum (shards run the same config); derived
+    /// ratios are recomputed from the summed numerators/denominators.
+    pub fn merge(reports: &[RunReport]) -> RunReport {
+        let mut caches: BTreeMap<String, CacheReport> = BTreeMap::new();
+        let mut phases: BTreeMap<String, PhaseReport> = BTreeMap::new();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut pool = PoolReport {
+            regions: 0,
+            items: 0,
+            wall_ns: 0,
+            busy_ns: 0,
+            worker_ns: 0,
+            utilization: 0.0,
+        };
+        let mut store = StoreReport {
+            active: false,
+            entries: 0,
+            total_bytes: 0,
+            disk_hits: 0,
+            disk_misses: 0,
+            published: 0,
+            capped: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+            disk_hit_ratio: 0.0,
+        };
+        let (mut obs_enabled, mut threads) = (false, 0usize);
+        for r in reports {
+            obs_enabled |= r.obs_enabled;
+            threads = threads.max(r.threads);
+            for (name, c) in &r.caches {
+                let acc = caches.entry(name.clone()).or_insert_with(|| CacheReport {
+                    hits: 0,
+                    misses: 0,
+                    inserts: 0,
+                    entries: 0,
+                    hit_ratio: 0.0,
+                });
+                acc.hits += c.hits;
+                acc.misses += c.misses;
+                acc.inserts += c.inserts;
+                acc.entries += c.entries;
+            }
+            for (name, p) in &r.phases {
+                let acc = phases.entry(name.clone()).or_insert_with(|| PhaseReport {
+                    count: 0,
+                    total_ns: 0,
+                    mean_ns: 0.0,
+                    p50_ns: 0,
+                    p95_ns: 0,
+                    max_ns: 0,
+                    buckets: Vec::new(),
+                });
+                acc.count += p.count;
+                acc.total_ns += p.total_ns;
+                acc.max_ns = acc.max_ns.max(p.max_ns);
+                if acc.buckets.len() < p.buckets.len() {
+                    acc.buckets.resize(p.buckets.len(), 0);
+                }
+                for (slot, n) in acc.buckets.iter_mut().zip(&p.buckets) {
+                    *slot += n;
+                }
+            }
+            for (name, n) in &r.counters {
+                *counters.entry(name.clone()).or_insert(0) += n;
+            }
+            pool.regions += r.pool.regions;
+            pool.items += r.pool.items;
+            pool.wall_ns += r.pool.wall_ns;
+            pool.busy_ns += r.pool.busy_ns;
+            pool.worker_ns += r.pool.worker_ns;
+            store.active |= r.store.active;
+            store.entries = store.entries.max(r.store.entries);
+            store.total_bytes = store.total_bytes.max(r.store.total_bytes);
+            store.disk_hits += r.store.disk_hits;
+            store.disk_misses += r.store.disk_misses;
+            store.published += r.store.published;
+            store.capped += r.store.capped;
+            store.bytes_read += r.store.bytes_read;
+            store.bytes_written += r.store.bytes_written;
+        }
+        for acc in caches.values_mut() {
+            let lookups = acc.hits + acc.misses;
+            acc.hit_ratio = if lookups == 0 {
+                0.0
+            } else {
+                acc.hits as f64 / lookups as f64
+            };
+        }
+        for acc in phases.values_mut() {
+            // Rebuild a snapshot over the merged buckets so the quantile
+            // estimator (and its clamping to max_ns) is shared with the
+            // single-process path.
+            let snap = yali_obs::HistSnapshot {
+                name: String::new(),
+                count: acc.count,
+                sum_ns: acc.total_ns,
+                max_ns: acc.max_ns,
+                buckets: acc.buckets.clone(),
+            };
+            acc.mean_ns = snap.mean_ns();
+            acc.p50_ns = snap.quantile(0.5);
+            acc.p95_ns = snap.quantile(0.95);
+        }
+        pool.utilization = if pool.worker_ns == 0 {
+            0.0
+        } else {
+            pool.busy_ns as f64 / pool.worker_ns as f64
+        };
+        let disk_lookups = store.disk_hits + store.disk_misses;
+        store.disk_hit_ratio = if disk_lookups == 0 {
+            0.0
+        } else {
+            store.disk_hits as f64 / disk_lookups as f64
+        };
+        RunReport {
+            schema_version: RUNSTATS_SCHEMA_VERSION,
+            obs_enabled,
+            threads,
+            caches,
+            phases,
+            pool,
+            store,
+            counters,
+        }
+    }
+}
+
+/// One shard's slice of a [`FleetReport`]: which shard, how long it ran,
+/// how many design points it played, and its full [`RunReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardReport {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// The shard's wall time in nanoseconds (its `grid.worker` span).
+    pub wall_ns: u64,
+    /// Design points the shard played.
+    pub points: usize,
+    /// The shard's own run report.
+    pub report: RunReport,
+}
+
+/// The fleet-wide observability document a sharded `yali-grid run` writes
+/// as `RUNSTATS_grid.json`: the bucket-wise [`RunReport::merge`] of every
+/// shard plus the per-shard breakdown and the straggler ratio
+/// (`yali-prof diff` gates on both).
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// The [`RUNSTATS_SCHEMA_VERSION`] of the writer.
+    pub schema_version: u32,
+    /// Number of shards merged.
+    pub n_shards: usize,
+    /// Slowest shard wall time over the median shard wall time (1.0 for a
+    /// perfectly balanced fleet; 0.0 when no shard reported a wall time).
+    pub straggler_ratio: f64,
+    /// The merged fleet-wide report.
+    pub fleet: RunReport,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl FleetReport {
+    /// Builds the fleet document from per-shard reports: merges them,
+    /// computes the straggler ratio, and stamps the schema version.
+    pub fn new(mut shards: Vec<ShardReport>) -> FleetReport {
+        shards.sort_by_key(|s| s.shard);
+        let fleet = RunReport::merge(
+            &shards
+                .iter()
+                .map(|s| s.report.clone())
+                .collect::<Vec<_>>(),
+        );
+        let walls: Vec<u64> = shards.iter().map(|s| s.wall_ns).collect();
+        let straggler_ratio = match walls.iter().copied().max() {
+            Some(max) if max > 0 => max as f64 / median_wall_ns(&walls).max(1.0),
+            _ => 0.0,
+        };
+        FleetReport {
+            schema_version: RUNSTATS_SCHEMA_VERSION,
+            n_shards: shards.len(),
+            straggler_ratio,
+            fleet,
+            shards,
+        }
+    }
+
+    /// The fleet document as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FleetReport serializes")
+    }
+}
+
+/// The true median shard wall time (midpoint of the two middle values for
+/// even fleets — the upper median would make a two-shard straggler ratio
+/// identically 1). Public so the `yali-grid` straggler table and the
+/// [`FleetReport`] ratio agree on one definition.
+pub fn median_wall_ns(walls: &[u64]) -> f64 {
+    if walls.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = walls.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2] as f64
+    } else {
+        (sorted[n / 2 - 1] as f64 + sorted[n / 2] as f64) / 2.0
     }
 }
 
@@ -314,6 +630,67 @@ mod tests {
         let p95 = phase["p95_ns"].as_u64().unwrap();
         let max = phase["max_ns"].as_u64().unwrap();
         assert!(p50 <= p95 && p95 <= max, "p50={p50} p95={p95} max={max}");
+    }
+
+    #[test]
+    fn reports_round_trip_through_from_json_and_merge_sums_the_fleet() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        yali_obs::set_enabled(true);
+        yali_obs::count!("test.fleet.counter", 5);
+        {
+            let _s = yali_obs::span!("test.fleet.span");
+        }
+        yali_obs::set_enabled(false);
+        let a = RunReport::collect();
+        let parsed = RunReport::from_json(&a.to_json()).expect("parses its own JSON");
+        assert_eq!(parsed.counters, a.counters);
+        assert_eq!(
+            parsed.phases["test.fleet.span"].buckets,
+            a.phases["test.fleet.span"].buckets
+        );
+        assert_eq!(parsed.schema_version, RUNSTATS_SCHEMA_VERSION);
+
+        let merged = RunReport::merge(&[a.clone(), parsed]);
+        assert_eq!(
+            merged.counters["test.fleet.counter"],
+            2 * a.counters["test.fleet.counter"]
+        );
+        let (one, two) = (&a.phases["test.fleet.span"], &merged.phases["test.fleet.span"]);
+        assert_eq!(two.count, 2 * one.count);
+        assert_eq!(two.total_ns, 2 * one.total_ns);
+        assert_eq!(
+            two.buckets.iter().sum::<u64>(),
+            2 * one.buckets.iter().sum::<u64>()
+        );
+        // Quantiles are recomputed from the merged buckets (the exact
+        // estimate may shift within a bucket as ranks change, but the
+        // ordering invariants and the exact max must hold).
+        assert!(two.p50_ns > 0 && two.p50_ns <= two.p95_ns && two.p95_ns <= two.max_ns);
+        assert_eq!(two.max_ns, one.max_ns);
+        assert!((two.mean_ns - one.mean_ns).abs() < 1e-9, "same samples, same mean");
+    }
+
+    #[test]
+    fn fleet_report_computes_the_straggler_ratio_and_keeps_shard_order() {
+        let base = RunReport::collect();
+        let shard = |i: usize, wall: u64| ShardReport {
+            shard: i,
+            wall_ns: wall,
+            points: 4,
+            report: base.clone(),
+        };
+        // Deliberately out of order; wall times 100/100/300 → the slowest
+        // shard runs 3x the median.
+        let fleet = FleetReport::new(vec![shard(2, 300), shard(0, 100), shard(1, 100)]);
+        assert_eq!(fleet.n_shards, 3);
+        assert_eq!(fleet.schema_version, RUNSTATS_SCHEMA_VERSION);
+        assert!((fleet.straggler_ratio - 3.0).abs() < 1e-12);
+        let order: Vec<usize> = fleet.shards.iter().map(|s| s.shard).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        // The document is detectable as a fleet report: both marker keys.
+        let v: serde_json::Value = serde_json::from_str(&fleet.to_json()).unwrap();
+        assert!(v.get("fleet").as_object().is_some());
+        assert_eq!(v.get("shards").as_array().unwrap().len(), 3);
     }
 
     #[test]

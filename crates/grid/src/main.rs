@@ -4,9 +4,9 @@
 //! yali-grid plan   [grid options]                 list the design points
 //! yali-grid point  --game G --evader E --model M --round R [--repeat N]
 //!                  [--classes C --per-class P]    play one point, print JSON
-//! yali-grid worker --shard I --of N --out FILE [grid options]
+//! yali-grid worker --shard I --of N --out FILE [--runstats FILE] [grid options]
 //!                  play one shard, write its report
-//! yali-grid run    --workers N --out FILE [--store DIR] [grid options]
+//! yali-grid run    --workers N --out FILE [--store DIR] [--runstats FILE] [grid options]
 //!                  spawn N workers sharing one store, merge their reports
 //! yali-grid merge  --out FILE IN...               merge shard reports
 //!
@@ -17,6 +17,16 @@
 //! Set `YALI_STORE=dir` (or pass `--store`) so workers share artifacts;
 //! re-running a grid against a warm store recomputes only what the
 //! previous run never committed — that is the resume story.
+//!
+//! Under `YALI_OBS=1` a sharded `run` is also a *fleet observability*
+//! run: every worker is stamped with its shard identity, gets its own
+//! trace sink (`YALI_TRACE=<base>.shardN` when the driver has a
+//! `YALI_TRACE`), plays its slice inside a traced `grid.worker` span, and
+//! writes a per-shard run report. The driver merges those reports
+//! bucket-wise into `RUNSTATS_grid.json` (see
+//! [`yali_core::FleetReport`]), prints a per-shard straggler table, and
+//! leaves the gating to `yali-prof diff --max-straggler-ratio/
+//! --max-shard-drift`.
 
 use std::process::{Command, ExitCode};
 
@@ -52,10 +62,12 @@ const USAGE: &str = "\
 usage: yali-grid <plan|point|worker|run|merge> [options]
   plan   [grid options]                          list the design points
   point  --game G --evader E --model M --round R [--repeat N] [--classes C --per-class P]
-  worker --shard I --of N --out FILE [grid options]
-  run    --workers N --out FILE [--store DIR] [grid options]
+  worker --shard I --of N --out FILE [--runstats FILE] [grid options]
+  run    --workers N --out FILE [--store DIR] [--runstats FILE] [grid options]
   merge  --out FILE IN...
 grid options: --games A,B --evaders A,B --models A,B --rounds N --classes N --per-class N
+under YALI_OBS=1, run writes a fleet report (default RUNSTATS_grid.json; --runstats FILE)
+merging every shard's run report, and YALI_TRACE=<base> gives each worker <base>.shardN
 ";
 
 /// One `--flag value` argument walker; positional args collect separately.
@@ -206,6 +218,11 @@ fn cmd_point(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Seed mixed with the shard index to derive a worker's trace context
+/// ([`yali_obs::TraceContext::derive`]), so every shard's `grid.worker`
+/// span carries a distinct, deterministic trace id.
+const GRID_TRACE_SEED: u64 = 0x9a11_6d1d;
+
 fn cmd_worker(rest: &[String]) -> Result<(), String> {
     let args = Args::parse(rest)?;
     let spec = spec_from_args(&args)?;
@@ -214,17 +231,31 @@ fn cmd_worker(rest: &[String]) -> Result<(), String> {
     if of == 0 || shard >= of {
         return Err(format!("--shard {shard} not in 0..{of}"));
     }
+    // Stamp the process lane before the trace sink can attach (the first
+    // instrumented call opens it lazily from YALI_TRACE).
+    yali_obs::set_identity("worker", Some(shard as u64));
     let out = args.require("out")?;
     let mine = partition(&spec.points(), shard, of);
     let mut results = Vec::with_capacity(mine.len());
-    for p in &mine {
-        results.push(PointResult::new(p, &play_point(&spec, p)));
+    {
+        let ctx = yali_obs::TraceContext::derive(GRID_TRACE_SEED, shard as u64);
+        let _ctx_guard = yali_obs::push_context(ctx);
+        let _worker_span = yali_obs::span!("grid.worker");
+        for p in &mine {
+            let _point_span = yali_obs::span_attr!("grid.point", "point", p.index as u64);
+            results.push(PointResult::new(p, &play_point(&spec, p)));
+        }
     }
     let report = GridReport::new(results);
     write_atomically(out, &report.to_json())?;
     // Make this worker's published artifacts durable before exiting so a
     // resuming run finds them even after power loss.
     yali_core::store::sync_active();
+    // The run report lands after the worker span closed, so the shard's
+    // full wall time is in `phases["grid.worker"]` (no-op with obs off).
+    if let Some(runstats) = args.get("runstats") {
+        yali_core::report::maybe_write_runstats(runstats);
+    }
     eprintln!(
         "worker {shard}/{of}: {} points -> {out}{}",
         mine.len(),
@@ -235,6 +266,9 @@ fn cmd_worker(rest: &[String]) -> Result<(), String> {
 
 fn cmd_run(rest: &[String]) -> Result<(), String> {
     let args = Args::parse(rest)?;
+    // The driver's own (usually tiny) capture is stamped "driver" so a
+    // merged timeline never confuses it with a worker lane.
+    yali_obs::set_identity("driver", None);
     spec_from_args(&args)?; // validate before spawning anything
     let workers = args.get_usize("workers", 1)?;
     if workers == 0 {
@@ -244,6 +278,11 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     let store = args.get("store");
     let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
     let grid_flags = forwarded_grid_flags(&args);
+    // Fleet observability rides along when the driver runs instrumented:
+    // each worker then writes its own run report for the merge below.
+    let fleet_out = args.get("runstats").unwrap_or("RUNSTATS_grid.json");
+    let obs = yali_obs::enabled();
+    let trace_base = std::env::var("YALI_TRACE").ok().filter(|t| !t.trim().is_empty());
 
     let mut children = Vec::new();
     for shard in 0..workers {
@@ -260,6 +299,15 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
         if let Some(dir) = store {
             cmd.env("YALI_STORE", dir);
         }
+        // Belt and braces: cmd_worker stamps its own identity, but the
+        // env keeps any grandchild process on the right lane too.
+        cmd.env("YALI_ROLE", "worker").env("YALI_SHARD", shard.to_string());
+        if let Some(base) = &trace_base {
+            cmd.env("YALI_TRACE", format!("{}.shard{shard}", base.trim()));
+        }
+        if obs {
+            cmd.arg("--runstats").arg(format!("{shard_out}.runstats"));
+        }
         let child = cmd
             .spawn()
             .map_err(|e| format!("cannot spawn worker {shard}: {e}"))?;
@@ -273,7 +321,7 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
             .wait()
             .map_err(|e| format!("cannot wait for worker {shard}: {e}"))?;
         if status.success() {
-            shard_files.push(shard_out);
+            shard_files.push((shard, shard_out));
         } else {
             failures.push(format!("worker {shard} exited with {status}"));
         }
@@ -284,15 +332,18 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
 
     let reports = shard_files
         .iter()
-        .map(|f| {
+        .map(|(_, f)| {
             std::fs::read_to_string(f)
                 .map_err(|e| format!("cannot read {f}: {e}"))
                 .and_then(|text| GridReport::from_json(&text))
         })
         .collect::<Result<Vec<_>, _>>()?;
+    if obs {
+        merge_fleet_runstats(&shard_files, &reports, fleet_out)?;
+    }
     let merged = merge(reports)?;
     write_atomically(out, &merged.to_json())?;
-    for f in &shard_files {
+    for (_, f) in &shard_files {
         let _ = std::fs::remove_file(f);
     }
     let mean_acc = merged.results.iter().map(|r| r.accuracy).sum::<f64>()
@@ -300,6 +351,53 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     println!(
         "{} workers, {} points -> {out} (mean accuracy {:.3})",
         workers, merged.n_points, mean_acc
+    );
+    Ok(())
+}
+
+/// Reads every shard's run report, merges them into a
+/// [`yali_core::FleetReport`] written to `fleet_out`, and prints the
+/// per-shard straggler table (wall time relative to the median shard).
+fn merge_fleet_runstats(
+    shard_files: &[(usize, String)],
+    grid_reports: &[GridReport],
+    fleet_out: &str,
+) -> Result<(), String> {
+    let mut shards = Vec::with_capacity(shard_files.len());
+    for ((shard, grid_file), grid_report) in shard_files.iter().zip(grid_reports) {
+        let path = format!("{grid_file}.runstats");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read shard run report {path}: {e}"))?;
+        let report = yali_core::RunReport::from_json(&text)?;
+        let wall_ns = report
+            .phases
+            .get("grid.worker")
+            .map(|p| p.total_ns)
+            .unwrap_or(0);
+        shards.push(yali_core::ShardReport {
+            shard: *shard,
+            wall_ns,
+            points: grid_report.n_points as usize,
+            report,
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+    let fleet = yali_core::FleetReport::new(shards);
+    write_atomically(fleet_out, &fleet.to_json())?;
+    let walls: Vec<u64> = fleet.shards.iter().map(|s| s.wall_ns).collect();
+    let median = yali_core::report::median_wall_ns(&walls).max(1.0);
+    for s in &fleet.shards {
+        println!(
+            "shard {}: {:>9.1} ms wall, {:>4} points ({:.2}x median)",
+            s.shard,
+            s.wall_ns as f64 / 1e6,
+            s.points,
+            s.wall_ns as f64 / median
+        );
+    }
+    println!(
+        "fleet: {} shards, straggler ratio {:.2} -> {fleet_out}",
+        fleet.n_shards, fleet.straggler_ratio
     );
     Ok(())
 }

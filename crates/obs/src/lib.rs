@@ -55,6 +55,90 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+// --- distributed trace context -------------------------------------------
+
+/// The identity a span carries across process boundaries: a 64-bit trace
+/// id shared by every span of one logical request (client and server,
+/// coordinator and shard), plus the span sequence id of the remote parent.
+///
+/// Contexts are **derived, never drawn**: [`TraceContext::derive`] mixes a
+/// caller-supplied seed and a stream index through SplitMix64, so the same
+/// run produces the same ids — trace identity obeys the engine's
+/// determinism contract instead of `Date::now`-style entropy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The trace id shared by every process touching this request.
+    pub trace_id: u64,
+    /// The per-thread `seq` of the parent span in the *originating*
+    /// process (0 when the context roots the trace).
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// Derives the context for stream `stream` of the trace family seeded
+    /// by `seed`. `mix64` is a bijection and `seed + stream * odd` is a
+    /// bijection in `stream`, so distinct streams under one seed always
+    /// get distinct trace ids.
+    pub fn derive(seed: u64, stream: u64) -> TraceContext {
+        TraceContext {
+            trace_id: mix64(seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+            parent_span: 0,
+        }
+    }
+
+    /// The same trace with a different remote parent span (the client
+    /// stamps its own request span's `seq` here before sending).
+    pub fn with_parent(self, parent_span: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span,
+        }
+    }
+}
+
+/// The SplitMix64 finalizer: a cheap, high-quality u64 bijection (used
+/// for trace-id derivation; public so the serve client and the load bench
+/// derive identical families from their request counters).
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+thread_local! {
+    static CURRENT_CTX: std::cell::Cell<Option<TraceContext>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The current thread's trace context, if one is installed (spans opened
+/// while a context is current carry it on their trace events).
+#[inline]
+pub fn current_context() -> Option<TraceContext> {
+    CURRENT_CTX.with(|c| c.get())
+}
+
+/// RAII guard returned by [`push_context`]; restores the previously
+/// current context (possibly none) on drop, so nested scopes compose.
+pub struct ContextGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT_CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Installs `ctx` as the current thread's trace context for the guard's
+/// lifetime. Every span opened (and every [`trace_region`] emitted) on
+/// this thread while the guard lives carries `trace`/`parent` fields, so
+/// a server's dispatch spans join the client's timeline.
+pub fn push_context(ctx: TraceContext) -> ContextGuard {
+    ContextGuard {
+        prev: CURRENT_CTX.with(|c| c.replace(Some(ctx))),
+    }
+}
+
 // --- global on/off state -------------------------------------------------
 
 const STATE_UNKNOWN: u8 = 0;
@@ -421,6 +505,18 @@ pub struct SpanGuard {
     trace: Option<(u64, u64)>,
 }
 
+impl SpanGuard {
+    /// The per-thread sequence id of this span's traced open event, or
+    /// `None` when the open was not traced (observability off / no sink).
+    /// A client uses this as the `parent_span` of the [`TraceContext`] it
+    /// sends over the wire, so remote spans point back at the exact local
+    /// span that issued the request.
+    #[inline]
+    pub fn seq(&self) -> Option<u64> {
+        self.trace.map(|(seq, _)| seq)
+    }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((start, hist)) = self.timed {
@@ -567,6 +663,10 @@ fn span_open(
                 ("depth", TraceVal::U64(depth)),
                 ("t_ns", TraceVal::U64(t_ns)),
             ];
+            if let Some(ctx) = current_context() {
+                fields.push(("trace", TraceVal::Hex(ctx.trace_id)));
+                fields.push(("parent", TraceVal::Hex(ctx.parent_span)));
+            }
             if let Some((k, v)) = attr {
                 fields.push((k, TraceVal::Hex(v)));
             }
@@ -610,10 +710,84 @@ fn init_trace_from_env() {
     }
 }
 
+// --- process identity & the trace preamble -------------------------------
+
+static IDENTITY: Mutex<Option<(String, Option<u64>)>> = Mutex::new(None);
+
+/// Stamps the process identity written into the trace preamble: a `role`
+/// ("serve", "worker", "client", …) and an optional shard index. Call
+/// before attaching a trace sink; unset, the preamble falls back to the
+/// `YALI_ROLE` / `YALI_SHARD` environment (which is how `yali-grid run`
+/// stamps its spawned workers) and then to role `"main"`.
+pub fn set_identity(role: &str, shard: Option<u64>) {
+    *IDENTITY.lock().unwrap() = Some((role.to_string(), shard));
+}
+
+static SHARD_ONCE: WarnOnce = WarnOnce::new();
+
+/// The effective process identity: programmatic [`set_identity`] wins,
+/// then `YALI_ROLE`/`YALI_SHARD`, then `("main", None)`.
+pub fn identity() -> (String, Option<u64>) {
+    if let Some(id) = IDENTITY.lock().unwrap().clone() {
+        return id;
+    }
+    let role = std::env::var("YALI_ROLE")
+        .ok()
+        .map(|v| v.trim().to_string())
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| "main".to_string());
+    let shard = env_once(
+        "YALI_SHARD",
+        &SHARD_ONCE,
+        "is not a shard index (expected a non-negative integer); omitting the shard stamp",
+        |v| match v {
+            None => EnvVar::Unset,
+            Some(raw) => match raw.trim().parse::<u64>() {
+                Ok(n) => EnvVar::Value(n),
+                Err(_) => EnvVar::Invalid,
+            },
+        },
+    );
+    (role, shard)
+}
+
+/// Renders the `{"ev":"preamble",...}` line stamped at the top of every
+/// trace file: process identity (`pid` + role + optional shard) and the
+/// clock handshake — `t_ns` on the process-local epoch paired with
+/// `unix_ns` wall-clock nanoseconds sampled at the same instant, which is
+/// what lets `yali-prof merge` align per-process timelines. `unix_ns` is
+/// rendered as a hex string (it exceeds 2^53, the exact-integer range of
+/// JSON doubles).
+fn preamble_line() -> String {
+    let (role, shard) = identity();
+    let t_ns = epoch_ns();
+    let unix_ns = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut fields = vec![
+        ("ev", TraceVal::Str("preamble")),
+        ("tid", TraceVal::U64(thread_id())),
+        ("t_ns", TraceVal::U64(t_ns)),
+        ("pid", TraceVal::U64(std::process::id() as u64)),
+        ("role", TraceVal::Owned(role)),
+    ];
+    if let Some(s) = shard {
+        fields.push(("shard", TraceVal::U64(s)));
+    }
+    fields.push(("unix_ns", TraceVal::Hex(unix_ns)));
+    render_event(&fields)
+}
+
 /// Attaches (or with `None` detaches) the JSONL event sink. The file is
-/// truncated; failures to open are reported on stderr and leave tracing
-/// off — observability must never take a run down.
+/// truncated and a preamble line stamping the process identity (see
+/// [`set_identity`]) is written first; failures to open are reported on
+/// stderr and leave tracing off — observability must never take a run
+/// down.
 pub fn set_trace_path(path: Option<&str>) {
+    // The preamble is rendered before the sink lock is taken: identity()
+    // may warn(), and warn() takes the sink lock itself.
+    let preamble = path.map(|_| preamble_line());
     let mut sink = TRACE_SINK.lock().unwrap();
     if let Some(mut old) = sink.take() {
         let _ = old.flush();
@@ -622,7 +796,11 @@ pub fn set_trace_path(path: Option<&str>) {
     if let Some(path) = path {
         match std::fs::File::create(path) {
             Ok(f) => {
-                *sink = Some(std::io::LineWriter::new(f));
+                let mut w = std::io::LineWriter::new(f);
+                if let Some(p) = &preamble {
+                    let _ = w.write_all(p.as_bytes());
+                }
+                *sink = Some(w);
                 TRACE_ON.store(true, Ordering::Relaxed);
             }
             Err(e) => eprintln!("yali-obs: cannot open trace sink {path}: {e}"),
@@ -647,6 +825,13 @@ enum TraceVal {
 }
 
 fn trace_event(fields: &[(&str, TraceVal)]) {
+    let line = render_event(fields);
+    if let Some(w) = TRACE_SINK.lock().unwrap().as_mut() {
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+fn render_event(fields: &[(&str, TraceVal)]) -> String {
     let mut line = String::with_capacity(96);
     line.push('{');
     for (i, (k, v)) in fields.iter().enumerate() {
@@ -676,9 +861,7 @@ fn trace_event(fields: &[(&str, TraceVal)]) {
         }
     }
     line.push_str("}\n");
-    if let Some(w) = TRACE_SINK.lock().unwrap().as_mut() {
-        let _ = w.write_all(line.as_bytes());
-    }
+    line
 }
 
 pub(crate) fn json_escape_into(out: &mut String, s: &str) {
@@ -723,6 +906,10 @@ pub fn trace_region(label: &'static str, fields: &[(&'static str, u64)]) {
         ("tid", TraceVal::U64(thread_id())),
         ("t_ns", TraceVal::U64(epoch_ns())),
     ];
+    if let Some(ctx) = current_context() {
+        all.push(("trace", TraceVal::Hex(ctx.trace_id)));
+        all.push(("parent", TraceVal::Hex(ctx.parent_span)));
+    }
     for &(k, v) in fields {
         all.push((k, TraceVal::U64(v)));
     }
@@ -1088,6 +1275,93 @@ mod tests {
             env_once("YALI_TEST_ENV_ONCE_BAD", &ONCE, "msg", parse_positive),
             None
         );
+    }
+
+    #[test]
+    fn trace_context_derivation_is_deterministic_and_unique() {
+        let a = TraceContext::derive(42, 0);
+        let b = TraceContext::derive(42, 0);
+        assert_eq!(a, b, "same seed + stream must derive the same context");
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..512u64 {
+            assert!(
+                seen.insert(TraceContext::derive(42, stream).trace_id),
+                "stream {stream} collided"
+            );
+        }
+        assert_ne!(
+            TraceContext::derive(42, 1).trace_id,
+            TraceContext::derive(43, 1).trace_id
+        );
+        assert_eq!(a.parent_span, 0);
+        assert_eq!(a.with_parent(7).parent_span, 7);
+        assert_eq!(a.with_parent(7).trace_id, a.trace_id);
+    }
+
+    #[test]
+    fn context_guard_nests_and_restores() {
+        assert_eq!(current_context(), None);
+        let outer = TraceContext::derive(1, 1);
+        let inner = TraceContext::derive(1, 2);
+        {
+            let _a = push_context(outer);
+            assert_eq!(current_context(), Some(outer));
+            {
+                let _b = push_context(inner);
+                assert_eq!(current_context(), Some(inner));
+            }
+            assert_eq!(current_context(), Some(outer));
+        }
+        assert_eq!(current_context(), None);
+    }
+
+    #[test]
+    fn spans_carry_the_current_trace_context_and_the_preamble_stamps_identity() {
+        let _lock = GLOBAL_STATE.lock().unwrap();
+        set_identity("testrole", Some(3));
+        let path = std::env::temp_dir().join("yali_obs_ctx.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        set_trace_path(Some(&path));
+        set_enabled(true);
+        let ctx = TraceContext::derive(9, 4).with_parent(11);
+        {
+            let _g = push_context(ctx);
+            let _s = span!("test.ctx.span");
+        }
+        {
+            let _s = span!("test.ctx.bare");
+        }
+        set_enabled(false);
+        set_trace_path(None);
+        *IDENTITY.lock().unwrap() = None;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"ev\":\"preamble\""), "{first}");
+        assert!(first.contains("\"role\":\"testrole\""), "{first}");
+        assert!(first.contains("\"shard\":3"), "{first}");
+        assert!(
+            first.contains(&format!("\"pid\":{}", std::process::id())),
+            "{first}"
+        );
+        assert!(first.contains("\"unix_ns\":\"0x"), "{first}");
+        let ctx_open = text
+            .lines()
+            .find(|l| l.contains("test.ctx.span") && l.contains("\"ev\":\"open\""))
+            .unwrap();
+        assert!(
+            ctx_open.contains(&format!("\"trace\":\"{:#018x}\"", ctx.trace_id)),
+            "{ctx_open}"
+        );
+        assert!(
+            ctx_open.contains("\"parent\":\"0x000000000000000b\""),
+            "{ctx_open}"
+        );
+        let bare_open = text
+            .lines()
+            .find(|l| l.contains("test.ctx.bare") && l.contains("\"ev\":\"open\""))
+            .unwrap();
+        assert!(!bare_open.contains("\"trace\""), "{bare_open}");
     }
 
     #[test]

@@ -376,8 +376,11 @@ pub struct DumpStats {
 
 /// Drains every ring into a JSONL trace (strict-parser clean, see
 /// [`render_dump`]) prefixed with a `{"ev":"recorder",...}` meta line
-/// carrying the [`DumpStats`]. The rings keep recording throughout — a
-/// dump is a snapshot, not a reset.
+/// carrying the [`DumpStats`] plus, for every thread whose ring wrapped
+/// (or tore) events away before the dump, a `"dropped_tid<N>":<count>`
+/// field — so `yali-prof` can report per-thread coverage instead of one
+/// fleet-wide number. The rings keep recording throughout — a dump is a
+/// snapshot, not a reset.
 pub fn dump() -> (String, DumpStats) {
     let rings: Vec<Arc<Ring>> = RINGS.lock().unwrap().clone();
     let threads: Vec<(u64, Vec<RecEvent>, u64)> = rings
@@ -389,17 +392,40 @@ pub fn dump() -> (String, DumpStats) {
         .collect();
     let labels = label_table();
     let (body, stats) = render_dump(&threads, &labels);
-    let meta = format!(
-        "{{\"ev\":\"recorder\",\"tid\":{},\"t_ns\":{},\"events\":{},\"dropped\":{},\"orphan_closes\":{},\"unclosed_opens\":{},\"threads\":{}}}\n",
-        thread_id(),
-        epoch_ns(),
+    let mut per_thread: Vec<(u64, u64)> = threads
+        .iter()
+        .filter(|(_, _, lost)| *lost > 0)
+        .map(|(tid, _, lost)| (*tid, *lost))
+        .collect();
+    per_thread.sort_unstable();
+    let meta = render_meta_line(thread_id(), epoch_ns(), &stats, &per_thread);
+    (meta + &body, stats)
+}
+
+/// Renders the dump's `{"ev":"recorder",...}` meta line. Pure, so the
+/// per-thread drop accounting is directly unit-testable; `per_thread`
+/// must be sorted by tid and list only threads that actually lost events.
+pub fn render_meta_line(
+    dump_tid: u64,
+    t_ns: u64,
+    stats: &DumpStats,
+    per_thread: &[(u64, u64)],
+) -> String {
+    let mut meta = format!(
+        "{{\"ev\":\"recorder\",\"tid\":{},\"t_ns\":{},\"events\":{},\"dropped\":{},\"orphan_closes\":{},\"unclosed_opens\":{},\"threads\":{}",
+        dump_tid,
+        t_ns,
         stats.events,
         stats.dropped,
         stats.orphan_closes,
         stats.unclosed_opens,
         stats.threads,
     );
-    (meta + &body, stats)
+    for (tid, lost) in per_thread {
+        meta.push_str(&format!(",\"dropped_tid{tid}\":{lost}"));
+    }
+    meta.push_str("}\n");
+    meta
 }
 
 /// Renders per-thread event streams into strict-parser-clean JSONL.
@@ -619,6 +645,26 @@ mod tests {
         assert_eq!(stats.unclosed_opens, 1);
         assert_eq!(stats.orphan_closes, 0);
         assert!(!text.contains("\"span\":\"b\""));
+    }
+
+    #[test]
+    fn meta_line_accounts_wrap_drops_per_thread() {
+        let stats = DumpStats {
+            events: 10,
+            dropped: 7,
+            orphan_closes: 1,
+            unclosed_opens: 2,
+            threads: 3,
+        };
+        let meta = render_meta_line(4, 999, &stats, &[(2, 5), (9, 2)]);
+        assert!(meta.ends_with('\n'));
+        assert!(meta.contains("\"ev\":\"recorder\""));
+        assert!(meta.contains("\"dropped\":7"));
+        assert!(meta.contains("\"dropped_tid2\":5"), "{meta}");
+        assert!(meta.contains("\"dropped_tid9\":2"), "{meta}");
+        // No wrap drops: the meta line carries no per-thread fields.
+        let clean = render_meta_line(4, 999, &stats, &[]);
+        assert!(!clean.contains("dropped_tid"), "{clean}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::trace::{SpanNode, Trace};
 
 /// Escapes a string for embedding in a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -39,29 +39,41 @@ fn us(ns: u64) -> String {
     format!("{:.3}", ns as f64 / 1000.0)
 }
 
-fn span_event(s: &SpanNode, out: &mut Vec<String>) {
+fn span_event(s: &SpanNode, pid: u64, offset_ns: u64, out: &mut Vec<String>) {
     let mut args = format!("\"seq\":{},\"depth\":{},\"dur_ns\":{}", s.seq, s.depth, s.dur_ns);
+    if let Some((trace_id, parent)) = s.ctx {
+        args.push_str(&format!(
+            ",\"trace\":\"{trace_id:#018x}\",\"parent\":\"{parent:#018x}\""
+        ));
+    }
     if let Some((k, v)) = &s.attr {
         args.push_str(&format!(",\"{}\":\"{}\"", esc(k), esc(v)));
     }
     out.push(format!(
-        "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+        "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
         esc(&s.label),
-        us(s.open_ns),
+        us(s.open_ns + offset_ns),
         us(s.close_ns.saturating_sub(s.open_ns)),
+        pid,
         s.tid,
         args,
     ));
     for c in &s.children {
-        span_event(c, out);
+        span_event(c, pid, offset_ns, out);
     }
 }
 
-/// Renders the trace as a Chrome Trace Format JSON document.
-pub fn to_chrome(trace: &Trace) -> String {
-    let mut events: Vec<String> = Vec::new();
+/// Renders one trace's events onto process lane `pid`, with every
+/// timestamp shifted forward by `offset_ns` (0 for single-process export;
+/// the per-process clock offset for `yali-prof merge`).
+pub(crate) fn push_process_events(
+    trace: &Trace,
+    pid: u64,
+    offset_ns: u64,
+    events: &mut Vec<String>,
+) {
     for root in &trace.roots {
-        span_event(root, &mut events);
+        span_event(root, pid, offset_ns, events);
     }
     for r in &trace.regions {
         let t0 = r.fields.get("t0_ns").copied();
@@ -78,21 +90,27 @@ pub fn to_chrome(trace: &Trace) -> String {
             .iter()
             .map(|(k, v)| format!("\"{}\":{}", esc(k), v))
             .collect();
+        if let Some((trace_id, parent)) = r.ctx {
+            args.push(format!("\"trace\":\"{trace_id:#018x}\""));
+            args.push(format!("\"parent\":\"{parent:#018x}\""));
+        }
         args.sort();
         let args = args.join(",");
         match (t0, dur) {
             (Some(t0), Some(dur)) => events.push(format!(
-                "{{\"name\":\"{}\",\"cat\":\"pool\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+                "{{\"name\":\"{}\",\"cat\":\"pool\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
                 esc(&name),
-                us(t0),
+                us(t0 + offset_ns),
                 us(dur),
+                pid,
                 r.tid,
                 args,
             )),
             _ => events.push(format!(
-                "{{\"name\":\"{}\",\"cat\":\"pool\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{{{}}}}}",
+                "{{\"name\":\"{}\",\"cat\":\"pool\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"t\",\"args\":{{{}}}}}",
                 esc(&name),
-                us(r.t_ns),
+                us(r.t_ns + offset_ns),
+                pid,
                 r.tid,
                 args,
             )),
@@ -100,16 +118,29 @@ pub fn to_chrome(trace: &Trace) -> String {
     }
     for w in &trace.warns {
         events.push(format!(
-            "{{\"name\":\"warn\",\"cat\":\"warn\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{{\"msg\":\"{}\"}}}}",
-            us(w.t_ns),
+            "{{\"name\":\"warn\",\"cat\":\"warn\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"t\",\"args\":{{\"msg\":\"{}\"}}}}",
+            us(w.t_ns + offset_ns),
+            pid,
             w.tid,
             esc(&w.msg),
         ));
     }
+}
+
+/// Wraps rendered events in the deterministic document envelope.
+pub(crate) fn envelope(events: &[String]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     out.push_str(&events.join(",\n"));
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
     out
+}
+
+/// Renders the trace as a Chrome Trace Format JSON document (single
+/// process: every event on lane `pid` 1, timestamps unshifted).
+pub fn to_chrome(trace: &Trace) -> String {
+    let mut events: Vec<String> = Vec::new();
+    push_process_events(trace, 1, 0, &mut events);
+    envelope(&events)
 }
 
 #[cfg(test)]

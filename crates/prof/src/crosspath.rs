@@ -1,0 +1,274 @@
+//! Cross-process critical path: what a client-observed request latency
+//! was spent on, hop by hop, across the serve daemon.
+//!
+//! The serve protocol forwards each traced request's [`yali_obs::TraceContext`]
+//! to the daemon, which echoes it on a `serve.job` region carrying the
+//! per-hop decomposition of that request's time inside the server
+//! (`queue_wait_ns`, `batch_fill_ns`, `infer_ns`, `reply_ns` — disjoint
+//! by construction on the producer side). This module joins the two ends
+//! by trace id: pick a `client.*` span (the slowest one, or the one named
+//! with `--trace-id`), find the `serve.job` region sharing its trace id,
+//! and attribute the client-observed duration to the server hops plus an
+//! `unattributed` remainder (wire + client-side overhead; negative only
+//! under clock skew between the two processes' `Instant` domains).
+
+use crate::merge::MergedTrace;
+use crate::profile::fmt_ns;
+
+/// The server-side hop fields of a `serve.job` region, in pipeline order.
+pub const HOP_ORDER: [&str; 4] = ["queue_wait_ns", "batch_fill_ns", "infer_ns", "reply_ns"];
+
+/// One attributed hop of a request's cross-process path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Hop field name (`queue_wait_ns`, `batch_fill_ns`, ...).
+    pub label: String,
+    /// Time the request spent in this hop.
+    pub dur_ns: u64,
+}
+
+/// A client request's latency joined with its server-side decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossPath {
+    /// The shared distributed trace id.
+    pub trace_id: u64,
+    /// Label of the chosen client span (`client.request`, ...).
+    pub client_label: String,
+    /// Lane name of the process that ran the client span.
+    pub client_process: String,
+    /// The client-observed duration being decomposed.
+    pub client_dur_ns: u64,
+    /// Lane name of the process that emitted the matching `serve.job`.
+    pub server_process: String,
+    /// The server-side request id from the `serve.job` region, if stamped.
+    pub req: Option<u64>,
+    /// Server-side hops in [`HOP_ORDER`] (absent fields are skipped).
+    pub hops: Vec<Hop>,
+    /// Client duration minus the summed hops: wire time plus client-side
+    /// overhead. Negative only under cross-process clock skew.
+    pub unattributed_ns: i64,
+}
+
+/// Extracts the cross-process path of one request from a merged (or
+/// single-capture) timeline. `want` filters to a specific trace id;
+/// `None` picks the slowest context-carrying `client.*` span — the
+/// request most worth explaining.
+pub fn cross_path(m: &MergedTrace, want: Option<u64>) -> Result<CrossPath, String> {
+    let mut client: Option<(u64, u64, String, String)> = None;
+    for p in &m.processes {
+        for s in p.trace.spans() {
+            if !s.label.starts_with("client.") {
+                continue;
+            }
+            let Some((trace_id, _)) = s.ctx else { continue };
+            if want.is_some_and(|w| w != trace_id) {
+                continue;
+            }
+            if client.as_ref().is_none_or(|(dur, ..)| s.dur_ns > *dur) {
+                client = Some((s.dur_ns, trace_id, s.label.clone(), p.name.clone()));
+            }
+        }
+    }
+    let (client_dur_ns, trace_id, client_label, client_process) = client.ok_or_else(|| {
+        match want {
+            Some(w) => format!("no client.* span with trace id {w:#018x} in the trace"),
+            None => "no client.* span carrying a trace context in the trace \
+                     (was the client run with tracing on?)"
+                .to_string(),
+        }
+    })?;
+
+    let mut job = None;
+    for p in &m.processes {
+        for r in &p.trace.regions {
+            if r.label == "serve.job" && r.ctx.map(|(t, _)| t) == Some(trace_id) {
+                job = Some((r, p.name.clone()));
+            }
+        }
+    }
+    let (job, server_process) = job.ok_or_else(|| {
+        format!(
+            "no serve.job region with trace id {trace_id:#018x} — the server \
+             side of this request was not captured (merge the server trace in?)"
+        )
+    })?;
+
+    let hops: Vec<Hop> = HOP_ORDER
+        .iter()
+        .filter_map(|k| {
+            job.fields.get(*k).map(|&dur_ns| Hop {
+                label: k.trim_end_matches("_ns").to_string(),
+                dur_ns,
+            })
+        })
+        .collect();
+    let attributed: u64 = hops.iter().map(|h| h.dur_ns).sum();
+    Ok(CrossPath {
+        trace_id,
+        client_label,
+        client_process,
+        client_dur_ns,
+        server_process,
+        req: job.fields.get("req").copied(),
+        hops,
+        unattributed_ns: client_dur_ns as i64 - attributed as i64,
+    })
+}
+
+/// Renders the cross-path as an indented text attribution table.
+pub fn render_cross_path(cp: &CrossPath) -> String {
+    let mut out = format!(
+        "cross-process path for trace {:#018x}\n{} {} observed by {}\n  served by {}{}\n",
+        cp.trace_id,
+        cp.client_label,
+        fmt_ns(cp.client_dur_ns),
+        cp.client_process,
+        cp.server_process,
+        cp.req.map_or(String::new(), |r| format!(" (req {r})")),
+    );
+    let wall = cp.client_dur_ns.max(1);
+    for hop in &cp.hops {
+        out.push_str(&format!(
+            "  {:<12} {:>12} {:>6.2}%\n",
+            hop.label,
+            fmt_ns(hop.dur_ns),
+            100.0 * hop.dur_ns as f64 / wall as f64,
+        ));
+    }
+    let (sign, mag) = if cp.unattributed_ns < 0 {
+        ("-", cp.unattributed_ns.unsigned_abs())
+    } else {
+        ("", cp.unattributed_ns as u64)
+    };
+    out.push_str(&format!(
+        "  {:<12} {:>12} {:>6.2}%  (wire + client overhead)\n",
+        "unattributed",
+        format!("{sign}{}", fmt_ns(mag)),
+        100.0 * cp.unattributed_ns as f64 / wall as f64,
+    ));
+    out
+}
+
+/// Renders the cross-path as a deterministic JSON document (the
+/// machine-readable twin of [`render_cross_path`]).
+pub fn render_cross_path_json(cp: &CrossPath) -> String {
+    let mut out = format!(
+        "{{\"trace_id\":\"{:#018x}\",\"client\":{{\"label\":\"{}\",\"process\":\"{}\",\"dur_ns\":{}}},\"server\":{{\"process\":\"{}\"",
+        cp.trace_id,
+        crate::chrome::esc(&cp.client_label),
+        crate::chrome::esc(&cp.client_process),
+        cp.client_dur_ns,
+        crate::chrome::esc(&cp.server_process),
+    );
+    if let Some(r) = cp.req {
+        out.push_str(&format!(",\"req\":{r}"));
+    }
+    out.push_str("},\"hops\":[");
+    for (i, hop) in cp.hops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"dur_ns\":{}}}",
+            crate::chrome::esc(&hop.label),
+            hop.dur_ns,
+        ));
+    }
+    out.push_str(&format!(
+        "],\"unattributed_ns\":{}}}\n",
+        cp.unattributed_ns
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_traces;
+    use crate::trace::parse_trace;
+
+    fn fixture() -> MergedTrace {
+        // Client capture: two requests, trace ids 0xa1 (100us) and 0xa2
+        // (60us). Server capture: a serve.job per request with the hop
+        // decomposition.
+        let client = "\
+{\"ev\":\"preamble\",\"tid\":1,\"t_ns\":0,\"pid\":10,\"role\":\"client\",\"unix_ns\":\"0x00000000000003e8\"}\n\
+{\"ev\":\"open\",\"span\":\"client.request\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":1000,\"trace\":\"0x00000000000000a1\",\"parent\":\"0x0000000000000001\"}\n\
+{\"ev\":\"close\",\"span\":\"client.request\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":101000,\"dur_ns\":100000}\n\
+{\"ev\":\"open\",\"span\":\"client.request\",\"tid\":1,\"seq\":1,\"depth\":0,\"t_ns\":110000,\"trace\":\"0x00000000000000a2\",\"parent\":\"0x0000000000000002\"}\n\
+{\"ev\":\"close\",\"span\":\"client.request\",\"tid\":1,\"seq\":1,\"depth\":0,\"t_ns\":170000,\"dur_ns\":60000}\n";
+        let server = "\
+{\"ev\":\"preamble\",\"tid\":1,\"t_ns\":0,\"pid\":20,\"role\":\"serve\",\"unix_ns\":\"0x00000000000003e8\"}\n\
+{\"ev\":\"region\",\"label\":\"serve.job\",\"tid\":1,\"t_ns\":50000,\"trace\":\"0x00000000000000a1\",\"parent\":\"0x0000000000000001\",\"req\":7,\"rows\":1,\"queue_wait_ns\":30000,\"batch_fill_ns\":20000,\"infer_ns\":25000,\"reply_ns\":5000}\n\
+{\"ev\":\"region\",\"label\":\"serve.job\",\"tid\":1,\"t_ns\":90000,\"trace\":\"0x00000000000000a2\",\"parent\":\"0x0000000000000002\",\"req\":8,\"rows\":1,\"queue_wait_ns\":10000,\"batch_fill_ns\":10000,\"infer_ns\":25000,\"reply_ns\":5000}\n";
+        merge_traces(vec![
+            ("client.jsonl".to_string(), parse_trace(client).unwrap()),
+            ("server.jsonl".to_string(), parse_trace(server).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn picks_the_slowest_client_span_and_joins_its_job() {
+        let cp = cross_path(&fixture(), None).unwrap();
+        assert_eq!(cp.trace_id, 0xa1);
+        assert_eq!(cp.client_label, "client.request");
+        assert_eq!(cp.client_dur_ns, 100_000);
+        assert_eq!(cp.client_process, "client pid=10");
+        assert_eq!(cp.server_process, "serve pid=20");
+        assert_eq!(cp.req, Some(7));
+        let labels: Vec<&str> = cp.hops.iter().map(|h| h.label.as_str()).collect();
+        assert_eq!(labels, vec!["queue_wait", "batch_fill", "infer", "reply"]);
+        // 100us client - (30+20+25+5)us server = 20us wire/client overhead.
+        assert_eq!(cp.unattributed_ns, 20_000);
+    }
+
+    #[test]
+    fn trace_id_filter_selects_a_specific_request() {
+        let cp = cross_path(&fixture(), Some(0xa2)).unwrap();
+        assert_eq!(cp.trace_id, 0xa2);
+        assert_eq!(cp.client_dur_ns, 60_000);
+        assert_eq!(cp.req, Some(8));
+        assert_eq!(cp.unattributed_ns, 10_000);
+
+        let err = cross_path(&fixture(), Some(0xff)).unwrap_err();
+        assert!(err.contains("0x00000000000000ff"), "{err}");
+    }
+
+    #[test]
+    fn renders_text_and_json_attribution() {
+        let cp = cross_path(&fixture(), None).unwrap();
+        let text = render_cross_path(&cp);
+        assert!(text.contains("0x00000000000000a1"), "{text}");
+        assert!(text.contains("queue_wait"), "{text}");
+        assert!(text.contains("unattributed"), "{text}");
+        assert!(text.contains("30.000us"), "{text}");
+
+        let json = render_cross_path_json(&cp);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("cross-path json parses");
+        assert_eq!(v["trace_id"].as_str().unwrap(), "0x00000000000000a1");
+        assert_eq!(v["client"]["dur_ns"].as_u64().unwrap(), 100_000);
+        assert_eq!(v["server"]["req"].as_u64().unwrap(), 7);
+        assert_eq!(v["hops"].as_array().unwrap().len(), 4);
+        assert_eq!(v["unattributed_ns"].as_u64().unwrap(), 20_000);
+    }
+
+    #[test]
+    fn missing_ends_error_helpfully() {
+        let lone = "\
+{\"ev\":\"open\",\"span\":\"fit\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":1}\n\
+{\"ev\":\"close\",\"span\":\"fit\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":2,\"dur_ns\":1}\n";
+        let m = merge_traces(vec![("x.jsonl".to_string(), parse_trace(lone).unwrap())]);
+        let err = cross_path(&m, None).unwrap_err();
+        assert!(err.contains("no client."), "{err}");
+
+        let client_only = "\
+{\"ev\":\"open\",\"span\":\"client.request\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":1,\"trace\":\"0x00000000000000a1\",\"parent\":\"0x0000000000000001\"}\n\
+{\"ev\":\"close\",\"span\":\"client.request\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":2,\"dur_ns\":1}\n";
+        let m = merge_traces(vec![(
+            "c.jsonl".to_string(),
+            parse_trace(client_only).unwrap(),
+        )]);
+        let err = cross_path(&m, None).unwrap_err();
+        assert!(err.contains("serve.job"), "{err}");
+    }
+}

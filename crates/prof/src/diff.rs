@@ -15,7 +15,7 @@ use serde_json::Value;
 
 /// The highest `RUNSTATS.json` `schema_version` this analyzer understands
 /// (kept in lockstep with `yali_core::report::RUNSTATS_SCHEMA_VERSION`).
-pub const MAX_SUPPORTED_SCHEMA: u64 = 3;
+pub const MAX_SUPPORTED_SCHEMA: u64 = 4;
 
 /// Thresholds for [`diff_values`]. All ratios compare `new` against `old`.
 #[derive(Debug, Clone)]
@@ -43,6 +43,13 @@ pub struct DiffConfig {
     /// fraction of its old value (applied only when both reports carry
     /// `qps`).
     pub min_qps_ratio: f64,
+    /// Fleet reports (`RUNSTATS_grid.json`): the slowest shard's wall time
+    /// may exceed the median shard's by at most this factor.
+    pub max_straggler_ratio: f64,
+    /// Fleet reports: each shard's share of a fleet counter may drift from
+    /// the even split (`fleet / n_shards`) by at most this factor in
+    /// either direction.
+    pub max_shard_drift: f64,
 }
 
 impl Default for DiffConfig {
@@ -56,6 +63,8 @@ impl Default for DiffConfig {
             min_speedup_ratio: 0.5,
             max_p99_ratio: 3.0,
             min_qps_ratio: 0.5,
+            max_straggler_ratio: 3.0,
+            max_shard_drift: 4.0,
         }
     }
 }
@@ -83,16 +92,23 @@ pub enum ReportKind {
     RunStats,
     /// A `BENCH_*.json` benchmark report (modes with speedups).
     Bench,
+    /// A `RUNSTATS_grid.json` fleet report (merged fleet + per-shard
+    /// sections from a sharded `yali-grid run`).
+    Fleet,
 }
 
 /// Detects the report kind from its top-level keys.
 pub fn detect_kind(v: &Value) -> Result<ReportKind, String> {
-    if v.get("phases").as_object().is_some() && v.get("caches").as_object().is_some() {
+    if v.get("fleet").as_object().is_some() && v.get("shards").as_array().is_some() {
+        Ok(ReportKind::Fleet)
+    } else if v.get("phases").as_object().is_some() && v.get("caches").as_object().is_some() {
         Ok(ReportKind::RunStats)
     } else if v.get("modes").as_array().is_some() {
         Ok(ReportKind::Bench)
     } else {
-        Err("report is neither a RUNSTATS (caches+phases) nor a BENCH (modes) document".into())
+        Err("report is neither a RUNSTATS (caches+phases) nor a BENCH (modes) nor a fleet \
+             (fleet+shards) document"
+            .into())
     }
 }
 
@@ -113,7 +129,69 @@ pub fn diff_values(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<Vec<Vio
     match kind {
         ReportKind::RunStats => diff_runstats(old, new, cfg),
         ReportKind::Bench => diff_bench(old, new, cfg),
+        ReportKind::Fleet => diff_fleet(old, new, cfg),
     }
+}
+
+/// Fleet reports: the merged `fleet` section diffs like any RUNSTATS
+/// document, and two fleet-only health gates apply to the **new** report
+/// on its own — the straggler ceiling (slowest shard wall vs. median) and
+/// the per-shard counter drift band (no shard may carry a share of a
+/// fleet counter further than `max_shard_drift` from the even split).
+fn diff_fleet(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<Vec<Violation>, String> {
+    let mut out = diff_runstats(old.get("fleet"), new.get("fleet"), cfg)?;
+
+    if let Some(r) = new.get("straggler_ratio").as_f64() {
+        if r > cfg.max_straggler_ratio {
+            out.push(Violation {
+                metric: "fleet straggler_ratio".into(),
+                detail: format!(
+                    "slowest shard ran {r:.2}x the median shard wall (ceiling {:.1}x)",
+                    cfg.max_straggler_ratio
+                ),
+            });
+        }
+    }
+
+    let empty_vec = Vec::new();
+    let shards = new.get("shards").as_array().unwrap_or(&empty_vec);
+    let n = shards.len().max(1) as f64;
+    let empty = std::collections::BTreeMap::new();
+    let fleet_counters = new
+        .get("fleet")
+        .get("counters")
+        .as_object()
+        .unwrap_or(&empty);
+    for (name, fv) in fleet_counters {
+        if name.ends_with("_ns") {
+            continue;
+        }
+        let Some(total) = fv.as_u64() else { continue };
+        let expect = total as f64 / n;
+        if expect < cfg.min_counter as f64 {
+            continue;
+        }
+        for sh in shards {
+            let Some(c) = sh.get("report").get("counters").get(name).as_u64() else {
+                continue;
+            };
+            let ratio = c as f64 / expect;
+            if ratio > cfg.max_shard_drift || ratio < 1.0 / cfg.max_shard_drift {
+                out.push(Violation {
+                    metric: format!(
+                        "shard {} counter {name}",
+                        sh.get("shard").as_u64().unwrap_or(0)
+                    ),
+                    detail: format!(
+                        "{c} vs an even split of {expect:.0} ({ratio:.2}x outside the {:.0}x \
+                         drift band)",
+                        cfg.max_shard_drift
+                    ),
+                });
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn diff_runstats(old: &Value, new: &Value, cfg: &DiffConfig) -> Result<Vec<Violation>, String> {
@@ -538,6 +616,80 @@ mod tests {
             serde_json::from_str(r#"{"modes":[{"name":"serve/batched","mean_ns":5.0}]}"#).unwrap();
         assert!(diff_values(&plain, &mk(2e6, 900.0), &cfg).unwrap().is_empty());
         assert!(diff_values(&mk(2e6, 900.0), &plain, &cfg).unwrap().is_empty());
+    }
+
+    fn fleet(rounds0: u64, rounds1: u64, straggler: f64) -> Value {
+        let fleet_rounds = rounds0 + rounds1;
+        serde_json::from_str(&format!(
+            r#"{{
+              "schema_version": 4,
+              "n_shards": 2,
+              "straggler_ratio": {straggler},
+              "fleet": {{
+                "schema_version": 4,
+                "caches": {{"embed": {{"hits": 100, "misses": 10, "hit_ratio": 0.9}}}},
+                "phases": {{"grid.worker": {{"count": 2, "mean_ns": 1000000.0, "total_ns": 2000000}}}},
+                "counters": {{"game.rounds.game1": {fleet_rounds}}}
+              }},
+              "shards": [
+                {{"shard": 0, "wall_ns": 1000, "points": 4,
+                  "report": {{"counters": {{"game.rounds.game1": {rounds0}}}}}}},
+                {{"shard": 1, "wall_ns": 1200, "points": 4,
+                  "report": {{"counters": {{"game.rounds.game1": {rounds1}}}}}}}
+              ]
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn balanced_fleet_passes_and_is_detected() {
+        let v = fleet(100, 110, 1.2);
+        assert_eq!(detect_kind(&v).unwrap(), ReportKind::Fleet);
+        assert!(diff_values(&v, &v, &DiffConfig::default())
+            .unwrap()
+            .is_empty());
+        // Fleet vs plain RUNSTATS is not comparable.
+        let rs = runstats(100, 0.9, 1_000_000.0);
+        assert!(diff_values(&v, &rs, &DiffConfig::default()).is_err());
+    }
+
+    #[test]
+    fn straggler_ceiling_gates_the_new_fleet() {
+        let old = fleet(100, 110, 1.2);
+        let new = fleet(100, 110, 5.0);
+        let violations = diff_values(&old, &new, &DiffConfig::default()).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].metric, "fleet straggler_ratio");
+        // The ceiling is tunable.
+        let loose = DiffConfig {
+            max_straggler_ratio: 6.0,
+            ..DiffConfig::default()
+        };
+        assert!(diff_values(&old, &new, &loose).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shard_drift_outside_the_band_gates() {
+        let old = fleet(100, 110, 1.2);
+        // Shard 1 got starved: 4 rounds against shard 0's 206.
+        let new = fleet(206, 4, 1.2);
+        let violations = diff_values(&old, &new, &DiffConfig::default()).unwrap();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.metric == "shard 1 counter game.rounds.game1"),
+            "{violations:?}"
+        );
+        // The fleet totals also diff like any RUNSTATS document.
+        let collapsed = fleet(1, 1, 1.0);
+        let violations = diff_values(&old, &collapsed, &DiffConfig::default()).unwrap();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.metric == "counter game.rounds.game1"),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -31,14 +31,21 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod crosspath;
 pub mod diff;
+pub mod merge;
 pub mod profile;
 pub mod timeline;
 pub mod trace;
 
 pub use chrome::to_chrome;
+pub use crosspath::{cross_path, render_cross_path, render_cross_path_json, CrossPath};
 pub use diff::{diff_files, diff_values, DiffConfig, Violation};
-pub use profile::{critical_path, profile, render_critical_path, render_top, Profile};
+pub use merge::{merge_traces, to_chrome_merged, to_jsonl_merged, MergedProcess, MergedTrace};
+pub use profile::{
+    critical_path, profile, render_critical_path, render_critical_path_json, render_top,
+    render_top_json, Profile,
+};
 pub use timeline::{render_timeline, timeline, Timeline};
 pub use trace::{parse_trace, parse_trace_file, SpanNode, Trace, TraceError};
 
@@ -49,6 +56,14 @@ pub use trace::{parse_trace, parse_trace_file, SpanNode, Trace, TraceError};
 pub const GOLDEN_TRACE: &str = include_str!("../fixtures/golden.jsonl");
 /// The committed Chrome Trace Format export of [`GOLDEN_TRACE`].
 pub const GOLDEN_CHROME: &str = include_str!("../fixtures/golden_chrome.json");
+/// Shard 0 of the two-process merge fixture: a grid-style worker capture
+/// with a preamble and a trace-context-carrying span.
+pub const GOLDEN_SHARD0: &str = include_str!("../fixtures/golden_shard0.jsonl");
+/// Shard 1 of the two-process merge fixture (epoch offset from shard 0).
+pub const GOLDEN_SHARD1: &str = include_str!("../fixtures/golden_shard1.jsonl");
+/// The committed merged Chrome export of the two shard fixtures —
+/// `selfcheck` holds `yali-prof merge` to byte identity against it.
+pub const GOLDEN_MERGED_CHROME: &str = include_str!("../fixtures/golden_merged_chrome.json");
 
 /// Parses the golden fixture, re-exports it, and checks the export is
 /// byte-identical to the committed one (plus profile/timeline sanity).
@@ -81,15 +96,50 @@ pub fn selfcheck() -> Result<String, String> {
     }
     let tl = timeline::timeline(&trace, 8)
         .ok_or("golden fixture lost its par_worker events".to_string())?;
+    // The two-process merge fixture: stitch the committed shard captures,
+    // demand a byte-identical Chrome export, and demand the merged JSONL
+    // re-satisfies the strict parser.
+    let s0 = parse_trace(GOLDEN_SHARD0).map_err(|e| format!("shard0 fixture: {e}"))?;
+    let s1 = parse_trace(GOLDEN_SHARD1).map_err(|e| format!("shard1 fixture: {e}"))?;
+    let merged = merge::merge_traces(vec![
+        ("golden_shard0.jsonl".to_string(), s0),
+        ("golden_shard1.jsonl".to_string(), s1),
+    ]);
+    let merged_chrome = merge::to_chrome_merged(&merged);
+    if merged_chrome != GOLDEN_MERGED_CHROME {
+        let diff_line = merged_chrome
+            .lines()
+            .zip(GOLDEN_MERGED_CHROME.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| {
+                merged_chrome
+                    .lines()
+                    .count()
+                    .min(GOLDEN_MERGED_CHROME.lines().count())
+                    + 1
+            });
+        return Err(format!(
+            "merged chrome export of the shard fixtures is not byte-identical to \
+             fixtures/golden_merged_chrome.json (first difference at line {diff_line}); if the \
+             merge exporter changed intentionally, regenerate the fixture with \
+             `yali-prof merge` and commit it"
+        ));
+    }
+    let merged_jsonl = merge::to_jsonl_merged(&merged);
+    parse_trace(&merged_jsonl)
+        .map_err(|e| format!("merged shard fixtures fail the strict parser: {e}"))?;
     Ok(format!(
         "selfcheck ok: {} events, {} spans on {} thread(s), {} label(s), export {} bytes, \
-         pool timeline over {} worker slot(s)",
+         pool timeline over {} worker slot(s), merged export {} bytes over {} process lane(s)",
         trace.n_events,
         trace.n_spans,
         trace.tids().len(),
         p.labels.len(),
         exported.len(),
         tl.workers.len(),
+        merged_chrome.len(),
+        merged.processes.len(),
     ))
 }
 

@@ -9,11 +9,18 @@ const USAGE: &str = "\
 yali-prof — trace analysis and regression watch for yali telemetry
 
 USAGE:
-  yali-prof top <TRACE.jsonl> [--top N]         self/total time per span label
-  yali-prof critical-path <TRACE.jsonl>         the span chain bounding wall time
+  yali-prof top <TRACE.jsonl> [--top N] [--json]  self/total time per span label
+  yali-prof critical-path <TRACE.jsonl> [--json]  the span chain bounding wall time
   yali-prof timeline <TRACE.jsonl> [--buckets N]  pool busy/idle per worker
   yali-prof export --chrome <TRACE.jsonl> [-o OUT.json]
                                                 Chrome Trace Format (Perfetto)
+  yali-prof merge <TRACE.jsonl>... [-o OUT.json] [--jsonl OUT.jsonl]
+                                                stitch N process captures into one
+                                                clock-aligned Chrome timeline (one
+                                                process lane per input)
+  yali-prof cross-path <TRACE.jsonl>... [--trace-id 0xID] [--json]
+                                                client-to-server latency attribution
+                                                for one request (slowest by default)
   yali-prof diff <OLD.json> <NEW.json> [options]  compare RUNSTATS/BENCH reports
       --max-counter-ratio X   counter growth/shrink band   (default 8)
       --max-phase-ratio X     phase mean_ns growth cap     (default 10)
@@ -21,6 +28,8 @@ USAGE:
       --min-speedup-ratio X   speedup floor vs baseline    (default 0.5)
       --max-p99-ratio X       serve p99 latency ceiling    (default 3)
       --min-qps-ratio X       serve throughput floor       (default 0.5)
+      --max-straggler-ratio X fleet slowest/median shard   (default 3)
+      --max-shard-drift X     per-shard counter drift band (default 4)
       --min-phase-ns X        ignore phases faster than X  (default 50000)
   yali-prof selfcheck                           golden-fixture round trip
 
@@ -52,6 +61,31 @@ fn take_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Result
     }
 }
 
+/// Removes a boolean `--flag` from `args`, reporting whether it was there.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    let n = args.len();
+    args.retain(|a| a != flag);
+    args.len() != n
+}
+
+/// Parses a trace id given as `0x...` hex or decimal.
+fn parse_trace_id(raw: &str) -> Result<u64, String> {
+    let parsed = match raw.strip_prefix("0x") {
+        Some(h) => u64::from_str_radix(h, 16),
+        None => raw.parse::<u64>(),
+    };
+    parsed.map_err(|_| format!("--trace-id value {raw:?} is not a 0x hex or decimal id"))
+}
+
+/// Parses every listed capture and stitches them onto one timeline.
+fn merge_inputs(paths: &[String]) -> Result<yali_prof::MergedTrace, String> {
+    let mut inputs = Vec::with_capacity(paths.len());
+    for path in paths {
+        inputs.push((path.clone(), yali_prof::parse_trace_file(path)?));
+    }
+    Ok(yali_prof::merge_traces(inputs))
+}
+
 fn run() -> i32 {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -64,27 +98,36 @@ fn run() -> i32 {
                 Ok(v) => v.unwrap_or(20),
                 Err(e) => return usage(&e),
             };
+            let json = take_switch(&mut args, "--json");
             let [path] = args.as_slice() else {
                 return usage("top takes exactly one trace file");
             };
             match yali_prof::parse_trace_file(path) {
                 Ok(trace) => {
-                    print!("{}", yali_prof::render_top(&yali_prof::profile(&trace), n));
+                    let p = yali_prof::profile(&trace);
+                    if json {
+                        print!("{}", yali_prof::render_top_json(&p, n));
+                    } else {
+                        print!("{}", yali_prof::render_top(&p, n));
+                    }
                     0
                 }
                 Err(e) => fail(&e),
             }
         }
         "critical-path" => {
+            let json = take_switch(&mut args, "--json");
             let [path] = args.as_slice() else {
                 return usage("critical-path takes exactly one trace file");
             };
             match yali_prof::parse_trace_file(path) {
                 Ok(trace) => {
-                    print!(
-                        "{}",
-                        yali_prof::render_critical_path(&yali_prof::critical_path(&trace))
-                    );
+                    let path = yali_prof::critical_path(&trace);
+                    if json {
+                        print!("{}", yali_prof::render_critical_path_json(&path));
+                    } else {
+                        print!("{}", yali_prof::render_critical_path(&path));
+                    }
                     0
                 }
                 Err(e) => fail(&e),
@@ -144,15 +187,90 @@ fn run() -> i32 {
                 Err(e) => fail(&e),
             }
         }
+        "merge" => {
+            let out = match take_flag::<String>(&mut args, "-o") {
+                Ok(v) => v.unwrap_or_else(|| "merged_chrome.json".to_string()),
+                Err(e) => return usage(&e),
+            };
+            let jsonl_out = match take_flag::<String>(&mut args, "--jsonl") {
+                Ok(v) => v,
+                Err(e) => return usage(&e),
+            };
+            if args.is_empty() {
+                return usage("merge takes one or more trace files");
+            }
+            let merged = match merge_inputs(&args) {
+                Ok(m) => m,
+                Err(e) => return fail(&e),
+            };
+            let chrome = yali_prof::to_chrome_merged(&merged);
+            if let Err(e) = std::fs::write(&out, &chrome) {
+                return fail(&format!("cannot write {out}: {e}"));
+            }
+            for p in &merged.processes {
+                println!(
+                    "lane {}: {} (+{}us) from {}",
+                    p.lane,
+                    p.name,
+                    p.offset_ns / 1000,
+                    p.source
+                );
+            }
+            println!(
+                "wrote {out} ({} bytes, {} process lane(s)) — load it at \
+                 https://ui.perfetto.dev or chrome://tracing",
+                chrome.len(),
+                merged.processes.len()
+            );
+            if let Some(jsonl_path) = jsonl_out {
+                let jsonl = yali_prof::to_jsonl_merged(&merged);
+                if let Err(e) = std::fs::write(&jsonl_path, &jsonl) {
+                    return fail(&format!("cannot write {jsonl_path}: {e}"));
+                }
+                println!("wrote {jsonl_path} ({} bytes, merged JSONL)", jsonl.len());
+            }
+            0
+        }
+        "cross-path" => {
+            let json = take_switch(&mut args, "--json");
+            let want = match take_flag::<String>(&mut args, "--trace-id") {
+                Ok(Some(raw)) => match parse_trace_id(&raw) {
+                    Ok(id) => Some(id),
+                    Err(e) => return usage(&e),
+                },
+                Ok(None) => None,
+                Err(e) => return usage(&e),
+            };
+            if args.is_empty() {
+                return usage("cross-path takes one or more trace files");
+            }
+            let merged = match merge_inputs(&args) {
+                Ok(m) => m,
+                Err(e) => return fail(&e),
+            };
+            match yali_prof::cross_path(&merged, want) {
+                Ok(cp) => {
+                    if json {
+                        print!("{}", yali_prof::render_cross_path_json(&cp));
+                    } else {
+                        print!("{}", yali_prof::render_cross_path(&cp));
+                    }
+                    0
+                }
+                Err(e) => fail(&e),
+            }
+        }
         "diff" => {
             let mut cfg = DiffConfig::default();
-            let flags: [(&str, &mut f64); 6] = [
+            let flags: [(&str, &mut f64); 8] = [
                 ("--max-counter-ratio", &mut cfg.max_counter_ratio),
                 ("--max-phase-ratio", &mut cfg.max_phase_ratio),
                 ("--max-hit-drop", &mut cfg.max_hit_drop),
                 ("--min-speedup-ratio", &mut cfg.min_speedup_ratio),
                 ("--max-p99-ratio", &mut cfg.max_p99_ratio),
                 ("--min-qps-ratio", &mut cfg.min_qps_ratio),
+                ("--max-straggler-ratio", &mut cfg.max_straggler_ratio),
+                ("--max-shard-drift", &mut cfg.max_shard_drift),
             ];
             for (flag, slot) in flags {
                 match take_flag::<f64>(&mut args, flag) {

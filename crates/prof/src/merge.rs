@@ -1,0 +1,349 @@
+//! Multi-process trace stitching: N single-process JSONL captures (grid
+//! shards, a serve daemon, its clients) become one timeline.
+//!
+//! ## Clock alignment
+//!
+//! Every process timestamps events on its own epoch clock (`Instant`
+//! elapsed since its first observability event), so raw `t_ns` values
+//! from different processes are not comparable. The preamble each sink
+//! stamps on attach carries the handshake that fixes this: `t_ns` on the
+//! process epoch paired with `unix_ns` wall-clock nanoseconds sampled at
+//! the same instant. From the pair, `wall_at_epoch = unix_ns - t_ns` is
+//! the wall time of the process's epoch; the merge shifts every process
+//! forward by `wall_at_epoch - min(wall_at_epoch)` so all timelines share
+//! the earliest process's epoch. A capture with no preamble (e.g. a
+//! flight-recorder dump) cannot be aligned and keeps offset 0, which pins
+//! it to the base timeline.
+//!
+//! ## Outputs
+//!
+//! [`to_chrome_merged`] renders one Chrome Trace Format document with one
+//! **process lane per input** (`process_name` metadata from the
+//! preamble's role/shard/pid), loadable in Perfetto. [`to_jsonl_merged`]
+//! re-emits one strict-parser-clean JSONL file: thread ids are remapped
+//! into disjoint per-process bands, timestamps are shifted onto the
+//! common timeline, and each process's preamble is re-stamped with its
+//! shifted epoch — so a merged file re-merges with all offsets 0 and
+//! re-parses under the same strict validation as any single capture.
+
+use crate::chrome;
+use crate::trace::{RegionEvent, SpanNode, Trace};
+
+/// One input capture placed on the merged timeline.
+#[derive(Debug, Clone)]
+pub struct MergedProcess {
+    /// Chrome process lane (1-based, in input order).
+    pub lane: u64,
+    /// Human-readable lane name (`role shard=N pid=P`).
+    pub name: String,
+    /// Operating-system pid from the preamble (0 when absent).
+    pub pid: u64,
+    /// Role from the preamble (`proc<lane>` when absent).
+    pub role: String,
+    /// Shard index from the preamble.
+    pub shard: Option<u64>,
+    /// Nanoseconds this process's epoch lags the merged timeline base.
+    pub offset_ns: u64,
+    /// Where the capture came from (file path; diagnostics only).
+    pub source: String,
+    /// The parsed capture.
+    pub trace: Trace,
+}
+
+/// N captures stitched onto one timeline.
+#[derive(Debug, Clone)]
+pub struct MergedTrace {
+    /// One entry per input, in input order.
+    pub processes: Vec<MergedProcess>,
+}
+
+/// Stitches parsed captures into one timeline. `inputs` pairs each trace
+/// with its source name (used for lane naming only when the capture has
+/// no preamble). Deterministic: lanes follow input order, offsets follow
+/// the preamble handshake.
+pub fn merge_traces(inputs: Vec<(String, Trace)>) -> MergedTrace {
+    let walls: Vec<Option<u64>> = inputs
+        .iter()
+        .map(|(_, t)| {
+            t.preambles
+                .first()
+                .map(|p| p.unix_ns.saturating_sub(p.t_ns))
+        })
+        .collect();
+    let base = walls.iter().flatten().copied().min().unwrap_or(0);
+    let processes = inputs
+        .into_iter()
+        .zip(walls)
+        .enumerate()
+        .map(|(i, ((source, trace), wall))| {
+            let lane = i as u64 + 1;
+            let (pid, role, shard) = match trace.preambles.first() {
+                Some(p) => (p.pid, p.role.clone(), p.shard),
+                None => (0, format!("proc{lane}"), None),
+            };
+            let name = match shard {
+                Some(s) => format!("{role} shard={s} pid={pid}"),
+                None => format!("{role} pid={pid}"),
+            };
+            MergedProcess {
+                lane,
+                name,
+                pid,
+                role,
+                shard,
+                offset_ns: wall.map_or(0, |w| w - base),
+                source,
+                trace,
+            }
+        })
+        .collect();
+    MergedTrace { processes }
+}
+
+/// Renders the merged timeline as one Chrome Trace Format document:
+/// `process_name`/`process_sort_index` metadata per lane, then every
+/// process's events with timestamps shifted onto the common base.
+/// Deterministic for fixed inputs (the property the committed two-process
+/// golden fixture pins).
+pub fn to_chrome_merged(m: &MergedTrace) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for p in &m.processes {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+            p.lane,
+            chrome::esc(&p.name),
+        ));
+        events.push(format!(
+            "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"sort_index\":{}}}}}",
+            p.lane, p.lane,
+        ));
+    }
+    for p in &m.processes {
+        chrome::push_process_events(&p.trace, p.lane, p.offset_ns, &mut events);
+    }
+    chrome::envelope(&events)
+}
+
+/// Largest thread id appearing anywhere in a trace (spans, regions,
+/// warns, recorder meta, preambles).
+fn max_tid(t: &Trace) -> u64 {
+    let mut m = 0;
+    for s in t.spans() {
+        m = m.max(s.tid);
+    }
+    for r in t.regions.iter().chain(&t.recorder) {
+        m = m.max(r.tid);
+    }
+    for w in &t.warns {
+        m = m.max(w.tid);
+    }
+    for p in &t.preambles {
+        m = m.max(p.tid);
+    }
+    m
+}
+
+fn push_span_jsonl(s: &SpanNode, tid: u64, offset_ns: u64, out: &mut String) {
+    let mut tail = String::new();
+    if let Some((trace_id, parent)) = s.ctx {
+        tail.push_str(&format!(
+            ",\"trace\":\"{trace_id:#018x}\",\"parent\":\"{parent:#018x}\""
+        ));
+    }
+    if let Some((k, v)) = &s.attr {
+        tail.push_str(&format!(
+            ",\"{}\":\"{}\"",
+            chrome::esc(k),
+            chrome::esc(v)
+        ));
+    }
+    out.push_str(&format!(
+        "{{\"ev\":\"open\",\"span\":\"{}\",\"tid\":{},\"seq\":{},\"depth\":{},\"t_ns\":{}{}}}\n",
+        chrome::esc(&s.label),
+        tid,
+        s.seq,
+        s.depth,
+        s.open_ns + offset_ns,
+        tail,
+    ));
+    for c in &s.children {
+        push_span_jsonl(c, tid, offset_ns, out);
+    }
+    out.push_str(&format!(
+        "{{\"ev\":\"close\",\"span\":\"{}\",\"tid\":{},\"seq\":{},\"depth\":{},\"t_ns\":{},\"dur_ns\":{}{}}}\n",
+        chrome::esc(&s.label),
+        tid,
+        s.seq,
+        s.depth,
+        s.close_ns + offset_ns,
+        s.dur_ns,
+        tail,
+    ));
+}
+
+fn push_region_jsonl(r: &RegionEvent, ev: &str, tid: u64, offset_ns: u64, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"ev\":\"{ev}\",{}\"tid\":{},\"t_ns\":{}",
+        if ev == "region" {
+            format!("\"label\":\"{}\",", chrome::esc(&r.label))
+        } else {
+            String::new()
+        },
+        tid,
+        r.t_ns + offset_ns,
+    ));
+    if let Some((trace_id, parent)) = r.ctx {
+        out.push_str(&format!(
+            ",\"trace\":\"{trace_id:#018x}\",\"parent\":\"{parent:#018x}\""
+        ));
+    }
+    for (k, v) in &r.fields {
+        out.push_str(&format!(",\"{}\":{}", chrome::esc(k), v));
+    }
+    out.push_str("}\n");
+}
+
+/// Re-emits the merged timeline as one strict-parser-clean JSONL capture.
+///
+/// Thread ids are remapped into disjoint bands (`lane * stride + tid`
+/// where `stride` exceeds every input's largest tid), so per-thread
+/// sequence and stack validation still holds per process. Timestamps are
+/// shifted onto the common base and each preamble is re-stamped with its
+/// shifted `t_ns` (its `unix_ns` is unchanged, so the handshake stays
+/// truthful: re-merging the merged file yields offset 0 for every lane).
+pub fn to_jsonl_merged(m: &MergedTrace) -> String {
+    let stride = m.processes.iter().map(|p| max_tid(&p.trace)).max().unwrap_or(0) + 1;
+    let mut out = String::new();
+    for p in &m.processes {
+        let remap = |tid: u64| p.lane * stride + tid;
+        for pre in &p.trace.preambles {
+            let mut line = format!(
+                "{{\"ev\":\"preamble\",\"tid\":{},\"t_ns\":{},\"pid\":{},\"role\":\"{}\"",
+                remap(pre.tid),
+                pre.t_ns + p.offset_ns,
+                pre.pid,
+                chrome::esc(&pre.role),
+            );
+            if let Some(s) = pre.shard {
+                line.push_str(&format!(",\"shard\":{s}"));
+            }
+            line.push_str(&format!(",\"unix_ns\":\"{:#018x}\"}}\n", pre.unix_ns));
+            out.push_str(&line);
+        }
+        for root in &p.trace.roots {
+            push_span_jsonl(root, remap(root.tid), p.offset_ns, &mut out);
+        }
+        for r in &p.trace.regions {
+            push_region_jsonl(r, "region", remap(r.tid), p.offset_ns, &mut out);
+        }
+        for r in &p.trace.recorder {
+            push_region_jsonl(r, "recorder", remap(r.tid), p.offset_ns, &mut out);
+        }
+        for w in &p.trace.warns {
+            out.push_str(&format!(
+                "{{\"ev\":\"warn\",\"tid\":{},\"t_ns\":{},\"msg\":\"{}\"}}\n",
+                remap(w.tid),
+                w.t_ns + p.offset_ns,
+                chrome::esc(&w.msg),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_trace;
+
+    fn capture(role: &str, shard: Option<u64>, pid: u64, unix_ns: u64, t0: u64) -> String {
+        let shard_field = shard.map_or(String::new(), |s| format!(",\"shard\":{s}"));
+        let preamble = format!(
+            "{{\"ev\":\"preamble\",\"tid\":1,\"t_ns\":{t0},\"pid\":{pid},\"role\":\"{role}\"{shard_field},\"unix_ns\":\"{unix_ns:#018x}\"}}"
+        );
+        let open = format!(
+            "{{\"ev\":\"open\",\"span\":\"work\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":{},\"trace\":\"0x00000000000000aa\",\"parent\":\"0x0000000000000000\"}}",
+            t0 + 10
+        );
+        let close = format!(
+            "{{\"ev\":\"close\",\"span\":\"work\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":{},\"dur_ns\":100}}",
+            t0 + 110
+        );
+        format!("{preamble}\n{open}\n{close}\n")
+    }
+
+    fn merged_pair() -> MergedTrace {
+        // Process A's epoch is 1000ns of wall time earlier than B's.
+        let a = capture("serve", None, 100, 5_000_000, 50);
+        let b = capture("worker", Some(1), 200, 5_001_000, 0);
+        merge_traces(vec![
+            ("a.jsonl".to_string(), parse_trace(&a).unwrap()),
+            ("b.jsonl".to_string(), parse_trace(&b).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn offsets_follow_the_preamble_handshake() {
+        let m = merged_pair();
+        // wall_at_epoch(A) = 5_000_000 - 50; wall_at_epoch(B) = 5_001_000.
+        assert_eq!(m.processes[0].offset_ns, 0);
+        assert_eq!(m.processes[1].offset_ns, 1050);
+        assert_eq!(m.processes[0].name, "serve pid=100");
+        assert_eq!(m.processes[1].name, "worker shard=1 pid=200");
+    }
+
+    #[test]
+    fn chrome_merged_has_one_lane_per_process() {
+        let m = merged_pair();
+        let doc = to_chrome_merged(&m);
+        let v = serde_json::from_str(&doc).expect("merged chrome parses");
+        let events = v["traceEvents"].as_array().unwrap();
+        // 2 metadata pairs + 2 spans.
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[0]["name"], "process_name");
+        assert_eq!(events[0]["args"]["name"], "serve pid=100");
+        assert_eq!(events[2]["args"]["name"], "worker shard=1 pid=200");
+        let span_pids: Vec<f64> = events[4..]
+            .iter()
+            .map(|e| e["pid"].as_f64().unwrap())
+            .collect();
+        assert_eq!(span_pids, vec![1.0, 2.0]);
+        // B's span is shifted onto the common base: (0 + 10 + 1050) / 1000 µs.
+        assert_eq!(events[5]["ts"].as_f64().unwrap(), 1.060);
+        // The span context survives into args.
+        assert_eq!(events[4]["args"]["trace"], "0x00000000000000aa");
+        assert_eq!(to_chrome_merged(&m), to_chrome_merged(&m), "deterministic");
+    }
+
+    #[test]
+    fn merged_jsonl_reparses_and_remerges_with_zero_offsets() {
+        let m = merged_pair();
+        let jsonl = to_jsonl_merged(&m);
+        let reparsed = parse_trace(&jsonl).expect("merged JSONL re-satisfies the strict parser");
+        assert_eq!(reparsed.n_spans, 2);
+        assert_eq!(reparsed.preambles.len(), 2);
+        // Thread ids landed in disjoint per-process bands.
+        assert_eq!(reparsed.tids().len(), 2);
+        // The re-stamped handshake makes a second merge a fixed point.
+        let again = merge_traces(vec![("m.jsonl".to_string(), reparsed)]);
+        assert_eq!(again.processes[0].offset_ns, 0);
+        let spans = again.processes[0].trace.spans().len();
+        assert_eq!(spans, 2);
+    }
+
+    #[test]
+    fn preamble_less_captures_keep_offset_zero_and_a_synthetic_name() {
+        let plain = concat!(
+            "{\"ev\":\"open\",\"span\":\"x\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":5}\n",
+            "{\"ev\":\"close\",\"span\":\"x\",\"tid\":1,\"seq\":0,\"depth\":0,\"t_ns\":9,\"dur_ns\":4}\n",
+        );
+        let m = merge_traces(vec![(
+            "dump.jsonl".to_string(),
+            parse_trace(plain).unwrap(),
+        )]);
+        assert_eq!(m.processes[0].offset_ns, 0);
+        assert_eq!(m.processes[0].name, "proc1 pid=0");
+        let jsonl = to_jsonl_merged(&m);
+        assert!(parse_trace(&jsonl).is_ok());
+    }
+}

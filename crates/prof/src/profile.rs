@@ -80,7 +80,7 @@ pub fn profile(trace: &Trace) -> Profile {
     }
 }
 
-fn fmt_ns(ns: u64) -> String {
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -121,6 +121,35 @@ pub fn render_top(p: &Profile, n: usize) -> String {
         fmt_ns(p.self_total_ns()),
         fmt_ns(p.root_wall_ns),
     ));
+    out
+}
+
+/// Renders the `--top N` profile as a deterministic JSON document (the
+/// machine-readable twin of [`render_top`], for scripts and CI gates):
+/// `{"root_wall_ns":..,"self_total_ns":..,"labels":[{...}, ...]}` with
+/// the same descending-self-time order and N-row truncation.
+pub fn render_top_json(p: &Profile, n: usize) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"root_wall_ns\":{},\"self_total_ns\":{},\"n_labels\":{},\"labels\":[",
+        p.root_wall_ns,
+        p.self_total_ns(),
+        p.labels.len(),
+    ));
+    for (i, row) in p.labels.iter().take(n).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"count\":{},\"total_ns\":{},\"self_ns\":{},\"max_ns\":{}}}",
+            crate::chrome::esc(&row.label),
+            row.count,
+            row.total_ns,
+            row.self_ns,
+            row.max_ns,
+        ));
+    }
+    out.push_str("]}\n");
     out
 }
 
@@ -180,6 +209,29 @@ pub fn render_critical_path(path: &[CriticalStep]) -> String {
             indent = i * 2,
         ));
     }
+    out
+}
+
+/// Renders the critical path as a deterministic JSON document (the
+/// machine-readable twin of [`render_critical_path`]).
+pub fn render_critical_path_json(path: &[CriticalStep]) -> String {
+    let mut out = String::from("{\"steps\":[");
+    for (i, step) in path.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"depth\":{},\"dur_ns\":{},\"self_ns\":{}}}",
+            crate::chrome::esc(&step.label),
+            step.depth,
+            step.dur_ns,
+            step.self_ns,
+        ));
+    }
+    out.push_str(&format!(
+        "],\"root_dur_ns\":{}}}\n",
+        path.first().map_or(0, |s| s.dur_ns)
+    ));
     out
 }
 
@@ -249,6 +301,30 @@ mod tests {
         let text = render_critical_path(&path);
         assert!(text.contains("root"), "{text}");
         assert!(text.contains("100.0%"), "{text}");
+    }
+
+    #[test]
+    fn json_renderers_mirror_the_text_ones() {
+        let p = profile(&sample_trace());
+        let v: serde_json::Value =
+            serde_json::from_str(&render_top_json(&p, 2)).expect("top json parses");
+        assert_eq!(v["root_wall_ns"].as_u64().unwrap(), 1000);
+        assert_eq!(v["self_total_ns"].as_u64().unwrap(), 1000);
+        assert_eq!(v["n_labels"].as_u64().unwrap(), 4);
+        let rows = v["labels"].as_array().unwrap();
+        assert_eq!(rows.len(), 2, "truncated to the requested top N");
+        assert_eq!(rows[0]["self_ns"].as_u64().unwrap(), p.labels[0].self_ns);
+
+        let path = critical_path(&sample_trace());
+        let v: serde_json::Value =
+            serde_json::from_str(&render_critical_path_json(&path)).expect("path json parses");
+        let steps = v["steps"].as_array().unwrap();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0]["label"].as_str().unwrap(), "root");
+        assert_eq!(v["root_dur_ns"].as_u64().unwrap(), 1000);
+        let empty: serde_json::Value =
+            serde_json::from_str(&render_critical_path_json(&[])).unwrap();
+        assert_eq!(empty["root_dur_ns"].as_u64().unwrap(), 0);
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct SpanNode {
     pub dur_ns: u64,
     /// The optional attribute carried on both events (key, rendered value).
     pub attr: Option<(String, String)>,
+    /// Distributed trace context from the open event: `(trace_id,
+    /// parent_span)` parsed from the `trace`/`parent` hex fields. `None`
+    /// for spans opened with no context installed.
+    pub ctx: Option<(u64, u64)>,
     /// Spans nested directly inside this one, in open order.
     pub children: Vec<SpanNode>,
 }
@@ -94,6 +98,32 @@ pub struct RegionEvent {
     pub t_ns: u64,
     /// Every numeric payload field (`wall_ns`, `busy_ns`, `worker`, …).
     pub fields: BTreeMap<String, u64>,
+    /// Distributed trace context, when the region was emitted with one
+    /// installed (`trace`/`parent` hex fields).
+    pub ctx: Option<(u64, u64)>,
+    /// 1-based source line in the JSONL file.
+    pub line: usize,
+}
+
+/// The `{"ev":"preamble",...}` line `yali-obs` stamps when a trace sink
+/// attaches: process identity plus the clock handshake `yali-prof merge`
+/// aligns timelines with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Preamble {
+    /// Thread that attached the sink.
+    pub tid: u64,
+    /// Process-epoch nanoseconds at emission (one half of the handshake).
+    pub t_ns: u64,
+    /// Operating-system process id.
+    pub pid: u64,
+    /// Declared role (`serve`, `worker`, `client`, `main`, …).
+    pub role: String,
+    /// Shard index, for `yali-grid` workers.
+    pub shard: Option<u64>,
+    /// Wall-clock nanoseconds since the Unix epoch sampled at the same
+    /// instant as `t_ns` (the other half of the handshake; parsed from a
+    /// hex string — the value exceeds 2^53).
+    pub unix_ns: u64,
     /// 1-based source line in the JSONL file.
     pub line: usize,
 }
@@ -123,6 +153,10 @@ pub struct Trace {
     /// order; carries the dump's kept/dropped/repair accounting as
     /// free-form numeric fields. Ignored by profile/timeline/export.
     pub recorder: Vec<RegionEvent>,
+    /// Preamble lines in file order (one per process that wrote into the
+    /// file; plain single-process captures carry exactly one, streamed
+    /// captures from before the preamble was introduced carry none).
+    pub preambles: Vec<Preamble>,
     /// Total events parsed (spans count their open and close separately).
     pub n_events: usize,
     /// Total reconstructed spans.
@@ -170,6 +204,7 @@ struct PendingSpan {
     depth: u64,
     open_ns: u64,
     attr: Option<(String, String)>,
+    ctx: Option<(u64, u64)>,
     line: usize,
     children: Vec<SpanNode>,
 }
@@ -191,6 +226,35 @@ fn field_str<'a>(v: &'a Value, key: &str, line: usize) -> Result<&'a str, TraceE
     v.get(key)
         .as_str()
         .ok_or_else(|| TraceError::new(line, format!("missing or non-string field {key:?}")))
+}
+
+/// Parses a `"0x..."` hex-string field (how the sink renders u64 values
+/// that may exceed 2^53, the exact-integer range of JSON doubles).
+fn field_hex(v: &Value, key: &str, line: usize) -> Result<u64, TraceError> {
+    let s = field_str(v, key, line)?;
+    s.strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or_else(|| {
+            TraceError::new(line, format!("field {key:?} is not a \"0x...\" hex string"))
+        })
+}
+
+/// Extracts the optional distributed trace context: the `trace`/`parent`
+/// hex fields must appear together or not at all.
+fn extract_ctx(v: &Value, line: usize) -> Result<Option<(u64, u64)>, TraceError> {
+    let has_trace = !matches!(v.get("trace"), Value::Null);
+    let has_parent = !matches!(v.get("parent"), Value::Null);
+    match (has_trace, has_parent) {
+        (false, false) => Ok(None),
+        (true, true) => Ok(Some((
+            field_hex(v, "trace", line)?,
+            field_hex(v, "parent", line)?,
+        ))),
+        _ => Err(TraceError::new(
+            line,
+            "trace context must carry both \"trace\" and \"parent\" or neither",
+        )),
+    }
 }
 
 /// Renders an attribute value the way the sink wrote it (hex attrs are
@@ -259,7 +323,12 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
                 let seq = field_u64(&v, "seq", line)?;
                 let depth = field_u64(&v, "depth", line)?;
                 let open_ns = field_u64(&v, "t_ns", line)?;
-                let attr = extract_attr(obj, &["ev", "span", "tid", "seq", "depth", "t_ns"], line)?;
+                let ctx = extract_ctx(&v, line)?;
+                let attr = extract_attr(
+                    obj,
+                    &["ev", "span", "tid", "seq", "depth", "t_ns", "trace", "parent"],
+                    line,
+                )?;
                 let st = threads.entry(tid).or_default();
                 if let Some(last) = st.last_seq {
                     if seq <= last {
@@ -289,6 +358,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
                     depth,
                     open_ns,
                     attr,
+                    ctx,
                     line,
                     children: Vec::new(),
                 });
@@ -302,7 +372,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
                 let dur_ns = field_u64(&v, "dur_ns", line)?;
                 let attr = extract_attr(
                     obj,
-                    &["ev", "span", "tid", "seq", "depth", "t_ns", "dur_ns"],
+                    &["ev", "span", "tid", "seq", "depth", "t_ns", "dur_ns", "trace", "parent"],
                     line,
                 )?;
                 let st = threads.entry(tid).or_default();
@@ -353,6 +423,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
                     close_ns,
                     dur_ns,
                     attr: open.attr.or(attr),
+                    ctx: open.ctx,
                     children: open.children,
                 };
                 trace.n_spans += 1;
@@ -365,9 +436,10 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
                 let label = field_str(&v, "label", line)?.to_string();
                 let tid = field_u64(&v, "tid", line)?;
                 let t_ns = field_u64(&v, "t_ns", line)?;
+                let ctx = extract_ctx(&v, line)?;
                 let mut fields = BTreeMap::new();
                 for (k, fv) in obj {
-                    if matches!(k.as_str(), "ev" | "label" | "tid" | "t_ns") {
+                    if matches!(k.as_str(), "ev" | "label" | "tid" | "t_ns" | "trace" | "parent") {
                         continue;
                     }
                     let n = fv.as_u64().ok_or_else(|| {
@@ -383,6 +455,24 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
                     tid,
                     t_ns,
                     fields,
+                    ctx,
+                    line,
+                });
+            }
+            // The identity + clock-handshake line yali-obs stamps when a
+            // trace sink attaches (see `Preamble`).
+            "preamble" => {
+                let shard = match v.get("shard") {
+                    Value::Null => None,
+                    _ => Some(field_u64(&v, "shard", line)?),
+                };
+                trace.preambles.push(Preamble {
+                    tid: field_u64(&v, "tid", line)?,
+                    t_ns: field_u64(&v, "t_ns", line)?,
+                    pid: field_u64(&v, "pid", line)?,
+                    role: field_str(&v, "role", line)?.to_string(),
+                    shard,
+                    unix_ns: field_hex(&v, "unix_ns", line)?,
                     line,
                 });
             }
@@ -418,6 +508,7 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
                     tid,
                     t_ns,
                     fields,
+                    ctx: None,
                     line,
                 });
             }
@@ -623,6 +714,53 @@ mod tests {
         let err =
             parse_trace(r#"{"ev":"recorder","tid":1,"t_ns":0,"events":"lots"}"#).unwrap_err();
         assert!(err.msg.contains("not a non-negative integer"), "{err}");
+    }
+
+    #[test]
+    fn preambles_and_span_contexts_parse() {
+        let text = [
+            r#"{"ev":"preamble","tid":1,"t_ns":500,"pid":4242,"role":"worker","shard":1,"unix_ns":"0x18cfe97a1b2c3d4e"}"#.to_string(),
+            r#"{"ev":"open","span":"serve.dispatch","tid":1,"seq":0,"depth":0,"t_ns":600,"trace":"0xdeadbeefdeadbeef","parent":"0x0000000000000005","req":"0x0000000000000007"}"#.to_string(),
+            close("serve.dispatch", 1, 0, 0, 700, 100),
+            r#"{"ev":"region","label":"serve.job","tid":1,"t_ns":650,"trace":"0xdeadbeefdeadbeef","parent":"0x0000000000000005","req":7,"queue_wait_ns":40}"#.to_string(),
+            open("plain", 1, 1, 0, 800),
+            close("plain", 1, 1, 0, 900, 100),
+        ]
+        .join("\n");
+        let t = parse_trace(&text).unwrap();
+        assert_eq!(t.preambles.len(), 1);
+        let p = &t.preambles[0];
+        assert_eq!((p.pid, p.role.as_str(), p.shard), (4242, "worker", Some(1)));
+        assert_eq!(p.unix_ns, 0x18cf_e97a_1b2c_3d4e);
+        assert_eq!(t.roots.len(), 2);
+        assert_eq!(
+            t.roots[0].ctx,
+            Some((0xdead_beef_dead_beef, 5)),
+            "span context survives the parse"
+        );
+        // The context fields are known keys: the one-attribute budget is
+        // still available for a real attr (req above).
+        assert_eq!(t.roots[0].attr.as_ref().unwrap().0, "req");
+        assert_eq!(t.roots[1].ctx, None);
+        assert_eq!(t.regions[0].ctx, Some((0xdead_beef_dead_beef, 5)));
+        assert_eq!(t.regions[0].fields["queue_wait_ns"], 40);
+        assert!(!t.regions[0].fields.contains_key("trace"));
+    }
+
+    #[test]
+    fn half_a_context_is_rejected() {
+        let text = r#"{"ev":"open","span":"x","tid":1,"seq":0,"depth":0,"t_ns":1,"trace":"0x01"}"#;
+        let err = parse_trace(text).unwrap_err();
+        assert!(err.msg.contains("both"), "{err}");
+        // A numeric context is rejected: trace ids are full u64s and must
+        // travel as hex strings (JSON doubles are exact only to 2^53).
+        let text =
+            r#"{"ev":"open","span":"x","tid":1,"seq":0,"depth":0,"t_ns":1,"trace":12,"parent":13}"#;
+        let err = parse_trace(text).unwrap_err();
+        assert!(err.msg.contains("\"trace\""), "{err}");
+        let text = r#"{"ev":"open","span":"x","tid":1,"seq":0,"depth":0,"t_ns":1,"trace":"zz","parent":"0x1"}"#;
+        let err = parse_trace(text).unwrap_err();
+        assert!(err.msg.contains("hex string"), "{err}");
     }
 
     #[test]

@@ -10,12 +10,17 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
 
 use crate::protocol::{self, Reply, Request};
+use yali_obs::TraceContext;
 
 /// A connected verdict-API client.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
+    /// When set, every request gets a [`TraceContext`] derived from this
+    /// seed and the request id, a local `client.request` span, and the
+    /// trace-context wire extension ([`protocol::OP_TRACED`]).
+    trace_seed: Option<u64>,
 }
 
 impl Client {
@@ -28,13 +33,38 @@ impl Client {
             reader,
             writer: BufWriter::new(stream),
             next_id: 1,
+            trace_seed: None,
         })
+    }
+
+    /// Enables distributed tracing on this connection: each subsequent
+    /// request opens a `client.request` span carrying
+    /// `TraceContext::derive(seed, request_id)` and ships that context to
+    /// the server, whose `serve.dispatch`/`serve.job` events then share
+    /// the trace id. Deterministic: the same seed and call sequence yield
+    /// the same trace ids, so runs are diffable.
+    pub fn set_tracing(&mut self, seed: u64) {
+        self.trace_seed = Some(seed);
+    }
+
+    /// The trace context request `id` would carry (parent not yet
+    /// stamped), when tracing is enabled. Lets callers correlate replies
+    /// with trace ids without re-deriving the mixing function.
+    pub fn trace_context_for(&self, id: u64) -> Option<TraceContext> {
+        self.trace_seed.map(|seed| TraceContext::derive(seed, id))
     }
 
     fn call(&mut self, req: &Request) -> io::Result<Reply> {
         let id = self.next_id;
         self.next_id += 1;
-        protocol::write_frame(&mut self.writer, &protocol::encode_request(id, req))?;
+        // The span must open *inside* the pushed context so its open event
+        // carries the trace id; the wire context's parent is then the
+        // span's own seq, making server-side hops children of this span.
+        let root = self.trace_context_for(id);
+        let _ctx_guard = root.map(yali_obs::push_context);
+        let span = root.map(|_| yali_obs::span!("client.request"));
+        let wire = root.map(|c| c.with_parent(span.as_ref().and_then(|s| s.seq()).unwrap_or(0)));
+        protocol::write_frame(&mut self.writer, &protocol::encode_request_traced(id, req, wire))?;
         self.writer.flush()?;
         let payload = protocol::read_frame(&mut self.reader)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")

@@ -22,6 +22,12 @@
 //! rolling QPS per lane), `dump-trace` pulls the flight recorder as a
 //! `yali-prof`-ready JSONL trace, and `top` refreshes the metrics view
 //! in place like its namesake.
+//!
+//! Every client subcommand accepts `--trace FILE [--trace-seed N]`: the
+//! process writes its own `client`-role JSONL capture to FILE and stamps
+//! each request with a trace context, so a server started with
+//! `YALI_OBS=1 YALI_TRACE=...` produces a capture `yali-prof merge` can
+//! stitch with FILE and `yali-prof cross-path` can attribute.
 
 use std::process::ExitCode;
 
@@ -41,6 +47,9 @@ usage: yali-serve <serve|ping|classify|scan|stats|metrics|dump-trace|top|shutdow
   dump-trace --addr HOST:PORT [--out FILE]          (default: stdout)
   top        --addr HOST:PORT [--interval-ms 1000] [--iterations N]  (0 = forever)
   shutdown   --addr HOST:PORT
+every client subcommand also takes --trace FILE [--trace-seed N]:
+  write a client-side JSONL capture to FILE and send a trace context with
+  each request (stitch with the server capture via `yali-prof merge`)
 ";
 
 fn main() -> ExitCode {
@@ -124,8 +133,26 @@ fn model_by_name(name: &str) -> Result<ModelKind, String> {
         })
 }
 
+/// `--trace FILE [--trace-seed N]` on a client subcommand: attach a
+/// client-role JSONL sink and stamp every request with a deterministic
+/// trace context derived from the seed (default 1) and the request id.
+fn maybe_enable_tracing(args: &Args, client: &mut Client) -> Result<(), String> {
+    let Some(path) = args.get("trace") else {
+        return Ok(());
+    };
+    let seed = args.get_u64("trace-seed", 1)?;
+    yali_obs::set_identity("client", None);
+    yali_obs::set_enabled(true);
+    yali_obs::set_trace_path(Some(path));
+    client.set_tracing(seed);
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let args = Args::parse(args)?;
+    // Stamp the capture's process lane before anything can attach the
+    // trace sink (the preamble renders when the sink attaches).
+    yali_obs::set_identity("serve", None);
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let kinds: Vec<ModelKind> = match args.get("models") {
         None => vec![ModelKind::Lr, ModelKind::Mlp],
@@ -172,6 +199,7 @@ fn cmd_simple(
     let args = Args::parse(args)?;
     let addr = args.require("addr")?;
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    maybe_enable_tracing(&args, &mut client)?;
     let reply = call(&mut client).map_err(|e| e.to_string())?;
     print_reply(&reply)
 }
@@ -181,6 +209,7 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     let addr = args.require("addr")?;
     let model_name = args.require("model")?;
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    maybe_enable_tracing(&args, &mut client)?;
     // Resolve the model name against the server's roster so the wire
     // index always matches what the daemon actually serves.
     let stats = match client.stats().map_err(|e| e.to_string())? {
@@ -326,6 +355,7 @@ fn cmd_scan(args: &[String]) -> Result<(), String> {
     let addr = args.require("addr")?;
     let code = args.require("code")?;
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    maybe_enable_tracing(&args, &mut client)?;
     let reply = client.scan(code).map_err(|e| e.to_string())?;
     print_reply(&reply)
 }

@@ -18,8 +18,20 @@
 //! The frame length is capped at [`MAX_FRAME`]; a peer announcing a
 //! larger frame is protocol-broken and the connection is dropped rather
 //! than the length trusted.
+//!
+//! ## Trace-context extension
+//!
+//! A request may carry a distributed [`TraceContext`] by setting the
+//! [`OP_TRACED`] bit on its opcode byte; 16 extension bytes
+//! (`u64 LE trace id | u64 LE parent span`) then follow the opcode before
+//! the body. Servers echo the context onto their dispatch telemetry so
+//! client-side and server-side spans share one trace id, and a server
+//! that predates the extension rejects the unknown opcode instead of
+//! misparsing the frame — the bit doubles as a version gate.
 
 use std::io::{self, Read, Write};
+
+use yali_obs::TraceContext;
 
 /// Hard cap on one frame's payload (16 MiB) — large enough for any real
 /// feature vector or source blob, small enough that a corrupt length
@@ -152,6 +164,10 @@ pub enum Reply {
     Trace(String),
 }
 
+/// Opcode flag bit: the request carries a 16-byte trace-context extension
+/// (`u64 trace id | u64 parent span`) between the opcode and the body.
+pub const OP_TRACED: u8 = 0x80;
+
 const OP_PING: u8 = 1;
 const OP_CLASSIFY: u8 = 2;
 const OP_SCAN: u8 = 3;
@@ -200,10 +216,18 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
-/// Encodes a request frame payload (id + opcode + body).
+/// Encodes a request frame payload (id + opcode + body) with no trace
+/// context.
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
-    let mut out = Vec::with_capacity(16);
+    encode_request_traced(id, req, None)
+}
+
+/// Encodes a request frame payload, optionally stamping the trace-context
+/// extension ([`OP_TRACED`] bit + 16 context bytes after the opcode).
+pub fn encode_request_traced(id: u64, req: &Request, ctx: Option<TraceContext>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
     out.extend_from_slice(&id.to_le_bytes());
+    let op_at = out.len();
     match req {
         Request::Ping => out.push(OP_PING),
         Request::Classify { model, features } => {
@@ -223,6 +247,13 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         Request::Shutdown => out.push(OP_SHUTDOWN),
         Request::Metrics => out.push(OP_METRICS),
         Request::DumpTrace => out.push(OP_DUMP_TRACE),
+    }
+    if let Some(ctx) = ctx {
+        out[op_at] |= OP_TRACED;
+        let mut ext = [0u8; 16];
+        ext[..8].copy_from_slice(&ctx.trace_id.to_le_bytes());
+        ext[8..].copy_from_slice(&ctx.parent_span.to_le_bytes());
+        out.splice(op_at + 1..op_at + 1, ext);
     }
     out
 }
@@ -266,13 +297,21 @@ fn decode_window_block(
     Ok((count, p50, p95, p99, qps))
 }
 
-/// Decodes a request frame payload into `(id, request)`; `Err` carries
-/// the reason the payload is malformed.
-pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), String> {
+/// Decodes a request frame payload into `(id, request, trace context)`;
+/// `Err` carries the reason the payload is malformed.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request, Option<TraceContext>), String> {
     let mut c = Cursor::new(payload);
     let id = c.u64()?;
-    let op = c.u8()?;
-    let req = match op {
+    let op_raw = c.u8()?;
+    let ctx = if op_raw & OP_TRACED != 0 {
+        Some(TraceContext {
+            trace_id: c.u64()?,
+            parent_span: c.u64()?,
+        })
+    } else {
+        None
+    };
+    let req = match op_raw & !OP_TRACED {
         OP_PING => Request::Ping,
         OP_CLASSIFY => {
             let model = c.u8()?;
@@ -300,7 +339,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), String> {
         other => return Err(format!("unknown opcode {other}")),
     };
     c.done()?;
-    Ok((id, req))
+    Ok((id, req, ctx))
 }
 
 /// Encodes a response frame payload (id + status + body).
@@ -541,10 +580,32 @@ mod tests {
         ];
         for (i, req) in cases.iter().enumerate() {
             let payload = encode_request(i as u64 + 7, req);
-            let (id, back) = decode_request(&payload).unwrap();
+            let (id, back, ctx) = decode_request(&payload).unwrap();
             assert_eq!(id, i as u64 + 7);
             assert_eq!(&back, req);
+            assert_eq!(ctx, None, "plain encoding carries no context");
+            // The same request with a trace context round-trips the
+            // context bit-exactly and decodes to the same request.
+            let want = TraceContext {
+                trace_id: 0xdead_beef_cafe_f00d,
+                parent_span: u64::MAX - i as u64,
+            };
+            let traced = encode_request_traced(i as u64 + 7, req, Some(want));
+            let (id, back, ctx) = decode_request(&traced).unwrap();
+            assert_eq!(id, i as u64 + 7);
+            assert_eq!(&back, req);
+            assert_eq!(ctx, Some(want));
+            assert_eq!(traced.len(), payload.len() + 16);
         }
+    }
+
+    #[test]
+    fn traced_opcode_without_the_extension_bytes_is_rejected() {
+        // Flip the trace bit on a plain ping: the decoder now expects 16
+        // extension bytes that are not there.
+        let mut payload = encode_request(1, &Request::Ping);
+        payload[8] |= OP_TRACED;
+        assert!(decode_request(&payload).is_err());
     }
 
     #[test]
@@ -649,7 +710,7 @@ mod tests {
         // direct predict call on the same bits.
         let features = vec![-0.0, f64::NAN, 1.0 + f64::EPSILON];
         let payload = encode_request(1, &Request::Classify { model: 0, features: features.clone() });
-        let (_, back) = decode_request(&payload).unwrap();
+        let (_, back, _) = decode_request(&payload).unwrap();
         let Request::Classify { features: got, .. } = back else {
             panic!("wrong variant");
         };

@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use yali_core::SignatureScanner;
 use yali_ml::VectorClassifier;
+use yali_obs::TraceContext;
 
 use crate::batcher::{Batch, Batcher, BatcherConfig, Trigger};
 use crate::live::{Live, LiveConfig};
@@ -71,12 +72,22 @@ enum Job {
         conn: Arc<Conn>,
         id: u64,
         features: Vec<f64>,
+        ctx: Option<TraceContext>,
     },
     Scan {
         conn: Arc<Conn>,
         id: u64,
         module: yali_ir::Module,
+        ctx: Option<TraceContext>,
     },
+}
+
+impl Job {
+    fn ctx(&self) -> Option<TraceContext> {
+        match self {
+            Job::Classify { ctx, .. } | Job::Scan { ctx, .. } => *ctx,
+        }
+    }
 }
 
 struct Shared {
@@ -252,7 +263,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
     });
     while let Some(payload) = protocol::read_frame(&mut reader)? {
         yali_obs::count!("serve.requests", 1);
-        let (id, req) = match protocol::decode_request(&payload) {
+        let (id, req, ctx) = match protocol::decode_request(&payload) {
             Ok(ok) => ok,
             Err(reason) => {
                 // The id is the first 8 bytes when present; echo it so
@@ -305,6 +316,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                             conn: Arc::clone(&conn),
                             id,
                             features,
+                            ctx,
                         },
                     ),
                 };
@@ -326,6 +338,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
                             conn: Arc::clone(&conn),
                             id,
                             module,
+                            ctx,
                         },
                     ),
                 };
@@ -416,6 +429,14 @@ fn dispatch_loop(shared: &Arc<Shared>) {
 }
 
 fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
+    // Adopt the first traced request's context for the dispatch span, so
+    // at least one server-side span joins a client's timeline even before
+    // the per-request `serve.job` attribution below.
+    let _ctx_guard = batch
+        .items
+        .iter()
+        .find_map(|p| p.item.ctx())
+        .map(yali_obs::push_context);
     let _span = yali_obs::span!("serve.dispatch");
     let n = batch.items.len() as u64;
     yali_obs::count!("serve.batches", 1);
@@ -444,7 +465,14 @@ fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
     // the replies go out, each row's enqueue-to-reply latency feeds the
     // live windows.
     let enq: Vec<u64> = batch.items.iter().map(|p| p.enqueued_ns).collect();
-    if batch.lane == SCAN_LANE {
+    // Per-request hop attribution anchor points: a request's time in the
+    // queue splits at the *newest* enqueue — before it the request was
+    // waiting for the batch to fill, after it the whole batch was waiting
+    // for the dispatcher. The split keeps the hops additive, so a traced
+    // request's `serve.job` fields sum to its server-side residence.
+    let newest_enq = enq.iter().copied().max().unwrap_or(dispatched_ns);
+    let infer_start = yali_obs::epoch_ns();
+    let replies: Vec<(Arc<Conn>, u64, Option<TraceContext>, Reply)> = if batch.lane == SCAN_LANE {
         let scanner = shared
             .tenants
             .scanner
@@ -454,8 +482,10 @@ fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
         let mut modules = Vec::with_capacity(batch.items.len());
         for p in batch.items {
             match p.item {
-                Job::Scan { conn, id, module } => {
-                    metas.push((conn, id));
+                Job::Scan {
+                    conn, id, module, ctx,
+                } => {
+                    metas.push((conn, id, ctx));
                     modules.push(module);
                 }
                 Job::Classify { .. } => unreachable!("classify job on the scan lane"),
@@ -463,17 +493,26 @@ fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
         }
         let verdicts = scanner.is_malware_all(&modules);
         let ratios = scanner.match_ratios(&modules);
-        for (((conn, id), malware), ratio) in metas.into_iter().zip(verdicts).zip(ratios) {
-            conn.send(id, &Reply::Scan { malware, ratio });
-        }
+        metas
+            .into_iter()
+            .zip(verdicts.into_iter().zip(ratios))
+            .map(|((conn, id, ctx), (malware, ratio))| {
+                (conn, id, ctx, Reply::Scan { malware, ratio })
+            })
+            .collect()
     } else {
         let (_, clf) = &shared.tenants.models[batch.lane as usize];
         let mut metas = Vec::with_capacity(batch.items.len());
         let mut rows = Vec::with_capacity(batch.items.len());
         for p in batch.items {
             match p.item {
-                Job::Classify { conn, id, features } => {
-                    metas.push((conn, id));
+                Job::Classify {
+                    conn,
+                    id,
+                    features,
+                    ctx,
+                } => {
+                    metas.push((conn, id, ctx));
                     rows.push(features);
                 }
                 Job::Scan { .. } => unreachable!("scan job on a classify lane"),
@@ -481,8 +520,32 @@ fn execute(shared: &Shared, batch: Batch<Job>, dispatched_ns: u64) {
         }
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let labels = clf.predict_batch_refs(&refs, yali_par::worker_count());
-        for ((conn, id), label) in metas.into_iter().zip(labels) {
-            conn.send(id, &Reply::Label(label as u32));
+        metas
+            .into_iter()
+            .zip(labels)
+            .map(|((conn, id, ctx), label)| (conn, id, ctx, Reply::Label(label as u32)))
+            .collect()
+    };
+    let infer_end = yali_obs::epoch_ns();
+    for (i, (conn, id, ctx, reply)) in replies.into_iter().enumerate() {
+        conn.send(id, &reply);
+        // One `serve.job` region per traced request, after its reply is
+        // on the wire: the per-hop decomposition `yali-prof cross-path`
+        // joins with the client's span by trace id.
+        if let Some(ctx) = ctx {
+            let _g = yali_obs::push_context(ctx);
+            let enq_i = enq.get(i).copied().unwrap_or(dispatched_ns);
+            yali_obs::trace_region(
+                "serve.job",
+                &[
+                    ("req", id),
+                    ("rows", n),
+                    ("batch_fill_ns", newest_enq.saturating_sub(enq_i)),
+                    ("queue_wait_ns", dispatched_ns.saturating_sub(newest_enq)),
+                    ("infer_ns", infer_end.saturating_sub(infer_start)),
+                    ("reply_ns", yali_obs::epoch_ns().saturating_sub(infer_end)),
+                ],
+            );
         }
     }
     // Feed the windows with reply-time latencies; a windowed-p99 breach

@@ -1,0 +1,185 @@
+//! Property tests for the distributed-tracing plumbing (satellite of the
+//! fleet-observability PR):
+//!
+//! * trace-context derivation is collision-free across the request ids of
+//!   one connection (the mixing function is bijective per seed, so two
+//!   requests can never share a trace id);
+//! * the protocol's trace-context extension survives an encode/decode
+//!   round trip bit-exactly, for every request shape, without disturbing
+//!   the request payload itself;
+//! * merging arbitrary per-process captures re-satisfies the strict
+//!   `yali-prof` parser: lanes stay disjoint, spans are conserved, and a
+//!   re-merge of the merged JSONL is a fixed point.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use yali_obs::TraceContext;
+use yali_serve::protocol::{decode_request, encode_request_traced};
+use yali_serve::Request;
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        Just(Request::Stats),
+        Just(Request::Metrics),
+        Just(Request::DumpTrace),
+        Just(Request::Shutdown),
+        (0u8..=u8::MAX, proptest::collection::vec(0u64..=u64::MAX, 0..12)).prop_map(
+            |(model, bits)| Request::Classify {
+                model,
+                features: bits.into_iter().map(f64::from_bits).collect(),
+            }
+        ),
+        proptest::collection::vec(0x20u8..0x7f, 0..40).prop_map(|bytes| Request::Scan {
+            source: String::from_utf8(bytes).expect("printable ASCII"),
+        }),
+    ]
+}
+
+proptest! {
+    /// Distinct request ids on one connection derive distinct trace ids,
+    /// for any seed: the stream multiplier is odd and the finalizer is a
+    /// bijection, so the map `id -> trace_id` is injective per seed.
+    #[test]
+    fn trace_ids_are_unique_per_request_within_a_connection(
+        seed in 0u64..=u64::MAX,
+        first_id in 0u64..=u64::MAX,
+        n in 1usize..256,
+    ) {
+        let mut seen = HashSet::with_capacity(n);
+        for i in 0..n as u64 {
+            let ctx = TraceContext::derive(seed, first_id.wrapping_add(i));
+            prop_assert!(
+                seen.insert(ctx.trace_id),
+                "trace id {:#018x} repeated within one connection",
+                ctx.trace_id
+            );
+        }
+    }
+
+    /// A trace context rides the wire bit-exactly: id, trace id, and
+    /// parent span all survive, and stripping the context reproduces the
+    /// exact untraced encoding (the extension is purely additive).
+    #[test]
+    fn trace_context_survives_the_serve_round_trip_bit_exactly(
+        id in 0u64..=u64::MAX,
+        trace_id in 0u64..=u64::MAX,
+        parent_span in 0u64..=u64::MAX,
+        req in request_strategy(),
+    ) {
+        let ctx = TraceContext { trace_id, parent_span };
+        let traced = encode_request_traced(id, &req, Some(ctx));
+        let plain = encode_request_traced(id, &req, None);
+        prop_assert_eq!(traced.len(), plain.len() + 16, "extension is exactly 16 bytes");
+
+        let (got_id, got_req, got_ctx) = decode_request(&traced)
+            .map_err(|e| TestCaseError::fail(format!("decode traced: {e}")))?;
+        prop_assert_eq!(got_id, id);
+        prop_assert_eq!(got_ctx, Some(ctx));
+        // Bit-exactness of the request body, NaN payloads included:
+        // compare re-encodings instead of decoded values.
+        prop_assert_eq!(encode_request_traced(got_id, &got_req, None), plain);
+
+        let (plain_id, _, plain_ctx) = decode_request(&plain)
+            .map_err(|e| TestCaseError::fail(format!("decode plain: {e}")))?;
+        prop_assert_eq!(plain_id, id);
+        prop_assert_eq!(plain_ctx, None);
+    }
+}
+
+/// One synthetic process capture: a preamble plus `spans` sequential
+/// top-level spans on one thread, some carrying a trace context.
+fn synthetic_capture(
+    role: &str,
+    pid: u64,
+    unix_base_ns: u64,
+    spans: &[(u64, u64, bool)], // (gap_ns, dur_ns, traced)
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let mut t = 100u64;
+    let _ = writeln!(
+        out,
+        "{{\"ev\":\"preamble\",\"tid\":1,\"t_ns\":{t},\"pid\":{pid},\"role\":\"{role}\",\
+         \"unix_ns\":\"{unix_base_ns:#018x}\"}}"
+    );
+    for (seq, (gap_ns, dur_ns, traced)) in spans.iter().enumerate() {
+        t += gap_ns;
+        let ctx = if *traced {
+            format!(
+                ",\"trace\":\"{:#018x}\",\"parent\":\"{:#018x}\"",
+                pid.wrapping_mul(0x1_0001).wrapping_add(seq as u64),
+                seq as u64
+            )
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{{\"ev\":\"open\",\"span\":\"prop.span\",\"tid\":1,\"seq\":{seq},\"depth\":0,\
+             \"t_ns\":{t}{ctx}}}"
+        );
+        t += dur_ns;
+        let _ = writeln!(
+            out,
+            "{{\"ev\":\"close\",\"span\":\"prop.span\",\"tid\":1,\"seq\":{seq},\"depth\":0,\
+             \"t_ns\":{t},\"dur_ns\":{dur_ns}}}"
+        );
+    }
+    out
+}
+
+proptest! {
+    /// Stitching arbitrary process captures yields a trace the strict
+    /// parser accepts again, with every span conserved — and re-merging
+    /// the merged JSONL is a fixed point (preambles survive re-stamping).
+    #[test]
+    fn merged_traces_re_satisfy_the_strict_parser(
+        shards in proptest::collection::vec(
+            proptest::collection::vec((0u64..10_000, 1u64..100_000, any::<bool>()), 1..6),
+            1..4,
+        ),
+        skew_ns in proptest::collection::vec(0u64..5_000_000, 4..5),
+    ) {
+        let base = 10_000_000u64;
+        let inputs: Vec<(String, yali_prof::Trace)> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, spans)| {
+                let text = synthetic_capture(
+                    "worker",
+                    40 + i as u64,
+                    base + skew_ns[i % skew_ns.len()],
+                    spans,
+                );
+                let trace = yali_prof::parse_trace(&text)
+                    .unwrap_or_else(|e| panic!("synthetic capture must parse: {e}"));
+                (format!("shard{i}.jsonl"), trace)
+            })
+            .collect();
+        let want_spans: usize = inputs.iter().map(|(_, t)| t.n_spans).sum();
+
+        let merged = yali_prof::merge_traces(inputs);
+        prop_assert_eq!(merged.processes.len(), shards.len());
+        let jsonl = yali_prof::to_jsonl_merged(&merged);
+        let reparsed = yali_prof::parse_trace(&jsonl)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(reparsed.n_spans, want_spans, "merging conserves spans");
+
+        // Lanes must not collide: every (original) thread lands on its
+        // own remapped tid.
+        let tids: HashSet<u64> = reparsed.tids().into_iter().collect();
+        prop_assert_eq!(tids.len(), shards.len(), "one distinct tid per process lane");
+
+        // Fixed point up to thread renumbering: the re-stamped preamble
+        // handshake makes a second merge need no clock shift, and every
+        // span survives it.
+        let again = yali_prof::merge_traces(vec![("merged.jsonl".to_string(), reparsed)]);
+        prop_assert_eq!(again.processes[0].offset_ns, 0);
+        let re_reparsed = yali_prof::parse_trace(&yali_prof::to_jsonl_merged(&again))
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(re_reparsed.n_spans, want_spans);
+    }
+}

@@ -14,9 +14,14 @@
 #                             the store resume gate (warm-from-disk
 #                             replay >= 10x over cold);
 #                             finally analyze the TRACE_*.jsonl captures
-#                             with yali-prof (profile + Chrome export)
-#                             and run `yali-prof diff` against the
-#                             reports committed before the run
+#                             with yali-prof (profile + Chrome export +
+#                             cross-process latency attribution), run a
+#                             two-worker instrumented yali-grid sweep and
+#                             gate its fleet report (fleet counters ==
+#                             shard sums, straggler/drift via `yali-prof
+#                             diff`, shard traces stitch into one Chrome
+#                             timeline), and run `yali-prof diff` against
+#                             the reports committed before the run
 #   scripts/bench.sh --smoke  the same pass (the benches are already
 #                             sized for smoke runs: Scale::SMALL corpora,
 #                             10 Criterion samples) — the flag states
@@ -35,7 +40,7 @@ esac
 baseline_dir="$(mktemp -d)"
 trap 'rm -rf "$baseline_dir"' EXIT
 for f in RUNSTATS_engine.json RUNSTATS_train.json RUNSTATS_infer.json RUNSTATS_store.json \
-         RUNSTATS_serve.json \
+         RUNSTATS_serve.json RUNSTATS_grid.json \
          BENCH_engine.json BENCH_train.json BENCH_infer.json BENCH_store.json \
          BENCH_serve.json; do
   [ -f "$f" ] && cp "$f" "$baseline_dir/$f"
@@ -353,6 +358,57 @@ for t in TRACE_engine.jsonl TRACE_train.jsonl TRACE_infer.jsonl TRACE_store.json
   "$prof" top "$t" --top 10
   "$prof" export --chrome "$t"
 done
+
+# Cross-process latency attribution: the serve bench's traced pass sent
+# trace contexts over the wire, so the capture must let yali-prof walk a
+# request from its client.request span through the server's queue-wait /
+# batch-fill / infer / reply hops. An attribution failing to find a
+# context-carrying client span means the propagation plumbing broke.
+"$prof" cross-path TRACE_serve.jsonl
+
+# The fleet observability gate: a two-worker instrumented yali-grid
+# sweep writes RUNSTATS_grid.json (merged fleet + per-shard run reports)
+# and one trace capture per process. Three checks: the fleet counters
+# are exactly the sum of the shard counters, `yali-prof diff` holds the
+# straggler/drift gates (against the committed baseline when present),
+# and the per-process captures stitch into one Chrome timeline.
+cargo build --release -q -p yali-grid
+grid_dir="$(mktemp -d)"
+trap 'rm -rf "$baseline_dir" "$grid_dir"' EXIT
+YALI_OBS=1 YALI_TRACE="$grid_dir/grid.jsonl" target/release/yali-grid run \
+  --workers 2 --out "$grid_dir/grid.json" --runstats RUNSTATS_grid.json \
+  --games game0 --evaders none --models knn,rf --rounds 2 \
+  --classes 3 --per-class 4
+if command -v python3 >/dev/null 2>&1; then
+  python3 - RUNSTATS_grid.json <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+shards = report["shards"]
+if report["n_shards"] != len(shards) or len(shards) != 2:
+    sys.exit(f"{path}: expected 2 shard sections, found {len(shards)}")
+fleet = report["fleet"]["counters"]
+if not fleet:
+    sys.exit(f"{path}: merged fleet recorded no counters")
+for name, total in fleet.items():
+    by_shard = sum(s["report"]["counters"].get(name, 0) for s in shards)
+    if by_shard != total:
+        sys.exit(f"{path}: counter {name}: fleet {total} != shard sum {by_shard}")
+print(f"fleet coherence: ok ({len(fleet)} counters == shard sums across {len(shards)} shards)")
+EOF
+fi
+grid_baseline="$baseline_dir/RUNSTATS_grid.json"
+[ -f "$grid_baseline" ] || grid_baseline=RUNSTATS_grid.json
+# The smoke sweep finishes in milliseconds, so per-phase means are pure
+# scheduler noise run over run; the floor mutes them. What this diff
+# actually gates — deterministic fleet counters, the straggler ceiling,
+# the per-shard drift band — is unaffected by the floor.
+"$prof" diff "$grid_baseline" RUNSTATS_grid.json --min-phase-ns 10000000
+"$prof" merge "$grid_dir/grid.jsonl" "$grid_dir/grid.jsonl.shard0" \
+  "$grid_dir/grid.jsonl.shard1" -o "$grid_dir/fleet_chrome.json"
 
 # The run-over-run regression watch: diff each fresh report against the
 # baseline snapshotted at the top of this script. Thresholds are loose

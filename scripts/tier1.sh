@@ -27,6 +27,18 @@ YALI_STORE="$store_dir/artifacts" cargo test -q -p yali-ml -p yali-core
 # in the trace schema, the parser, or the exporter.
 target/release/yali-prof selfcheck
 
+# The multi-process stitcher's golden fixture: merge the two committed
+# shard captures and demand a byte-identical Chrome file. Catches drift
+# in the preamble clock handshake, lane remapping, or the merged export.
+merged_out="$(mktemp -u).json"
+target/release/yali-prof merge \
+  crates/prof/fixtures/golden_shard0.jsonl \
+  crates/prof/fixtures/golden_shard1.jsonl \
+  -o "$merged_out" >/dev/null
+cmp "$merged_out" crates/prof/fixtures/golden_merged_chrome.json \
+  || { echo "yali-prof merge drifted from the golden fixture" >&2; exit 1; }
+rm -f "$merged_out"
+
 # The serving smoke test: boot the daemon on an ephemeral port with a
 # tiny corpus, round-trip a liveness probe, a classification, and an
 # anti-virus scan through the CLI client, then shut it down gracefully.
